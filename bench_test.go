@@ -1,0 +1,489 @@
+package psp
+
+// The benchmark harness regenerates every table and figure of the paper
+// (experiments E01–E15 of DESIGN.md) and runs the ablation studies
+// A1–A5. Each benchmark measures the full pipeline behind its artifact
+// and reports the shape metric that EXPERIMENTS.md records, via
+// b.ReportMetric, so `go test -bench=.` doubles as the reproduction run.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/finance"
+	"github.com/psp-framework/psp/internal/lifecycle"
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/sai"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/standards"
+	"github.com/psp-framework/psp/internal/tara"
+	"github.com/psp-framework/psp/internal/vehicle"
+)
+
+// Shared fixtures: the corpus and dataset are deterministic, so building
+// them once keeps the benchmarks focused on the pipelines.
+var (
+	fixtureOnce  sync.Once
+	fixtureStore *social.Store
+	fixtureData  *market.Dataset
+	fixtureErr   error
+)
+
+func fixtures(b *testing.B) (*social.Store, *market.Dataset) {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixtureStore, fixtureErr = social.DefaultStore(42)
+		if fixtureErr != nil {
+			return
+		}
+		fixtureData, fixtureErr = market.DefaultDataset()
+	})
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixtureStore, fixtureData
+}
+
+func benchFramework(b *testing.B, cfg core.Config) *core.Framework {
+	b.Helper()
+	store, ds := fixtures(b)
+	if cfg.Searcher == nil {
+		cfg.Searcher = store
+	}
+	if cfg.Market == nil {
+		cfg.Market = ds
+	}
+	fw, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fw
+}
+
+func benchECMThreat() *tara.ThreatScenario {
+	return &tara.ThreatScenario{
+		ID: "TS-ECM", Name: "ECM reprogramming",
+		DamageIDs: []string{"DS-01"},
+		Property:  tara.PropertyIntegrity,
+		STRIDE:    tara.Tampering,
+		Profiles:  []tara.AttackerProfile{tara.ProfileInsider},
+		Vector:    tara.VectorPhysical,
+		Keywords:  []string{"chiptuning", "ecutune", "remap", "stage1"},
+	}
+}
+
+func excavatorInput() core.FinancialInput {
+	return core.FinancialInput{
+		Category:    market.CategoryDPFTampering,
+		Application: "excavator",
+		Region:      "EU",
+		Year:        2022,
+		MarketKind:  finance.NonMonopolistic,
+		Maker:       market.MajorExcavatorMaker,
+	}
+}
+
+// E14 / Fig. 1 — standards contribution graph.
+func BenchmarkFig1StandardsGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := standards.ISO21434Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.ITShare() == 0 {
+			b.Fatal("empty IT share")
+		}
+	}
+}
+
+// E15 / Fig. 2 — lifecycle with TARA reprocessing.
+func BenchmarkFig2Lifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lc := lifecycle.New(nil)
+		if err := lc.RunToProduction(); err != nil {
+			b.Fatal(err)
+		}
+		if lc.ReprocessingCount() != 6 {
+			b.Fatalf("reprocessing count %d", lc.ReprocessingCount())
+		}
+	}
+}
+
+// E01 / Fig. 3 — attack potential aggregation over all level
+// combinations (5×4×4×4×4 = 1280 profiles per iteration).
+func BenchmarkFig3AttackPotential(b *testing.B) {
+	w := tara.StandardPotentialWeights()
+	th := tara.StandardPotentialThresholds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := tara.TimeOneDay; t <= tara.TimeBeyondSixMonths; t++ {
+			for e := tara.ExpertiseLayman; e <= tara.ExpertiseMultipleExperts; e++ {
+				for k := tara.KnowledgePublic; k <= tara.KnowledgeStrictlyConfidential; k++ {
+					for wo := tara.WindowUnlimited; wo <= tara.WindowDifficult; wo++ {
+						for q := tara.EquipmentStandard; q <= tara.EquipmentMultipleBespoke; q++ {
+							r, err := tara.RatePotential(w, th, tara.AttackPotentialInput{
+								Time: t, Expertise: e, Knowledge: k, Window: wo, Equipment: q,
+							})
+							if err != nil || !r.Valid() {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// E04 / Fig. 4 — attack-surface classification and route enumeration.
+func BenchmarkFig4Surfaces(b *testing.B) {
+	top, err := vehicle.ReferenceArchitecture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range []vehicle.SurfaceClass{
+			vehicle.SurfaceLongRange, vehicle.SurfaceShortRange, vehicle.SurfacePhysical,
+		} {
+			routes, err := top.AttackRoutes(s, "ECM")
+			if err != nil || len(routes) == 0 {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E02 / Fig. 5 — static G.9 table lookups.
+func BenchmarkFig5AttackVector(b *testing.B) {
+	tbl := tara.StandardVectorTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range tara.AllVectors() {
+			if _, err := tbl.Rating(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E03 / Fig. 6 — CAL determination over the full matrix.
+func BenchmarkFig6CAL(b *testing.B) {
+	tbl := tara.StandardCALTable()
+	impacts := []tara.ImpactRating{
+		tara.ImpactNegligible, tara.ImpactModerate, tara.ImpactMajor, tara.ImpactSevere,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, imp := range impacts {
+			for _, v := range tara.AllVectors() {
+				if _, err := tbl.Determine(imp, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// E05 / Fig. 7 — the full social workflow.
+func BenchmarkFig7Workflow(b *testing.B) {
+	fw := benchFramework(b, core.Config{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fw.RunSocial(ctx, core.SocialInput{
+			Threats: []*tara.ThreatScenario{benchECMThreat()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tunings) != 1 {
+			b.Fatal("missing tuning")
+		}
+	}
+}
+
+// E06 / Fig. 8 — weight tuning for one threat scenario.
+func BenchmarkFig8WeightTuning(b *testing.B) {
+	fw := benchFramework(b, core.Config{})
+	ctx := context.Background()
+	var physicalShare float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fw.RunSocial(ctx, core.SocialInput{
+			DisableLearning: true,
+			Threats:         []*tara.ThreatScenario{benchECMThreat()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		physicalShare = res.Tunings[0].VectorShares[tara.VectorPhysical]
+	}
+	b.ReportMetric(physicalShare, "physical-share")
+}
+
+// E07+E08 / Fig. 9 — both analysis windows back to back.
+func BenchmarkFig9TimeWindows(b *testing.B) {
+	fw := benchFramework(b, core.Config{})
+	ctx := context.Background()
+	cut := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	var allTimeTop, recentTop string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all, err := fw.RunSocial(ctx, core.SocialInput{
+			DisableLearning: true,
+			Threats:         []*tara.ThreatScenario{benchECMThreat()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recent, err := fw.RunSocial(ctx, core.SocialInput{
+			Since:           cut,
+			DisableLearning: true,
+			Threats:         []*tara.ThreatScenario{benchECMThreat()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		allTimeTop = all.Tunings[0].Table.RankedVectors()[0].String()
+		recentTop = recent.Tunings[0].Table.RankedVectors()[0].String()
+	}
+	if allTimeTop != "Physical" || recentTop != "Local" {
+		b.Fatalf("trend inversion broken: all-time top %s, recent top %s", allTimeTop, recentTop)
+	}
+}
+
+// E09 / Fig. 10 — the full financial workflow.
+func BenchmarkFig10Financial(b *testing.B) {
+	fw := benchFramework(b, core.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fw.RunFinancial(excavatorInput())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PAE != 1406 {
+			b.Fatalf("PAE %d", res.PAE)
+		}
+	}
+}
+
+// E10 / Fig. 11 — break-even curve sampling.
+func BenchmarkFig11BEP(b *testing.B) {
+	fc := finance.FromUnits(145286, finance.EUR)
+	ppia := finance.FromUnits(360, finance.EUR)
+	vcu := finance.FromUnits(50, finance.EUR)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve, err := finance.ComputeBEPCurve(fc, 3, ppia, vcu, 2812, 41)
+		if err != nil || curve.BreakEvenUnits != 1406 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11 / Fig. 12 — the excavator SAI ranking.
+func BenchmarkFig12SAI(b *testing.B) {
+	fw := benchFramework(b, core.Config{})
+	ctx := context.Background()
+	var topProbability float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fw.RunSocial(ctx, core.SocialInput{
+			Application: "excavator",
+			Region:      social.RegionEurope,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		top, err := res.Index.Top()
+		if err != nil || top.Topic != "DPF delete" {
+			b.Fatalf("top %v err %v", top.Topic, err)
+		}
+		topProbability = top.Probability
+	}
+	b.ReportMetric(topProbability, "top-probability")
+}
+
+// E12 / Eq. 6 — market value computation chain.
+func BenchmarkEq6MarketValue(b *testing.B) {
+	_, ds := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := ds.Sales.MarketShare(market.MajorExcavatorMaker, "excavator", "EU", 2022)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pea, err := ds.Reports.PEA(market.CategoryDPFTampering, "excavator", "EU", 2022)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pae, err := finance.PAE(ms, pea)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mv, err := finance.MarketValue(pae, finance.FromUnits(360, finance.EUR))
+		if err != nil || mv.Units() != 506160 {
+			b.Fatalf("MV %v err %v", mv, err)
+		}
+	}
+}
+
+// E13 / Eq. 7 — adversary investment bound.
+func BenchmarkEq7FixedCost(b *testing.B) {
+	ppia := finance.FromUnits(360, finance.EUR)
+	vcu := finance.FromUnits(50, finance.EUR)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fc, err := finance.InverseFixedCost(1406, ppia, vcu, 3)
+		if err != nil || fc.Cents != 14528667 {
+			b.Fatalf("FC %v err %v", fc, err)
+		}
+	}
+}
+
+// A1 — SAI attraction weight mixes: how the top probability moves with
+// the views/interactions/popularity balance.
+func BenchmarkAblationSAIWeights(b *testing.B) {
+	mixes := []struct {
+		name string
+		w    sai.Weights
+	}{
+		{"views-only", sai.Weights{Views: 1, SentimentGate: true}},
+		{"interactions-heavy", sai.Weights{Views: 1, Interactions: 4, Popularity: 5, SentimentGate: true}},
+		{"default", sai.DefaultWeights()},
+		{"popularity-heavy", sai.Weights{Views: 0.5, Interactions: 1, Popularity: 40, SentimentGate: true}},
+	}
+	for _, mix := range mixes {
+		b.Run(mix.name, func(b *testing.B) {
+			fw := benchFramework(b, core.Config{Weights: mix.w})
+			ctx := context.Background()
+			var top float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fw.RunSocial(ctx, core.SocialInput{
+					Application:     "excavator",
+					Region:          social.RegionEurope,
+					DisableLearning: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := res.Index.Top()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if e.Topic != "DPF delete" {
+					b.Fatalf("mix %s flipped the top entry to %s", mix.name, e.Topic)
+				}
+				top = e.Probability
+			}
+			b.ReportMetric(top, "top-probability")
+		})
+	}
+}
+
+// A2 — sentiment gating on vs off.
+func BenchmarkAblationSentimentGate(b *testing.B) {
+	for _, gate := range []bool{true, false} {
+		name := "gate-on"
+		if !gate {
+			name = "gate-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := sai.DefaultWeights()
+			w.SentimentGate = gate
+			fw := benchFramework(b, core.Config{Weights: w})
+			ctx := context.Background()
+			var physShare float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fw.RunSocial(ctx, core.SocialInput{
+					DisableLearning: true,
+					Threats:         []*tara.ThreatScenario{benchECMThreat()},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				physShare = res.Tunings[0].VectorShares[tara.VectorPhysical]
+			}
+			b.ReportMetric(physShare, "physical-share")
+		})
+	}
+}
+
+// A3 — keyword auto-learning coverage gain.
+func BenchmarkAblationKeywordLearning(b *testing.B) {
+	for _, learning := range []bool{false, true} {
+		name := "seeds-only"
+		if learning {
+			name = "with-learning"
+		}
+		b.Run(name, func(b *testing.B) {
+			fw := benchFramework(b, core.Config{})
+			ctx := context.Background()
+			var posts float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fw.RunSocial(ctx, core.SocialInput{DisableLearning: !learning})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total := 0
+				for _, e := range res.Index.Entries {
+					total += e.Posts
+				}
+				posts = float64(total)
+			}
+			b.ReportMetric(posts, "posts-covered")
+		})
+	}
+}
+
+// A4 — time-window sweep: physical share of the ECM threat by window
+// start year.
+func BenchmarkAblationWindowSweep(b *testing.B) {
+	for _, year := range []int{2019, 2020, 2021, 2022, 2023} {
+		b.Run(time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC).Format("since-2006"), func(b *testing.B) {
+			fw := benchFramework(b, core.Config{})
+			ctx := context.Background()
+			since := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
+			var physShare float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fw.RunSocial(ctx, core.SocialInput{
+					Since:           since,
+					DisableLearning: true,
+					Threats:         []*tara.ThreatScenario{benchECMThreat()},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				physShare = res.Tunings[0].VectorShares[tara.VectorPhysical]
+			}
+			b.ReportMetric(physShare, "physical-share")
+		})
+	}
+}
+
+// A5 — PPIA sensitivity to the price-clustering k.
+func BenchmarkAblationPriceClusterK(b *testing.B) {
+	for _, k := range []int{2, 3, 4, 5} {
+		b.Run(string(rune('k'))+"="+string(rune('0'+k)), func(b *testing.B) {
+			fw := benchFramework(b, core.Config{PriceClusters: k})
+			var ppia float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fw.RunFinancial(excavatorInput())
+				if err != nil {
+					b.Fatal(err)
+				}
+				ppia = res.PPIA.Units()
+			}
+			b.ReportMetric(ppia, "ppia-eur")
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Command psp-experiments regenerates every figure and table of the PSP
+// paper from the reproduction substrates. Each experiment is addressed
+// by the identifier used in DESIGN.md and EXPERIMENTS.md (fig3, fig5,
+// ..., eq6, eq7); "all" runs the full set in order.
+//
+// Usage:
+//
+//	psp-experiments [-run all|fig1|fig2|...|eq7] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (all, fig1..fig12, eq6, eq7)")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	flag.Parse()
+	if err := runExperiments(os.Stdout, *run, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "psp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(w io.Writer, which string, seed int64) error {
+	env, err := newEnv(seed)
+	if err != nil {
+		return err
+	}
+	if which == "all" {
+		for _, id := range experimentOrder {
+			if err := runOne(w, env, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(w, env, strings.ToLower(which))
+}
+
+func runOne(w io.Writer, env *env, id string) error {
+	exp, ok := experiments[id]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(knownIDs(), ", "))
+	}
+	fmt.Fprintf(w, "==== %s — %s ====\n\n", strings.ToUpper(id), exp.title)
+	if err := exp.run(w, env); err != nil {
+		return fmt.Errorf("experiment %s: %w", id, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func knownIDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

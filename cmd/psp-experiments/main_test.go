@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+func TestRunAllExperiments(t *testing.T) {
+	var buf strings.Builder
+	if err := runExperiments(&buf, "all", 42); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every experiment banner appears.
+	for _, id := range experimentOrder {
+		if !strings.Contains(out, strings.ToUpper(id)+" —") {
+			t.Errorf("output misses experiment %s", id)
+		}
+	}
+	// The headline numbers of the paper.
+	for _, marker := range []string{
+		"506,160.00 EUR",                     // Eq. 6
+		"145,286.67 EUR",                     // Eq. 7
+		"break-even point: 1406",             // Fig. 11
+		"DPF delete",                         // Fig. 12 top entry
+		"TARA reprocessing events: 7",        // Fig. 2 (6 phases + 1 field event)
+		"ceiling for physical attacks: CAL2", // Fig. 6
+		"0% under signal-extinction DoS",     // supplementary DoS run
+		"defence on : top entry DPF delete",  // poisoning defence
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output misses marker %q", marker)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := runExperiments(&buf, "fig5", 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), tara.StandardVectorTable().Name) {
+		t.Errorf("fig5 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := runExperiments(&buf, "fig99", 42); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

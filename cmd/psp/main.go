@@ -1,0 +1,396 @@
+// Command psp is the PSP framework command-line interface.
+//
+// Subcommands:
+//
+//	psp sai      -app excavator -region EU [-since 2022-01-01] [-until ...]
+//	psp weights  -threat "ECM reprogramming" -tags chiptuning,remap [-since ...]
+//	psp finance  -category dpf-tampering -app excavator -region EU -year 2022 -maker TerraMach
+//	psp tara     (runs the built-in ECM example analysis)
+//
+// By default the subcommands run against the built-in reference corpus
+// and market dataset; -server switches the social source to a remote
+// sociald instance, exercising the HTTP client path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	psp "github.com/psp-framework/psp"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "psp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: psp <sai|weights|finance|tara> [flags]")
+	}
+	switch args[0] {
+	case "sai":
+		return runSAI(w, args[1:])
+	case "weights":
+		return runWeights(w, args[1:])
+	case "finance":
+		return runFinance(w, args[1:])
+	case "tara":
+		return runTARA(w, args[1:])
+	case "trend":
+		return runTrend(w, args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want sai, weights, finance, tara or trend)", args[0])
+	}
+}
+
+func runTrend(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	tags := fs.String("tags", "chiptuning,ecutune,remap,stage1", "comma-separated attack hashtags")
+	app := fs.String("app", "", "target application filter")
+	region := fs.String("region", "", "region code filter")
+	common := addCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := common.framework()
+	if err != nil {
+		return err
+	}
+	since, until, err := common.window()
+	if err != nil {
+		return err
+	}
+	trend, err := fw.TopicTrend(context.Background(), splitTrim(*tags), psp.SocialInput{
+		Application: *app,
+		Region:      psp.Region(*region),
+		Since:       since,
+		Until:       until,
+	})
+	if err != nil {
+		return err
+	}
+	chart, err := psp.RenderTrendChart(trend, fmt.Sprintf("Quarterly attraction — tags %s", *tags))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, chart)
+	return nil
+}
+
+// commonFlags holds the flags shared by the social subcommands.
+type commonFlags struct {
+	seed   *int64
+	server *string
+	since  *string
+	until  *string
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	return &commonFlags{
+		seed:   fs.Int64("seed", 42, "reference corpus seed"),
+		server: fs.String("server", "", "remote sociald base URL (empty = in-process corpus)"),
+		since:  fs.String("since", "", "window start (YYYY-MM-DD)"),
+		until:  fs.String("until", "", "window end (YYYY-MM-DD, exclusive)"),
+	}
+}
+
+func (c *commonFlags) framework() (*psp.Framework, error) {
+	if *c.server == "" {
+		return psp.NewDefault(*c.seed)
+	}
+	ds, err := psp.DefaultMarketDataset()
+	if err != nil {
+		return nil, err
+	}
+	return psp.New(psp.Config{
+		Searcher: psp.NewSocialClient(*c.server),
+		Market:   ds,
+	})
+}
+
+func (c *commonFlags) window() (since, until time.Time, err error) {
+	parse := func(s string) (time.Time, error) {
+		if s == "" {
+			return time.Time{}, nil
+		}
+		return time.Parse("2006-01-02", s)
+	}
+	if since, err = parse(*c.since); err != nil {
+		return
+	}
+	until, err = parse(*c.until)
+	return
+}
+
+func runSAI(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("sai", flag.ContinueOnError)
+	app := fs.String("app", "", "target application (e.g. excavator)")
+	region := fs.String("region", "", "region code (EU, NA, APAC)")
+	filter := fs.Bool("filter", false, "drop inauthentic posts (poisoning defence)")
+	common := addCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := common.framework()
+	if err != nil {
+		return err
+	}
+	since, until, err := common.window()
+	if err != nil {
+		return err
+	}
+	res, err := fw.RunSocial(context.Background(), psp.SocialInput{
+		Application:       *app,
+		Region:            psp.Region(*region),
+		Since:             since,
+		Until:             until,
+		FilterInauthentic: *filter,
+	})
+	if err != nil {
+		return err
+	}
+	if *filter {
+		fmt.Fprintf(w, "poisoning defence: dropped %d inauthentic posts\n\n", res.InauthenticFiltered)
+	}
+	title := "Social Attraction Index"
+	if *app != "" {
+		title += fmt.Sprintf(" — %q", *app)
+	}
+	fmt.Fprint(w, psp.RenderSAITable(res.Index, title))
+	chart, err := psp.RenderSAIChart(res.Index, "")
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, chart)
+	if len(res.Learned) > 0 {
+		fmt.Fprintln(w, "auto-learned keywords:")
+		for topic, tags := range res.Learned {
+			fmt.Fprintf(w, "  %s: %v\n", topic, tags)
+		}
+	}
+	return nil
+}
+
+func runWeights(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("weights", flag.ContinueOnError)
+	threatName := fs.String("threat", "ECM reprogramming", "threat scenario name")
+	tags := fs.String("tags", "chiptuning,ecutune,remap,stage1", "comma-separated attack hashtags")
+	app := fs.String("app", "", "target application filter")
+	region := fs.String("region", "", "region code filter")
+	common := addCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := common.framework()
+	if err != nil {
+		return err
+	}
+	since, until, err := common.window()
+	if err != nil {
+		return err
+	}
+	threat := &psp.ThreatScenario{
+		ID: "TS-CLI-01", Name: *threatName,
+		DamageIDs: []string{"DS-CLI"},
+		Property:  psp.PropertyIntegrity,
+		STRIDE:    psp.Tampering,
+		Profiles:  []psp.AttackerProfile{psp.ProfileInsider},
+		Vector:    psp.VectorPhysical,
+		Keywords:  splitTrim(*tags),
+	}
+	res, err := fw.RunSocial(context.Background(), psp.SocialInput{
+		Application: *app,
+		Region:      psp.Region(*region),
+		Since:       since,
+		Until:       until,
+		Threats:     []*psp.ThreatScenario{threat},
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.Tunings) == 0 {
+		return fmt.Errorf("no tuning produced for threat %q", *threatName)
+	}
+	fmt.Fprint(w, psp.RenderTuningComparison(res.OutsiderTable, res.Tunings[0]))
+	return nil
+}
+
+func runFinance(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("finance", flag.ContinueOnError)
+	category := fs.String("category", "dpf-tampering", "attack category key")
+	app := fs.String("app", "excavator", "vehicle application")
+	region := fs.String("region", "EU", "region code")
+	year := fs.Int("year", 2022, "sales year")
+	maker := fs.String("maker", "TerraMach", "maker (non-monopolistic markets)")
+	mono := fs.Bool("monopolistic", false, "use total vehicle sales instead of maker share")
+	seed := fs.Int64("seed", 42, "reference corpus seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := psp.NewDefault(*seed)
+	if err != nil {
+		return err
+	}
+	in := psp.FinancialInput{
+		Category:    *category,
+		Application: *app,
+		Region:      *region,
+		Year:        *year,
+		MarketKind:  psp.NonMonopolistic,
+		Maker:       *maker,
+	}
+	if *mono {
+		in.MarketKind = psp.Monopolistic
+		in.Maker = ""
+	}
+	res, err := fw.RunFinancial(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, psp.RenderFinancialSummary(res,
+		fmt.Sprintf("Financial feasibility — %s / %s / %s / %d", *category, *app, *region, *year)))
+	diagram, err := psp.RenderBEPDiagram(res.Curve, "Break-even diagram")
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, diagram)
+	return nil
+}
+
+func runTARA(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("tara", flag.ContinueOnError)
+	retuned := fs.Bool("psp", false, "install the PSP-retuned vector table before running")
+	seed := fs.Int64("seed", 42, "reference corpus seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	analysis := buildECMAnalysis()
+	if *retuned {
+		fw, err := psp.NewDefault(*seed)
+		if err != nil {
+			return err
+		}
+		res, err := fw.RunSocial(context.Background(), psp.SocialInput{
+			Threats: []*psp.ThreatScenario{analysis.Threats[0]},
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.Tunings) > 0 && res.Tunings[0].Insider {
+			analysis.VectorModel = res.Tunings[0].Table
+		}
+	}
+	results, err := analysis.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "TARA — %s (vector model: %s)\n\n", analysis.Item.Name, analysis.VectorModel.Name)
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %-28s impact=%-10s feasibility=%-9s risk=%s treatment=%-7s CAL=%s\n",
+			r.Threat.ID, r.Threat.Name, r.Impact, r.Feasibility, r.Risk, r.Treatment, r.CAL)
+	}
+	// Concept phase (§9.4): goals for treated risks, claims for the rest.
+	concept, err := psp.DeriveConcept(results)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\ncybersecurity goals:")
+	if len(concept.Goals) == 0 {
+		fmt.Fprintln(w, "  (none — all risks retained or shared)")
+	}
+	for _, g := range concept.Goals {
+		fmt.Fprintf(w, "  %s [%s, risk %s] %s\n", g.ID, g.CAL, g.Risk, g.Statement)
+	}
+	fmt.Fprintln(w, "cybersecurity claims:")
+	if len(concept.Claims) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, c := range concept.Claims {
+		fmt.Fprintf(w, "  %s %s\n", c.ID, c.Rationale)
+	}
+	return nil
+}
+
+// buildECMAnalysis assembles the paper's ECM item analysis.
+func buildECMAnalysis() *psp.Analysis {
+	item := &psp.Item{
+		Name:        "Engine Control Module",
+		Description: "Hard real-time powertrain ECU on the CAN powertrain subnet",
+		Assets: []*psp.Asset{
+			{
+				ID: "ECM-FW", Name: "ECM firmware and calibration",
+				Properties: []psp.SecurityProperty{psp.PropertyIntegrity, psp.PropertyAuthenticity},
+				ECU:        "ECM",
+			},
+			{
+				ID: "ECM-CAN", Name: "Powertrain CAN traffic",
+				Properties: []psp.SecurityProperty{psp.PropertyIntegrity, psp.PropertyAvailability},
+				ECU:        "ECM",
+			},
+		},
+	}
+	a := psp.NewAnalysis(item)
+	a.AddDamage(&psp.DamageScenario{
+		ID:          "DS-01",
+		Description: "Emission controls defeated in the field",
+		AssetIDs:    []string{"ECM-FW"},
+		Impacts: map[psp.ImpactCategory]psp.ImpactRating{
+			psp.CategorySafety:    psp.ImpactModerate,
+			psp.CategoryFinancial: psp.ImpactMajor,
+		},
+	})
+	a.AddDamage(&psp.DamageScenario{
+		ID:          "DS-02",
+		Description: "Loss of torque control while driving",
+		AssetIDs:    []string{"ECM-CAN"},
+		Impacts: map[psp.ImpactCategory]psp.ImpactRating{
+			psp.CategorySafety: psp.ImpactSevere,
+		},
+	})
+	a.AddThreat(&psp.ThreatScenario{
+		ID: "TS-01", Name: "ECM reprogramming",
+		DamageIDs: []string{"DS-01"},
+		AssetIDs:  []string{"ECM-FW"},
+		Property:  psp.PropertyIntegrity,
+		STRIDE:    psp.Tampering,
+		Profiles:  []psp.AttackerProfile{psp.ProfileInsider, psp.ProfileRational, psp.ProfileLocal},
+		Vector:    psp.VectorPhysical,
+		Keywords:  []string{"chiptuning", "ecutune", "remap", "stage1"},
+	})
+	a.AddThreat(&psp.ThreatScenario{
+		ID: "TS-02", Name: "Powertrain CAN DoS",
+		DamageIDs: []string{"DS-02"},
+		AssetIDs:  []string{"ECM-CAN"},
+		Property:  psp.PropertyAvailability,
+		STRIDE:    psp.DenialOfService,
+		Profiles:  []psp.AttackerProfile{psp.ProfileOutsider, psp.ProfileMalicious},
+		Vector:    psp.VectorPhysical,
+	})
+	a.AddPath(&psp.AttackPath{
+		ID: "AP-01", ThreatID: "TS-01",
+		Steps: []psp.AttackStep{
+			{Description: "access cabin OBD port", Vector: psp.VectorLocal},
+			{Description: "bench-flash modified calibration", Vector: psp.VectorPhysical},
+		},
+	})
+	return a
+}
+
+func splitTrim(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCLISubcommands(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		markers []string
+	}{
+		{
+			name:    "sai",
+			args:    []string{"sai", "-app", "excavator", "-region", "EU"},
+			markers: []string{"DPF delete", "Probability"},
+		},
+		{
+			name: "weights",
+			args: []string{"weights", "-threat", "ECM reprogramming",
+				"-tags", "chiptuning,ecutune,remap,stage1"},
+			markers: []string{"Outsider threats", "PSP-tuned", "corrective factors"},
+		},
+		{
+			name: "weights windowed",
+			args: []string{"weights", "-since", "2022-01-01",
+				"-tags", "chiptuning,ecutune,remap,stage1"},
+			markers: []string{"since 2022-01-01"},
+		},
+		{
+			name:    "finance",
+			args:    []string{"finance"},
+			markers: []string{"506,160.00 EUR", "145,286.67 EUR", "break-even point: 1406"},
+		},
+		{
+			name:    "finance monopolistic",
+			args:    []string{"finance", "-monopolistic"},
+			markers: []string{"84300"},
+		},
+		{
+			name:    "tara",
+			args:    []string{"tara"},
+			markers: []string{"ECM reprogramming", "R1"},
+		},
+		{
+			name:    "tara with psp weights",
+			args:    []string{"tara", "-psp"},
+			markers: []string{"PSP insider", "R4"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf strings.Builder
+			if err := run(&buf, tt.args); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+			for _, m := range tt.markers {
+				if !strings.Contains(buf.String(), m) {
+					t.Errorf("output misses %q:\n%s", m, buf.String())
+				}
+			}
+		})
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run(&buf, []string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(&buf, []string{"sai", "-since", "not-a-date"}); err == nil {
+		t.Error("bad date accepted")
+	}
+	if err := run(&buf, []string{"finance", "-category", "no-such-category"}); err == nil {
+		t.Error("unknown category accepted")
+	}
+}
+
+func TestCLITrendSubcommand(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []string{"trend", "-until", "2023-01-01"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trend: rising") {
+		t.Errorf("trend output wrong:\n%s", buf.String())
+	}
+	if err := run(&buf, []string{"trend", "-tags", ""}); err == nil {
+		t.Error("empty tags accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Command sociald serves the synthetic social-media corpus over the
+// HTTP search API, standing in for the remote social platform the PSP
+// paper's prototype queried. Point `psp sai -server http://...` or a
+// custom psp.SocialClient at it.
+//
+// Usage:
+//
+//	sociald [-addr :8384] [-seed 42] [-rate 50] [-burst 100]
+//	        [-corpus snapshot.jsonl] [-dump snapshot.jsonl]
+//
+// -corpus loads a JSON Lines snapshot instead of generating the
+// reference corpus; -dump writes the served corpus to a snapshot and
+// exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	psp "github.com/psp-framework/psp"
+)
+
+func main() {
+	addr := flag.String("addr", ":8384", "listen address")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	rate := flag.Float64("rate", 50, "requests per second refill rate (0 disables limiting)")
+	burst := flag.Int("burst", 100, "rate limiter burst capacity")
+	corpus := flag.String("corpus", "", "load corpus from a JSON Lines snapshot instead of generating")
+	dump := flag.String("dump", "", "write the corpus to a JSON Lines snapshot and exit")
+	flag.Parse()
+	if err := run(*addr, *seed, *rate, *burst, *corpus, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "sociald:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed int64, rate float64, burst int, corpus, dump string) error {
+	store, err := loadCorpus(seed, corpus)
+	if err != nil {
+		return err
+	}
+	if dump != "" {
+		return dumpCorpus(store, seed, dump)
+	}
+	var limiter *psp.RateLimiter
+	if rate > 0 {
+		limiter = newLimiter(burst, rate)
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           psp.NewSocialServer(store, limiter).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("sociald: serving %d posts on %s (seed %d)", store.Len(), addr, seed)
+	return srv.ListenAndServe()
+}
+
+func newLimiter(burst int, rate float64) *psp.RateLimiter {
+	return psp.NewRateLimiter(burst, rate)
+}
+
+// loadCorpus builds the store from a snapshot file or the generator.
+func loadCorpus(seed int64, path string) (*psp.SocialStore, error) {
+	if path == "" {
+		return psp.DefaultSocialStore(seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open corpus: %w", err)
+	}
+	defer f.Close()
+	store, err := psp.LoadSocialStore(f)
+	if err != nil {
+		return nil, fmt.Errorf("load corpus %s: %w", path, err)
+	}
+	return store, nil
+}
+
+// dumpCorpus regenerates the reference corpus posts and writes them as a
+// snapshot.
+func dumpCorpus(store *psp.SocialStore, seed int64, path string) error {
+	posts, err := psp.GenerateCorpus(psp.DefaultCorpusSpec(seed))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create snapshot: %w", err)
+	}
+	defer f.Close()
+	if err := psp.WriteSocialPosts(f, posts); err != nil {
+		return err
+	}
+	log.Printf("sociald: wrote %d posts (of %d stored) to %s", len(posts), store.Len(), path)
+	return f.Close()
+}

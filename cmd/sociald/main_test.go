@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCorpusGeneratesByDefault(t *testing.T) {
+	store, err := loadCorpus(42, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("generated store is empty")
+	}
+}
+
+func TestDumpAndLoadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.jsonl")
+
+	store, err := loadCorpus(7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpCorpus(store, 7, path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("snapshot missing or empty: %v", err)
+	}
+
+	back, err := loadCorpus(0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != store.Len() {
+		t.Errorf("snapshot round trip: %d posts, want %d", back.Len(), store.Len())
+	}
+}
+
+func TestLoadCorpusMissingFile(t *testing.T) {
+	if _, err := loadCorpus(0, "/nonexistent/corpus.jsonl"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

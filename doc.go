@@ -1,0 +1,31 @@
+// Package psp is the public facade of the PSP framework — an
+// implementation of "PSP Framework: A novel risk assessment method in
+// compliance with ISO/SAE-21434" (Oberti, Sanchez, Savino, Parisi,
+// Di Carlo; DSN 2023).
+//
+// The PSP framework augments the static Threat Analysis and Risk
+// Assessment (TARA) models of ISO/SAE 21434 with two dynamic inputs:
+//
+//   - social sentiment: a Social Attraction Index (SAI) computed over
+//     attack-related social-media posts retunes the standard's
+//     attack-vector feasibility tables for insider threat scenarios; and
+//   - financial exposure: market value, break-even and adversary
+//     fixed-cost equations turn market data into an attack feasibility
+//     rating and a security budget the product must withstand.
+//
+// # Quick start
+//
+//	fw, err := psp.NewDefault(42) // reference corpus + market dataset
+//	if err != nil { ... }
+//	res, err := fw.RunSocial(ctx, psp.SocialInput{
+//	    Application: "excavator",
+//	    Region:      psp.RegionEurope,
+//	})
+//	top, _ := res.Index.Top() // "DPF delete"
+//
+// The facade re-exports the domain types of the internal packages
+// (tara, social, sai, finance, market, core, report) so downstream users
+// program against a single import path. Everything is deterministic:
+// stochastic components take explicit seeds and no library code calls
+// time.Now.
+package psp

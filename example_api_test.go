@@ -1,0 +1,113 @@
+package psp_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	psp "github.com/psp-framework/psp"
+)
+
+// ExampleNewDefault shows the one-call setup over the reference corpus
+// and the excavator SAI verdict of the paper's Fig. 12.
+func ExampleNewDefault() {
+	fw, err := psp.NewDefault(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.RunSocial(context.Background(), psp.SocialInput{
+		Application: "excavator",
+		Region:      psp.RegionEurope,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := res.Index.Top()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(top.Topic)
+	// Output: DPF delete
+}
+
+// ExampleFramework_RunFinancial reproduces Equations 6 and 7 of the
+// paper: the market value of DPF tampering on European excavators and
+// the adversary investment the product must withstand.
+func ExampleFramework_RunFinancial() {
+	fw, err := psp.NewDefault(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.RunFinancial(psp.FinancialInput{
+		Category:    "dpf-tampering",
+		Application: "excavator",
+		Region:      "EU",
+		Year:        2022,
+		MarketKind:  psp.NonMonopolistic,
+		Maker:       "TerraMach",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PAE = %d\n", res.PAE)
+	fmt.Printf("MV  = %s\n", res.MV)
+	fmt.Printf("FC  = %s\n", res.SecurityBudget)
+	// Output:
+	// PAE = 1406
+	// MV  = 506,160.00 EUR
+	// FC  = 145,286.67 EUR
+}
+
+// ExampleStandardVectorTable prints the static G.9 table the PSP
+// framework retunes (Fig. 5 of the paper).
+func ExampleStandardVectorTable() {
+	fmt.Print(psp.RenderVectorTable(psp.StandardVectorTable()))
+	// Output:
+	// ISO/SAE 21434 G.9 (attack vector-based)
+	// +---------------+---------------------------+
+	// | Attack vector | Attack feasibility rating |
+	// +---------------+---------------------------+
+	// | Network       | High                      |
+	// | Adjacent      | Medium                    |
+	// | Local         | Low                       |
+	// | Physical      | Very Low                  |
+	// +---------------+---------------------------+
+}
+
+// ExampleDeriveConcept shows the §9.4 concept phase: goals for treated
+// risks, claims for retained ones.
+func ExampleDeriveConcept() {
+	item := &psp.Item{
+		Name: "Engine Control Module",
+		Assets: []*psp.Asset{{
+			ID: "FW", Name: "Firmware",
+			Properties: []psp.SecurityProperty{psp.PropertyIntegrity},
+		}},
+	}
+	a := psp.NewAnalysis(item)
+	a.AddDamage(&psp.DamageScenario{
+		ID: "DS-1", AssetIDs: []string{"FW"},
+		Impacts: map[psp.ImpactCategory]psp.ImpactRating{
+			psp.CategorySafety: psp.ImpactSevere,
+		},
+	})
+	a.AddThreat(&psp.ThreatScenario{
+		ID: "TS-1", Name: "Firmware tampering",
+		DamageIDs: []string{"DS-1"},
+		Property:  psp.PropertyIntegrity,
+		STRIDE:    psp.Tampering,
+		Vector:    psp.VectorNetwork,
+	})
+	results, err := a.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	concept, err := psp.DeriveConcept(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range concept.Goals {
+		fmt.Printf("%s at %s\n", g.ID, g.CAL)
+	}
+	// Output: CG-TS-1 at CAL4
+}

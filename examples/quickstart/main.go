@@ -1,0 +1,54 @@
+// Quickstart: build a PSP framework over the built-in reference corpus,
+// compute the Social Attraction Index for European excavators, and print
+// the ranking with the top threat's attack probability.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	psp "github.com/psp-framework/psp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// NewDefault wires the deterministic reference corpus (seeded) and
+	// the calibrated market dataset.
+	fw, err := psp.NewDefault(42)
+	if err != nil {
+		return fmt.Errorf("build framework: %w", err)
+	}
+
+	// One call runs the Fig. 7 social workflow: keyword query,
+	// auto-learning, SAI computation, insider/outsider classification.
+	res, err := fw.RunSocial(context.Background(), psp.SocialInput{
+		Application: "excavator",
+		Region:      psp.RegionEurope,
+	})
+	if err != nil {
+		return fmt.Errorf("social workflow: %w", err)
+	}
+
+	fmt.Print(psp.RenderSAITable(res.Index, "Social Attraction Index — excavators, Europe"))
+
+	top, err := res.Index.Top()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmost attractive insider attack: %s (probability %.1f%%, %d posts)\n",
+		top.Topic, top.Probability*100, top.Posts)
+
+	if len(res.Learned) > 0 {
+		fmt.Println("\nkeywords auto-learned this run:")
+		for topic, tags := range res.Learned {
+			fmt.Printf("  %-22s %v\n", topic+":", tags)
+		}
+	}
+	return nil
+}

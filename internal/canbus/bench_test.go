@@ -1,0 +1,71 @@
+package canbus
+
+import "testing"
+
+// BenchmarkBusArbitration measures raw slot throughput with four
+// contending periodic senders.
+func BenchmarkBusArbitration(b *testing.B) {
+	bus := NewBus()
+	bus.TraceLimit = 1 // avoid unbounded trace growth during the bench
+	senders := []*PeriodicSender{
+		NewPeriodicSender("a", Frame{ID: 0x0C0, Data: []byte{1, 2}}, 2),
+		NewPeriodicSender("b", Frame{ID: 0x1A0, Data: []byte{3}}, 3),
+		NewPeriodicSender("c", Frame{ID: 0x2F0, Data: []byte{4, 5, 6}}, 5),
+		NewPeriodicSender("d", Frame{ID: 0x3B0, Data: []byte{7}}, 7),
+	}
+	for _, s := range senders {
+		if err := bus.Attach(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bus.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignalExtinctionDoS measures the DoS scenario end to end.
+func BenchmarkSignalExtinctionDoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bus := NewBus()
+		bus.TraceLimit = 1
+		victim := NewPeriodicSender("victim", Frame{ID: 0x0C0}, 2)
+		attacker := NewFlooder("attacker", Frame{ID: 0x000})
+		if err := bus.Attach(victim, attacker); err != nil {
+			b.Fatal(err)
+		}
+		if err := bus.Run(200); err != nil {
+			b.Fatal(err)
+		}
+		if victim.DeliveryRate() > 0.05 {
+			b.Fatalf("DoS ineffective: %.2f", victim.DeliveryRate())
+		}
+	}
+}
+
+// BenchmarkUDSFlash measures a full reprogramming session.
+func BenchmarkUDSFlash(b *testing.B) {
+	secret := []byte{0xA5, 0x5A}
+	firmware := make([]byte, 256)
+	for i := range firmware {
+		firmware[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus := NewBus()
+		bus.TraceLimit = 1
+		ecm := NewECU("ECM", 0x7E0, 0x7E8, secret, []byte{0})
+		tool := NewTester("tool", 0x7E8, FlashScript(0x7E0, secret, firmware))
+		if err := bus.Attach(ecm, tool); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunUntilDone(bus, tool, 10000); err != nil {
+			b.Fatal(err)
+		}
+		if tool.Failed() != 0 {
+			b.Fatalf("flash failed: NRC 0x%02X", tool.Failed())
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package canbus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a bus participant. Each slot the bus collects every node's
+// pending frame, arbitrates, delivers the winner to all nodes and
+// notifies the winner.
+type Node interface {
+	// Name identifies the node in traces.
+	Name() string
+	// Pending returns the frame the node wants to transmit this slot,
+	// or false when idle. The bus clones the frame before delivery.
+	Pending(slot int) (Frame, bool)
+	// Sent tells the node its pending frame won arbitration this slot.
+	Sent(slot int)
+	// Receive delivers the slot winner to every node (including the
+	// sender, matching CAN's broadcast nature).
+	Receive(slot int, f Frame)
+}
+
+// Delivery records one delivered frame.
+type Delivery struct {
+	Slot   int
+	Sender string
+	Frame  Frame
+}
+
+// Bus is a discrete-time CAN segment.
+type Bus struct {
+	nodes []Node
+	slot  int
+	trace []Delivery
+	// TraceLimit caps the retained trace (0 = unlimited).
+	TraceLimit int
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach adds nodes to the bus; duplicate names are rejected.
+func (b *Bus) Attach(nodes ...Node) error {
+	for _, n := range nodes {
+		for _, existing := range b.nodes {
+			if existing.Name() == n.Name() {
+				return fmt.Errorf("canbus: duplicate node %q", n.Name())
+			}
+		}
+		b.nodes = append(b.nodes, n)
+	}
+	return nil
+}
+
+// Slot returns the current slot counter.
+func (b *Bus) Slot() int { return b.slot }
+
+// Trace returns the recorded deliveries.
+func (b *Bus) Trace() []Delivery { return b.trace }
+
+// Step advances one bus slot: arbitration among pending frames (lowest
+// identifier wins; ties break by node attachment order, standing in for
+// bit-level arbitration of identical identifiers) and broadcast of the
+// winner. It reports whether any frame was delivered.
+func (b *Bus) Step() (bool, error) {
+	slot := b.slot
+	b.slot++
+	type contender struct {
+		node  Node
+		frame Frame
+		order int
+	}
+	var contenders []contender
+	for i, n := range b.nodes {
+		f, ok := n.Pending(slot)
+		if !ok {
+			continue
+		}
+		if err := f.Validate(); err != nil {
+			return false, fmt.Errorf("node %s: %w", n.Name(), err)
+		}
+		contenders = append(contenders, contender{node: n, frame: f.Clone(), order: i})
+	}
+	if len(contenders) == 0 {
+		return false, nil
+	}
+	sort.Slice(contenders, func(i, j int) bool {
+		if contenders[i].frame.ID != contenders[j].frame.ID {
+			return contenders[i].frame.ID < contenders[j].frame.ID
+		}
+		return contenders[i].order < contenders[j].order
+	})
+	winner := contenders[0]
+	winner.node.Sent(slot)
+	for _, n := range b.nodes {
+		n.Receive(slot, winner.frame)
+	}
+	if b.TraceLimit == 0 || len(b.trace) < b.TraceLimit {
+		b.trace = append(b.trace, Delivery{Slot: slot, Sender: winner.node.Name(), Frame: winner.frame})
+	}
+	return true, nil
+}
+
+// Run advances n slots.
+func (b *Bus) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := b.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeliveredCount counts trace deliveries with the given identifier.
+func (b *Bus) DeliveredCount(id uint16) int {
+	n := 0
+	for _, d := range b.trace {
+		if d.Frame.ID == id {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,315 @@
+package canbus
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameValidate(t *testing.T) {
+	if err := (Frame{ID: 0x100, Data: []byte{1, 2}}).Validate(); err != nil {
+		t.Errorf("valid frame rejected: %v", err)
+	}
+	if err := (Frame{ID: 0x800}).Validate(); err == nil {
+		t.Error("12-bit identifier accepted")
+	}
+	if err := (Frame{ID: 1, Data: make([]byte, 9)}).Validate(); err == nil {
+		t.Error("9-byte payload accepted")
+	}
+	f := Frame{ID: 0x123, Data: []byte{0xAB}}
+	if f.String() != "0x123#AB" {
+		t.Errorf("String() = %q", f.String())
+	}
+	cl := f.Clone()
+	cl.Data[0] = 0
+	if f.Data[0] != 0xAB {
+		t.Error("Clone aliases payload")
+	}
+}
+
+func TestArbitrationLowestIDWins(t *testing.T) {
+	bus := NewBus()
+	hi := NewPeriodicSender("hi", Frame{ID: 0x100, Data: []byte{1}}, 1)
+	lo := NewPeriodicSender("lo", Frame{ID: 0x200, Data: []byte{2}}, 1)
+	if err := bus.Attach(hi, lo); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// The 0x100 sender wins every slot; 0x200 never transmits.
+	if got := bus.DeliveredCount(0x100); got != 10 {
+		t.Errorf("high-priority deliveries = %d, want 10", got)
+	}
+	if got := bus.DeliveredCount(0x200); got != 0 {
+		t.Errorf("low-priority deliveries = %d, want 0", got)
+	}
+	if _, _, misses := lo.Stats(); misses == 0 {
+		t.Error("starved sender recorded no deadline misses")
+	}
+}
+
+func TestBusInterleavesDifferentPeriods(t *testing.T) {
+	bus := NewBus()
+	fast := NewPeriodicSender("fast", Frame{ID: 0x100}, 2)
+	slow := NewPeriodicSender("slow", Frame{ID: 0x200}, 4)
+	if err := bus.Attach(fast, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	// fast generates every 2 slots, slow every 4; the bus has capacity
+	// for both, so both achieve full delivery.
+	if fast.DeliveryRate() < 0.95 {
+		t.Errorf("fast delivery rate = %.2f", fast.DeliveryRate())
+	}
+	if slow.DeliveryRate() < 0.95 {
+		t.Errorf("slow delivery rate = %.2f (stats %v)", slow.DeliveryRate(), bus.DeliveredCount(0x200))
+	}
+}
+
+func TestAttachRejectsDuplicates(t *testing.T) {
+	bus := NewBus()
+	a := NewPeriodicSender("a", Frame{ID: 1}, 1)
+	b := NewPeriodicSender("a", Frame{ID: 2}, 1)
+	if err := bus.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(b); err == nil {
+		t.Error("duplicate node name accepted")
+	}
+}
+
+func TestStepRejectsInvalidFrames(t *testing.T) {
+	bus := NewBus()
+	bad := NewPeriodicSender("bad", Frame{ID: 0x900}, 1)
+	if err := bus.Attach(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Step(); err == nil {
+		t.Error("invalid frame transmitted")
+	}
+}
+
+func TestSignalExtinctionDoS(t *testing.T) {
+	// The paper's powertrain DoS: a flooding attacker with a
+	// top-priority identifier starves the torque frame completely.
+	bus := NewBus()
+	torque := NewPeriodicSender("ECM-torque", Frame{ID: 0x0C0, Data: []byte{0x10, 0x27}}, 2)
+	attacker := NewFlooder("attacker", Frame{ID: 0x000})
+	monitor := NewMonitor("monitor", func(f Frame) bool { return f.ID == 0x0C0 })
+	if err := bus.Attach(torque, attacker, monitor); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if rate := torque.DeliveryRate(); rate > 0.03 {
+		t.Errorf("torque delivery rate under attack = %.3f, want ≈0", rate)
+	}
+	if len(monitor.Seen()) != 0 {
+		t.Errorf("monitor saw %d torque frames under attack", len(monitor.Seen()))
+	}
+	if attacker.SentCount() != 100 {
+		t.Errorf("attacker sent %d frames, want 100", attacker.SentCount())
+	}
+
+	// Stopping the attack restores delivery.
+	attacker.Active = false
+	genBefore, delBefore, _ := torque.Stats()
+	if err := bus.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	genAfter, delAfter, _ := torque.Stats()
+	recovered := float64(delAfter-delBefore) / float64(genAfter-genBefore)
+	if recovered < 0.95 {
+		t.Errorf("post-attack delivery rate = %.2f, want ≈1", recovered)
+	}
+	if len(monitor.Seen()) == 0 {
+		t.Error("monitor saw no torque frames after the attack stopped")
+	}
+}
+
+func TestUDSFlashHappyPath(t *testing.T) {
+	// The local/OBD reprogramming attack: a tester with the leaked
+	// seed/key secret reflashes the ECM through the diagnostic session.
+	secret := []byte{0xA5, 0x5A}
+	oldFW := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	newFW := []byte("TUNED-CALIBRATION-v2")
+	bus := NewBus()
+	ecm := NewECU("ECM", 0x7E0, 0x7E8, secret, oldFW)
+	tool := NewTester("obd-tool", 0x7E8, FlashScript(0x7E0, secret, newFW))
+	if err := bus.Attach(ecm, tool); err != nil {
+		t.Fatal(err)
+	}
+	slots, err := RunUntilDone(bus, tool, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Failed() != 0 {
+		t.Fatalf("flash aborted with NRC 0x%02X", tool.Failed())
+	}
+	if !bytes.Equal(ecm.Firmware, newFW) {
+		t.Errorf("firmware = %q, want %q", ecm.Firmware, newFW)
+	}
+	if ecm.FlashCount != 1 {
+		t.Errorf("FlashCount = %d, want 1", ecm.FlashCount)
+	}
+	if ecm.Session() != SessionProgramming || !ecm.Unlocked() {
+		t.Error("ECU state inconsistent after flash")
+	}
+	if slots == 0 || slots >= 1000 {
+		t.Errorf("flash took %d slots", slots)
+	}
+}
+
+func TestUDSWrongKeyRejected(t *testing.T) {
+	secret := []byte{0xA5, 0x5A}
+	wrongSecret := []byte{0x00, 0x00}
+	bus := NewBus()
+	ecm := NewECU("ECM", 0x7E0, 0x7E8, secret, []byte{1})
+	tool := NewTester("obd-tool", 0x7E8, FlashScript(0x7E0, wrongSecret, []byte("EVIL")))
+	if err := bus.Attach(ecm, tool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntilDone(bus, tool, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if tool.Failed() != NRCInvalidKey {
+		t.Errorf("NRC = 0x%02X, want invalidKey (0x35)", tool.Failed())
+	}
+	if ecm.Unlocked() {
+		t.Error("wrong key unlocked the ECU")
+	}
+	if ecm.FlashCount != 0 || bytes.Equal(ecm.Firmware, []byte("EVIL")) {
+		t.Error("firmware modified despite failed security access")
+	}
+}
+
+func TestUDSDownloadRequiresProgrammingSession(t *testing.T) {
+	bus := NewBus()
+	ecm := NewECU("ECM", 0x7E0, 0x7E8, []byte{1}, []byte{1})
+	// Script skipping session control: straight to download.
+	steps := []TesterStep{
+		func([]Frame) (Frame, bool) {
+			return Frame{ID: 0x7E0, Data: []byte{SvcRequestDownload}}, true
+		},
+	}
+	tool := NewTester("rogue", 0x7E8, steps)
+	if err := bus.Attach(ecm, tool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntilDone(bus, tool, 100); err != nil {
+		t.Fatal(err)
+	}
+	if tool.Failed() != NRCWrongSession {
+		t.Errorf("NRC = 0x%02X, want wrongSession (0x7E)", tool.Failed())
+	}
+}
+
+func TestUDSSequenceErrors(t *testing.T) {
+	bus := NewBus()
+	ecm := NewECU("ECM", 0x7E0, 0x7E8, []byte{0x42}, []byte{1})
+	fixed := func(data ...byte) TesterStep {
+		return func([]Frame) (Frame, bool) { return Frame{ID: 0x7E0, Data: data}, true }
+	}
+	// Key before seed → request sequence error.
+	tool := NewTester("t1", 0x7E8, []TesterStep{
+		fixed(SvcSessionControl, SessionProgramming),
+		fixed(SvcSecurityAccess, 0x02, 0x00, 0x00),
+	})
+	if err := bus.Attach(ecm, tool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntilDone(bus, tool, 100); err != nil {
+		t.Fatal(err)
+	}
+	if tool.Failed() != NRCRequestSequence {
+		t.Errorf("NRC = 0x%02X, want requestSequence (0x24)", tool.Failed())
+	}
+	// Transfer data without download → sequence error.
+	bus2 := NewBus()
+	ecm2 := NewECU("ECM", 0x7E0, 0x7E8, []byte{0x42}, []byte{1})
+	tool2 := NewTester("t2", 0x7E8, []TesterStep{
+		fixed(SvcTransferData, 0x01, 0xFF),
+	})
+	if err := bus2.Attach(ecm2, tool2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntilDone(bus2, tool2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if tool2.Failed() != NRCRequestSequence {
+		t.Errorf("NRC = 0x%02X, want requestSequence", tool2.Failed())
+	}
+}
+
+func TestUDSUnknownService(t *testing.T) {
+	ecm := NewECU("ECM", 0x7E0, 0x7E8, []byte{1}, []byte{1})
+	resp := ecm.handle([]byte{0x99})
+	if len(resp) != 3 || resp[0] != negativeSID || resp[2] != NRCSubFunction {
+		t.Errorf("unknown service response = %v", resp)
+	}
+}
+
+func TestComputeKey(t *testing.T) {
+	seed := []byte{0x12, 0x34}
+	secret := []byte{0xFF}
+	key := ComputeKey(seed, secret)
+	if !bytes.Equal(key, []byte{0xED, 0xCB}) {
+		t.Errorf("key = %X", key)
+	}
+	if !bytes.Equal(ComputeKey(seed, nil), seed) {
+		t.Error("empty secret should return the seed")
+	}
+}
+
+// Property: the flash sequence round-trips arbitrary firmware payloads.
+func TestUDSFlashRoundTripProperty(t *testing.T) {
+	f := func(fw []byte, s1, s2 byte) bool {
+		if len(fw) == 0 {
+			fw = []byte{0x01}
+		}
+		if len(fw) > 64 {
+			fw = fw[:64]
+		}
+		secret := []byte{s1, s2}
+		bus := NewBus()
+		ecm := NewECU("ECM", 0x7E0, 0x7E8, secret, []byte{0})
+		tool := NewTester("tool", 0x7E8, FlashScript(0x7E0, secret, fw))
+		if err := bus.Attach(ecm, tool); err != nil {
+			return false
+		}
+		if _, err := RunUntilDone(bus, tool, 5000); err != nil {
+			return false
+		}
+		return tool.Failed() == 0 && bytes.Equal(ecm.Firmware, fw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every traced delivery carries a valid frame and slots are
+// strictly increasing.
+func TestTraceWellFormedProperty(t *testing.T) {
+	bus := NewBus()
+	a := NewPeriodicSender("a", Frame{ID: 0x10, Data: []byte{1}}, 3)
+	b := NewPeriodicSender("b", Frame{ID: 0x20, Data: []byte{2}}, 5)
+	if err := bus.Attach(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	trace := bus.Trace()
+	for i, d := range trace {
+		if err := d.Frame.Validate(); err != nil {
+			t.Fatalf("trace[%d] invalid: %v", i, err)
+		}
+		if i > 0 && trace[i-1].Slot >= d.Slot {
+			t.Fatalf("trace slots not increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package canbus is a discrete-time CAN bus simulator: the substrate
+// behind the paper's powertrain argument that "the primary communication
+// occurs on the CAN bus, and external access is available through the
+// OBD port" and that the dominant attacks there are physical or local.
+//
+// The simulator models standard 11-bit-identifier frames, priority-based
+// arbitration (lowest identifier wins each bus slot), periodic sender
+// nodes and attacker nodes. Two attacks from the paper's references are
+// implemented:
+//
+//   - the signal-extinction style denial of service (Lee & Woo, ref [22]
+//     of the paper): a flooding node with a top-priority identifier
+//     starves the victim's torque frames, exercising the Severe-impact /
+//     CAL2-capped scenario of Fig. 6; and
+//   - ECU reprogramming through a UDS-style diagnostic session
+//     (DiagnosticSessionControl, SecurityAccess seed/key,
+//     RequestDownload, TransferData, TransferExit), the local/OBD attack
+//     path whose feasibility the PSP framework re-rates.
+//
+// Time is a slot counter, not wall-clock: simulations are exactly
+// reproducible.
+package canbus

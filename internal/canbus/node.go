@@ -1,0 +1,137 @@
+package canbus
+
+// PeriodicSender transmits a fixed frame every Period slots, retrying
+// until each instance is delivered (a simplified transmit queue of depth
+// one: a new period overwrites an undelivered frame, which counts as a
+// deadline miss).
+type PeriodicSender struct {
+	name   string
+	frame  Frame
+	period int
+
+	queued    bool
+	generated int
+	delivered int
+	misses    int
+}
+
+// NewPeriodicSender builds a sender for one frame every period slots.
+func NewPeriodicSender(name string, frame Frame, period int) *PeriodicSender {
+	if period < 1 {
+		period = 1
+	}
+	return &PeriodicSender{name: name, frame: frame, period: period}
+}
+
+// Name implements Node.
+func (s *PeriodicSender) Name() string { return s.name }
+
+// Pending implements Node: a new frame instance is generated at every
+// period boundary; an undelivered previous instance is dropped and
+// counted as a deadline miss.
+func (s *PeriodicSender) Pending(slot int) (Frame, bool) {
+	if slot%s.period == 0 {
+		if s.queued {
+			s.misses++
+		}
+		s.queued = true
+		s.generated++
+	}
+	if !s.queued {
+		return Frame{}, false
+	}
+	return s.frame, true
+}
+
+// Sent implements Node.
+func (s *PeriodicSender) Sent(int) {
+	s.queued = false
+	s.delivered = s.delivered + 1
+}
+
+// Receive implements Node (periodic senders ignore traffic).
+func (s *PeriodicSender) Receive(int, Frame) {}
+
+// Stats returns generated, delivered and missed frame counts.
+func (s *PeriodicSender) Stats() (generated, delivered, misses int) {
+	return s.generated, s.delivered, s.misses
+}
+
+// DeliveryRate returns delivered/generated (1.0 when nothing was
+// generated yet).
+func (s *PeriodicSender) DeliveryRate() float64 {
+	if s.generated == 0 {
+		return 1
+	}
+	return float64(s.delivered) / float64(s.generated)
+}
+
+// Flooder transmits a frame every slot — the signal-extinction style
+// denial of service: with a lower identifier than the victim it wins
+// every arbitration round and starves the victim completely.
+type Flooder struct {
+	name  string
+	frame Frame
+	sent  int
+	// Active can be toggled to start/stop the attack mid-simulation.
+	Active bool
+}
+
+// NewFlooder builds an attacker flooding the given frame.
+func NewFlooder(name string, frame Frame) *Flooder {
+	return &Flooder{name: name, frame: frame, Active: true}
+}
+
+// Name implements Node.
+func (f *Flooder) Name() string { return f.name }
+
+// Pending implements Node.
+func (f *Flooder) Pending(int) (Frame, bool) {
+	if !f.Active {
+		return Frame{}, false
+	}
+	return f.frame, true
+}
+
+// Sent implements Node.
+func (f *Flooder) Sent(int) { f.sent++ }
+
+// Receive implements Node.
+func (f *Flooder) Receive(int, Frame) {}
+
+// SentCount returns how many frames the flooder delivered.
+func (f *Flooder) SentCount() int { return f.sent }
+
+// Monitor records every delivered frame matching a filter.
+type Monitor struct {
+	name   string
+	filter func(Frame) bool
+	seen   []Delivery
+}
+
+// NewMonitor builds a passive listener; a nil filter records everything.
+func NewMonitor(name string, filter func(Frame) bool) *Monitor {
+	if filter == nil {
+		filter = func(Frame) bool { return true }
+	}
+	return &Monitor{name: name, filter: filter}
+}
+
+// Name implements Node.
+func (m *Monitor) Name() string { return m.name }
+
+// Pending implements Node (monitors never transmit).
+func (m *Monitor) Pending(int) (Frame, bool) { return Frame{}, false }
+
+// Sent implements Node.
+func (m *Monitor) Sent(int) {}
+
+// Receive implements Node.
+func (m *Monitor) Receive(slot int, f Frame) {
+	if m.filter(f) {
+		m.seen = append(m.seen, Delivery{Slot: slot, Frame: f})
+	}
+}
+
+// Seen returns the recorded deliveries.
+func (m *Monitor) Seen() []Delivery { return m.seen }

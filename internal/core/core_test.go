@@ -1,0 +1,419 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/finance"
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/sai"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// newTestFramework wires a framework over the reference corpus and the
+// calibrated market dataset.
+func newTestFramework(t *testing.T) *Framework {
+	t.Helper()
+	store, err := social.DefaultStore(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := market.DefaultDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{Searcher: store, Market: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// ecmThreat returns the paper's running threat scenario.
+func ecmThreat() *tara.ThreatScenario {
+	return &tara.ThreatScenario{
+		ID: "TS-ECM-01", Name: "ECM reprogramming",
+		Description: "Owner-approved reflash of ECM calibration",
+		DamageIDs:   []string{"DS-01"},
+		Property:    tara.PropertyIntegrity,
+		STRIDE:      tara.Tampering,
+		Profiles:    []tara.AttackerProfile{tara.ProfileInsider, tara.ProfileRational, tara.ProfileLocal},
+		Vector:      tara.VectorPhysical,
+		Keywords:    []string{"chiptuning", "ecutune", "remap", "stage1"},
+	}
+}
+
+func TestRunSocialECMAllTime(t *testing.T) {
+	fw := newTestFramework(t)
+	res, err := fw.RunSocial(context.Background(), SocialInput{
+		Threats: []*tara.ThreatScenario{ecmThreat()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tunings) != 1 {
+		t.Fatalf("tunings = %d, want 1", len(res.Tunings))
+	}
+	tuning := res.Tunings[0]
+	if !tuning.Insider {
+		t.Fatal("ECM reprogramming classified outsider")
+	}
+	if tuning.Posts < 1000 {
+		t.Errorf("tuning informed by only %d posts", tuning.Posts)
+	}
+	// Fig. 9-B: all-time window puts Physical on top (High) and demotes
+	// Network to Very Low — the inversion of G.9.
+	expect := map[tara.AttackVector]tara.FeasibilityRating{
+		tara.VectorPhysical: tara.FeasibilityHigh,
+		tara.VectorLocal:    tara.FeasibilityMedium,
+		tara.VectorAdjacent: tara.FeasibilityLow,
+		tara.VectorNetwork:  tara.FeasibilityVeryLow,
+	}
+	for v, want := range expect {
+		got, err := tuning.Table.Rating(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("all-time rating(%s) = %v, want %v (shares %v)", v, got, want, tuning.VectorShares)
+		}
+	}
+	// The corrective factor for physical must exceed 1 (more activity
+	// than the uniform prior), network must sit below 1.
+	if tuning.Factors[tara.VectorPhysical] <= 1 {
+		t.Errorf("physical corrective factor = %.2f, want > 1", tuning.Factors[tara.VectorPhysical])
+	}
+	if tuning.Factors[tara.VectorNetwork] >= 1 {
+		t.Errorf("network corrective factor = %.2f, want < 1", tuning.Factors[tara.VectorNetwork])
+	}
+	// The outsider table stays the standard G.9.
+	if !res.OutsiderTable.Equal(tara.StandardVectorTable()) {
+		t.Error("outsider table deviates from G.9")
+	}
+}
+
+func TestRunSocialECMSince2022TrendInversion(t *testing.T) {
+	fw := newTestFramework(t)
+	res, err := fw.RunSocial(context.Background(), SocialInput{
+		Since:   time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		Threats: []*tara.ThreatScenario{ecmThreat()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuning := res.Tunings[0]
+	// Fig. 9-C: restricting the window from 2022 flips the top vector to
+	// Local — "reprogramming via a physical attack is no longer
+	// mainstream, and attackers are more likely to opt for a local
+	// attack via OBD".
+	local, err := tuning.Table.Rating(tara.VectorLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local != tara.FeasibilityHigh {
+		t.Errorf("since-2022 rating(Local) = %v, want High (shares %v)", local, tuning.VectorShares)
+	}
+	phys, err := tuning.Table.Rating(tara.VectorPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys >= tara.FeasibilityHigh {
+		t.Errorf("since-2022 rating(Physical) = %v, want demoted below High", phys)
+	}
+	if tuning.VectorShares[tara.VectorLocal] <= tuning.VectorShares[tara.VectorPhysical] {
+		t.Errorf("since-2022 local share %.3f not above physical %.3f",
+			tuning.VectorShares[tara.VectorLocal], tuning.VectorShares[tara.VectorPhysical])
+	}
+}
+
+func TestRunSocialExcavatorSAIRanking(t *testing.T) {
+	fw := newTestFramework(t)
+	res, err := fw.RunSocial(context.Background(), SocialInput{
+		Application: "excavator",
+		Region:      social.RegionEurope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := res.Index.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 12: DPF delete is the top insider attack for excavators.
+	if top.Topic != "DPF delete" {
+		t.Errorf("top SAI entry = %s, want DPF delete", top.Topic)
+	}
+	if !top.Insider {
+		t.Error("DPF delete classified outsider")
+	}
+	if top.Probability <= 0.2 {
+		t.Errorf("top probability = %.3f, want dominant share", top.Probability)
+	}
+	// Theft topics must classify outsider.
+	for _, e := range res.Index.Entries {
+		switch e.Topic {
+		case "Immobilizer bypass", "GPS tracker defeat":
+			if e.Insider && e.Posts > 0 {
+				t.Errorf("theft topic %s classified insider (%d posts)", e.Topic, e.Posts)
+			}
+		}
+	}
+	// Insider entries keep the full ranking minus theft topics.
+	if len(res.Index.Insiders()) < 4 {
+		t.Errorf("insider entries = %d, want ≥ 4", len(res.Index.Insiders()))
+	}
+}
+
+func TestRunSocialKeywordLearning(t *testing.T) {
+	fw := newTestFramework(t)
+	res, err := fw.RunSocial(context.Background(), SocialInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corpus carries #dpfoff / #dpfremoval alongside #dpfdelete, and
+	// the DB deliberately omits them: learning must find at least one.
+	dpf := res.Learned["DPF delete"]
+	if len(dpf) == 0 {
+		t.Fatalf("no keywords learned for DPF delete: %v", res.Learned)
+	}
+	found := false
+	for _, tag := range dpf {
+		if tag == "dpfoff" || tag == "dpfremoval" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("learned DPF tags = %v, want dpfoff or dpfremoval", dpf)
+	}
+	// Learning must widen coverage versus a learning-disabled run.
+	resOff, err := fw.RunSocial(context.Background(), SocialInput{DisableLearning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postsOn := topicPosts(res, "DPF delete")
+	postsOff := topicPosts(resOff, "DPF delete")
+	if postsOn <= postsOff {
+		t.Errorf("learning did not widen coverage: %d vs %d posts", postsOn, postsOff)
+	}
+	// PersistLearned merges into the framework DB.
+	before := len(fw.Keywords().Group("DPF delete").AllTags())
+	if err := fw.PersistLearned(res); err != nil {
+		t.Fatal(err)
+	}
+	after := len(fw.Keywords().Group("DPF delete").AllTags())
+	if after <= before {
+		t.Error("PersistLearned did not extend the framework database")
+	}
+}
+
+func topicPosts(res *SocialResult, topic string) int {
+	for _, e := range res.Index.Entries {
+		if e.Topic == topic {
+			return e.Posts
+		}
+	}
+	return -1
+}
+
+func TestRunSocialRequiresSearcher(t *testing.T) {
+	fw, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.RunSocial(context.Background(), SocialInput{}); err == nil {
+		t.Error("social workflow without searcher succeeded")
+	}
+}
+
+func TestRunFinancialExcavatorCaseStudy(t *testing.T) {
+	fw := newTestFramework(t)
+	res, err := fw.RunFinancial(FinancialInput{
+		Category:    market.CategoryDPFTampering,
+		Application: "excavator",
+		Region:      "EU",
+		Year:        2022,
+		MarketKind:  finance.NonMonopolistic,
+		Maker:       market.MajorExcavatorMaker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation 6: PAE = 28,120 × 0.05 = 1,406; MV = 1,406 × 360 =
+	// 506,160 EUR.
+	if res.UnitsBasis != 28120 || res.PEA != 0.05 || res.PAE != 1406 {
+		t.Errorf("PAE chain = %d units × %.2f → %d, want 28120 × 0.05 → 1406",
+			res.UnitsBasis, res.PEA, res.PAE)
+	}
+	if res.PPIA.Units() != 360 {
+		t.Errorf("PPIA = %s, want 360.00 EUR", res.PPIA)
+	}
+	if res.MV.Units() != 506160 {
+		t.Errorf("MV = %s, want 506,160.00 EUR (Eq. 6)", res.MV)
+	}
+	// Equation 7: FC = 1,406 × 310 / 3 ≈ 145,286.67 EUR.
+	if res.VCU.Units() != 50 {
+		t.Errorf("VCU = %s, want 50.00 EUR", res.VCU)
+	}
+	if res.N != 3 {
+		t.Errorf("N = %d, want 3", res.N)
+	}
+	if res.SecurityBudget.Cents != 14528667 {
+		t.Errorf("security budget = %s, want ≈145,286.67 EUR (Eq. 7)", res.SecurityBudget)
+	}
+	// The default adversary profile lands close to the budget, so the
+	// demand ratio sits near 1: a profitable, Medium-rated attack.
+	if res.Rating != tara.FeasibilityMedium {
+		t.Errorf("financial rating = %v, want Medium (PAE %d vs BEP %d)", res.Rating, res.PAE, res.BEP)
+	}
+	if res.Curve == nil || res.Curve.BreakEvenUnits != res.BEP {
+		t.Error("BEP curve missing or inconsistent")
+	}
+	if res.Survey.CompetitorCount() != 3 {
+		t.Errorf("survey competitors = %d, want 3", res.Survey.CompetitorCount())
+	}
+}
+
+func TestRunFinancialMonopolisticUsesVS(t *testing.T) {
+	fw := newTestFramework(t)
+	res, err := fw.RunFinancial(FinancialInput{
+		Category:    market.CategoryDPFTampering,
+		Application: "excavator",
+		Region:      "EU",
+		Year:        2022,
+		MarketKind:  finance.Monopolistic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnitsBasis != 84300 {
+		t.Errorf("monopolistic units = %d, want VS 84300", res.UnitsBasis)
+	}
+	if res.PAE != 4215 {
+		t.Errorf("monopolistic PAE = %d, want 4215", res.PAE)
+	}
+}
+
+func TestRunFinancialValidation(t *testing.T) {
+	fw := newTestFramework(t)
+	cases := []FinancialInput{
+		{},
+		{Category: "x", Application: "excavator", Region: "EU", Year: 2022,
+			MarketKind: finance.NonMonopolistic}, // missing maker
+		{Category: market.CategoryDPFTampering, Application: "excavator", Region: "EU",
+			Year: 2022, MarketKind: 0},
+		{Category: "unknown-cat", Application: "excavator", Region: "EU", Year: 2022,
+			MarketKind: finance.Monopolistic},
+	}
+	for i, in := range cases {
+		if _, err := fw.RunFinancial(in); err == nil {
+			t.Errorf("case %d: invalid input accepted: %+v", i, in)
+		}
+	}
+	// No market dataset configured.
+	bare, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.RunFinancial(FinancialInput{
+		Category: "x", Application: "y", Region: "EU", Year: 2022,
+		MarketKind: finance.Monopolistic,
+	}); err == nil {
+		t.Error("financial workflow without market dataset succeeded")
+	}
+}
+
+func TestKeywordDB(t *testing.T) {
+	db, err := DefaultKeywordDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Group("DPF delete") == nil {
+		t.Fatal("missing DPF delete group")
+	}
+	// Paper seeds must be present across the DB.
+	tags := map[string]bool{}
+	for _, tag := range db.SeedTags() {
+		tags[tag] = true
+	}
+	for _, seed := range social.SeedKeywords() {
+		if !tags[seed] {
+			t.Errorf("paper seed %q missing from default DB", seed)
+		}
+	}
+	// Extend adds only unknown tags.
+	added, err := db.Extend("DPF delete", []string{"dpfoff", "dpfdelete", "#DPFOFF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 1 || added[0] != "dpfoff" {
+		t.Errorf("Extend added %v, want [dpfoff]", added)
+	}
+	if _, err := db.Extend("No such topic", []string{"x"}); err == nil {
+		t.Error("extend unknown topic succeeded")
+	}
+	// Clone isolation.
+	clone := db.Clone()
+	if _, err := clone.Extend("DPF delete", []string{"newtag"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range db.Group("DPF delete").AllTags() {
+		if tag == "newtag" {
+			t.Error("clone mutation leaked into original")
+		}
+	}
+	// Validation.
+	if _, err := NewKeywordDB(nil); err == nil {
+		t.Error("empty DB accepted")
+	}
+	if _, err := NewKeywordDB([]KeywordGroup{{Topic: "", Tags: []string{"a"}}}); err == nil {
+		t.Error("empty topic accepted")
+	}
+	if _, err := NewKeywordDB([]KeywordGroup{
+		{Topic: "A", Tags: []string{"x"}},
+		{Topic: "B", Tags: []string{"x"}},
+	}); err == nil {
+		t.Error("duplicate tag across groups accepted")
+	}
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	if _, err := New(Config{PriceClusters: -1}); err == nil {
+		t.Error("negative price clusters accepted")
+	}
+	if _, err := New(Config{Weights: sai.Weights{Views: -1, Interactions: 1}}); err == nil {
+		t.Error("invalid weights accepted")
+	}
+}
+
+func TestTopicTrend(t *testing.T) {
+	fw := newTestFramework(t)
+	// Bound the window to full years: partial final-year quarters would
+	// bias the fit downward.
+	trend, err := fw.TopicTrend(context.Background(),
+		[]string{"chiptuning", "ecutune", "remap", "stage1"}, SocialInput{
+			Until: time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend.Points) < 10 {
+		t.Errorf("trend has only %d quarterly points", len(trend.Points))
+	}
+	// The ECM topic volume grows over the corpus years.
+	if trend.Direction != sai.TrendRising {
+		t.Errorf("ECM topic trend = %v (slope %.3f), want rising", trend.Direction, trend.Slope)
+	}
+	// Error paths.
+	if _, err := fw.TopicTrend(context.Background(), nil, SocialInput{}); err == nil {
+		t.Error("empty tags accepted")
+	}
+	bare, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.TopicTrend(context.Background(), []string{"x"}, SocialInput{}); err == nil {
+		t.Error("trend without searcher accepted")
+	}
+}

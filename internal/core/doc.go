@@ -1,0 +1,18 @@
+// Package core implements the PSP framework itself: the orchestration of
+// the two workflows the paper defines.
+//
+// The social workflow (Fig. 7) takes a target application, region and
+// time window, queries the social platform with the attack keyword
+// database, auto-learns new keywords, computes the Social Attraction
+// Index, classifies entries insider/outsider, and regenerates the
+// ISO/SAE 21434 attack-vector feasibility tables with SAI-derived
+// corrective factors for the insider threat scenarios supplied by the
+// product security team.
+//
+// The financial workflow (Fig. 10) estimates the potential attacker
+// population (PAE) from sales data and annual reports, mines marketplace
+// listings for the purchase price per insider attack (PPIA) and the
+// variable cost (VCU), computes the market value (MV), and derives the
+// adversary investment bound (FC) through the break-even equations,
+// mapping the result onto an ISO-21434 attack feasibility rating.
+package core

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// TestDeepWebFederationImprovesOutsiderCoverage verifies the paper's
+// roadmap claim: adding a deep-web-style source improves outsider attack
+// analysis (more posts behind the theft topics) without flipping the
+// insider verdicts.
+func TestDeepWebFederationImprovesOutsiderCoverage(t *testing.T) {
+	surface, err := social.DefaultStore(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepPosts, err := social.Generate(social.DeepWebCorpusSpec(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := social.NewStore()
+	if err := deep.Add(deepPosts...); err != nil {
+		t.Fatal(err)
+	}
+	multi, err := social.NewMulti(
+		social.PlatformSource{Name: "surface", Searcher: surface},
+		social.PlatformSource{Name: "deepweb", Searcher: deep},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := market.DefaultDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(searcher social.Searcher) map[string]int {
+		fw, err := New(Config{Searcher: searcher, Market: ds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fw.RunSocial(context.Background(), SocialInput{DisableLearning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		posts := map[string]int{}
+		for _, e := range res.Index.Entries {
+			posts[e.Topic] = e.Posts
+		}
+		// The insider verdict must hold in both configurations.
+		top, err := res.Index.Top()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top.Topic != "DPF delete" {
+			t.Fatalf("top entry = %s, want DPF delete", top.Topic)
+		}
+		return posts
+	}
+
+	surfaceOnly := run(surface)
+	federated := run(multi)
+
+	for _, topic := range []string{"Immobilizer bypass", "GPS tracker defeat"} {
+		if federated[topic] <= surfaceOnly[topic] {
+			t.Errorf("%s coverage did not improve: %d → %d",
+				topic, surfaceOnly[topic], federated[topic])
+		}
+	}
+}

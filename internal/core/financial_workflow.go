@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/psp-framework/psp/internal/finance"
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// FinancialInput parameterizes one run of the Fig. 10 workflow.
+type FinancialInput struct {
+	// Category is the attack topic key in the market dataset
+	// ("dpf-tampering").
+	Category string
+	// Application and Region scope the sales and listings queries
+	// ("excavator", "EU").
+	Application string
+	Region      string
+	// Year selects the sales year ("past year's vehicle sales trend
+	// reports").
+	Year int
+	// MarketKind selects the Equation 2 branch. Monopolistic markets use
+	// total vehicle sales; non-monopolistic ones use the maker's share.
+	MarketKind finance.MarketKind
+	// Maker is required for non-monopolistic markets.
+	Maker string
+	// Competitors overrides the competitor count n; 0 derives it from
+	// the listings survey.
+	Competitors int
+	// AdversaryProfile optionally provides the Equation 4 terms for an
+	// independent fixed-cost estimate; nil uses DefaultAdversaryProfile.
+	AdversaryProfile *AdversaryProfile
+}
+
+// AdversaryProfile carries the Equation 4 inputs: R&D effort, hourly
+// rate and equipment depreciation.
+type AdversaryProfile struct {
+	// FTEHours is the full-time-equivalent R&D effort in hours.
+	FTEHours float64
+	// HourlyCost is the black-hat hourly rate.
+	HourlyCost finance.Money
+	// Depreciation is the straight-line CAPEX depreciation (SLD).
+	Depreciation finance.Money
+}
+
+// DefaultAdversaryProfile returns the default Equation 4 profile: one
+// work-year (2,080 h) at 60 EUR/h plus 20,480 EUR of depreciated lab
+// instrumentation — a deliberate match for the ≈145k EUR investment of
+// the paper's worked example.
+func DefaultAdversaryProfile() *AdversaryProfile {
+	return &AdversaryProfile{
+		FTEHours:     2080,
+		HourlyCost:   finance.FromUnits(60, finance.EUR),
+		Depreciation: finance.FromUnits(20480, finance.EUR),
+	}
+}
+
+// FinancialResult is the output of the Fig. 10 workflow.
+type FinancialResult struct {
+	// UnitsBasis is the VS or MS figure used (Equation 2 input).
+	UnitsBasis int
+	// PEA is the potential-attacker share from the annual reports.
+	PEA float64
+	// PAE is the potential attacker estimation (Equation 2).
+	PAE int
+	// PPIA is the mined purchase price per insider attack.
+	PPIA finance.Money
+	// VCU is the mined variable cost per unit.
+	VCU finance.Money
+	// N is the competitor count used in Equations 3/5.
+	N int
+	// MV is the market value (Equation 1 / Equation 6).
+	MV finance.Money
+	// SecurityBudget is FC from Equation 5 with BEP = PAE: the
+	// investment the product must withstand (Equation 7).
+	SecurityBudget finance.Money
+	// AdversaryFC is the independent Equation 4 estimate of the
+	// adversary's fixed cost.
+	AdversaryFC finance.Money
+	// BEP is the break-even volume for AdversaryFC (Equation 3).
+	BEP int
+	// Rating is the financial attack feasibility rating (PAE vs BEP).
+	Rating tara.FeasibilityRating
+	// Survey is the underlying price survey (clusters, vendors).
+	Survey *market.PriceSurvey
+	// Curve is the Fig. 11 break-even diagram for AdversaryFC.
+	Curve *finance.BEPCurve
+}
+
+// RunFinancial executes the financial workflow of Fig. 10.
+func (f *Framework) RunFinancial(in FinancialInput) (*FinancialResult, error) {
+	if f.market == nil {
+		return nil, fmt.Errorf("core: financial workflow requires a configured Market dataset")
+	}
+	if in.Category == "" || in.Application == "" || in.Region == "" || in.Year == 0 {
+		return nil, fmt.Errorf("core: financial input missing category/application/region/year: %+v", in)
+	}
+
+	// Block 1: potential attackers estimation.
+	var units int
+	var err error
+	switch in.MarketKind {
+	case finance.Monopolistic:
+		units, err = f.market.Sales.VehicleSales(in.Application, in.Region, in.Year)
+	case finance.NonMonopolistic:
+		if in.Maker == "" {
+			return nil, fmt.Errorf("core: non-monopolistic market requires a maker")
+		}
+		units, err = f.market.Sales.MarketShare(in.Maker, in.Application, in.Region, in.Year)
+	default:
+		return nil, fmt.Errorf("core: invalid market kind %d", int(in.MarketKind))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: sales lookup: %w", err)
+	}
+	pea, err := f.market.Reports.PEA(in.Category, in.Application, in.Region, in.Year)
+	if err != nil {
+		return nil, fmt.Errorf("core: PEA lookup: %w", err)
+	}
+	pae, err := finance.PAE(units, pea)
+	if err != nil {
+		return nil, err
+	}
+
+	// Block 2: PPIA from the device/service listings survey.
+	sellable := f.market.Listings.SelectKinds(in.Category, in.Region, "device", "service")
+	survey, err := market.MinePrices(sellable, f.priceK)
+	if err != nil {
+		return nil, fmt.Errorf("core: PPIA survey: %w", err)
+	}
+	ppia := finance.FromUnits(math.Round(survey.Dominant.Center), finance.EUR)
+
+	// VCU from the component listings (single band).
+	components := f.market.Listings.Select(in.Category, in.Region, "component")
+	vcu := finance.Money{Currency: finance.EUR}
+	if len(components) > 0 {
+		compSurvey, err := market.MinePrices(components, 1)
+		if err != nil {
+			return nil, fmt.Errorf("core: VCU survey: %w", err)
+		}
+		vcu = finance.FromUnits(math.Round(compSurvey.Dominant.Center), finance.EUR)
+	}
+
+	// Competitor count n.
+	n := in.Competitors
+	if n == 0 {
+		n = survey.CompetitorCount()
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: derived competitor count %d < 1", n)
+	}
+
+	// Block 6: market value.
+	mv, err := finance.MarketValue(pae, ppia)
+	if err != nil {
+		return nil, err
+	}
+
+	// Block 7: security budget via Equation 5 with BEP = PAE.
+	budget, err := finance.InverseFixedCost(pae, ppia, vcu, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Independent adversary estimate via Equation 4 and its break-even.
+	profile := in.AdversaryProfile
+	if profile == nil {
+		profile = DefaultAdversaryProfile()
+	}
+	advFC, err := finance.FixedCost(profile.FTEHours, profile.HourlyCost, profile.Depreciation)
+	if err != nil {
+		return nil, err
+	}
+	bep, err := finance.BreakEven(advFC, n, ppia, vcu)
+	if err != nil {
+		return nil, err
+	}
+	rating, err := finance.Rate(finance.FeasibilityInput{PAE: pae, BEP: bep, MV: mv}, f.financeBands)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fig. 11 curve: sample to twice the break-even volume.
+	curve, err := finance.ComputeBEPCurve(advFC, n, ppia, vcu, 2*bep, 41)
+	if err != nil {
+		return nil, err
+	}
+
+	return &FinancialResult{
+		UnitsBasis:     units,
+		PEA:            pea,
+		PAE:            pae,
+		PPIA:           ppia,
+		VCU:            vcu,
+		N:              n,
+		MV:             mv,
+		SecurityBudget: budget,
+		AdversaryFC:    advFC,
+		BEP:            bep,
+		Rating:         rating,
+		Survey:         survey,
+		Curve:          curve,
+	}, nil
+}

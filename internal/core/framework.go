@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/psp-framework/psp/internal/finance"
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/sai"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// Config wires the PSP framework's dependencies and tunables. Zero-value
+// tunables take documented defaults; Searcher and Market are required
+// only by the workflows that use them.
+type Config struct {
+	// Searcher is the social platform (in-process store or HTTP client).
+	Searcher social.Searcher
+	// Market is the sales/reports/listings dataset.
+	Market *market.Dataset
+	// Keywords is the attack keyword database; nil uses
+	// DefaultKeywordDB.
+	Keywords *KeywordDB
+	// Weights is the SAI attraction mix; the zero value means
+	// sai.DefaultWeights.
+	Weights sai.Weights
+	// Bands maps vector shares onto feasibility ratings; the zero value
+	// means sai.DefaultRatingBands.
+	Bands sai.RatingBands
+	// FinanceBands maps demand ratios onto feasibility ratings; the zero
+	// value means finance.DefaultThresholds.
+	FinanceBands finance.Thresholds
+	// LearnMax caps keywords learned per run (default 10, negative
+	// disables learning).
+	LearnMax int
+	// PriceClusters is the k of the PPIA price clustering (default 3).
+	PriceClusters int
+}
+
+// Framework is the PSP framework instance.
+type Framework struct {
+	searcher     social.Searcher
+	market       *market.Dataset
+	keywords     *KeywordDB
+	builder      *sai.Builder
+	scorer       *sai.Scorer
+	bands        sai.RatingBands
+	financeBands finance.Thresholds
+	learnMax     int
+	priceK       int
+}
+
+// New validates the configuration and builds a Framework.
+func New(cfg Config) (*Framework, error) {
+	keywords := cfg.Keywords
+	if keywords == nil {
+		var err error
+		keywords, err = DefaultKeywordDB()
+		if err != nil {
+			return nil, err
+		}
+	}
+	weights := cfg.Weights
+	if weights == (sai.Weights{}) {
+		weights = sai.DefaultWeights()
+	}
+	scorer, err := sai.NewScorer(weights, nil)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := sai.NewBuilder(scorer, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	bands := cfg.Bands
+	if bands == (sai.RatingBands{}) {
+		bands = sai.DefaultRatingBands()
+	}
+	if err := bands.Validate(); err != nil {
+		return nil, err
+	}
+	finBands := cfg.FinanceBands
+	if finBands == (finance.Thresholds{}) {
+		finBands = finance.DefaultThresholds()
+	}
+	if err := finBands.Validate(); err != nil {
+		return nil, err
+	}
+	learnMax := cfg.LearnMax
+	if learnMax == 0 {
+		learnMax = 10
+	}
+	priceK := cfg.PriceClusters
+	if priceK == 0 {
+		priceK = 3
+	}
+	if priceK < 1 {
+		return nil, fmt.Errorf("core: invalid price cluster count %d", priceK)
+	}
+	return &Framework{
+		searcher:     cfg.Searcher,
+		market:       cfg.Market,
+		keywords:     keywords,
+		builder:      builder,
+		scorer:       scorer,
+		bands:        bands,
+		financeBands: finBands,
+		learnMax:     learnMax,
+		priceK:       priceK,
+	}, nil
+}
+
+// Keywords returns the framework's keyword database (the live instance:
+// social runs extend a clone, and PersistLearned merges results back).
+func (f *Framework) Keywords() *KeywordDB { return f.keywords }
+
+// Bands returns the share → rating bands in use.
+func (f *Framework) Bands() sai.RatingBands { return f.bands }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/psp-framework/psp/internal/nlp"
+)
+
+// KeywordGroup is one attack topic with its known hashtags.
+type KeywordGroup struct {
+	// Topic is the display name ("DPF delete").
+	Topic string
+	// Tags are the known hashtags (normalized, no '#').
+	Tags []string
+	// Learned marks tags added by the auto-learning loop, parallel to a
+	// suffix of Tags.
+	Learned []string
+}
+
+// AllTags returns seed and learned tags combined.
+func (g *KeywordGroup) AllTags() []string {
+	out := make([]string, 0, len(g.Tags)+len(g.Learned))
+	out = append(out, g.Tags...)
+	out = append(out, g.Learned...)
+	return out
+}
+
+// KeywordDB is the attack keyword database of Fig. 7 blocks 3–4:
+// manually seeded on the first run, extended by auto-learning afterward.
+type KeywordDB struct {
+	groups []*KeywordGroup
+	byTag  map[string]string // tag → topic
+}
+
+// NewKeywordDB builds a database from groups, normalizing tags and
+// rejecting duplicates across groups.
+func NewKeywordDB(groups []KeywordGroup) (*KeywordDB, error) {
+	db := &KeywordDB{byTag: make(map[string]string)}
+	for _, g := range groups {
+		if strings.TrimSpace(g.Topic) == "" {
+			return nil, fmt.Errorf("core: keyword group with empty topic")
+		}
+		if len(g.Tags) == 0 {
+			return nil, fmt.Errorf("core: keyword group %s has no tags", g.Topic)
+		}
+		cp := &KeywordGroup{Topic: g.Topic}
+		for _, tag := range g.Tags {
+			tag = nlp.Normalize(strings.TrimPrefix(tag, "#"))
+			if tag == "" {
+				return nil, fmt.Errorf("core: keyword group %s has an empty tag", g.Topic)
+			}
+			if owner, dup := db.byTag[tag]; dup {
+				return nil, fmt.Errorf("core: tag %q in both %s and %s", tag, owner, g.Topic)
+			}
+			db.byTag[tag] = g.Topic
+			cp.Tags = append(cp.Tags, tag)
+		}
+		db.groups = append(db.groups, cp)
+	}
+	if len(db.groups) == 0 {
+		return nil, fmt.Errorf("core: empty keyword database")
+	}
+	return db, nil
+}
+
+// Groups returns the groups in registration order.
+func (db *KeywordDB) Groups() []*KeywordGroup { return db.groups }
+
+// Group returns the group for a topic, or nil.
+func (db *KeywordDB) Group(topic string) *KeywordGroup {
+	for _, g := range db.groups {
+		if g.Topic == topic {
+			return g
+		}
+	}
+	return nil
+}
+
+// SeedTags returns every tag across groups (seeds plus learned), sorted.
+func (db *KeywordDB) SeedTags() []string {
+	var out []string
+	for _, g := range db.groups {
+		out = append(out, g.AllTags()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Extend adds learned tags to a topic's group, skipping tags already
+// known anywhere in the database. It returns the tags actually added.
+func (db *KeywordDB) Extend(topic string, tags []string) ([]string, error) {
+	g := db.Group(topic)
+	if g == nil {
+		return nil, fmt.Errorf("core: unknown keyword topic %q", topic)
+	}
+	var added []string
+	for _, tag := range tags {
+		tag = nlp.Normalize(strings.TrimPrefix(tag, "#"))
+		if tag == "" {
+			continue
+		}
+		if _, known := db.byTag[tag]; known {
+			continue
+		}
+		db.byTag[tag] = topic
+		g.Learned = append(g.Learned, tag)
+		added = append(added, tag)
+	}
+	return added, nil
+}
+
+// SeedGroupMap returns topic → seed tags, the shape the learner's
+// attribution step consumes.
+func (db *KeywordDB) SeedGroupMap() map[string][]string {
+	out := make(map[string][]string, len(db.groups))
+	for _, g := range db.groups {
+		out[g.Topic] = append([]string(nil), g.Tags...)
+	}
+	return out
+}
+
+// Clone deep-copies the database so a workflow run can extend its own
+// copy without mutating the caller's.
+func (db *KeywordDB) Clone() *KeywordDB {
+	cp := &KeywordDB{byTag: make(map[string]string, len(db.byTag))}
+	for tag, topic := range db.byTag {
+		cp.byTag[tag] = topic
+	}
+	for _, g := range db.groups {
+		cp.groups = append(cp.groups, &KeywordGroup{
+			Topic:   g.Topic,
+			Tags:    append([]string(nil), g.Tags...),
+			Learned: append([]string(nil), g.Learned...),
+		})
+	}
+	return cp
+}
+
+// DefaultKeywordDB returns the built-in database. Seeds follow the
+// paper's manual first-iteration list (#dpfdelete, #egrremoval,
+// #egrdelete, #egroff, #dieselpower, #chiptuning) plus the topic anchors
+// needed to cover the excavator case study; variants like #dpfoff or
+// #remap are deliberately absent so the auto-learning loop has work to
+// do (ablation A3 measures exactly that gap).
+func DefaultKeywordDB() (*KeywordDB, error) {
+	return NewKeywordDB([]KeywordGroup{
+		{Topic: "DPF delete", Tags: []string{"dpfdelete", "dieselpower"}},
+		{Topic: "EGR removal", Tags: []string{"egrremoval", "egrdelete", "egroff"}},
+		{Topic: "ECM reprogramming", Tags: []string{"chiptuning"}},
+		{Topic: "AdBlue emulation", Tags: []string{"adblueoff"}},
+		{Topic: "Excavator tuning", Tags: []string{"excavatortuning"}},
+		{Topic: "Speed limiter removal", Tags: []string{"speedlimiteroff"}},
+		{Topic: "Immobilizer bypass", Tags: []string{"keyfobhack", "relayattack"}},
+		{Topic: "GPS tracker defeat", Tags: []string{"gpsblocker"}},
+	})
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// poisonedFramework builds a framework over the reference corpus plus an
+// injected poisoning campaign pushing the GPS-tracker-defeat tag.
+func poisonedFramework(t *testing.T) *Framework {
+	t.Helper()
+	store, err := social.DefaultStore(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := social.InjectPoison(social.PoisonCampaign{
+		Seed:        99,
+		Tag:         "gpsblocker",
+		Application: "excavator",
+		Region:      social.RegionEurope,
+		Posts:       1500,
+		Authors:     4,
+		Start:       time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC),
+		End:         time.Date(2022, 9, 1, 0, 0, 0, 0, time.UTC),
+		Views:       90000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Add(campaign...); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := market.DefaultDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{Searcher: store, Market: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestPoisoningFlipsUnfilteredRanking(t *testing.T) {
+	fw := poisonedFramework(t)
+	res, err := fw.RunSocial(context.Background(), SocialInput{
+		Application:     "excavator",
+		Region:          social.RegionEurope,
+		DisableLearning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := res.Index.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the defence, the bought-reach campaign hijacks the index.
+	if top.Topic != "GPS tracker defeat" {
+		t.Fatalf("expected the poisoned topic on top, got %s (p=%.3f)", top.Topic, top.Probability)
+	}
+	if res.InauthenticFiltered != 0 {
+		t.Errorf("filter disabled but %d posts dropped", res.InauthenticFiltered)
+	}
+}
+
+func TestPoisoningDefenceRestoresRanking(t *testing.T) {
+	fw := poisonedFramework(t)
+	res, err := fw.RunSocial(context.Background(), SocialInput{
+		Application:       "excavator",
+		Region:            social.RegionEurope,
+		DisableLearning:   true,
+		FilterInauthentic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := res.Index.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Topic != "DPF delete" {
+		t.Errorf("filtered top = %s, want DPF delete restored", top.Topic)
+	}
+	if res.InauthenticFiltered < 1000 {
+		t.Errorf("filtered only %d posts, want most of the 1500-post campaign", res.InauthenticFiltered)
+	}
+}
+
+func TestFilterIsNoOpOnCleanCorpus(t *testing.T) {
+	fw := newTestFramework(t)
+	clean, err := fw.RunSocial(context.Background(), SocialInput{
+		Application:     "excavator",
+		Region:          social.RegionEurope,
+		DisableLearning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := fw.RunSocial(context.Background(), SocialInput{
+		Application:       "excavator",
+		Region:            social.RegionEurope,
+		DisableLearning:   true,
+		FilterInauthentic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanTop, err := clean.Index.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	filteredTop, err := filtered.Index.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanTop.Topic != filteredTop.Topic {
+		t.Errorf("filter changed the clean-corpus verdict: %s vs %s", cleanTop.Topic, filteredTop.Topic)
+	}
+	// Organic posts are diverse; the defence should drop few of them.
+	organicMatched := 0
+	for _, e := range clean.Index.Entries {
+		organicMatched += e.Posts
+	}
+	if organicMatched == 0 {
+		t.Fatal("no organic posts matched")
+	}
+	dropRate := float64(filtered.InauthenticFiltered) / float64(organicMatched)
+	if dropRate > 0.15 {
+		t.Errorf("defence dropped %.1f%% of organic posts", dropRate*100)
+	}
+}
+
+func TestInjectPoisonValidation(t *testing.T) {
+	base := social.PoisonCampaign{
+		Seed: 1, Tag: "x", Application: "car", Posts: 10, Authors: 2, Views: 1000,
+		Start: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC),
+	}
+	if _, err := social.InjectPoison(base); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+	bad := base
+	bad.Tag = ""
+	if _, err := social.InjectPoison(bad); err == nil {
+		t.Error("empty tag accepted")
+	}
+	bad = base
+	bad.Posts = 0
+	if _, err := social.InjectPoison(bad); err == nil {
+		t.Error("zero posts accepted")
+	}
+	bad = base
+	bad.End = bad.Start
+	if _, err := social.InjectPoison(bad); err == nil {
+		t.Error("empty window accepted")
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/psp-framework/psp/internal/sai"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// SocialInput parameterizes one run of the Fig. 7 workflow.
+type SocialInput struct {
+	// Application is the target application ("excavator", "car", ...);
+	// empty matches all applications (block 1).
+	Application string
+	// Region restricts the query region; empty matches all regions.
+	Region social.Region
+	// Since/Until bound the sentiment time window — the parameter whose
+	// effect Fig. 9-B vs 9-C demonstrates. Zero values are open ends.
+	Since, Until time.Time
+	// Threats is the manually identified threat scenario list from the
+	// product security team (block 10). Scenarios without keywords are
+	// skipped.
+	Threats []*tara.ThreatScenario
+	// DisableLearning turns off the auto-learning loop (ablation A3).
+	DisableLearning bool
+	// FilterInauthentic enables the poisoning defence from the paper's
+	// roadmap: duplicate-text, author-burst and engagement-anomaly posts
+	// are dropped before scoring.
+	FilterInauthentic bool
+}
+
+// ThreatTuning is the per-threat output of the workflow: the updated
+// weight table (block 12) with its provenance.
+type ThreatTuning struct {
+	// Threat is the tuned scenario.
+	Threat *tara.ThreatScenario
+	// Insider reports the social classification of the scenario's posts.
+	Insider bool
+	// Posts is the number of posts that informed the tuning.
+	Posts int
+	// VectorShares is the attraction share per vector.
+	VectorShares map[tara.AttackVector]float64
+	// Factors are the SAI corrective factors (share / uniform prior).
+	Factors map[tara.AttackVector]float64
+	// Table is the regenerated feasibility table. Outsider scenarios
+	// keep the standard G.9 weights (Fig. 8-A); insider scenarios get
+	// SAI-tuned weights (Fig. 8-B).
+	Table *tara.VectorTable
+}
+
+// SocialResult is the output of the Fig. 7 workflow.
+type SocialResult struct {
+	// Index is the sorted Social Attraction Index (block 6).
+	Index *sai.Index
+	// Learned lists the keywords added by auto-learning (block 5),
+	// attributed topic → tags.
+	Learned map[string][]string
+	// Keywords is the extended keyword database used by the run.
+	Keywords *KeywordDB
+	// OutsiderTable is the unmodified G.9 table applied to outsider
+	// threats (Fig. 8-A).
+	OutsiderTable *tara.VectorTable
+	// Tunings carries the per-threat weight tables (Fig. 8-B, Fig. 9).
+	Tunings []*ThreatTuning
+	// InauthenticFiltered counts the posts dropped by the poisoning
+	// defence across all queries of the run (0 when the filter is off).
+	InauthenticFiltered int
+	// Window echoes the analysis window for report provenance.
+	Since, Until time.Time
+}
+
+// RunSocial executes the social workflow of Fig. 7.
+func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResult, error) {
+	if f.searcher == nil {
+		return nil, fmt.Errorf("core: social workflow requires a configured Searcher")
+	}
+	db := f.keywords.Clone()
+	var filtered int
+
+	// Blocks 1–4: query every keyword group over the target inputs.
+	groupPosts := make(map[string][]*social.Post, len(db.Groups()))
+	for _, g := range db.Groups() {
+		posts, err := f.queryTags(ctx, g.AllTags(), in, &filtered)
+		if err != nil {
+			return nil, fmt.Errorf("core: query topic %s: %w", g.Topic, err)
+		}
+		groupPosts[g.Topic] = posts
+	}
+
+	// Block 5: auto-learn new keywords from the matched corpus and
+	// re-query the groups that gained tags.
+	learned := map[string][]string{}
+	if !in.DisableLearning && f.learnMax > 0 {
+		learner := sai.NewLearner()
+		for _, posts := range groupPosts {
+			learner.Observe(posts)
+		}
+		candidates, err := learner.Learn(db.SeedTags(), f.learnMax)
+		if err != nil {
+			return nil, fmt.Errorf("core: keyword learning: %w", err)
+		}
+		attributed := learner.Attribute(candidates, db.SeedGroupMap())
+		for topic, tags := range attributed {
+			added, err := db.Extend(topic, tags)
+			if err != nil {
+				return nil, err
+			}
+			if len(added) == 0 {
+				continue
+			}
+			learned[topic] = added
+			posts, err := f.queryTags(ctx, db.Group(topic).AllTags(), in, &filtered)
+			if err != nil {
+				return nil, fmt.Errorf("core: re-query topic %s: %w", topic, err)
+			}
+			groupPosts[topic] = posts
+		}
+	}
+
+	// Blocks 6–9: SAI computation with insider/outsider separation.
+	groups := make([]sai.TopicPosts, 0, len(db.Groups()))
+	for _, g := range db.Groups() {
+		groups = append(groups, sai.TopicPosts{
+			Topic: g.Topic,
+			Tags:  g.AllTags(),
+			Posts: groupPosts[g.Topic],
+		})
+	}
+	index, err := f.builder.Build(groups)
+	if err != nil {
+		return nil, err
+	}
+
+	// Blocks 10–12: per-threat weight table generation.
+	result := &SocialResult{
+		Index:         index,
+		Learned:       learned,
+		Keywords:      db,
+		OutsiderTable: tara.StandardVectorTable(),
+		Since:         in.Since,
+		Until:         in.Until,
+	}
+	for _, threat := range in.Threats {
+		if threat == nil || len(threat.Keywords) == 0 {
+			continue
+		}
+		tuning, err := f.tuneThreat(ctx, threat, in, &filtered)
+		if err != nil {
+			return nil, err
+		}
+		result.Tunings = append(result.Tunings, tuning)
+	}
+	result.InauthenticFiltered = filtered
+	return result, nil
+}
+
+// tuneThreat queries a threat scenario's keyword posts and regenerates
+// its feasibility table.
+func (f *Framework) tuneThreat(ctx context.Context, threat *tara.ThreatScenario, in SocialInput, filtered *int) (*ThreatTuning, error) {
+	posts, err := f.queryTags(ctx, threat.Keywords, in, filtered)
+	if err != nil {
+		return nil, fmt.Errorf("core: query threat %s: %w", threat.ID, err)
+	}
+	owners := sai.NewOwnerClassifier()
+	tuning := &ThreatTuning{
+		Threat:       threat,
+		Posts:        len(posts),
+		Insider:      len(posts) > 0 && owners.MajorityInsider(posts),
+		VectorShares: f.builder.VectorShares(posts),
+	}
+	tuning.Factors = sai.CorrectiveFactors(tuning.VectorShares)
+	if !tuning.Insider {
+		// Retuning outsider entries "does not make sense": they keep the
+		// standard weights.
+		tuning.Table = tara.StandardVectorTable()
+		return tuning, nil
+	}
+	name := fmt.Sprintf("PSP insider: %s%s", threat.Name, windowSuffix(in.Since, in.Until))
+	table, err := sai.GenerateVectorTable(name, tuning.VectorShares, f.bands)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate table for threat %s: %w", threat.ID, err)
+	}
+	tuning.Table = table
+	return tuning, nil
+}
+
+// queryTags drains a paginated tag search with the workflow filters,
+// applying the poisoning defence when the input enables it and adding
+// the number of dropped posts to *filtered.
+func (f *Framework) queryTags(ctx context.Context, tags []string, in SocialInput, filtered *int) ([]*social.Post, error) {
+	if len(tags) == 0 {
+		return nil, nil
+	}
+	q := social.Query{
+		AnyTags: tags,
+		Region:  in.Region,
+		Since:   in.Since,
+		Until:   in.Until,
+	}
+	if in.Application != "" {
+		q.MustTerms = []string{in.Application}
+	}
+	posts, err := social.SearchAll(ctx, f.searcher, q)
+	if err != nil {
+		return nil, err
+	}
+	if !in.FilterInauthentic {
+		return posts, nil
+	}
+	reportOut, err := sai.FilterAuthentic(posts, sai.DefaultAuthenticityConfig())
+	if err != nil {
+		return nil, err
+	}
+	if filtered != nil {
+		*filtered += len(reportOut.Flagged)
+	}
+	return reportOut.Clean, nil
+}
+
+// TopicTrend computes the quarterly attraction trend of a tag set under
+// the workflow filters — the "historical trend" search parameter of the
+// paper. The poisoning defence applies when the input enables it.
+func (f *Framework) TopicTrend(ctx context.Context, tags []string, in SocialInput) (*sai.Trend, error) {
+	if f.searcher == nil {
+		return nil, fmt.Errorf("core: trend analysis requires a configured Searcher")
+	}
+	if len(tags) == 0 {
+		return nil, fmt.Errorf("core: trend analysis needs at least one tag")
+	}
+	posts, err := f.queryTags(ctx, tags, in, nil)
+	if err != nil {
+		return nil, err
+	}
+	return f.builder.ComputeTrend(posts)
+}
+
+// PersistLearned merges a run's learned keywords back into the
+// framework's database, making them available to future runs (the
+// paper's "future runs" loop).
+func (f *Framework) PersistLearned(result *SocialResult) error {
+	if result == nil {
+		return fmt.Errorf("core: nil social result")
+	}
+	for topic, tags := range result.Learned {
+		if _, err := f.keywords.Extend(topic, tags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func windowSuffix(since, until time.Time) string {
+	switch {
+	case since.IsZero() && until.IsZero():
+		return " (all time)"
+	case until.IsZero():
+		return fmt.Sprintf(" (since %s)", since.Format("2006-01-02"))
+	case since.IsZero():
+		return fmt.Sprintf(" (until %s)", until.Format("2006-01-02"))
+	default:
+		return fmt.Sprintf(" (%s to %s)", since.Format("2006-01-02"), until.Format("2006-01-02"))
+	}
+}

@@ -1,0 +1,18 @@
+// Package finance implements the financial attack-feasibility model of
+// the PSP framework (Section III of the paper, Fig. 10):
+//
+//   - MV = PAE · PPIA                      (Equation 1)
+//   - PAE = VS · PEA  or  MS · PEA         (Equation 2)
+//   - BEP = FC · n / (PPIA − VCU)          (Equation 3)
+//   - FC = FTEH · ch + SLD                 (Equation 4)
+//   - FC = BEP · (PPIA − VCU) / n          (Equation 5, inverse)
+//
+// plus break-even analysis with profitability zones (Fig. 11) and the
+// mapping of financial indices onto ISO/SAE 21434 attack feasibility
+// ratings, which lets the financial model plug into the standard's risk
+// determination as a fourth feasibility approach.
+//
+// Money is represented as int64 cents with an explicit currency code;
+// all equation arithmetic happens in cents and rounds half away from
+// zero at the boundaries.
+package finance

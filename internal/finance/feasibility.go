@@ -1,0 +1,75 @@
+package finance
+
+import (
+	"fmt"
+
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// FeasibilityInput gathers the financial indices of one insider-attack
+// threat scenario.
+type FeasibilityInput struct {
+	// PAE is the potential attacker population (Equation 2).
+	PAE int
+	// BEP is the break-even volume (Equation 3).
+	BEP int
+	// MV is the yearly market value (Equation 1).
+	MV Money
+}
+
+// Thresholds maps the demand ratio PAE/BEP onto ISO/SAE 21434
+// feasibility ratings. The underlying assumption of the paper: the wider
+// the profitable margin between attacker demand and the break-even
+// volume, the more feasible (because more attractive and better funded)
+// the insider attack.
+type Thresholds struct {
+	// HighMin is the minimum PAE/BEP ratio rating High.
+	HighMin float64
+	// MediumMin and LowMin bound the Medium and Low bands; ratios below
+	// LowMin rate Very Low.
+	MediumMin float64
+	LowMin    float64
+}
+
+// DefaultThresholds returns the default demand-ratio bands: an attack
+// whose demand covers at least 4× the break-even volume rates High,
+// ≥ 1× (profitable at all) rates Medium, ≥ 0.5× rates Low, anything
+// smaller rates Very Low. The paper locates profitable attacks
+// ("the blue area") between Medium and High.
+func DefaultThresholds() Thresholds {
+	return Thresholds{HighMin: 4, MediumMin: 1, LowMin: 0.5}
+}
+
+// Validate checks band ordering.
+func (t Thresholds) Validate() error {
+	if t.LowMin <= 0 || t.MediumMin <= t.LowMin || t.HighMin <= t.MediumMin {
+		return fmt.Errorf("finance: invalid thresholds %+v", t)
+	}
+	return nil
+}
+
+// Rate maps the financial input onto an attack feasibility rating.
+func Rate(in FeasibilityInput, th Thresholds) (tara.FeasibilityRating, error) {
+	if err := th.Validate(); err != nil {
+		return 0, err
+	}
+	if in.PAE < 0 || in.BEP < 0 {
+		return 0, fmt.Errorf("finance: negative PAE or BEP: %+v", in)
+	}
+	if in.BEP == 0 {
+		// Zero break-even volume: the attack is profitable from the
+		// first unit sold.
+		return tara.FeasibilityHigh, nil
+	}
+	ratio := float64(in.PAE) / float64(in.BEP)
+	switch {
+	case ratio >= th.HighMin:
+		return tara.FeasibilityHigh, nil
+	case ratio >= th.MediumMin:
+		return tara.FeasibilityMedium, nil
+	case ratio >= th.LowMin:
+		return tara.FeasibilityLow, nil
+	default:
+		return tara.FeasibilityVeryLow, nil
+	}
+}

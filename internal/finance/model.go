@@ -1,0 +1,121 @@
+package finance
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MarketKind selects the PAE branch of Equation 2.
+type MarketKind int
+
+// Market kinds.
+const (
+	// Monopolistic markets use total vehicle sales (VS).
+	Monopolistic MarketKind = iota + 1
+	// NonMonopolistic markets use the maker's market share (MS).
+	NonMonopolistic
+)
+
+// String returns the market kind name.
+func (k MarketKind) String() string {
+	switch k {
+	case Monopolistic:
+		return "monopolistic"
+	case NonMonopolistic:
+		return "non-monopolistic"
+	}
+	return fmt.Sprintf("MarketKind(%d)", int(k))
+}
+
+// PAE computes the potential-attacker estimation of Equation 2:
+// units·PEA, floored to whole attackers. units is VS for monopolistic
+// markets and MS for non-monopolistic ones; pea is the potential-attacker
+// share in [0, 1].
+func PAE(units int, pea float64) (int, error) {
+	if units < 0 {
+		return 0, fmt.Errorf("finance: negative unit count %d", units)
+	}
+	if pea < 0 || pea > 1 {
+		return 0, fmt.Errorf("finance: PEA %f outside [0,1]", pea)
+	}
+	return int(float64(units) * pea), nil
+}
+
+// MarketValue computes Equation 1: MV = PAE · PPIA, the yearly market
+// size of an insider attack.
+func MarketValue(pae int, ppia Money) (Money, error) {
+	if pae < 0 {
+		return Money{}, fmt.Errorf("finance: negative PAE %d", pae)
+	}
+	if ppia.Cents <= 0 {
+		return Money{}, fmt.Errorf("finance: non-positive PPIA %s", ppia)
+	}
+	return ppia.MulInt(int64(pae)), nil
+}
+
+// FixedCost computes Equation 4: FC = FTEH·ch + SLD, the adversary's
+// fixed cost of developing the attack. fteh is the full-time-equivalent
+// hours of R&D, ch the hourly cost, sld the straight-line depreciation of
+// CAPEX items (lab instrumentation, tooling).
+func FixedCost(fteh float64, ch, sld Money) (Money, error) {
+	if fteh < 0 {
+		return Money{}, fmt.Errorf("finance: negative FTEH %f", fteh)
+	}
+	if ch.Cents < 0 || sld.Cents < 0 {
+		return Money{}, errors.New("finance: negative hourly cost or depreciation")
+	}
+	labour := ch.MulFloat(fteh)
+	return labour.Add(sld)
+}
+
+// ErrNoMargin is returned when PPIA ≤ VCU: with no per-unit margin the
+// break-even point does not exist.
+var ErrNoMargin = errors.New("finance: PPIA does not exceed VCU, no per-unit margin")
+
+// BreakEven computes Equation 3: BEP = FC·n / (PPIA − VCU), the unit
+// volume at which the insider-attack product becomes profitable. n is the
+// number of competing attackers sharing the market; it must be ≥ 1. The
+// result is rounded up: profitability needs the full next unit.
+func BreakEven(fc Money, n int, ppia, vcu Money) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("finance: competitor count %d < 1", n)
+	}
+	if fc.Cents < 0 {
+		return 0, fmt.Errorf("finance: negative fixed cost %s", fc)
+	}
+	margin, err := ppia.Sub(vcu)
+	if err != nil {
+		return 0, err
+	}
+	if margin.Cents <= 0 {
+		return 0, fmt.Errorf("%w: PPIA %s, VCU %s", ErrNoMargin, ppia, vcu)
+	}
+	num := fc.Cents * int64(n)
+	bep := num / margin.Cents
+	if num%margin.Cents != 0 {
+		bep++
+	}
+	return int(bep), nil
+}
+
+// InverseFixedCost computes Equation 5: FC = BEP·(PPIA − VCU)/n, the
+// total investment an adversary can profitably spend when the break-even
+// point equals the potential attacker population. This is the security
+// budget the product must withstand.
+func InverseFixedCost(bep int, ppia, vcu Money, n int) (Money, error) {
+	if bep < 0 {
+		return Money{}, fmt.Errorf("finance: negative BEP %d", bep)
+	}
+	if n < 1 {
+		return Money{}, fmt.Errorf("finance: competitor count %d < 1", n)
+	}
+	margin, err := ppia.Sub(vcu)
+	if err != nil {
+		return Money{}, err
+	}
+	if margin.Cents <= 0 {
+		return Money{}, fmt.Errorf("%w: PPIA %s, VCU %s", ErrNoMargin, ppia, vcu)
+	}
+	total := margin.MulInt(int64(bep))
+	return total.DivInt(int64(n))
+}

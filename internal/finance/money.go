@@ -1,0 +1,151 @@
+package finance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Currency is an ISO-4217-style currency code.
+type Currency string
+
+// Currencies used by the built-in datasets.
+const (
+	EUR Currency = "EUR"
+	USD Currency = "USD"
+	GBP Currency = "GBP"
+)
+
+// Money is an amount in integer cents of a currency. The zero value is
+// "no amount" (zero EURless cents) and is safe to add.
+type Money struct {
+	// Cents is the amount in hundredths of the currency unit.
+	Cents int64
+	// Currency is the currency code; empty only for the zero value.
+	Currency Currency
+}
+
+// ErrCurrencyMismatch is returned when combining amounts of different
+// currencies.
+var ErrCurrencyMismatch = errors.New("finance: currency mismatch")
+
+// FromUnits builds a Money from a float amount of currency units,
+// rounding half away from zero to cents.
+func FromUnits(amount float64, c Currency) Money {
+	return Money{Cents: roundToInt64(amount * 100), Currency: c}
+}
+
+// FromCents builds a Money from integer cents.
+func FromCents(cents int64, c Currency) Money {
+	return Money{Cents: cents, Currency: c}
+}
+
+// Units returns the amount in currency units.
+func (m Money) Units() float64 { return float64(m.Cents) / 100 }
+
+// IsZero reports whether the amount is zero.
+func (m Money) IsZero() bool { return m.Cents == 0 }
+
+// Neg returns the negated amount.
+func (m Money) Neg() Money { return Money{Cents: -m.Cents, Currency: m.Currency} }
+
+// Add returns m + o; the currencies must match (a zero-valued operand
+// adopts the other's currency).
+func (m Money) Add(o Money) (Money, error) {
+	c, err := combineCurrency(m, o)
+	if err != nil {
+		return Money{}, err
+	}
+	return Money{Cents: m.Cents + o.Cents, Currency: c}, nil
+}
+
+// Sub returns m − o with the same currency rules as Add.
+func (m Money) Sub(o Money) (Money, error) {
+	neg := o.Neg()
+	return m.Add(neg)
+}
+
+// MulInt returns m × n.
+func (m Money) MulInt(n int64) Money {
+	return Money{Cents: m.Cents * n, Currency: m.Currency}
+}
+
+// MulFloat returns m × f, rounded half away from zero.
+func (m Money) MulFloat(f float64) Money {
+	return Money{Cents: roundToInt64(float64(m.Cents) * f), Currency: m.Currency}
+}
+
+// DivInt returns m ÷ n, rounded half away from zero. n must be non-zero.
+func (m Money) DivInt(n int64) (Money, error) {
+	if n == 0 {
+		return Money{}, errors.New("finance: division by zero")
+	}
+	return Money{Cents: roundToInt64(float64(m.Cents) / float64(n)), Currency: m.Currency}, nil
+}
+
+// Cmp compares two amounts of the same currency: -1, 0 or +1.
+func (m Money) Cmp(o Money) (int, error) {
+	if _, err := combineCurrency(m, o); err != nil {
+		return 0, err
+	}
+	switch {
+	case m.Cents < o.Cents:
+		return -1, nil
+	case m.Cents > o.Cents:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// String renders the amount with thousands separators, e.g.
+// "506,160.00 EUR".
+func (m Money) String() string {
+	sign := ""
+	cents := m.Cents
+	if cents < 0 {
+		sign = "-"
+		cents = -cents
+	}
+	whole := cents / 100
+	frac := cents % 100
+	cur := string(m.Currency)
+	if cur == "" {
+		cur = "?"
+	}
+	return fmt.Sprintf("%s%s.%02d %s", sign, groupThousands(whole), frac, cur)
+}
+
+func groupThousands(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func combineCurrency(a, b Money) (Currency, error) {
+	switch {
+	case a.Currency == b.Currency:
+		return a.Currency, nil
+	case a.Currency == "" && a.Cents == 0:
+		return b.Currency, nil
+	case b.Currency == "" && b.Cents == 0:
+		return a.Currency, nil
+	}
+	return "", fmt.Errorf("%w: %s vs %s", ErrCurrencyMismatch, a.Currency, b.Currency)
+}
+
+// roundToInt64 rounds half away from zero.
+func roundToInt64(f float64) int64 {
+	if f >= 0 {
+		return int64(math.Floor(f + 0.5))
+	}
+	return -int64(math.Floor(-f + 0.5))
+}

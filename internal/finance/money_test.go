@@ -1,0 +1,133 @@
+package finance
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMoneyConstructionAndUnits(t *testing.T) {
+	m := FromUnits(360, EUR)
+	if m.Cents != 36000 || m.Currency != EUR {
+		t.Errorf("FromUnits(360) = %+v", m)
+	}
+	if m.Units() != 360 {
+		t.Errorf("Units() = %v", m.Units())
+	}
+	// Rounding half away from zero.
+	if got := FromUnits(0.005, EUR).Cents; got != 1 {
+		t.Errorf("FromUnits(0.005) = %d cents, want 1", got)
+	}
+	if got := FromUnits(-0.005, EUR).Cents; got != -1 {
+		t.Errorf("FromUnits(-0.005) = %d cents, want -1", got)
+	}
+	if !FromCents(0, EUR).IsZero() || FromCents(1, EUR).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestMoneyArithmetic(t *testing.T) {
+	a := FromUnits(360, EUR)
+	b := FromUnits(50, EUR)
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Units() != 410 {
+		t.Errorf("Add = %s", sum)
+	}
+	diff, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Units() != 310 {
+		t.Errorf("Sub = %s", diff)
+	}
+	if got := a.MulInt(1406); got.Units() != 506160 {
+		t.Errorf("MulInt = %s, want 506,160.00 EUR", got)
+	}
+	if got := a.MulFloat(0.5); got.Units() != 180 {
+		t.Errorf("MulFloat = %s", got)
+	}
+	q, err := FromUnits(310, EUR).MulInt(1406).DivInt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1406·310/3 = 145,286.666… → 145,286.67 in cents.
+	if q.Cents != 14528667 {
+		t.Errorf("DivInt = %s (%d cents), want 145,286.67", q, q.Cents)
+	}
+	if _, err := a.DivInt(0); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestMoneyCurrencyMismatch(t *testing.T) {
+	eur := FromUnits(1, EUR)
+	usd := FromUnits(1, USD)
+	if _, err := eur.Add(usd); !errors.Is(err, ErrCurrencyMismatch) {
+		t.Errorf("Add mismatch error = %v", err)
+	}
+	if _, err := eur.Cmp(usd); !errors.Is(err, ErrCurrencyMismatch) {
+		t.Errorf("Cmp mismatch error = %v", err)
+	}
+	// Zero value adopts the other currency.
+	sum, err := Money{}.Add(eur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Currency != EUR || sum.Cents != 100 {
+		t.Errorf("zero add = %+v", sum)
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	tests := []struct {
+		m    Money
+		want string
+	}{
+		{FromUnits(506160, EUR), "506,160.00 EUR"},
+		{FromUnits(145286.67, EUR), "145,286.67 EUR"},
+		{FromUnits(-42.5, USD), "-42.50 USD"},
+		{FromCents(7, GBP), "0.07 GBP"},
+		{FromUnits(1234567.89, EUR), "1,234,567.89 EUR"},
+		{Money{}, "0.00 ?"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestMoneyCmp(t *testing.T) {
+	a, b := FromUnits(2, EUR), FromUnits(3, EUR)
+	if c, _ := a.Cmp(b); c != -1 {
+		t.Errorf("Cmp(2,3) = %d", c)
+	}
+	if c, _ := b.Cmp(a); c != 1 {
+		t.Errorf("Cmp(3,2) = %d", c)
+	}
+	if c, _ := a.Cmp(a); c != 0 {
+		t.Errorf("Cmp(2,2) = %d", c)
+	}
+}
+
+// Property: Add is commutative and Sub undoes Add for same-currency
+// amounts.
+func TestMoneyAddProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x := FromCents(int64(a), EUR)
+		y := FromCents(int64(b), EUR)
+		s1, err1 := x.Add(y)
+		s2, err2 := y.Add(x)
+		if err1 != nil || err2 != nil || s1 != s2 {
+			return false
+		}
+		back, err := s1.Sub(y)
+		return err == nil && back == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package market provides the structured data substrates the PSP
+// financial model consumes in place of the paper's external sources:
+//
+//   - a vehicle sales / market-share database (the VS and MS terms of
+//     Equation 2),
+//   - a cybersecurity annual-report database exposing potential-attacker
+//     percentages (the PEA term), replacing the Upstream global
+//     automotive cybersecurity reports, and
+//   - a marketplace-listings corpus for adversary devices and services,
+//     which the NLP layer mines for purchase prices (PPIA), component
+//     costs (VCU) and competitor counts (n).
+//
+// The built-in dataset is calibrated to the paper's excavator case
+// study: PAE = 1,406 potential attackers, PPIA ≈ 360 EUR,
+// PPIA − VCU = 310 EUR and n = 3 competitors, reproducing Equations 6
+// and 7.
+package market

@@ -1,0 +1,177 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/psp-framework/psp/internal/nlp"
+)
+
+// Listing is one marketplace advertisement for an adversary device or
+// service (defeat device, emulator, tuning service, installation).
+type Listing struct {
+	// ID is unique within a corpus.
+	ID string
+	// Category is the attack topic key the listing serves
+	// ("dpf-tampering", "ecm-reprogramming", ...).
+	Category string
+	// Vendor is the selling entity.
+	Vendor string
+	// Region is the market region code.
+	Region string
+	// Kind distinguishes finished products ("device"), professional
+	// services ("service") and raw components ("component").
+	Kind string
+	// Text is the free-text advertisement the NLP layer mines; it must
+	// contain the price.
+	Text string
+}
+
+// Validate checks the listing invariants.
+func (l *Listing) Validate() error {
+	if strings.TrimSpace(l.ID) == "" || strings.TrimSpace(l.Category) == "" ||
+		strings.TrimSpace(l.Vendor) == "" {
+		return fmt.Errorf("market: listing with empty id/category/vendor: %+v", l)
+	}
+	switch l.Kind {
+	case "device", "service", "component":
+	default:
+		return fmt.Errorf("market: listing %s: unknown kind %q", l.ID, l.Kind)
+	}
+	if len(nlp.ExtractPrices(l.Text)) == 0 {
+		return fmt.Errorf("market: listing %s: no extractable price in text", l.ID)
+	}
+	return nil
+}
+
+// ListingsDB is the marketplace-listings corpus.
+type ListingsDB struct {
+	listings []*Listing
+}
+
+// NewListingsDB builds a corpus, validating every listing.
+func NewListingsDB(listings []*Listing) (*ListingsDB, error) {
+	db := &ListingsDB{}
+	for _, l := range listings {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		db.listings = append(db.listings, l)
+	}
+	return db, nil
+}
+
+// Len returns the number of listings.
+func (db *ListingsDB) Len() int { return len(db.listings) }
+
+// Select returns the listings matching a category, region and kind; empty
+// strings match everything.
+func (db *ListingsDB) Select(category, region, kind string) []*Listing {
+	var out []*Listing
+	for _, l := range db.listings {
+		if category != "" && normKey(l.Category) != normKey(category) {
+			continue
+		}
+		if region != "" && normKey(l.Region) != normKey(region) {
+			continue
+		}
+		if kind != "" && l.Kind != kind {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// SelectKinds returns the listings matching a category and region whose
+// kind is any of kinds. It is the selection the PPIA survey uses: the
+// paper clusters "adversary devices or services" together, excluding raw
+// components.
+func (db *ListingsDB) SelectKinds(category, region string, kinds ...string) []*Listing {
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []*Listing
+	for _, l := range db.Select(category, region, "") {
+		if len(want) == 0 || want[l.Kind] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// PriceSurvey is the result of mining a listing selection.
+type PriceSurvey struct {
+	// Prices are all extracted prices in currency units.
+	Prices []float64
+	// Clusters are the k-means price bands, ascending by center.
+	Clusters []nlp.Cluster
+	// Dominant is the most-populated cluster — the market's price anchor.
+	Dominant nlp.Cluster
+	// Vendors maps each vendor to its listing count within the dominant
+	// cluster's price band.
+	Vendors map[string]int
+	// Listings is the number of listings mined.
+	Listings int
+}
+
+// CompetitorCount returns the number of distinct vendors operating in
+// the dominant price band — the n term of Equation 3.
+func (s *PriceSurvey) CompetitorCount() int { return len(s.Vendors) }
+
+// MinePrices extracts and clusters prices for a listing selection. k is
+// the number of price bands (the paper's clustering of "adversary devices
+// or services found online based on their prices"); k is capped by the
+// number of extracted prices.
+func MinePrices(listings []*Listing, k int) (*PriceSurvey, error) {
+	if len(listings) == 0 {
+		return nil, fmt.Errorf("market: no listings to mine")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("market: invalid price cluster count %d", k)
+	}
+	type priced struct {
+		vendor string
+		price  float64
+	}
+	var all []priced
+	var prices []float64
+	for _, l := range listings {
+		for _, m := range nlp.ExtractPrices(l.Text) {
+			all = append(all, priced{vendor: l.Vendor, price: m.Amount})
+			prices = append(prices, m.Amount)
+		}
+	}
+	if len(prices) == 0 {
+		return nil, fmt.Errorf("market: no prices extracted from %d listings", len(listings))
+	}
+	if k > len(prices) {
+		k = len(prices)
+	}
+	clusters, err := nlp.KMeans1D(prices, k, 0)
+	if err != nil {
+		return nil, fmt.Errorf("market: cluster prices: %w", err)
+	}
+	dominant, err := nlp.DominantCluster(clusters)
+	if err != nil {
+		return nil, err
+	}
+	lo := dominant.Values[0]
+	hi := dominant.Values[len(dominant.Values)-1]
+	vendors := make(map[string]int)
+	for _, p := range all {
+		if p.price >= lo && p.price <= hi {
+			vendors[p.vendor]++
+		}
+	}
+	sort.Float64s(prices)
+	return &PriceSurvey{
+		Prices:   prices,
+		Clusters: clusters,
+		Dominant: dominant,
+		Vendors:  vendors,
+		Listings: len(listings),
+	}, nil
+}

@@ -1,0 +1,153 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttackerStat is one annual-report statistic: the percentage of owners
+// (or operators) of an application in a region estimated to be potential
+// attackers for an attack category. It replaces the text-mined Upstream
+// report figures of the paper.
+type AttackerStat struct {
+	// Category is the attack topic key ("dpf-tampering",
+	// "ecm-reprogramming", ...).
+	Category string
+	// Application is the vehicle application the statistic covers.
+	Application string
+	// Region is the market region code.
+	Region string
+	// Year is the report year.
+	Year int
+	// PEA is the potential-attacker share in [0, 1].
+	PEA float64
+	// Source names the report the figure comes from.
+	Source string
+}
+
+// VectorOccurrence is one annual-report statistic on how frequently an
+// attack category was executed through each access class — the data
+// behind the paper's claim that ECM reprogramming "has a high occurrence
+// rate preferably based on physical attacks".
+type VectorOccurrence struct {
+	Category string
+	Year     int
+	// Shares maps the access class ("physical", "local", "adjacent",
+	// "network") to its observed share of incidents; shares sum to ≈1.
+	Shares map[string]float64
+}
+
+// ReportDB is the cybersecurity annual-report database.
+type ReportDB struct {
+	stats       []AttackerStat
+	occurrences []VectorOccurrence
+}
+
+// NewReportDB builds a database, validating every entry.
+func NewReportDB(stats []AttackerStat, occurrences []VectorOccurrence) (*ReportDB, error) {
+	db := &ReportDB{}
+	for _, s := range stats {
+		if err := db.AddStat(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range occurrences {
+		if err := db.AddOccurrence(o); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// AddStat inserts one attacker statistic.
+func (db *ReportDB) AddStat(s AttackerStat) error {
+	if strings.TrimSpace(s.Category) == "" || strings.TrimSpace(s.Application) == "" ||
+		strings.TrimSpace(s.Region) == "" {
+		return fmt.Errorf("market: attacker stat with empty category/application/region: %+v", s)
+	}
+	if s.PEA < 0 || s.PEA > 1 {
+		return fmt.Errorf("market: attacker stat with PEA outside [0,1]: %+v", s)
+	}
+	db.stats = append(db.stats, s)
+	return nil
+}
+
+// AddOccurrence inserts one vector-occurrence statistic.
+func (db *ReportDB) AddOccurrence(o VectorOccurrence) error {
+	if strings.TrimSpace(o.Category) == "" || len(o.Shares) == 0 {
+		return fmt.Errorf("market: vector occurrence with empty category or shares: %+v", o)
+	}
+	var total float64
+	for k, v := range o.Shares {
+		if v < 0 {
+			return fmt.Errorf("market: vector occurrence with negative share %s=%f", k, v)
+		}
+		total += v
+	}
+	if total < 0.99 || total > 1.01 {
+		return fmt.Errorf("market: vector occurrence shares sum to %.3f, want ≈1", total)
+	}
+	db.occurrences = append(db.occurrences, o)
+	return nil
+}
+
+// PEA returns the potential-attacker share for a category, application,
+// region and year. When the exact year is absent it falls back to the
+// most recent earlier year for the same key.
+func (db *ReportDB) PEA(category, application, region string, year int) (float64, error) {
+	category, application, region = normKey(category), normKey(application), normKey(region)
+	bestYear := -1
+	var best float64
+	for _, s := range db.stats {
+		if normKey(s.Category) != category || normKey(s.Application) != application ||
+			normKey(s.Region) != region || s.Year > year {
+			continue
+		}
+		if s.Year > bestYear {
+			bestYear, best = s.Year, s.PEA
+		}
+	}
+	if bestYear < 0 {
+		return 0, fmt.Errorf("market: no PEA data for %s/%s/%s up to %d", category, application, region, year)
+	}
+	return best, nil
+}
+
+// OccurrenceShares returns the per-access-class incident shares for a
+// category and year, with the same most-recent-earlier-year fallback.
+func (db *ReportDB) OccurrenceShares(category string, year int) (map[string]float64, error) {
+	category = normKey(category)
+	bestYear := -1
+	var best map[string]float64
+	for _, o := range db.occurrences {
+		if normKey(o.Category) != category || o.Year > year {
+			continue
+		}
+		if o.Year > bestYear {
+			bestYear, best = o.Year, o.Shares
+		}
+	}
+	if bestYear < 0 {
+		return nil, fmt.Errorf("market: no occurrence data for %s up to %d", category, year)
+	}
+	cp := make(map[string]float64, len(best))
+	for k, v := range best {
+		cp[k] = v
+	}
+	return cp, nil
+}
+
+// Categories lists the distinct stat categories, sorted.
+func (db *ReportDB) Categories() []string {
+	set := map[string]bool{}
+	for _, s := range db.stats {
+		set[normKey(s.Category)] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,183 @@
+package market
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/psp-framework/psp/internal/nlp"
+)
+
+// The paper obtains PEA by "analyzing vehicle cybersecurity annual
+// reports" with text mining. This file implements that path: free-text
+// report documents are scanned for percentage statements near the attack
+// category's vocabulary, so the structured AttackerStat entries of
+// ReportDB can be cross-checked against (or built from) prose sources.
+
+// ReportDocument is one prose source (an annual report section).
+type ReportDocument struct {
+	// Title identifies the document ("Global Automotive Cybersecurity
+	// Report 2023 §4.2").
+	Title string
+	// Year is the report year.
+	Year int
+	// Body is the prose text.
+	Body string
+}
+
+// ShareMention is one extracted percentage statement.
+type ShareMention struct {
+	// Share is the percentage as a fraction in [0, 1].
+	Share float64
+	// Sentence is the sentence the share was found in.
+	Sentence string
+	// Document is the source document title.
+	Document string
+	// Year is the source document year.
+	Year int
+}
+
+// MineAttackerShares scans report documents for percentage statements
+// whose sentence mentions every one of the given terms (category and
+// application vocabulary, normalized and stemmed). It returns all
+// matching mentions in document order.
+func MineAttackerShares(docs []ReportDocument, terms []string) ([]ShareMention, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("market: no report documents to mine")
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("market: no terms to mine for")
+	}
+	stemmed := make([]string, len(terms))
+	for i, t := range terms {
+		stemmed[i] = nlp.Stem(nlp.Normalize(t))
+	}
+	var out []ShareMention
+	for _, doc := range docs {
+		for _, sentence := range splitSentences(doc.Body) {
+			share, ok := extractPercent(sentence)
+			if !ok {
+				continue
+			}
+			if !sentenceMentionsAll(sentence, stemmed) {
+				continue
+			}
+			out = append(out, ShareMention{
+				Share:    share,
+				Sentence: strings.TrimSpace(sentence),
+				Document: doc.Title,
+				Year:     doc.Year,
+			})
+		}
+	}
+	return out, nil
+}
+
+// MinePEA reduces the mentions for a (category terms, application) query
+// to one PEA estimate: the most recent year wins; within a year, the
+// median mention is used to resist outlier sentences.
+func MinePEA(docs []ReportDocument, terms []string) (float64, error) {
+	mentions, err := MineAttackerShares(docs, terms)
+	if err != nil {
+		return 0, err
+	}
+	if len(mentions) == 0 {
+		return 0, fmt.Errorf("market: no share statements found for terms %v", terms)
+	}
+	bestYear := mentions[0].Year
+	for _, m := range mentions {
+		if m.Year > bestYear {
+			bestYear = m.Year
+		}
+	}
+	var shares []float64
+	for _, m := range mentions {
+		if m.Year == bestYear {
+			shares = append(shares, m.Share)
+		}
+	}
+	return nlp.Median(shares), nil
+}
+
+// splitSentences breaks prose into sentences on ./!/? boundaries.
+func splitSentences(body string) []string {
+	var out []string
+	var current strings.Builder
+	for _, r := range body {
+		current.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			if s := strings.TrimSpace(current.String()); s != "" {
+				out = append(out, s)
+			}
+			current.Reset()
+		}
+	}
+	if s := strings.TrimSpace(current.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// extractPercent finds the first "N%" or "N percent" figure in a
+// sentence and returns it as a fraction.
+func extractPercent(sentence string) (float64, bool) {
+	fields := strings.Fields(strings.ToLower(sentence))
+	for i, f := range fields {
+		f = strings.Trim(f, ".,;:()")
+		if strings.HasSuffix(f, "%") {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(f, "%"), 64); err == nil && v > 0 && v <= 100 {
+				return v / 100, true
+			}
+		}
+		if (f == "percent" || f == "per-cent") && i > 0 {
+			prev := strings.Trim(fields[i-1], ".,;:()")
+			if v, err := strconv.ParseFloat(prev, 64); err == nil && v > 0 && v <= 100 {
+				return v / 100, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// sentenceMentionsAll reports whether the sentence's stemmed vocabulary
+// covers every stemmed term.
+func sentenceMentionsAll(sentence string, stemmedTerms []string) bool {
+	words := map[string]bool{}
+	for _, tok := range nlp.Tokenize(sentence) {
+		if tok.Kind == nlp.TokenWord || tok.Kind == nlp.TokenHashtag {
+			words[nlp.Stem(nlp.Normalize(tok.Text))] = true
+		}
+	}
+	for _, t := range stemmedTerms {
+		if !words[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultReportDocuments returns the prose sources behind the built-in
+// AttackerStat entries; text mining them must reproduce the structured
+// figures (the calibration test asserts this).
+func DefaultReportDocuments() []ReportDocument {
+	return []ReportDocument{
+		{
+			Title: "Global Automotive Cybersecurity Report 2023 — Off-Highway",
+			Year:  2022,
+			Body: `Aftermarket emission tampering remains the dominant insider threat in
+the off-highway segment. Our fleet telemetry indicates that 5% of
+excavator operators in Europe are potential adopters of DPF tampering
+devices. Tampering occurrences on tracked excavators grew for the third
+consecutive year. For heavy trucks the corresponding DPF tampering
+propensity is 3% of operators. Enforcement actions remain rare.`,
+		},
+		{
+			Title: "Global Automotive Cybersecurity Report 2023 — Passenger",
+			Year:  2022,
+			Body: `Chip tuning communities keep growing. We estimate 2% of passenger car
+owners as potential customers of ECM reprogramming services. AdBlue
+emulator adoption reaches 4% of truck operators in Europe. Keyless
+theft incidents rose 18% year over year, but remain outsider-driven.`,
+		},
+	}
+}

@@ -1,0 +1,124 @@
+package market
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMinePEAReproducesStructuredFigures(t *testing.T) {
+	docs := DefaultReportDocuments()
+	ds := mustDataset(t)
+	cases := []struct {
+		name        string
+		terms       []string
+		category    string
+		application string
+	}{
+		{"excavator DPF", []string{"dpf", "tampering", "excavator"}, CategoryDPFTampering, "excavator"},
+		{"truck DPF", []string{"dpf", "tampering", "truck"}, CategoryDPFTampering, "truck"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mined, err := MinePEA(docs, tc.terms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			structured, err := ds.Reports.PEA(tc.category, tc.application, "EU", 2022)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mined-structured) > 1e-9 {
+				t.Errorf("mined PEA %.4f != structured %.4f", mined, structured)
+			}
+		})
+	}
+}
+
+func TestMineAttackerSharesSelectivity(t *testing.T) {
+	docs := DefaultReportDocuments()
+	// "excavator" + "dpf" matches exactly one sentence.
+	mentions, err := MineAttackerShares(docs, []string{"excavator", "dpf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mentions) != 1 {
+		t.Fatalf("mentions = %d, want 1: %+v", len(mentions), mentions)
+	}
+	m := mentions[0]
+	if m.Share != 0.05 || m.Year != 2022 {
+		t.Errorf("mention = %+v", m)
+	}
+	if !strings.Contains(m.Sentence, "5%") {
+		t.Errorf("sentence lost: %q", m.Sentence)
+	}
+	// A term that never co-occurs with a percentage yields nothing.
+	none, err := MineAttackerShares(docs, []string{"submarine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("unexpected mentions: %+v", none)
+	}
+}
+
+func TestMinePEAErrors(t *testing.T) {
+	if _, err := MinePEA(nil, []string{"x"}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := MinePEA(DefaultReportDocuments(), nil); err == nil {
+		t.Error("empty terms accepted")
+	}
+	if _, err := MinePEA(DefaultReportDocuments(), []string{"submarine"}); err == nil {
+		t.Error("no-match query should error")
+	}
+}
+
+func TestMinePEAPrefersRecentYearAndMedian(t *testing.T) {
+	docs := []ReportDocument{
+		{Title: "old", Year: 2020, Body: "We saw 9% of excavator operators adopting dpf tampering."},
+		{Title: "new-a", Year: 2022, Body: "Now 4% of excavator operators adopt dpf tampering."},
+		{Title: "new-b", Year: 2022, Body: "Another survey puts dpf tampering among excavator operators at 6%."},
+		{Title: "new-c", Year: 2022, Body: "A third estimate: 5% of excavator operators consider dpf tampering."},
+	}
+	pea, err := MinePEA(docs, []string{"excavator", "dpf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2020's 9% is ignored; median of {4%, 6%, 5%} = 5%.
+	if math.Abs(pea-0.05) > 1e-9 {
+		t.Errorf("PEA = %.4f, want 0.05", pea)
+	}
+}
+
+func TestExtractPercentForms(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"around 5% of operators", 0.05, true},
+		{"around 5 percent of operators", 0.05, true},
+		{"grew by 12.5% overall", 0.125, true},
+		{"(3%) in parentheses", 0.03, true},
+		{"no figures here", 0, false},
+		{"the 0% case is rejected", 0, false},
+		{"a 250% claim is rejected", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := extractPercent(tt.in)
+		if ok != tt.ok || math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("extractPercent(%q) = %.4f,%v want %.4f,%v", tt.in, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := splitSentences("One. Two! Three? Four")
+	if len(got) != 4 {
+		t.Errorf("sentences = %v", got)
+	}
+	if len(splitSentences("")) != 0 {
+		t.Error("empty body should yield no sentences")
+	}
+}

@@ -1,0 +1,57 @@
+package nlp
+
+import "testing"
+
+var benchPost = "Best #dpfdelete kit ever, huge gains on my excavator — flashed " +
+	"through the obd port in minutes, 360€ from @tuningshop, highly recommend :D"
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Tokenize(benchPost)) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkSentimentScore(b *testing.B) {
+	a := NewAnalyzer(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Score(benchPost).Hits == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"deleted", "removals", "tuning", "devices", "emulators", "installed"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range words {
+			if Stem(w) == "" {
+				b.Fatal("empty stem")
+			}
+		}
+	}
+}
+
+func BenchmarkKMeans1D(b *testing.B) {
+	values := make([]float64, 0, 300)
+	for i := 0; i < 100; i++ {
+		values = append(values, 150+float64(i%20), 360+float64(i%30), 800+float64(i%10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans1D(values, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractPrices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(ExtractPrices(benchPost)) != 1 {
+			b.Fatal("price extraction failed")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package nlp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cluster is a one-dimensional k-means cluster over scalar observations
+// (prices, in PSP's use). Values are float64 for generality; the finance
+// layer converts to and from integer cents at its boundary.
+type Cluster struct {
+	// Center is the cluster mean.
+	Center float64
+	// Values are the member observations, ascending.
+	Values []float64
+}
+
+// Size returns the number of members.
+func (c Cluster) Size() int { return len(c.Values) }
+
+// ErrNoObservations is returned when clustering is asked for more
+// clusters than observations or for an empty input.
+var ErrNoObservations = errors.New("nlp: not enough observations to cluster")
+
+// KMeans1D clusters scalar observations into k clusters with
+// deterministic quantile seeding followed by Lloyd iterations. The result
+// is sorted by ascending center. maxIter bounds the iteration count
+// (values ≤ 0 mean 100).
+func KMeans1D(values []float64, k, maxIter int) ([]Cluster, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("nlp: invalid cluster count %d", k)
+	}
+	if len(values) < k {
+		return nil, fmt.Errorf("%w: %d observations for k=%d", ErrNoObservations, len(values), k)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	// Quantile seeding: deterministic and well-spread for 1-D data.
+	centers := make([]float64, k)
+	for i := range centers {
+		q := (float64(i) + 0.5) / float64(k)
+		centers[i] = sorted[int(q*float64(len(sorted)))]
+	}
+
+	assign := make([]int, len(sorted))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i, v := range sorted {
+			best, bestDist := 0, math.Inf(1)
+			for j, c := range centers {
+				if d := math.Abs(v - c); d < bestDist {
+					best, bestDist = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Update step.
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range sorted {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for j := range centers {
+			if counts[j] > 0 {
+				centers[j] = sums[j] / float64(counts[j])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	clusters := make([]Cluster, k)
+	for j := range clusters {
+		clusters[j].Center = centers[j]
+	}
+	for i, v := range sorted {
+		clusters[assign[i]].Values = append(clusters[assign[i]].Values, v)
+	}
+	// Drop empty clusters (possible when duplicates collapse), then sort.
+	out := clusters[:0]
+	for _, c := range clusters {
+		if c.Size() > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Center < out[j].Center })
+	return out, nil
+}
+
+// DominantCluster returns the cluster with the most members (ties break
+// toward the lower center, reflecting the market's price anchor).
+func DominantCluster(clusters []Cluster) (Cluster, error) {
+	if len(clusters) == 0 {
+		return Cluster{}, ErrNoObservations
+	}
+	best := clusters[0]
+	for _, c := range clusters[1:] {
+		if c.Size() > best.Size() {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// Mean returns the arithmetic mean of values (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Median returns the median of values (0 for empty input).
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

@@ -1,0 +1,115 @@
+package nlp
+
+import "sort"
+
+// CooccurrenceGraph counts how often tag pairs appear in the same
+// document. PSP's auto-learning loop (Fig. 7 block 5) uses it to discover
+// new attack hashtags: tags that frequently co-occur with known attack
+// tags are candidate keywords for future queries.
+type CooccurrenceGraph struct {
+	// counts[a][b] = number of documents containing both a and b (a ≠ b).
+	counts map[string]map[string]int
+	// docFreq[a] = number of documents containing a.
+	docFreq map[string]int
+	docs    int
+}
+
+// NewCooccurrenceGraph returns an empty graph.
+func NewCooccurrenceGraph() *CooccurrenceGraph {
+	return &CooccurrenceGraph{
+		counts:  make(map[string]map[string]int),
+		docFreq: make(map[string]int),
+	}
+}
+
+// Observe records one document's tag set (duplicates are collapsed).
+func (g *CooccurrenceGraph) Observe(tags []string) {
+	uniq := make([]string, 0, len(tags))
+	seen := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		t = Normalize(t)
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		uniq = append(uniq, t)
+	}
+	if len(uniq) == 0 {
+		return
+	}
+	g.docs++
+	for _, t := range uniq {
+		g.docFreq[t]++
+	}
+	for i, a := range uniq {
+		for j, b := range uniq {
+			if i == j {
+				continue
+			}
+			if g.counts[a] == nil {
+				g.counts[a] = make(map[string]int)
+			}
+			g.counts[a][b]++
+		}
+	}
+}
+
+// Docs returns the number of observed documents.
+func (g *CooccurrenceGraph) Docs() int { return g.docs }
+
+// Count returns how many documents contain both a and b.
+func (g *CooccurrenceGraph) Count(a, b string) int {
+	return g.counts[Normalize(a)][Normalize(b)]
+}
+
+// Association is a candidate tag scored by its association with a seed
+// set.
+type Association struct {
+	Tag string
+	// Score is the summed conditional probability P(tag | seed) over the
+	// seed set.
+	Score float64
+	// Support is the total number of co-occurrences with any seed.
+	Support int
+}
+
+// Associates ranks tags by association with the seed set: for each
+// candidate tag t ∉ seeds, score = Σ_s count(t, s) / docFreq(s). minSupport
+// filters noise (candidates co-occurring fewer than minSupport times in
+// total are dropped). The result is sorted by descending score, ties by
+// tag.
+func (g *CooccurrenceGraph) Associates(seeds []string, minSupport int) []Association {
+	seedSet := make(map[string]bool, len(seeds))
+	for _, s := range seeds {
+		seedSet[Normalize(s)] = true
+	}
+	scores := make(map[string]float64)
+	support := make(map[string]int)
+	for s := range seedSet {
+		df := g.docFreq[s]
+		if df == 0 {
+			continue
+		}
+		for t, c := range g.counts[s] {
+			if seedSet[t] {
+				continue
+			}
+			scores[t] += float64(c) / float64(df)
+			support[t] += c
+		}
+	}
+	out := make([]Association, 0, len(scores))
+	for t, sc := range scores {
+		if support[t] < minSupport {
+			continue
+		}
+		out = append(out, Association{Tag: t, Score: sc, Support: support[t]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}

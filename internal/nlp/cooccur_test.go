@@ -1,0 +1,106 @@
+package nlp
+
+import (
+	"testing"
+)
+
+func TestCooccurrenceAssociates(t *testing.T) {
+	g := NewCooccurrenceGraph()
+	// #dpfdelete frequently co-occurs with #dpfoff (unknown to seeds) and
+	// occasionally with noise tags.
+	for i := 0; i < 8; i++ {
+		g.Observe([]string{"dpfdelete", "dpfoff", "excavator"})
+	}
+	g.Observe([]string{"dpfdelete", "weekendvibes"})
+	g.Observe([]string{"egrremoval", "egroff"})
+	g.Observe([]string{"unrelated", "noise"})
+
+	if g.Docs() != 11 {
+		t.Fatalf("Docs() = %d, want 11", g.Docs())
+	}
+	if got := g.Count("dpfdelete", "dpfoff"); got != 8 {
+		t.Fatalf("Count(dpfdelete, dpfoff) = %d, want 8", got)
+	}
+
+	assocs := g.Associates([]string{"dpfdelete", "egrremoval"}, 2)
+	if len(assocs) == 0 {
+		t.Fatal("no associates found")
+	}
+	// Top associate must be dpfoff (8/9 from dpfdelete).
+	if assocs[0].Tag != "dpfoff" {
+		t.Errorf("top associate = %+v, want dpfoff", assocs[0])
+	}
+	// Noise below minSupport must be filtered.
+	for _, a := range assocs {
+		if a.Tag == "weekendvibes" {
+			t.Errorf("low-support tag leaked into associates: %+v", a)
+		}
+		if a.Tag == "dpfdelete" || a.Tag == "egrremoval" {
+			t.Errorf("seed tag returned as associate: %+v", a)
+		}
+	}
+}
+
+func TestCooccurrenceNormalizesAndDedupes(t *testing.T) {
+	g := NewCooccurrenceGraph()
+	g.Observe([]string{"DPFdelete", "dpfdelete", "DPFOFF"})
+	if g.Docs() != 1 {
+		t.Fatalf("Docs() = %d, want 1", g.Docs())
+	}
+	if got := g.Count("dpfdelete", "dpfoff"); got != 1 {
+		t.Errorf("Count = %d, want 1 (dedup within doc)", got)
+	}
+}
+
+func TestCooccurrenceEmptyObserve(t *testing.T) {
+	g := NewCooccurrenceGraph()
+	g.Observe(nil)
+	g.Observe([]string{"", "  "})
+	if g.Docs() != 0 {
+		t.Errorf("Docs() = %d, want 0", g.Docs())
+	}
+	if got := g.Associates([]string{"anything"}, 1); len(got) != 0 {
+		t.Errorf("Associates on empty graph = %v, want none", got)
+	}
+}
+
+func TestExtractPrices(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []PriceMention
+	}{
+		{"euro symbol prefix", "selling kit €360 shipped", []PriceMention{{360, "EUR"}}},
+		{"euro symbol suffix", "kit 360€ obo", []PriceMention{{360, "EUR"}}},
+		{"currency word", "price is 360 EUR firm", []PriceMention{{360, "EUR"}}},
+		{"decimal", "only 349.99 euros today", []PriceMention{{349.99, "EUR"}}},
+		{"usd", "$450 plus shipping", []PriceMention{{450, "USD"}}},
+		{"gbp word", "paid 300 pounds for it", []PriceMention{{300, "GBP"}}},
+		{"thousands us", "pro install $1,299.50 all-in", []PriceMention{{1299.50, "USD"}}},
+		{"thousands eu", "listino 1.299,50€", []PriceMention{{1299.50, "EUR"}}},
+		{"bare number ignored", "made 360 hp on the dyno", nil},
+		{"no numbers", "best delete kit ever", nil},
+		{"suffixed eur", "deal: 360eur shipped", []PriceMention{{360, "EUR"}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ExtractPrices(tt.in)
+			if len(got) != len(tt.want) {
+				t.Fatalf("ExtractPrices(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+			for i := range got {
+				if got[i].Currency != tt.want[i].Currency ||
+					absF(got[i].Amount-tt.want[i].Amount) > 1e-9 {
+					t.Errorf("ExtractPrices(%q)[%d] = %+v, want %+v", tt.in, i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

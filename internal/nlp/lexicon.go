@@ -1,0 +1,94 @@
+package nlp
+
+// Lexicon maps normalized terms to sentiment valence in [-1, +1]. The
+// default lexicon combines a compact general-purpose English core with
+// domain vocabulary from the vehicle-tuning scene: in PSP's setting,
+// enthusiasm about a tampering product ("best dpf delete ever, huge
+// power gain") is the positive signal that feeds attack attraction.
+type Lexicon struct {
+	valence map[string]float64
+}
+
+// NewLexicon builds a lexicon from a term → valence map. Terms are
+// normalized (Normalize) before storage so lookups are robust.
+func NewLexicon(valence map[string]float64) *Lexicon {
+	l := &Lexicon{valence: make(map[string]float64, len(valence))}
+	for term, v := range valence {
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		l.valence[Normalize(term)] = v
+	}
+	return l
+}
+
+// Valence returns the valence of a normalized term and whether the term
+// is known.
+func (l *Lexicon) Valence(term string) (float64, bool) {
+	v, ok := l.valence[term]
+	return v, ok
+}
+
+// Len returns the number of lexicon entries.
+func (l *Lexicon) Len() int { return len(l.valence) }
+
+// Merge adds all entries of o, overriding existing terms.
+func (l *Lexicon) Merge(o *Lexicon) {
+	for term, v := range o.valence {
+		l.valence[term] = v
+	}
+}
+
+// DefaultLexicon returns the built-in sentiment lexicon.
+func DefaultLexicon() *Lexicon {
+	return NewLexicon(defaultValence)
+}
+
+// defaultValence is the built-in term → valence table.
+var defaultValence = map[string]float64{
+	// General positive.
+	"good": 0.5, "great": 0.7, "awesome": 0.9, "amazing": 0.9,
+	"excellent": 0.9, "perfect": 0.9, "best": 0.8, "love": 0.8,
+	"loved": 0.8, "like": 0.4, "liked": 0.4, "nice": 0.5, "happy": 0.6,
+	"glad": 0.5, "win": 0.6, "winner": 0.6, "easy": 0.5, "cheap": 0.4,
+	"fast": 0.5, "quick": 0.4, "smooth": 0.5, "strong": 0.4,
+	"recommend": 0.7, "recommended": 0.7, "works": 0.5, "worked": 0.5,
+	"working": 0.4, "success": 0.7, "successful": 0.7, "solid": 0.5,
+	"reliable": 0.6, "worth": 0.5, "bargain": 0.6, "legit": 0.5,
+	"satisfied": 0.6, "impressive": 0.7, "insane": 0.6, "wow": 0.6,
+	"beast": 0.6, "clean": 0.4, "smart": 0.4, "simple": 0.4,
+	"effective": 0.6, "powerful": 0.6, "improved": 0.5, "improvement": 0.5,
+
+	// General negative.
+	"bad": -0.5, "terrible": -0.8, "awful": -0.8, "horrible": -0.8,
+	"worst": -0.9, "hate": -0.7, "hated": -0.7, "poor": -0.5,
+	"broken": -0.6, "broke": -0.6, "fail": -0.7, "failed": -0.7,
+	"failure": -0.7, "useless": -0.7, "waste": -0.6, "scam": -0.9,
+	"fraud": -0.9, "fake": -0.7, "slow": -0.4, "expensive": -0.4,
+	"problem": -0.4, "problems": -0.4, "issue": -0.3, "issues": -0.3,
+	"error": -0.4, "errors": -0.4, "bricked": -0.9, "brick": -0.7,
+	"ruined": -0.8, "damage": -0.6, "damaged": -0.6, "warning": -0.3,
+	"danger": -0.5, "dangerous": -0.5, "illegal": -0.3, "fine": -0.2,
+	"fined": -0.6, "caught": -0.5, "risky": -0.4, "regret": -0.7,
+	"avoid": -0.5, "disappointed": -0.7, "disappointing": -0.7,
+	"junk": -0.7, "garbage": -0.7, "refund": -0.5, "returned": -0.4,
+	"stock": -0.1, "limp": -0.5, "stalling": -0.6, "misfire": -0.5,
+
+	// Domain positive: performance and cost gains attributed to tampering.
+	"gain": 0.6, "gains": 0.6, "torque": 0.3, "boost": 0.5,
+	"boosted": 0.5, "power": 0.4, "hp": 0.3, "horsepower": 0.4,
+	"savings": 0.6, "saved": 0.5, "save": 0.4, "economy": 0.3,
+	"mpg": 0.3, "performance": 0.4, "unlocked": 0.6, "unlock": 0.5,
+	"derestricted": 0.6, "freed": 0.4, "responsive": 0.5,
+	"plug-and-play": 0.6, "plug": 0.1, "warranty": 0.2,
+	"dyno": 0.3, "proven": 0.6, "guaranteed": 0.5,
+
+	// Domain negative: detection, enforcement, failures after tampering.
+	"emission": -0.1, "emissions": -0.1, "inspection": -0.3,
+	"recall": -0.4, "void": -0.4, "detected": -0.4, "detection": -0.3,
+	"rejected": -0.6, "clogged": -0.5, "regen": -0.2, "derate": -0.6,
+	"derated": -0.6, "towed": -0.6, "impounded": -0.8,
+}

@@ -1,0 +1,28 @@
+package nlp
+
+import "strings"
+
+// NGrams returns the n-grams of a word sequence joined by single spaces.
+// n must be ≥ 1; sequences shorter than n yield nil.
+func NGrams(words []string, n int) []string {
+	if n < 1 || len(words) < n {
+		return nil
+	}
+	out := make([]string, 0, len(words)-n+1)
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, strings.Join(words[i:i+n], " "))
+	}
+	return out
+}
+
+// Bigrams returns the 2-grams of a word sequence.
+func Bigrams(words []string) []string { return NGrams(words, 2) }
+
+// CountTerms tallies term frequencies over a term list.
+func CountTerms(terms []string) map[string]int {
+	counts := make(map[string]int, len(terms))
+	for _, t := range terms {
+		counts[t]++
+	}
+	return counts
+}

@@ -1,0 +1,90 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize canonicalizes a word for lexicon lookup and matching:
+// lower-casing, character-elongation collapse ("soooo" → "soo"), and
+// common leet-speak substitutions used in tuning-scene posts
+// ("d3l3te" → "delete"). It does not stem; see Stem.
+func Normalize(word string) string {
+	word = strings.ToLower(strings.TrimSpace(word))
+	word = collapseElongation(word, 2)
+	word = deleet(word)
+	return word
+}
+
+// collapseElongation limits any run of the same rune to max repetitions.
+func collapseElongation(s string, max int) string {
+	if max < 1 {
+		max = 1
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	var prev rune
+	run := 0
+	for _, r := range s {
+		if r == prev {
+			run++
+		} else {
+			prev, run = r, 1
+		}
+		if run <= max {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// leetMap holds single-character leet substitutions. Applied only when
+// the word mixes letters and digits, so pure numbers stay numbers.
+var leetMap = map[rune]rune{
+	'0': 'o',
+	'1': 'i',
+	'3': 'e',
+	'4': 'a',
+	'5': 's',
+	'7': 't',
+	'@': 'a',
+	'$': 's',
+}
+
+// deleet resolves leet-speak in mixed alphanumeric words.
+func deleet(s string) string {
+	hasLetter, hasSub := false, false
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			hasLetter = true
+		}
+		if _, ok := leetMap[r]; ok {
+			hasSub = true
+		}
+	}
+	if !hasLetter || !hasSub {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if sub, ok := leetMap[r]; ok {
+			b.WriteRune(sub)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// NormalizeAll maps Normalize over a token list in place of their Text,
+// returning a new slice of normalized word strings (non-words excluded).
+func NormalizeAll(tokens []Token) []string {
+	var out []string
+	for _, t := range tokens {
+		if t.Kind == TokenWord || t.Kind == TokenHashtag {
+			out = append(out, Normalize(t.Text))
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package nlp
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// PriceMention is a monetary amount extracted from free text.
+type PriceMention struct {
+	// Amount is the numeric value in currency units (not cents).
+	Amount float64
+	// Currency is the ISO-ish code inferred from the symbol or suffix
+	// ("EUR", "USD", "GBP"); empty when no marker was present.
+	Currency string
+}
+
+// currency markers recognized before or after an amount.
+var currencyMarkers = map[string]string{
+	"€": "EUR", "eur": "EUR", "euro": "EUR", "euros": "EUR",
+	"$": "USD", "usd": "USD", "dollar": "USD", "dollars": "USD",
+	"£": "GBP", "gbp": "GBP", "pound": "GBP", "pounds": "GBP",
+}
+
+// ExtractPrices scans text for monetary mentions: "€360", "360 EUR",
+// "360eur", "price: 349.99 euros". Amounts without any currency marker
+// are NOT returned — bare numbers in scene posts are usually horsepower
+// or model designations, not prices.
+func ExtractPrices(text string) []PriceMention {
+	var out []PriceMention
+	fields := strings.Fields(strings.ToLower(text))
+	for i, f := range fields {
+		f = strings.Trim(f, ".,;:!?()[]")
+		if f == "" {
+			continue
+		}
+		// Form 1: symbol-prefixed or suffixed in the same field ("€360",
+		// "360€", "360eur").
+		if m, ok := parsePricedField(f); ok {
+			out = append(out, m)
+			continue
+		}
+		// Form 2: bare number followed by a currency word ("360 eur").
+		if amount, ok := parseAmount(f); ok && i+1 < len(fields) {
+			next := strings.Trim(fields[i+1], ".,;:!?()[]")
+			if cur, ok := currencyMarkers[next]; ok {
+				out = append(out, PriceMention{Amount: amount, Currency: cur})
+			}
+		}
+	}
+	return out
+}
+
+// parsePricedField handles single-field forms with an embedded marker.
+func parsePricedField(f string) (PriceMention, bool) {
+	for marker, code := range currencyMarkers {
+		if !strings.Contains(f, marker) {
+			continue
+		}
+		rest := strings.ReplaceAll(f, marker, "")
+		if amount, ok := parseAmount(rest); ok {
+			return PriceMention{Amount: amount, Currency: code}, true
+		}
+	}
+	return PriceMention{}, false
+}
+
+// parseAmount parses a decimal amount tolerant of thousands separators.
+func parseAmount(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) && r != '.' && r != ',' {
+			return 0, false
+		}
+	}
+	// Disambiguate separators: if both appear, the last one is decimal.
+	lastDot, lastComma := strings.LastIndex(s, "."), strings.LastIndex(s, ",")
+	switch {
+	case lastDot >= 0 && lastComma >= 0:
+		if lastComma > lastDot { // 1.299,50 (European)
+			s = strings.ReplaceAll(s, ".", "")
+			s = strings.Replace(s, ",", ".", 1)
+		} else { // 1,299.50 (US)
+			s = strings.ReplaceAll(s, ",", "")
+		}
+	case lastComma >= 0:
+		// Comma only: decimal if exactly two digits follow, else thousands.
+		if len(s)-lastComma-1 == 2 {
+			s = strings.Replace(s, ",", ".", 1)
+		} else {
+			s = strings.ReplaceAll(s, ",", "")
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}

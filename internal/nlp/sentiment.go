@@ -1,0 +1,167 @@
+package nlp
+
+// SentimentLabel is the discrete classification of a scored text.
+type SentimentLabel int
+
+// Sentiment labels.
+const (
+	SentimentNegative SentimentLabel = iota + 1
+	SentimentNeutral
+	SentimentPositive
+)
+
+// String returns the label name.
+func (l SentimentLabel) String() string {
+	switch l {
+	case SentimentNegative:
+		return "negative"
+	case SentimentNeutral:
+		return "neutral"
+	case SentimentPositive:
+		return "positive"
+	}
+	return "unknown"
+}
+
+// negators flip the valence of the next sentiment-bearing word within the
+// negation window.
+var negators = map[string]bool{
+	"not": true, "no": true, "never": true, "without": true, "dont": true,
+	"don't": true, "doesnt": true, "doesn't": true, "didnt": true,
+	"didn't": true, "wont": true, "won't": true, "cant": true,
+	"can't": true, "cannot": true, "isnt": true, "isn't": true,
+	"wasnt": true, "wasn't": true, "aint": true, "ain't": true,
+}
+
+// intensifiers scale the valence of the next sentiment-bearing word.
+var intensifiers = map[string]float64{
+	"very": 1.5, "really": 1.4, "extremely": 1.8, "super": 1.5,
+	"totally": 1.4, "absolutely": 1.7, "so": 1.3, "insanely": 1.7,
+	"slightly": 0.6, "somewhat": 0.7, "barely": 0.5, "kinda": 0.7,
+	"pretty": 1.2, "quite": 1.2, "highly": 1.5, "massively": 1.7,
+}
+
+// emoticonValence scores the recognized emoticons.
+var emoticonValence = map[string]float64{
+	":)": 0.6, ":-)": 0.6, ":D": 0.8, ":-D": 0.8, ";)": 0.4, ";-)": 0.4,
+	"<3": 0.7, ":(": -0.6, ":-(": -0.6, ":/": -0.3, ":-/": -0.3,
+	":'(": -0.8, ":P": 0.3, ":-P": 0.3, "xD": 0.7, "XD": 0.7,
+}
+
+// negationWindow is how many following tokens a negator affects.
+const negationWindow = 3
+
+// Sentiment is the result of scoring a text.
+type Sentiment struct {
+	// Score is the aggregate valence, normalized to [-1, +1].
+	Score float64
+	// Label is the discrete classification of Score.
+	Label SentimentLabel
+	// Hits is the number of sentiment-bearing tokens encountered.
+	Hits int
+}
+
+// Analyzer scores text against a lexicon with negation and intensifier
+// rules. Hashtag tokens participate with an extra weight because tags
+// like #dpfdelete are the strongest topical signal in scene posts.
+type Analyzer struct {
+	lexicon *Lexicon
+	// HashtagWeight multiplies the valence of hashtag matches (default 1.5).
+	HashtagWeight float64
+	// NeutralBand is the half-width of the neutral zone around zero
+	// (default 0.1): scores within it classify as neutral.
+	NeutralBand float64
+}
+
+// NewAnalyzer builds an Analyzer around the given lexicon (nil means the
+// default lexicon).
+func NewAnalyzer(l *Lexicon) *Analyzer {
+	if l == nil {
+		l = DefaultLexicon()
+	}
+	return &Analyzer{lexicon: l, HashtagWeight: 1.5, NeutralBand: 0.1}
+}
+
+// Score tokenizes and scores a text.
+func (a *Analyzer) Score(text string) Sentiment {
+	return a.ScoreTokens(Tokenize(text))
+}
+
+// ScoreTokens scores an already-tokenized text.
+func (a *Analyzer) ScoreTokens(tokens []Token) Sentiment {
+	var total float64
+	hits := 0
+	pendingNegation := 0 // tokens remaining in the active negation window
+	pendingBoost := 1.0  // intensity multiplier for the next hit
+	boostArmed := false  // whether an intensifier precedes
+	for _, tok := range tokens {
+		switch tok.Kind {
+		case TokenEmoticon:
+			if v, ok := emoticonValence[tok.Text]; ok {
+				total += v
+				hits++
+			}
+			continue
+		case TokenWord, TokenHashtag:
+			// handled below
+		default:
+			continue
+		}
+		w := Normalize(tok.Text)
+		if tok.Kind == TokenWord {
+			if negators[w] {
+				pendingNegation = negationWindow
+				continue
+			}
+			if m, ok := intensifiers[w]; ok {
+				pendingBoost, boostArmed = m, true
+				continue
+			}
+		}
+		v, ok := a.lexicon.Valence(w)
+		if !ok {
+			// Try the stemmed form so inflections still match.
+			v, ok = a.lexicon.Valence(Stem(w))
+		}
+		if ok {
+			if tok.Kind == TokenHashtag {
+				v *= a.HashtagWeight
+			}
+			if boostArmed {
+				v *= pendingBoost
+				pendingBoost, boostArmed = 1.0, false
+			}
+			if pendingNegation > 0 {
+				v = -v
+			}
+			total += v
+			hits++
+		}
+		if pendingNegation > 0 {
+			pendingNegation--
+		}
+	}
+	s := Sentiment{Hits: hits}
+	if hits > 0 {
+		s.Score = clamp(total/float64(hits), -1, 1)
+	}
+	switch {
+	case s.Score > a.NeutralBand:
+		s.Label = SentimentPositive
+	case s.Score < -a.NeutralBand:
+		s.Label = SentimentNegative
+	default:
+		s.Label = SentimentNeutral
+	}
+	return s
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

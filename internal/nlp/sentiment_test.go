@@ -1,0 +1,130 @@
+package nlp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSentimentPolarity(t *testing.T) {
+	a := NewAnalyzer(nil)
+	tests := []struct {
+		name string
+		text string
+		want SentimentLabel
+	}{
+		{"positive scene post", "Best dpf delete kit ever, awesome power gains!", SentimentPositive},
+		{"negative outcome", "Total scam, bricked my ecu and ruined the turbo", SentimentNegative},
+		{"neutral spec", "The controller has a 32-bit mcu and two can channels", SentimentNeutral},
+		{"negated positive", "This kit is not good", SentimentNegative},
+		{"negated negative", "No problems at all after the install", SentimentPositive},
+		{"intensified positive", "really awesome delete kit", SentimentPositive},
+		{"emoticon positive", "finally installed it :D", SentimentPositive},
+		{"emoticon negative", "week two and it died :(", SentimentNegative},
+		{"empty", "", SentimentNeutral},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := a.Score(tt.text)
+			if got.Label != tt.want {
+				t.Errorf("Score(%q) = %+v, want label %v", tt.text, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSentimentNegationWindow(t *testing.T) {
+	a := NewAnalyzer(nil)
+	// Negator affects words within the window…
+	neg := a.Score("not a good kit")
+	if neg.Score >= 0 {
+		t.Errorf("negation within window failed: %+v", neg)
+	}
+	// …but not beyond it (window = 3 tokens).
+	far := a.Score("not sure about this one but good stuff overall")
+	if far.Score <= 0 {
+		t.Errorf("negation beyond window leaked: %+v", far)
+	}
+}
+
+func TestSentimentIntensifierScales(t *testing.T) {
+	a := NewAnalyzer(nil)
+	plain := a.Score("good kit")
+	boosted := a.Score("extremely good kit")
+	if boosted.Score <= plain.Score {
+		t.Errorf("intensifier did not raise score: plain %.3f, boosted %.3f", plain.Score, boosted.Score)
+	}
+	damped := a.Score("slightly good kit")
+	if damped.Score >= plain.Score {
+		t.Errorf("downtoner did not lower score: plain %.3f, damped %.3f", plain.Score, damped.Score)
+	}
+}
+
+func TestSentimentHashtagWeight(t *testing.T) {
+	lex := NewLexicon(map[string]float64{"boost": 0.4})
+	a := NewAnalyzer(lex)
+	word := a.Score("boost")
+	tag := a.Score("#boost")
+	if tag.Score <= word.Score {
+		t.Errorf("hashtag weighting missing: word %.3f, tag %.3f", word.Score, tag.Score)
+	}
+}
+
+func TestSentimentStemmedFallback(t *testing.T) {
+	// "gains" is in the lexicon directly, but "gaining" must match via
+	// its stem.
+	a := NewAnalyzer(nil)
+	s := a.Score("gaining power after the tune")
+	if s.Hits == 0 || s.Score <= 0 {
+		t.Errorf("stemmed lexicon fallback failed: %+v", s)
+	}
+}
+
+func TestSentimentScoreBoundsProperty(t *testing.T) {
+	a := NewAnalyzer(nil)
+	f := func(s string) bool {
+		got := a.Score(s)
+		return got.Score >= -1 && got.Score <= 1 && got.Hits >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexiconMergeAndClamp(t *testing.T) {
+	base := NewLexicon(map[string]float64{"alpha": 0.5, "beta": 2.5, "gamma": -3})
+	if v, _ := base.Valence("beta"); v != 1 {
+		t.Errorf("valence not clamped high: %v", v)
+	}
+	if v, _ := base.Valence("gamma"); v != -1 {
+		t.Errorf("valence not clamped low: %v", v)
+	}
+	over := NewLexicon(map[string]float64{"alpha": -0.5, "delta": 0.1})
+	base.Merge(over)
+	if v, _ := base.Valence("alpha"); v != -0.5 {
+		t.Errorf("merge did not override: %v", v)
+	}
+	if _, ok := base.Valence("delta"); !ok {
+		t.Error("merge did not add new term")
+	}
+	if base.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", base.Len())
+	}
+}
+
+func TestDefaultLexiconDomainTerms(t *testing.T) {
+	l := DefaultLexicon()
+	for _, term := range []string{"gains", "bricked", "scam", "savings", "unlocked"} {
+		if _, ok := l.Valence(term); !ok {
+			t.Errorf("default lexicon misses domain term %q", term)
+		}
+	}
+}
+
+func TestSentimentLabelString(t *testing.T) {
+	if SentimentPositive.String() != "positive" ||
+		SentimentNegative.String() != "negative" ||
+		SentimentNeutral.String() != "neutral" ||
+		SentimentLabel(0).String() != "unknown" {
+		t.Error("sentiment label strings wrong")
+	}
+}

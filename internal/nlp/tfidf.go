@@ -1,0 +1,81 @@
+package nlp
+
+import (
+	"math"
+	"sort"
+)
+
+// TFIDF computes term-frequency / inverse-document-frequency scores over
+// a corpus of pre-tokenized documents. It backs keyword extraction for
+// the PSP auto-learning loop and the clustering of marketplace listings.
+type TFIDF struct {
+	docCount int
+	// df counts the number of documents containing each term.
+	df map[string]int
+}
+
+// NewTFIDF builds the model from a corpus: each document is a list of
+// normalized terms.
+func NewTFIDF(docs [][]string) *TFIDF {
+	m := &TFIDF{docCount: len(docs), df: make(map[string]int)}
+	for _, doc := range docs {
+		seen := make(map[string]bool, len(doc))
+		for _, t := range doc {
+			if !seen[t] {
+				seen[t] = true
+				m.df[t]++
+			}
+		}
+	}
+	return m
+}
+
+// DocCount returns the number of documents the model was built from.
+func (m *TFIDF) DocCount() int { return m.docCount }
+
+// IDF returns the smoothed inverse document frequency of a term:
+// ln((1+N)/(1+df)) + 1.
+func (m *TFIDF) IDF(term string) float64 {
+	return math.Log(float64(1+m.docCount)/float64(1+m.df[term])) + 1
+}
+
+// Score computes the TF-IDF weight of each term of a document. The term
+// frequency is log-scaled: tf = 1 + ln(count).
+func (m *TFIDF) Score(doc []string) map[string]float64 {
+	counts := CountTerms(doc)
+	scores := make(map[string]float64, len(counts))
+	for t, c := range counts {
+		scores[t] = (1 + math.Log(float64(c))) * m.IDF(t)
+	}
+	return scores
+}
+
+// Keyword is a scored term.
+type Keyword struct {
+	Term  string
+	Score float64
+}
+
+// TopKeywords returns the k highest-scoring terms of a document, sorted
+// by descending score (ties break lexicographically). Stop words and
+// terms shorter than 3 runes are skipped.
+func (m *TFIDF) TopKeywords(doc []string, k int) []Keyword {
+	scores := m.Score(doc)
+	out := make([]Keyword, 0, len(scores))
+	for t, s := range scores {
+		if IsStopword(t) || len([]rune(t)) < 3 {
+			continue
+		}
+		out = append(out, Keyword{Term: t, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Term < out[j].Term
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

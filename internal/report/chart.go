@@ -1,0 +1,116 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// BarChart renders horizontal bars scaled to the maximum value. Labels
+// and values must have equal length; width is the bar area in columns.
+func BarChart(title string, labels []string, values []float64, width int) (string, error) {
+	if len(labels) != len(values) {
+		return "", fmt.Errorf("report: %d labels for %d values", len(labels), len(values))
+	}
+	if len(labels) == 0 {
+		return "", fmt.Errorf("report: empty chart")
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v < 0 {
+			return "", fmt.Errorf("report: negative bar value %f", v)
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+		if w := utf8.RuneCountInString(labels[i]); w > labelW {
+			labelW = w
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.1f\n", labelW, labels[i], strings.Repeat("#", bar), v)
+	}
+	return b.String(), nil
+}
+
+// LineSeries is one labelled series of a diagram.
+type LineSeries struct {
+	Name   string
+	Values []float64
+}
+
+// CrossoverDiagram renders two series against a shared x axis and marks
+// the crossing region — the shape of the paper's Fig. 11 break-even
+// diagram. xs labels the sample points.
+func CrossoverDiagram(title string, xs []int, a, b LineSeries, height int) (string, error) {
+	if len(xs) == 0 || len(a.Values) != len(xs) || len(b.Values) != len(xs) {
+		return "", fmt.Errorf("report: series lengths %d/%d do not match %d x labels",
+			len(a.Values), len(b.Values), len(xs))
+	}
+	if height < 5 {
+		height = 5
+	}
+	maxVal := 0.0
+	for i := range xs {
+		if a.Values[i] > maxVal {
+			maxVal = a.Values[i]
+		}
+		if b.Values[i] > maxVal {
+			maxVal = b.Values[i]
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(xs)))
+	}
+	plot := func(vals []float64, mark byte) {
+		for i, v := range vals {
+			row := height - 1 - int(v/maxVal*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			if grid[row][i] == ' ' {
+				grid[row][i] = mark
+			} else if grid[row][i] != mark {
+				grid[row][i] = 'X' // crossing cell
+			}
+		}
+	}
+	plot(a.Values, 'R')
+	plot(b.Values, 'C')
+	var out strings.Builder
+	if title != "" {
+		out.WriteString(title)
+		out.WriteByte('\n')
+	}
+	for _, row := range grid {
+		out.WriteString("| ")
+		out.Write(row)
+		out.WriteByte('\n')
+	}
+	out.WriteString("+-")
+	out.WriteString(strings.Repeat("-", len(xs)))
+	out.WriteByte('\n')
+	fmt.Fprintf(&out, "  x: %d .. %d units   R=%s C=%s X=crossing\n",
+		xs[0], xs[len(xs)-1], a.Name, b.Name)
+	return out.String(), nil
+}

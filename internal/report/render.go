@@ -1,0 +1,189 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/finance"
+	"github.com/psp-framework/psp/internal/sai"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// VectorTable renders an attack vector-based feasibility table in the
+// layout of the paper's Fig. 5 / Fig. 9.
+func VectorTable(t *tara.VectorTable) string {
+	tbl := NewTable(t.Name, "Attack vector", "Attack feasibility rating")
+	for _, v := range t.RankedVectors() {
+		r, err := t.Rating(v)
+		if err != nil {
+			continue
+		}
+		tbl.AddRow(v.String(), r.String())
+	}
+	return tbl.Render()
+}
+
+// CALTable renders a CAL determination matrix in the layout of Fig. 6.
+func CALTable(t *tara.CALTable) string {
+	tbl := NewTable(t.Name, "Impact", "Physical", "Local", "Adjacent", "Network")
+	for _, imp := range []tara.ImpactRating{
+		tara.ImpactSevere, tara.ImpactMajor, tara.ImpactModerate, tara.ImpactNegligible,
+	} {
+		row := []string{imp.String()}
+		for _, v := range tara.AllVectors() {
+			c, err := t.Determine(imp, v)
+			if err != nil {
+				row = append(row, "?")
+				continue
+			}
+			row = append(row, c.String())
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.Render()
+}
+
+// PotentialWeights renders the attack potential weight model of Fig. 3.
+func PotentialWeights(w *tara.AttackPotentialWeights) string {
+	tbl := NewTable(w.Name, "Parameter", "Level", "Weight")
+	add := func(param, level string, weight int) {
+		tbl.AddRow(param, level, fmt.Sprintf("%d", weight))
+	}
+	add("Elapsed Time", "≤ 1 day", w.ElapsedTime[tara.TimeOneDay])
+	add("Elapsed Time", "≤ 1 week", w.ElapsedTime[tara.TimeOneWeek])
+	add("Elapsed Time", "≤ 1 month", w.ElapsedTime[tara.TimeOneMonth])
+	add("Elapsed Time", "≤ 6 months", w.ElapsedTime[tara.TimeSixMonths])
+	add("Elapsed Time", "> 6 months", w.ElapsedTime[tara.TimeBeyondSixMonths])
+	add("Specialist Expertise", "Layman", w.Expertise[tara.ExpertiseLayman])
+	add("Specialist Expertise", "Proficient", w.Expertise[tara.ExpertiseProficient])
+	add("Specialist Expertise", "Expert", w.Expertise[tara.ExpertiseExpert])
+	add("Specialist Expertise", "Multiple experts", w.Expertise[tara.ExpertiseMultipleExperts])
+	add("Knowledge of Item", "Public", w.Knowledge[tara.KnowledgePublic])
+	add("Knowledge of Item", "Restricted", w.Knowledge[tara.KnowledgeRestricted])
+	add("Knowledge of Item", "Confidential", w.Knowledge[tara.KnowledgeConfidential])
+	add("Knowledge of Item", "Strictly confidential", w.Knowledge[tara.KnowledgeStrictlyConfidential])
+	add("Window of Opportunity", "Unlimited", w.Window[tara.WindowUnlimited])
+	add("Window of Opportunity", "Easy", w.Window[tara.WindowEasy])
+	add("Window of Opportunity", "Moderate", w.Window[tara.WindowModerate])
+	add("Window of Opportunity", "Difficult", w.Window[tara.WindowDifficult])
+	add("Equipment", "Standard", w.Equipment[tara.EquipmentStandard])
+	add("Equipment", "Specialized", w.Equipment[tara.EquipmentSpecialized])
+	add("Equipment", "Bespoke", w.Equipment[tara.EquipmentBespoke])
+	add("Equipment", "Multiple bespoke", w.Equipment[tara.EquipmentMultipleBespoke])
+	return tbl.Render()
+}
+
+// SAIChart renders a Social Attraction Index as the bar chart of
+// Fig. 12.
+func SAIChart(idx *sai.Index, title string) (string, error) {
+	labels := make([]string, 0, len(idx.Entries))
+	values := make([]float64, 0, len(idx.Entries))
+	for _, e := range idx.Entries {
+		kind := "insider"
+		if !e.Insider {
+			kind = "outsider"
+		}
+		labels = append(labels, fmt.Sprintf("%s [%s, %d posts]", e.Topic, kind, e.Posts))
+		values = append(values, e.Score)
+	}
+	return BarChart(title, labels, values, 50)
+}
+
+// SAITable renders a Social Attraction Index with probabilities.
+func SAITable(idx *sai.Index, title string) string {
+	tbl := NewTable(title, "Rank", "Attack", "SAI score", "Probability", "Class", "Posts")
+	for i, e := range idx.Entries {
+		kind := "insider"
+		if !e.Insider {
+			kind = "outsider"
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", i+1), e.Topic,
+			fmt.Sprintf("%.1f", e.Score),
+			fmt.Sprintf("%.3f", e.Probability),
+			kind,
+			fmt.Sprintf("%d", e.Posts),
+		)
+	}
+	return tbl.Render()
+}
+
+// TuningComparison renders the Fig. 8 A/B juxtaposition: the outsider
+// (standard) table next to the PSP-tuned insider table with its
+// corrective factors.
+func TuningComparison(outsider *tara.VectorTable, tuning *core.ThreatTuning) string {
+	var b strings.Builder
+	b.WriteString("A) Outsider threats — standard ISO/SAE 21434 weights:\n")
+	b.WriteString(VectorTable(outsider))
+	b.WriteString("\nB) Insider threats — PSP-tuned weights")
+	fmt.Fprintf(&b, " (threat: %s, %d posts):\n", tuning.Threat.Name, tuning.Posts)
+	b.WriteString(VectorTable(tuning.Table))
+	b.WriteString("\nSAI corrective factors (share / uniform prior):\n")
+	tbl := NewTable("", "Attack vector", "Share", "Factor")
+	for _, v := range tara.AllVectors() {
+		tbl.AddRow(v.String(),
+			fmt.Sprintf("%.3f", tuning.VectorShares[v]),
+			fmt.Sprintf("%.2f", tuning.Factors[v]))
+	}
+	b.WriteString(tbl.Render())
+	return b.String()
+}
+
+// TrendChart renders a quarterly trend as a bar chart with the fitted
+// direction.
+func TrendChart(trend *sai.Trend, title string) (string, error) {
+	labels := make([]string, len(trend.Points))
+	values := make([]float64, len(trend.Points))
+	for i, p := range trend.Points {
+		labels[i] = fmt.Sprintf("%d-Q%d", p.Quarter.Year(), (int(p.Quarter.Month())-1)/3+1)
+		values[i] = p.Attraction
+	}
+	chart, err := BarChart(title, labels, values, 40)
+	if err != nil {
+		return "", err
+	}
+	return chart + fmt.Sprintf("trend: %s (%.1f%% of mean attraction per quarter)\n",
+		trend.Direction, trend.Slope*100), nil
+}
+
+// BEPDiagram renders a break-even curve as the Fig. 11 crossover
+// diagram plus a numeric summary table.
+func BEPDiagram(curve *finance.BEPCurve, title string) (string, error) {
+	xs := make([]int, len(curve.Points))
+	rev := make([]float64, len(curve.Points))
+	cost := make([]float64, len(curve.Points))
+	for i, p := range curve.Points {
+		xs[i] = p.Units
+		rev[i] = p.Revenue.Units()
+		cost[i] = p.Cost.Units()
+	}
+	diagram, err := CrossoverDiagram(title, xs,
+		LineSeries{Name: "revenue", Values: rev},
+		LineSeries{Name: "cost", Values: cost}, 12)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(diagram)
+	fmt.Fprintf(&b, "break-even point: %d units\n", curve.BreakEvenUnits)
+	return b.String(), nil
+}
+
+// FinancialSummary renders the Fig. 10 outputs with the Equation 6/7
+// quantities.
+func FinancialSummary(res *core.FinancialResult, title string) string {
+	tbl := NewTable(title, "Quantity", "Value")
+	tbl.AddRow("Units basis (VS or MS)", fmt.Sprintf("%d", res.UnitsBasis))
+	tbl.AddRow("PEA", fmt.Sprintf("%.1f%%", res.PEA*100))
+	tbl.AddRow("PAE (Eq. 2)", fmt.Sprintf("%d", res.PAE))
+	tbl.AddRow("PPIA (price survey)", res.PPIA.String())
+	tbl.AddRow("VCU (component survey)", res.VCU.String())
+	tbl.AddRow("Competitors n", fmt.Sprintf("%d", res.N))
+	tbl.AddRow("MV (Eq. 1/6)", res.MV.String())
+	tbl.AddRow("Security budget FC (Eq. 5/7)", res.SecurityBudget.String())
+	tbl.AddRow("Adversary FC (Eq. 4)", res.AdversaryFC.String())
+	tbl.AddRow("BEP (Eq. 3)", fmt.Sprintf("%d units", res.BEP))
+	tbl.AddRow("Financial feasibility rating", res.Rating.String())
+	return tbl.Render()
+}

@@ -1,0 +1,119 @@
+package sai
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/psp-framework/psp/internal/nlp"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// The paper's roadmap names a "filtering strategy for messages to ensure
+// we process only authentic posts and prevent attackers from poisoning
+// the data". This file implements that strategy with three transparent
+// heuristics:
+//
+//   - copypasta campaigns: the same normalized text repeated beyond a
+//     threshold keeps only its first few instances;
+//   - author bursts: one handle posting more than a daily budget keeps
+//     only the budgeted prefix;
+//   - engagement anomalies: posts with large view counts but virtually
+//     no interactions look like bought reach and are dropped.
+
+// AuthenticityConfig tunes the poisoning filter.
+type AuthenticityConfig struct {
+	// MaxDuplicateTexts is how many posts with identical normalized text
+	// are kept (default 3).
+	MaxDuplicateTexts int
+	// MaxPerAuthorDay is the per-author daily post budget (default 5).
+	MaxPerAuthorDay int
+	// HighViewsFloor is the view count from which the engagement-anomaly
+	// check applies (default 5000).
+	HighViewsFloor int
+	// MinInteractionRate is the minimum interactions/views ratio a
+	// high-view post must show (default 0.0005).
+	MinInteractionRate float64
+}
+
+// DefaultAuthenticityConfig returns the default thresholds.
+func DefaultAuthenticityConfig() AuthenticityConfig {
+	return AuthenticityConfig{
+		MaxDuplicateTexts:  3,
+		MaxPerAuthorDay:    5,
+		HighViewsFloor:     5000,
+		MinInteractionRate: 0.0005,
+	}
+}
+
+// Validate rejects non-positive thresholds.
+func (c AuthenticityConfig) Validate() error {
+	if c.MaxDuplicateTexts < 1 || c.MaxPerAuthorDay < 1 ||
+		c.HighViewsFloor < 1 || c.MinInteractionRate < 0 {
+		return fmt.Errorf("sai: invalid authenticity config %+v", c)
+	}
+	return nil
+}
+
+// AuthenticityReport is the outcome of filtering a post set.
+type AuthenticityReport struct {
+	// Clean are the posts that passed, in input order.
+	Clean []*social.Post
+	// Flagged are the rejected posts, in input order.
+	Flagged []*social.Post
+	// Reasons maps post ID → the heuristic that rejected it.
+	Reasons map[string]string
+}
+
+// FilterAuthentic applies the poisoning heuristics to a post set.
+func FilterAuthentic(posts []*social.Post, cfg AuthenticityConfig) (*AuthenticityReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	report := &AuthenticityReport{Reasons: make(map[string]string)}
+	textCount := make(map[string]int)
+	authorDay := make(map[string]int)
+	for _, p := range posts {
+		if reason := classifyPost(p, cfg, textCount, authorDay); reason != "" {
+			report.Flagged = append(report.Flagged, p)
+			report.Reasons[p.ID] = reason
+			continue
+		}
+		report.Clean = append(report.Clean, p)
+	}
+	return report, nil
+}
+
+// classifyPost returns a rejection reason, or "" for authentic posts. It
+// updates the running duplicate and author-burst counters.
+func classifyPost(p *social.Post, cfg AuthenticityConfig,
+	textCount, authorDay map[string]int) string {
+
+	// Engagement anomaly first: it is per-post and campaign-independent.
+	if p.Metrics.Views >= cfg.HighViewsFloor {
+		rate := float64(p.Metrics.Interactions()) / float64(p.Metrics.Views)
+		if rate < cfg.MinInteractionRate {
+			return "engagement-anomaly"
+		}
+	}
+	key := canonicalText(p.Text)
+	textCount[key]++
+	if textCount[key] > cfg.MaxDuplicateTexts {
+		return "duplicate-text"
+	}
+	dayKey := p.Author + "@" + p.CreatedAt.UTC().Format("2006-01-02")
+	authorDay[dayKey]++
+	if authorDay[dayKey] > cfg.MaxPerAuthorDay {
+		return "author-burst"
+	}
+	return ""
+}
+
+// canonicalText folds case and whitespace so trivial mutations do not
+// evade duplicate detection.
+func canonicalText(text string) string {
+	words := strings.Fields(strings.ToLower(text))
+	for i, w := range words {
+		words[i] = nlp.Normalize(w)
+	}
+	return strings.Join(words, " ")
+}

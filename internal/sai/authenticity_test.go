@@ -1,0 +1,122 @@
+package sai
+
+import (
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/social"
+)
+
+func authPost(id, author, text string, views, likes int, day int) *social.Post {
+	return &social.Post{
+		ID: id, Author: author, Text: text,
+		CreatedAt: time.Date(2022, 6, day, 10, 0, 0, 0, time.UTC),
+		Region:    social.RegionEurope,
+		Metrics:   social.Metrics{Views: views, Likes: likes},
+	}
+}
+
+func TestFilterAuthenticDuplicates(t *testing.T) {
+	cfg := DefaultAuthenticityConfig()
+	var posts []*social.Post
+	for i := 0; i < 8; i++ {
+		posts = append(posts, authPost(
+			string(rune('a'+i)), "bot"+string(rune('0'+i%3)),
+			"identical shill text #dpfdelete", 100, 5, 1+i%5))
+	}
+	report, err := FilterAuthentic(posts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Clean) != cfg.MaxDuplicateTexts {
+		t.Errorf("clean = %d, want %d", len(report.Clean), cfg.MaxDuplicateTexts)
+	}
+	for _, p := range report.Flagged {
+		if report.Reasons[p.ID] != "duplicate-text" {
+			t.Errorf("post %s reason = %s", p.ID, report.Reasons[p.ID])
+		}
+	}
+}
+
+func TestFilterAuthenticDuplicatesSurviveCaseMutation(t *testing.T) {
+	// Trivial case/whitespace mutations must not evade detection.
+	posts := []*social.Post{
+		authPost("a", "u1", "Great KIT for you", 100, 5, 1),
+		authPost("b", "u2", "great   kit for you", 100, 5, 1),
+		authPost("c", "u3", "GREAT kit FOR you", 100, 5, 1),
+		authPost("d", "u4", "great kit for you!", 100, 5, 1),
+	}
+	cfg := DefaultAuthenticityConfig()
+	cfg.MaxDuplicateTexts = 2
+	report, err := FilterAuthentic(posts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Flagged) < 1 {
+		t.Errorf("mutated duplicates evaded detection: %d flagged", len(report.Flagged))
+	}
+}
+
+func TestFilterAuthenticAuthorBurst(t *testing.T) {
+	cfg := DefaultAuthenticityConfig()
+	var posts []*social.Post
+	// One author, 9 distinct posts on the same day.
+	for i := 0; i < 9; i++ {
+		posts = append(posts, authPost(
+			string(rune('a'+i)), "spammer",
+			"unique text number "+string(rune('0'+i)), 100, 5, 1))
+	}
+	// Same author on another day: fresh budget.
+	posts = append(posts, authPost("z", "spammer", "next day post", 100, 5, 2))
+	report, err := FilterAuthentic(posts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlagged := 9 - cfg.MaxPerAuthorDay
+	if len(report.Flagged) != wantFlagged {
+		t.Errorf("flagged = %d, want %d", len(report.Flagged), wantFlagged)
+	}
+	for _, p := range report.Flagged {
+		if report.Reasons[p.ID] != "author-burst" {
+			t.Errorf("post %s reason = %s", p.ID, report.Reasons[p.ID])
+		}
+	}
+	// The next-day post survives.
+	for _, p := range report.Flagged {
+		if p.ID == "z" {
+			t.Error("next-day post flagged")
+		}
+	}
+}
+
+func TestFilterAuthenticEngagementAnomaly(t *testing.T) {
+	cfg := DefaultAuthenticityConfig()
+	posts := []*social.Post{
+		authPost("organic", "u1", "real post with real reach", 50000, 900, 1),
+		authPost("bought", "u2", "bot post with bought views", 80000, 0, 1),
+		authPost("small", "u3", "tiny post, zero likes is normal", 200, 0, 1),
+	}
+	report, err := FilterAuthentic(posts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Flagged) != 1 || report.Flagged[0].ID != "bought" {
+		t.Fatalf("flagged = %v", report.Reasons)
+	}
+	if report.Reasons["bought"] != "engagement-anomaly" {
+		t.Errorf("reason = %s", report.Reasons["bought"])
+	}
+}
+
+func TestFilterAuthenticConfigValidation(t *testing.T) {
+	if _, err := FilterAuthentic(nil, AuthenticityConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	report, err := FilterAuthentic(nil, DefaultAuthenticityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Clean) != 0 || len(report.Flagged) != 0 {
+		t.Error("empty input should yield empty report")
+	}
+}

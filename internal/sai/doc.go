@@ -1,0 +1,15 @@
+// Package sai implements the Social Attraction Index engine of the PSP
+// framework (Fig. 7 of the paper, blocks 2 and 5–12):
+//
+//   - post attraction scoring from views, interactions and popularity,
+//     gated by sentiment;
+//   - SAI entries with attack-probability estimation (blocks 6–7);
+//   - insider/outsider classification of threat entries (blocks 8–9);
+//   - attack-vector classification of posts, from which per-vector
+//     attraction shares are derived;
+//   - generation of updated ISO/SAE 21434 attack-vector feasibility
+//     tables with SAI-derived corrective factors (block 12, Fig. 8-B and
+//     Fig. 9-B/C); and
+//   - hashtag auto-learning to extend the attack keyword database
+//     (block 5).
+package sai

@@ -1,0 +1,152 @@
+package sai
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// Entry is one row of the Social Attraction Index: an attack topic with
+// its attraction score, estimated attack probability and classification.
+type Entry struct {
+	// Topic names the attack ("DPF delete").
+	Topic string
+	// Tags are the hashtags that selected the topic's posts.
+	Tags []string
+	// Posts is the number of matched posts.
+	Posts int
+	// Score is the summed attraction of the matched posts.
+	Score float64
+	// Probability is the attack-probability estimation of Fig. 7
+	// block 7: the topic's share of the total attraction across all
+	// entries, in [0, 1].
+	Probability float64
+	// Insider reports the owner classification of the topic.
+	Insider bool
+	// VectorShares is the attraction share per attack vector across the
+	// topic's classified posts.
+	VectorShares map[tara.AttackVector]float64
+}
+
+// Index is a sorted Social Attraction Index list.
+type Index struct {
+	// Entries are sorted by descending score (ties by topic).
+	Entries []Entry
+}
+
+// Builder computes Index values from grouped posts.
+type Builder struct {
+	scorer  *Scorer
+	vectors *VectorClassifier
+	owners  *OwnerClassifier
+}
+
+// NewBuilder wires a Builder; nil components use defaults.
+func NewBuilder(scorer *Scorer, vectors *VectorClassifier, owners *OwnerClassifier) (*Builder, error) {
+	if scorer == nil {
+		var err error
+		scorer, err = NewScorer(DefaultWeights(), nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if vectors == nil {
+		vectors = NewVectorClassifier()
+	}
+	if owners == nil {
+		owners = NewOwnerClassifier()
+	}
+	return &Builder{scorer: scorer, vectors: vectors, owners: owners}, nil
+}
+
+// Scorer returns the builder's attraction scorer.
+func (b *Builder) Scorer() *Scorer { return b.scorer }
+
+// TopicPosts groups the posts of one attack topic.
+type TopicPosts struct {
+	Topic string
+	Tags  []string
+	Posts []*social.Post
+}
+
+// Build computes the SAI over topic groups. Topics with no posts still
+// appear with zero score so coverage gaps stay visible.
+func (b *Builder) Build(groups []TopicPosts) (*Index, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("sai: no topic groups")
+	}
+	entries := make([]Entry, 0, len(groups))
+	var totalScore float64
+	for _, g := range groups {
+		e := Entry{
+			Topic: g.Topic,
+			Tags:  append([]string(nil), g.Tags...),
+			Posts: len(g.Posts),
+		}
+		e.Score = b.scorer.Total(g.Posts)
+		e.Insider = b.owners.MajorityInsider(g.Posts)
+		e.VectorShares = b.VectorShares(g.Posts)
+		totalScore += e.Score
+		entries = append(entries, e)
+	}
+	if totalScore > 0 {
+		for i := range entries {
+			entries[i].Probability = entries[i].Score / totalScore
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		return entries[i].Topic < entries[j].Topic
+	})
+	return &Index{Entries: entries}, nil
+}
+
+// VectorShares computes the attraction share of each attack vector over
+// the classified posts of a set. Posts without method vocabulary are
+// excluded. The shares sum to 1 when any post classifies.
+func (b *Builder) VectorShares(posts []*social.Post) map[tara.AttackVector]float64 {
+	weights := make(map[tara.AttackVector]float64, 4)
+	var total float64
+	for _, p := range posts {
+		v, ok := b.vectors.Classify(p)
+		if !ok {
+			continue
+		}
+		a := b.scorer.Attraction(p)
+		weights[v] += a
+		total += a
+	}
+	shares := make(map[tara.AttackVector]float64, 4)
+	if total == 0 {
+		return shares
+	}
+	for v, w := range weights {
+		shares[v] = w / total
+	}
+	return shares
+}
+
+// Top returns the highest-scoring entry, or an error for an empty index.
+func (idx *Index) Top() (Entry, error) {
+	if len(idx.Entries) == 0 {
+		return Entry{}, fmt.Errorf("sai: empty index")
+	}
+	return idx.Entries[0], nil
+}
+
+// Insiders returns the insider entries in index order — the subset the
+// weight retuning applies to (retuning outsider entries "does not make
+// sense" per the paper).
+func (idx *Index) Insiders() []Entry {
+	var out []Entry
+	for _, e := range idx.Entries {
+		if e.Insider {
+			out = append(out, e)
+		}
+	}
+	return out
+}

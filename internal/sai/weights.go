@@ -1,0 +1,79 @@
+package sai
+
+import (
+	"fmt"
+
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// RatingBands maps a vector's attraction share onto an ISO-21434
+// feasibility rating when regenerating the G.9 table: share ≥ High rates
+// High, ≥ Medium rates Medium, ≥ Low rates Low, anything smaller rates
+// Very Low.
+type RatingBands struct {
+	High   float64
+	Medium float64
+	Low    float64
+}
+
+// DefaultRatingBands returns the default share → rating bands. With four
+// vectors a uniform share is 0.25; a vector carrying ≥ 45% of the
+// observed attraction dominates the threat (High), ≥ 22% is a solid
+// secondary channel (Medium), ≥ 8% is marginal (Low).
+func DefaultRatingBands() RatingBands {
+	return RatingBands{High: 0.45, Medium: 0.22, Low: 0.08}
+}
+
+// Validate checks band ordering.
+func (b RatingBands) Validate() error {
+	if b.Low <= 0 || b.Medium <= b.Low || b.High <= b.Medium || b.High > 1 {
+		return fmt.Errorf("sai: invalid rating bands %+v", b)
+	}
+	return nil
+}
+
+// Rating maps one share onto a feasibility rating.
+func (b RatingBands) Rating(share float64) tara.FeasibilityRating {
+	switch {
+	case share >= b.High:
+		return tara.FeasibilityHigh
+	case share >= b.Medium:
+		return tara.FeasibilityMedium
+	case share >= b.Low:
+		return tara.FeasibilityLow
+	default:
+		return tara.FeasibilityVeryLow
+	}
+}
+
+// CorrectiveFactors expresses how far each vector's observed share
+// deviates from the uniform prior (0.25): factor > 1 means the social
+// signal sees more activity on that vector than a neutral model would.
+// These are the "corrective factors derived from SAI" of the paper.
+func CorrectiveFactors(shares map[tara.AttackVector]float64) map[tara.AttackVector]float64 {
+	const uniform = 0.25
+	out := make(map[tara.AttackVector]float64, 4)
+	for _, v := range tara.AllVectors() {
+		out[v] = shares[v] / uniform
+	}
+	return out
+}
+
+// GenerateVectorTable regenerates the attack vector-based feasibility
+// table from observed attraction shares (Fig. 7 block 12). Every vector
+// gets the rating of its share band; vectors absent from the shares map
+// rate Very Low.
+func GenerateVectorTable(name string, shares map[tara.AttackVector]float64, bands RatingBands) (*tara.VectorTable, error) {
+	if err := bands.Validate(); err != nil {
+		return nil, err
+	}
+	ratings := make(map[tara.AttackVector]tara.FeasibilityRating, 4)
+	for _, v := range tara.AllVectors() {
+		share := shares[v]
+		if share < 0 || share > 1 {
+			return nil, fmt.Errorf("sai: share %f for vector %s outside [0,1]", share, v)
+		}
+		ratings[v] = bands.Rating(share)
+	}
+	return tara.NewVectorTable(name, ratings)
+}

@@ -1,0 +1,52 @@
+package social
+
+import (
+	"context"
+	"testing"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	store, err := DefaultStore(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+func BenchmarkGenerateCorpus(b *testing.B) {
+	spec := DefaultCorpusSpec(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		posts, err := Generate(spec)
+		if err != nil || len(posts) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreSearchByTag(b *testing.B) {
+	store := benchStore(b)
+	ctx := context.Background()
+	q := Query{AnyTags: []string{"dpfdelete", "dpfoff"}, MustTerms: []string{"excavator"}, Region: RegionEurope}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page, err := store.Search(ctx, q)
+		if err != nil || page.TotalMatches == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchAllPaginated(b *testing.B) {
+	store := benchStore(b)
+	ctx := context.Background()
+	q := Query{AnyTags: []string{"chiptuning"}, MaxResults: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		posts, err := SearchAll(ctx, store, q)
+		if err != nil || len(posts) == 0 {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package social
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a Server over HTTP and implements Searcher, giving the
+// framework the same remote code path the paper's Twitter-based prototype
+// had: URL building, pagination tokens, 429 back-off and transport error
+// handling.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+	// MaxRetries bounds 429 retries per call (default 3).
+	MaxRetries int
+	// sleep is injectable for tests; defaults to time.Sleep.
+	sleep func(time.Duration)
+}
+
+var _ Searcher = (*Client)(nil)
+
+// NewClient builds a client for the API at baseURL (e.g.
+// "http://127.0.0.1:8384"). A nil httpc uses a client with a 10 s
+// timeout.
+func NewClient(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{
+		baseURL:    strings.TrimRight(baseURL, "/"),
+		httpc:      httpc,
+		MaxRetries: 3,
+		sleep:      time.Sleep,
+	}
+}
+
+// Search runs one paginated search call against the remote API.
+func (c *Client) Search(ctx context.Context, q Query) (*Page, error) {
+	u, err := c.searchURL(q)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, fmt.Errorf("social: build request: %w", err)
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("social: search request: %w", err)
+		}
+		page, retryAfter, err := decodeSearchResponse(resp)
+		if err == nil {
+			return page, nil
+		}
+		if retryAfter <= 0 || attempt >= c.MaxRetries {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		c.sleep(retryAfter)
+	}
+}
+
+// Health checks the server's health endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v2/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("social: health request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("social: health status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *Client) searchURL(q Query) (string, error) {
+	v := url.Values{}
+	if len(q.AnyTags) > 0 {
+		v.Set("tags", strings.Join(q.AnyTags, ","))
+	}
+	if len(q.MustTerms) > 0 {
+		v.Set("must", strings.Join(q.MustTerms, ","))
+	}
+	if q.Region != "" {
+		v.Set("region", string(q.Region))
+	}
+	if !q.Since.IsZero() {
+		v.Set("since", q.Since.UTC().Format(time.RFC3339))
+	}
+	if !q.Until.IsZero() {
+		v.Set("until", q.Until.UTC().Format(time.RFC3339))
+	}
+	if q.MaxResults > 0 {
+		v.Set("max_results", strconv.Itoa(q.MaxResults))
+	}
+	if q.PageToken != "" {
+		v.Set("next_token", q.PageToken)
+	}
+	return c.baseURL + "/v2/search?" + v.Encode(), nil
+}
+
+// decodeSearchResponse parses a search response. On 429 it returns the
+// suggested retry delay with a non-nil error.
+func decodeSearchResponse(resp *http.Response) (*Page, time.Duration, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("social: read response: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr searchResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return nil, 0, fmt.Errorf("social: decode response: %w", err)
+		}
+		return &Page{
+			Posts:        sr.Data,
+			NextToken:    sr.Meta.NextToken,
+			TotalMatches: sr.Meta.TotalMatches,
+		}, 0, nil
+	case http.StatusTooManyRequests:
+		retry := time.Second
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, retry, fmt.Errorf("social: rate limited (retry after %s)", retry)
+	default:
+		var er errorResponse
+		_ = json.Unmarshal(body, &er)
+		if er.Error == "" {
+			er.Error = http.StatusText(resp.StatusCode)
+		}
+		return nil, 0, fmt.Errorf("social: API status %d: %s", resp.StatusCode, er.Error)
+	}
+}

@@ -1,0 +1,69 @@
+package social
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStoreConcurrentAddSearch exercises the documented thread safety:
+// concurrent writers and readers over the same store must neither race
+// (run with -race) nor observe torn state.
+func TestStoreConcurrentAddSearch(t *testing.T) {
+	s := NewStore()
+	const writers, postsPerWriter, readers = 4, 50, 4
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < postsPerWriter; i++ {
+				p := &Post{
+					ID:        fmt.Sprintf("w%d-p%d", w, i),
+					Author:    fmt.Sprintf("author%d", w),
+					Text:      "concurrent #dpfdelete post on my excavator",
+					CreatedAt: ts(2022, 1+i%12, 1+i%28),
+					Region:    RegionEurope,
+					Metrics:   Metrics{Views: 100 + i},
+				}
+				if err := s.Add(p); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				page, err := s.Search(context.Background(), Query{AnyTags: []string{"dpfdelete"}})
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				// Pages observed mid-write must still be internally
+				// consistent: sorted and duplicate-free.
+				seen := map[string]bool{}
+				for j, p := range page.Posts {
+					if seen[p.ID] {
+						t.Errorf("duplicate %s in concurrent page", p.ID)
+						return
+					}
+					seen[p.ID] = true
+					if j > 0 && page.Posts[j-1].CreatedAt.After(p.CreatedAt) {
+						t.Error("unsorted concurrent page")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*postsPerWriter {
+		t.Errorf("final store size = %d, want %d", s.Len(), writers*postsPerWriter)
+	}
+}

@@ -1,0 +1,223 @@
+package social
+
+// DefaultCorpusSpec returns the reference corpus calibrated to the PSP
+// paper's two case studies:
+//
+//   - ECM reprogramming (Fig. 8/9): physically dominated before 2022
+//     (bench flashing), trend inversion toward local OBD attacks from
+//     2022 onward — matching the Upstream-confirmed shift the paper
+//     reports;
+//   - excavator insider attacks (Fig. 12): DPF deletion as the
+//     top-attraction topic, followed by EGR removal, AdBlue emulation,
+//     chip tuning and speed-limiter removal, plus outsider theft topics
+//     that PSP must classify out of the insider weight tuning.
+//
+// The corpus spans 2019 through April 2023 (the paper appeared in May
+// 2023).
+func DefaultCorpusSpec(seed int64) GeneratorSpec {
+	return GeneratorSpec{
+		Seed:            seed,
+		FirstYear:       2019,
+		LastYear:        2023,
+		FinalYearMonths: 4,
+		Topics: []TopicSpec{
+			{
+				Key:          "ecm-reprogramming",
+				Tags:         []string{"chiptuning", "ecutune", "remap", "stage1"},
+				Applications: []string{"car", "truck"},
+				Insider:      true,
+				YearlyVolume: map[int]int{
+					2019: 400, 2020: 450, 2021: 500, 2022: 600, 2023: 250,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.62, VectorKeyLocal: 0.25,
+					VectorKeyAdjacent: 0.08, VectorKeyNetwork: 0.05,
+				},
+				MixSwitchYear: 2022,
+				VectorMixAfter: map[string]float64{
+					VectorKeyPhysical: 0.28, VectorKeyLocal: 0.55,
+					VectorKeyAdjacent: 0.10, VectorKeyNetwork: 0.07,
+				},
+				EngagementScale: 1.2,
+				PositiveShare:   0.65,
+			},
+			{
+				Key:          "dpf-delete",
+				Tags:         []string{"dpfdelete", "dpfoff", "dpfremoval", "dieselpower"},
+				Applications: []string{"excavator", "tractor", "truck"},
+				Insider:      true,
+				YearlyVolume: map[int]int{
+					2019: 350, 2020: 420, 2021: 520, 2022: 640, 2023: 260,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.55, VectorKeyLocal: 0.35,
+					VectorKeyAdjacent: 0.05, VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 1.6,
+				PositiveShare:   0.70,
+			},
+			{
+				Key:          "egr-removal",
+				Tags:         []string{"egrremoval", "egrdelete", "egroff"},
+				Applications: []string{"excavator", "tractor", "truck"},
+				Insider:      true,
+				YearlyVolume: map[int]int{
+					2019: 220, 2020: 260, 2021: 300, 2022: 360, 2023: 150,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.50, VectorKeyLocal: 0.40,
+					VectorKeyAdjacent: 0.05, VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 1.2,
+				PositiveShare:   0.65,
+			},
+			{
+				Key:          "adblue-emulator",
+				Tags:         []string{"adblueoff", "defdelete", "adblueemulator"},
+				Applications: []string{"excavator", "truck", "tractor"},
+				Insider:      true,
+				YearlyVolume: map[int]int{
+					2019: 160, 2020: 200, 2021: 250, 2022: 320, 2023: 130,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.45, VectorKeyLocal: 0.45,
+					VectorKeyAdjacent: 0.05, VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 1.1,
+				PositiveShare:   0.65,
+			},
+			{
+				Key:          "excavator-chip-tuning",
+				Tags:         []string{"excavatortuning", "pumptuning", "dieseltuning"},
+				Applications: []string{"excavator", "tractor"},
+				Insider:      true,
+				YearlyVolume: map[int]int{
+					2019: 90, 2020: 110, 2021: 140, 2022: 170, 2023: 70,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.50, VectorKeyLocal: 0.42,
+					VectorKeyAdjacent: 0.04, VectorKeyNetwork: 0.04,
+				},
+				EngagementScale: 0.9,
+				PositiveShare:   0.60,
+			},
+			{
+				Key:          "speed-limiter-removal",
+				Tags:         []string{"speedlimiteroff", "vmaxoff", "limiterremoval"},
+				Applications: []string{"excavator", "truck"},
+				Insider:      true,
+				YearlyVolume: map[int]int{
+					2019: 60, 2020: 75, 2021: 90, 2022: 110, 2023: 45,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.35, VectorKeyLocal: 0.55,
+					VectorKeyAdjacent: 0.05, VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 0.8,
+				PositiveShare:   0.60,
+			},
+			{
+				Key:          "immobilizer-bypass",
+				Tags:         []string{"keyfobhack", "relayattack", "immobypass"},
+				Applications: []string{"car", "excavator"},
+				Insider:      false,
+				YearlyVolume: map[int]int{
+					2019: 50, 2020: 60, 2021: 80, 2022: 100, 2023: 40,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyAdjacent: 0.70, VectorKeyPhysical: 0.25,
+					VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 1.0,
+			},
+			{
+				Key:          "gps-tracker-defeat",
+				Tags:         []string{"gpsblocker", "trackerjammer"},
+				Applications: []string{"excavator", "truck"},
+				Insider:      false,
+				YearlyVolume: map[int]int{
+					2019: 30, 2020: 35, 2021: 45, 2022: 55, 2023: 20,
+				},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.60, VectorKeyAdjacent: 0.35,
+					VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 0.7,
+			},
+		},
+	}
+}
+
+// DeepWebCorpusSpec returns a second, outsider-heavy corpus standing in
+// for the "deep web level" source the paper's roadmap wants for outsider
+// attack analysis: theft tooling chatter dominates, insider tuning
+// content is marginal. Federating it with the surface corpus via Multi
+// raises the coverage of outsider topics without disturbing the insider
+// rankings.
+func DeepWebCorpusSpec(seed int64) GeneratorSpec {
+	return GeneratorSpec{
+		Seed:            seed,
+		FirstYear:       2020,
+		LastYear:        2023,
+		FinalYearMonths: 4,
+		Topics: []TopicSpec{
+			{
+				Key:          "immobilizer-bypass-market",
+				Tags:         []string{"relayattack", "keyfobhack", "immobypass"},
+				Applications: []string{"car", "excavator"},
+				Insider:      false,
+				YearlyVolume: map[int]int{2020: 180, 2021: 240, 2022: 320, 2023: 130},
+				VectorMix: map[string]float64{
+					VectorKeyAdjacent: 0.65, VectorKeyPhysical: 0.30, VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 0.6, // low-reach hidden forums
+			},
+			{
+				Key:          "tracker-defeat-market",
+				Tags:         []string{"gpsblocker", "trackerjammer"},
+				Applications: []string{"excavator", "truck"},
+				Insider:      false,
+				YearlyVolume: map[int]int{2020: 90, 2021: 120, 2022: 160, 2023: 60},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.60, VectorKeyAdjacent: 0.35, VectorKeyNetwork: 0.05,
+				},
+				EngagementScale: 0.5,
+			},
+			{
+				Key:          "deep-dpf-chatter",
+				Tags:         []string{"dpfdelete"},
+				Applications: []string{"excavator"},
+				Insider:      true,
+				YearlyVolume: map[int]int{2020: 20, 2021: 25, 2022: 30, 2023: 12},
+				VectorMix: map[string]float64{
+					VectorKeyPhysical: 0.60, VectorKeyLocal: 0.40,
+				},
+				EngagementScale: 0.4,
+				PositiveShare:   0.5,
+			},
+		},
+	}
+}
+
+// SeedKeywords returns the manually curated attack-keyword seeds the
+// paper lists for the first PSP iteration (Fig. 7 blocks 3–4).
+func SeedKeywords() []string {
+	return []string{
+		"dpfdelete", "egrremoval", "egrdelete", "egroff",
+		"dieselpower", "chiptuning",
+	}
+}
+
+// DefaultStore generates the reference corpus and loads it into a fresh
+// store.
+func DefaultStore(seed int64) (*Store, error) {
+	posts, err := Generate(DefaultCorpusSpec(seed))
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	if err := s.Add(posts...); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,14 @@
+// Package social implements the social-media substrate that replaces the
+// Twitter APIs used by the PSP paper's prototype.
+//
+// It provides an in-memory post store with hashtag and time indices, a
+// query engine (keyword, hashtag, region and time-window filters with
+// pagination), a deterministic synthetic corpus generator whose topic
+// trends are calibrated to the case studies reported in the paper, and an
+// HTTP JSON search API — server and client — so the framework exercises
+// the same remote-service code path as the prototype (pagination, rate
+// limiting, transport errors).
+//
+// Determinism: the generator derives everything from an explicit seed;
+// two runs with the same seed and spec produce identical corpora.
+package social

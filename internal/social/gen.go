@@ -1,0 +1,307 @@
+package social
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// VectorKey names an attack-vector phrase family in topic mixes. The sai
+// package maps these onto ISO-21434 attack vectors; social stays free of
+// a tara dependency.
+const (
+	VectorKeyPhysical = "physical"
+	VectorKeyLocal    = "local"
+	VectorKeyAdjacent = "adjacent"
+	VectorKeyNetwork  = "network"
+)
+
+// TopicSpec describes one attack topic of the synthetic corpus.
+type TopicSpec struct {
+	// Key identifies the topic ("dpf-delete").
+	Key string
+	// Tags are the hashtags posts of this topic carry; the first tag is
+	// canonical and always present, the rest appear probabilistically.
+	Tags []string
+	// Applications are the vehicle applications the topic concerns; each
+	// post names one ("excavator", "car", ...).
+	Applications []string
+	// Insider marks owner-approved attack topics; outsider topics use
+	// theft-flavoured phrasing.
+	Insider bool
+	// YearlyVolume is the number of posts per calendar year.
+	YearlyVolume map[int]int
+	// VectorMix is the probability of each vector phrase family before
+	// MixSwitchYear; VectorMixAfter applies from MixSwitchYear onward.
+	// Probabilities should sum to 1; they are renormalized defensively.
+	VectorMix map[string]float64
+	// MixSwitchYear is the first year VectorMixAfter applies; 0 disables
+	// the switch.
+	MixSwitchYear  int
+	VectorMixAfter map[string]float64
+	// EngagementScale multiplies the base engagement level — hotter
+	// topics draw more views and interactions.
+	EngagementScale float64
+	// PositiveShare is the fraction of posts with positive phrasing
+	// (the rest split between neutral and negative 2:1).
+	PositiveShare float64
+}
+
+// GeneratorSpec configures a corpus generation run.
+type GeneratorSpec struct {
+	// Seed drives all randomness; identical specs and seeds produce
+	// identical corpora.
+	Seed int64
+	// Topics are the attack topics to generate.
+	Topics []TopicSpec
+	// Years bounds the corpus (inclusive). FinalYearMonths limits the
+	// last year to its first N months (the paper's corpus ends in spring
+	// 2023); 0 means the full year.
+	FirstYear, LastYear int
+	FinalYearMonths     int
+	// RegionWeights sets the sampling distribution over regions; nil
+	// uses the default EU-heavy mix.
+	RegionWeights map[Region]float64
+}
+
+// DefaultRegionWeights returns the default region sampling mix.
+func DefaultRegionWeights() map[Region]float64 {
+	return map[Region]float64{
+		RegionEurope:       0.50,
+		RegionNorthAmerica: 0.30,
+		RegionAsiaPacific:  0.15,
+		RegionOther:        0.05,
+	}
+}
+
+// phrase families keyed by vector family. The sai vector classifier
+// recognizes the bolded method words; families are lexically disjoint.
+var vectorPhrases = map[string][]string{
+	VectorKeyPhysical: {
+		"bench flashed it with a bdm probe",
+		"soldered the bypass straight on the board",
+		"boot mode pins and a bench harness did it",
+		"pulled the unit apart and clamped the eeprom",
+		"full teardown, desolder and reflash on the bench",
+	},
+	VectorKeyLocal: {
+		"flashed through the obd port in minutes",
+		"plug-in obd dongle, job done",
+		"obd2 cable on the stock connector, no teardown",
+		"diagnostic port flash from the driver seat",
+	},
+	VectorKeyAdjacent: {
+		"paired over bluetooth from the cab",
+		"wifi flasher sitting next to the machine",
+		"wireless link bridged from ten meters away",
+	},
+	VectorKeyNetwork: {
+		"remote ota push via the telematics account",
+		"cloud reflash service over the sim card",
+		"internet remap pushed from their server",
+	},
+}
+
+// sentiment phrase families for insider topics.
+var (
+	insiderPositive = []string{
+		"huge gains, totally worth it",
+		"best money ever spent, awesome power",
+		"great savings on fuel, works perfectly",
+		"highly recommend, easy install and solid results",
+		"unlocked so much torque, love it",
+	}
+	insiderNeutral = []string{
+		"asking for a friend, anyone tried this",
+		"looking for advice before i commit",
+		"comparing kits, what does the forum think",
+	}
+	insiderNegative = []string{
+		"ended in limp mode, regret everything",
+		"got fined at inspection, avoid this seller",
+		"bricked the unit, total waste of money",
+	}
+	outsiderPhrases = []string{
+		"gone in under a minute, relay kit straight through the door",
+		"stolen off the yard overnight, tracker went dark",
+		"they cloned the fob and drove it away",
+		"broke the column lock and hotwired the bus line",
+	}
+)
+
+// Generate builds the corpus described by the spec. Posts come back
+// sorted by (CreatedAt, ID) with sequential IDs.
+func Generate(spec GeneratorSpec) ([]*Post, error) {
+	if spec.FirstYear == 0 || spec.LastYear == 0 || spec.LastYear < spec.FirstYear {
+		return nil, fmt.Errorf("social: invalid year range %d..%d", spec.FirstYear, spec.LastYear)
+	}
+	if len(spec.Topics) == 0 {
+		return nil, fmt.Errorf("social: no topics to generate")
+	}
+	regions := spec.RegionWeights
+	if regions == nil {
+		regions = DefaultRegionWeights()
+	}
+	regionKeys, regionCum, err := cumulative(regions)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var posts []*Post
+	id := 0
+	for _, topic := range spec.Topics {
+		if err := validateTopic(topic); err != nil {
+			return nil, err
+		}
+		for year := spec.FirstYear; year <= spec.LastYear; year++ {
+			n := topic.YearlyVolume[year]
+			mix := topic.VectorMix
+			if topic.MixSwitchYear != 0 && year >= topic.MixSwitchYear && topic.VectorMixAfter != nil {
+				mix = topic.VectorMixAfter
+			}
+			mixKeys, mixCum, err := cumulative(mix)
+			if err != nil {
+				return nil, fmt.Errorf("social: topic %s year %d: %w", topic.Key, year, err)
+			}
+			months := 12
+			if year == spec.LastYear && spec.FinalYearMonths > 0 {
+				months = spec.FinalYearMonths
+			}
+			for i := 0; i < n; i++ {
+				id++
+				posts = append(posts, synthPost(rng, id, topic, year, months,
+					mixKeys, mixCum, regionKeys, regionCum))
+			}
+		}
+	}
+	sort.Slice(posts, func(i, j int) bool {
+		if !posts[i].CreatedAt.Equal(posts[j].CreatedAt) {
+			return posts[i].CreatedAt.Before(posts[j].CreatedAt)
+		}
+		return posts[i].ID < posts[j].ID
+	})
+	return posts, nil
+}
+
+func validateTopic(t TopicSpec) error {
+	if t.Key == "" || len(t.Tags) == 0 || len(t.Applications) == 0 {
+		return fmt.Errorf("social: topic %q: missing key, tags or applications", t.Key)
+	}
+	if len(t.VectorMix) == 0 {
+		return fmt.Errorf("social: topic %s: empty vector mix", t.Key)
+	}
+	for k := range t.VectorMix {
+		if _, ok := vectorPhrases[k]; !ok {
+			return fmt.Errorf("social: topic %s: unknown vector key %q", t.Key, k)
+		}
+	}
+	for k := range t.VectorMixAfter {
+		if _, ok := vectorPhrases[k]; !ok {
+			return fmt.Errorf("social: topic %s: unknown vector key %q", t.Key, k)
+		}
+	}
+	return nil
+}
+
+// cumulative converts a weight map into parallel (keys, cumulative
+// probabilities) slices, sorted by key for determinism.
+func cumulative[K ~string](weights map[K]float64) ([]K, []float64, error) {
+	keys := make([]K, 0, len(weights))
+	var total float64
+	for k, w := range weights {
+		if w < 0 {
+			return nil, nil, fmt.Errorf("social: negative weight for %q", string(k))
+		}
+		keys = append(keys, k)
+		total += w
+	}
+	if total <= 0 {
+		return nil, nil, fmt.Errorf("social: weights sum to zero")
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	cum := make([]float64, len(keys))
+	acc := 0.0
+	for i, k := range keys {
+		acc += weights[k] / total
+		cum[i] = acc
+	}
+	return keys, cum, nil
+}
+
+func pick[K ~string](rng *rand.Rand, keys []K, cum []float64) K {
+	r := rng.Float64()
+	for i, c := range cum {
+		if r <= c {
+			return keys[i]
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+func synthPost(rng *rand.Rand, id int, topic TopicSpec, year, months int,
+	mixKeys []string, mixCum []float64, regionKeys []Region, regionCum []float64) *Post {
+
+	vectorKey := pick(rng, mixKeys, mixCum)
+	app := topic.Applications[rng.Intn(len(topic.Applications))]
+	region := pick(rng, regionKeys, regionCum)
+
+	// Body: sentiment phrase + method phrase + application + tags.
+	var body string
+	if topic.Insider {
+		r := rng.Float64()
+		switch {
+		case r < topic.PositiveShare:
+			body = insiderPositive[rng.Intn(len(insiderPositive))]
+		case r < topic.PositiveShare+(1-topic.PositiveShare)*2/3:
+			body = insiderNeutral[rng.Intn(len(insiderNeutral))]
+		default:
+			body = insiderNegative[rng.Intn(len(insiderNegative))]
+		}
+	} else {
+		body = outsiderPhrases[rng.Intn(len(outsiderPhrases))]
+	}
+	method := vectorPhrases[vectorKey][rng.Intn(len(vectorPhrases[vectorKey]))]
+	text := fmt.Sprintf("%s — %s on my %s", body, method, app)
+	// One primary tag chosen at random (posts tagged only with a variant
+	// are the coverage gap the keyword learner exists to close), plus
+	// secondary tags with 40% probability each.
+	primary := rng.Intn(len(topic.Tags))
+	text += " #" + topic.Tags[primary]
+	for i, tag := range topic.Tags {
+		if i != primary && rng.Float64() < 0.4 {
+			text += " #" + tag
+		}
+	}
+
+	// Timestamp: uniform over the allowed months of the year.
+	start := time.Date(year, time.January, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, months, 0)
+	span := end.Sub(start)
+	created := start.Add(time.Duration(rng.Int63n(int64(span))))
+
+	// Engagement: log-normal views, interaction rates proportional to
+	// views. Scales are engagement-topic dependent but vector-independent
+	// so vector shares remain unbiased.
+	scale := topic.EngagementScale
+	if scale <= 0 {
+		scale = 1
+	}
+	views := int(400 * scale * math.Exp(rng.NormFloat64()*0.9))
+	if views < 10 {
+		views = 10
+	}
+	likes := int(float64(views) * (0.015 + 0.03*rng.Float64()))
+	reposts := int(float64(views) * (0.002 + 0.008*rng.Float64()))
+	replies := int(float64(views) * (0.001 + 0.01*rng.Float64()))
+
+	return &Post{
+		ID:        fmt.Sprintf("p%06d", id),
+		Author:    fmt.Sprintf("user%04d", rng.Intn(5000)),
+		Text:      text,
+		CreatedAt: created,
+		Region:    region,
+		Metrics:   Metrics{Views: views, Likes: likes, Reposts: reposts, Replies: replies},
+	}
+}

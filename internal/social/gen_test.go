@@ -1,0 +1,181 @@
+package social
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DefaultCorpusSpec(42)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Text != b[i].Text ||
+			!a[i].CreatedAt.Equal(b[i].CreatedAt) || a[i].Metrics != b[i].Metrics {
+			t.Fatalf("post %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must change the corpus.
+	c, err := Generate(DefaultCorpusSpec(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if i < len(c) && a[i].Text != c[i].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateVolumeAndValidity(t *testing.T) {
+	spec := DefaultCorpusSpec(1)
+	posts, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := 0
+	for _, topic := range spec.Topics {
+		for _, n := range topic.YearlyVolume {
+			wantTotal += n
+		}
+	}
+	if len(posts) != wantTotal {
+		t.Errorf("corpus size = %d, want %d", len(posts), wantTotal)
+	}
+	seen := map[string]bool{}
+	for _, p := range posts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated invalid post: %v", err)
+		}
+		if seen[p.ID] {
+			t.Fatalf("duplicate generated ID %s", p.ID)
+		}
+		seen[p.ID] = true
+		if y := p.CreatedAt.Year(); y < spec.FirstYear || y > spec.LastYear {
+			t.Fatalf("post %s outside year range: %s", p.ID, p.CreatedAt)
+		}
+		if p.CreatedAt.Year() == spec.LastYear && spec.FinalYearMonths > 0 {
+			if int(p.CreatedAt.Month()) > spec.FinalYearMonths {
+				t.Fatalf("post %s beyond final-year month cap: %s", p.ID, p.CreatedAt)
+			}
+		}
+	}
+}
+
+func TestGenerateTrendInversion(t *testing.T) {
+	// The corpus must encode the paper's ECM-reprogramming trend: the
+	// share of physical-method posts drops after the 2022 switch, the
+	// local share rises.
+	store, err := DefaultStore(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(since, until time.Time, marker string) (n, total int) {
+		posts, err := SearchAll(context.Background(), store, Query{
+			AnyTags: []string{"chiptuning", "ecutune", "remap", "stage1"},
+			Since:   since, Until: until,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range posts {
+			total++
+			if strings.Contains(p.Text, marker) {
+				n++
+			}
+		}
+		return n, total
+	}
+	cut := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	benchBefore, totalBefore := count(time.Time{}, cut, "bench")
+	benchAfter, totalAfter := count(cut, time.Time{}, "bench")
+	obdBefore, _ := count(time.Time{}, cut, "obd")
+	obdAfter, _ := count(cut, time.Time{}, "obd")
+	if totalBefore == 0 || totalAfter == 0 {
+		t.Fatal("corpus missing ECM posts in one of the windows")
+	}
+	shareBefore := float64(benchBefore) / float64(totalBefore)
+	shareAfter := float64(benchAfter) / float64(totalAfter)
+	if shareAfter >= shareBefore {
+		t.Errorf("bench-method share did not drop: before %.3f, after %.3f", shareBefore, shareAfter)
+	}
+	obdShareBefore := float64(obdBefore) / float64(totalBefore)
+	obdShareAfter := float64(obdAfter) / float64(totalAfter)
+	if obdShareAfter <= obdShareBefore {
+		t.Errorf("obd-method share did not rise: before %.3f, after %.3f", obdShareBefore, obdShareAfter)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GeneratorSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := DefaultCorpusSpec(1)
+	bad.Topics[0].VectorMix = map[string]float64{"teleport": 1}
+	if _, err := Generate(bad); err == nil {
+		t.Error("unknown vector key accepted")
+	}
+	bad2 := DefaultCorpusSpec(1)
+	bad2.Topics[0].Tags = nil
+	if _, err := Generate(bad2); err == nil {
+		t.Error("topic without tags accepted")
+	}
+	bad3 := DefaultCorpusSpec(1)
+	bad3.FirstYear, bad3.LastYear = 2023, 2019
+	if _, err := Generate(bad3); err == nil {
+		t.Error("inverted year range accepted")
+	}
+}
+
+func TestSeedKeywordsMatchPaper(t *testing.T) {
+	// The paper lists these seeds verbatim (Section III).
+	want := map[string]bool{
+		"dpfdelete": true, "egrremoval": true, "egrdelete": true,
+		"egroff": true, "dieselpower": true, "chiptuning": true,
+	}
+	got := SeedKeywords()
+	if len(got) != len(want) {
+		t.Fatalf("SeedKeywords() = %v", got)
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Errorf("unexpected seed keyword %q", k)
+		}
+	}
+}
+
+func TestDefaultStoreSearchable(t *testing.T) {
+	store, err := DefaultStore(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The excavator/Europe query of the paper's case study must match a
+	// meaningful number of posts.
+	posts, err := SearchAll(context.Background(), store, Query{
+		AnyTags:   []string{"dpfdelete", "dpfoff", "dpfremoval"},
+		MustTerms: []string{"excavator"},
+		Region:    RegionEurope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) < 100 {
+		t.Errorf("excavator/EU DPF query matched only %d posts", len(posts))
+	}
+}

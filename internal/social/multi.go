@@ -1,0 +1,81 @@
+package social
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// PlatformSource is one named platform backend of a federated search —
+// the paper's roadmap expands PSP "to other social media platforms like
+// Instagram", and outsider analysis may later add deep-web sources.
+type PlatformSource struct {
+	// Name identifies the platform ("twitter", "instagram", ...).
+	Name string
+	// Searcher is the platform backend.
+	Searcher Searcher
+}
+
+// Multi federates several platforms behind the Searcher interface. Each
+// Search drains every backend fully and returns one merged page: the
+// result has no continuation token, because cross-platform cursors are
+// not comparable. Post IDs are namespaced with the platform name to
+// avoid collisions.
+type Multi struct {
+	sources []PlatformSource
+}
+
+var _ Searcher = (*Multi)(nil)
+
+// NewMulti builds a federated searcher; at least one source is required
+// and names must be unique and non-empty.
+func NewMulti(sources ...PlatformSource) (*Multi, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("social: federated search needs at least one source")
+	}
+	seen := make(map[string]bool, len(sources))
+	for _, s := range sources {
+		if s.Name == "" || s.Searcher == nil {
+			return nil, fmt.Errorf("social: federated source with empty name or nil searcher")
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("social: duplicate federated source %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return &Multi{sources: sources}, nil
+}
+
+// Search implements Searcher by draining all backends and merging.
+func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
+	if q.PageToken != "" {
+		return nil, fmt.Errorf("social: federated search does not support page tokens")
+	}
+	drainQuery := q
+	drainQuery.MaxResults = 0
+	var merged []*Post
+	for _, src := range m.sources {
+		posts, err := SearchAll(ctx, src.Searcher, drainQuery)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", src.Name, err)
+		}
+		for _, p := range posts {
+			cp := *p
+			cp.ID = src.Name + ":" + p.ID
+			merged = append(merged, &cp)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].CreatedAt.Equal(merged[j].CreatedAt) {
+			return merged[i].CreatedAt.Before(merged[j].CreatedAt)
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	page := &Page{Posts: merged, TotalMatches: len(merged)}
+	if q.MaxResults > 0 && len(merged) > q.MaxResults {
+		// Honour the page-size hint but stay token-free: federated
+		// callers use SearchAll semantics anyway.
+		page.Posts = merged[:q.MaxResults]
+	}
+	return page, nil
+}

@@ -1,0 +1,155 @@
+package social
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMultiFederatesPlatforms(t *testing.T) {
+	twitter := NewStore()
+	if err := twitter.Add(&Post{
+		ID: "t1", Author: "u1", Text: "#dpfdelete on my excavator",
+		CreatedAt: ts(2022, 3, 1), Region: RegionEurope,
+		Metrics: Metrics{Views: 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	instagram := NewStore()
+	if err := instagram.Add(&Post{
+		ID: "i1", Author: "u2", Text: "#dpfdelete reel from the quarry excavator",
+		CreatedAt: ts(2022, 4, 1), Region: RegionEurope,
+		Metrics: Metrics{Views: 900, Likes: 40},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMulti(
+		PlatformSource{Name: "twitter", Searcher: twitter},
+		PlatformSource{Name: "instagram", Searcher: instagram},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := multi.Search(context.Background(), Query{AnyTags: []string{"dpfdelete"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Posts) != 2 || page.TotalMatches != 2 {
+		t.Fatalf("federated search returned %d posts", len(page.Posts))
+	}
+	// Namespaced IDs, chronological order.
+	if page.Posts[0].ID != "twitter:t1" || page.Posts[1].ID != "instagram:i1" {
+		t.Errorf("ids = %s, %s", page.Posts[0].ID, page.Posts[1].ID)
+	}
+	// Filters propagate to every backend.
+	windowed, err := multi.Search(context.Background(), Query{
+		AnyTags: []string{"dpfdelete"},
+		Since:   time.Date(2022, 3, 15, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windowed.Posts) != 1 || !strings.HasPrefix(windowed.Posts[0].ID, "instagram:") {
+		t.Errorf("windowed = %v", ids(windowed.Posts))
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	if _, err := NewMulti(); err == nil {
+		t.Error("empty source list accepted")
+	}
+	if _, err := NewMulti(PlatformSource{Name: "", Searcher: NewStore()}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewMulti(PlatformSource{Name: "x", Searcher: nil}); err == nil {
+		t.Error("nil searcher accepted")
+	}
+	if _, err := NewMulti(
+		PlatformSource{Name: "x", Searcher: NewStore()},
+		PlatformSource{Name: "x", Searcher: NewStore()},
+	); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	m, err := NewMulti(PlatformSource{Name: "x", Searcher: NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Search(context.Background(), Query{PageToken: "o5"}); err == nil {
+		t.Error("page token accepted by federated search")
+	}
+}
+
+func TestMultiMaxResultsHint(t *testing.T) {
+	store := NewStore()
+	if err := store.Add(samplePosts()...); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMulti(PlatformSource{Name: "p", Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := m.Search(context.Background(), Query{MaxResults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Posts) != 2 || page.TotalMatches != 4 {
+		t.Errorf("hint page = %d posts (total %d)", len(page.Posts), page.TotalMatches)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	posts, err := Generate(DefaultCorpusSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts = posts[:200]
+	var buf bytes.Buffer
+	if err := WritePosts(&buf, posts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPosts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(posts) {
+		t.Fatalf("round trip: %d posts, want %d", len(back), len(posts))
+	}
+	for i := range posts {
+		if posts[i].ID != back[i].ID || posts[i].Text != back[i].Text ||
+			!posts[i].CreatedAt.Equal(back[i].CreatedAt) ||
+			posts[i].Metrics != back[i].Metrics || posts[i].Region != back[i].Region {
+			t.Fatalf("post %d mutated in round trip:\n%+v\n%+v", i, posts[i], back[i])
+		}
+	}
+	// LoadStore builds a searchable store.
+	var buf2 bytes.Buffer
+	if err := WritePosts(&buf2, posts); err != nil {
+		t.Fatal(err)
+	}
+	store, err := LoadStore(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != len(posts) {
+		t.Errorf("store has %d posts, want %d", store.Len(), len(posts))
+	}
+}
+
+func TestReadPostsRejectsGarbage(t *testing.T) {
+	if _, err := ReadPosts(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid JSON, invalid post.
+	if _, err := ReadPosts(strings.NewReader(`{"id":"","text":"x"}` + "\n")); err == nil {
+		t.Error("invalid post accepted")
+	}
+}
+
+func TestWritePostsRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePosts(&buf, []*Post{{ID: ""}}); err == nil {
+		t.Error("invalid post written")
+	}
+}

@@ -1,0 +1,59 @@
+package social
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Corpus snapshots persist as JSON Lines: one post per line. The format
+// is stable (Post carries explicit JSON tags) so snapshots survive
+// refactoring.
+
+// WritePosts streams posts to w as JSON Lines.
+func WritePosts(w io.Writer, posts []*Post) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, p := range posts {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("social: write post %d: %w", i, err)
+		}
+		if err := enc.Encode(p); err != nil {
+			return fmt.Errorf("social: encode post %s: %w", p.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPosts parses a JSON Lines stream back into posts, validating each.
+func ReadPosts(r io.Reader) ([]*Post, error) {
+	var posts []*Post
+	dec := json.NewDecoder(r)
+	for {
+		var p Post
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				return posts, nil
+			}
+			return nil, fmt.Errorf("social: decode post %d: %w", len(posts), err)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("social: read post %d: %w", len(posts), err)
+		}
+		posts = append(posts, &p)
+	}
+}
+
+// LoadStore reads a JSON Lines snapshot into a fresh store.
+func LoadStore(r io.Reader) (*Store, error) {
+	posts, err := ReadPosts(r)
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	if err := s.Add(posts...); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,76 @@
+package social
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PoisonCampaign describes a data-poisoning attempt against the PSP
+// pipeline: a small set of bot handles pushing one hashtag with
+// duplicated text and bought views, aiming to inflate a topic's Social
+// Attraction Index. The paper's roadmap motivates defending against
+// exactly this.
+type PoisonCampaign struct {
+	// Seed drives the bot randomness.
+	Seed int64
+	// Tag is the hashtag being pushed (without '#').
+	Tag string
+	// Application is the vehicle application named in the bot text.
+	Application string
+	// Region is the claimed origin region.
+	Region Region
+	// Posts is the campaign volume.
+	Posts int
+	// Authors is the number of bot handles (small by construction).
+	Authors int
+	// Start/End bound the posting window.
+	Start, End time.Time
+	// Views is the inflated per-post view count; interactions stay near
+	// zero, the signature of bought reach.
+	Views int
+}
+
+// Validate checks the campaign parameters.
+func (c PoisonCampaign) Validate() error {
+	if c.Tag == "" || c.Application == "" {
+		return fmt.Errorf("social: poison campaign needs tag and application")
+	}
+	if c.Posts < 1 || c.Authors < 1 || c.Views < 1 {
+		return fmt.Errorf("social: poison campaign needs positive posts/authors/views")
+	}
+	if c.Start.IsZero() || !c.End.After(c.Start) {
+		return fmt.Errorf("social: poison campaign needs a valid window")
+	}
+	return nil
+}
+
+// InjectPoison generates the campaign's bot posts. IDs are prefixed
+// "poison-" so they cannot collide with generated corpus IDs.
+func InjectPoison(c PoisonCampaign) ([]*Post, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	span := c.End.Sub(c.Start)
+	text := fmt.Sprintf(
+		"unbelievable results, everyone needs this on their %s right now #%s",
+		c.Application, c.Tag)
+	posts := make([]*Post, 0, c.Posts)
+	for i := 0; i < c.Posts; i++ {
+		posts = append(posts, &Post{
+			ID:        fmt.Sprintf("poison-%05d", i),
+			Author:    fmt.Sprintf("bot%03d", rng.Intn(c.Authors)),
+			Text:      text,
+			CreatedAt: c.Start.Add(time.Duration(rng.Int63n(int64(span)))),
+			Region:    c.Region,
+			Metrics: Metrics{
+				Views: c.Views + rng.Intn(c.Views/10+1),
+				// A token interaction or two: bots are not literally
+				// zero-engagement, just far below organic rates.
+				Likes: rng.Intn(2),
+			},
+		})
+	}
+	return posts, nil
+}

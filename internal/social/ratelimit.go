@@ -1,0 +1,58 @@
+package social
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a token bucket: Allow consumes one token when available.
+// It mirrors the request quotas of the public search APIs the paper's
+// prototype depended on, so clients exercise the back-off path.
+type RateLimiter struct {
+	mu       sync.Mutex
+	capacity float64
+	tokens   float64
+	refill   float64 // tokens per second
+	last     time.Time
+	now      func() time.Time
+}
+
+// NewRateLimiter builds a bucket holding capacity tokens refilled at
+// refillPerSecond. A nil clock uses time.Now.
+func NewRateLimiter(capacity int, refillPerSecond float64, clock func() time.Time) *RateLimiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &RateLimiter{
+		capacity: float64(capacity),
+		tokens:   float64(capacity),
+		refill:   refillPerSecond,
+		last:     clock(),
+		now:      clock,
+	}
+}
+
+// Allow consumes a token if available and reports whether the request may
+// proceed. When it returns false, retryAfter suggests how long to wait.
+func (r *RateLimiter) Allow() (ok bool, retryAfter time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	elapsed := now.Sub(r.last).Seconds()
+	if elapsed > 0 {
+		r.tokens += elapsed * r.refill
+		if r.tokens > r.capacity {
+			r.tokens = r.capacity
+		}
+		r.last = now
+	}
+	if r.tokens >= 1 {
+		r.tokens--
+		return true, 0
+	}
+	if r.refill <= 0 {
+		return false, time.Hour
+	}
+	need := 1 - r.tokens
+	return false, time.Duration(need / r.refill * float64(time.Second))
+}

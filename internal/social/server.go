@@ -1,0 +1,143 @@
+package social
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server exposes a store over an HTTP JSON API shaped like the public
+// search APIs the paper's prototype consumed:
+//
+//	GET /v2/search?tags=a,b&must=x,y&region=EU&since=RFC3339&until=RFC3339&max_results=100&next_token=...
+//	GET /v2/healthz
+//
+// Responses carry {"data": [...], "meta": {"result_count", "total_matches",
+// "next_token"}}. Rate-limited requests receive 429 with a Retry-After
+// header.
+type Server struct {
+	store   *Store
+	limiter *RateLimiter
+}
+
+// NewServer wraps a store. limiter may be nil to disable rate limiting.
+func NewServer(store *Store, limiter *RateLimiter) *Server {
+	return &Server{store: store, limiter: limiter}
+}
+
+// Handler returns the HTTP handler implementing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/search", s.handleSearch)
+	mux.HandleFunc("/v2/healthz", s.handleHealth)
+	return mux
+}
+
+// searchResponse is the wire format of /v2/search.
+type searchResponse struct {
+	Data []*Post        `json:"data"`
+	Meta searchMetadata `json:"meta"`
+}
+
+type searchMetadata struct {
+	ResultCount  int    `json:"result_count"`
+	TotalMatches int    `json:"total_matches"`
+	NextToken    string `json:"next_token,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","posts":%d}`, s.store.Len())
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.limiter != nil {
+		if ok, retry := s.limiter.Allow(); !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+1)))
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+	}
+	q, err := parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	page, err := s.store.Search(r.Context(), q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(searchResponse{
+		Data: page.Posts,
+		Meta: searchMetadata{
+			ResultCount:  len(page.Posts),
+			TotalMatches: page.TotalMatches,
+			NextToken:    page.NextToken,
+		},
+	})
+}
+
+func parseQuery(r *http.Request) (Query, error) {
+	v := r.URL.Query()
+	q := Query{
+		AnyTags:   splitList(v.Get("tags")),
+		MustTerms: splitList(v.Get("must")),
+		Region:    Region(v.Get("region")),
+		PageToken: v.Get("next_token"),
+	}
+	if raw := v.Get("since"); raw != "" {
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			return Query{}, fmt.Errorf("invalid since %q: %w", raw, err)
+		}
+		q.Since = t
+	}
+	if raw := v.Get("until"); raw != "" {
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			return Query{}, fmt.Errorf("invalid until %q: %w", raw, err)
+		}
+		q.Until = t
+	}
+	if raw := v.Get("max_results"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return Query{}, fmt.Errorf("invalid max_results %q", raw)
+		}
+		q.MaxResults = n
+	}
+	return q, nil
+}
+
+func splitList(raw string) []string {
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}

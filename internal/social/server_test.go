@@ -1,0 +1,177 @@
+package social
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, limiter *RateLimiter) (*httptest.Server, *Store) {
+	t.Helper()
+	store := NewStore()
+	if err := store.Add(samplePosts()...); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(store, limiter).Handler())
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func TestClientSearchRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := NewClient(srv.URL, srv.Client())
+	page, err := c.Search(context.Background(), Query{
+		AnyTags:   []string{"dpfdelete"},
+		MustTerms: []string{"excavator"},
+		Region:    RegionEurope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Posts) != 2 || page.TotalMatches != 2 {
+		t.Fatalf("remote search = %v (total %d), want 2 posts", ids(page.Posts), page.TotalMatches)
+	}
+	// Field fidelity across the wire.
+	p := page.Posts[0]
+	if p.ID != "p1" || p.Region != RegionEurope || p.Metrics.Views != 1000 {
+		t.Errorf("post lost fields across the wire: %+v", p)
+	}
+	if !p.CreatedAt.Equal(ts(2021, 3, 1)) {
+		t.Errorf("timestamp skewed: %s", p.CreatedAt)
+	}
+}
+
+func TestClientPaginationViaSearchAll(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := NewClient(srv.URL, srv.Client())
+	posts, err := SearchAll(context.Background(), c, Query{MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 4 {
+		t.Fatalf("SearchAll over HTTP returned %d posts, want 4", len(posts))
+	}
+}
+
+func TestClientTimeWindowOverWire(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := NewClient(srv.URL, srv.Client())
+	page, err := c.Search(context.Background(), Query{
+		Since: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		Until: time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Posts) != 2 {
+		t.Fatalf("windowed remote search = %v, want 2 posts", ids(page.Posts))
+	}
+}
+
+func TestClientRateLimitRetry(t *testing.T) {
+	// Bucket with a single token and fast refill: the first call eats
+	// the token, the second must back off once and then succeed.
+	clock := time.Now
+	limiter := NewRateLimiter(1, 100, clock)
+	srv, _ := newTestServer(t, limiter)
+	c := NewClient(srv.URL, srv.Client())
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) {
+		slept = append(slept, d)
+		time.Sleep(15 * time.Millisecond) // real refill at 100 tok/s
+	}
+	if _, err := c.Search(context.Background(), Query{}); err != nil {
+		t.Fatalf("first search: %v", err)
+	}
+	if _, err := c.Search(context.Background(), Query{}); err != nil {
+		t.Fatalf("second search should retry and succeed: %v", err)
+	}
+	if len(slept) == 0 {
+		t.Error("client never backed off despite 429")
+	}
+}
+
+func TestClientRateLimitExhaustsRetries(t *testing.T) {
+	limiter := NewRateLimiter(1, 0, nil) // never refills
+	srv, _ := newTestServer(t, limiter)
+	c := NewClient(srv.URL, srv.Client())
+	c.MaxRetries = 1
+	c.sleep = func(time.Duration) {}
+	if _, err := c.Search(context.Background(), Query{}); err != nil {
+		t.Fatalf("first search: %v", err)
+	}
+	if _, err := c.Search(context.Background(), Query{}); err == nil {
+		t.Error("exhausted retries should fail")
+	}
+}
+
+func TestServerRejectsBadInputs(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	for _, path := range []string{
+		"/v2/search?since=not-a-time",
+		"/v2/search?until=also-bad",
+		"/v2/search?max_results=-3",
+		"/v2/search?max_results=abc",
+		"/v2/search?next_token=bogus",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s → status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/v2/search", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST → status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerHealth(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := NewClient(srv.URL, srv.Client())
+	if err := c.Health(context.Background()); err != nil {
+		t.Errorf("Health(): %v", err)
+	}
+}
+
+func TestClientErrorStatusSurfaced(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer backend.Close()
+	c := NewClient(backend.URL, backend.Client())
+	if _, err := c.Search(context.Background(), Query{}); err == nil {
+		t.Error("500 response should surface as error")
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	rl := NewRateLimiter(2, 1, clock)
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.Allow(); !ok {
+			t.Fatalf("token %d should be available", i)
+		}
+	}
+	ok, retry := rl.Allow()
+	if ok {
+		t.Fatal("bucket should be empty")
+	}
+	if retry <= 0 || retry > 2*time.Second {
+		t.Errorf("retry hint = %s", retry)
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if ok, _ := rl.Allow(); !ok {
+		t.Error("refilled token not granted")
+	}
+}

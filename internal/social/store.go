@@ -1,0 +1,262 @@
+package social
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/psp-framework/psp/internal/nlp"
+)
+
+// Query selects posts from a store. All filters combine conjunctively;
+// zero-valued filters are inactive.
+type Query struct {
+	// AnyTags matches posts carrying at least one of these hashtags
+	// (normalized, no '#'). Empty means "any post".
+	AnyTags []string
+	// MustTerms are words or hashtags that must ALL appear in the post
+	// text (the paper's target-application filter, e.g. "excavator").
+	MustTerms []string
+	// Region filters by origin region; empty means all regions.
+	Region Region
+	// Since/Until bound CreatedAt: Since ≤ t < Until. Zero values are
+	// open ends.
+	Since, Until time.Time
+	// MaxResults caps the page size; 0 means the server default.
+	MaxResults int
+	// PageToken resumes a paginated listing; empty starts at the top.
+	PageToken string
+}
+
+// normalizedTags returns the query's tags normalized for index lookup.
+func (q Query) normalizedTags() []string {
+	out := make([]string, 0, len(q.AnyTags))
+	for _, t := range q.AnyTags {
+		t = nlp.Normalize(strings.TrimPrefix(strings.TrimSpace(t), "#"))
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Page is one page of search results.
+type Page struct {
+	// Posts are the matching posts in (CreatedAt, ID) order.
+	Posts []*Post
+	// NextToken resumes the listing; empty when the listing is complete.
+	NextToken string
+	// TotalMatches is the total number of posts matching the query
+	// across all pages.
+	TotalMatches int
+}
+
+// Searcher is the capability the PSP framework needs from a social
+// platform: paginated keyword search. Both the in-process Store and the
+// HTTP Client implement it.
+type Searcher interface {
+	Search(ctx context.Context, q Query) (*Page, error)
+}
+
+// Store is an in-memory post store with hashtag and time indices. It is
+// safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	posts  map[string]*Post
+	byTime []*Post // sorted by (CreatedAt, ID)
+	byTag  map[string][]*Post
+	terms  map[string]map[string]bool // post ID → term set (precomputed)
+}
+
+var _ Searcher = (*Store)(nil)
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		posts: make(map[string]*Post),
+		byTag: make(map[string][]*Post),
+		terms: make(map[string]map[string]bool),
+	}
+}
+
+// Add inserts posts. Duplicate IDs and invalid posts are rejected; on
+// error the store is left unchanged for the offending post but earlier
+// posts of the batch stay inserted.
+func (s *Store) Add(posts ...*Post) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range posts {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if _, dup := s.posts[p.ID]; dup {
+			return fmt.Errorf("social: duplicate post ID %s", p.ID)
+		}
+		s.posts[p.ID] = p
+		s.terms[p.ID] = p.Terms()
+		i := sort.Search(len(s.byTime), func(i int) bool {
+			if !s.byTime[i].CreatedAt.Equal(p.CreatedAt) {
+				return s.byTime[i].CreatedAt.After(p.CreatedAt)
+			}
+			return s.byTime[i].ID > p.ID
+		})
+		s.byTime = append(s.byTime, nil)
+		copy(s.byTime[i+1:], s.byTime[i:])
+		s.byTime[i] = p
+		for _, tag := range p.Hashtags() {
+			tag = nlp.Normalize(tag)
+			s.byTag[tag] = append(s.byTag[tag], p)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored posts.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.posts)
+}
+
+// Post returns the post with the given ID, or nil.
+func (s *Store) Post(id string) *Post {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.posts[id]
+}
+
+// defaultPageSize caps pages when the query does not specify MaxResults.
+const defaultPageSize = 100
+
+// maxPageSize is the hard page-size ceiling, mirroring public API limits.
+const maxPageSize = 500
+
+// Search runs the query and returns one result page. The context is
+// honoured between scan batches.
+func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	matches, err := s.matchLocked(q)
+	if err != nil {
+		return nil, err
+	}
+	offset := 0
+	if q.PageToken != "" {
+		if _, err := fmt.Sscanf(q.PageToken, "o%d", &offset); err != nil || offset < 0 {
+			return nil, fmt.Errorf("social: invalid page token %q", q.PageToken)
+		}
+	}
+	size := q.MaxResults
+	if size <= 0 {
+		size = defaultPageSize
+	}
+	if size > maxPageSize {
+		size = maxPageSize
+	}
+	page := &Page{TotalMatches: len(matches)}
+	if offset >= len(matches) {
+		return page, nil
+	}
+	end := offset + size
+	if end > len(matches) {
+		end = len(matches)
+	}
+	page.Posts = append(page.Posts, matches[offset:end]...)
+	if end < len(matches) {
+		page.NextToken = fmt.Sprintf("o%d", end)
+	}
+	return page, nil
+}
+
+// matchLocked evaluates the query filters and returns all matches in
+// (CreatedAt, ID) order. Caller holds at least the read lock.
+func (s *Store) matchLocked(q Query) ([]*Post, error) {
+	tags := q.normalizedTags()
+
+	// Candidate set: union of tag postings, or the full time index.
+	var candidates []*Post
+	if len(tags) > 0 {
+		seen := make(map[string]bool)
+		for _, tag := range tags {
+			for _, p := range s.byTag[tag] {
+				if !seen[p.ID] {
+					seen[p.ID] = true
+					candidates = append(candidates, p)
+				}
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if !candidates[i].CreatedAt.Equal(candidates[j].CreatedAt) {
+				return candidates[i].CreatedAt.Before(candidates[j].CreatedAt)
+			}
+			return candidates[i].ID < candidates[j].ID
+		})
+	} else {
+		candidates = s.byTime
+	}
+
+	must := make([]string, 0, len(q.MustTerms))
+	for _, t := range q.MustTerms {
+		t = nlp.Normalize(strings.TrimPrefix(strings.TrimSpace(t), "#"))
+		if t != "" {
+			must = append(must, t)
+		}
+	}
+
+	var out []*Post
+	for _, p := range candidates {
+		if q.Region != "" && p.Region != q.Region {
+			continue
+		}
+		if !q.Since.IsZero() && p.CreatedAt.Before(q.Since) {
+			continue
+		}
+		if !q.Until.IsZero() && !p.CreatedAt.Before(q.Until) {
+			continue
+		}
+		if len(must) > 0 {
+			terms := s.terms[p.ID]
+			ok := true
+			for _, m := range must {
+				if !terms[m] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SearchAll drains every page of a query through any Searcher,
+// accumulating all matching posts. It guards against runaway listings
+// with a hard cap of 100 pages.
+func SearchAll(ctx context.Context, s Searcher, q Query) ([]*Post, error) {
+	var out []*Post
+	q.PageToken = ""
+	for pages := 0; ; pages++ {
+		if pages >= 100 {
+			return nil, fmt.Errorf("social: pagination exceeded 100 pages")
+		}
+		page, err := s.Search(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Posts...)
+		if page.NextToken == "" {
+			return out, nil
+		}
+		q.PageToken = page.NextToken
+	}
+}

@@ -1,0 +1,204 @@
+package social
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func ts(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 12, 0, 0, 0, time.UTC)
+}
+
+func samplePosts() []*Post {
+	return []*Post{
+		{
+			ID: "p1", Author: "u1", Region: RegionEurope, CreatedAt: ts(2021, 3, 1),
+			Text:    "best #dpfdelete kit on my excavator, huge gains",
+			Metrics: Metrics{Views: 1000, Likes: 50, Reposts: 5, Replies: 3},
+		},
+		{
+			ID: "p2", Author: "u2", Region: RegionNorthAmerica, CreatedAt: ts(2022, 5, 1),
+			Text:    "flashed through the obd port — #chiptuning on my car",
+			Metrics: Metrics{Views: 800, Likes: 20, Reposts: 2, Replies: 1},
+		},
+		{
+			ID: "p3", Author: "u3", Region: RegionEurope, CreatedAt: ts(2022, 7, 1),
+			Text:    "#egrremoval done on the tractor, great savings",
+			Metrics: Metrics{Views: 500, Likes: 10, Reposts: 1, Replies: 0},
+		},
+		{
+			ID: "p4", Author: "u4", Region: RegionEurope, CreatedAt: ts(2023, 1, 10),
+			Text:    "#dpfdelete on my excavator ended in limp mode, regret it",
+			Metrics: Metrics{Views: 300, Likes: 5, Reposts: 0, Replies: 8},
+		},
+	}
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.Add(samplePosts()...); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreAddValidation(t *testing.T) {
+	s := NewStore()
+	bad := []*Post{
+		{ID: "", Text: "x", CreatedAt: ts(2022, 1, 1)},
+		{ID: "x", Text: "", CreatedAt: ts(2022, 1, 1)},
+		{ID: "x", Text: "y"},
+		{ID: "x", Text: "y", CreatedAt: ts(2022, 1, 1), Metrics: Metrics{Views: -1}},
+	}
+	for i, p := range bad {
+		if err := s.Add(p); err == nil {
+			t.Errorf("case %d: Add(%+v) succeeded, want error", i, p)
+		}
+	}
+	ok := &Post{ID: "x", Text: "y", CreatedAt: ts(2022, 1, 1)}
+	if err := s.Add(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Post{ID: "x", Text: "z", CreatedAt: ts(2022, 1, 2)}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", s.Len())
+	}
+	if s.Post("x") == nil || s.Post("nope") != nil {
+		t.Error("Post lookup wrong")
+	}
+}
+
+func TestSearchByTag(t *testing.T) {
+	s := newTestStore(t)
+	page, err := s.Search(context.Background(), Query{AnyTags: []string{"dpfdelete"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Posts) != 2 || page.TotalMatches != 2 {
+		t.Fatalf("tag search returned %d posts (total %d), want 2", len(page.Posts), page.TotalMatches)
+	}
+	// Chronological order.
+	if page.Posts[0].ID != "p1" || page.Posts[1].ID != "p4" {
+		t.Errorf("order = %s,%s want p1,p4", page.Posts[0].ID, page.Posts[1].ID)
+	}
+	// '#'-prefixed and differently-cased tags normalize.
+	page2, err := s.Search(context.Background(), Query{AnyTags: []string{"#DPFdelete"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Posts) != 2 {
+		t.Errorf("normalized tag search returned %d posts, want 2", len(page2.Posts))
+	}
+}
+
+func TestSearchMustTerms(t *testing.T) {
+	s := newTestStore(t)
+	page, err := s.Search(context.Background(), Query{
+		AnyTags:   []string{"dpfdelete", "egrremoval"},
+		MustTerms: []string{"excavator"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Posts) != 2 {
+		t.Fatalf("must-term search returned %d posts, want 2", len(page.Posts))
+	}
+	for _, p := range page.Posts {
+		if !p.Terms()["excavator"] {
+			t.Errorf("post %s lacks must term", p.ID)
+		}
+	}
+}
+
+func TestSearchRegionAndWindow(t *testing.T) {
+	s := newTestStore(t)
+	page, err := s.Search(context.Background(), Query{
+		Region: RegionEurope,
+		Since:  ts(2022, 1, 1),
+		Until:  ts(2023, 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Posts) != 1 || page.Posts[0].ID != "p3" {
+		t.Fatalf("windowed region search = %v, want [p3]", ids(page.Posts))
+	}
+	// Until is exclusive: a post exactly at the bound is excluded.
+	pageEdge, err := s.Search(context.Background(), Query{Until: ts(2021, 3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pageEdge.Posts) != 0 {
+		t.Errorf("exclusive until violated: %v", ids(pageEdge.Posts))
+	}
+}
+
+func TestSearchPagination(t *testing.T) {
+	s := newTestStore(t)
+	var all []*Post
+	q := Query{MaxResults: 2}
+	for {
+		page, err := s.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, page.Posts...)
+		if page.NextToken == "" {
+			break
+		}
+		q.PageToken = page.NextToken
+	}
+	if len(all) != 4 {
+		t.Fatalf("pagination collected %d posts, want 4", len(all))
+	}
+	// SearchAll agrees.
+	got, err := SearchAll(context.Background(), s, Query{MaxResults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("SearchAll returned %d posts, want 4", len(got))
+	}
+}
+
+func TestSearchBadPageToken(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Search(context.Background(), Query{PageToken: "garbage"}); err == nil {
+		t.Error("bad page token accepted")
+	}
+}
+
+func TestSearchContextCancelled(t *testing.T) {
+	s := newTestStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Search(ctx, Query{}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestPostDerivations(t *testing.T) {
+	p := samplePosts()[0]
+	tags := p.Hashtags()
+	if len(tags) != 1 || tags[0] != "dpfdelete" {
+		t.Errorf("Hashtags() = %v", tags)
+	}
+	if !p.Terms()["gains"] || !p.Terms()["dpfdelete"] {
+		t.Errorf("Terms() missing expected entries: %v", p.Terms())
+	}
+	if got := p.Metrics.Interactions(); got != 58 {
+		t.Errorf("Interactions() = %d, want 58", got)
+	}
+}
+
+func ids(posts []*Post) []string {
+	out := make([]string, len(posts))
+	for i, p := range posts {
+		out[i] = p.ID
+	}
+	return out
+}

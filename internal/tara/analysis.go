@@ -1,0 +1,287 @@
+package tara
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Analysis is a complete TARA work product: an item with its assets,
+// damage scenarios, threat scenarios and attack paths, plus the models
+// used to rate them. It corresponds to the Clause 15 deliverable that the
+// development lifecycle (Fig. 2) reprocesses at every phase.
+type Analysis struct {
+	// Item is the item definition under analysis.
+	Item *Item
+	// Damages are the identified damage scenarios.
+	Damages []*DamageScenario
+	// Threats are the identified threat scenarios.
+	Threats []*ThreatScenario
+	// Paths are the analyzed attack paths, each linked to a threat.
+	Paths []*AttackPath
+
+	// VectorModel is the attack vector-based feasibility table used for
+	// scenarios rated by vector. Defaults to the standard G.9 table.
+	VectorModel *VectorTable
+	// PotentialModel and PotentialBands configure the attack
+	// potential-based approach for paths carrying potential profiles.
+	PotentialModel *AttackPotentialWeights
+	PotentialBands PotentialThresholds
+	// Matrix is the risk matrix. Defaults to the standard Annex H matrix.
+	Matrix *RiskMatrix
+	// CALModel is the CAL determination table. Defaults to the standard
+	// Annex E table.
+	CALModel *CALTable
+}
+
+// NewAnalysis builds an Analysis around an item with the standard's
+// default models installed.
+func NewAnalysis(item *Item) *Analysis {
+	return &Analysis{
+		Item:           item,
+		VectorModel:    StandardVectorTable(),
+		PotentialModel: StandardPotentialWeights(),
+		PotentialBands: StandardPotentialThresholds(),
+		Matrix:         StandardRiskMatrix(),
+		CALModel:       StandardCALTable(),
+	}
+}
+
+// AddDamage registers a damage scenario.
+func (a *Analysis) AddDamage(d *DamageScenario) *Analysis {
+	a.Damages = append(a.Damages, d)
+	return a
+}
+
+// AddThreat registers a threat scenario.
+func (a *Analysis) AddThreat(t *ThreatScenario) *Analysis {
+	a.Threats = append(a.Threats, t)
+	return a
+}
+
+// AddPath registers an attack path.
+func (a *Analysis) AddPath(p *AttackPath) *Analysis {
+	a.Paths = append(a.Paths, p)
+	return a
+}
+
+// Validate cross-checks the whole analysis: item and element validity,
+// unique IDs, and referential integrity between threats, damages, assets
+// and paths.
+func (a *Analysis) Validate() error {
+	if a.Item == nil {
+		return fmt.Errorf("tara: analysis without item definition")
+	}
+	if err := a.Item.Validate(); err != nil {
+		return err
+	}
+	if a.VectorModel == nil || a.PotentialModel == nil || a.Matrix == nil || a.CALModel == nil {
+		return fmt.Errorf("tara: analysis %s: missing rating model", a.Item.Name)
+	}
+	damages := make(map[string]*DamageScenario, len(a.Damages))
+	for _, d := range a.Damages {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if _, dup := damages[d.ID]; dup {
+			return fmt.Errorf("tara: duplicate damage scenario ID %s", d.ID)
+		}
+		damages[d.ID] = d
+		for _, assetID := range d.AssetIDs {
+			if a.Item.Asset(assetID) == nil {
+				return fmt.Errorf("tara: damage scenario %s references unknown asset %s", d.ID, assetID)
+			}
+		}
+	}
+	threats := make(map[string]*ThreatScenario, len(a.Threats))
+	for _, t := range a.Threats {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if _, dup := threats[t.ID]; dup {
+			return fmt.Errorf("tara: duplicate threat scenario ID %s", t.ID)
+		}
+		threats[t.ID] = t
+		for _, dmgID := range t.DamageIDs {
+			if _, ok := damages[dmgID]; !ok {
+				return fmt.Errorf("tara: threat scenario %s references unknown damage scenario %s", t.ID, dmgID)
+			}
+		}
+		for _, assetID := range t.AssetIDs {
+			if a.Item.Asset(assetID) == nil {
+				return fmt.Errorf("tara: threat scenario %s references unknown asset %s", t.ID, assetID)
+			}
+		}
+	}
+	pathIDs := make(map[string]bool, len(a.Paths))
+	for _, p := range a.Paths {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if pathIDs[p.ID] {
+			return fmt.Errorf("tara: duplicate attack path ID %s", p.ID)
+		}
+		pathIDs[p.ID] = true
+		if _, ok := threats[p.ThreatID]; !ok {
+			return fmt.Errorf("tara: attack path %s references unknown threat scenario %s", p.ID, p.ThreatID)
+		}
+	}
+	return nil
+}
+
+// Damage returns the damage scenario with the given ID, or nil.
+func (a *Analysis) Damage(id string) *DamageScenario {
+	for _, d := range a.Damages {
+		if d.ID == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// Threat returns the threat scenario with the given ID, or nil.
+func (a *Analysis) Threat(id string) *ThreatScenario {
+	for _, t := range a.Threats {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// PathsFor returns the attack paths linked to a threat scenario, in
+// registration order.
+func (a *Analysis) PathsFor(threatID string) []*AttackPath {
+	var out []*AttackPath
+	for _, p := range a.Paths {
+		if p.ThreatID == threatID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ThreatResult is the per-threat outcome of a risk determination run.
+type ThreatResult struct {
+	Threat *ThreatScenario
+	// Impact is the overall impact across the linked damage scenarios
+	// (maximum of their overall ratings).
+	Impact ImpactRating
+	// Feasibility is the combined attack feasibility across the threat's
+	// paths (or the threat's declared vector if it has no paths).
+	Feasibility FeasibilityRating
+	// Risk is the matrix cell for Impact × Feasibility.
+	Risk RiskValue
+	// Treatment is the suggested risk treatment for Risk.
+	Treatment TreatmentOption
+	// CAL is the assurance level determined from Impact and the threat's
+	// dominant attack vector.
+	CAL CAL
+	// DominantVector is the vector that drove the feasibility rating.
+	DominantVector AttackVector
+}
+
+// Run validates the analysis and determines impact, feasibility, risk,
+// treatment and CAL for every threat scenario. Results are sorted by
+// descending risk value, then by threat ID for determinism.
+func (a *Analysis) Run() ([]*ThreatResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]*ThreatResult, 0, len(a.Threats))
+	for _, t := range a.Threats {
+		impact, err := a.threatImpact(t)
+		if err != nil {
+			return nil, err
+		}
+		feas, dom, err := a.threatFeasibility(t)
+		if err != nil {
+			return nil, err
+		}
+		risk, err := a.Matrix.Risk(impact, feas)
+		if err != nil {
+			return nil, err
+		}
+		treatment, err := SuggestTreatment(risk)
+		if err != nil {
+			return nil, err
+		}
+		cal, err := a.CALModel.Determine(impact, dom)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, &ThreatResult{
+			Threat:         t,
+			Impact:         impact,
+			Feasibility:    feas,
+			Risk:           risk,
+			Treatment:      treatment,
+			CAL:            cal,
+			DominantVector: dom,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Risk != results[j].Risk {
+			return results[i].Risk > results[j].Risk
+		}
+		return results[i].Threat.ID < results[j].Threat.ID
+	})
+	return results, nil
+}
+
+// threatImpact aggregates the overall impact of the threat's linked
+// damage scenarios (maximum rule).
+func (a *Analysis) threatImpact(t *ThreatScenario) (ImpactRating, error) {
+	var maxImpact ImpactRating
+	for _, dmgID := range t.DamageIDs {
+		d := a.Damage(dmgID)
+		if d == nil {
+			return 0, fmt.Errorf("tara: threat scenario %s references unknown damage scenario %s", t.ID, dmgID)
+		}
+		if imp := d.OverallImpact(); imp > maxImpact {
+			maxImpact = imp
+		}
+	}
+	if !maxImpact.Valid() {
+		return 0, fmt.Errorf("tara: threat scenario %s: no rated damage scenarios", t.ID)
+	}
+	return maxImpact, nil
+}
+
+// threatFeasibility combines the feasibility of the threat's attack
+// paths. Paths carrying potential profiles use the attack potential-based
+// approach; others use the vector-based table. Threats without analyzed
+// paths fall back to their declared vector. Also returns the vector of
+// the path that produced the combined rating.
+func (a *Analysis) threatFeasibility(t *ThreatScenario) (FeasibilityRating, AttackVector, error) {
+	paths := a.PathsFor(t.ID)
+	if len(paths) == 0 {
+		r, err := a.VectorModel.Rating(t.Vector)
+		return r, t.Vector, err
+	}
+	best, bestVector := FeasibilityRating(0), t.Vector
+	for _, p := range paths {
+		var r FeasibilityRating
+		var err error
+		if pathHasPotential(p) {
+			r, err = p.RateByPotential(a.PotentialModel, a.PotentialBands)
+		} else {
+			r, err = p.RateByVector(a.VectorModel)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if r > best {
+			best, bestVector = r, p.DominantVector()
+		}
+	}
+	return best, bestVector, nil
+}
+
+func pathHasPotential(p *AttackPath) bool {
+	for _, s := range p.Steps {
+		if s.Potential != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,303 @@
+package tara
+
+import "testing"
+
+// ecmAnalysis builds the paper's running example: an Engine Control Module
+// item with the ECM-reprogramming threat scenario and a physically
+// dominated attack path.
+func ecmAnalysis() *Analysis {
+	item := &Item{
+		Name:        "Engine Control Module",
+		Description: "Hard real-time powertrain ECU on the CAN powertrain subnet, OBD-accessible",
+		Assets: []*Asset{
+			{
+				ID: "ECM-FW", Name: "ECM firmware",
+				Description: "Application firmware and calibration maps",
+				Properties:  []SecurityProperty{PropertyIntegrity, PropertyAuthenticity},
+				ECU:         "ECM",
+			},
+			{
+				ID: "ECM-CAN", Name: "Powertrain CAN traffic",
+				Description: "Torque and emission-control frames",
+				Properties:  []SecurityProperty{PropertyIntegrity, PropertyAvailability},
+				ECU:         "ECM",
+			},
+		},
+	}
+	a := NewAnalysis(item)
+	a.AddDamage(&DamageScenario{
+		ID:          "DS-01",
+		Description: "Emission controls defeated; non-compliant exhaust while driving",
+		AssetIDs:    []string{"ECM-FW"},
+		Impacts: map[ImpactCategory]ImpactRating{
+			CategorySafety:      ImpactModerate,
+			CategoryFinancial:   ImpactMajor,
+			CategoryOperational: ImpactModerate,
+		},
+	})
+	a.AddDamage(&DamageScenario{
+		ID:          "DS-02",
+		Description: "Loss of torque control; unintended acceleration",
+		AssetIDs:    []string{"ECM-CAN"},
+		Impacts: map[ImpactCategory]ImpactRating{
+			CategorySafety: ImpactSevere,
+		},
+	})
+	a.AddThreat(&ThreatScenario{
+		ID: "TS-01", Name: "ECM reprogramming",
+		Description: "Owner-approved reflash of calibration maps (chip tuning, defeat device)",
+		DamageIDs:   []string{"DS-01"},
+		AssetIDs:    []string{"ECM-FW"},
+		Property:    PropertyIntegrity,
+		STRIDE:      Tampering,
+		Profiles:    []AttackerProfile{ProfileInsider, ProfileRational, ProfileLocal},
+		Vector:      VectorPhysical,
+		Keywords:    []string{"chiptuning", "ecm reflash"},
+	})
+	a.AddThreat(&ThreatScenario{
+		ID: "TS-02", Name: "CAN DoS on powertrain subnet",
+		Description: "Signal-extinction DoS against torque frames via physical bus access",
+		DamageIDs:   []string{"DS-02"},
+		AssetIDs:    []string{"ECM-CAN"},
+		Property:    PropertyAvailability,
+		STRIDE:      DenialOfService,
+		Profiles:    []AttackerProfile{ProfileOutsider, ProfileMalicious},
+		Vector:      VectorPhysical,
+	})
+	a.AddPath(&AttackPath{
+		ID: "AP-01", ThreatID: "TS-01",
+		Steps: []AttackStep{
+			{Description: "access cabin OBD port", Vector: VectorLocal},
+			{Description: "bench-flash modified calibration", Vector: VectorPhysical},
+		},
+	})
+	return a
+}
+
+func TestAnalysisValidate(t *testing.T) {
+	if err := ecmAnalysis().Validate(); err != nil {
+		t.Fatalf("valid analysis rejected: %v", err)
+	}
+}
+
+func TestAnalysisValidateCatchesDanglingReferences(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Analysis)
+	}{
+		{"threat references unknown damage", func(a *Analysis) {
+			a.Threats[0].DamageIDs = []string{"DS-99"}
+		}},
+		{"threat references unknown asset", func(a *Analysis) {
+			a.Threats[0].AssetIDs = []string{"GHOST"}
+		}},
+		{"damage references unknown asset", func(a *Analysis) {
+			a.Damages[0].AssetIDs = []string{"GHOST"}
+		}},
+		{"path references unknown threat", func(a *Analysis) {
+			a.Paths[0].ThreatID = "TS-99"
+		}},
+		{"duplicate damage ID", func(a *Analysis) {
+			a.AddDamage(&DamageScenario{
+				ID: "DS-01", Impacts: map[ImpactCategory]ImpactRating{CategorySafety: ImpactModerate},
+			})
+		}},
+		{"duplicate threat ID", func(a *Analysis) {
+			dup := *a.Threats[0]
+			a.AddThreat(&dup)
+		}},
+		{"duplicate asset ID", func(a *Analysis) {
+			a.Item.Assets = append(a.Item.Assets, &Asset{
+				ID: "ECM-FW", Name: "clone",
+				Properties: []SecurityProperty{PropertyIntegrity},
+			})
+		}},
+		{"missing model", func(a *Analysis) { a.Matrix = nil }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := ecmAnalysis()
+			tt.mutate(a)
+			if err := a.Validate(); err == nil {
+				t.Error("Validate() succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestAnalysisRunECMExample(t *testing.T) {
+	results, err := ecmAnalysis().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("Run() returned %d results, want 2", len(results))
+	}
+	byID := map[string]*ThreatResult{}
+	for _, r := range results {
+		byID[r.Threat.ID] = r
+	}
+
+	reprog := byID["TS-01"]
+	if reprog == nil {
+		t.Fatal("no result for TS-01")
+	}
+	// Impact: DS-01 overall = max(Moderate, Major, Moderate) = Major.
+	if reprog.Impact != ImpactMajor {
+		t.Errorf("TS-01 impact = %v, want Major", reprog.Impact)
+	}
+	// Feasibility: the path's dominant vector is Physical → Very Low
+	// under the static G.9 table. This is exactly the misleading score
+	// the paper criticizes: a common insider attack rated Very Low.
+	if reprog.Feasibility != FeasibilityVeryLow {
+		t.Errorf("TS-01 feasibility = %v, want Very Low under static G.9", reprog.Feasibility)
+	}
+	if reprog.DominantVector != VectorPhysical {
+		t.Errorf("TS-01 dominant vector = %v, want Physical", reprog.DominantVector)
+	}
+	// Risk: Major × Very Low = R1 → Retain.
+	if reprog.Risk != 1 || reprog.Treatment != TreatmentRetain {
+		t.Errorf("TS-01 risk/treatment = %s/%v, want R1/Retain", reprog.Risk, reprog.Treatment)
+	}
+	// CAL: Major × Physical = CAL1.
+	if reprog.CAL != CAL1 {
+		t.Errorf("TS-01 CAL = %s, want CAL1", reprog.CAL)
+	}
+
+	dos := byID["TS-02"]
+	if dos == nil {
+		t.Fatal("no result for TS-02")
+	}
+	// No analyzed path: falls back to the declared physical vector.
+	if dos.Impact != ImpactSevere || dos.Feasibility != FeasibilityVeryLow {
+		t.Errorf("TS-02 impact/feasibility = %v/%v, want Severe/Very Low", dos.Impact, dos.Feasibility)
+	}
+	// Severe × Physical caps at CAL2 — the paper's DoS ceiling argument.
+	if dos.CAL != CAL2 {
+		t.Errorf("TS-02 CAL = %s, want CAL2", dos.CAL)
+	}
+	// Results must be sorted by descending risk.
+	if results[0].Risk < results[1].Risk {
+		t.Errorf("results not sorted by risk: %s before %s", results[0].Risk, results[1].Risk)
+	}
+}
+
+func TestAnalysisRunWithRetunedVectorModel(t *testing.T) {
+	// Installing a PSP-style retuned table (physical → High) flips the
+	// ECM-reprogramming verdict from R1 to R4 — the framework's point.
+	a := ecmAnalysis()
+	retuned, err := NewVectorTable("PSP insider", map[AttackVector]FeasibilityRating{
+		VectorPhysical: FeasibilityHigh,
+		VectorLocal:    FeasibilityMedium,
+		VectorAdjacent: FeasibilityLow,
+		VectorNetwork:  FeasibilityVeryLow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.VectorModel = retuned
+	results, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Threat.ID != "TS-01" {
+			continue
+		}
+		if r.Feasibility != FeasibilityHigh {
+			t.Errorf("retuned TS-01 feasibility = %v, want High", r.Feasibility)
+		}
+		if r.Risk != 4 {
+			t.Errorf("retuned TS-01 risk = %s, want R4", r.Risk)
+		}
+	}
+}
+
+func TestAnalysisRunPotentialPath(t *testing.T) {
+	a := ecmAnalysis()
+	a.AddPath(&AttackPath{
+		ID: "AP-02", ThreatID: "TS-02",
+		Steps: []AttackStep{{
+			Description: "splice into powertrain CAN with standard tools",
+			Vector:      VectorPhysical,
+			Potential: &AttackPotentialInput{
+				Time: TimeOneDay, Expertise: ExpertiseProficient, Knowledge: KnowledgePublic,
+				Window: WindowEasy, Equipment: EquipmentStandard,
+			},
+		}},
+	})
+	results, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Threat.ID != "TS-02" {
+			continue
+		}
+		// Potential 0+3+0+1+0 = 4 → High: the potential-based model
+		// already disagrees with the vector-based Very Low, showing the
+		// inconsistency across the standard's own models.
+		if r.Feasibility != FeasibilityHigh {
+			t.Errorf("TS-02 potential-based feasibility = %v, want High", r.Feasibility)
+		}
+		// Severe impact × High feasibility = R5 → Avoid.
+		if r.Risk != 5 || r.Treatment != TreatmentAvoid {
+			t.Errorf("TS-02 risk/treatment = %s/%v, want R5/Avoid", r.Risk, r.Treatment)
+		}
+	}
+}
+
+func TestIsInsider(t *testing.T) {
+	tests := []struct {
+		name     string
+		profiles []AttackerProfile
+		want     bool
+	}{
+		{"explicit insider", []AttackerProfile{ProfileInsider}, true},
+		{"rational local", []AttackerProfile{ProfileRational, ProfileLocal}, true},
+		{"rational only", []AttackerProfile{ProfileRational}, false},
+		{"outsider", []AttackerProfile{ProfileOutsider, ProfileMalicious}, false},
+		{"none", nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ts := &ThreatScenario{Profiles: tt.profiles}
+			if got := ts.IsInsider(); got != tt.want {
+				t.Errorf("IsInsider() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDamageOverallImpactIsMax(t *testing.T) {
+	d := &DamageScenario{
+		ID: "DS-X",
+		Impacts: map[ImpactCategory]ImpactRating{
+			CategorySafety:    ImpactNegligible,
+			CategoryFinancial: ImpactSevere,
+			CategoryPrivacy:   ImpactModerate,
+		},
+	}
+	if got := d.OverallImpact(); got != ImpactSevere {
+		t.Errorf("OverallImpact() = %v, want Severe", got)
+	}
+	if got := d.Impact(CategoryOperational); got != 0 {
+		t.Errorf("Impact(unrated category) = %v, want 0", got)
+	}
+}
+
+func TestItemAssetLookup(t *testing.T) {
+	a := ecmAnalysis()
+	if got := a.Item.Asset("ECM-FW"); got == nil || got.Name != "ECM firmware" {
+		t.Errorf("Asset(ECM-FW) = %+v, want ECM firmware", got)
+	}
+	if got := a.Item.Asset("NOPE"); got != nil {
+		t.Errorf("Asset(NOPE) = %+v, want nil", got)
+	}
+	if !a.Item.Assets[0].HasProperty(PropertyIntegrity) {
+		t.Error("ECM-FW should have integrity property")
+	}
+	if a.Item.Assets[0].HasProperty(PropertyConfidentiality) {
+		t.Error("ECM-FW should not have confidentiality property")
+	}
+}

@@ -1,0 +1,158 @@
+package tara
+
+import "fmt"
+
+// The CVSS-based approach (ISO/SAE 21434 Annex G.2.3) derives attack
+// feasibility from the exploitability metrics of the CVSS v3.1 base score:
+// attack vector, attack complexity, privileges required and user
+// interaction.
+//
+//	exploitability = 8.22 × AV × AC × PR × UI
+
+// AttackComplexity is the CVSS v3.1 attack complexity metric.
+type AttackComplexity int
+
+// Attack complexity values.
+const (
+	ComplexityLow AttackComplexity = iota + 1
+	ComplexityHigh
+)
+
+// PrivilegesRequired is the CVSS v3.1 privileges required metric.
+type PrivilegesRequired int
+
+// Privileges required values.
+const (
+	PrivilegesNone PrivilegesRequired = iota + 1
+	PrivilegesLow
+	PrivilegesHigh
+)
+
+// UserInteraction is the CVSS v3.1 user interaction metric.
+type UserInteraction int
+
+// User interaction values.
+const (
+	InteractionNone UserInteraction = iota + 1
+	InteractionRequired
+)
+
+// CVSSInput carries the four exploitability metrics.
+type CVSSInput struct {
+	Vector      AttackVector
+	Complexity  AttackComplexity
+	Privileges  PrivilegesRequired
+	Interaction UserInteraction
+	// ChangedScope selects the scope-changed coefficient for
+	// PrivilegesLow/High, as defined by CVSS v3.1.
+	ChangedScope bool
+}
+
+// Validate reports the first invalid metric, if any.
+func (in CVSSInput) Validate() error {
+	switch {
+	case !in.Vector.Valid():
+		return fmt.Errorf("tara: invalid CVSS attack vector %d", int(in.Vector))
+	case in.Complexity < ComplexityLow || in.Complexity > ComplexityHigh:
+		return fmt.Errorf("tara: invalid CVSS attack complexity %d", int(in.Complexity))
+	case in.Privileges < PrivilegesNone || in.Privileges > PrivilegesHigh:
+		return fmt.Errorf("tara: invalid CVSS privileges required %d", int(in.Privileges))
+	case in.Interaction < InteractionNone || in.Interaction > InteractionRequired:
+		return fmt.Errorf("tara: invalid CVSS user interaction %d", int(in.Interaction))
+	}
+	return nil
+}
+
+// cvss v3.1 coefficient tables.
+var (
+	cvssVector = map[AttackVector]float64{
+		VectorNetwork:  0.85,
+		VectorAdjacent: 0.62,
+		VectorLocal:    0.55,
+		VectorPhysical: 0.20,
+	}
+	cvssComplexity = map[AttackComplexity]float64{
+		ComplexityLow:  0.77,
+		ComplexityHigh: 0.44,
+	}
+	cvssPrivileges = map[PrivilegesRequired]float64{
+		PrivilegesNone: 0.85,
+		PrivilegesLow:  0.62,
+		PrivilegesHigh: 0.27,
+	}
+	cvssPrivilegesChanged = map[PrivilegesRequired]float64{
+		PrivilegesNone: 0.85,
+		PrivilegesLow:  0.68,
+		PrivilegesHigh: 0.50,
+	}
+	cvssInteraction = map[UserInteraction]float64{
+		InteractionNone:     0.85,
+		InteractionRequired: 0.62,
+	}
+)
+
+// Exploitability computes the CVSS v3.1 exploitability sub-score
+// (0 < score ≤ 3.89).
+func Exploitability(in CVSSInput) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	pr := cvssPrivileges
+	if in.ChangedScope {
+		pr = cvssPrivilegesChanged
+	}
+	return 8.22 * cvssVector[in.Vector] * cvssComplexity[in.Complexity] *
+		pr[in.Privileges] * cvssInteraction[in.Interaction], nil
+}
+
+// CVSSThresholds maps an exploitability sub-score onto a feasibility
+// rating. Scores strictly below VeryLowMax rate Very Low, below LowMax
+// rate Low, below MediumMax rate Medium, and anything else rates High.
+type CVSSThresholds struct {
+	VeryLowMax float64
+	LowMax     float64
+	MediumMax  float64
+}
+
+// StandardCVSSThresholds returns the score → rating bands used by the
+// standard's example mapping: <1.0 Very Low, <2.0 Low, <3.0 Medium,
+// ≥3.0 High. (The standard leaves the exact bands to the organization;
+// these defaults follow its informative example.)
+func StandardCVSSThresholds() CVSSThresholds {
+	return CVSSThresholds{VeryLowMax: 1.0, LowMax: 2.0, MediumMax: 3.0}
+}
+
+// Validate checks that the bands are monotonically ordered.
+func (c CVSSThresholds) Validate() error {
+	if c.VeryLowMax <= 0 || c.LowMax <= c.VeryLowMax || c.MediumMax <= c.LowMax {
+		return fmt.Errorf("tara: invalid CVSS thresholds %+v", c)
+	}
+	return nil
+}
+
+// Rating maps an exploitability sub-score onto a feasibility rating.
+func (c CVSSThresholds) Rating(score float64) FeasibilityRating {
+	switch {
+	case score < c.VeryLowMax:
+		return FeasibilityVeryLow
+	case score < c.LowMax:
+		return FeasibilityLow
+	case score < c.MediumMax:
+		return FeasibilityMedium
+	default:
+		return FeasibilityHigh
+	}
+}
+
+// RateCVSS runs the full CVSS-based approach: exploitability computation
+// followed by threshold mapping.
+func RateCVSS(th CVSSThresholds, in CVSSInput) (FeasibilityRating, error) {
+	if err := th.Validate(); err != nil {
+		return 0, err
+	}
+	score, err := Exploitability(in)
+	if err != nil {
+		return 0, err
+	}
+	return th.Rating(score), nil
+}

@@ -1,0 +1,155 @@
+package tara
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExploitabilityKnownScores(t *testing.T) {
+	tests := []struct {
+		name string
+		in   CVSSInput
+		want float64
+	}{
+		{
+			name: "maximum exploitability (AV:N/AC:L/PR:N/UI:N)",
+			in: CVSSInput{Vector: VectorNetwork, Complexity: ComplexityLow,
+				Privileges: PrivilegesNone, Interaction: InteractionNone},
+			want: 8.22 * 0.85 * 0.77 * 0.85 * 0.85,
+		},
+		{
+			name: "physical worst case (AV:P/AC:H/PR:H/UI:R)",
+			in: CVSSInput{Vector: VectorPhysical, Complexity: ComplexityHigh,
+				Privileges: PrivilegesHigh, Interaction: InteractionRequired},
+			want: 8.22 * 0.20 * 0.44 * 0.27 * 0.62,
+		},
+		{
+			name: "changed scope raises PR:L coefficient",
+			in: CVSSInput{Vector: VectorLocal, Complexity: ComplexityLow,
+				Privileges: PrivilegesLow, Interaction: InteractionNone, ChangedScope: true},
+			want: 8.22 * 0.55 * 0.77 * 0.68 * 0.85,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Exploitability(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Exploitability() = %.6f, want %.6f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExploitabilityValidation(t *testing.T) {
+	bad := []CVSSInput{
+		{},
+		{Vector: VectorNetwork},
+		{Vector: VectorNetwork, Complexity: ComplexityLow},
+		{Vector: VectorNetwork, Complexity: ComplexityLow, Privileges: PrivilegesNone},
+		{Vector: AttackVector(9), Complexity: ComplexityLow, Privileges: PrivilegesNone, Interaction: InteractionNone},
+	}
+	for i, in := range bad {
+		if _, err := Exploitability(in); err == nil {
+			t.Errorf("case %d: Exploitability(%+v) succeeded, want error", i, in)
+		}
+	}
+}
+
+func TestRateCVSSBands(t *testing.T) {
+	th := StandardCVSSThresholds()
+	tests := []struct {
+		name string
+		in   CVSSInput
+		want FeasibilityRating
+	}{
+		{
+			// 8.22·0.85·0.77·0.85·0.85 ≈ 3.89 → High
+			name: "remote unauthenticated rates High",
+			in: CVSSInput{Vector: VectorNetwork, Complexity: ComplexityLow,
+				Privileges: PrivilegesNone, Interaction: InteractionNone},
+			want: FeasibilityHigh,
+		},
+		{
+			// 8.22·0.20·0.44·0.27·0.62 ≈ 0.12 → Very Low
+			name: "constrained physical rates Very Low",
+			in: CVSSInput{Vector: VectorPhysical, Complexity: ComplexityHigh,
+				Privileges: PrivilegesHigh, Interaction: InteractionRequired},
+			want: FeasibilityVeryLow,
+		},
+		{
+			// 8.22·0.55·0.77·0.85·0.85 ≈ 2.52 → Medium
+			name: "local unauthenticated rates Medium",
+			in: CVSSInput{Vector: VectorLocal, Complexity: ComplexityLow,
+				Privileges: PrivilegesNone, Interaction: InteractionNone},
+			want: FeasibilityMedium,
+		},
+		{
+			// 8.22·0.20·0.77·0.85·0.85 ≈ 0.91 → Very Low: CVSS shares the
+			// G.9 bias against physical attacks the paper criticizes.
+			name: "easy physical still rates Very Low",
+			in: CVSSInput{Vector: VectorPhysical, Complexity: ComplexityLow,
+				Privileges: PrivilegesNone, Interaction: InteractionNone},
+			want: FeasibilityVeryLow,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RateCVSS(th, tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("RateCVSS() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCVSSThresholdValidation(t *testing.T) {
+	bad := []CVSSThresholds{
+		{VeryLowMax: 0, LowMax: 1, MediumMax: 2},
+		{VeryLowMax: 2, LowMax: 1, MediumMax: 3},
+		{VeryLowMax: 1, LowMax: 2, MediumMax: 2},
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) succeeded, want error", i, th)
+		}
+	}
+	if err := StandardCVSSThresholds().Validate(); err != nil {
+		t.Errorf("standard thresholds invalid: %v", err)
+	}
+}
+
+// Property: exploitability is always in (0, 3.9] for valid inputs, and a
+// network vector never scores below the same metrics with a physical
+// vector.
+func TestExploitabilityBoundsProperty(t *testing.T) {
+	f := func(c, p, u, s uint8) bool {
+		in := CVSSInput{
+			Complexity:   ComplexityLow + AttackComplexity(c%2),
+			Privileges:   PrivilegesNone + PrivilegesRequired(p%3),
+			Interaction:  InteractionNone + UserInteraction(u%2),
+			ChangedScope: s%2 == 0,
+		}
+		inNet, inPhy := in, in
+		inNet.Vector = VectorNetwork
+		inPhy.Vector = VectorPhysical
+		en, err := Exploitability(inNet)
+		if err != nil {
+			return false
+		}
+		ep, err := Exploitability(inPhy)
+		if err != nil {
+			return false
+		}
+		return en > 0 && en <= 3.9 && ep > 0 && ep <= 3.9 && en >= ep
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package tara implements the Threat Analysis and Risk Assessment (TARA)
+// methods defined by Clause 15 of ISO/SAE 21434:2021 "Road vehicles —
+// Cybersecurity engineering".
+//
+// The package provides the four TARA process activities referenced by the
+// PSP paper — asset identification, threat scenario identification, impact
+// rating and attack path analysis — together with the three attack
+// feasibility models defined by the standard:
+//
+//   - the attack potential-based approach (elapsed time, specialist
+//     expertise, knowledge of the item, window of opportunity and
+//     equipment; Annex G.2, reproduced as Fig. 3 of the paper),
+//   - the CVSS-based approach (exploitability metrics of CVSS v3.1), and
+//   - the attack vector-based approach (Annex G.9, reproduced as Fig. 5).
+//
+// It also implements Cybersecurity Assurance Level (CAL) determination
+// (Fig. 6) and the impact × feasibility risk matrix with risk treatment
+// options.
+//
+// All tables carry the standard's fixed default weights but are
+// constructible with custom values: the inflexibility of the defaults is
+// precisely the limitation the PSP framework addresses, and package sai
+// produces re-tuned replacements for them.
+package tara

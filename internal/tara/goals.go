@@ -1,0 +1,91 @@
+package tara
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CybersecurityGoal is a concept-level requirement derived from a risk
+// determination (ISO/SAE 21434 §9.4): every threat whose risk exceeds
+// the retention threshold yields a goal with a CAL, unless the risk is
+// shared or avoided by other means.
+type CybersecurityGoal struct {
+	// ID is derived from the threat scenario ("CG-TS-01").
+	ID string
+	// ThreatID links back to the originating threat scenario.
+	ThreatID string
+	// Statement is the goal text.
+	Statement string
+	// CAL is the assurance level assigned to the goal.
+	CAL CAL
+	// Risk is the risk value that motivated the goal.
+	Risk RiskValue
+}
+
+// CybersecurityClaim documents a retained or shared risk (§9.4): the
+// rationale for not deriving a goal.
+type CybersecurityClaim struct {
+	// ID is derived from the threat scenario ("CC-TS-02").
+	ID string
+	// ThreatID links back to the originating threat scenario.
+	ThreatID string
+	// Rationale explains the retention/sharing decision.
+	Rationale string
+}
+
+// ConceptOutcome is the §9.4 output: goals for treated risks, claims for
+// retained or shared ones.
+type ConceptOutcome struct {
+	Goals  []CybersecurityGoal
+	Claims []CybersecurityClaim
+}
+
+// DeriveConcept turns risk-determination results into cybersecurity
+// goals and claims. Threats whose suggested treatment is Reduce or Avoid
+// produce goals (protect the compromised property of the targeted
+// assets); Retain and Share produce claims. Outputs are sorted by ID.
+func DeriveConcept(results []*ThreatResult) (*ConceptOutcome, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("tara: no results to derive a concept from")
+	}
+	out := &ConceptOutcome{}
+	for _, r := range results {
+		if r == nil || r.Threat == nil {
+			return nil, fmt.Errorf("tara: nil result or threat in concept derivation")
+		}
+		switch r.Treatment {
+		case TreatmentReduce, TreatmentAvoid:
+			out.Goals = append(out.Goals, CybersecurityGoal{
+				ID:       "CG-" + r.Threat.ID,
+				ThreatID: r.Threat.ID,
+				Statement: fmt.Sprintf(
+					"The item shall preserve the %s of its assets against %q (%s via %s access).",
+					r.Threat.Property, r.Threat.Name, r.Threat.STRIDE, r.DominantVector),
+				CAL:  r.CAL,
+				Risk: r.Risk,
+			})
+		case TreatmentRetain:
+			out.Claims = append(out.Claims, CybersecurityClaim{
+				ID:       "CC-" + r.Threat.ID,
+				ThreatID: r.Threat.ID,
+				Rationale: fmt.Sprintf(
+					"Risk %s (impact %s × feasibility %s) is within the retention threshold.",
+					r.Risk, r.Impact, r.Feasibility),
+			})
+		case TreatmentShare:
+			out.Claims = append(out.Claims, CybersecurityClaim{
+				ID:       "CC-" + r.Threat.ID,
+				ThreatID: r.Threat.ID,
+				Rationale: fmt.Sprintf(
+					"Risk %s is shared along the supply chain (contractual cascading per UNR-155).",
+					r.Risk),
+			})
+		default:
+			return nil, fmt.Errorf("tara: result for threat %s has invalid treatment %d",
+				r.Threat.ID, int(r.Treatment))
+		}
+	}
+	sort.Slice(out.Goals, func(i, j int) bool { return out.Goals[i].ID < out.Goals[j].ID })
+	sort.Slice(out.Claims, func(i, j int) bool { return out.Claims[i].ID < out.Claims[j].ID })
+	return out, nil
+}

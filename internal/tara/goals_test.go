@@ -1,0 +1,77 @@
+package tara
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeriveConceptSplitsGoalsAndClaims(t *testing.T) {
+	results, err := ecmAnalysis().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static G.9: TS-01 risk R1 → Retain (claim); TS-02 Severe × Very
+	// Low = R2 → Reduce (goal).
+	outcome, err := DeriveConcept(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcome.Goals) != 1 || len(outcome.Claims) != 1 {
+		t.Fatalf("goals/claims = %d/%d, want 1/1", len(outcome.Goals), len(outcome.Claims))
+	}
+	goal := outcome.Goals[0]
+	if goal.ThreatID != "TS-02" || goal.CAL != CAL2 {
+		t.Errorf("goal = %+v, want TS-02 at CAL2", goal)
+	}
+	if !strings.Contains(goal.Statement, "Availability") {
+		t.Errorf("goal statement misses the protected property: %s", goal.Statement)
+	}
+	claim := outcome.Claims[0]
+	if claim.ThreatID != "TS-01" || !strings.Contains(claim.Rationale, "retention") {
+		t.Errorf("claim = %+v", claim)
+	}
+}
+
+func TestDeriveConceptWithRetunedWeights(t *testing.T) {
+	// Installing the PSP insider table turns the retained ECM
+	// reprogramming risk into a shared/reduced one: the claim becomes a
+	// goal or a supply-chain share.
+	a := ecmAnalysis()
+	retuned, err := NewVectorTable("PSP insider", map[AttackVector]FeasibilityRating{
+		VectorPhysical: FeasibilityHigh,
+		VectorLocal:    FeasibilityMedium,
+		VectorAdjacent: FeasibilityLow,
+		VectorNetwork:  FeasibilityVeryLow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.VectorModel = retuned
+	results, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := DeriveConcept(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range outcome.Claims {
+		if c.ThreatID == "TS-01" && strings.Contains(c.Rationale, "retention") {
+			t.Error("TS-01 still retained despite PSP retuning")
+		}
+	}
+}
+
+func TestDeriveConceptValidation(t *testing.T) {
+	if _, err := DeriveConcept(nil); err == nil {
+		t.Error("empty results accepted")
+	}
+	if _, err := DeriveConcept([]*ThreatResult{nil}); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := DeriveConcept([]*ThreatResult{{
+		Threat: &ThreatScenario{ID: "TS-X"},
+	}}); err == nil {
+		t.Error("invalid treatment accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package tara
+
+import "fmt"
+
+// The HEAVENS model (Lautenbach et al., cited as [15] by the paper)
+// derives impact ratings from per-category parameter levels instead of
+// direct expert assignment. This file implements that derivation: each
+// SFOP category gets a 0–3 level and the levels map onto the ISO/SAE
+// 21434 impact scale.
+
+// SafetyLevel follows the ISO 26262 severity classes S0–S3.
+type SafetyLevel int
+
+// Safety levels.
+const (
+	SafetyNone       SafetyLevel = iota // S0: no injuries
+	SafetyLight                         // S1: light and moderate injuries
+	SafetySevere                        // S2: severe injuries, survival probable
+	SafetyLifeThreat                    // S3: life-threatening, survival uncertain
+)
+
+// FinancialLevel classifies the economic damage to the stakeholder.
+type FinancialLevel int
+
+// Financial levels.
+const (
+	FinancialNone     FinancialLevel = iota // F0: negligible
+	FinancialLow                            // F1: inconvenient, absorbable
+	FinancialModerate                       // F2: substantial, recoverable
+	FinancialHigh                           // F3: existential / regulatory fines
+)
+
+// OperationalLevel classifies the loss of vehicle function.
+type OperationalLevel int
+
+// Operational levels.
+const (
+	OperationalNone     OperationalLevel = iota // O0: no impact
+	OperationalDegraded                         // O1: degraded comfort function
+	OperationalPartial                          // O2: loss of non-critical function
+	OperationalFull                             // O3: loss of a primary function
+)
+
+// PrivacyLevel classifies the exposure of personal data.
+type PrivacyLevel int
+
+// Privacy levels.
+const (
+	PrivacyNone      PrivacyLevel = iota // P0: no personal data involved
+	PrivacyAnonymous                     // P1: data hard to link to a person
+	PrivacyLinkable                      // P2: data linkable to a person
+	PrivacySensitive                     // P3: sensitive data, identity theft
+)
+
+// ImpactParams carries the four HEAVENS-style levels.
+type ImpactParams struct {
+	Safety      SafetyLevel
+	Financial   FinancialLevel
+	Operational OperationalLevel
+	Privacy     PrivacyLevel
+}
+
+// Validate checks every level range.
+func (p ImpactParams) Validate() error {
+	if p.Safety < SafetyNone || p.Safety > SafetyLifeThreat {
+		return fmt.Errorf("tara: invalid safety level %d", int(p.Safety))
+	}
+	if p.Financial < FinancialNone || p.Financial > FinancialHigh {
+		return fmt.Errorf("tara: invalid financial level %d", int(p.Financial))
+	}
+	if p.Operational < OperationalNone || p.Operational > OperationalFull {
+		return fmt.Errorf("tara: invalid operational level %d", int(p.Operational))
+	}
+	if p.Privacy < PrivacyNone || p.Privacy > PrivacySensitive {
+		return fmt.Errorf("tara: invalid privacy level %d", int(p.Privacy))
+	}
+	return nil
+}
+
+// levelToImpact maps a 0–3 category level to the impact scale: level 0 →
+// Negligible, 1 → Moderate, 2 → Major, 3 → Severe.
+func levelToImpact(level int) ImpactRating {
+	switch level {
+	case 0:
+		return ImpactNegligible
+	case 1:
+		return ImpactModerate
+	case 2:
+		return ImpactMajor
+	default:
+		return ImpactSevere
+	}
+}
+
+// DeriveImpacts converts the parameter levels into the per-category
+// impact map a DamageScenario carries. Every category is present, so the
+// derivation is auditable even for Negligible entries.
+func DeriveImpacts(p ImpactParams) (map[ImpactCategory]ImpactRating, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return map[ImpactCategory]ImpactRating{
+		CategorySafety:      levelToImpact(int(p.Safety)),
+		CategoryFinancial:   levelToImpact(int(p.Financial)),
+		CategoryOperational: levelToImpact(int(p.Operational)),
+		CategoryPrivacy:     levelToImpact(int(p.Privacy)),
+	}, nil
+}
+
+// NewDamageScenario builds a damage scenario with HEAVENS-derived
+// impacts.
+func NewDamageScenario(id, description string, assetIDs []string, p ImpactParams) (*DamageScenario, error) {
+	impacts, err := DeriveImpacts(p)
+	if err != nil {
+		return nil, fmt.Errorf("damage scenario %s: %w", id, err)
+	}
+	d := &DamageScenario{
+		ID:          id,
+		Description: description,
+		AssetIDs:    assetIDs,
+		Impacts:     impacts,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,111 @@
+package tara
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveImpacts(t *testing.T) {
+	impacts, err := DeriveImpacts(ImpactParams{
+		Safety:      SafetyLifeThreat,
+		Financial:   FinancialLow,
+		Operational: OperationalPartial,
+		Privacy:     PrivacyNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ImpactCategory]ImpactRating{
+		CategorySafety:      ImpactSevere,
+		CategoryFinancial:   ImpactModerate,
+		CategoryOperational: ImpactMajor,
+		CategoryPrivacy:     ImpactNegligible,
+	}
+	for c, r := range want {
+		if impacts[c] != r {
+			t.Errorf("impact[%s] = %v, want %v", c, impacts[c], r)
+		}
+	}
+}
+
+func TestDeriveImpactsValidation(t *testing.T) {
+	bad := []ImpactParams{
+		{Safety: SafetyLevel(4)},
+		{Financial: FinancialLevel(-1)},
+		{Operational: OperationalLevel(9)},
+		{Privacy: PrivacyLevel(5)},
+	}
+	for i, p := range bad {
+		if _, err := DeriveImpacts(p); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNewDamageScenarioFromParams(t *testing.T) {
+	d, err := NewDamageScenario("DS-H1", "torque loss while driving", []string{"A1"},
+		ImpactParams{Safety: SafetyLifeThreat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OverallImpact() != ImpactSevere {
+		t.Errorf("overall = %v, want Severe", d.OverallImpact())
+	}
+	if _, err := NewDamageScenario("", "x", nil, ImpactParams{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+}
+
+// Property: the derivation is monotone — raising any parameter level
+// never lowers the overall impact — and total (all valid level vectors
+// derive).
+func TestDeriveImpactsMonotoneProperty(t *testing.T) {
+	f := func(s1, f1, o1, p1, bump uint8) bool {
+		base := ImpactParams{
+			Safety:      SafetyLevel(s1 % 4),
+			Financial:   FinancialLevel(f1 % 4),
+			Operational: OperationalLevel(o1 % 4),
+			Privacy:     PrivacyLevel(p1 % 4),
+		}
+		raised := base
+		switch bump % 4 {
+		case 0:
+			if raised.Safety < SafetyLifeThreat {
+				raised.Safety++
+			}
+		case 1:
+			if raised.Financial < FinancialHigh {
+				raised.Financial++
+			}
+		case 2:
+			if raised.Operational < OperationalFull {
+				raised.Operational++
+			}
+		case 3:
+			if raised.Privacy < PrivacySensitive {
+				raised.Privacy++
+			}
+		}
+		a, err := DeriveImpacts(base)
+		if err != nil {
+			return false
+		}
+		b, err := DeriveImpacts(raised)
+		if err != nil {
+			return false
+		}
+		overall := func(m map[ImpactCategory]ImpactRating) ImpactRating {
+			var max ImpactRating
+			for _, r := range m {
+				if r > max {
+					max = r
+				}
+			}
+			return max
+		}
+		return overall(b) >= overall(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

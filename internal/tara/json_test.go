@@ -1,0 +1,148 @@
+package tara
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAnalysisJSONRoundTrip(t *testing.T) {
+	orig := ecmAnalysis()
+	// Add a path with a potential profile so that branch round-trips.
+	orig.AddPath(&AttackPath{
+		ID: "AP-02", ThreatID: "TS-02",
+		Steps: []AttackStep{{
+			Description: "splice into the bus",
+			Vector:      VectorPhysical,
+			Potential: &AttackPotentialInput{
+				Time: TimeOneDay, Expertise: ExpertiseProficient,
+				Knowledge: KnowledgePublic, Window: WindowEasy,
+				Equipment: EquipmentStandard,
+			},
+		}},
+	})
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Semantic equality: both analyses produce identical results.
+	origResults, err := orig.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backResults, err := back.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origResults) != len(backResults) {
+		t.Fatalf("result counts differ: %d vs %d", len(origResults), len(backResults))
+	}
+	for i := range origResults {
+		o, b := origResults[i], backResults[i]
+		if o.Threat.ID != b.Threat.ID || o.Impact != b.Impact ||
+			o.Feasibility != b.Feasibility || o.Risk != b.Risk ||
+			o.CAL != b.CAL || o.Treatment != b.Treatment {
+			t.Errorf("result %d differs:\n%+v\n%+v", i, o, b)
+		}
+	}
+	// Structural spot checks.
+	if back.Item.Name != orig.Item.Name || len(back.Item.Assets) != len(orig.Item.Assets) {
+		t.Error("item lost in round trip")
+	}
+	if len(back.Paths) != len(orig.Paths) {
+		t.Errorf("paths = %d, want %d", len(back.Paths), len(orig.Paths))
+	}
+	if back.Paths[1].Steps[0].Potential == nil {
+		t.Error("potential profile lost in round trip")
+	}
+}
+
+func TestAnalysisJSONCustomVectorModel(t *testing.T) {
+	a := ecmAnalysis()
+	retuned, err := NewVectorTable("PSP insider", map[AttackVector]FeasibilityRating{
+		VectorPhysical: FeasibilityHigh,
+		VectorLocal:    FeasibilityMedium,
+		VectorAdjacent: FeasibilityLow,
+		VectorNetwork:  FeasibilityVeryLow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.VectorModel = retuned
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PSP insider") {
+		t.Error("custom vector model not serialized")
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.VectorModel.Equal(retuned) {
+		t.Error("vector model lost in round trip")
+	}
+	// The standard table is NOT serialized (defaults reinstall on read).
+	std := ecmAnalysis()
+	buf.Reset()
+	if err := std.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "vector_model") {
+		t.Error("standard vector model serialized redundantly")
+	}
+}
+
+func TestWriteJSONRejectsInvalidAnalysis(t *testing.T) {
+	a := ecmAnalysis()
+	a.Threats[0].DamageIDs = []string{"DS-404"}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err == nil {
+		t.Error("invalid analysis serialized")
+	}
+}
+
+func TestReadJSONRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		"not json",
+		"{}", // no item
+		`{"item":{"name":"X","assets":[{"id":"A","name":"a","properties":["Levitation"]}]},
+		  "damage_scenarios":[],"threat_scenarios":[],"attack_paths":[]}`,
+		`{"item":{"name":"X","assets":[{"id":"A","name":"a","properties":["Integrity"]}]},
+		  "damage_scenarios":[{"id":"D","impacts":{"Safety":"Apocalyptic"}}],
+		  "threat_scenarios":[],"attack_paths":[]}`,
+	}
+	for i, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d: bad document accepted", i)
+		}
+	}
+}
+
+func TestEnumNameParsers(t *testing.T) {
+	if p, err := parseProperty("integrity"); err != nil || p != PropertyIntegrity {
+		t.Errorf("parseProperty = %v, %v", p, err)
+	}
+	if p, err := parseProperty("Non-Repudiation"); err != nil || p != PropertyNonRepudiation {
+		t.Errorf("parseProperty non-repudiation = %v, %v", p, err)
+	}
+	if c, err := parseCategory("Privacy"); err != nil || c != CategoryPrivacy {
+		t.Errorf("parseCategory = %v, %v", c, err)
+	}
+	if s, err := parseSTRIDE("denial of service"); err != nil || s != DenialOfService {
+		t.Errorf("parseSTRIDE = %v, %v", s, err)
+	}
+	if p, err := parseProfile("outsider"); err != nil || p != ProfileOutsider {
+		t.Errorf("parseProfile = %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "quantum"} {
+		if _, err := parseProperty(bad); err == nil {
+			t.Errorf("parseProperty(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package tara
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardPotentialWeightsFig3(t *testing.T) {
+	// Spot-check the fixed weights reproduced in Fig. 3 of the paper.
+	w := StandardPotentialWeights()
+	tests := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"time ≤1 day", w.ElapsedTime[TimeOneDay], 0},
+		{"time ≤1 week", w.ElapsedTime[TimeOneWeek], 1},
+		{"time ≤1 month", w.ElapsedTime[TimeOneMonth], 4},
+		{"time ≤6 months", w.ElapsedTime[TimeSixMonths], 17},
+		{"time >6 months", w.ElapsedTime[TimeBeyondSixMonths], 19},
+		{"layman", w.Expertise[ExpertiseLayman], 0},
+		{"proficient", w.Expertise[ExpertiseProficient], 3},
+		{"expert", w.Expertise[ExpertiseExpert], 6},
+		{"multiple experts", w.Expertise[ExpertiseMultipleExperts], 8},
+		{"public knowledge", w.Knowledge[KnowledgePublic], 0},
+		{"restricted", w.Knowledge[KnowledgeRestricted], 3},
+		{"confidential", w.Knowledge[KnowledgeConfidential], 7},
+		{"strictly confidential", w.Knowledge[KnowledgeStrictlyConfidential], 11},
+		{"window unlimited", w.Window[WindowUnlimited], 0},
+		{"window easy", w.Window[WindowEasy], 1},
+		{"window moderate", w.Window[WindowModerate], 4},
+		{"window difficult", w.Window[WindowDifficult], 10},
+		{"standard equipment", w.Equipment[EquipmentStandard], 0},
+		{"specialized", w.Equipment[EquipmentSpecialized], 4},
+		{"bespoke", w.Equipment[EquipmentBespoke], 7},
+		{"multiple bespoke", w.Equipment[EquipmentMultipleBespoke], 9},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("%s weight = %d, want %d", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestPotentialAggregation(t *testing.T) {
+	w := StandardPotentialWeights()
+	tests := []struct {
+		name string
+		in   AttackPotentialInput
+		want int
+	}{
+		{
+			name: "trivial attack sums to zero",
+			in: AttackPotentialInput{
+				Time: TimeOneDay, Expertise: ExpertiseLayman, Knowledge: KnowledgePublic,
+				Window: WindowUnlimited, Equipment: EquipmentStandard,
+			},
+			want: 0,
+		},
+		{
+			name: "hardest attack sums to maximum",
+			in: AttackPotentialInput{
+				Time: TimeBeyondSixMonths, Expertise: ExpertiseMultipleExperts,
+				Knowledge: KnowledgeStrictlyConfidential, Window: WindowDifficult,
+				Equipment: EquipmentMultipleBespoke,
+			},
+			want: 19 + 8 + 11 + 10 + 9,
+		},
+		{
+			name: "powertrain insider: unlimited time, free access, OBD tools",
+			in: AttackPotentialInput{
+				Time: TimeOneWeek, Expertise: ExpertiseProficient, Knowledge: KnowledgePublic,
+				Window: WindowUnlimited, Equipment: EquipmentSpecialized,
+			},
+			want: 1 + 3 + 0 + 0 + 4,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := w.Potential(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Potential() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPotentialValidation(t *testing.T) {
+	w := StandardPotentialWeights()
+	bad := []AttackPotentialInput{
+		{},
+		{Time: TimeOneDay},
+		{Time: TimeOneDay, Expertise: ExpertiseLayman, Knowledge: KnowledgePublic, Window: WindowUnlimited},
+		{Time: ElapsedTime(9), Expertise: ExpertiseLayman, Knowledge: KnowledgePublic,
+			Window: WindowUnlimited, Equipment: EquipmentStandard},
+	}
+	for i, in := range bad {
+		if _, err := w.Potential(in); err == nil {
+			t.Errorf("case %d: Potential(%+v) succeeded, want error", i, in)
+		}
+	}
+}
+
+func TestPotentialIncompleteWeights(t *testing.T) {
+	w := StandardPotentialWeights()
+	delete(w.Equipment, EquipmentBespoke)
+	_, err := w.Potential(AttackPotentialInput{
+		Time: TimeOneDay, Expertise: ExpertiseLayman, Knowledge: KnowledgePublic,
+		Window: WindowUnlimited, Equipment: EquipmentBespoke,
+	})
+	if !errors.Is(err, ErrIncompleteWeights) {
+		t.Errorf("error = %v, want ErrIncompleteWeights", err)
+	}
+}
+
+func TestPotentialThresholdBands(t *testing.T) {
+	th := StandardPotentialThresholds()
+	tests := []struct {
+		potential int
+		want      FeasibilityRating
+	}{
+		{0, FeasibilityHigh},
+		{13, FeasibilityHigh},
+		{14, FeasibilityMedium},
+		{19, FeasibilityMedium},
+		{20, FeasibilityLow},
+		{24, FeasibilityLow},
+		{25, FeasibilityVeryLow},
+		{57, FeasibilityVeryLow},
+	}
+	for _, tt := range tests {
+		if got := th.Rating(tt.potential); got != tt.want {
+			t.Errorf("Rating(%d) = %v, want %v", tt.potential, got, tt.want)
+		}
+	}
+}
+
+func TestPotentialThresholdValidation(t *testing.T) {
+	bad := []PotentialThresholds{
+		{HighMax: -1, MediumMax: 5, LowMax: 10},
+		{HighMax: 10, MediumMax: 10, LowMax: 20},
+		{HighMax: 10, MediumMax: 20, LowMax: 15},
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) succeeded, want error", i, th)
+		}
+	}
+	if err := StandardPotentialThresholds().Validate(); err != nil {
+		t.Errorf("standard thresholds invalid: %v", err)
+	}
+}
+
+func TestRatePotentialEndToEnd(t *testing.T) {
+	w := StandardPotentialWeights()
+	th := StandardPotentialThresholds()
+	// The paper's powertrain argument: an insider with unlimited time and
+	// device access needs low attack potential, hence rates High even
+	// though the attack is physical.
+	insider := AttackPotentialInput{
+		Time: TimeOneWeek, Expertise: ExpertiseProficient, Knowledge: KnowledgePublic,
+		Window: WindowUnlimited, Equipment: EquipmentSpecialized,
+	}
+	got, err := RatePotential(w, th, insider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != FeasibilityHigh {
+		t.Errorf("insider powertrain profile rated %v, want High", got)
+	}
+	// A remote attack without FOTA needs months, experts and bespoke
+	// tooling, rating Very Low.
+	remote := AttackPotentialInput{
+		Time: TimeBeyondSixMonths, Expertise: ExpertiseMultipleExperts,
+		Knowledge: KnowledgeConfidential, Window: WindowDifficult,
+		Equipment: EquipmentBespoke,
+	}
+	got, err = RatePotential(w, th, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != FeasibilityVeryLow {
+		t.Errorf("remote no-FOTA profile rated %v, want Very Low", got)
+	}
+}
+
+// Property: the potential value is monotone — raising any one parameter
+// level never lowers the total.
+func TestPotentialMonotoneProperty(t *testing.T) {
+	w := StandardPotentialWeights()
+	base := AttackPotentialInput{
+		Time: TimeOneDay, Expertise: ExpertiseLayman, Knowledge: KnowledgePublic,
+		Window: WindowUnlimited, Equipment: EquipmentStandard,
+	}
+	f := func(t1, e1, k1, w1, q1 uint8) bool {
+		in := AttackPotentialInput{
+			Time:      TimeOneDay + ElapsedTime(t1%5),
+			Expertise: ExpertiseLayman + SpecialistExpertise(e1%4),
+			Knowledge: KnowledgePublic + ItemKnowledge(k1%4),
+			Window:    WindowUnlimited + WindowOfOpportunity(w1%4),
+			Equipment: EquipmentStandard + Equipment(q1%4),
+		}
+		got, err := w.Potential(in)
+		if err != nil {
+			return false
+		}
+		baseVal, err := w.Potential(base)
+		if err != nil {
+			return false
+		}
+		return got >= baseVal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: higher potential value never yields a higher feasibility
+// rating (anti-monotone mapping).
+func TestThresholdAntiMonotoneProperty(t *testing.T) {
+	th := StandardPotentialThresholds()
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return th.Rating(x) >= th.Rating(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package tara
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FeasibilityRating is the attack feasibility rating scale of
+// ISO/SAE 21434 §15.7 (Very Low, Low, Medium, High). The zero value means
+// "unrated".
+type FeasibilityRating int
+
+// Feasibility ratings, ordered from least to most feasible.
+const (
+	FeasibilityVeryLow FeasibilityRating = iota + 1
+	FeasibilityLow
+	FeasibilityMedium
+	FeasibilityHigh
+)
+
+var feasibilityNames = map[FeasibilityRating]string{
+	FeasibilityVeryLow: "Very Low",
+	FeasibilityLow:     "Low",
+	FeasibilityMedium:  "Medium",
+	FeasibilityHigh:    "High",
+}
+
+// String returns the human-readable rating name used by the standard.
+func (r FeasibilityRating) String() string {
+	if s, ok := feasibilityNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("FeasibilityRating(%d)", int(r))
+}
+
+// Valid reports whether r is one of the four defined ratings.
+func (r FeasibilityRating) Valid() bool {
+	return r >= FeasibilityVeryLow && r <= FeasibilityHigh
+}
+
+// Level returns the ordinal level 1..4 (Very Low = 1), or 0 if unrated.
+func (r FeasibilityRating) Level() int {
+	if !r.Valid() {
+		return 0
+	}
+	return int(r)
+}
+
+// ParseFeasibility converts a rating name ("very low", "High", "medium",
+// ...) into a FeasibilityRating. Matching is case-insensitive and tolerant
+// of underscores and hyphens.
+func ParseFeasibility(s string) (FeasibilityRating, error) {
+	switch normalizeName(s) {
+	case "very low", "verylow", "vl":
+		return FeasibilityVeryLow, nil
+	case "low", "l":
+		return FeasibilityLow, nil
+	case "medium", "med", "m":
+		return FeasibilityMedium, nil
+	case "high", "h":
+		return FeasibilityHigh, nil
+	}
+	return 0, fmt.Errorf("tara: unknown feasibility rating %q", s)
+}
+
+// ImpactRating is the impact rating scale of ISO/SAE 21434 §15.5
+// (Negligible, Moderate, Major, Severe). The zero value means "unrated".
+type ImpactRating int
+
+// Impact ratings, ordered from least to most damaging.
+const (
+	ImpactNegligible ImpactRating = iota + 1
+	ImpactModerate
+	ImpactMajor
+	ImpactSevere
+)
+
+var impactNames = map[ImpactRating]string{
+	ImpactNegligible: "Negligible",
+	ImpactModerate:   "Moderate",
+	ImpactMajor:      "Major",
+	ImpactSevere:     "Severe",
+}
+
+// String returns the human-readable rating name used by the standard.
+func (r ImpactRating) String() string {
+	if s, ok := impactNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("ImpactRating(%d)", int(r))
+}
+
+// Valid reports whether r is one of the four defined ratings.
+func (r ImpactRating) Valid() bool {
+	return r >= ImpactNegligible && r <= ImpactSevere
+}
+
+// Level returns the ordinal level 1..4 (Negligible = 1), or 0 if unrated.
+func (r ImpactRating) Level() int {
+	if !r.Valid() {
+		return 0
+	}
+	return int(r)
+}
+
+// ParseImpact converts an impact name into an ImpactRating. Matching is
+// case-insensitive and tolerant of underscores and hyphens.
+func ParseImpact(s string) (ImpactRating, error) {
+	switch normalizeName(s) {
+	case "negligible", "neg":
+		return ImpactNegligible, nil
+	case "moderate", "mod":
+		return ImpactModerate, nil
+	case "major", "maj":
+		return ImpactMajor, nil
+	case "severe", "sev":
+		return ImpactSevere, nil
+	}
+	return 0, fmt.Errorf("tara: unknown impact rating %q", s)
+}
+
+// normalizeName lower-cases s and collapses separators so that "Very_Low",
+// "very-low" and "Very Low" compare equal.
+func normalizeName(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.ReplaceAll(s, "_", " ")
+	s = strings.ReplaceAll(s, "-", " ")
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,157 @@
+package tara
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFeasibilityString(t *testing.T) {
+	tests := []struct {
+		rating FeasibilityRating
+		want   string
+	}{
+		{FeasibilityVeryLow, "Very Low"},
+		{FeasibilityLow, "Low"},
+		{FeasibilityMedium, "Medium"},
+		{FeasibilityHigh, "High"},
+		{FeasibilityRating(0), "FeasibilityRating(0)"},
+		{FeasibilityRating(99), "FeasibilityRating(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.rating.String(); got != tt.want {
+			t.Errorf("FeasibilityRating(%d).String() = %q, want %q", int(tt.rating), got, tt.want)
+		}
+	}
+}
+
+func TestFeasibilityOrdering(t *testing.T) {
+	if !(FeasibilityVeryLow < FeasibilityLow &&
+		FeasibilityLow < FeasibilityMedium &&
+		FeasibilityMedium < FeasibilityHigh) {
+		t.Fatal("feasibility ratings are not strictly ordered")
+	}
+}
+
+func TestParseFeasibility(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    FeasibilityRating
+		wantErr bool
+	}{
+		{"very low", FeasibilityVeryLow, false},
+		{"Very Low", FeasibilityVeryLow, false},
+		{"VERY_LOW", FeasibilityVeryLow, false},
+		{"very-low", FeasibilityVeryLow, false},
+		{"vl", FeasibilityVeryLow, false},
+		{"low", FeasibilityLow, false},
+		{"Medium", FeasibilityMedium, false},
+		{" med ", FeasibilityMedium, false},
+		{"HIGH", FeasibilityHigh, false},
+		{"h", FeasibilityHigh, false},
+		{"", 0, true},
+		{"extreme", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseFeasibility(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseFeasibility(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseFeasibility(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseFeasibilityRoundTrip(t *testing.T) {
+	for _, r := range []FeasibilityRating{FeasibilityVeryLow, FeasibilityLow, FeasibilityMedium, FeasibilityHigh} {
+		got, err := ParseFeasibility(r.String())
+		if err != nil {
+			t.Fatalf("ParseFeasibility(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("round trip %v → %q → %v", r, r.String(), got)
+		}
+	}
+}
+
+func TestImpactString(t *testing.T) {
+	tests := []struct {
+		rating ImpactRating
+		want   string
+	}{
+		{ImpactNegligible, "Negligible"},
+		{ImpactModerate, "Moderate"},
+		{ImpactMajor, "Major"},
+		{ImpactSevere, "Severe"},
+		{ImpactRating(0), "ImpactRating(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.rating.String(); got != tt.want {
+			t.Errorf("ImpactRating(%d).String() = %q, want %q", int(tt.rating), got, tt.want)
+		}
+	}
+}
+
+func TestParseImpactRoundTrip(t *testing.T) {
+	for _, r := range []ImpactRating{ImpactNegligible, ImpactModerate, ImpactMajor, ImpactSevere} {
+		got, err := ParseImpact(r.String())
+		if err != nil {
+			t.Fatalf("ParseImpact(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("round trip %v → %q → %v", r, r.String(), got)
+		}
+	}
+}
+
+func TestParseImpactRejectsUnknown(t *testing.T) {
+	for _, in := range []string{"", "huge", "catastrophic", "sev ere"} {
+		if _, err := ParseImpact(in); err == nil {
+			t.Errorf("ParseImpact(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestLevelUnratedIsZero(t *testing.T) {
+	if got := FeasibilityRating(0).Level(); got != 0 {
+		t.Errorf("unrated feasibility Level() = %d, want 0", got)
+	}
+	if got := ImpactRating(0).Level(); got != 0 {
+		t.Errorf("unrated impact Level() = %d, want 0", got)
+	}
+	if got := FeasibilityHigh.Level(); got != 4 {
+		t.Errorf("FeasibilityHigh.Level() = %d, want 4", got)
+	}
+	if got := ImpactSevere.Level(); got != 4 {
+		t.Errorf("ImpactSevere.Level() = %d, want 4", got)
+	}
+}
+
+// Property: Valid() exactly matches Level() being non-zero, for arbitrary
+// integer inputs.
+func TestValidMatchesLevelProperty(t *testing.T) {
+	f := func(n int8) bool {
+		fr := FeasibilityRating(n)
+		ir := ImpactRating(n)
+		return fr.Valid() == (fr.Level() != 0) && ir.Valid() == (ir.Level() != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Very Low", "very low"},
+		{"  VERY   LOW  ", "very low"},
+		{"very_low", "very low"},
+		{"very-low", "very low"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := normalizeName(tt.in); got != tt.want {
+			t.Errorf("normalizeName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package tara
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardVectorTableMatchesG9(t *testing.T) {
+	// Fig. 5 / Fig. 9-A of the paper: the fixed G.9 assignment.
+	want := map[AttackVector]FeasibilityRating{
+		VectorNetwork:  FeasibilityHigh,
+		VectorAdjacent: FeasibilityMedium,
+		VectorLocal:    FeasibilityLow,
+		VectorPhysical: FeasibilityVeryLow,
+	}
+	tbl := StandardVectorTable()
+	for v, wantR := range want {
+		got, err := tbl.Rating(v)
+		if err != nil {
+			t.Fatalf("Rating(%s): %v", v, err)
+		}
+		if got != wantR {
+			t.Errorf("G.9 rating for %s = %v, want %v", v, got, wantR)
+		}
+	}
+}
+
+func TestStandardVectorTableRanking(t *testing.T) {
+	// The static table always ranks remote vectors as most feasible —
+	// the behaviour the paper calls misleading for powertrain scenarios.
+	ranked := StandardVectorTable().RankedVectors()
+	want := []AttackVector{VectorNetwork, VectorAdjacent, VectorLocal, VectorPhysical}
+	for i, v := range want {
+		if ranked[i] != v {
+			t.Fatalf("RankedVectors()[%d] = %s, want %s (full: %v)", i, ranked[i], v, ranked)
+		}
+	}
+}
+
+func TestNewVectorTableRejectsIncomplete(t *testing.T) {
+	_, err := NewVectorTable("partial", map[AttackVector]FeasibilityRating{
+		VectorNetwork: FeasibilityHigh,
+	})
+	if err == nil {
+		t.Fatal("NewVectorTable with a single vector succeeded, want error")
+	}
+}
+
+func TestNewVectorTableRejectsInvalidRating(t *testing.T) {
+	_, err := NewVectorTable("broken", map[AttackVector]FeasibilityRating{
+		VectorNetwork:  FeasibilityHigh,
+		VectorAdjacent: FeasibilityMedium,
+		VectorLocal:    FeasibilityLow,
+		VectorPhysical: FeasibilityRating(42),
+	})
+	if err == nil {
+		t.Fatal("NewVectorTable with invalid rating succeeded, want error")
+	}
+}
+
+func TestNewVectorTableRejectsEmpty(t *testing.T) {
+	if _, err := NewVectorTable("empty", nil); err == nil {
+		t.Fatal("NewVectorTable(nil) succeeded, want error")
+	}
+}
+
+func TestVectorTableIsolation(t *testing.T) {
+	// Mutating the input map after construction must not affect the table.
+	in := map[AttackVector]FeasibilityRating{
+		VectorNetwork:  FeasibilityHigh,
+		VectorAdjacent: FeasibilityMedium,
+		VectorLocal:    FeasibilityLow,
+		VectorPhysical: FeasibilityVeryLow,
+	}
+	tbl, err := NewVectorTable("iso", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[VectorNetwork] = FeasibilityVeryLow
+	if got, _ := tbl.Rating(VectorNetwork); got != FeasibilityHigh {
+		t.Errorf("table aliased its input map: Rating(Network) = %v", got)
+	}
+	// Mutating the Ratings() copy must not affect the table either.
+	out := tbl.Ratings()
+	out[VectorPhysical] = FeasibilityHigh
+	if got, _ := tbl.Rating(VectorPhysical); got != FeasibilityVeryLow {
+		t.Errorf("Ratings() exposed internal state: Rating(Physical) = %v", got)
+	}
+}
+
+func TestVectorTableEqual(t *testing.T) {
+	a := StandardVectorTable()
+	b := StandardVectorTable()
+	b.Name = "same ratings, different name"
+	if !a.Equal(b) {
+		t.Error("tables with identical ratings compare unequal")
+	}
+	c, err := NewVectorTable("flipped", map[AttackVector]FeasibilityRating{
+		VectorNetwork:  FeasibilityVeryLow,
+		VectorAdjacent: FeasibilityLow,
+		VectorLocal:    FeasibilityMedium,
+		VectorPhysical: FeasibilityHigh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Error("G.9 compares equal to its inversion")
+	}
+	if a.Equal(nil) {
+		t.Error("table compares equal to nil")
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    AttackVector
+		wantErr bool
+	}{
+		{"physical", VectorPhysical, false},
+		{"Physical", VectorPhysical, false},
+		{"local", VectorLocal, false},
+		{"adjacent", VectorAdjacent, false},
+		{"adjacent network", VectorAdjacent, false},
+		{"network", VectorNetwork, false},
+		{"remote", VectorNetwork, false},
+		{"n", VectorNetwork, false},
+		{"", 0, true},
+		{"wifi", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseVector(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseVector(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseVector(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAllVectorsOrder(t *testing.T) {
+	vs := AllVectors()
+	if len(vs) != 4 {
+		t.Fatalf("AllVectors() returned %d vectors, want 4", len(vs))
+	}
+	want := []AttackVector{VectorPhysical, VectorLocal, VectorAdjacent, VectorNetwork}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Errorf("AllVectors()[%d] = %s, want %s", i, vs[i], want[i])
+		}
+	}
+}
+
+// Property: RankedVectors is always a permutation of the four vectors and
+// is sorted by non-increasing rating, for any complete table.
+func TestRankedVectorsProperty(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		clamp := func(x uint8) FeasibilityRating {
+			return FeasibilityRating(int(x)%4) + FeasibilityVeryLow
+		}
+		tbl, err := NewVectorTable("prop", map[AttackVector]FeasibilityRating{
+			VectorPhysical: clamp(a),
+			VectorLocal:    clamp(b),
+			VectorAdjacent: clamp(c),
+			VectorNetwork:  clamp(d),
+		})
+		if err != nil {
+			return false
+		}
+		ranked := tbl.RankedVectors()
+		if len(ranked) != 4 {
+			return false
+		}
+		seen := map[AttackVector]bool{}
+		for _, v := range ranked {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		for i := 1; i < len(ranked); i++ {
+			ri, _ := tbl.Rating(ranked[i])
+			rp, _ := tbl.Rating(ranked[i-1])
+			if rp < ri {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package vehicle models the electrical/electronic architecture of a road
+// vehicle: functional domains, ECUs, communication buses and the gateway
+// topology sketched in Fig. 4 of the PSP paper.
+//
+// The model supports the item-definition and attack-path-analysis steps
+// of a TARA: each ECU is reachable through a set of attack surfaces
+// (long-range, short-range, physical), and the topology can enumerate the
+// bus-level paths an attacker must traverse from an entry point to a
+// target ECU.
+package vehicle

@@ -1,0 +1,84 @@
+package vehicle
+
+import "fmt"
+
+// ReferenceArchitecture builds the simple vehicle architecture of Fig. 4:
+// a central gateway bridging the powertrain, chassis, body, infotainment
+// and communication domains, with the OBD port attached to the gateway
+// and LIN sub-buses below the body domain.
+//
+// Surface classes follow the figure's colour coding:
+//
+//   - long-range (green): V2X connectivity, telematics (TCU), infotainment
+//     head unit — reachable over the internet or cellular links;
+//   - short-range (blue): units with Bluetooth / Wi-Fi / key-fob RF
+//     reach (ICM, SCU, body access control);
+//   - physical (red): powertrain and chassis units reachable only with
+//     physical or OBD access.
+func ReferenceArchitecture() (*Topology, error) {
+	t := NewTopology("Fig.4 reference vehicle")
+
+	ecus := []*ECU{
+		// Communication domain.
+		{ID: "GW", Name: "Central Gateway", Domain: DomainCommunication,
+			Surfaces: []SurfaceClass{SurfacePhysical}},
+		{ID: "TCU", Name: "Telematics Control Unit", Domain: DomainCommunication,
+			Surfaces: []SurfaceClass{SurfaceLongRange, SurfaceShortRange, SurfacePhysical}},
+		{ID: "V2X", Name: "V2X Communication Unit", Domain: DomainCommunication,
+			Surfaces: []SurfaceClass{SurfaceLongRange, SurfaceShortRange, SurfacePhysical}},
+
+		// Infotainment domain.
+		{ID: "ICM", Name: "Infotainment Control Module", Domain: DomainInfotainment,
+			Surfaces: []SurfaceClass{SurfaceLongRange, SurfaceShortRange, SurfacePhysical}},
+
+		// On-board diagnostics.
+		{ID: "OBD", Name: "OBD-II Port", Domain: DomainDiagnostics,
+			Surfaces: []SurfaceClass{SurfacePhysical}},
+
+		// Powertrain domain (hard real-time, safety critical).
+		{ID: "ECM", Name: "Engine Control Module", Domain: DomainPowertrain,
+			Surfaces: []SurfaceClass{SurfacePhysical}, SafetyCritical: true},
+		{ID: "TCM", Name: "Transmission Control Module", Domain: DomainPowertrain,
+			Surfaces: []SurfaceClass{SurfacePhysical}, SafetyCritical: true},
+		{ID: "DEFC", Name: "Diesel Exhaust Fluid Controller", Domain: DomainPowertrain,
+			Surfaces: []SurfaceClass{SurfacePhysical}, SafetyCritical: true},
+
+		// Chassis domain.
+		{ID: "BCU", Name: "Brake Control Unit", Domain: DomainChassis,
+			Surfaces: []SurfaceClass{SurfacePhysical}, SafetyCritical: true},
+		{ID: "SCU", Name: "Steering Control Unit", Domain: DomainChassis,
+			Surfaces: []SurfaceClass{SurfaceShortRange, SurfacePhysical}, SafetyCritical: true},
+		{ID: "DCU", Name: "Damping Control Unit", Domain: DomainChassis,
+			Surfaces: []SurfaceClass{SurfacePhysical}},
+
+		// Body domain.
+		{ID: "BCM", Name: "Body Control Module", Domain: DomainBody,
+			Surfaces: []SurfaceClass{SurfaceShortRange, SurfacePhysical}},
+		{ID: "LCM", Name: "Light Control Module", Domain: DomainBody,
+			Surfaces: []SurfaceClass{SurfacePhysical}},
+		{ID: "SCM", Name: "Seat Control Module", Domain: DomainBody,
+			Surfaces: []SurfaceClass{SurfacePhysical}},
+		{ID: "WCU", Name: "Window Control Unit", Domain: DomainBody,
+			Surfaces: []SurfaceClass{SurfacePhysical}},
+	}
+	for _, e := range ecus {
+		if err := t.AddECU(e); err != nil {
+			return nil, fmt.Errorf("reference architecture: %w", err)
+		}
+	}
+
+	buses := []*Bus{
+		{ID: "CAN-PT", Kind: BusCAN, ECUIDs: []string{"GW", "ECM", "TCM", "DEFC"}},
+		{ID: "CAN-CH", Kind: BusCAN, ECUIDs: []string{"GW", "BCU", "SCU", "DCU"}},
+		{ID: "CAN-BODY", Kind: BusCAN, ECUIDs: []string{"GW", "BCM"}},
+		{ID: "LIN-BODY", Kind: BusLIN, ECUIDs: []string{"BCM", "LCM", "SCM", "WCU"}},
+		{ID: "CAN-INFO", Kind: BusCAN, ECUIDs: []string{"GW", "ICM", "TCU", "V2X"}},
+		{ID: "CAN-DIAG", Kind: BusCAN, ECUIDs: []string{"GW", "OBD"}},
+	}
+	for _, b := range buses {
+		if err := t.AddBus(b); err != nil {
+			return nil, fmt.Errorf("reference architecture: %w", err)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,169 @@
+package psp
+
+import (
+	"io"
+
+	"github.com/psp-framework/psp/internal/finance"
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/sai"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// Social platform types, re-exported from the social substrate.
+type (
+	// Post is one social-media post.
+	Post = social.Post
+	// PostMetrics carries a post's engagement counters.
+	PostMetrics = social.Metrics
+	// Region is a coarse market region tag.
+	Region = social.Region
+	// SocialQuery selects posts from the platform.
+	SocialQuery = social.Query
+	// SocialStore is the in-memory post store.
+	SocialStore = social.Store
+	// SocialServer exposes a store over the HTTP search API.
+	SocialServer = social.Server
+	// SocialClient talks to a SocialServer and implements Searcher.
+	SocialClient = social.Client
+	// Searcher is the platform capability the framework needs.
+	Searcher = social.Searcher
+	// CorpusSpec configures synthetic corpus generation.
+	CorpusSpec = social.GeneratorSpec
+	// TopicSpec describes one attack topic of a corpus.
+	TopicSpec = social.TopicSpec
+	// RateLimiter is a token-bucket request limiter.
+	RateLimiter = social.RateLimiter
+)
+
+// Regions of the reference corpus.
+const (
+	RegionEurope       = social.RegionEurope
+	RegionNorthAmerica = social.RegionNorthAmerica
+	RegionAsiaPacific  = social.RegionAsiaPacific
+	RegionOther        = social.RegionOther
+)
+
+// NewSocialStore returns an empty post store.
+func NewSocialStore() *SocialStore { return social.NewStore() }
+
+// DefaultSocialStore generates the reference corpus (calibrated to the
+// paper's case studies) into a fresh store.
+func DefaultSocialStore(seed int64) (*SocialStore, error) { return social.DefaultStore(seed) }
+
+// DefaultCorpusSpec returns the reference corpus specification.
+func DefaultCorpusSpec(seed int64) CorpusSpec { return social.DefaultCorpusSpec(seed) }
+
+// GenerateCorpus builds the posts of a corpus specification.
+func GenerateCorpus(spec CorpusSpec) ([]*Post, error) { return social.Generate(spec) }
+
+// NewSocialServer wraps a store in the HTTP search API; limiter may be
+// nil.
+func NewSocialServer(store *SocialStore, limiter *RateLimiter) *SocialServer {
+	return social.NewServer(store, limiter)
+}
+
+// NewSocialClient builds an HTTP client for a remote social API.
+func NewSocialClient(baseURL string) *SocialClient { return social.NewClient(baseURL, nil) }
+
+// NewRateLimiter builds a token bucket holding capacity tokens refilled
+// at refillPerSecond, for rate-limiting a SocialServer.
+func NewRateLimiter(capacity int, refillPerSecond float64) *RateLimiter {
+	return social.NewRateLimiter(capacity, refillPerSecond, nil)
+}
+
+// PlatformSource is one named backend of a federated search.
+type PlatformSource = social.PlatformSource
+
+// NewMultiPlatform federates several platforms (e.g. the Twitter-style
+// store plus an Instagram-style one, per the paper's roadmap) behind the
+// Searcher interface.
+func NewMultiPlatform(sources ...PlatformSource) (Searcher, error) {
+	return social.NewMulti(sources...)
+}
+
+// PoisonCampaign describes a data-poisoning attempt against the SAI
+// pipeline; InjectPoison generates its bot posts for resilience testing.
+type PoisonCampaign = social.PoisonCampaign
+
+// InjectPoison generates a poisoning campaign's bot posts.
+func InjectPoison(c PoisonCampaign) ([]*Post, error) { return social.InjectPoison(c) }
+
+// WriteSocialPosts streams posts to w as a JSON Lines snapshot.
+func WriteSocialPosts(w io.Writer, posts []*Post) error { return social.WritePosts(w, posts) }
+
+// ReadSocialPosts parses a JSON Lines snapshot.
+func ReadSocialPosts(r io.Reader) ([]*Post, error) { return social.ReadPosts(r) }
+
+// LoadSocialStore reads a JSON Lines snapshot into a fresh store.
+func LoadSocialStore(r io.Reader) (*SocialStore, error) { return social.LoadStore(r) }
+
+// SAI types, re-exported from the sai engine.
+type (
+	// SAIIndex is a sorted Social Attraction Index.
+	SAIIndex = sai.Index
+	// SAIEntry is one index row.
+	SAIEntry = sai.Entry
+	// SAIWeights is the attraction mix.
+	SAIWeights = sai.Weights
+	// RatingBands maps vector shares onto feasibility ratings.
+	RatingBands = sai.RatingBands
+	// Trend is a fitted quarterly topic trend.
+	Trend = sai.Trend
+	// TrendDirection classifies a trend (rising / stable / falling).
+	TrendDirection = sai.TrendDirection
+)
+
+// Trend directions.
+const (
+	TrendFalling = sai.TrendFalling
+	TrendStable  = sai.TrendStable
+	TrendRising  = sai.TrendRising
+)
+
+// DefaultSAIWeights returns the default attraction mix.
+func DefaultSAIWeights() SAIWeights { return sai.DefaultWeights() }
+
+// DefaultRatingBands returns the default share → rating bands.
+func DefaultRatingBands() RatingBands { return sai.DefaultRatingBands() }
+
+// Finance types, re-exported from the finance engine.
+type (
+	// Money is an amount in integer cents of a currency.
+	Money = finance.Money
+	// Currency is a currency code.
+	Currency = finance.Currency
+	// MarketKind selects the Equation 2 branch.
+	MarketKind = finance.MarketKind
+	// BEPCurve is a sampled break-even diagram (Fig. 11).
+	BEPCurve = finance.BEPCurve
+)
+
+// Currencies.
+const (
+	EUR = finance.EUR
+	USD = finance.USD
+	GBP = finance.GBP
+)
+
+// Market kinds.
+const (
+	Monopolistic    = finance.Monopolistic
+	NonMonopolistic = finance.NonMonopolistic
+)
+
+// FromUnits builds a Money from currency units.
+func FromUnits(amount float64, c Currency) Money { return finance.FromUnits(amount, c) }
+
+// Market dataset types.
+type (
+	// MarketDataset bundles sales, reports and listings.
+	MarketDataset = market.Dataset
+	// MarketListing is one marketplace advertisement.
+	MarketListing = market.Listing
+	// SalesRecord is one sales figure.
+	SalesRecord = market.SalesRecord
+)
+
+// DefaultMarketDataset returns the dataset calibrated to the excavator
+// case study (Equations 6 and 7).
+func DefaultMarketDataset() (*MarketDataset, error) { return market.DefaultDataset() }

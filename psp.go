@@ -1,0 +1,64 @@
+package psp
+
+import (
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// Framework is the PSP framework instance; see core.Framework.
+type Framework = core.Framework
+
+// Config wires the framework's dependencies and tunables.
+type Config = core.Config
+
+// Workflow inputs and outputs (Fig. 7 and Fig. 10 of the paper).
+type (
+	// SocialInput parameterizes the social workflow.
+	SocialInput = core.SocialInput
+	// SocialResult is the social workflow output.
+	SocialResult = core.SocialResult
+	// ThreatTuning is the per-threat regenerated weight table.
+	ThreatTuning = core.ThreatTuning
+	// FinancialInput parameterizes the financial workflow.
+	FinancialInput = core.FinancialInput
+	// FinancialResult is the financial workflow output.
+	FinancialResult = core.FinancialResult
+	// AdversaryProfile carries the Equation 4 fixed-cost terms.
+	AdversaryProfile = core.AdversaryProfile
+	// KeywordDB is the attack keyword database.
+	KeywordDB = core.KeywordDB
+	// KeywordGroup is one attack topic with its hashtags.
+	KeywordGroup = core.KeywordGroup
+)
+
+// New builds a Framework from an explicit configuration.
+func New(cfg Config) (*Framework, error) { return core.New(cfg) }
+
+// NewDefault builds a Framework over the built-in reference corpus
+// (seeded deterministically) and the calibrated market dataset — the
+// configuration that reproduces the paper's case studies.
+func NewDefault(seed int64) (*Framework, error) {
+	store, err := social.DefaultStore(seed)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := market.DefaultDataset()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(Config{Searcher: store, Market: ds})
+}
+
+// NewKeywordDB builds a keyword database from topic groups.
+func NewKeywordDB(groups []KeywordGroup) (*KeywordDB, error) {
+	return core.NewKeywordDB(groups)
+}
+
+// DefaultKeywordDB returns the built-in keyword database seeded with the
+// paper's first-iteration hashtags.
+func DefaultKeywordDB() (*KeywordDB, error) { return core.DefaultKeywordDB() }
+
+// DefaultAdversaryProfile returns the default Equation 4 adversary
+// profile (one work-year at 60 EUR/h plus lab depreciation).
+func DefaultAdversaryProfile() *AdversaryProfile { return core.DefaultAdversaryProfile() }

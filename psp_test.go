@@ -1,0 +1,163 @@
+package psp
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewDefaultFacade(t *testing.T) {
+	fw, err := NewDefault(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Keywords() == nil {
+		t.Fatal("framework missing keyword database")
+	}
+}
+
+func TestFacadeSocialWorkflow(t *testing.T) {
+	fw, err := NewDefault(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.RunSocial(context.Background(), SocialInput{
+		Application: "excavator",
+		Region:      RegionEurope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := res.Index.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Topic != "DPF delete" {
+		t.Errorf("top topic = %s, want DPF delete", top.Topic)
+	}
+	table := RenderSAITable(res.Index, "SAI")
+	if !strings.Contains(table, "DPF delete") {
+		t.Error("rendered SAI table misses the top topic")
+	}
+	chart, err := RenderSAIChart(res.Index, "chart")
+	if err != nil || !strings.Contains(chart, "#") {
+		t.Errorf("chart rendering failed: %v", err)
+	}
+}
+
+func TestFacadeFinancialWorkflow(t *testing.T) {
+	fw, err := NewDefault(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.RunFinancial(FinancialInput{
+		Category:    "dpf-tampering",
+		Application: "excavator",
+		Region:      "EU",
+		Year:        2022,
+		MarketKind:  NonMonopolistic,
+		Maker:       "TerraMach",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MV.Units() != 506160 {
+		t.Errorf("MV = %s, want 506,160.00 EUR", res.MV)
+	}
+	summary := RenderFinancialSummary(res, "summary")
+	if !strings.Contains(summary, "506,160.00 EUR") {
+		t.Errorf("summary misses MV:\n%s", summary)
+	}
+	diagram, err := RenderBEPDiagram(res.Curve, "bep")
+	if err != nil || !strings.Contains(diagram, "break-even point") {
+		t.Errorf("BEP diagram failed: %v", err)
+	}
+}
+
+func TestFacadeTARATypes(t *testing.T) {
+	// The facade aliases must interoperate with the core workflow types.
+	item := &Item{
+		Name: "Gateway",
+		Assets: []*Asset{{
+			ID: "GW-FW", Name: "Gateway firmware",
+			Properties: []SecurityProperty{PropertyIntegrity},
+		}},
+	}
+	a := NewAnalysis(item)
+	a.AddDamage(&DamageScenario{
+		ID:       "DS-1",
+		AssetIDs: []string{"GW-FW"},
+		Impacts:  map[ImpactCategory]ImpactRating{CategorySafety: ImpactMajor},
+	})
+	a.AddThreat(&ThreatScenario{
+		ID: "TS-1", Name: "Gateway reflash",
+		DamageIDs: []string{"DS-1"},
+		Property:  PropertyIntegrity,
+		STRIDE:    Tampering,
+		Vector:    VectorLocal,
+	})
+	results, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Feasibility != FeasibilityLow {
+		t.Errorf("results = %+v", results)
+	}
+	if got := RenderVectorTable(StandardVectorTable()); !strings.Contains(got, "Network") {
+		t.Error("vector table rendering broken")
+	}
+	if got := RenderCALTable(StandardCALTable()); !strings.Contains(got, "CAL4") {
+		t.Error("CAL table rendering broken")
+	}
+}
+
+func TestFacadeRemoteClientPath(t *testing.T) {
+	// The HTTP client path must be wirable purely through the facade.
+	store, err := DefaultSocialStore(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newLocalServer(t, store)
+	ds, err := DefaultMarketDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{Searcher: NewSocialClient(srv), Market: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.RunSocial(context.Background(), SocialInput{
+		Application:     "excavator",
+		Region:          RegionEurope,
+		Since:           time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		DisableLearning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Index.Entries) == 0 {
+		t.Fatal("remote path returned empty index")
+	}
+}
+
+func TestFacadeTopicTrend(t *testing.T) {
+	fw, err := NewDefault(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trend, err := fw.TopicTrend(context.Background(),
+		[]string{"dpfdelete", "dpfoff", "dpfremoval"}, SocialInput{
+			Until: time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trend.Direction != TrendRising {
+		t.Errorf("DPF trend = %v (slope %.3f), want rising", trend.Direction, trend.Slope)
+	}
+	chart, err := RenderTrendChart(trend, "DPF delete attraction")
+	if err != nil || !strings.Contains(chart, "rising") {
+		t.Errorf("trend chart failed: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package psp
+
+import (
+	"github.com/psp-framework/psp/internal/finance"
+	"github.com/psp-framework/psp/internal/report"
+)
+
+// RenderVectorTable renders an attack-vector feasibility table in the
+// layout of the paper's Fig. 5 / Fig. 9.
+func RenderVectorTable(t *VectorTable) string { return report.VectorTable(t) }
+
+// RenderCALTable renders a CAL determination matrix (Fig. 6 layout).
+func RenderCALTable(t *CALTable) string { return report.CALTable(t) }
+
+// RenderSAIChart renders a Social Attraction Index bar chart (Fig. 12
+// layout).
+func RenderSAIChart(idx *SAIIndex, title string) (string, error) {
+	return report.SAIChart(idx, title)
+}
+
+// RenderSAITable renders a Social Attraction Index with probabilities.
+func RenderSAITable(idx *SAIIndex, title string) string {
+	return report.SAITable(idx, title)
+}
+
+// RenderTuningComparison renders the Fig. 8 A/B outsider-vs-insider
+// weight comparison for one threat tuning.
+func RenderTuningComparison(outsider *VectorTable, tuning *ThreatTuning) string {
+	return report.TuningComparison(outsider, tuning)
+}
+
+// RenderTrendChart renders a quarterly topic trend with its fitted
+// direction.
+func RenderTrendChart(trend *Trend, title string) (string, error) {
+	return report.TrendChart(trend, title)
+}
+
+// RenderBEPDiagram renders a break-even curve (Fig. 11 layout).
+func RenderBEPDiagram(curve *finance.BEPCurve, title string) (string, error) {
+	return report.BEPDiagram(curve, title)
+}
+
+// RenderFinancialSummary renders the financial workflow outputs with the
+// Equation 6/7 quantities.
+func RenderFinancialSummary(res *FinancialResult, title string) string {
+	return report.FinancialSummary(res, title)
+}

@@ -1,0 +1,15 @@
+package psp
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// newLocalServer exposes a store over the HTTP API for facade tests and
+// returns its base URL.
+func newLocalServer(t *testing.T, store *SocialStore) string {
+	t.Helper()
+	srv := httptest.NewServer(NewSocialServer(store, nil).Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}

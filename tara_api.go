@@ -1,0 +1,188 @@
+package psp
+
+import (
+	"io"
+
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// ISO/SAE 21434 TARA types, re-exported from the tara engine.
+type (
+	// Analysis is a complete TARA work product.
+	Analysis = tara.Analysis
+	// Item is an item definition with its assets.
+	Item = tara.Item
+	// Asset is an item element with cybersecurity properties.
+	Asset = tara.Asset
+	// DamageScenario is an adverse consequence with SFOP impact ratings.
+	DamageScenario = tara.DamageScenario
+	// ThreatScenario is a potential cause of asset compromise.
+	ThreatScenario = tara.ThreatScenario
+	// ThreatResult is the per-threat risk determination outcome.
+	ThreatResult = tara.ThreatResult
+	// AttackPath is an ordered sequence of attack steps.
+	AttackPath = tara.AttackPath
+	// AttackStep is one step of an attack path.
+	AttackStep = tara.AttackStep
+	// AttackPotentialInput is an attack potential profile (Fig. 3).
+	AttackPotentialInput = tara.AttackPotentialInput
+	// VectorTable maps attack vectors to feasibility ratings (G.9).
+	VectorTable = tara.VectorTable
+	// CALTable is the CAL determination matrix (Fig. 6).
+	CALTable = tara.CALTable
+	// RiskMatrix maps impact × feasibility to risk values.
+	RiskMatrix = tara.RiskMatrix
+
+	// FeasibilityRating is the Very Low..High feasibility scale.
+	FeasibilityRating = tara.FeasibilityRating
+	// ImpactRating is the Negligible..Severe impact scale.
+	ImpactRating = tara.ImpactRating
+	// ImpactCategory is a SFOP damage dimension.
+	ImpactCategory = tara.ImpactCategory
+	// AttackVector is the Physical..Network access scale.
+	AttackVector = tara.AttackVector
+	// AttackerProfile classifies adversaries (Insider, Outsider, ...).
+	AttackerProfile = tara.AttackerProfile
+	// SecurityProperty is a protected asset property (C, I, A, ...).
+	SecurityProperty = tara.SecurityProperty
+	// STRIDECategory classifies threats by STRIDE.
+	STRIDECategory = tara.STRIDECategory
+	// CAL is a Cybersecurity Assurance Level.
+	CAL = tara.CAL
+	// RiskValue is the 1..5 risk level.
+	RiskValue = tara.RiskValue
+	// TreatmentOption is a risk treatment decision.
+	TreatmentOption = tara.TreatmentOption
+)
+
+// Feasibility ratings.
+const (
+	FeasibilityVeryLow = tara.FeasibilityVeryLow
+	FeasibilityLow     = tara.FeasibilityLow
+	FeasibilityMedium  = tara.FeasibilityMedium
+	FeasibilityHigh    = tara.FeasibilityHigh
+)
+
+// Impact ratings.
+const (
+	ImpactNegligible = tara.ImpactNegligible
+	ImpactModerate   = tara.ImpactModerate
+	ImpactMajor      = tara.ImpactMajor
+	ImpactSevere     = tara.ImpactSevere
+)
+
+// Impact categories (SFOP).
+const (
+	CategorySafety      = tara.CategorySafety
+	CategoryFinancial   = tara.CategoryFinancial
+	CategoryOperational = tara.CategoryOperational
+	CategoryPrivacy     = tara.CategoryPrivacy
+)
+
+// Attack vectors.
+const (
+	VectorPhysical = tara.VectorPhysical
+	VectorLocal    = tara.VectorLocal
+	VectorAdjacent = tara.VectorAdjacent
+	VectorNetwork  = tara.VectorNetwork
+)
+
+// Attacker profiles.
+const (
+	ProfileInsider   = tara.ProfileInsider
+	ProfileOutsider  = tara.ProfileOutsider
+	ProfileRational  = tara.ProfileRational
+	ProfileMalicious = tara.ProfileMalicious
+	ProfileActive    = tara.ProfileActive
+	ProfilePassive   = tara.ProfilePassive
+	ProfileLocal     = tara.ProfileLocal
+	ProfileRemote    = tara.ProfileRemote
+)
+
+// Security properties.
+const (
+	PropertyConfidentiality = tara.PropertyConfidentiality
+	PropertyIntegrity       = tara.PropertyIntegrity
+	PropertyAvailability    = tara.PropertyAvailability
+	PropertyAuthenticity    = tara.PropertyAuthenticity
+	PropertyAuthorization   = tara.PropertyAuthorization
+	PropertyNonRepudiation  = tara.PropertyNonRepudiation
+)
+
+// STRIDE categories.
+const (
+	Spoofing              = tara.Spoofing
+	Tampering             = tara.Tampering
+	Repudiation           = tara.Repudiation
+	InformationDisclosure = tara.InformationDisclosure
+	DenialOfService       = tara.DenialOfService
+	ElevationOfPrivilege  = tara.ElevationOfPrivilege
+)
+
+// Assurance levels.
+const (
+	CALNone = tara.CALNone
+	CAL1    = tara.CAL1
+	CAL2    = tara.CAL2
+	CAL3    = tara.CAL3
+	CAL4    = tara.CAL4
+)
+
+// Concept-phase types (§9.4).
+type (
+	// CybersecurityGoal is a concept-level requirement with a CAL.
+	CybersecurityGoal = tara.CybersecurityGoal
+	// CybersecurityClaim documents a retained or shared risk.
+	CybersecurityClaim = tara.CybersecurityClaim
+	// ConceptOutcome bundles goals and claims.
+	ConceptOutcome = tara.ConceptOutcome
+)
+
+// DeriveConcept turns risk-determination results into cybersecurity
+// goals (for reduced/avoided risks) and claims (for retained/shared
+// ones).
+func DeriveConcept(results []*ThreatResult) (*ConceptOutcome, error) {
+	return tara.DeriveConcept(results)
+}
+
+// HEAVENS-style impact derivation (the model the paper cites as [15]).
+type (
+	// ImpactParams carries the four per-category levels (S/F/O/P, 0–3).
+	ImpactParams = tara.ImpactParams
+	// SafetyLevel follows ISO 26262 severity classes S0–S3.
+	SafetyLevel = tara.SafetyLevel
+	// FinancialLevel classifies economic damage F0–F3.
+	FinancialLevel = tara.FinancialLevel
+	// OperationalLevel classifies loss of function O0–O3.
+	OperationalLevel = tara.OperationalLevel
+	// PrivacyLevel classifies personal-data exposure P0–P3.
+	PrivacyLevel = tara.PrivacyLevel
+)
+
+// DeriveImpacts converts HEAVENS-style parameter levels into the
+// per-category impact map of a damage scenario.
+func DeriveImpacts(p ImpactParams) (map[ImpactCategory]ImpactRating, error) {
+	return tara.DeriveImpacts(p)
+}
+
+// NewDamageScenario builds a damage scenario with HEAVENS-derived
+// impacts.
+func NewDamageScenario(id, description string, assetIDs []string, p ImpactParams) (*DamageScenario, error) {
+	return tara.NewDamageScenario(id, description, assetIDs, p)
+}
+
+// ReadAnalysisJSON deserializes a TARA work-product document.
+func ReadAnalysisJSON(r io.Reader) (*Analysis, error) { return tara.ReadJSON(r) }
+
+// NewAnalysis builds a TARA analysis with the standard's default models.
+func NewAnalysis(item *Item) *Analysis { return tara.NewAnalysis(item) }
+
+// StandardVectorTable returns the fixed G.9 attack-vector table
+// (Fig. 5 / Fig. 9-A).
+func StandardVectorTable() *VectorTable { return tara.StandardVectorTable() }
+
+// StandardCALTable returns the CAL determination matrix (Fig. 6).
+func StandardCALTable() *CALTable { return tara.StandardCALTable() }
+
+// StandardRiskMatrix returns the informative risk matrix of Annex H.
+func StandardRiskMatrix() *RiskMatrix { return tara.StandardRiskMatrix() }
