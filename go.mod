@@ -1,0 +1,3 @@
+module github.com/psp-framework/psp
+
+go 1.21
