@@ -8,6 +8,9 @@ package psp
 
 import (
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -342,6 +345,129 @@ func BenchmarkEq7FixedCost(b *testing.B) {
 		if err != nil || fc.Cents != 14528667 {
 			b.Fatalf("FC %v err %v", fc, err)
 		}
+	}
+}
+
+// paddedStore builds the reference corpus plus `filler` synthetic posts
+// that can never match an excavator-term query (outsider phrasing,
+// car/truck applications, disjoint tags). Growing the corpus this way
+// isolates how Store.Search scales with corpus size while the query's
+// result set stays fixed.
+func paddedStore(b *testing.B, filler int) *social.Store {
+	b.Helper()
+	spec := social.DefaultCorpusSpec(42)
+	store := social.NewStore()
+	posts, err := social.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Add(posts...); err != nil {
+		b.Fatal(err)
+	}
+	if filler > 0 {
+		pad, err := social.Generate(social.GeneratorSpec{
+			Seed:      43,
+			FirstYear: 2019,
+			LastYear:  2023,
+			Topics: []social.TopicSpec{{
+				Key:          "filler-chatter",
+				Tags:         []string{"fillerchatter"},
+				Applications: []string{"car", "truck"},
+				Insider:      false,
+				YearlyVolume: map[int]int{
+					2019: filler / 5, 2020: filler / 5, 2021: filler / 5,
+					2022: filler / 5, 2023: filler - 4*(filler/5),
+				},
+				VectorMix: map[string]float64{
+					social.VectorKeyAdjacent: 0.5, social.VectorKeyNetwork: 0.5,
+				},
+			}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Re-ID the padding so it cannot collide with the base corpus.
+		for i, p := range pad {
+			p.ID = fmt.Sprintf("pad%06d", i)
+		}
+		if err := store.Add(pad...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}
+
+// BenchmarkStoreSearchTerms measures term-only queries (the Fig. 7
+// target-application filter) while the corpus grows around a fixed
+// result set. With the inverted term index the cost tracks the matching
+// posting lists, not the corpus, so ns/op should stay near-flat as the
+// store doubles — the old implementation scanned the full time index.
+func BenchmarkStoreSearchTerms(b *testing.B) {
+	for _, filler := range []int{0, 8000, 24000, 56000} {
+		store := paddedStore(b, filler)
+		b.Run(fmt.Sprintf("corpus-%d", store.Len()), func(b *testing.B) {
+			ctx := context.Background()
+			q := social.Query{MustTerms: []string{"excavator", "limp"}}
+			page, err := store.Search(ctx, q)
+			if err != nil || page.TotalMatches == 0 {
+				b.Fatalf("query matches nothing (err %v)", err)
+			}
+			matches := page.TotalMatches
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Search(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(matches), "matches")
+		})
+	}
+}
+
+// withLatency adds a fixed delay to every request, modelling the WAN
+// round trip to a public platform API (loopback alone hides the
+// latency the remote deployment shape actually pays).
+func withLatency(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(d)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// BenchmarkRunSocialParallel runs the full Fig. 7 workflow against the
+// platform over HTTP with a 10 ms simulated round trip — the deployment
+// shape of the paper's prototype, which is latency-bound. The bounded
+// fan-out of keyword-group, re-query and per-threat searches overlaps
+// those round trips, so wall-clock time drops as Config.Concurrency
+// rises even on one core.
+func BenchmarkRunSocialParallel(b *testing.B) {
+	store, ds := fixtures(b)
+	srv := httptest.NewServer(withLatency(social.NewServer(store, nil).Handler(), 10*time.Millisecond))
+	defer srv.Close()
+	for _, concurrency := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("concurrency-%d", concurrency), func(b *testing.B) {
+			fw, err := core.New(core.Config{
+				Searcher:    social.NewClient(srv.URL, nil),
+				Market:      ds,
+				Concurrency: concurrency,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fw.RunSocial(ctx, core.SocialInput{
+					Threats: []*tara.ThreatScenario{benchECMThreat()},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tunings) != 1 {
+					b.Fatal("missing tuning")
+				}
+			}
+		})
 	}
 }
 

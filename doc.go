@@ -28,4 +28,13 @@
 // program against a single import path. Everything is deterministic:
 // stochastic components take explicit seeds and no library code calls
 // time.Now.
+//
+// # Scaling
+//
+// The social workflow's platform queries fan out across a bounded
+// worker pool — set Config.Concurrency (default GOMAXPROCS, 1 for
+// strictly sequential) to overlap round trips to a remote platform.
+// Results are deterministic at any setting. The in-process store serves
+// term-filtered queries from an inverted term index, and federated
+// searches (NewMultiPlatform) query every backend concurrently.
 package psp

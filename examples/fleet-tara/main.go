@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"runtime"
 
 	psp "github.com/psp-framework/psp"
 )
@@ -40,6 +41,9 @@ func run() error {
 	fw, err := psp.New(psp.Config{
 		Searcher: psp.NewSocialClient(server.URL),
 		Market:   ds,
+		// Over a remote platform the workflow is latency-bound, so fan
+		// the keyword and threat queries out across parallel requests.
+		Concurrency: 2 * runtime.GOMAXPROCS(0),
 	})
 	if err != nil {
 		return err

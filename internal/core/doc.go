@@ -7,7 +7,11 @@
 // Index, classifies entries insider/outsider, and regenerates the
 // ISO/SAE 21434 attack-vector feasibility tables with SAI-derived
 // corrective factors for the insider threat scenarios supplied by the
-// product security team.
+// product security team. The platform queries — keyword groups,
+// post-learning re-queries and per-threat tunings — fan out across a
+// worker pool sized by Config.Concurrency (default GOMAXPROCS);
+// results are assembled in input order, so output is identical at any
+// concurrency and the sequential behaviour returns at Concurrency 1.
 //
 // The financial workflow (Fig. 10) estimates the potential attacker
 // population (PAE) from sales data and annual reports, mines marketplace

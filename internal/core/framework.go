@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/psp-framework/psp/internal/finance"
 	"github.com/psp-framework/psp/internal/market"
@@ -34,6 +35,12 @@ type Config struct {
 	LearnMax int
 	// PriceClusters is the k of the PPIA price clustering (default 3).
 	PriceClusters int
+	// Concurrency bounds the social workflow's parallel fan-out: the
+	// keyword-group queries, auto-learning re-queries and per-threat
+	// tunings run on a worker pool of this size. 0 means
+	// runtime.GOMAXPROCS(0); 1 restores strictly sequential queries.
+	// Result ordering is deterministic at any setting.
+	Concurrency int
 }
 
 // Framework is the PSP framework instance.
@@ -47,6 +54,7 @@ type Framework struct {
 	financeBands finance.Thresholds
 	learnMax     int
 	priceK       int
+	concurrency  int
 }
 
 // New validates the configuration and builds a Framework.
@@ -96,6 +104,13 @@ func New(cfg Config) (*Framework, error) {
 	if priceK < 1 {
 		return nil, fmt.Errorf("core: invalid price cluster count %d", priceK)
 	}
+	if cfg.Concurrency < 0 {
+		return nil, fmt.Errorf("core: invalid concurrency %d", cfg.Concurrency)
+	}
+	concurrency := cfg.Concurrency
+	if concurrency == 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
 	return &Framework{
 		searcher:     cfg.Searcher,
 		market:       cfg.Market,
@@ -106,6 +121,7 @@ func New(cfg Config) (*Framework, error) {
 		financeBands: finBands,
 		learnMax:     learnMax,
 		priceK:       priceK,
+		concurrency:  concurrency,
 	}, nil
 }
 
@@ -115,3 +131,7 @@ func (f *Framework) Keywords() *KeywordDB { return f.keywords }
 
 // Bands returns the share → rating bands in use.
 func (f *Framework) Bands() sai.RatingBands { return f.bands }
+
+// Concurrency returns the resolved worker-pool size of the social
+// workflow's query fan-out.
+func (f *Framework) Concurrency() int { return f.concurrency }

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// parallelTestThreats returns several keyword-bearing scenarios so the
+// block 10–12 fan-out has real width.
+func parallelTestThreats() []*tara.ThreatScenario {
+	return []*tara.ThreatScenario{
+		ecmThreat(),
+		{
+			ID: "TS-DPF-01", Name: "DPF removal",
+			DamageIDs: []string{"DS-02"},
+			Property:  tara.PropertyIntegrity,
+			STRIDE:    tara.Tampering,
+			Profiles:  []tara.AttackerProfile{tara.ProfileInsider},
+			Vector:    tara.VectorPhysical,
+			Keywords:  []string{"dpfdelete", "dpfoff", "dpfremoval"},
+		},
+		{
+			ID: "TS-IMMO-01", Name: "Immobilizer bypass",
+			DamageIDs: []string{"DS-03"},
+			Property:  tara.PropertyIntegrity,
+			STRIDE:    tara.Spoofing,
+			Profiles:  []tara.AttackerProfile{tara.ProfileOutsider},
+			Vector:    tara.VectorAdjacent,
+			Keywords:  []string{"keyfobhack", "relayattack"},
+		},
+		nil,                                   // skipped
+		{ID: "TS-EMPTY", Name: "no keywords"}, // skipped
+	}
+}
+
+func frameworkWithConcurrency(t *testing.T, concurrency int) *Framework {
+	t.Helper()
+	store, err := social.DefaultStore(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := market.DefaultDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{Searcher: store, Market: ds, Concurrency: concurrency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// TestRunSocialParallelMatchesSequential pins the parallel fan-out to
+// the sequential output: the same input on the same seeded corpus must
+// produce an identical SocialResult at every concurrency level.
+func TestRunSocialParallelMatchesSequential(t *testing.T) {
+	in := SocialInput{
+		Threats:           parallelTestThreats(),
+		FilterInauthentic: true,
+	}
+	baseline, err := frameworkWithConcurrency(t, 1).RunSocial(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Tunings) != 3 {
+		t.Fatalf("baseline tunings = %d, want 3", len(baseline.Tunings))
+	}
+	for _, concurrency := range []int{2, 8} {
+		res, err := frameworkWithConcurrency(t, concurrency).RunSocial(context.Background(), in)
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", concurrency, err)
+		}
+		if !reflect.DeepEqual(res.Index, baseline.Index) {
+			t.Errorf("concurrency %d: SAI index diverged from sequential run", concurrency)
+		}
+		if !reflect.DeepEqual(res.Learned, baseline.Learned) {
+			t.Errorf("concurrency %d: learned keywords diverged: %v vs %v",
+				concurrency, res.Learned, baseline.Learned)
+		}
+		if res.InauthenticFiltered != baseline.InauthenticFiltered {
+			t.Errorf("concurrency %d: filtered = %d, sequential %d",
+				concurrency, res.InauthenticFiltered, baseline.InauthenticFiltered)
+		}
+		if len(res.Tunings) != len(baseline.Tunings) {
+			t.Fatalf("concurrency %d: tunings = %d, sequential %d",
+				concurrency, len(res.Tunings), len(baseline.Tunings))
+		}
+		for i, tuning := range res.Tunings {
+			want := baseline.Tunings[i]
+			if tuning.Threat.ID != want.Threat.ID {
+				t.Errorf("concurrency %d: tuning %d is %s, sequential order says %s",
+					concurrency, i, tuning.Threat.ID, want.Threat.ID)
+			}
+			if tuning.Posts != want.Posts || tuning.Insider != want.Insider {
+				t.Errorf("concurrency %d: tuning %s posts/insider = %d/%v, want %d/%v",
+					concurrency, tuning.Threat.ID, tuning.Posts, tuning.Insider, want.Posts, want.Insider)
+			}
+			if !reflect.DeepEqual(tuning.VectorShares, want.VectorShares) {
+				t.Errorf("concurrency %d: tuning %s shares diverged", concurrency, tuning.Threat.ID)
+			}
+			if !reflect.DeepEqual(tuning.Table, want.Table) {
+				t.Errorf("concurrency %d: tuning %s table diverged", concurrency, tuning.Threat.ID)
+			}
+		}
+	}
+}
+
+// blockingSearcher parks every Search call on the context so a test can
+// observe in-flight fan-out and then cancel it.
+type blockingSearcher struct {
+	started   chan struct{}
+	startOnce sync.Once
+	calls     atomic.Int32
+}
+
+func (b *blockingSearcher) Search(ctx context.Context, q social.Query) (*social.Page, error) {
+	b.calls.Add(1)
+	b.startOnce.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestRunSocialCancellationAborts cancels the context while the group
+// query fan-out is parked in the searcher and expects RunSocial to
+// return promptly with the cancellation error.
+func TestRunSocialCancellationAborts(t *testing.T) {
+	searcher := &blockingSearcher{started: make(chan struct{})}
+	fw, err := New(Config{Searcher: searcher, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fw.RunSocial(ctx, SocialInput{Threats: parallelTestThreats()})
+		done <- err
+	}()
+	<-searcher.started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunSocial returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunSocial did not abort after cancellation")
+	}
+}
+
+// countingSearcher wraps a Searcher and counts Search calls, so tests
+// can assert a failed fan-out stopped dispatching.
+type countingSearcher struct {
+	inner social.Searcher
+	calls atomic.Int32
+	fail  atomic.Bool
+}
+
+func (c *countingSearcher) Search(ctx context.Context, q social.Query) (*social.Page, error) {
+	c.calls.Add(1)
+	if c.fail.Load() {
+		return nil, fmt.Errorf("injected platform failure")
+	}
+	return c.inner.Search(ctx, q)
+}
+
+// TestRunSocialQueryErrorPropagates verifies a platform error surfaces
+// with its topic attribution at concurrency > 1.
+func TestRunSocialQueryErrorPropagates(t *testing.T) {
+	store, err := social.DefaultStore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searcher := &countingSearcher{inner: store}
+	searcher.fail.Store(true)
+	fw, err := New(Config{Searcher: searcher, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.RunSocial(context.Background(), SocialInput{}); err == nil {
+		t.Fatal("failing platform did not surface an error")
+	}
+}
+
+// TestForEachLimitedBoundsWorkers asserts the pool never runs more than
+// the configured number of tasks at once and visits every index.
+func TestForEachLimitedBoundsWorkers(t *testing.T) {
+	const limit, n = 3, 20
+	var active, peak, visits atomic.Int32
+	err := forEachLimited(context.Background(), limit, n, func(ctx context.Context, i int) error {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		visits.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits.Load() != n {
+		t.Errorf("visited %d indices, want %d", visits.Load(), n)
+	}
+	if peak.Load() > limit {
+		t.Errorf("observed %d concurrent tasks, limit %d", peak.Load(), limit)
+	}
+}
+
+// TestForEachLimitedFirstErrorWins asserts the first failure cancels
+// the remaining dispatch and is the error returned.
+func TestForEachLimitedFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := forEachLimited(context.Background(), 1, 50, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got > 4 {
+		t.Errorf("pool kept dispatching after failure: %d tasks ran", got)
+	}
+}
+
+// TestConfigConcurrencyValidation pins the knob's validation and
+// defaulting behaviour.
+func TestConfigConcurrencyValidation(t *testing.T) {
+	if _, err := New(Config{Concurrency: -1}); err == nil {
+		t.Error("negative concurrency accepted")
+	}
+	fw, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Concurrency() < 1 {
+		t.Errorf("default concurrency = %d, want >= 1", fw.Concurrency())
+	}
+	fw, err = New(Config{Concurrency: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Concurrency() != 7 {
+		t.Errorf("concurrency = %d, want 7", fw.Concurrency())
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// forEachLimited runs fn for every index in [0, n) on at most limit
+// concurrent goroutines. The first error cancels the context shared by
+// all invocations and is returned once in-flight work has drained;
+// pending indices are not started. Cancellation of the parent context
+// aborts the fan-out the same way and surfaces ctx.Err(). Callers keep
+// deterministic output ordering by writing results into slot i.
+func forEachLimited(ctx context.Context, limit, n int, fn func(ctx context.Context, i int) error) error {
+	if limit < 1 {
+		limit = 1
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	sem := make(chan struct{}, limit)
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case sem <- struct{}{}:
+		case <-gctx.Done():
+			break dispatch
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if gctx.Err() != nil {
+				return
+			}
+			if err := fn(gctx, i); err != nil {
+				setErr(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -72,7 +72,11 @@ type SocialResult struct {
 	Since, Until time.Time
 }
 
-// RunSocial executes the social workflow of Fig. 7.
+// RunSocial executes the social workflow of Fig. 7. The platform
+// queries of blocks 1–4 (keyword groups), block 5 (re-queries after
+// auto-learning) and blocks 10–12 (per-threat tuning) fan out across a
+// worker pool of Config.Concurrency goroutines; results are assembled
+// in input order, so the output is identical at any concurrency.
 func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResult, error) {
 	if f.searcher == nil {
 		return nil, fmt.Errorf("core: social workflow requires a configured Searcher")
@@ -81,55 +85,84 @@ func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResul
 	var filtered int
 
 	// Blocks 1–4: query every keyword group over the target inputs.
-	groupPosts := make(map[string][]*social.Post, len(db.Groups()))
-	for _, g := range db.Groups() {
-		posts, err := f.queryTags(ctx, g.AllTags(), in, &filtered)
+	groups := db.Groups()
+	groupOut := make([]queryResult, len(groups))
+	err := forEachLimited(ctx, f.concurrency, len(groups), func(ctx context.Context, i int) error {
+		posts, dropped, err := f.queryTags(ctx, groups[i].AllTags(), in)
 		if err != nil {
-			return nil, fmt.Errorf("core: query topic %s: %w", g.Topic, err)
+			return fmt.Errorf("core: query topic %s: %w", groups[i].Topic, err)
 		}
-		groupPosts[g.Topic] = posts
+		groupOut[i] = queryResult{posts: posts, filtered: dropped}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	groupPosts := make(map[string][]*social.Post, len(groups))
+	for i, g := range groups {
+		groupPosts[g.Topic] = groupOut[i].posts
+		filtered += groupOut[i].filtered
 	}
 
 	// Block 5: auto-learn new keywords from the matched corpus and
-	// re-query the groups that gained tags.
+	// re-query the groups that gained tags. Observation and database
+	// extension walk the groups in registration order so learning stays
+	// deterministic; the re-queries themselves fan out.
 	learned := map[string][]string{}
 	if !in.DisableLearning && f.learnMax > 0 {
 		learner := sai.NewLearner()
-		for _, posts := range groupPosts {
-			learner.Observe(posts)
+		for _, g := range groups {
+			learner.Observe(groupPosts[g.Topic])
 		}
 		candidates, err := learner.Learn(db.SeedTags(), f.learnMax)
 		if err != nil {
 			return nil, fmt.Errorf("core: keyword learning: %w", err)
 		}
 		attributed := learner.Attribute(candidates, db.SeedGroupMap())
-		for topic, tags := range attributed {
-			added, err := db.Extend(topic, tags)
+		var requery []string
+		for _, g := range groups {
+			tags, ok := attributed[g.Topic]
+			if !ok {
+				continue
+			}
+			added, err := db.Extend(g.Topic, tags)
 			if err != nil {
 				return nil, err
 			}
 			if len(added) == 0 {
 				continue
 			}
-			learned[topic] = added
-			posts, err := f.queryTags(ctx, db.Group(topic).AllTags(), in, &filtered)
+			learned[g.Topic] = added
+			requery = append(requery, g.Topic)
+		}
+		requeryOut := make([]queryResult, len(requery))
+		err = forEachLimited(ctx, f.concurrency, len(requery), func(ctx context.Context, i int) error {
+			posts, dropped, err := f.queryTags(ctx, db.Group(requery[i]).AllTags(), in)
 			if err != nil {
-				return nil, fmt.Errorf("core: re-query topic %s: %w", topic, err)
+				return fmt.Errorf("core: re-query topic %s: %w", requery[i], err)
 			}
-			groupPosts[topic] = posts
+			requeryOut[i] = queryResult{posts: posts, filtered: dropped}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, topic := range requery {
+			groupPosts[topic] = requeryOut[i].posts
+			filtered += requeryOut[i].filtered
 		}
 	}
 
 	// Blocks 6–9: SAI computation with insider/outsider separation.
-	groups := make([]sai.TopicPosts, 0, len(db.Groups()))
-	for _, g := range db.Groups() {
-		groups = append(groups, sai.TopicPosts{
+	topicPosts := make([]sai.TopicPosts, 0, len(groups))
+	for _, g := range groups {
+		topicPosts = append(topicPosts, sai.TopicPosts{
 			Topic: g.Topic,
 			Tags:  g.AllTags(),
 			Posts: groupPosts[g.Topic],
 		})
 	}
-	index, err := f.builder.Build(groups)
+	index, err := f.builder.Build(topicPosts)
 	if err != nil {
 		return nil, err
 	}
@@ -143,26 +176,50 @@ func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResul
 		Since:         in.Since,
 		Until:         in.Until,
 	}
+	var threats []*tara.ThreatScenario
 	for _, threat := range in.Threats {
 		if threat == nil || len(threat.Keywords) == 0 {
 			continue
 		}
-		tuning, err := f.tuneThreat(ctx, threat, in, &filtered)
+		threats = append(threats, threat)
+	}
+	tunings := make([]*ThreatTuning, len(threats))
+	threatFiltered := make([]int, len(threats))
+	err = forEachLimited(ctx, f.concurrency, len(threats), func(ctx context.Context, i int) error {
+		tuning, dropped, err := f.tuneThreat(ctx, threats[i], in)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		tunings[i] = tuning
+		threatFiltered[i] = dropped
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tuning := range tunings {
 		result.Tunings = append(result.Tunings, tuning)
+		filtered += threatFiltered[i]
 	}
 	result.InauthenticFiltered = filtered
 	return result, nil
 }
 
+// queryResult pairs one platform query's posts with its poisoning-
+// defence drop count, so parallel fan-outs can aggregate both
+// deterministically.
+type queryResult struct {
+	posts    []*social.Post
+	filtered int
+}
+
 // tuneThreat queries a threat scenario's keyword posts and regenerates
-// its feasibility table.
-func (f *Framework) tuneThreat(ctx context.Context, threat *tara.ThreatScenario, in SocialInput, filtered *int) (*ThreatTuning, error) {
-	posts, err := f.queryTags(ctx, threat.Keywords, in, filtered)
+// its feasibility table. It returns the tuning plus the number of posts
+// the poisoning defence dropped.
+func (f *Framework) tuneThreat(ctx context.Context, threat *tara.ThreatScenario, in SocialInput) (*ThreatTuning, int, error) {
+	posts, filtered, err := f.queryTags(ctx, threat.Keywords, in)
 	if err != nil {
-		return nil, fmt.Errorf("core: query threat %s: %w", threat.ID, err)
+		return nil, 0, fmt.Errorf("core: query threat %s: %w", threat.ID, err)
 	}
 	owners := sai.NewOwnerClassifier()
 	tuning := &ThreatTuning{
@@ -176,23 +233,23 @@ func (f *Framework) tuneThreat(ctx context.Context, threat *tara.ThreatScenario,
 		// Retuning outsider entries "does not make sense": they keep the
 		// standard weights.
 		tuning.Table = tara.StandardVectorTable()
-		return tuning, nil
+		return tuning, filtered, nil
 	}
 	name := fmt.Sprintf("PSP insider: %s%s", threat.Name, windowSuffix(in.Since, in.Until))
 	table, err := sai.GenerateVectorTable(name, tuning.VectorShares, f.bands)
 	if err != nil {
-		return nil, fmt.Errorf("core: generate table for threat %s: %w", threat.ID, err)
+		return nil, 0, fmt.Errorf("core: generate table for threat %s: %w", threat.ID, err)
 	}
 	tuning.Table = table
-	return tuning, nil
+	return tuning, filtered, nil
 }
 
 // queryTags drains a paginated tag search with the workflow filters,
-// applying the poisoning defence when the input enables it and adding
-// the number of dropped posts to *filtered.
-func (f *Framework) queryTags(ctx context.Context, tags []string, in SocialInput, filtered *int) ([]*social.Post, error) {
+// applying the poisoning defence when the input enables it. It returns
+// the surviving posts and the number of posts the defence dropped.
+func (f *Framework) queryTags(ctx context.Context, tags []string, in SocialInput) ([]*social.Post, int, error) {
 	if len(tags) == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	q := social.Query{
 		AnyTags: tags,
@@ -205,19 +262,16 @@ func (f *Framework) queryTags(ctx context.Context, tags []string, in SocialInput
 	}
 	posts, err := social.SearchAll(ctx, f.searcher, q)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !in.FilterInauthentic {
-		return posts, nil
+		return posts, 0, nil
 	}
 	reportOut, err := sai.FilterAuthentic(posts, sai.DefaultAuthenticityConfig())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if filtered != nil {
-		*filtered += len(reportOut.Flagged)
-	}
-	return reportOut.Clean, nil
+	return reportOut.Clean, len(reportOut.Flagged), nil
 }
 
 // TopicTrend computes the quarterly attraction trend of a tag set under
@@ -230,7 +284,7 @@ func (f *Framework) TopicTrend(ctx context.Context, tags []string, in SocialInpu
 	if len(tags) == 0 {
 		return nil, fmt.Errorf("core: trend analysis needs at least one tag")
 	}
-	posts, err := f.queryTags(ctx, tags, in, nil)
+	posts, _, err := f.queryTags(ctx, tags, in)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,20 @@ func BenchmarkGenerateCorpus(b *testing.B) {
 	}
 }
 
+func BenchmarkStoreAddBatch(b *testing.B) {
+	posts, err := Generate(DefaultCorpusSpec(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStore()
+		if err := s.Add(posts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkStoreSearchByTag(b *testing.B) {
 	store := benchStore(b)
 	ctx := context.Background()

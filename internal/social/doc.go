@@ -1,14 +1,27 @@
 // Package social implements the social-media substrate that replaces the
 // Twitter APIs used by the PSP paper's prototype.
 //
-// It provides an in-memory post store with hashtag and time indices, a
-// query engine (keyword, hashtag, region and time-window filters with
-// pagination), a deterministic synthetic corpus generator whose topic
-// trends are calibrated to the case studies reported in the paper, and an
-// HTTP JSON search API — server and client — so the framework exercises
-// the same remote-service code path as the prototype (pagination, rate
-// limiting, transport errors).
+// It provides an in-memory post store with hashtag, time and inverted
+// term indices, a query engine (keyword, hashtag, region and time-window
+// filters with pagination), a deterministic synthetic corpus generator
+// whose topic trends are calibrated to the case studies reported in the
+// paper, and an HTTP JSON search API — server and client — so the
+// framework exercises the same remote-service code path as the prototype
+// (pagination, rate limiting, transport errors).
+//
+// Indexing: Store.Add ingests posts in batches (one index merge per
+// batch rather than a per-post insertion sort) and maintains an inverted
+// term index — normalized term → (CreatedAt, ID)-sorted posting list.
+// Term-only queries (the paper's target-application filter) intersect
+// posting lists by walking the rarest term's postings, so their cost
+// tracks the matching posts instead of the corpus size.
+//
+// Federation: Multi fans a query out to every platform backend
+// concurrently and pages the merged listing with the same strict
+// "o<offset>" continuation tokens the Store uses, so SearchAll drains
+// federated listings completely even with a capped page size.
 //
 // Determinism: the generator derives everything from an explicit seed;
-// two runs with the same seed and spec produce identical corpora.
+// two runs with the same seed and spec produce identical corpora, and
+// search results are (CreatedAt, ID)-ordered at any concurrency.
 package social

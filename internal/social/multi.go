@@ -3,7 +3,7 @@ package social
 import (
 	"context"
 	"fmt"
-	"sort"
+	"sync"
 )
 
 // PlatformSource is one named platform backend of a federated search —
@@ -17,10 +17,17 @@ type PlatformSource struct {
 }
 
 // Multi federates several platforms behind the Searcher interface. Each
-// Search drains every backend fully and returns one merged page: the
-// result has no continuation token, because cross-platform cursors are
-// not comparable. Post IDs are namespaced with the platform name to
-// avoid collisions.
+// Search drains every backend concurrently, merges the results into one
+// (CreatedAt, ID)-ordered listing, and pages it exactly like the Store:
+// one page per call (MaxResults posts, default 100, ceiling 500) with
+// the same "o<offset>" continuation tokens — so SearchAll over a Multi
+// with a capped MaxResults sees every result instead of one silently
+// truncated page. Callers wanting the whole listing in one call must
+// follow NextToken (or use SearchAll); a single Search no longer
+// returns an unbounded merged page. Cross-platform cursors are not
+// comparable, so the token addresses the merged listing; it stays valid
+// while the backends are unchanged. Post IDs are namespaced with the
+// platform name to avoid collisions.
 type Multi struct {
 	sources []PlatformSource
 }
@@ -46,36 +53,61 @@ func NewMulti(sources ...PlatformSource) (*Multi, error) {
 	return &Multi{sources: sources}, nil
 }
 
-// Search implements Searcher by draining all backends and merging.
+// Search implements Searcher by draining all backends concurrently and
+// paging the merged listing.
 func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
-	if q.PageToken != "" {
-		return nil, fmt.Errorf("social: federated search does not support page tokens")
-	}
 	drainQuery := q
 	drainQuery.MaxResults = 0
+	drainQuery.PageToken = ""
+
+	// Fail fast on a malformed token before any backend work.
+	if q.PageToken != "" {
+		if _, err := parsePageToken(q.PageToken); err != nil {
+			return nil, err
+		}
+	}
+
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([][]*Post, len(m.sources))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, src := range m.sources {
+		wg.Add(1)
+		go func(i int, src PlatformSource) {
+			defer wg.Done()
+			posts, err := SearchAll(gctx, src.Searcher, drainQuery)
+			if err != nil {
+				// First failure wins; sibling errors caused by the
+				// cancellation below are not the root cause.
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("platform %s: %w", src.Name, err)
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
+			namespaced := make([]*Post, len(posts))
+			for j, p := range posts {
+				cp := *p
+				cp.ID = src.Name + ":" + p.ID
+				namespaced[j] = &cp
+			}
+			results[i] = namespaced
+		}(i, src)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
 	var merged []*Post
-	for _, src := range m.sources {
-		posts, err := SearchAll(ctx, src.Searcher, drainQuery)
-		if err != nil {
-			return nil, fmt.Errorf("platform %s: %w", src.Name, err)
-		}
-		for _, p := range posts {
-			cp := *p
-			cp.ID = src.Name + ":" + p.ID
-			merged = append(merged, &cp)
-		}
+	for _, posts := range results {
+		merged = mergeSorted(merged, posts)
 	}
-	sort.Slice(merged, func(i, j int) bool {
-		if !merged[i].CreatedAt.Equal(merged[j].CreatedAt) {
-			return merged[i].CreatedAt.Before(merged[j].CreatedAt)
-		}
-		return merged[i].ID < merged[j].ID
-	})
-	page := &Page{Posts: merged, TotalMatches: len(merged)}
-	if q.MaxResults > 0 && len(merged) > q.MaxResults {
-		// Honour the page-size hint but stay token-free: federated
-		// callers use SearchAll semantics anyway.
-		page.Posts = merged[:q.MaxResults]
-	}
-	return page, nil
+	return pageOf(merged, q.MaxResults, q.PageToken)
 }

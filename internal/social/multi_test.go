@@ -76,12 +76,16 @@ func TestMultiValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Search(context.Background(), Query{PageToken: "o5"}); err == nil {
-		t.Error("page token accepted by federated search")
+	// Malformed tokens are rejected; well-formed offset tokens are not.
+	if _, err := m.Search(context.Background(), Query{PageToken: "garbage"}); err == nil {
+		t.Error("malformed page token accepted by federated search")
+	}
+	if _, err := m.Search(context.Background(), Query{PageToken: "o5"}); err != nil {
+		t.Errorf("offset token rejected by federated search: %v", err)
 	}
 }
 
-func TestMultiMaxResultsHint(t *testing.T) {
+func TestMultiMaxResultsPagination(t *testing.T) {
 	store := NewStore()
 	if err := store.Add(samplePosts()...); err != nil {
 		t.Fatal(err)
@@ -95,7 +99,64 @@ func TestMultiMaxResultsHint(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(page.Posts) != 2 || page.TotalMatches != 4 {
-		t.Errorf("hint page = %d posts (total %d)", len(page.Posts), page.TotalMatches)
+		t.Errorf("capped page = %d posts (total %d)", len(page.Posts), page.TotalMatches)
+	}
+	if page.NextToken == "" {
+		t.Fatal("capped federated page lost its continuation token")
+	}
+	rest, err := m.Search(context.Background(), Query{MaxResults: 2, PageToken: page.NextToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.Posts) != 2 || rest.NextToken != "" {
+		t.Errorf("second page = %d posts, token %q", len(rest.Posts), rest.NextToken)
+	}
+}
+
+// Regression: SearchAll over a Multi with a capped query used to stop
+// after one page because Multi.Search honoured MaxResults without ever
+// emitting a NextToken — the listing silently truncated.
+func TestMultiSearchAllNoTruncation(t *testing.T) {
+	store := NewStore()
+	if err := store.Add(samplePosts()...); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMulti(PlatformSource{Name: "p", Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := SearchAll(context.Background(), m, Query{MaxResults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("SearchAll over Multi returned %d posts, want 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].CreatedAt.After(all[i].CreatedAt) {
+			t.Fatalf("federated listing out of order at %d: %v", i, ids(all))
+		}
+	}
+}
+
+// A failing backend aborts the whole federated search and cancels the
+// remaining backends' context.
+type failingSearcher struct{}
+
+func (failingSearcher) Search(context.Context, Query) (*Page, error) {
+	return nil, context.DeadlineExceeded
+}
+
+func TestMultiBackendErrorPropagates(t *testing.T) {
+	m, err := NewMulti(
+		PlatformSource{Name: "ok", Searcher: NewStore()},
+		PlatformSource{Name: "bad", Searcher: failingSearcher{}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Search(context.Background(), Query{}); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("backend failure not attributed: %v", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,19 @@ func (q Query) normalizedTags() []string {
 	return out
 }
 
+// normalizedMustTerms returns the query's must-terms normalized for
+// index lookup.
+func (q Query) normalizedMustTerms() []string {
+	out := make([]string, 0, len(q.MustTerms))
+	for _, t := range q.MustTerms {
+		t = nlp.Normalize(strings.TrimPrefix(strings.TrimSpace(t), "#"))
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // Page is one page of search results.
 type Page struct {
 	// Posts are the matching posts in (CreatedAt, ID) order.
@@ -57,17 +71,25 @@ type Page struct {
 // Searcher is the capability the PSP framework needs from a social
 // platform: paginated keyword search. Both the in-process Store and the
 // HTTP Client implement it.
+//
+// Implementations must be safe for concurrent use: the framework's
+// social workflow fans queries out across a worker pool, and federated
+// search (Multi) drains all backends in parallel goroutines.
 type Searcher interface {
 	Search(ctx context.Context, q Query) (*Page, error)
 }
 
-// Store is an in-memory post store with hashtag and time indices. It is
-// safe for concurrent use.
+// Store is an in-memory post store with hashtag, term and time indices.
+// It is safe for concurrent use.
 type Store struct {
 	mu     sync.RWMutex
 	posts  map[string]*Post
-	byTime []*Post // sorted by (CreatedAt, ID)
-	byTag  map[string][]*Post
+	byTime []*Post            // sorted by (CreatedAt, ID)
+	byTag  map[string][]*Post // tag → postings (insertion order)
+	// byTerm is the inverted term index: normalized term → posting list
+	// in (CreatedAt, ID) order. Term-only queries intersect posting
+	// lists here instead of scanning byTime.
+	byTerm map[string][]*Post
 	terms  map[string]map[string]bool // post ID → term set (precomputed)
 }
 
@@ -76,42 +98,97 @@ var _ Searcher = (*Store)(nil)
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		posts: make(map[string]*Post),
-		byTag: make(map[string][]*Post),
-		terms: make(map[string]map[string]bool),
+		posts:  make(map[string]*Post),
+		byTag:  make(map[string][]*Post),
+		byTerm: make(map[string][]*Post),
+		terms:  make(map[string]map[string]bool),
 	}
 }
 
-// Add inserts posts. Duplicate IDs and invalid posts are rejected; on
+// postLess orders posts by (CreatedAt, ID).
+func postLess(a, b *Post) bool {
+	if !a.CreatedAt.Equal(b.CreatedAt) {
+		return a.CreatedAt.Before(b.CreatedAt)
+	}
+	return a.ID < b.ID
+}
+
+// Add inserts posts as one batch: validation happens per post, index
+// maintenance once per batch (single re-sort instead of a per-post
+// insertion sort). Duplicate IDs and invalid posts are rejected; on
 // error the store is left unchanged for the offending post but earlier
 // posts of the batch stay inserted.
 func (s *Store) Add(posts ...*Post) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var err error
+	batch := make([]*Post, 0, len(posts))
 	for _, p := range posts {
-		if err := p.Validate(); err != nil {
-			return err
+		if err = p.Validate(); err != nil {
+			break
 		}
 		if _, dup := s.posts[p.ID]; dup {
-			return fmt.Errorf("social: duplicate post ID %s", p.ID)
+			err = fmt.Errorf("social: duplicate post ID %s", p.ID)
+			break
 		}
 		s.posts[p.ID] = p
 		s.terms[p.ID] = p.Terms()
-		i := sort.Search(len(s.byTime), func(i int) bool {
-			if !s.byTime[i].CreatedAt.Equal(p.CreatedAt) {
-				return s.byTime[i].CreatedAt.After(p.CreatedAt)
-			}
-			return s.byTime[i].ID > p.ID
-		})
-		s.byTime = append(s.byTime, nil)
-		copy(s.byTime[i+1:], s.byTime[i:])
-		s.byTime[i] = p
+		batch = append(batch, p)
+	}
+	s.insertBatchLocked(batch)
+	return err
+}
+
+// insertBatchLocked merges a validated batch into the time, tag and
+// term indices with one sort per touched index.
+func (s *Store) insertBatchLocked(batch []*Post) {
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return postLess(batch[i], batch[j]) })
+	s.byTime = mergeSorted(s.byTime, batch)
+
+	touched := make(map[string]bool)
+	for _, p := range batch {
 		for _, tag := range p.Hashtags() {
 			tag = nlp.Normalize(tag)
 			s.byTag[tag] = append(s.byTag[tag], p)
 		}
+		for term := range s.terms[p.ID] {
+			s.byTerm[term] = append(s.byTerm[term], p)
+			touched[term] = true
+		}
 	}
-	return nil
+	for term := range touched {
+		plist := s.byTerm[term]
+		if !sort.SliceIsSorted(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) }) {
+			sort.Slice(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) })
+		}
+	}
+}
+
+// mergeSorted merges two (CreatedAt, ID)-sorted slices into one.
+func mergeSorted(a, b []*Post) []*Post {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]*Post, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if postLess(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Len returns the number of stored posts.
@@ -134,26 +211,37 @@ const defaultPageSize = 100
 // maxPageSize is the hard page-size ceiling, mirroring public API limits.
 const maxPageSize = 500
 
-// Search runs the query and returns one result page. The context is
-// honoured between scan batches.
-func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+// parsePageToken parses an "o<offset>" continuation token. Parsing is
+// strict: the token must be exactly "o" followed by decimal digits, so
+// trailing garbage ("o5junk") is rejected rather than silently accepted.
+func parsePageToken(token string) (int, error) {
+	rest, ok := strings.CutPrefix(token, "o")
+	if !ok || rest == "" {
+		return 0, fmt.Errorf("social: invalid page token %q", token)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
-	matches, err := s.matchLocked(q)
-	if err != nil {
-		return nil, err
-	}
-	offset := 0
-	if q.PageToken != "" {
-		if _, err := fmt.Sscanf(q.PageToken, "o%d", &offset); err != nil || offset < 0 {
-			return nil, fmt.Errorf("social: invalid page token %q", q.PageToken)
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("social: invalid page token %q", token)
 		}
 	}
-	size := q.MaxResults
+	offset, err := strconv.Atoi(rest)
+	if err != nil || offset < 0 {
+		return 0, fmt.Errorf("social: invalid page token %q", token)
+	}
+	return offset, nil
+}
+
+// pageOf cuts one page out of a full (CreatedAt, ID)-ordered match list,
+// applying the shared page-size defaults and offset-token continuation.
+func pageOf(matches []*Post, maxResults int, pageToken string) (*Page, error) {
+	offset := 0
+	if pageToken != "" {
+		var err error
+		if offset, err = parsePageToken(pageToken); err != nil {
+			return nil, err
+		}
+	}
+	size := maxResults
 	if size <= 0 {
 		size = defaultPageSize
 	}
@@ -175,14 +263,35 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	return page, nil
 }
 
+// Search runs the query and returns one result page.
+func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	matches, err := s.matchLocked(q)
+	if err != nil {
+		return nil, err
+	}
+	return pageOf(matches, q.MaxResults, q.PageToken)
+}
+
 // matchLocked evaluates the query filters and returns all matches in
 // (CreatedAt, ID) order. Caller holds at least the read lock.
 func (s *Store) matchLocked(q Query) ([]*Post, error) {
 	tags := q.normalizedTags()
+	must := q.normalizedMustTerms()
 
-	// Candidate set: union of tag postings, or the full time index.
+	// Candidate set: union of tag postings, intersection of term
+	// postings, or the full time index, in that preference order. The
+	// term-index path already guarantees every candidate carries all
+	// must-terms, so the per-post term check below is skipped.
 	var candidates []*Post
-	if len(tags) > 0 {
+	termIndexed := false
+	switch {
+	case len(tags) > 0:
 		seen := make(map[string]bool)
 		for _, tag := range tags {
 			for _, p := range s.byTag[tag] {
@@ -192,22 +301,12 @@ func (s *Store) matchLocked(q Query) ([]*Post, error) {
 				}
 			}
 		}
-		sort.Slice(candidates, func(i, j int) bool {
-			if !candidates[i].CreatedAt.Equal(candidates[j].CreatedAt) {
-				return candidates[i].CreatedAt.Before(candidates[j].CreatedAt)
-			}
-			return candidates[i].ID < candidates[j].ID
-		})
-	} else {
+		sort.Slice(candidates, func(i, j int) bool { return postLess(candidates[i], candidates[j]) })
+	case len(must) > 0:
+		candidates = s.intersectTermsLocked(must)
+		termIndexed = true
+	default:
 		candidates = s.byTime
-	}
-
-	must := make([]string, 0, len(q.MustTerms))
-	for _, t := range q.MustTerms {
-		t = nlp.Normalize(strings.TrimPrefix(strings.TrimSpace(t), "#"))
-		if t != "" {
-			must = append(must, t)
-		}
 	}
 
 	var out []*Post
@@ -221,22 +320,49 @@ func (s *Store) matchLocked(q Query) ([]*Post, error) {
 		if !q.Until.IsZero() && !p.CreatedAt.Before(q.Until) {
 			continue
 		}
-		if len(must) > 0 {
-			terms := s.terms[p.ID]
-			ok := true
-			for _, m := range must {
-				if !terms[m] {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
+		if len(must) > 0 && !termIndexed && !s.hasAllTermsLocked(p.ID, must) {
+			continue
 		}
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// intersectTermsLocked intersects the posting lists of all terms by
+// walking the shortest list and membership-testing the rest, so the
+// cost is proportional to the rarest term's postings rather than the
+// corpus size. The result keeps (CreatedAt, ID) order because posting
+// lists are maintained sorted.
+func (s *Store) intersectTermsLocked(must []string) []*Post {
+	shortest := -1
+	for i, m := range must {
+		plist, ok := s.byTerm[m]
+		if !ok || len(plist) == 0 {
+			return nil
+		}
+		if shortest < 0 || len(plist) < len(s.byTerm[must[shortest]]) {
+			shortest = i
+		}
+	}
+	base := s.byTerm[must[shortest]]
+	out := make([]*Post, 0, len(base))
+	for _, p := range base {
+		if s.hasAllTermsLocked(p.ID, must) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// hasAllTermsLocked reports whether the post carries every term.
+func (s *Store) hasAllTermsLocked(id string, must []string) bool {
+	terms := s.terms[id]
+	for _, m := range must {
+		if !terms[m] {
+			return false
+		}
+	}
+	return true
 }
 
 // SearchAll drains every page of a query through any Searcher,

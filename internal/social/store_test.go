@@ -167,8 +167,114 @@ func TestSearchPagination(t *testing.T) {
 
 func TestSearchBadPageToken(t *testing.T) {
 	s := newTestStore(t)
-	if _, err := s.Search(context.Background(), Query{PageToken: "garbage"}); err == nil {
-		t.Error("bad page token accepted")
+	// "o5junk" is the regression case: fmt.Sscanf used to parse it as
+	// offset 5 and silently drop the trailing garbage.
+	for _, tok := range []string{"garbage", "o", "o5junk", "o-1", "o+5", "o 5", "5", "O5"} {
+		if _, err := s.Search(context.Background(), Query{PageToken: tok}); err == nil {
+			t.Errorf("bad page token %q accepted", tok)
+		}
+	}
+	if _, err := s.Search(context.Background(), Query{PageToken: "o2"}); err != nil {
+		t.Errorf("valid page token rejected: %v", err)
+	}
+}
+
+func TestSearchMustTermsWithoutTags(t *testing.T) {
+	s := newTestStore(t)
+	// Term-only queries go through the inverted term index.
+	page, err := s.Search(context.Background(), Query{MustTerms: []string{"excavator"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(page.Posts); len(got) != 2 || got[0] != "p1" || got[1] != "p4" {
+		t.Fatalf("term-index search = %v, want [p1 p4]", got)
+	}
+	// Multi-term intersection, normalization of '#' and case included.
+	page, err = s.Search(context.Background(), Query{MustTerms: []string{"#Excavator", "regret"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(page.Posts); len(got) != 1 || got[0] != "p4" {
+		t.Fatalf("intersection = %v, want [p4]", got)
+	}
+	// A term absent from the corpus yields an empty page, not an error.
+	page, err = s.Search(context.Background(), Query{MustTerms: []string{"nonexistentterm"}})
+	if err != nil || len(page.Posts) != 0 || page.TotalMatches != 0 {
+		t.Fatalf("absent term: page %+v err %v", page, err)
+	}
+	// Term filters combine with region and window filters.
+	page, err = s.Search(context.Background(), Query{
+		MustTerms: []string{"excavator"},
+		Region:    RegionEurope,
+		Since:     ts(2022, 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(page.Posts); len(got) != 1 || got[0] != "p4" {
+		t.Fatalf("filtered term search = %v, want [p4]", got)
+	}
+}
+
+// TestTermIndexMatchesScan pins the inverted-index fast path to the
+// semantics of a naive corpus scan on the reference corpus.
+func TestTermIndexMatchesScan(t *testing.T) {
+	store, err := DefaultStore(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := SearchAll(context.Background(), store, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{MustTerms: []string{"excavator"}},
+		{MustTerms: []string{"obd"}},
+		{MustTerms: []string{"excavator", "obd"}},
+		{MustTerms: []string{"excavator", "limp", "mode"}},
+		{MustTerms: []string{"tractor"}, Region: RegionEurope},
+		{MustTerms: []string{"truck"}, Since: ts(2022, 1, 1), Until: ts(2023, 1, 1)},
+	}
+	for _, q := range queries {
+		got, err := SearchAll(context.Background(), store, q)
+		if err != nil {
+			t.Fatalf("query %+v: %v", q.MustTerms, err)
+		}
+		var want []string
+		for _, p := range all {
+			if q.Region != "" && p.Region != q.Region {
+				continue
+			}
+			if !q.Since.IsZero() && p.CreatedAt.Before(q.Since) {
+				continue
+			}
+			if !q.Until.IsZero() && !p.CreatedAt.Before(q.Until) {
+				continue
+			}
+			terms := p.Terms()
+			ok := true
+			for _, m := range q.MustTerms {
+				if !terms[m] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = append(want, p.ID)
+			}
+		}
+		if len(want) == 0 {
+			t.Fatalf("query %v matches nothing in the reference corpus; test is vacuous", q.MustTerms)
+		}
+		gotIDs := ids(got)
+		if len(gotIDs) != len(want) {
+			t.Fatalf("query %v: index returned %d posts, scan %d", q.MustTerms, len(gotIDs), len(want))
+		}
+		for i := range want {
+			if gotIDs[i] != want[i] {
+				t.Fatalf("query %v: post %d = %s, scan says %s", q.MustTerms, i, gotIDs[i], want[i])
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package psp
 
 import (
+	"context"
 	"io"
 
 	"github.com/psp-framework/psp/internal/finance"
@@ -76,9 +77,18 @@ type PlatformSource = social.PlatformSource
 
 // NewMultiPlatform federates several platforms (e.g. the Twitter-style
 // store plus an Instagram-style one, per the paper's roadmap) behind the
-// Searcher interface.
+// Searcher interface. Backends are queried concurrently; the merged
+// listing pages exactly like the in-process store (default page size,
+// offset continuation tokens), so drain it with SearchAllPosts rather
+// than expecting one unbounded page from a single Search call.
 func NewMultiPlatform(sources ...PlatformSource) (Searcher, error) {
 	return social.NewMulti(sources...)
+}
+
+// SearchAllPosts drains every page of a query through any Searcher,
+// accumulating all matching posts.
+func SearchAllPosts(ctx context.Context, s Searcher, q SocialQuery) ([]*Post, error) {
+	return social.SearchAll(ctx, s, q)
 }
 
 // PoisonCampaign describes a data-poisoning attempt against the SAI

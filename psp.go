@@ -9,7 +9,9 @@ import (
 // Framework is the PSP framework instance; see core.Framework.
 type Framework = core.Framework
 
-// Config wires the framework's dependencies and tunables.
+// Config wires the framework's dependencies and tunables, including
+// Concurrency, the worker-pool width of the social workflow's query
+// fan-out (0 defaults to runtime.GOMAXPROCS(0); 1 is sequential).
 type Config = core.Config
 
 // Workflow inputs and outputs (Fig. 7 and Fig. 10 of the paper).
