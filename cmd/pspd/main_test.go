@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDaemonServesAndShutsDownGracefully boots the full daemon (store →
+// monitor → HTTP), drives ingest and assessment over the wire, then
+// cancels the signal context — the SIGTERM path — and requires a clean
+// exit.
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, addr, 42, "", "", "", 20*time.Millisecond, time.Second, 0)
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	// The assessment comes up after the initial cold run.
+	var assessment struct {
+		Generation int `json:"generation"`
+		CorpusSize int `json:"corpus_size"`
+		Index      []struct {
+			Topic string `json:"topic"`
+		} `json:"index"`
+		Tunings []struct {
+			ThreatID string            `json:"threat_id"`
+			Ratings  map[string]string `json:"ratings"`
+		} `json:"tunings"`
+	}
+	waitAssessment(t, base, 1, &assessment)
+	if len(assessment.Index) == 0 || len(assessment.Tunings) != 2 {
+		t.Fatalf("assessment = %+v", assessment)
+	}
+
+	// Ingest posts over the wire; the assessment generation advances.
+	posts := []map[string]any{{
+		"id":         "wire-1",
+		"author":     "tester",
+		"text":       "daemon #chiptuning ingest test",
+		"created_at": time.Date(2023, 5, 1, 10, 0, 0, 0, time.UTC).Format(time.RFC3339),
+		"region":     "EU",
+		"metrics":    map[string]int{"views": 10},
+	}}
+	body, _ := json.Marshal(posts)
+	resp, err := http.Post(base+"/v1/posts", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Added int `json:"added"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || ing.Added != 1 {
+		t.Fatalf("ingest status %d, added %d", resp.StatusCode, ing.Added)
+	}
+	waitAssessment(t, base, 2, &assessment)
+
+	// SIGTERM path: cancelling the signal context drains and exits nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+func TestRunRejectsMissingCorpus(t *testing.T) {
+	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", time.Millisecond, time.Second, 0)
+	if err == nil {
+		t.Fatal("missing corpus accepted")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func waitAssessment(t *testing.T, base string, minGeneration int, out any) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/assessment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var probe struct {
+				Generation int `json:"generation"`
+			}
+			if err := json.Unmarshal(body, &probe); err != nil {
+				t.Fatal(err)
+			}
+			if probe.Generation >= minGeneration {
+				if err := json.Unmarshal(body, out); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		} else {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("assessment never reached generation %d", minGeneration)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestRunRejectsUnknownRegion(t *testing.T) {
+	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "Europe", time.Millisecond, time.Second, 0)
+	if err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}

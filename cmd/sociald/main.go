@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	psp "github.com/psp-framework/psp"
@@ -32,13 +35,15 @@ func main() {
 	corpus := flag.String("corpus", "", "load corpus from a JSON Lines snapshot instead of generating")
 	dump := flag.String("dump", "", "write the corpus to a JSON Lines snapshot and exit")
 	flag.Parse()
-	if err := run(*addr, *seed, *rate, *burst, *corpus, *dump); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *seed, *rate, *burst, *corpus, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "sociald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, rate float64, burst int, corpus, dump string) error {
+func run(ctx context.Context, addr string, seed int64, rate float64, burst int, corpus, dump string) error {
 	store, err := loadCorpus(seed, corpus)
 	if err != nil {
 		return err
@@ -56,7 +61,13 @@ func run(addr string, seed int64, rate float64, burst int, corpus, dump string) 
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("sociald: serving %d posts on %s (seed %d)", store.Len(), addr, seed)
-	return srv.ListenAndServe()
+	// Drain in-flight searches on SIGINT/SIGTERM instead of dropping
+	// them mid-response; the helper is shared with pspd.
+	if err := psp.ListenAndServeGraceful(ctx, srv, 5*time.Second); err != nil {
+		return err
+	}
+	log.Printf("sociald: shut down cleanly")
+	return nil
 }
 
 func newLimiter(burst int, rate float64) *psp.RateLimiter {

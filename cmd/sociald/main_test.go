@@ -1,9 +1,13 @@
 package main
 
 import (
+	"context"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestLoadCorpusGeneratesByDefault(t *testing.T) {
@@ -44,5 +48,47 @@ func TestDumpAndLoadSnapshot(t *testing.T) {
 func TestLoadCorpusMissingFile(t *testing.T) {
 	if _, err := loadCorpus(0, "/nonexistent/corpus.jsonl"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestRunServesAndShutsDownGracefully boots the server and cancels the
+// signal context — the SIGINT/SIGTERM path — expecting a clean exit.
+func TestRunServesAndShutsDownGracefully(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, addr, 7, 0, 0, "", "") }()
+
+	url := "http://" + addr + "/v2/healthz"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("server still serving after shutdown")
 	}
 }

@@ -35,6 +35,26 @@
 // worker pool — set Config.Concurrency (default GOMAXPROCS, 1 for
 // strictly sequential) to overlap round trips to a remote platform.
 // Results are deterministic at any setting. The in-process store serves
-// term-filtered queries from an inverted term index, and federated
-// searches (NewMultiPlatform) query every backend concurrently.
+// term-filtered queries from an inverted term index, tag unions via a
+// k-way merge of sorted postings, and federated searches
+// (NewMultiPlatform) query every backend concurrently. Listings page
+// with keyset cursors (resume after a (CreatedAt, ID) key), so
+// pagination stays stable while posts are ingested concurrently; the
+// offset tokens of earlier releases are retired.
+//
+// # Continuous monitoring
+//
+// ISO/SAE 21434 Clause 8 frames risk assessment as an ongoing
+// activity, and the monitoring subsystem makes the batch workflow
+// continuous: SocialStore.Watch exposes a changefeed of ingested
+// posts, a Monitor (NewMonitor) tails it, debounces, classifies the
+// delta into the affected keyword topics and threats (DirtySet), and
+// re-runs just the dirty slice of the workflow through a ResultCache —
+// cached listings with exact invalidation plus memoized per-topic
+// co-occurrence graphs, SAI entries and threat tunings. Incremental
+// refreshes are provably identical to a cold RunSocial over the merged
+// corpus, at a fraction of the work (see Framework.RunSocialDelta).
+// The pspd daemon serves the resulting Assessment over HTTP — ingest,
+// cached SAI/TARA results with freshness metadata, health — with
+// graceful shutdown via ListenAndServeGraceful.
 package psp

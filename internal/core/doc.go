@@ -13,6 +13,16 @@
 // results are assembled in input order, so output is identical at any
 // concurrency and the sequential behaviour returns at Concurrency 1.
 //
+// The social workflow also has a delta-aware entry point,
+// RunSocialDelta, backing the continuous monitoring subsystem
+// (internal/monitor): platform queries are served through a ResultCache
+// whose listings are invalidated by the exact query predicate as posts
+// arrive, and every per-slice derivation — keyword-group co-occurrence
+// graphs, SAI entries, threat tunings — is memoized against its
+// listing's fill identity. A run after a small ingest delta recomputes
+// only the slices the delta can affect yet produces a result identical
+// to a cold RunSocial over the merged corpus.
+//
 // The financial workflow (Fig. 10) estimates the potential attacker
 // population (PAE) from sales data and annual reports, mines marketplace
 // listings for the purchase price per insider attack (PPIA) and the

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/psp-framework/psp/internal/nlp"
+	"github.com/psp-framework/psp/internal/sai"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// cacheFill is one cached drained listing. The pointer doubles as a
+// freshness token: invalidation deletes the fill and a re-query creates
+// a new one, so derived memos (graphs, SAI entries, threat tunings)
+// prove their inputs unchanged by holding the fill pointer they were
+// computed from.
+type cacheFill struct {
+	matcher social.QueryMatcher // compiled predicate for invalidation
+	posts   []*social.Post
+}
+
+// QueryCache caches fully drained platform listings keyed by the
+// canonical query, serving pages from memory until a newly ingested
+// post that would match the query invalidates the entry. Because the
+// store is append-only and invalidation applies the exact Search
+// predicate (social.Query.MatchesPost), a cached listing is always
+// byte-identical to what a fresh drain would return.
+//
+// Search is safe for concurrent use (the workflow fans queries out);
+// Invalidate must not run concurrently with a workflow run using the
+// cache — the monitor serializes updates on one scheduler goroutine.
+type QueryCache struct {
+	mu      sync.RWMutex
+	backend social.Searcher
+	fills   map[string]*cacheFill
+}
+
+var _ social.Searcher = (*QueryCache)(nil)
+
+// NewQueryCache wraps a platform behind a listing cache.
+func NewQueryCache(backend social.Searcher) *QueryCache {
+	return &QueryCache{backend: backend, fills: make(map[string]*cacheFill)}
+}
+
+// cacheKey renders a canonical query as a map key.
+func cacheKey(c social.Query) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%q|%q|%s", c.AnyTags, c.MustTerms, c.Region)
+	if !c.Since.IsZero() {
+		fmt.Fprintf(&sb, "|s%d", c.Since.UnixNano())
+	}
+	if !c.Until.IsZero() {
+		fmt.Fprintf(&sb, "|u%d", c.Until.UnixNano())
+	}
+	return sb.String()
+}
+
+// Search implements social.Searcher: pages are cut from the cached
+// drained listing, with the same keyset tokens the store would emit.
+func (c *QueryCache) Search(ctx context.Context, q social.Query) (*social.Page, error) {
+	canon := q.Canonical()
+	key := cacheKey(canon)
+	c.mu.RLock()
+	fill := c.fills[key]
+	c.mu.RUnlock()
+	if fill == nil {
+		drain := canon
+		drain.MaxResults = social.MaxPageSize
+		posts, err := social.SearchAll(ctx, c.backend, drain)
+		if err != nil {
+			return nil, err
+		}
+		fill = &cacheFill{matcher: canon.Matcher(), posts: posts}
+		c.mu.Lock()
+		if cur := c.fills[key]; cur != nil {
+			fill = cur // a concurrent drain won; keep one fill identity
+		} else {
+			c.fills[key] = fill
+		}
+		c.mu.Unlock()
+	}
+	return social.PagePosts(fill.posts, q.MaxResults, q.PageToken)
+}
+
+// lookup returns the current fill for a key, or nil.
+func (c *QueryCache) lookup(key string) *cacheFill {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.fills[key]
+}
+
+// Invalidate drops every cached listing a newly ingested post would
+// appear in, returning the number of listings dropped. Entries the
+// posts cannot match stay valid — the exactness that lets the
+// incremental path skip their re-computation entirely.
+func (c *QueryCache) Invalidate(posts ...*social.Post) int {
+	return c.InvalidateProfiles(social.ProfilePosts(posts))
+}
+
+// InvalidateProfiles is Invalidate over pre-tokenized posts, letting
+// callers that also run a dirty-set pass (the monitor's flush) profile
+// the delta once.
+func (c *QueryCache) InvalidateProfiles(profiles []*social.PostProfile) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, fill := range c.fills {
+		for _, pp := range profiles {
+			if fill.matcher.Matches(pp) {
+				delete(c.fills, key)
+				dropped++
+				break
+			}
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of cached listings.
+func (c *QueryCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.fills)
+}
+
+// querySlice is one platform query's contribution to a workflow run:
+// the (possibly authenticity-filtered) posts, the poisoning-defence
+// drop count, and the lazily built derivations the incremental path
+// memoizes — the group's co-occurrence graph and SAI entry.
+type querySlice struct {
+	fill     *cacheFill // nil on uncached runs
+	posts    []*social.Post
+	filtered int
+	graph    *nlp.CooccurrenceGraph
+	entry    *sai.Entry
+}
+
+// threatMemo caches one threat scenario's tuning against its query fill.
+type threatMemo struct {
+	sig    string
+	fill   *cacheFill
+	threat *tara.ThreatScenario // identity of the input scenario
+	tuning *ThreatTuning
+}
+
+// ResultCache is the state behind incremental re-assessment: a listing
+// cache plus per-slice memos of everything the workflow derives from a
+// single query's posts. RunSocialDelta reuses a memo only while the
+// query's cacheFill pointer is unchanged — i.e. while no ingested post
+// matched the query — which is exactly the condition under which the
+// slice's inputs, and therefore its derivations, are provably
+// identical.
+type ResultCache struct {
+	qc      *QueryCache
+	mu      sync.Mutex
+	slices  map[string]*querySlice
+	threats map[string]*threatMemo
+	// Per-run usage tracking: a successful run sweeps the fills and
+	// memos it did not touch, so a long-running daemon whose learned
+	// tag sets drift does not accumulate stale listings forever.
+	usedKeys    map[string]bool
+	usedSigs    map[string]bool
+	usedThreats map[string]bool
+}
+
+// NewResultCache builds a result cache over a platform backend. Pass it
+// to Framework.RunSocialDelta; feed newly ingested posts to Invalidate.
+func NewResultCache(backend social.Searcher) *ResultCache {
+	return &ResultCache{
+		qc:      NewQueryCache(backend),
+		slices:  make(map[string]*querySlice),
+		threats: make(map[string]*threatMemo),
+	}
+}
+
+// Queries exposes the underlying listing cache (also a social.Searcher).
+func (rc *ResultCache) Queries() *QueryCache { return rc.qc }
+
+// Invalidate drops the cached listings (and, transitively, the memoized
+// derivations) affected by newly ingested posts. It returns the number
+// of cached listings dropped; zero means a subsequent RunSocialDelta is
+// guaranteed to reproduce the previous result without any work.
+func (rc *ResultCache) Invalidate(posts ...*social.Post) int {
+	return rc.qc.Invalidate(posts...)
+}
+
+// InvalidateProfiles is Invalidate over pre-tokenized posts.
+func (rc *ResultCache) InvalidateProfiles(profiles []*social.PostProfile) int {
+	return rc.qc.InvalidateProfiles(profiles)
+}
+
+// beginRun resets the usage tracking for one workflow run.
+func (rc *ResultCache) beginRun() {
+	rc.mu.Lock()
+	rc.usedKeys = make(map[string]bool)
+	rc.usedSigs = make(map[string]bool)
+	rc.usedThreats = make(map[string]bool)
+	rc.mu.Unlock()
+}
+
+// endRun drops every fill and memo the completed run did not use —
+// leftovers of previous inputs or drifted learned tag sets that would
+// otherwise pin listings (and slow invalidation) forever.
+func (rc *ResultCache) endRun() {
+	rc.mu.Lock()
+	for sig := range rc.slices {
+		if !rc.usedSigs[sig] {
+			delete(rc.slices, sig)
+		}
+	}
+	for id := range rc.threats {
+		if !rc.usedThreats[id] {
+			delete(rc.threats, id)
+		}
+	}
+	used := rc.usedKeys
+	rc.mu.Unlock()
+	rc.qc.retain(used)
+}
+
+// markUsed records one slice access of the current run.
+func (rc *ResultCache) markUsed(key, sig string) {
+	rc.mu.Lock()
+	if rc.usedKeys != nil {
+		rc.usedKeys[key] = true
+		rc.usedSigs[sig] = true
+	}
+	rc.mu.Unlock()
+}
+
+// retain drops all fills except the keyed ones.
+func (c *QueryCache) retain(keys map[string]bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.fills {
+		if !keys[key] {
+			delete(c.fills, key)
+		}
+	}
+}
+
+// slice returns the memoized querySlice for a signature if its fill is
+// still current.
+func (rc *ResultCache) slice(sig string, fill *cacheFill) *querySlice {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if qs := rc.slices[sig]; qs != nil && qs.fill == fill && fill != nil {
+		return qs
+	}
+	return nil
+}
+
+func (rc *ResultCache) storeSlice(sig string, qs *querySlice) {
+	rc.mu.Lock()
+	rc.slices[sig] = qs
+	rc.mu.Unlock()
+}
+
+func (rc *ResultCache) threatTuning(id, sig string, fill *cacheFill, threat *tara.ThreatScenario) *ThreatTuning {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.usedThreats != nil {
+		rc.usedThreats[id] = true
+	}
+	tm := rc.threats[id]
+	if tm != nil && tm.sig == sig && tm.fill == fill && fill != nil && tm.threat == threat {
+		return tm.tuning
+	}
+	return nil
+}
+
+func (rc *ResultCache) storeThreat(id, sig string, fill *cacheFill, threat *tara.ThreatScenario, tuning *ThreatTuning) {
+	rc.mu.Lock()
+	rc.threats[id] = &threatMemo{sig: sig, fill: fill, threat: threat, tuning: tuning}
+	rc.mu.Unlock()
+}

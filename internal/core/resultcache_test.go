@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+func deltaPost(i int, text string) *social.Post {
+	return &social.Post{
+		ID:        fmt.Sprintf("delta-%03d", i),
+		Author:    fmt.Sprintf("newuser%d", i),
+		Text:      text,
+		CreatedAt: time.Date(2023, 3, 1, 12, i%60, i/60, 0, time.UTC),
+		Region:    social.RegionEurope,
+		Metrics:   social.Metrics{Views: 120 + i, Likes: 10},
+	}
+}
+
+func TestQueryCacheServesIdenticalListings(t *testing.T) {
+	store, err := social.DefaultStore(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingSearcher{inner: store}
+	cache := NewQueryCache(counting)
+	q := social.Query{AnyTags: []string{"dpfdelete", "chiptuning"}, MaxResults: 50}
+
+	direct, err := social.SearchAll(context.Background(), store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCache, err := social.SearchAll(context.Background(), cache, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids(direct), ids(viaCache)) {
+		t.Fatal("cached listing differs from direct drain")
+	}
+	warm := counting.calls.Load()
+	if _, err := social.SearchAll(context.Background(), cache, q); err != nil {
+		t.Fatal(err)
+	}
+	// A differently ordered, differently paged spelling of the same
+	// query hits the same cache entry.
+	if _, err := cache.Search(context.Background(), social.Query{AnyTags: []string{"#ChipTuning", "dpfdelete"}, MaxResults: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls.Load() != warm {
+		t.Errorf("cache hit reached the backend: %d calls, want %d", counting.calls.Load(), warm)
+	}
+}
+
+func TestQueryCacheInvalidationIsExact(t *testing.T) {
+	store := social.NewStore()
+	if err := store.Add(
+		&social.Post{ID: "a", Author: "u", Text: "#dpfdelete on the excavator", CreatedAt: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC), Region: social.RegionEurope, Metrics: social.Metrics{Views: 1}},
+		&social.Post{ID: "b", Author: "u", Text: "#chiptuning the car", CreatedAt: time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC), Region: social.RegionEurope, Metrics: social.Metrics{Views: 1}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewQueryCache(store)
+	ctx := context.Background()
+	for _, tags := range [][]string{{"dpfdelete"}, {"chiptuning"}} {
+		if _, err := cache.Search(ctx, social.Query{AnyTags: tags}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d listings, want 2", cache.Len())
+	}
+
+	// A post that matches neither query leaves both listings valid.
+	neutral := deltaPost(0, "#egrremoval chatter")
+	if n := cache.Invalidate(neutral); n != 0 || cache.Len() != 2 {
+		t.Errorf("neutral post dropped %d listings (len %d)", n, cache.Len())
+	}
+	// A dpfdelete post drops exactly the dpfdelete listing.
+	hit := deltaPost(1, "new #dpfdelete kit")
+	if n := cache.Invalidate(hit); n != 1 || cache.Len() != 1 {
+		t.Errorf("matching post dropped %d listings (len %d), want 1 (len 1)", n, cache.Len())
+	}
+	// The refreshed listing includes the new post once re-added.
+	if err := store.Add(hit); err != nil {
+		t.Fatal(err)
+	}
+	page, err := cache.Search(ctx, social.Query{AnyTags: []string{"dpfdelete"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.TotalMatches != 2 {
+		t.Errorf("refreshed listing has %d matches, want 2", page.TotalMatches)
+	}
+}
+
+// TestRunSocialDeltaMatchesColdRun is the core equivalence guarantee:
+// after ingesting a delta and invalidating, the incremental run equals
+// a cold RunSocial over the merged corpus — reflect.DeepEqual over the
+// whole SocialResult, including the float-valued index and tunings.
+func TestRunSocialDeltaMatchesColdRun(t *testing.T) {
+	store, err := social.DefaultStore(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threats := []*tara.ThreatScenario{ecmThreat()}
+	in := SocialInput{Threats: threats}
+	ctx := context.Background()
+	rc := NewResultCache(store)
+
+	warm, err := fw.RunSocialDelta(ctx, in, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBefore, err := fw.RunSocial(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, coldBefore) {
+		t.Fatal("initial delta run differs from cold run over the same corpus")
+	}
+
+	// Ingest a delta touching one topic and the ECM threat, plus noise.
+	var delta []*social.Post
+	for i := 10; i < 40; i++ {
+		text := "fresh #chiptuning remap results"
+		if i%3 == 0 {
+			text = "unrelated #fillerchatter noise"
+		}
+		delta = append(delta, deltaPost(i, text))
+	}
+	if err := store.Add(delta...); err != nil {
+		t.Fatal(err)
+	}
+	if n := rc.Invalidate(delta...); n == 0 {
+		t.Fatal("delta invalidated nothing; test is vacuous")
+	}
+
+	incremental, err := fw.RunSocialDelta(ctx, in, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := fw.RunSocial(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(incremental, cold) {
+		t.Errorf("incremental result diverged from cold run\nincremental index: %+v\ncold index: %+v",
+			incremental.Index.Entries, cold.Index.Entries)
+	}
+	// The delta must actually have moved the result (non-vacuous).
+	if reflect.DeepEqual(incremental.Index, coldBefore.Index) {
+		t.Error("delta did not change the index; equivalence test is vacuous")
+	}
+}
+
+// TestRunSocialDeltaSkipsFreshSlices pins the incremental cost model:
+// once warm, a run after an irrelevant delta touches the backend zero
+// times, and a single-topic delta re-drains only the affected listings.
+func TestRunSocialDeltaSkipsFreshSlices(t *testing.T) {
+	store, err := social.DefaultStore(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingSearcher{inner: store}
+	fw, err := New(Config{Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threats := []*tara.ThreatScenario{ecmThreat()}
+	in := SocialInput{Threats: threats}
+	ctx := context.Background()
+	rc := NewResultCache(counting)
+
+	if _, err := fw.RunSocialDelta(ctx, in, rc); err != nil {
+		t.Fatal(err)
+	}
+	warm := counting.calls.Load()
+
+	// No invalidation → no backend traffic at all.
+	if _, err := fw.RunSocialDelta(ctx, in, rc); err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls.Load() != warm {
+		t.Errorf("fresh rerun reached the backend %d times", counting.calls.Load()-warm)
+	}
+
+	// An irrelevant post invalidates nothing.
+	noise := deltaPost(50, "plain #fillerchatter noise")
+	if err := store.Add(noise); err != nil {
+		t.Fatal(err)
+	}
+	if n := rc.Invalidate(noise); n != 0 {
+		t.Errorf("irrelevant post dropped %d listings", n)
+	}
+	if _, err := fw.RunSocialDelta(ctx, in, rc); err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls.Load() != warm {
+		t.Errorf("irrelevant delta reached the backend %d times", counting.calls.Load()-warm)
+	}
+
+	// A single-topic delta re-drains only the affected listings, not
+	// every keyword group.
+	hit := deltaPost(51, "new #gpsblocker sleeve install")
+	if err := store.Add(hit); err != nil {
+		t.Fatal(err)
+	}
+	dropped := rc.Invalidate(hit)
+	if dropped == 0 {
+		t.Fatal("topical post invalidated nothing")
+	}
+	if _, err := fw.RunSocialDelta(ctx, in, rc); err != nil {
+		t.Fatal(err)
+	}
+	redrains := counting.calls.Load() - warm
+	groups := len(fw.Keywords().Groups())
+	if redrains == 0 || redrains >= warm {
+		t.Errorf("single-topic delta triggered %d backend calls (warm run took %d, %d groups)",
+			redrains, warm, groups)
+	}
+}
+
+func ids(posts []*social.Post) []string {
+	out := make([]string, len(posts))
+	for i, p := range posts {
+		out[i] = p.ID
+	}
+	return out
+}

@@ -81,38 +81,73 @@ func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResul
 	if f.searcher == nil {
 		return nil, fmt.Errorf("core: social workflow requires a configured Searcher")
 	}
+	return f.runSocial(ctx, in, f.searcher, nil)
+}
+
+// RunSocialDelta is the delta-aware entry point of the continuous
+// monitoring subsystem: the same Fig. 7 workflow, but with platform
+// queries served through the result cache and every per-slice
+// derivation — keyword-group co-occurrence graphs, SAI entries, threat
+// tunings — reused while the slice's cached listing is untouched by
+// ingest. After rc.Invalidate(newPosts), only the slices a new post can
+// actually match are recomputed, so a steady trickle of posts costs
+// incremental work, yet the result is identical to a cold RunSocial
+// over the merged corpus (the equivalence the monitor tests pin down).
+//
+// Ignoring the framework's configured Searcher, queries go to the
+// backend the cache wraps. Runs against the same cache must be
+// serialized with Invalidate calls; the monitor's scheduler goroutine
+// does both.
+func (f *Framework) RunSocialDelta(ctx context.Context, in SocialInput, rc *ResultCache) (*SocialResult, error) {
+	if rc == nil {
+		return nil, fmt.Errorf("core: delta run requires a result cache")
+	}
+	return f.runSocial(ctx, in, rc.qc, rc)
+}
+
+// runSocial is the shared workflow implementation. With rc == nil every
+// slice is computed from scratch; with a result cache, fresh memos are
+// reused and recomputed ones stored back.
+func (f *Framework) runSocial(ctx context.Context, in SocialInput, searcher social.Searcher, rc *ResultCache) (*SocialResult, error) {
+	if rc != nil {
+		rc.beginRun()
+	}
 	db := f.keywords.Clone()
 	var filtered int
+	learning := !in.DisableLearning && f.learnMax > 0
 
 	// Blocks 1–4: query every keyword group over the target inputs.
 	groups := db.Groups()
-	groupOut := make([]queryResult, len(groups))
+	groupOut := make([]*querySlice, len(groups))
 	err := forEachLimited(ctx, f.concurrency, len(groups), func(ctx context.Context, i int) error {
-		posts, dropped, err := f.queryTags(ctx, groups[i].AllTags(), in)
+		qs, err := f.querySlice(ctx, searcher, rc, groups[i].AllTags(), in, learning)
 		if err != nil {
 			return fmt.Errorf("core: query topic %s: %w", groups[i].Topic, err)
 		}
-		groupOut[i] = queryResult{posts: posts, filtered: dropped}
+		groupOut[i] = qs
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	groupPosts := make(map[string][]*social.Post, len(groups))
+	finalOut := make(map[string]*querySlice, len(groups))
 	for i, g := range groups {
-		groupPosts[g.Topic] = groupOut[i].posts
+		finalOut[g.Topic] = groupOut[i]
 		filtered += groupOut[i].filtered
 	}
 
 	// Block 5: auto-learn new keywords from the matched corpus and
 	// re-query the groups that gained tags. Observation and database
 	// extension walk the groups in registration order so learning stays
-	// deterministic; the re-queries themselves fan out.
+	// deterministic; the re-queries themselves fan out. Each group
+	// contributes a per-group co-occurrence graph (memoized while its
+	// listing is fresh); merging them is count-exact, so the learner
+	// sees the same graph a direct pass over all posts would build.
 	learned := map[string][]string{}
-	if !in.DisableLearning && f.learnMax > 0 {
+	if learning {
 		learner := sai.NewLearner()
-		for _, g := range groups {
-			learner.Observe(groupPosts[g.Topic])
+		for i := range groups {
+			learner.ObserveGraph(groupOut[i].graph)
 		}
 		candidates, err := learner.Learn(db.SeedTags(), f.learnMax)
 		if err != nil {
@@ -135,34 +170,42 @@ func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResul
 			learned[g.Topic] = added
 			requery = append(requery, g.Topic)
 		}
-		requeryOut := make([]queryResult, len(requery))
+		requeryOut := make([]*querySlice, len(requery))
 		err = forEachLimited(ctx, f.concurrency, len(requery), func(ctx context.Context, i int) error {
-			posts, dropped, err := f.queryTags(ctx, db.Group(requery[i]).AllTags(), in)
+			qs, err := f.querySlice(ctx, searcher, rc, db.Group(requery[i]).AllTags(), in, false)
 			if err != nil {
 				return fmt.Errorf("core: re-query topic %s: %w", requery[i], err)
 			}
-			requeryOut[i] = queryResult{posts: posts, filtered: dropped}
+			requeryOut[i] = qs
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		for i, topic := range requery {
-			groupPosts[topic] = requeryOut[i].posts
+			finalOut[topic] = requeryOut[i]
 			filtered += requeryOut[i].filtered
 		}
 	}
 
 	// Blocks 6–9: SAI computation with insider/outsider separation.
-	topicPosts := make([]sai.TopicPosts, 0, len(groups))
+	// Entries are per-topic pure functions of the final posts, memoized
+	// alongside their slice; probabilities normalize over all entries in
+	// registration order (identical for fresh and memoized entries).
+	entries := make([]sai.Entry, 0, len(groups))
 	for _, g := range groups {
-		topicPosts = append(topicPosts, sai.TopicPosts{
-			Topic: g.Topic,
-			Tags:  g.AllTags(),
-			Posts: groupPosts[g.Topic],
-		})
+		qs := finalOut[g.Topic]
+		if qs.entry == nil {
+			e := f.builder.BuildEntry(sai.TopicPosts{
+				Topic: g.Topic,
+				Tags:  g.AllTags(),
+				Posts: qs.posts,
+			})
+			qs.entry = &e
+		}
+		entries = append(entries, *qs.entry)
 	}
-	index, err := f.builder.Build(topicPosts)
+	index, err := sai.AssembleIndex(entries)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +229,7 @@ func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResul
 	tunings := make([]*ThreatTuning, len(threats))
 	threatFiltered := make([]int, len(threats))
 	err = forEachLimited(ctx, f.concurrency, len(threats), func(ctx context.Context, i int) error {
-		tuning, dropped, err := f.tuneThreat(ctx, threats[i], in)
+		tuning, dropped, err := f.tuneThreat(ctx, searcher, rc, threats[i], in)
 		if err != nil {
 			return err
 		}
@@ -202,76 +245,135 @@ func (f *Framework) RunSocial(ctx context.Context, in SocialInput) (*SocialResul
 		filtered += threatFiltered[i]
 	}
 	result.InauthenticFiltered = filtered
+	if rc != nil {
+		// Sweep fills and memos this run did not touch (only after a
+		// fully successful run — a failed run must not evict state a
+		// retry will reuse).
+		rc.endRun()
+	}
 	return result, nil
-}
-
-// queryResult pairs one platform query's posts with its poisoning-
-// defence drop count, so parallel fan-outs can aggregate both
-// deterministically.
-type queryResult struct {
-	posts    []*social.Post
-	filtered int
 }
 
 // tuneThreat queries a threat scenario's keyword posts and regenerates
 // its feasibility table. It returns the tuning plus the number of posts
-// the poisoning defence dropped.
-func (f *Framework) tuneThreat(ctx context.Context, threat *tara.ThreatScenario, in SocialInput) (*ThreatTuning, int, error) {
-	posts, filtered, err := f.queryTags(ctx, threat.Keywords, in)
+// the poisoning defence dropped. With a result cache, the tuning is
+// reused while the threat's listing is fresh and the scenario unchanged.
+func (f *Framework) tuneThreat(ctx context.Context, searcher social.Searcher, rc *ResultCache, threat *tara.ThreatScenario, in SocialInput) (*ThreatTuning, int, error) {
+	qs, err := f.querySlice(ctx, searcher, rc, threat.Keywords, in, false)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: query threat %s: %w", threat.ID, err)
+	}
+	var sig string
+	if rc != nil {
+		_, sig = tagSigKey(threat.Keywords, in)
+		if tuning := rc.threatTuning(threat.ID, sig, qs.fill, threat); tuning != nil {
+			return tuning, qs.filtered, nil
+		}
 	}
 	owners := sai.NewOwnerClassifier()
 	tuning := &ThreatTuning{
 		Threat:       threat,
-		Posts:        len(posts),
-		Insider:      len(posts) > 0 && owners.MajorityInsider(posts),
-		VectorShares: f.builder.VectorShares(posts),
+		Posts:        len(qs.posts),
+		Insider:      len(qs.posts) > 0 && owners.MajorityInsider(qs.posts),
+		VectorShares: f.builder.VectorShares(qs.posts),
 	}
 	tuning.Factors = sai.CorrectiveFactors(tuning.VectorShares)
-	if !tuning.Insider {
+	if tuning.Insider {
+		name := fmt.Sprintf("PSP insider: %s%s", threat.Name, windowSuffix(in.Since, in.Until))
+		table, err := sai.GenerateVectorTable(name, tuning.VectorShares, f.bands)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: generate table for threat %s: %w", threat.ID, err)
+		}
+		tuning.Table = table
+	} else {
 		// Retuning outsider entries "does not make sense": they keep the
 		// standard weights.
 		tuning.Table = tara.StandardVectorTable()
-		return tuning, filtered, nil
 	}
-	name := fmt.Sprintf("PSP insider: %s%s", threat.Name, windowSuffix(in.Since, in.Until))
-	table, err := sai.GenerateVectorTable(name, tuning.VectorShares, f.bands)
-	if err != nil {
-		return nil, 0, fmt.Errorf("core: generate table for threat %s: %w", threat.ID, err)
+	if rc != nil {
+		rc.storeThreat(threat.ID, sig, qs.fill, threat, tuning)
 	}
-	tuning.Table = table
-	return tuning, filtered, nil
+	return tuning, qs.filtered, nil
 }
 
-// queryTags drains a paginated tag search with the workflow filters,
-// applying the poisoning defence when the input enables it. It returns
-// the surviving posts and the number of posts the defence dropped.
-func (f *Framework) queryTags(ctx context.Context, tags []string, in SocialInput) ([]*social.Post, int, error) {
-	if len(tags) == 0 {
-		return nil, 0, nil
-	}
+// tagQuery builds the platform query of one tag set under the workflow
+// filters, requesting the maximum page size to minimize round trips to
+// remote platforms.
+func tagQuery(tags []string, in SocialInput) social.Query {
 	q := social.Query{
-		AnyTags: tags,
-		Region:  in.Region,
-		Since:   in.Since,
-		Until:   in.Until,
+		AnyTags:    tags,
+		Region:     in.Region,
+		Since:      in.Since,
+		Until:      in.Until,
+		MaxResults: social.MaxPageSize,
 	}
 	if in.Application != "" {
 		q.MustTerms = []string{in.Application}
 	}
-	posts, err := social.SearchAll(ctx, f.searcher, q)
+	return q
+}
+
+// tagSigKey canonicalizes a tag query once, returning its listing
+// cache key and its memo signature — the key plus the poisoning-defence
+// flag (the only SocialInput field that changes a slice's derivations
+// without changing its listing). Slice memos keyed this way stay
+// group-unique because NewKeywordDB rejects any tag shared between two
+// groups, so no two groups (or their learned extensions, which Extend
+// keeps disjoint) can produce the same signature; threats may share a
+// signature with anything, but the threat path reads only the slice's
+// posts, never its group-specific entry or graph.
+func tagSigKey(tags []string, in SocialInput) (key, sig string) {
+	key = cacheKey(tagQuery(tags, in).Canonical())
+	sig = key
+	if in.FilterInauthentic {
+		sig += "|f"
+	}
+	return key, sig
+}
+
+// querySlice drains a paginated tag search with the workflow filters,
+// applying the poisoning defence when the input enables it and building
+// the group's co-occurrence graph when learning needs it. With a result
+// cache, a memoized slice is returned as long as its listing is fresh;
+// recomputed slices are stored back for the next run.
+func (f *Framework) querySlice(ctx context.Context, searcher social.Searcher, rc *ResultCache, tags []string, in SocialInput, withGraph bool) (*querySlice, error) {
+	if len(tags) == 0 {
+		return &querySlice{}, nil
+	}
+	q := tagQuery(tags, in)
+	var sig, key string
+	var fill *cacheFill
+	if rc != nil {
+		key, sig = tagSigKey(tags, in)
+		rc.markUsed(key, sig)
+		fill = rc.qc.lookup(key)
+		if qs := rc.slice(sig, fill); qs != nil {
+			if withGraph && qs.graph == nil {
+				qs.graph = sai.BuildGroupGraph(qs.posts)
+			}
+			return qs, nil
+		}
+	}
+	posts, err := social.SearchAll(ctx, searcher, q)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	if !in.FilterInauthentic {
-		return posts, 0, nil
+	qs := &querySlice{posts: posts}
+	if in.FilterInauthentic {
+		reportOut, err := sai.FilterAuthentic(posts, sai.DefaultAuthenticityConfig())
+		if err != nil {
+			return nil, err
+		}
+		qs.posts, qs.filtered = reportOut.Clean, len(reportOut.Flagged)
 	}
-	reportOut, err := sai.FilterAuthentic(posts, sai.DefaultAuthenticityConfig())
-	if err != nil {
-		return nil, 0, err
+	if withGraph {
+		qs.graph = sai.BuildGroupGraph(qs.posts)
 	}
-	return reportOut.Clean, len(reportOut.Flagged), nil
+	if rc != nil {
+		qs.fill = rc.qc.lookup(key)
+		rc.storeSlice(sig, qs)
+	}
+	return qs, nil
 }
 
 // TopicTrend computes the quarterly attraction trend of a tag set under
@@ -284,11 +386,11 @@ func (f *Framework) TopicTrend(ctx context.Context, tags []string, in SocialInpu
 	if len(tags) == 0 {
 		return nil, fmt.Errorf("core: trend analysis needs at least one tag")
 	}
-	posts, _, err := f.queryTags(ctx, tags, in)
+	qs, err := f.querySlice(ctx, f.searcher, nil, tags, in, false)
 	if err != nil {
 		return nil, err
 	}
-	return f.builder.ComputeTrend(posts)
+	return f.builder.ComputeTrend(qs.posts)
 }
 
 // PersistLearned merges a run's learned keywords back into the

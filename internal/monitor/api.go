@@ -1,0 +1,210 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// API serves a Monitor over HTTP:
+//
+//	POST /v1/posts      — ingest a JSON post or array of posts
+//	GET  /v1/assessment — current cached assessment with freshness metadata
+//	GET  /v1/healthz    — liveness, corpus size, generation
+//
+// Ingested posts land in the monitored store; the resulting assessment
+// refresh is asynchronous (debounced), so readers use the generation
+// and updated_at metadata to judge freshness.
+type API struct {
+	m *Monitor
+}
+
+// NewAPI wraps a monitor.
+func NewAPI(m *Monitor) *API { return &API{m: m} }
+
+// Handler returns the HTTP handler implementing the API.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/posts", a.handleIngest)
+	mux.HandleFunc("/v1/assessment", a.handleAssessment)
+	mux.HandleFunc("/v1/healthz", a.handleHealth)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type ingestResponse struct {
+	Added      int `json:"added"`
+	CorpusSize int `json:"corpus_size"`
+}
+
+func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	var posts []*social.Post
+	if err := json.Unmarshal(body, &posts); err != nil {
+		var one social.Post
+		if err := json.Unmarshal(body, &one); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be a post object or an array of posts"})
+			return
+		}
+		posts = []*social.Post{&one}
+	}
+	store := a.m.Store()
+	added, addErr := store.AddCount(posts...)
+	if addErr != nil {
+		// Batch semantics: posts ahead of the offender are stored (and
+		// already published to the changefeed), so report both.
+		writeJSON(w, http.StatusBadRequest, struct {
+			ingestResponse
+			errorResponse
+		}{ingestResponse{Added: added, CorpusSize: store.Len()}, errorResponse{Error: addErr.Error()}})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{Added: added, CorpusSize: store.Len()})
+}
+
+// assessmentResponse is the wire form of GET /v1/assessment.
+type assessmentResponse struct {
+	Generation          uint64              `json:"generation"`
+	UpdatedAt           time.Time           `json:"updated_at"`
+	FullRun             bool                `json:"full_run"`
+	Recomputed          bool                `json:"recomputed"`
+	CorpusSize          int                 `json:"corpus_size"`
+	Ingested            int                 `json:"ingested"`
+	Dirty               core.DirtySet       `json:"dirty"`
+	Since               *time.Time          `json:"since,omitempty"`
+	Until               *time.Time          `json:"until,omitempty"`
+	Index               []indexEntry        `json:"index"`
+	Learned             map[string][]string `json:"learned,omitempty"`
+	InauthenticFiltered int                 `json:"inauthentic_filtered"`
+	Tunings             []tuningSummary     `json:"tunings"`
+}
+
+type indexEntry struct {
+	Topic       string   `json:"topic"`
+	Tags        []string `json:"tags"`
+	Posts       int      `json:"posts"`
+	Score       float64  `json:"score"`
+	Probability float64  `json:"probability"`
+	Insider     bool     `json:"insider"`
+}
+
+type tuningSummary struct {
+	ThreatID   string             `json:"threat_id"`
+	ThreatName string             `json:"threat_name"`
+	Insider    bool               `json:"insider"`
+	Posts      int                `json:"posts"`
+	Table      string             `json:"table"`
+	Ratings    map[string]string  `json:"ratings"`
+	Factors    map[string]float64 `json:"factors,omitempty"`
+}
+
+// renderAssessment flattens an assessment into its wire form.
+func renderAssessment(cur *Assessment) assessmentResponse {
+	res := cur.Result
+	out := assessmentResponse{
+		Generation:          cur.Generation,
+		UpdatedAt:           cur.UpdatedAt,
+		FullRun:             cur.FullRun,
+		Recomputed:          cur.Recomputed,
+		CorpusSize:          cur.CorpusSize,
+		Ingested:            cur.Ingested,
+		Dirty:               cur.Dirty,
+		Learned:             res.Learned,
+		InauthenticFiltered: res.InauthenticFiltered,
+		Index:               make([]indexEntry, 0, len(res.Index.Entries)),
+		Tunings:             make([]tuningSummary, 0, len(res.Tunings)),
+	}
+	if !res.Since.IsZero() {
+		out.Since = &res.Since
+	}
+	if !res.Until.IsZero() {
+		out.Until = &res.Until
+	}
+	for _, e := range res.Index.Entries {
+		out.Index = append(out.Index, indexEntry{
+			Topic:       e.Topic,
+			Tags:        e.Tags,
+			Posts:       e.Posts,
+			Score:       e.Score,
+			Probability: e.Probability,
+			Insider:     e.Insider,
+		})
+	}
+	for _, tuning := range res.Tunings {
+		ts := tuningSummary{
+			ThreatID:   tuning.Threat.ID,
+			ThreatName: tuning.Threat.Name,
+			Insider:    tuning.Insider,
+			Posts:      tuning.Posts,
+			Table:      tuning.Table.Name,
+			Ratings:    make(map[string]string, 4),
+		}
+		for _, v := range tara.AllVectors() {
+			if rating, err := tuning.Table.Rating(v); err == nil {
+				ts.Ratings[v.String()] = rating.String()
+			}
+		}
+		if len(tuning.Factors) > 0 {
+			ts.Factors = make(map[string]float64, len(tuning.Factors))
+			for v, f := range tuning.Factors {
+				ts.Factors[v.String()] = f
+			}
+		}
+		out.Tunings = append(out.Tunings, ts)
+	}
+	return out
+}
+
+func (a *API) handleAssessment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	cur := a.m.Assessment()
+	if cur == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "assessment not ready; initial run in progress"})
+		return
+	}
+	writeJSON(w, http.StatusOK, renderAssessment(cur))
+}
+
+type healthResponse struct {
+	Status     string `json:"status"`
+	Posts      int    `json:"posts"`
+	Generation uint64 `json:"generation"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{Status: "ok", Posts: a.m.Store().Len()}
+	if cur := a.m.Assessment(); cur != nil {
+		h.Generation = cur.Generation
+	}
+	if err := a.m.LastError(); err != nil {
+		h.LastError = err.Error()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

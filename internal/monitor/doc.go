@@ -1,0 +1,34 @@
+// Package monitor implements the continuous monitoring subsystem that
+// turns the paper's one-shot Fig. 7 batch workflow into the ongoing
+// cybersecurity monitoring activity ISO/SAE 21434 Clause 8 requires:
+// TARA ratings refreshed as new threat intelligence arrives, not once
+// per analysis campaign.
+//
+// The pipeline is changefeed → scheduler → cached assessment:
+//
+//   - the Monitor tails a social.Store changefeed (Store.Watch), so
+//     every ingested post is observed exactly once;
+//   - incoming posts are debounced, matched against the keyword
+//     database and threat scenarios to summarize the dirty slice
+//     (core.DirtySet), and fed to the result cache's exact
+//     invalidation;
+//   - the scheduler re-runs the social workflow through the result
+//     cache (core.Framework.RunSocialDelta), which recomputes only the
+//     invalidated slices — a delta matching one keyword topic re-drains
+//     one listing and rebuilds one SAI entry, while everything else is
+//     served from memos;
+//   - each refresh publishes an immutable Assessment snapshot carrying
+//     the SocialResult plus freshness metadata (generation, update
+//     time, corpus size, dirty slice, whether a recompute happened).
+//
+// Incremental refreshes are provably equivalent to a cold RunSocial
+// over the merged corpus (the package tests pin byte-identical
+// results); a delta that matches no cached query publishes a
+// metadata-only generation without touching the workflow at all.
+//
+// The API type serves the assessment over HTTP — POST /v1/posts for
+// ingest, GET /v1/assessment for the current cached result, and
+// GET /v1/healthz — and ListenAndServe hosts any http.Server with
+// graceful shutdown on context cancellation, shared by the pspd and
+// sociald daemons.
+package monitor

@@ -1,0 +1,272 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// Config wires a Monitor.
+type Config struct {
+	// Framework runs the social workflow (required).
+	Framework *core.Framework
+	// Store is the watched ingest store (required): posts added to it —
+	// directly or through the API's ingest endpoint — drive incremental
+	// re-assessment.
+	Store *social.Store
+	// Searcher is the platform the workflow queries; nil uses Store.
+	// Set it to a federated Multi when the monitored store is only one
+	// of several platforms.
+	Searcher social.Searcher
+	// Input parameterizes the monitored workflow run (application,
+	// region, window, threat scenarios).
+	Input core.SocialInput
+	// Debounce is the quiet period after the last ingested batch before
+	// re-assessment (default 200ms).
+	Debounce time.Duration
+	// MaxLag bounds how long a continuous ingest stream may defer
+	// re-assessment (default 10× Debounce).
+	MaxLag time.Duration
+	// Now stamps assessments; nil uses time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
+// Assessment is one immutable snapshot of the monitored risk picture:
+// the latest SocialResult plus the freshness metadata a consumer needs
+// to judge how current it is.
+type Assessment struct {
+	// Result is the cached workflow output (never nil).
+	Result *core.SocialResult
+	// Generation increments with every published snapshot.
+	Generation uint64
+	// UpdatedAt is the publication instant.
+	UpdatedAt time.Time
+	// CorpusSize is the watched store's post count at publication.
+	CorpusSize int
+	// Ingested counts posts observed on the changefeed since Run
+	// started.
+	Ingested int
+	// FullRun marks the initial cold assessment.
+	FullRun bool
+	// Recomputed reports whether this generation re-ran the workflow;
+	// false means the delta touched no cached query and the previous
+	// result was re-published with fresh metadata.
+	Recomputed bool
+	// Dirty summarizes which topics and threats the triggering delta
+	// could affect (empty on the initial run).
+	Dirty core.DirtySet
+}
+
+// Monitor schedules incremental re-assessment over a store changefeed.
+// Create with New, drive with Run, read with Assessment or WaitFor.
+type Monitor struct {
+	cfg Config
+	rc  *core.ResultCache
+
+	mu       sync.Mutex
+	cur      *Assessment
+	notify   chan struct{} // closed and replaced on every publish
+	ingested int
+	lastErr  error
+}
+
+// New validates the configuration and builds a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Framework == nil {
+		return nil, fmt.Errorf("monitor: Framework is required")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("monitor: Store is required")
+	}
+	if cfg.Searcher == nil {
+		cfg.Searcher = cfg.Store
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = 200 * time.Millisecond
+	}
+	if cfg.MaxLag <= 0 {
+		cfg.MaxLag = 10 * cfg.Debounce
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Monitor{
+		cfg:    cfg,
+		rc:     core.NewResultCache(cfg.Searcher),
+		notify: make(chan struct{}),
+	}, nil
+}
+
+// Run performs the initial cold assessment, then tails the store's
+// changefeed and re-assesses incrementally until ctx is cancelled.
+// Transient workflow failures are recorded (see LastError) and retried
+// on the next delta; Run only returns on context cancellation or if
+// the initial assessment fails.
+func (m *Monitor) Run(ctx context.Context) error {
+	feed := m.cfg.Store.Watch(ctx, social.WatchOptions{})
+
+	res, err := m.cfg.Framework.RunSocialDelta(ctx, m.cfg.Input, m.rc)
+	if err != nil {
+		return fmt.Errorf("monitor: initial assessment: %w", err)
+	}
+	m.publish(res, core.DirtySet{}, true, true)
+
+	// Debounce: a quiet period of cfg.Debounce after the last batch
+	// triggers the flush, while cfg.MaxLag bounds deferral under a
+	// continuous stream. Nil timer channels block their select cases.
+	var (
+		pending    []*social.Post
+		debounceC  <-chan time.Time
+		lagC       <-chan time.Time
+		failStreak uint
+	)
+	for {
+		fired := false
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case batch, ok := <-feed:
+			if !ok {
+				return ctx.Err()
+			}
+			if len(pending) == 0 {
+				lagC = time.After(m.cfg.MaxLag)
+			}
+			pending = append(pending, batch...)
+			debounceC = time.After(m.cfg.Debounce)
+		case <-debounceC:
+			fired = true
+		case <-lagC:
+			fired = true
+		}
+		if fired {
+			// A timer firing with empty pending is a retry wake-up:
+			// flush re-runs the workflow even with no new posts.
+			m.flush(ctx, pending)
+			pending = nil
+			debounceC, lagC = nil, nil
+			if m.LastError() != nil && ctx.Err() == nil {
+				// The workflow failed after its invalidations landed;
+				// retry without waiting for the next delta, backing off
+				// exponentially so a persistent platform outage is not
+				// hammered on the bare debounce cadence.
+				debounceC = time.After(retryDelay(m.cfg.Debounce, failStreak))
+				failStreak++
+			} else {
+				failStreak = 0
+			}
+		}
+	}
+}
+
+// retryDelay doubles the debounce per consecutive failure, capped at
+// 30 s.
+func retryDelay(debounce time.Duration, failStreak uint) time.Duration {
+	const maxDelay = 30 * time.Second
+	delay := debounce
+	for i := uint(0); i < failStreak && delay < maxDelay; i++ {
+		delay *= 2
+	}
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	return delay
+}
+
+// flush runs one incremental re-assessment over the pending delta.
+func (m *Monitor) flush(ctx context.Context, pending []*social.Post) {
+	// Tokenize the delta once for both the invalidation and the
+	// dirty-set pass.
+	profiles := social.ProfilePosts(pending)
+	dropped := m.rc.InvalidateProfiles(profiles)
+	dirty := m.cfg.Framework.DirtyForProfiles(m.cfg.Input, profiles)
+
+	m.mu.Lock()
+	m.ingested += len(pending)
+	prev := m.cur
+	retrying := m.lastErr != nil
+	m.mu.Unlock()
+
+	if dropped == 0 && prev != nil && !retrying {
+		// The delta cannot appear in any cached listing: the previous
+		// result is still exact. Publish fresh metadata without work.
+		// After a failed flush this shortcut is unsound — that flush's
+		// invalidations already landed, so prev may be stale even when
+		// this delta drops nothing — hence the retry guard.
+		m.publish(prev.Result, dirty, false, false)
+		return
+	}
+	res, err := m.cfg.Framework.RunSocialDelta(ctx, m.cfg.Input, m.rc)
+	if err != nil {
+		m.mu.Lock()
+		m.lastErr = err
+		m.mu.Unlock()
+		return
+	}
+	m.publish(res, dirty, false, true)
+}
+
+// publish installs a new assessment snapshot and wakes waiters.
+func (m *Monitor) publish(res *core.SocialResult, dirty core.DirtySet, full, recomputed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := uint64(1)
+	if m.cur != nil {
+		gen = m.cur.Generation + 1
+	}
+	m.cur = &Assessment{
+		Result:     res,
+		Generation: gen,
+		UpdatedAt:  m.cfg.Now(),
+		CorpusSize: m.cfg.Store.Len(),
+		Ingested:   m.ingested,
+		FullRun:    full,
+		Recomputed: recomputed,
+		Dirty:      dirty,
+	}
+	m.lastErr = nil
+	close(m.notify)
+	m.notify = make(chan struct{})
+}
+
+// Assessment returns the current snapshot, or nil before the initial
+// run completes.
+func (m *Monitor) Assessment() *Assessment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// LastError returns the most recent re-assessment failure, cleared by
+// the next successful publication.
+func (m *Monitor) LastError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// Store returns the watched ingest store.
+func (m *Monitor) Store() *social.Store { return m.cfg.Store }
+
+// WaitFor blocks until an assessment with Generation ≥ minGeneration is
+// published or ctx ends, returning the snapshot that satisfied the
+// wait.
+func (m *Monitor) WaitFor(ctx context.Context, minGeneration uint64) (*Assessment, error) {
+	for {
+		m.mu.Lock()
+		cur, wait := m.cur, m.notify
+		m.mu.Unlock()
+		if cur != nil && cur.Generation >= minGeneration {
+			return cur, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-wait:
+		}
+	}
+}

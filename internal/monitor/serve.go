@@ -1,0 +1,40 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// ListenAndServe runs an HTTP server until ctx is cancelled, then
+// drains in-flight requests with http.Server.Shutdown bounded by
+// drainTimeout (≤ 0 means 5 s). It returns nil after a clean drain —
+// the graceful SIGINT/SIGTERM path shared by the pspd and sociald
+// daemons — or the first listen/serve error.
+func ListenAndServe(ctx context.Context, srv *http.Server, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 5 * time.Second
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		// Surface a serve-side failure over a drain timeout if both
+		// raced; ErrServerClosed is the expected shutdown signal.
+		if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			return serveErr
+		}
+		return err
+	}
+}

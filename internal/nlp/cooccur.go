@@ -57,6 +57,32 @@ func (g *CooccurrenceGraph) Observe(tags []string) {
 // Docs returns the number of observed documents.
 func (g *CooccurrenceGraph) Docs() int { return g.docs }
 
+// Merge adds another graph's observations into g. Counts are plain
+// integer sums, so merging per-partition graphs — in any order — yields
+// exactly the graph a single pass over all documents would have built.
+// The incremental re-assessment path relies on this: unchanged keyword
+// groups contribute memoized per-group graphs instead of re-tokenizing
+// their posts.
+func (g *CooccurrenceGraph) Merge(other *CooccurrenceGraph) {
+	if other == nil {
+		return
+	}
+	g.docs += other.docs
+	for t, c := range other.docFreq {
+		g.docFreq[t] += c
+	}
+	for a, row := range other.counts {
+		dst := g.counts[a]
+		if dst == nil {
+			dst = make(map[string]int, len(row))
+			g.counts[a] = dst
+		}
+		for b, c := range row {
+			dst[b] += c
+		}
+	}
+}
+
 // Count returns how many documents contain both a and b.
 func (g *CooccurrenceGraph) Count(a, b string) int {
 	return g.counts[Normalize(a)][Normalize(b)]
@@ -85,7 +111,16 @@ func (g *CooccurrenceGraph) Associates(seeds []string, minSupport int) []Associa
 	}
 	scores := make(map[string]float64)
 	support := make(map[string]int)
+	// Seeds iterate in sorted order so the floating-point score sums
+	// accumulate identically on every run — ranking must be reproducible
+	// for the workflow's determinism and incremental-equivalence
+	// guarantees.
+	ordered := make([]string, 0, len(seedSet))
 	for s := range seedSet {
+		ordered = append(ordered, s)
+	}
+	sort.Strings(ordered)
+	for _, s := range ordered {
 		df := g.docFreq[s]
 		if df == 0 {
 			continue

@@ -74,35 +74,57 @@ type TopicPosts struct {
 // Build computes the SAI over topic groups. Topics with no posts still
 // appear with zero score so coverage gaps stay visible.
 func (b *Builder) Build(groups []TopicPosts) (*Index, error) {
-	if len(groups) == 0 {
+	entries := make([]Entry, 0, len(groups))
+	for _, g := range groups {
+		entries = append(entries, b.BuildEntry(g))
+	}
+	return AssembleIndex(entries)
+}
+
+// BuildEntry scores one topic group in isolation: everything but the
+// Probability, which is a global normalization over all entries (see
+// AssembleIndex). Entries are pure functions of their group's posts, so
+// the incremental re-assessment path memoizes them per topic and only
+// rebuilds the groups whose query results changed.
+func (b *Builder) BuildEntry(g TopicPosts) Entry {
+	e := Entry{
+		Topic: g.Topic,
+		Tags:  append([]string(nil), g.Tags...),
+		Posts: len(g.Posts),
+	}
+	e.Score = b.scorer.Total(g.Posts)
+	e.Insider = b.owners.MajorityInsider(g.Posts)
+	e.VectorShares = b.VectorShares(g.Posts)
+	return e
+}
+
+// AssembleIndex normalizes per-topic entries into a sorted index:
+// probabilities are each entry's share of the total attraction, summed
+// in input order so the result is bit-identical however the entries
+// were produced (fresh or memoized).
+func AssembleIndex(entries []Entry) (*Index, error) {
+	if len(entries) == 0 {
 		return nil, fmt.Errorf("sai: no topic groups")
 	}
-	entries := make([]Entry, 0, len(groups))
+	out := make([]Entry, len(entries))
+	copy(out, entries)
 	var totalScore float64
-	for _, g := range groups {
-		e := Entry{
-			Topic: g.Topic,
-			Tags:  append([]string(nil), g.Tags...),
-			Posts: len(g.Posts),
-		}
-		e.Score = b.scorer.Total(g.Posts)
-		e.Insider = b.owners.MajorityInsider(g.Posts)
-		e.VectorShares = b.VectorShares(g.Posts)
-		totalScore += e.Score
-		entries = append(entries, e)
+	for i := range out {
+		out[i].Probability = 0
+		totalScore += out[i].Score
 	}
 	if totalScore > 0 {
-		for i := range entries {
-			entries[i].Probability = entries[i].Score / totalScore
+		for i := range out {
+			out[i].Probability = out[i].Score / totalScore
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Score != entries[j].Score {
-			return entries[i].Score > entries[j].Score
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
 		}
-		return entries[i].Topic < entries[j].Topic
+		return out[i].Topic < out[j].Topic
 	})
-	return &Index{Entries: entries}, nil
+	return &Index{Entries: out}, nil
 }
 
 // VectorShares computes the attraction share of each attack vector over

@@ -40,6 +40,25 @@ func (l *Learner) Observe(posts []*social.Post) {
 	}
 }
 
+// ObserveGraph merges a pre-built co-occurrence graph into the learner —
+// count-exact, so observing per-group graphs is indistinguishable from
+// observing the groups' posts directly. The incremental workflow keeps
+// one graph per keyword group and re-tokenizes only the groups whose
+// posts changed.
+func (l *Learner) ObserveGraph(g *nlp.CooccurrenceGraph) {
+	l.graph.Merge(g)
+}
+
+// BuildGroupGraph tokenizes one post group into its own co-occurrence
+// graph, suitable for ObserveGraph.
+func BuildGroupGraph(posts []*social.Post) *nlp.CooccurrenceGraph {
+	g := nlp.NewCooccurrenceGraph()
+	for _, p := range posts {
+		g.Observe(p.Hashtags())
+	}
+	return g
+}
+
 // Block adds tags to the blocklist (the paper's poisoning-resilience
 // roadmap item).
 func (l *Learner) Block(tags ...string) {

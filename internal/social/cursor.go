@@ -1,0 +1,120 @@
+package social
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cursor is a keyset pagination position: a listing resumes strictly
+// after the (CreatedAt, ID) key it names. Unlike the retired offset
+// tokens, a cursor stays anchored to a post key while the store grows,
+// so pages drained concurrently with ingest neither skip nor duplicate
+// the posts that were present when the drain started.
+type Cursor struct {
+	// CreatedAt is the timestamp component of the key.
+	CreatedAt time.Time
+	// ID is the tie-breaking post ID; it may be empty, in which case the
+	// cursor sorts before every post carrying the same timestamp (post
+	// IDs are never empty).
+	ID string
+}
+
+// CursorOf returns the cursor that resumes a listing immediately after
+// the post.
+func CursorOf(p *Post) Cursor {
+	return Cursor{CreatedAt: p.CreatedAt, ID: p.ID}
+}
+
+// Before reports whether the post sorts strictly after the cursor in
+// (CreatedAt, ID) order — i.e. whether a listing resumed at the cursor
+// still delivers the post.
+func (c Cursor) Before(p *Post) bool {
+	if !p.CreatedAt.Equal(c.CreatedAt) {
+		return p.CreatedAt.After(c.CreatedAt)
+	}
+	return p.ID > c.ID
+}
+
+// cursorPrefix marks keyset continuation tokens.
+const cursorPrefix = "k"
+
+// EncodeCursor renders a cursor as an opaque continuation token:
+// "k<unix-nanoseconds>.<base64url(post ID)>". Timestamps are compared at
+// nanosecond resolution, matching the store's key order.
+func EncodeCursor(c Cursor) string {
+	return cursorPrefix + strconv.FormatInt(c.CreatedAt.UnixNano(), 10) +
+		"." + base64.RawURLEncoding.EncodeToString([]byte(c.ID))
+}
+
+// ParseCursor parses a keyset continuation token. Parsing is strict:
+// malformed tokens are rejected rather than silently truncated, and the
+// retired "o<offset>" tokens of earlier releases are reported as
+// deprecated.
+func ParseCursor(token string) (Cursor, error) {
+	rest, ok := strings.CutPrefix(token, cursorPrefix)
+	if !ok {
+		if strings.HasPrefix(token, "o") {
+			return Cursor{}, fmt.Errorf("social: offset page token %q is no longer supported; restart the listing to obtain keyset tokens", token)
+		}
+		return Cursor{}, fmt.Errorf("social: invalid page token %q", token)
+	}
+	nanos, id, ok := strings.Cut(rest, ".")
+	if !ok || nanos == "" {
+		return Cursor{}, fmt.Errorf("social: invalid page token %q", token)
+	}
+	n, err := strconv.ParseInt(nanos, 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("social: invalid page token %q", token)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(id)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("social: invalid page token %q", token)
+	}
+	return Cursor{CreatedAt: time.Unix(0, n).UTC(), ID: string(raw)}, nil
+}
+
+// resolvePageSize applies the shared page-size default and ceiling.
+func resolvePageSize(maxResults int) int {
+	size := maxResults
+	if size <= 0 {
+		size = DefaultPageSize
+	}
+	if size > MaxPageSize {
+		size = MaxPageSize
+	}
+	return size
+}
+
+// PagePosts cuts one page out of a full (CreatedAt, ID)-ordered match
+// list, applying the shared page-size defaults and keyset-token
+// continuation. It is the paging primitive behind Store, Multi and the
+// workflow result cache, so every Searcher in the package pages — and
+// tokenizes — identically.
+func PagePosts(matches []*Post, maxResults int, pageToken string) (*Page, error) {
+	start := 0
+	if pageToken != "" {
+		c, err := ParseCursor(pageToken)
+		if err != nil {
+			return nil, err
+		}
+		start = sort.Search(len(matches), func(i int) bool { return c.Before(matches[i]) })
+	}
+	size := resolvePageSize(maxResults)
+	page := &Page{TotalMatches: len(matches)}
+	if start >= len(matches) {
+		return page, nil
+	}
+	end := start + size
+	if end > len(matches) {
+		end = len(matches)
+	}
+	page.Posts = append(page.Posts, matches[start:end]...)
+	if end < len(matches) {
+		page.NextToken = EncodeCursor(CursorOf(matches[end-1]))
+	}
+	return page, nil
+}

@@ -3,23 +3,45 @@
 //
 // It provides an in-memory post store with hashtag, time and inverted
 // term indices, a query engine (keyword, hashtag, region and time-window
-// filters with pagination), a deterministic synthetic corpus generator
+// filters with pagination), a changefeed (Watch) for the continuous
+// monitoring subsystem, a deterministic synthetic corpus generator
 // whose topic trends are calibrated to the case studies reported in the
 // paper, and an HTTP JSON search API — server and client — so the
 // framework exercises the same remote-service code path as the prototype
 // (pagination, rate limiting, transport errors).
 //
 // Indexing: Store.Add ingests posts in batches (one index merge per
-// batch rather than a per-post insertion sort) and maintains an inverted
-// term index — normalized term → (CreatedAt, ID)-sorted posting list.
-// Term-only queries (the paper's target-application filter) intersect
-// posting lists by walking the rarest term's postings, so their cost
-// tracks the matching posts instead of the corpus size.
+// batch rather than a per-post insertion sort) and maintains the time
+// index, the hashtag index and the inverted term index all in
+// (CreatedAt, ID) posting order. Term-only queries (the paper's
+// target-application filter) intersect posting lists by walking the
+// rarest term's postings, and tag unions k-way merge their sorted
+// postings, so query cost tracks the matching posts instead of the
+// corpus size.
+//
+// Pagination: listings resume with keyset tokens —
+// "k<unix-nanoseconds>.<base64url(post ID)>", the (CreatedAt, ID) key of
+// the last delivered post (see EncodeCursor). A page picks up strictly
+// after that key, so concurrent Add can neither shift posts across page
+// boundaries (duplicates) nor hide them (skips): every post present when
+// the drain started is delivered exactly once. The offset tokens
+// ("o<offset>") of earlier releases are retired; they addressed a
+// position in a live listing and went stale whenever a write landed
+// before the position. Parsing one now returns a deprecation error.
+//
+// Changefeed: Store.Watch delivers every batch accepted by Add to each
+// subscriber exactly once, in insertion order, optionally replaying the
+// stored listing after a keyset cursor first. Replay snapshot and live
+// subscription are taken atomically under the store lock, so the feed
+// has no gap or overlap even under concurrent writers. The continuous
+// monitoring subsystem (internal/monitor) tails this feed to re-assess
+// only the affected keyword topics as new posts arrive.
 //
 // Federation: Multi fans a query out to every platform backend
-// concurrently and pages the merged listing with the same strict
-// "o<offset>" continuation tokens the Store uses, so SearchAll drains
-// federated listings completely even with a capped page size.
+// concurrently. Each federated page fetches one bounded slice per
+// backend past the shared keyset cursor — the pre-cursor listing is
+// never re-drained — and merges the heads into one (CreatedAt, ID)
+// ordered page with platform-namespaced post IDs.
 //
 // Determinism: the generator derives everything from an explicit seed;
 // two runs with the same seed and spec produce identical corpora, and

@@ -12,22 +12,23 @@ import (
 type PlatformSource struct {
 	// Name identifies the platform ("twitter", "instagram", ...).
 	Name string
-	// Searcher is the platform backend.
+	// Searcher is the platform backend. It must honour the package's
+	// keyset continuation tokens (Store, Client and nested Multi all
+	// do), because federated pages resume every backend from a shared
+	// (CreatedAt, ID) position.
 	Searcher Searcher
 }
 
 // Multi federates several platforms behind the Searcher interface. Each
-// Search drains every backend concurrently, merges the results into one
-// (CreatedAt, ID)-ordered listing, and pages it exactly like the Store:
-// one page per call (MaxResults posts, default 100, ceiling 500) with
-// the same "o<offset>" continuation tokens — so SearchAll over a Multi
-// with a capped MaxResults sees every result instead of one silently
-// truncated page. Callers wanting the whole listing in one call must
-// follow NextToken (or use SearchAll); a single Search no longer
-// returns an unbounded merged page. Cross-platform cursors are not
-// comparable, so the token addresses the merged listing; it stays valid
-// while the backends are unchanged. Post IDs are namespaced with the
-// platform name to avoid collisions.
+// page queries every backend concurrently for just one page of posts
+// past the shared keyset cursor — the pre-cursor listing is never
+// re-drained, so paging a federated listing costs one bounded request
+// per backend per page instead of a full drain of every backend.
+// Results merge into one (CreatedAt, ID)-ordered listing with post IDs
+// namespaced by platform name ("twitter:p1") to avoid collisions, and
+// pages carry the same keyset tokens the Store emits, so a listing
+// stays stable under concurrent ingest on any backend. Callers wanting
+// the whole listing must follow NextToken (or use SearchAll).
 type Multi struct {
 	sources []PlatformSource
 }
@@ -53,23 +54,27 @@ func NewMulti(sources ...PlatformSource) (*Multi, error) {
 	return &Multi{sources: sources}, nil
 }
 
-// Search implements Searcher by draining all backends concurrently and
-// paging the merged listing.
+// Search implements Searcher: every backend contributes one page of
+// posts past the cursor, the heads merge, and the page carries the
+// keyset cursor of its last post.
 func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
-	drainQuery := q
-	drainQuery.MaxResults = 0
-	drainQuery.PageToken = ""
-
-	// Fail fast on a malformed token before any backend work.
+	var after *Cursor
 	if q.PageToken != "" {
-		if _, err := parsePageToken(q.PageToken); err != nil {
+		c, err := ParseCursor(q.PageToken)
+		if err != nil {
 			return nil, err
 		}
+		after = &c
 	}
+	size := resolvePageSize(q.MaxResults)
+
+	base := q
+	base.MaxResults = size
+	base.PageToken = ""
 
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([][]*Post, len(m.sources))
+	results := make([]backendSlice, len(m.sources))
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -79,7 +84,7 @@ func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 		wg.Add(1)
 		go func(i int, src PlatformSource) {
 			defer wg.Done()
-			posts, err := SearchAll(gctx, src.Searcher, drainQuery)
+			slice, err := fetchAfter(gctx, src, base, after, size)
 			if err != nil {
 				// First failure wins; sibling errors caused by the
 				// cancellation below are not the root cause.
@@ -91,13 +96,7 @@ func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 				cancel()
 				return
 			}
-			namespaced := make([]*Post, len(posts))
-			for j, p := range posts {
-				cp := *p
-				cp.ID = src.Name + ":" + p.ID
-				namespaced[j] = &cp
-			}
-			results[i] = namespaced
+			results[i] = slice
 		}(i, src)
 	}
 	wg.Wait()
@@ -105,9 +104,75 @@ func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 		return nil, firstErr
 	}
 
-	var merged []*Post
-	for _, posts := range results {
-		merged = mergeSorted(merged, posts)
+	var (
+		merged []*Post
+		total  int
+		more   bool
+	)
+	for _, slice := range results {
+		merged = mergeSorted(merged, slice.posts)
+		total += slice.total
+		more = more || slice.more
 	}
-	return pageOf(merged, q.MaxResults, q.PageToken)
+	page := &Page{TotalMatches: total}
+	if len(merged) == 0 {
+		return page, nil
+	}
+	if len(merged) > size {
+		merged, more = merged[:size], true
+	}
+	page.Posts = merged
+	if more {
+		page.NextToken = EncodeCursor(CursorOf(merged[len(merged)-1]))
+	}
+	return page, nil
+}
+
+// backendSlice is one backend's contribution to a federated page: up to
+// `size` namespaced posts past the shared cursor, in (CreatedAt, ID)
+// order.
+type backendSlice struct {
+	posts []*Post
+	total int  // backend's total query matches, cursor-independent
+	more  bool // backend has matches beyond posts
+}
+
+// fetchAfter collects up to need posts from one backend whose namespaced
+// keys sort strictly after the federated cursor. The backend resumes at
+// the cursor timestamp (an empty-ID keyset token admits ties), so only
+// same-instant ties are refetched and dropped — never the pre-cursor
+// listing.
+func fetchAfter(ctx context.Context, src PlatformSource, base Query, after *Cursor, need int) (backendSlice, error) {
+	bq := base
+	if after != nil {
+		bq.PageToken = EncodeCursor(Cursor{CreatedAt: after.CreatedAt})
+	}
+	var out backendSlice
+	for pages := 0; ; pages++ {
+		if pages >= maxSearchPages {
+			return out, fmt.Errorf("social: pagination exceeded %d pages", maxSearchPages)
+		}
+		page, err := src.Searcher.Search(ctx, bq)
+		if err != nil {
+			return out, err
+		}
+		out.total = page.TotalMatches
+		for _, p := range page.Posts {
+			cp := *p
+			cp.ID = src.Name + ":" + p.ID
+			if after != nil && !after.Before(&cp) {
+				continue
+			}
+			out.posts = append(out.posts, &cp)
+		}
+		if len(out.posts) >= need {
+			out.more = len(out.posts) > need || page.NextToken != ""
+			out.posts = out.posts[:need]
+			return out, nil
+		}
+		if page.NextToken == "" {
+			return out, nil
+		}
+		bq.PageToken = page.NextToken
+	}
 }

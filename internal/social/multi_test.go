@@ -3,6 +3,7 @@ package social
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -76,12 +77,17 @@ func TestMultiValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Malformed tokens are rejected; well-formed offset tokens are not.
+	// Malformed tokens and retired offset tokens are rejected;
+	// well-formed keyset tokens are not.
 	if _, err := m.Search(context.Background(), Query{PageToken: "garbage"}); err == nil {
 		t.Error("malformed page token accepted by federated search")
 	}
-	if _, err := m.Search(context.Background(), Query{PageToken: "o5"}); err != nil {
-		t.Errorf("offset token rejected by federated search: %v", err)
+	if _, err := m.Search(context.Background(), Query{PageToken: "o5"}); err == nil {
+		t.Error("retired offset token accepted by federated search")
+	}
+	tok := EncodeCursor(Cursor{CreatedAt: ts(2022, 1, 1), ID: "x:p"})
+	if _, err := m.Search(context.Background(), Query{PageToken: tok}); err != nil {
+		t.Errorf("keyset token rejected by federated search: %v", err)
 	}
 }
 
@@ -135,6 +141,106 @@ func TestMultiSearchAllNoTruncation(t *testing.T) {
 	for i := 1; i < len(all); i++ {
 		if all[i-1].CreatedAt.After(all[i].CreatedAt) {
 			t.Fatalf("federated listing out of order at %d: %v", i, ids(all))
+		}
+	}
+}
+
+// countingSearcher counts Search calls reaching a backend.
+type countingSearcher struct {
+	inner Searcher
+	calls int
+}
+
+func (c *countingSearcher) Search(ctx context.Context, q Query) (*Page, error) {
+	c.calls++
+	return c.inner.Search(ctx, q)
+}
+
+// TestMultiNoRedrainPerPage pins the cost model of federated paging:
+// each page issues one bounded request per backend past the cursor,
+// instead of re-draining every backend's full listing per page (the
+// behaviour keyset cursors retired).
+func TestMultiNoRedrainPerPage(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	for i := 0; i < 30; i++ {
+		store, name := a, "a"
+		if i%2 == 1 {
+			store, name = b, "b"
+		}
+		if err := store.Add(&Post{
+			ID:        fmt.Sprintf("%s-%02d", name, i),
+			Author:    "u",
+			Text:      "#dpfdelete post",
+			CreatedAt: time.Date(2022, 1, 1, 0, i, 0, 0, time.UTC),
+			Metrics:   Metrics{Views: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ca, cb := &countingSearcher{inner: a}, &countingSearcher{inner: b}
+	m, err := NewMulti(
+		PlatformSource{Name: "a", Searcher: ca},
+		PlatformSource{Name: "b", Searcher: cb},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := SearchAll(context.Background(), m, Query{AnyTags: []string{"dpfdelete"}, MaxResults: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 30 {
+		t.Fatalf("federated drain returned %d posts, want 30", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if postLess(all[i], all[i-1]) {
+			t.Fatalf("federated listing out of order at %d", i)
+		}
+	}
+	// 30 posts at 5/page = 6 pages (+1 empty tail at most). Each backend
+	// holds 15 matches, so one bounded fetch per page stays ≤ ~2 backend
+	// calls; the retired re-drain issued 3 full-listing calls per page
+	// (≥18 per backend).
+	if ca.calls > 14 || cb.calls > 14 {
+		t.Errorf("backend re-drained: a=%d b=%d calls for 6 pages", ca.calls, cb.calls)
+	}
+}
+
+// TestMultiTiedTimestamps exercises cross-backend ties: posts sharing an
+// instant order by namespaced ID and survive pagination intact.
+func TestMultiTiedTimestamps(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	at := ts(2022, 6, 1)
+	for i := 0; i < 4; i++ {
+		if err := a.Add(&Post{ID: fmt.Sprintf("p%d", i), Author: "u", Text: "#x tie", CreatedAt: at, Metrics: Metrics{Views: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(&Post{ID: fmt.Sprintf("p%d", i), Author: "u", Text: "#x tie", CreatedAt: at, Metrics: Metrics{Views: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewMulti(
+		PlatformSource{Name: "alpha", Searcher: a},
+		PlatformSource{Name: "beta", Searcher: b},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := SearchAll(context.Background(), m, Query{AnyTags: []string{"x"}, MaxResults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 8 {
+		t.Fatalf("tied federated drain returned %d posts, want 8: %v", len(all), ids(all))
+	}
+	seen := map[string]bool{}
+	for i, p := range all {
+		if seen[p.ID] {
+			t.Fatalf("duplicate %s in tied listing", p.ID)
+		}
+		seen[p.ID] = true
+		if i > 0 && postLess(p, all[i-1]) {
+			t.Fatalf("tied listing out of order at %d: %v", i, ids(all))
 		}
 	}
 }

@@ -16,8 +16,10 @@ import (
 //	GET /v2/healthz
 //
 // Responses carry {"data": [...], "meta": {"result_count", "total_matches",
-// "next_token"}}. Rate-limited requests receive 429 with a Retry-After
-// header.
+// "next_token"}}. max_results defaults to DefaultPageSize (100) and is
+// clamped to MaxPageSize (500); next_token carries an opaque keyset
+// cursor that stays valid while posts are ingested concurrently.
+// Rate-limited requests receive 429 with a Retry-After header.
 type Server struct {
 	store   *Store
 	limiter *RateLimiter
@@ -116,6 +118,12 @@ func parseQuery(r *http.Request) (Query, error) {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
 			return Query{}, fmt.Errorf("invalid max_results %q", raw)
+		}
+		// Clamp to the public ceiling at the API edge, mirroring the
+		// behaviour of the platform APIs this server stands in for: an
+		// oversized request is served the maximum page, not an error.
+		if n > MaxPageSize {
+			n = MaxPageSize
 		}
 		q.MaxResults = n
 	}

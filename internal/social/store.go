@@ -1,10 +1,10 @@
 package social
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -57,6 +57,111 @@ func (q Query) normalizedMustTerms() []string {
 	return out
 }
 
+// Canonical returns the query with tags and must-terms normalized and
+// sorted and pagination fields cleared — two queries with equal
+// canonical forms select the same posts. The canonical form is the cache
+// key of the workflow result cache.
+func (q Query) Canonical() Query {
+	c := Query{
+		AnyTags:   q.normalizedTags(),
+		MustTerms: q.normalizedMustTerms(),
+		Region:    q.Region,
+		Since:     q.Since,
+		Until:     q.Until,
+	}
+	sort.Strings(c.AnyTags)
+	sort.Strings(c.MustTerms)
+	return c
+}
+
+// PostProfile is a post with its normalized tag and term sets
+// precomputed, so evaluating many queries against the same post (the
+// monitoring subsystem's invalidation and dirty-set passes) tokenizes
+// it once instead of once per query.
+type PostProfile struct {
+	post  *Post
+	tags  map[string]bool
+	terms map[string]bool
+}
+
+// ProfilePost tokenizes a post once for repeated query matching.
+func ProfilePost(p *Post) *PostProfile {
+	tags := make(map[string]bool)
+	for _, t := range p.Hashtags() {
+		tags[nlp.Normalize(t)] = true
+	}
+	return &PostProfile{post: p, tags: tags, terms: p.Terms()}
+}
+
+// ProfilePosts tokenizes a batch once for repeated query matching.
+func ProfilePosts(posts []*Post) []*PostProfile {
+	out := make([]*PostProfile, len(posts))
+	for i, p := range posts {
+		out[i] = ProfilePost(p)
+	}
+	return out
+}
+
+// MatchesPost reports whether the post satisfies every filter of the
+// query — the exact predicate Search applies, evaluated against a single
+// post without touching a store. The monitoring subsystem uses it to
+// decide which cached query results a newly ingested post invalidates.
+func (q Query) MatchesPost(p *Post) bool {
+	return q.Matcher().Matches(ProfilePost(p))
+}
+
+// QueryMatcher is a query compiled for repeated profile matching: tags
+// and must-terms are normalized once, so the (query × post) invalidation
+// loops of the monitoring subsystem do no per-call normalization.
+type QueryMatcher struct {
+	region       Region
+	since, until time.Time
+	tags, must   []string
+}
+
+// Matcher compiles the query's filters.
+func (q Query) Matcher() QueryMatcher {
+	return QueryMatcher{
+		region: q.Region,
+		since:  q.Since,
+		until:  q.Until,
+		tags:   q.normalizedTags(),
+		must:   q.normalizedMustTerms(),
+	}
+}
+
+// Matches applies the compiled predicate to a profiled post.
+func (m QueryMatcher) Matches(pp *PostProfile) bool {
+	p := pp.post
+	if m.region != "" && p.Region != m.region {
+		return false
+	}
+	if !m.since.IsZero() && p.CreatedAt.Before(m.since) {
+		return false
+	}
+	if !m.until.IsZero() && !p.CreatedAt.Before(m.until) {
+		return false
+	}
+	if len(m.tags) > 0 {
+		hit := false
+		for _, t := range m.tags {
+			if pp.tags[t] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	for _, t := range m.must {
+		if !pp.terms[t] {
+			return false
+		}
+	}
+	return true
+}
+
 // Page is one page of search results.
 type Page struct {
 	// Posts are the matching posts in (CreatedAt, ID) order.
@@ -82,15 +187,22 @@ type Searcher interface {
 // Store is an in-memory post store with hashtag, term and time indices.
 // It is safe for concurrent use.
 type Store struct {
-	mu     sync.RWMutex
-	posts  map[string]*Post
-	byTime []*Post            // sorted by (CreatedAt, ID)
-	byTag  map[string][]*Post // tag → postings (insertion order)
-	// byTerm is the inverted term index: normalized term → posting list
-	// in (CreatedAt, ID) order. Term-only queries intersect posting
-	// lists here instead of scanning byTime.
+	mu    sync.RWMutex
+	posts map[string]*Post
+	// byTime, byTag and byTerm all keep their posting lists in
+	// (CreatedAt, ID) order, so tag unions k-way merge and term
+	// intersections walk postings without any query-time sort.
+	byTime []*Post
+	byTag  map[string][]*Post
 	byTerm map[string][]*Post
 	terms  map[string]map[string]bool // post ID → term set (precomputed)
+
+	// subs are the live Watch subscribers; inserted batches are handed
+	// to every subscriber inside the insert critical section, so the
+	// changefeed neither misses nor duplicates posts relative to a
+	// registration-time snapshot.
+	subs   map[uint64]*subscriber
+	subSeq uint64
 }
 
 var _ Searcher = (*Store)(nil)
@@ -102,6 +214,7 @@ func NewStore() *Store {
 		byTag:  make(map[string][]*Post),
 		byTerm: make(map[string][]*Post),
 		terms:  make(map[string]map[string]bool),
+		subs:   make(map[uint64]*subscriber),
 	}
 }
 
@@ -119,11 +232,25 @@ func postLess(a, b *Post) bool {
 // error the store is left unchanged for the offending post but earlier
 // posts of the batch stay inserted.
 func (s *Store) Add(posts ...*Post) error {
+	_, err := s.AddCount(posts...)
+	return err
+}
+
+// AddCount is Add reporting how many posts of this batch were inserted
+// — the count is exact under concurrent writers, unlike diffing Len
+// around the call.
+func (s *Store) AddCount(posts ...*Post) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error
 	batch := make([]*Post, 0, len(posts))
 	for _, p := range posts {
+		if p == nil {
+			// Guard remote ingest: a JSON array element of null decodes
+			// to a nil *Post.
+			err = fmt.Errorf("social: nil post")
+			break
+		}
 		if err = p.Validate(); err != nil {
 			break
 		}
@@ -136,11 +263,12 @@ func (s *Store) Add(posts ...*Post) error {
 		batch = append(batch, p)
 	}
 	s.insertBatchLocked(batch)
-	return err
+	return len(batch), err
 }
 
 // insertBatchLocked merges a validated batch into the time, tag and
-// term indices with one sort per touched index.
+// term indices with one sort per touched index, then publishes the batch
+// to every Watch subscriber.
 func (s *Store) insertBatchLocked(batch []*Post) {
 	if len(batch) == 0 {
 		return
@@ -148,23 +276,96 @@ func (s *Store) insertBatchLocked(batch []*Post) {
 	sort.Slice(batch, func(i, j int) bool { return postLess(batch[i], batch[j]) })
 	s.byTime = mergeSorted(s.byTime, batch)
 
-	touched := make(map[string]bool)
+	touchedTags := make(map[string]bool)
+	touchedTerms := make(map[string]bool)
 	for _, p := range batch {
+		// Dedupe per post: a repeated hashtag must contribute one
+		// posting, or the post would surface twice in tag queries.
+		postTags := make(map[string]bool)
 		for _, tag := range p.Hashtags() {
 			tag = nlp.Normalize(tag)
+			if postTags[tag] {
+				continue
+			}
+			postTags[tag] = true
 			s.byTag[tag] = append(s.byTag[tag], p)
+			touchedTags[tag] = true
 		}
 		for term := range s.terms[p.ID] {
 			s.byTerm[term] = append(s.byTerm[term], p)
-			touched[term] = true
+			touchedTerms[term] = true
 		}
 	}
-	for term := range touched {
-		plist := s.byTerm[term]
-		if !sort.SliceIsSorted(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) }) {
-			sort.Slice(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) })
+	for tag := range touchedTags {
+		restoreOrder(s.byTag[tag])
+	}
+	for term := range touchedTerms {
+		restoreOrder(s.byTerm[term])
+	}
+	s.publishLocked(batch)
+}
+
+// restoreOrder re-sorts a posting list only when appends broke its
+// (CreatedAt, ID) order — the common case of chronological ingest stays
+// O(n) verification with no sort.
+func restoreOrder(plist []*Post) {
+	if !sort.SliceIsSorted(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) }) {
+		sort.Slice(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) })
+	}
+}
+
+// mergeHeap orders posting-list heads by (CreatedAt, ID) for the k-way
+// merge of tag unions. Each element is a posting list with a read
+// position.
+type mergeHeap []mergeSource
+
+type mergeSource struct {
+	plist []*Post
+	pos   int
+}
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return postLess(h[i].plist[h[i].pos], h[j].plist[h[j].pos])
+}
+func (h mergeHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)     { *h = append(*h, x.(mergeSource)) }
+func (h *mergeHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// mergeKSorted merges k (CreatedAt, ID)-sorted posting lists into one
+// sorted, duplicate-free union. Posts carrying several of the queried
+// tags appear in multiple lists; equal heads are deduplicated by key
+// during the merge, so the union costs O(total postings · log k) with no
+// query-time sort.
+func mergeKSorted(lists [][]*Post) []*Post {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	h := make(mergeHeap, 0, len(lists))
+	total := 0
+	for _, plist := range lists {
+		total += len(plist)
+		h = append(h, mergeSource{plist: plist})
+	}
+	heap.Init(&h)
+	out := make([]*Post, 0, total)
+	for h.Len() > 0 {
+		src := h[0]
+		p := src.plist[src.pos]
+		if n := len(out); n == 0 || out[n-1] != p {
+			out = append(out, p)
+		}
+		if src.pos+1 < len(src.plist) {
+			h[0].pos++
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
 		}
 	}
+	return out
 }
 
 // mergeSorted merges two (CreatedAt, ID)-sorted slices into one.
@@ -205,65 +406,18 @@ func (s *Store) Post(id string) *Post {
 	return s.posts[id]
 }
 
-// defaultPageSize caps pages when the query does not specify MaxResults.
-const defaultPageSize = 100
+// DefaultPageSize caps pages when the query does not specify MaxResults.
+const DefaultPageSize = 100
 
-// maxPageSize is the hard page-size ceiling, mirroring public API limits.
-const maxPageSize = 500
+// MaxPageSize is the hard page-size ceiling, mirroring public API
+// limits. Callers draining full listings (the core workflow's platform
+// queries) should request it explicitly to minimize page round trips.
+const MaxPageSize = 500
 
-// parsePageToken parses an "o<offset>" continuation token. Parsing is
-// strict: the token must be exactly "o" followed by decimal digits, so
-// trailing garbage ("o5junk") is rejected rather than silently accepted.
-func parsePageToken(token string) (int, error) {
-	rest, ok := strings.CutPrefix(token, "o")
-	if !ok || rest == "" {
-		return 0, fmt.Errorf("social: invalid page token %q", token)
-	}
-	for _, r := range rest {
-		if r < '0' || r > '9' {
-			return 0, fmt.Errorf("social: invalid page token %q", token)
-		}
-	}
-	offset, err := strconv.Atoi(rest)
-	if err != nil || offset < 0 {
-		return 0, fmt.Errorf("social: invalid page token %q", token)
-	}
-	return offset, nil
-}
-
-// pageOf cuts one page out of a full (CreatedAt, ID)-ordered match list,
-// applying the shared page-size defaults and offset-token continuation.
-func pageOf(matches []*Post, maxResults int, pageToken string) (*Page, error) {
-	offset := 0
-	if pageToken != "" {
-		var err error
-		if offset, err = parsePageToken(pageToken); err != nil {
-			return nil, err
-		}
-	}
-	size := maxResults
-	if size <= 0 {
-		size = defaultPageSize
-	}
-	if size > maxPageSize {
-		size = maxPageSize
-	}
-	page := &Page{TotalMatches: len(matches)}
-	if offset >= len(matches) {
-		return page, nil
-	}
-	end := offset + size
-	if end > len(matches) {
-		end = len(matches)
-	}
-	page.Posts = append(page.Posts, matches[offset:end]...)
-	if end < len(matches) {
-		page.NextToken = fmt.Sprintf("o%d", end)
-	}
-	return page, nil
-}
-
-// Search runs the query and returns one result page.
+// Search runs the query and returns one result page. Continuation uses
+// keyset tokens — see EncodeCursor — so a listing drained page by page
+// while writers Add posts concurrently never skips or repeats a post
+// that was present when the drain started.
 func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -275,7 +429,7 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pageOf(matches, q.MaxResults, q.PageToken)
+	return PagePosts(matches, q.MaxResults, q.PageToken)
 }
 
 // matchLocked evaluates the query filters and returns all matches in
@@ -292,16 +446,13 @@ func (s *Store) matchLocked(q Query) ([]*Post, error) {
 	termIndexed := false
 	switch {
 	case len(tags) > 0:
-		seen := make(map[string]bool)
+		lists := make([][]*Post, 0, len(tags))
 		for _, tag := range tags {
-			for _, p := range s.byTag[tag] {
-				if !seen[p.ID] {
-					seen[p.ID] = true
-					candidates = append(candidates, p)
-				}
+			if plist := s.byTag[tag]; len(plist) > 0 {
+				lists = append(lists, plist)
 			}
 		}
-		sort.Slice(candidates, func(i, j int) bool { return postLess(candidates[i], candidates[j]) })
+		candidates = mergeKSorted(lists)
 	case len(must) > 0:
 		candidates = s.intersectTermsLocked(must)
 		termIndexed = true
@@ -365,15 +516,20 @@ func (s *Store) hasAllTermsLocked(id string, must []string) bool {
 	return true
 }
 
+// maxSearchPages bounds SearchAll drains (2000 pages × the 500-post
+// ceiling ≈ one million posts); keyset tokens advance strictly, so the
+// cap only trips on a backend that emits non-advancing tokens.
+const maxSearchPages = 2000
+
 // SearchAll drains every page of a query through any Searcher,
 // accumulating all matching posts. It guards against runaway listings
-// with a hard cap of 100 pages.
+// with a hard cap of maxSearchPages pages.
 func SearchAll(ctx context.Context, s Searcher, q Query) ([]*Post, error) {
 	var out []*Post
 	q.PageToken = ""
 	for pages := 0; ; pages++ {
-		if pages >= 100 {
-			return nil, fmt.Errorf("social: pagination exceeded 100 pages")
+		if pages >= maxSearchPages {
+			return nil, fmt.Errorf("social: pagination exceeded %d pages", maxSearchPages)
 		}
 		page, err := s.Search(ctx, q)
 		if err != nil {

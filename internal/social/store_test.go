@@ -2,6 +2,7 @@ package social
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 )
@@ -57,6 +58,11 @@ func TestStoreAddValidation(t *testing.T) {
 			t.Errorf("case %d: Add(%+v) succeeded, want error", i, p)
 		}
 	}
+	// A nil post (a JSON null from remote ingest) errors instead of
+	// panicking.
+	if err := s.Add(nil); err == nil {
+		t.Error("nil post accepted")
+	}
 	ok := &Post{ID: "x", Text: "y", CreatedAt: ts(2022, 1, 1)}
 	if err := s.Add(ok); err != nil {
 		t.Fatal(err)
@@ -92,6 +98,28 @@ func TestSearchByTag(t *testing.T) {
 	}
 	if len(page2.Posts) != 2 {
 		t.Errorf("normalized tag search returned %d posts, want 2", len(page2.Posts))
+	}
+}
+
+// TestSearchRepeatedHashtag: a post repeating a hashtag must surface
+// once in tag queries. Regression: the posting list used to carry one
+// entry per occurrence, relying on query-time dedup that the k-way
+// merge's single-list fast path skipped.
+func TestSearchRepeatedHashtag(t *testing.T) {
+	s := NewStore()
+	if err := s.Add(&Post{
+		ID: "rep", Author: "u", CreatedAt: ts(2022, 6, 1),
+		Text:    "#dpfdelete twice in one post #dpfdelete",
+		Metrics: Metrics{Views: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	page, err := s.Search(context.Background(), Query{AnyTags: []string{"dpfdelete"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(page.Posts); len(got) != 1 || page.TotalMatches != 1 {
+		t.Fatalf("repeated-hashtag search = %v (total %d), want [rep] once", got, page.TotalMatches)
 	}
 }
 
@@ -167,15 +195,54 @@ func TestSearchPagination(t *testing.T) {
 
 func TestSearchBadPageToken(t *testing.T) {
 	s := newTestStore(t)
-	// "o5junk" is the regression case: fmt.Sscanf used to parse it as
-	// offset 5 and silently drop the trailing garbage.
-	for _, tok := range []string{"garbage", "o", "o5junk", "o-1", "o+5", "o 5", "5", "O5"} {
+	// Malformed keyset tokens are rejected outright; "k5" lacks the ID
+	// separator and "k5.!!" carries invalid base64.
+	for _, tok := range []string{"garbage", "k", "k5", "k5.!!", "kx.cDE", "5", "K5.cDE"} {
 		if _, err := s.Search(context.Background(), Query{PageToken: tok}); err == nil {
 			t.Errorf("bad page token %q accepted", tok)
 		}
 	}
-	if _, err := s.Search(context.Background(), Query{PageToken: "o2"}); err != nil {
-		t.Errorf("valid page token rejected: %v", err)
+	// The retired offset tokens fail with a deprecation hint.
+	_, err := s.Search(context.Background(), Query{PageToken: "o2"})
+	if err == nil || !strings.Contains(err.Error(), "no longer supported") {
+		t.Errorf("offset token not reported as deprecated: %v", err)
+	}
+	// A token the store itself emitted resumes the listing.
+	first, err := s.Search(context.Background(), Query{MaxResults: 2})
+	if err != nil || first.NextToken == "" {
+		t.Fatalf("first page: %v", err)
+	}
+	rest, err := s.Search(context.Background(), Query{MaxResults: 2, PageToken: first.NextToken})
+	if err != nil {
+		t.Fatalf("valid keyset token rejected: %v", err)
+	}
+	if got := ids(rest.Posts); len(got) != 2 || got[0] != "p3" || got[1] != "p4" {
+		t.Errorf("resumed page = %v, want [p3 p4]", got)
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, c := range []Cursor{
+		{CreatedAt: ts(2022, 5, 1), ID: "p2"},
+		{CreatedAt: ts(2022, 5, 1), ID: "platform:with/odd+chars"},
+		{CreatedAt: ts(2022, 5, 1)}, // empty ID: sorts before same-instant posts
+	} {
+		back, err := ParseCursor(EncodeCursor(c))
+		if err != nil {
+			t.Fatalf("round trip %+v: %v", c, err)
+		}
+		if !back.CreatedAt.Equal(c.CreatedAt) || back.ID != c.ID {
+			t.Errorf("round trip %+v → %+v", c, back)
+		}
+	}
+	// Empty-ID cursors admit same-instant posts (the federated resume
+	// path relies on this).
+	c := Cursor{CreatedAt: ts(2022, 5, 1)}
+	if !c.Before(&Post{ID: "a", CreatedAt: ts(2022, 5, 1)}) {
+		t.Error("empty-ID cursor excluded a same-instant post")
+	}
+	if c.Before(&Post{ID: "a", CreatedAt: ts(2022, 4, 30)}) {
+		t.Error("cursor admitted an earlier post")
 	}
 }
 
@@ -273,6 +340,49 @@ func TestTermIndexMatchesScan(t *testing.T) {
 		for i := range want {
 			if gotIDs[i] != want[i] {
 				t.Fatalf("query %v: post %d = %s, scan says %s", q.MustTerms, i, gotIDs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMatchesPostAgreesWithSearch pins the invalidation predicate to
+// Search membership over the reference corpus: the result cache's
+// exactness guarantee holds only while MatchesPost and matchLocked
+// implement the same filters, so a filter added to one but not the
+// other must fail here.
+func TestMatchesPostAgreesWithSearch(t *testing.T) {
+	store, err := DefaultStore(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := SearchAll(context.Background(), store, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{AnyTags: []string{"dpfdelete", "chiptuning"}},
+		{AnyTags: []string{"#DPFdelete"}, MustTerms: []string{"excavator"}},
+		{MustTerms: []string{"excavator", "limp"}},
+		{AnyTags: []string{"egrremoval"}, Region: RegionEurope},
+		{AnyTags: []string{"gpsblocker"}, Since: ts(2022, 1, 1), Until: ts(2023, 1, 1)},
+		{Region: RegionNorthAmerica, Since: ts(2022, 6, 1)},
+	}
+	for _, q := range queries {
+		matched, err := SearchAll(context.Background(), store, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inResults := make(map[string]bool, len(matched))
+		for _, p := range matched {
+			inResults[p.ID] = true
+		}
+		if len(matched) == 0 {
+			t.Fatalf("query %+v matches nothing; test is vacuous", q)
+		}
+		for _, p := range all {
+			if got := q.MatchesPost(p); got != inResults[p.ID] {
+				t.Errorf("query %+v post %s: MatchesPost=%v, Search membership=%v",
+					q, p.ID, got, inResults[p.ID])
 			}
 		}
 	}

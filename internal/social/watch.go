@@ -1,0 +1,125 @@
+package social
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// WatchOptions configures a Store changefeed subscription.
+type WatchOptions struct {
+	// After resumes the feed from a keyset position: stored posts with
+	// keys strictly after the cursor are replayed first, in
+	// (CreatedAt, ID) order, before live batches. Nil skips replay and
+	// delivers only posts added after the subscription (the zero Cursor
+	// replays the whole store).
+	After *Cursor
+	// Buffer is the delivery channel capacity in batches (default 16).
+	Buffer int
+}
+
+// subscriber is one live changefeed consumer. Inserted batches are
+// queued under the subscriber's own lock inside the store's insert
+// critical section; a dedicated goroutine drains the queue into the
+// delivery channel so slow consumers never block writers.
+type subscriber struct {
+	mu      sync.Mutex
+	pending []*Post
+	notify  chan struct{} // capacity 1: at-least-once wake-up signal
+}
+
+func (sub *subscriber) enqueue(posts []*Post) {
+	sub.mu.Lock()
+	sub.pending = append(sub.pending, posts...)
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// publishLocked hands an inserted batch (already (CreatedAt, ID)-sorted)
+// to every subscriber. Caller holds the store write lock, so delivery
+// order equals insertion order and registration snapshots stay
+// gap-free.
+func (s *Store) publishLocked(batch []*Post) {
+	for _, sub := range s.subs {
+		sub.enqueue(batch)
+	}
+}
+
+// Watch subscribes to the store's changefeed: every batch of posts
+// accepted by Add after the subscription is delivered exactly once, in
+// insertion order, with posts inside a batch in (CreatedAt, ID) order.
+// With Options.After set, stored posts after the cursor are replayed
+// ahead of live traffic; the replay snapshot and the live subscription
+// are taken atomically, so no post is missed or duplicated even under
+// concurrent Add.
+//
+// The returned channel is closed when ctx is cancelled. Pending batches
+// queue in memory without bound while the consumer lags; consume
+// promptly or cancel the subscription.
+func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 16
+	}
+	out := make(chan []*Post, buffer)
+	sub := &subscriber{notify: make(chan struct{}, 1)}
+
+	s.mu.Lock()
+	if opts.After != nil {
+		c := *opts.After
+		i := sort.Search(len(s.byTime), func(i int) bool { return c.Before(s.byTime[i]) })
+		if i < len(s.byTime) {
+			sub.pending = append(sub.pending, s.byTime[i:]...)
+		}
+	}
+	id := s.subSeq
+	s.subSeq++
+	s.subs[id] = sub
+	s.mu.Unlock()
+
+	// Unconditional non-blocking kick: concurrent Adds may already have
+	// filled the capacity-1 notify channel (and appended to pending), so
+	// neither block on it nor inspect pending without its lock. A
+	// spurious wake-up on an empty queue is harmless.
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+	go s.deliver(ctx, id, sub, out)
+	return out
+}
+
+// deliver drains one subscriber's queue into its channel until the
+// subscription context ends.
+func (s *Store) deliver(ctx context.Context, id uint64, sub *subscriber, out chan<- []*Post) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+		close(out)
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-sub.notify:
+		}
+		for {
+			sub.mu.Lock()
+			batch := sub.pending
+			sub.pending = nil
+			sub.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			select {
+			case out <- batch:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}

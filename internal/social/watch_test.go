@@ -1,0 +1,268 @@
+package social
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// backfillPost builds a post whose timestamp interleaves with the seeded
+// listing — the late-arrival shape that shifted offset-token pages.
+func backfillPost(i int, minute int) *Post {
+	return &Post{
+		ID:        fmt.Sprintf("late-%04d", i),
+		Author:    "writer",
+		Text:      "late #dpfdelete chatter",
+		CreatedAt: time.Date(2022, 1, 1, 10, minute, 30, 0, time.UTC),
+		Region:    RegionEurope,
+		Metrics:   Metrics{Views: 1},
+	}
+}
+
+// TestKeysetPaginationStableUnderAdd drains a listing page by page while
+// a writer inserts posts whose timestamps land before the drain
+// position. Offset tokens shifted the listing under the reader (the
+// same post re-appeared on the next page); keyset tokens must deliver
+// every pre-drain post exactly once and never duplicate anything.
+func TestKeysetPaginationStableUnderAdd(t *testing.T) {
+	s := NewStore()
+	const seeded = 120
+	for i := 0; i < seeded; i++ {
+		if err := s.Add(&Post{
+			ID:        fmt.Sprintf("seed-%04d", i),
+			Author:    "seed",
+			Text:      "seeded #dpfdelete post",
+			CreatedAt: time.Date(2022, 1, 1, 10, i, 0, 0, time.UTC),
+			Region:    RegionEurope,
+			Metrics:   Metrics{Views: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seen := make(map[string]int)
+	q := Query{AnyTags: []string{"dpfdelete"}, MaxResults: 10}
+	late := 0
+	for {
+		page, err := s.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range page.Posts {
+			seen[p.ID]++
+		}
+		if page.NextToken == "" {
+			break
+		}
+		q.PageToken = page.NextToken
+		// Insert posts timestamped BEFORE the current drain position —
+		// with offsets these shifted the listing right and the reader
+		// saw the tail of the previous page again.
+		for k := 0; k < 5; k++ {
+			if err := s.Add(backfillPost(late, (late*7)%seeded)); err != nil {
+				t.Fatal(err)
+			}
+			late++
+		}
+	}
+
+	for id, n := range seen {
+		if n > 1 {
+			t.Errorf("post %s delivered %d times", id, n)
+		}
+	}
+	for i := 0; i < seeded; i++ {
+		if seen[fmt.Sprintf("seed-%04d", i)] == 0 {
+			t.Errorf("pre-drain post seed-%04d skipped", i)
+		}
+	}
+}
+
+// TestKeysetPaginationConcurrentWriter re-runs the stability scenario
+// with a free-running writer goroutine (exercised under -race).
+func TestKeysetPaginationConcurrentWriter(t *testing.T) {
+	s := NewStore()
+	const seeded = 200
+	for i := 0; i < seeded; i++ {
+		if err := s.Add(&Post{
+			ID:        fmt.Sprintf("seed-%04d", i),
+			Author:    "seed",
+			Text:      "seeded #dpfdelete post",
+			CreatedAt: time.Date(2022, 1, 1, 10, i%60, i/60, 0, time.UTC),
+			Region:    RegionEurope,
+			Metrics:   Metrics{Views: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := s.Add(backfillPost(i, (i*13)%60)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	seen := make(map[string]int)
+	q := Query{AnyTags: []string{"dpfdelete"}, MaxResults: 16}
+	for {
+		page, err := s.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range page.Posts {
+			if seen[p.ID]++; seen[p.ID] > 1 {
+				t.Errorf("post %s duplicated across pages", p.ID)
+			}
+		}
+		if page.NextToken == "" {
+			break
+		}
+		q.PageToken = page.NextToken
+	}
+	close(done)
+	wg.Wait()
+	for i := 0; i < seeded; i++ {
+		if seen[fmt.Sprintf("seed-%04d", i)] == 0 {
+			t.Errorf("pre-drain post seed-%04d skipped", i)
+		}
+	}
+}
+
+func TestWatchDeliversLiveBatches(t *testing.T) {
+	s := newTestStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	feed := s.Watch(ctx, WatchOptions{})
+
+	batch := []*Post{
+		{ID: "w1", Author: "a", Text: "one #dpfdelete", CreatedAt: ts(2023, 2, 1), Metrics: Metrics{Views: 1}},
+		{ID: "w2", Author: "a", Text: "two #dpfdelete", CreatedAt: ts(2023, 2, 2), Metrics: Metrics{Views: 1}},
+	}
+	if err := s.Add(batch...); err != nil {
+		t.Fatal(err)
+	}
+	got := collectFeed(t, feed, 2)
+	if got[0] != "w1" || got[1] != "w2" {
+		t.Errorf("live delivery = %v, want [w1 w2]", got)
+	}
+
+	// Cancellation closes the feed.
+	cancel()
+	select {
+	case _, ok := <-feed:
+		if ok {
+			// A queued batch may still flush; the channel must close after.
+			if _, ok := <-feed; ok {
+				t.Error("feed still open after cancellation")
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("feed not closed after cancellation")
+	}
+}
+
+func TestWatchReplayAfterCursor(t *testing.T) {
+	s := newTestStore(t) // p1..p4 seeded
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Resume after p2: replay delivers p3, p4, then live traffic follows.
+	after := CursorOf(s.Post("p2"))
+	feed := s.Watch(ctx, WatchOptions{After: &after})
+	if err := s.Add(&Post{ID: "w3", Author: "a", Text: "new #dpfdelete", CreatedAt: ts(2023, 3, 1), Metrics: Metrics{Views: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := collectFeed(t, feed, 3)
+	if got[0] != "p3" || got[1] != "p4" || got[2] != "w3" {
+		t.Errorf("replayed feed = %v, want [p3 p4 w3]", got)
+	}
+}
+
+// TestWatchNoLossNoDupUnderConcurrentAdd floods the store from several
+// writers while one subscriber replays from the zero cursor: every post
+// must arrive exactly once.
+func TestWatchNoLossNoDupUnderConcurrentAdd(t *testing.T) {
+	s := NewStore()
+	// Pre-populate so replay and live delivery overlap.
+	for i := 0; i < 50; i++ {
+		if err := s.Add(backfillPost(i, i%60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	zero := Cursor{}
+	feed := s.Watch(ctx, WatchOptions{After: &zero, Buffer: 4})
+
+	const writers, perWriter = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				p := &Post{
+					ID:        fmt.Sprintf("w%d-%03d", w, i),
+					Author:    fmt.Sprintf("writer%d", w),
+					Text:      "flood #dpfdelete",
+					CreatedAt: time.Date(2022, 3, 1+w, 0, i/60, i%60, 0, time.UTC),
+					Metrics:   Metrics{Views: 1},
+				}
+				if err := s.Add(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := 50 + writers*perWriter
+	got := collectFeed(t, feed, want)
+	seen := make(map[string]bool, len(got))
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("post %s delivered twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != want {
+		t.Errorf("delivered %d distinct posts, want %d", len(seen), want)
+	}
+}
+
+// collectFeed reads IDs off a feed until n posts arrived or a timeout.
+func collectFeed(t *testing.T, feed <-chan []*Post, n int) []string {
+	t.Helper()
+	var out []string
+	deadline := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case batch, ok := <-feed:
+			if !ok {
+				t.Fatalf("feed closed after %d of %d posts", len(out), n)
+			}
+			for _, p := range batch {
+				out = append(out, p.ID)
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %d of %d posts", len(out), n)
+		}
+	}
+	if len(out) > n {
+		t.Fatalf("feed over-delivered: %d posts, want %d", len(out), n)
+	}
+	return out
+}

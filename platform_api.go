@@ -34,7 +34,31 @@ type (
 	TopicSpec = social.TopicSpec
 	// RateLimiter is a token-bucket request limiter.
 	RateLimiter = social.RateLimiter
+	// SocialCursor is a keyset pagination position: listings resume
+	// strictly after a (CreatedAt, ID) key, so pages stay stable under
+	// concurrent ingest (the offset tokens of earlier releases are
+	// retired).
+	SocialCursor = social.Cursor
+	// WatchOptions configures a store changefeed subscription
+	// (SocialStore.Watch).
+	WatchOptions = social.WatchOptions
 )
+
+// Page-size limits of the social search APIs.
+const (
+	// SocialDefaultPageSize applies when a query sets no MaxResults.
+	SocialDefaultPageSize = social.DefaultPageSize
+	// SocialMaxPageSize is the page-size ceiling; the workflow requests
+	// it to minimize round trips against remote platforms.
+	SocialMaxPageSize = social.MaxPageSize
+)
+
+// EncodeSocialCursor renders a cursor as an opaque keyset continuation
+// token ("k<unix-nanoseconds>.<base64url(post ID)>").
+func EncodeSocialCursor(c SocialCursor) string { return social.EncodeCursor(c) }
+
+// ParseSocialCursor parses a keyset continuation token.
+func ParseSocialCursor(token string) (SocialCursor, error) { return social.ParseCursor(token) }
 
 // Regions of the reference corpus.
 const (

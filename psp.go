@@ -1,8 +1,13 @@
 package psp
 
 import (
+	"context"
+	"net/http"
+	"time"
+
 	"github.com/psp-framework/psp/internal/core"
 	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/monitor"
 	"github.com/psp-framework/psp/internal/social"
 )
 
@@ -64,3 +69,48 @@ func DefaultKeywordDB() (*KeywordDB, error) { return core.DefaultKeywordDB() }
 // DefaultAdversaryProfile returns the default Equation 4 adversary
 // profile (one work-year at 60 EUR/h plus lab depreciation).
 func DefaultAdversaryProfile() *AdversaryProfile { return core.DefaultAdversaryProfile() }
+
+// Continuous monitoring (ISO/SAE 21434 Clause 8): the changefeed →
+// scheduler → cached-assessment subsystem behind the pspd daemon.
+type (
+	// ResultCache backs incremental re-assessment: cached platform
+	// listings with exact invalidation plus per-slice memos of the
+	// workflow's derivations. Pass to Framework.RunSocialDelta.
+	ResultCache = core.ResultCache
+	// SocialQueryCache caches drained platform listings behind the
+	// Searcher interface.
+	SocialQueryCache = core.QueryCache
+	// DirtySet summarizes which topics and threats an ingest delta can
+	// affect.
+	DirtySet = core.DirtySet
+	// Monitor schedules incremental re-assessment over a store
+	// changefeed.
+	Monitor = monitor.Monitor
+	// MonitorConfig wires a Monitor.
+	MonitorConfig = monitor.Config
+	// Assessment is one published risk snapshot with freshness metadata.
+	Assessment = monitor.Assessment
+	// MonitorAPI serves a Monitor over HTTP (ingest + assessment +
+	// health).
+	MonitorAPI = monitor.API
+)
+
+// NewResultCache builds a result cache over a platform backend.
+func NewResultCache(backend Searcher) *ResultCache { return core.NewResultCache(backend) }
+
+// NewSocialQueryCache wraps a platform behind a listing cache.
+func NewSocialQueryCache(backend Searcher) *SocialQueryCache { return core.NewQueryCache(backend) }
+
+// NewMonitor validates the configuration and builds a Monitor; drive it
+// with Run and read it with Assessment/WaitFor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
+
+// NewMonitorAPI wraps a monitor in its HTTP API.
+func NewMonitorAPI(m *Monitor) *MonitorAPI { return monitor.NewAPI(m) }
+
+// ListenAndServeGraceful runs an HTTP server until ctx is cancelled,
+// then drains in-flight requests (bounded by drainTimeout; ≤ 0 means
+// 5 s) — the SIGINT/SIGTERM shutdown path shared by pspd and sociald.
+func ListenAndServeGraceful(ctx context.Context, srv *http.Server, drainTimeout time.Duration) error {
+	return monitor.ListenAndServe(ctx, srv, drainTimeout)
+}
