@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -354,9 +355,15 @@ func BenchmarkEq7FixedCost(b *testing.B) {
 // isolates how Store.Search scales with corpus size while the query's
 // result set stays fixed.
 func paddedStore(b *testing.B, filler int) *social.Store {
+	return paddedStoreShards(b, filler, 0)
+}
+
+// paddedStoreShards is paddedStore over a store with an explicit
+// lock-stripe count (0 = the library default).
+func paddedStoreShards(b *testing.B, filler, shards int) *social.Store {
 	b.Helper()
 	spec := social.DefaultCorpusSpec(42)
-	store := social.NewStore()
+	store := social.NewStoreShards(shards)
 	posts, err := social.Generate(spec)
 	if err != nil {
 		b.Fatal(err)
@@ -421,6 +428,95 @@ func BenchmarkStoreSearchTerms(b *testing.B) {
 			}
 			b.ReportMetric(float64(matches), "matches")
 		})
+	}
+}
+
+// mixedPostSeq hands out globally unique suffixes for posts written by
+// the concurrent mixed benchmark: the fixture store persists across
+// b.N calibration runs and -cpu settings, so IDs must never repeat.
+var mixedPostSeq atomic.Int64
+
+// mixedWritePost builds the n-th ingest post of the mixed benchmark.
+// Timestamps advance one day per post, so a stream of writes walks the
+// store's time buckets round-robin — concurrent writers land on
+// different lock stripes — while staying chronological, the common
+// ingest shape (appends keep every posting list sorted without
+// re-sorting).
+func mixedWritePost(n int64) *social.Post {
+	return &social.Post{
+		ID:        fmt.Sprintf("mix-%09d", n),
+		Author:    "mixbench",
+		Text:      "live #mixbench chatter from the fleet",
+		CreatedAt: time.Date(2024, 1, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, int(n)),
+		Region:    social.RegionEurope,
+		Metrics:   social.Metrics{Views: int(n % 1000)},
+	}
+}
+
+// BenchmarkStoreConcurrentMixed is the monitoring daemon's load shape:
+// goroutines alternating ingest (Add) and page queries (Search) over a
+// ≥64k-post corpus. With one lock stripe every write serializes the
+// whole store and pays an O(corpus) index merge; at 8 stripes writers
+// touch 1/8th of the index under 1/8th of the lock footprint, so mixed
+// throughput scales with the shard count (compare ns/op across the
+// shards= sub-benchmarks; BENCH_3.json records the sweep).
+func BenchmarkStoreConcurrentMixed(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		store := paddedStoreShards(b, 56000, shards)
+		corpus := store.Len()
+		b.Run(fmt.Sprintf("corpus=%d/shards=%d", corpus, shards), func(b *testing.B) {
+			ctx := context.Background()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				q := social.Query{AnyTags: []string{"dpfdelete"}, MaxResults: 50}
+				for i := 0; pb.Next(); i++ {
+					if i%2 == 0 {
+						if err := store.Add(mixedWritePost(mixedPostSeq.Add(1))); err != nil {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					page, err := store.Search(ctx, q)
+					if err != nil || page.TotalMatches == 0 {
+						b.Errorf("search: %v (total %d)", err, page.TotalMatches)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreSearchPage pins the streaming-pagination contract:
+// producing one page costs O(page + seek), so per-page ns/op must stay
+// near-flat while the corpus grows 8× around a fixed page size — both
+// for the first page and for a keyset resume from the middle of the
+// listing (the seek path). The pre-shard store materialized every
+// match per page, scaling O(corpus) on this exact workload.
+func BenchmarkStoreSearchPage(b *testing.B) {
+	midCursor := social.EncodeCursor(social.Cursor{
+		CreatedAt: time.Date(2021, 7, 1, 0, 0, 0, 0, time.UTC),
+	})
+	for _, filler := range []int{0, 56000} {
+		store := paddedStore(b, filler)
+		corpus := store.Len()
+		for _, pos := range []struct{ name, token string }{
+			{"first", ""},
+			{"mid", midCursor},
+		} {
+			b.Run(fmt.Sprintf("corpus=%d/page=%s", corpus, pos.name), func(b *testing.B) {
+				ctx := context.Background()
+				q := social.Query{MaxResults: 100, PageToken: pos.token}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					page, err := store.Search(ctx, q)
+					if err != nil || len(page.Posts) != 100 || page.NextToken == "" {
+						b.Fatalf("page: %v (%d posts)", err, len(page.Posts))
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,130 @@
+// Command benchreport converts `go test -bench` output on stdin into a
+// JSON benchmark record on stdout. CI pipes the shard-scaling suite
+// (BenchmarkStoreConcurrentMixed, BenchmarkStoreSearchPage) through it
+// to emit BENCH_3.json, so the perf trajectory of the sharded store is
+// tracked as data rather than prose.
+//
+// Sub-benchmark name components of the form key=value (corpus=64215,
+// shards=8, page=mid) become typed fields; the trailing "-N" the
+// testing package appends under -cpu is parsed into the cpu field
+// (absent suffix means GOMAXPROCS=1).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'StoreConcurrentMixed|StoreSearchPage' \
+//	    -benchtime 200x -cpu 1,4 -benchmem . | benchreport > BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark line. Corpus, Shards and Page are zero/empty
+// when the benchmark name carries no such component.
+type Record struct {
+	Name        string  `json:"name"`
+	Corpus      int     `json:"corpus,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	Page        string  `json:"page,omitempty"`
+	CPU         int     `json:"cpu"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	records, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	var records []Record
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		rec, err := parseName(m[1])
+		if err != nil {
+			return nil, err
+		}
+		if rec.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("iterations of %q: %w", sc.Text(), err)
+		}
+		if rec.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("ns/op of %q: %w", sc.Text(), err)
+		}
+		if m[4] != "" {
+			rec.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			rec.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		records = append(records, rec)
+	}
+	return records, sc.Err()
+}
+
+// parseName splits a benchmark name into the record's typed fields.
+func parseName(name string) (Record, error) {
+	rec := Record{CPU: 1}
+	name = strings.TrimPrefix(name, "Benchmark")
+	// The testing package appends "-N" for GOMAXPROCS=N > 1. Key=value
+	// components keep their digits behind '=', so a trailing dash-number
+	// is always the cpu suffix.
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			rec.CPU = n
+			name = name[:i]
+		}
+	}
+	parts := strings.Split(name, "/")
+	rec.Name = parts[0]
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			rec.Name += "/" + part
+			continue
+		}
+		switch key {
+		case "corpus":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return rec, fmt.Errorf("benchmark %s: corpus %q: %w", name, val, err)
+			}
+			rec.Corpus = n
+		case "shards":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return rec, fmt.Errorf("benchmark %s: shards %q: %w", name, val, err)
+			}
+			rec.Shards = n
+		case "page":
+			rec.Page = val
+		default:
+			rec.Name += "/" + part
+		}
+	}
+	return rec, nil
+}

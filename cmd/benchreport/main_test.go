@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: github.com/psp-framework/psp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStoreConcurrentMixed/corpus=64215/shards=1         	     200	   1207216 ns/op	  260083 B/op	      37 allocs/op
+BenchmarkStoreConcurrentMixed/corpus=64215/shards=8-4       	     200	    169188 ns/op	   36258 B/op	      60 allocs/op
+BenchmarkStoreSearchPage/corpus=8215/page=first             	      50	      6860 ns/op
+BenchmarkStoreSearchPage/corpus=64215/page=mid-4            	      50	      7748.5 ns/op
+PASS
+ok  	github.com/psp-framework/psp	11.685s`
+	records, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("parsed %d records, want 4", len(records))
+	}
+	first := records[0]
+	if first.Name != "StoreConcurrentMixed" || first.Corpus != 64215 || first.Shards != 1 ||
+		first.CPU != 1 || first.Iterations != 200 || first.NsPerOp != 1207216 ||
+		first.BytesPerOp != 260083 || first.AllocsPerOp != 37 {
+		t.Errorf("record 0 = %+v", first)
+	}
+	// The trailing -4 is the GOMAXPROCS suffix, not part of the shard
+	// count.
+	if records[1].Shards != 8 || records[1].CPU != 4 {
+		t.Errorf("cpu suffix misparsed: %+v", records[1])
+	}
+	if records[2].Page != "first" || records[2].CPU != 1 || records[2].BytesPerOp != 0 {
+		t.Errorf("record 2 = %+v", records[2])
+	}
+	if records[3].Page != "mid" || records[3].CPU != 4 || records[3].NsPerOp != 7748.5 {
+		t.Errorf("record 3 = %+v", records[3])
+	}
+}
+
+func TestParseNameWithoutComponents(t *testing.T) {
+	rec, err := parseName("BenchmarkFig7Workflow-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "Fig7Workflow" || rec.CPU != 4 || rec.Corpus != 0 {
+		t.Errorf("rec = %+v", rec)
+	}
+	// Unknown key=value components and plain sub-names stay in the name.
+	rec, err = parseName("BenchmarkX/mode=fast/sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "X/mode=fast/sub" || rec.CPU != 1 {
+		t.Errorf("rec = %+v", rec)
+	}
+}

@@ -14,11 +14,15 @@
 //
 //	pspd [-addr :8484] [-seed 42] [-corpus snapshot.jsonl]
 //	     [-application excavator] [-region EU]
-//	     [-debounce 200ms] [-drain 5s] [-concurrency 0]
+//	     [-debounce 200ms] [-drain 5s] [-concurrency 0] [-shards 0]
 //
 // -corpus seeds the store from a JSON Lines snapshot instead of the
 // generated reference corpus; -application and -region scope the
-// monitored workflow like the psp CLI's sai command.
+// monitored workflow like the psp CLI's sai command. -shards sets the
+// store's lock-stripe count (0 = library default): more shards let
+// concurrent ingest batches commit in parallel and shrink every lock
+// hold to one stripe's share of the index, without changing any
+// result.
 package main
 
 import (
@@ -44,18 +48,19 @@ func main() {
 	debounce := flag.Duration("debounce", 200*time.Millisecond, "quiet period before re-assessment")
 	drain := flag.Duration("drain", 5*time.Second, "shutdown drain timeout")
 	concurrency := flag.Int("concurrency", 0, "workflow query fan-out (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "store lock-stripe count (0 = library default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *corpus, *application, *region, *debounce, *drain, *concurrency); err != nil {
+	if err := run(ctx, *addr, *seed, *corpus, *application, *region, *debounce, *drain, *concurrency, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "pspd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, corpus, application, region string, debounce, drain time.Duration, concurrency int) error {
-	store, err := loadCorpus(seed, corpus)
+func run(ctx context.Context, addr string, seed int64, corpus, application, region string, debounce, drain time.Duration, concurrency, shards int) error {
+	store, err := loadCorpus(seed, corpus, shards)
 	if err != nil {
 		return err
 	}
@@ -84,7 +89,8 @@ func run(ctx context.Context, addr string, seed int64, corpus, application, regi
 		Handler:           psp.NewMonitorAPI(m).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("pspd: monitoring %d posts on %s (seed %d, debounce %s)", store.Len(), addr, seed, debounce)
+	log.Printf("pspd: monitoring %d posts on %s (seed %d, debounce %s, %d store shards)",
+		store.Len(), addr, seed, debounce, store.Shards())
 	if err := psp.ListenAndServeGraceful(runCtx, srv, drain); err != nil {
 		return err
 	}
@@ -152,17 +158,18 @@ func defaultThreats() []*psp.ThreatScenario {
 	}
 }
 
-// loadCorpus builds the store from a snapshot file or the generator.
-func loadCorpus(seed int64, path string) (*psp.SocialStore, error) {
+// loadCorpus builds the store — striped across the requested shard
+// count — from a snapshot file or the generator.
+func loadCorpus(seed int64, path string, shards int) (*psp.SocialStore, error) {
 	if path == "" {
-		return psp.DefaultSocialStore(seed)
+		return psp.DefaultSocialStoreShards(seed, shards)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("open corpus: %w", err)
 	}
 	defer f.Close()
-	store, err := psp.LoadSocialStore(f)
+	store, err := psp.LoadSocialStoreShards(f, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load corpus %s: %w", path, err)
 	}

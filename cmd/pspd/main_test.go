@@ -26,7 +26,7 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, addr, 42, "", "", "", 20*time.Millisecond, time.Second, 0)
+		done <- run(ctx, addr, 42, "", "", "", 20*time.Millisecond, time.Second, 0, 4)
 	}()
 
 	base := "http://" + addr
@@ -91,7 +91,7 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 }
 
 func TestRunRejectsMissingCorpus(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", time.Millisecond, time.Second, 0)
+	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", time.Millisecond, time.Second, 0, 0)
 	if err == nil {
 		t.Fatal("missing corpus accepted")
 	}
@@ -152,7 +152,7 @@ func waitAssessment(t *testing.T, base string, minGeneration int, out any) {
 }
 
 func TestRunRejectsUnknownRegion(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "Europe", time.Millisecond, time.Second, 0)
+	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "Europe", time.Millisecond, time.Second, 0, 0)
 	if err == nil {
 		t.Fatal("unknown region accepted")
 	}

@@ -6,11 +6,13 @@
 // Usage:
 //
 //	sociald [-addr :8384] [-seed 42] [-rate 50] [-burst 100]
-//	        [-corpus snapshot.jsonl] [-dump snapshot.jsonl]
+//	        [-corpus snapshot.jsonl] [-dump snapshot.jsonl] [-shards 0]
 //
 // -corpus loads a JSON Lines snapshot instead of generating the
 // reference corpus; -dump writes the served corpus to a snapshot and
-// exits.
+// exits. -shards sets the store's lock-stripe count (0 = library
+// default) so concurrent search traffic and ingest spread across
+// locks; results are identical at any setting.
 package main
 
 import (
@@ -34,17 +36,18 @@ func main() {
 	burst := flag.Int("burst", 100, "rate limiter burst capacity")
 	corpus := flag.String("corpus", "", "load corpus from a JSON Lines snapshot instead of generating")
 	dump := flag.String("dump", "", "write the corpus to a JSON Lines snapshot and exit")
+	shards := flag.Int("shards", 0, "store lock-stripe count (0 = library default)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *rate, *burst, *corpus, *dump); err != nil {
+	if err := run(ctx, *addr, *seed, *rate, *burst, *corpus, *dump, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "sociald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, rate float64, burst int, corpus, dump string) error {
-	store, err := loadCorpus(seed, corpus)
+func run(ctx context.Context, addr string, seed int64, rate float64, burst int, corpus, dump string, shards int) error {
+	store, err := loadCorpus(seed, corpus, shards)
 	if err != nil {
 		return err
 	}
@@ -60,7 +63,8 @@ func run(ctx context.Context, addr string, seed int64, rate float64, burst int, 
 		Handler:           psp.NewSocialServer(store, limiter).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("sociald: serving %d posts on %s (seed %d)", store.Len(), addr, seed)
+	log.Printf("sociald: serving %d posts on %s (seed %d, %d store shards)",
+		store.Len(), addr, seed, store.Shards())
 	// Drain in-flight searches on SIGINT/SIGTERM instead of dropping
 	// them mid-response; the helper is shared with pspd.
 	if err := psp.ListenAndServeGraceful(ctx, srv, 5*time.Second); err != nil {
@@ -74,17 +78,18 @@ func newLimiter(burst int, rate float64) *psp.RateLimiter {
 	return psp.NewRateLimiter(burst, rate)
 }
 
-// loadCorpus builds the store from a snapshot file or the generator.
-func loadCorpus(seed int64, path string) (*psp.SocialStore, error) {
+// loadCorpus builds the store — striped across the requested shard
+// count — from a snapshot file or the generator.
+func loadCorpus(seed int64, path string, shards int) (*psp.SocialStore, error) {
 	if path == "" {
-		return psp.DefaultSocialStore(seed)
+		return psp.DefaultSocialStoreShards(seed, shards)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("open corpus: %w", err)
 	}
 	defer f.Close()
-	store, err := psp.LoadSocialStore(f)
+	store, err := psp.LoadSocialStoreShards(f, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load corpus %s: %w", path, err)
 	}

@@ -34,13 +34,21 @@
 // The social workflow's platform queries fan out across a bounded
 // worker pool — set Config.Concurrency (default GOMAXPROCS, 1 for
 // strictly sequential) to overlap round trips to a remote platform.
-// Results are deterministic at any setting. The in-process store serves
-// term-filtered queries from an inverted term index, tag unions via a
-// k-way merge of sorted postings, and federated searches
+// Results are deterministic at any setting. The in-process store
+// stripes its corpus across lock shards keyed by CreatedAt time bucket
+// (NewSocialStoreShards; the daemons expose -shards), so concurrent
+// writers commit to different stripes in parallel and every critical
+// section shrinks to one stripe's share of the work, and it serves
+// term-filtered queries from an inverted term index and tag unions via
+// a k-way merge of sorted postings. Federated searches
 // (NewMultiPlatform) query every backend concurrently. Listings page
-// with keyset cursors (resume after a (CreatedAt, ID) key), so
-// pagination stays stable while posts are ingested concurrently; the
-// offset tokens of earlier releases are retired.
+// with keyset cursors (resume after a (CreatedAt, ID) key) and stream:
+// every shard seeks its sorted indices to the cursor by binary search
+// and the page merge stops at MaxResults+1 posts, so a page costs
+// O(page + seek) rather than O(matches), and pagination stays stable
+// while posts are ingested concurrently; the offset tokens of earlier
+// releases are retired. Shard count never changes results — listings
+// are byte-identical at any setting.
 //
 // # Continuous monitoring
 //

@@ -115,6 +115,48 @@ func TestRunSocialParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRunSocialShardCountEquivalence pins the full Fig. 7 workflow to
+// the store's shard count: the lock-striped store must feed the
+// pipeline the exact post stream the single-stripe store does, so the
+// whole SocialResult — index, learned keywords, tunings — is identical
+// at any stripe count.
+func TestRunSocialShardCountEquivalence(t *testing.T) {
+	posts, err := social.Generate(social.DefaultCorpusSpec(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := market.DefaultDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := SocialInput{Threats: parallelTestThreats(), FilterInauthentic: true}
+	var baseline *SocialResult
+	for _, shards := range []int{1, 8} {
+		store := social.NewStoreShards(shards)
+		if err := store.Add(posts...); err != nil {
+			t.Fatal(err)
+		}
+		fw, err := New(Config{Searcher: store, Market: ds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fw.RunSocial(context.Background(), in)
+		if err != nil {
+			t.Fatalf("shards %d: %v", shards, err)
+		}
+		if baseline == nil {
+			baseline = res
+			if len(res.Tunings) == 0 || len(res.Index.Entries) == 0 {
+				t.Fatal("baseline result empty; equivalence test is vacuous")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res, baseline) {
+			t.Errorf("shards %d: SocialResult diverged from single-shard run", shards)
+		}
+	}
+}
+
 // blockingSearcher parks every Search call on the context so a test can
 // observe in-flight fan-out and then cancel it.
 type blockingSearcher struct {

@@ -16,7 +16,11 @@ import (
 // freshness token: invalidation deletes the fill and a re-query creates
 // a new one, so derived memos (graphs, SAI entries, threat tunings)
 // prove their inputs unchanged by holding the fill pointer they were
-// computed from.
+// computed from. The posts slice is owned by the fill: SearchAll
+// accumulates page copies, so the listing aliases no store memory even
+// now that the sharded store streams pages straight off its per-shard
+// indices — fill identity stays a pure function of invalidation, not of
+// store internals.
 type cacheFill struct {
 	matcher social.QueryMatcher // compiled predicate for invalidation
 	posts   []*social.Post

@@ -2,6 +2,7 @@ package social
 
 import (
 	"context"
+	"fmt"
 	"testing"
 )
 
@@ -36,6 +37,27 @@ func BenchmarkStoreAddBatch(b *testing.B) {
 		if err := s.Add(posts...); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStoreAddBatchShards loads the reference corpus batch-wise
+// at several stripe counts: batch ingest splits into one index merge
+// per touched shard, so the sweep shows what striping costs (or saves)
+// on the bulk-load path as opposed to the concurrent mixed workload.
+func BenchmarkStoreAddBatchShards(b *testing.B) {
+	posts, err := Generate(DefaultCorpusSpec(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewStoreShards(shards)
+				if err := s.Add(posts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

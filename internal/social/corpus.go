@@ -211,11 +211,18 @@ func SeedKeywords() []string {
 // DefaultStore generates the reference corpus and loads it into a fresh
 // store.
 func DefaultStore(seed int64) (*Store, error) {
+	return DefaultStoreShards(seed, 0)
+}
+
+// DefaultStoreShards is DefaultStore with an explicit lock-shard count
+// (see NewStoreShards); the daemons' -shards flag feeds through here.
+// The shard count does not affect search results, only concurrency.
+func DefaultStoreShards(seed int64, shards int) (*Store, error) {
 	posts, err := Generate(DefaultCorpusSpec(seed))
 	if err != nil {
 		return nil, err
 	}
-	s := NewStore()
+	s := NewStoreShards(shards)
 	if err := s.Add(posts...); err != nil {
 		return nil, err
 	}

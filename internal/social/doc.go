@@ -10,30 +10,51 @@
 // framework exercises the same remote-service code path as the prototype
 // (pagination, rate limiting, transport errors).
 //
+// Sharding: the Store stripes its corpus across N lock shards keyed by
+// CreatedAt time bucket — bucket b = floor(CreatedAt / one UTC day)
+// lives on shard b mod N (NewStoreShards; NewStore picks
+// DefaultShards). Each shard owns its slice of the time, hashtag and
+// term indices under its own RWMutex, so writers contend only for the
+// stripes their batch's timestamps fall in while search fans out
+// across stripes on a bounded worker set and k-way merges the
+// per-shard streams back into one (CreatedAt, ID) order. Search holds
+// every stripe's read lock while it streams a page, so an in-flight
+// page still delays writers — but only for its O(page + seek)
+// duration, not the O(matches) materialization the monolithic store
+// paid. The shard count never changes a result — listings are
+// byte-identical at any N — it only sets how much of the store a
+// single lock covers.
+//
 // Indexing: Store.Add ingests posts in batches (one index merge per
-// batch rather than a per-post insertion sort) and maintains the time
-// index, the hashtag index and the inverted term index all in
+// touched shard rather than a per-post insertion sort) and maintains
+// the time index, the hashtag index and the inverted term index all in
 // (CreatedAt, ID) posting order. Term-only queries (the paper's
-// target-application filter) intersect posting lists by walking the
-// rarest term's postings, and tag unions k-way merge their sorted
-// postings, so query cost tracks the matching posts instead of the
-// corpus size.
+// target-application filter) walk the rarest term's postings, and tag
+// unions k-way merge their sorted postings, so query cost tracks the
+// matching posts instead of the corpus size.
 //
 // Pagination: listings resume with keyset tokens —
 // "k<unix-nanoseconds>.<base64url(post ID)>", the (CreatedAt, ID) key of
 // the last delivered post (see EncodeCursor). A page picks up strictly
 // after that key, so concurrent Add can neither shift posts across page
 // boundaries (duplicates) nor hide them (skips): every post present when
-// the drain started is delivered exactly once. The offset tokens
-// ("o<offset>") of earlier releases are retired; they addressed a
-// position in a live listing and went stale whenever a write landed
-// before the position. Parsing one now returns a deprecation error.
+// the drain started is delivered exactly once. Pages stream: each shard
+// seeks its sorted postings to the cursor and the Since/Until window by
+// binary search and yields matches lazily, and the merge stops at
+// MaxResults+1 posts — per-page cost is O(page + seek), never a
+// materialized match set. TotalMatches is counted index-side (O(log n)
+// for unfiltered time-window queries). The offset tokens ("o<offset>")
+// of earlier releases are retired; they addressed a position in a live
+// listing and went stale whenever a write landed before the position.
+// Parsing one now returns a deprecation error.
 //
 // Changefeed: Store.Watch delivers every batch accepted by Add to each
 // subscriber exactly once, in insertion order, optionally replaying the
-// stored listing after a keyset cursor first. Replay snapshot and live
-// subscription are taken atomically under the store lock, so the feed
-// has no gap or overlap even under concurrent writers. The continuous
+// stored listing after a keyset cursor first. A store-level sequencer
+// orders batches across shards: Add publishes while still holding its
+// shard write locks, and Watch snapshots every stripe under all shard
+// read locks plus the sequencer, so the feed has no gap or overlap even
+// with writers landing on different shards concurrently. The continuous
 // monitoring subsystem (internal/monitor) tails this feed to re-assess
 // only the affected keyword topics as new posts arrive.
 //

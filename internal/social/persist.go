@@ -47,11 +47,17 @@ func ReadPosts(r io.Reader) ([]*Post, error) {
 
 // LoadStore reads a JSON Lines snapshot into a fresh store.
 func LoadStore(r io.Reader) (*Store, error) {
+	return LoadStoreShards(r, 0)
+}
+
+// LoadStoreShards is LoadStore with an explicit lock-shard count (see
+// NewStoreShards).
+func LoadStoreShards(r io.Reader, shards int) (*Store, error) {
 	posts, err := ReadPosts(r)
 	if err != nil {
 		return nil, err
 	}
-	s := NewStore()
+	s := NewStoreShards(shards)
 	if err := s.Add(posts...); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,269 @@
+package social
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/psp-framework/psp/internal/nlp"
+)
+
+// The store stripes its corpus across N shards keyed by CreatedAt time
+// bucket: bucket b = floor(CreatedAt / shardBucketNanos) lives on shard
+// b mod N. Each shard carries its own lock and its own time, tag and
+// term indices, so writers contend only for the stripe their batch's
+// timestamps fall in, and search fans out across stripes and k-way
+// merges the per-shard streams back into one (CreatedAt, ID) order.
+
+// shardBucketNanos is the width of one CreatedAt time bucket (one UTC
+// day). Posts of the same day always share a shard; consecutive days
+// round-robin across shards, so a corpus spanning weeks spreads evenly
+// at any stripe count.
+const shardBucketNanos = int64(24 * time.Hour)
+
+// bucketOf maps a timestamp to its time bucket. Floor division keeps
+// pre-1970 timestamps (negative UnixNano) in well-defined buckets.
+func bucketOf(t time.Time) int64 {
+	n := t.UnixNano()
+	b := n / shardBucketNanos
+	if n < 0 && n%shardBucketNanos != 0 {
+		b--
+	}
+	return b
+}
+
+// shard is one lock stripe of a Store: the posts of every time bucket
+// assigned to it, indexed exactly like the pre-shard store. byTime,
+// byTag and byTerm keep their posting lists in (CreatedAt, ID) order,
+// so per-shard streams merge across shards without any query-time
+// sort. mu guards every field.
+type shard struct {
+	mu     sync.RWMutex
+	byTime []*Post
+	byTag  map[string][]*Post
+	byTerm map[string][]*Post
+	terms  map[string]map[string]bool // post ID → term set (precomputed)
+}
+
+func newShard() *shard {
+	return &shard{
+		byTag:  make(map[string][]*Post),
+		byTerm: make(map[string][]*Post),
+		terms:  make(map[string]map[string]bool),
+	}
+}
+
+// insertLocked merges a validated, (CreatedAt, ID)-sorted sub-batch
+// into the shard's indices with one merge per touched index. terms[i]
+// is posts[i]'s term set, tokenized by the caller outside any lock.
+// Caller holds the shard write lock.
+func (sh *shard) insertLocked(posts []*Post, terms []map[string]bool) {
+	sh.byTime = mergeSorted(sh.byTime, posts)
+
+	touchedTags := make(map[string]bool)
+	touchedTerms := make(map[string]bool)
+	for i, p := range posts {
+		// Dedupe per post: a repeated hashtag must contribute one
+		// posting, or the post would surface twice in tag queries.
+		postTags := make(map[string]bool)
+		for _, tag := range p.Hashtags() {
+			tag = nlp.Normalize(tag)
+			if postTags[tag] {
+				continue
+			}
+			postTags[tag] = true
+			sh.byTag[tag] = append(sh.byTag[tag], p)
+			touchedTags[tag] = true
+		}
+		sh.terms[p.ID] = terms[i]
+		for term := range terms[i] {
+			sh.byTerm[term] = append(sh.byTerm[term], p)
+			touchedTerms[term] = true
+		}
+	}
+	for tag := range touchedTags {
+		restoreOrder(sh.byTag[tag])
+	}
+	for term := range touchedTerms {
+		restoreOrder(sh.byTerm[term])
+	}
+}
+
+// hasAllTerms reports whether the post carries every term. Caller holds
+// at least the shard read lock.
+func (sh *shard) hasAllTerms(id string, must []string) bool {
+	terms := sh.terms[id]
+	for _, m := range must {
+		if !terms[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// timeBounds narrows a (CreatedAt, ID)-sorted posting list to the
+// [since, until) query window by binary search, so a bounded query
+// never scans postings outside its window — the window cost is
+// O(log postings) instead of a full-list scan.
+func timeBounds(plist []*Post, since, until time.Time) (lo, hi int) {
+	lo, hi = 0, len(plist)
+	if !since.IsZero() {
+		lo = sort.Search(len(plist), func(i int) bool { return !plist[i].CreatedAt.Before(since) })
+	}
+	if !until.IsZero() {
+		hi = sort.Search(len(plist), func(i int) bool { return !plist[i].CreatedAt.Before(until) })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// shardIter lazily yields one shard's query matches in (CreatedAt, ID)
+// order, strictly after the seek cursor. It is the streaming half of
+// the sharded search: the store pulls MaxResults+1 posts off the
+// merged shard streams and stops, so producing a page costs
+// O(page + seek) rather than O(matches). Sources reuse store.go's
+// mergeSource/mergeHeap posting-list heap, with each source's plist
+// pre-narrowed to the query window. The shard read lock must be held
+// for the iterator's whole lifetime.
+type shardIter struct {
+	single  mergeSource // fast path: zero or one source, no heap
+	h       mergeHeap   // ≥2 sources: lazy k-way union
+	useHeap bool
+	keep    func(*Post) bool // residual filter; nil keeps everything
+	last    *Post            // dedup guard across overlapping tag lists
+}
+
+// next returns the iterator's next match, or nil when exhausted.
+func (it *shardIter) next() *Post {
+	for {
+		var p *Post
+		if it.useHeap {
+			if len(it.h) == 0 {
+				return nil
+			}
+			src := &it.h[0]
+			p = src.plist[src.pos]
+			if src.pos+1 < len(src.plist) {
+				src.pos++
+				heap.Fix(&it.h, 0)
+			} else {
+				heap.Pop(&it.h)
+			}
+		} else {
+			if it.single.pos >= len(it.single.plist) {
+				return nil
+			}
+			p = it.single.plist[it.single.pos]
+			it.single.pos++
+		}
+		// A post carrying several queried tags appears in multiple
+		// source lists; equal heads surface back to back in the merge,
+		// so one-deep memory dedupes the union.
+		if p == it.last {
+			continue
+		}
+		it.last = p
+		if it.keep != nil && !it.keep(p) {
+			continue
+		}
+		return p
+	}
+}
+
+// matchIter builds the shard's lazy match stream for a query. The
+// candidate-set preference mirrors the pre-shard matchLocked — union
+// of tag postings, else the rarest must-term's postings, else the time
+// index — but every candidate list is narrowed to the query window AND
+// the keyset cursor by binary search before any post is touched.
+// cur == nil starts at the top of the window. Caller holds at least
+// the shard read lock and must keep holding it while iterating.
+func (sh *shard) matchIter(q *Query, tags, must []string, cur *Cursor) *shardIter {
+	it := &shardIter{}
+
+	var lists [][]*Post
+	switch {
+	case len(tags) > 0:
+		for _, tag := range tags {
+			if plist := sh.byTag[tag]; len(plist) > 0 {
+				lists = append(lists, plist)
+			}
+		}
+	case len(must) > 0:
+		// Walk the rarest term's postings; the residual filter proves
+		// the remaining terms, so cost tracks the rarest term, not the
+		// corpus.
+		shortest := -1
+		for i, m := range must {
+			plist, ok := sh.byTerm[m]
+			if !ok || len(plist) == 0 {
+				return it // a missing term matches nothing in this shard
+			}
+			if shortest < 0 || len(plist) < len(sh.byTerm[must[shortest]]) {
+				shortest = i
+			}
+		}
+		lists = append(lists, sh.byTerm[must[shortest]])
+	default:
+		if len(sh.byTime) > 0 {
+			lists = append(lists, sh.byTime)
+		}
+	}
+
+	srcs := make([]mergeSource, 0, len(lists))
+	for _, plist := range lists {
+		lo, hi := timeBounds(plist, q.Since, q.Until)
+		if cur != nil {
+			// Keyset seek: resume strictly after the cursor key.
+			if c := sort.Search(len(plist), func(i int) bool { return cur.Before(plist[i]) }); c > lo {
+				lo = c
+			}
+		}
+		if lo < hi {
+			srcs = append(srcs, mergeSource{plist: plist[lo:hi]})
+		}
+	}
+	switch len(srcs) {
+	case 0: // zero-valued single source is already exhausted
+	case 1:
+		// Like mergeKSorted's single-list fast path: one source needs
+		// no heap, the narrowed list is streamed directly.
+		it.single = srcs[0]
+	default:
+		it.h = mergeHeap(srcs)
+		heap.Init(&it.h)
+		it.useHeap = true
+	}
+
+	region := q.Region
+	needTerms := len(must) > 0
+	if region != "" || needTerms {
+		it.keep = func(p *Post) bool {
+			if region != "" && p.Region != region {
+				return false
+			}
+			return !needTerms || sh.hasAllTerms(p.ID, must)
+		}
+	}
+	return it
+}
+
+// countMatches returns the shard's total query matches. TotalMatches
+// is cursor-independent, so the count walks the full window: O(log n)
+// by bound subtraction on the unfiltered time index, a walk of the
+// narrowed candidate postings otherwise — never a materialized slice.
+// Caller holds at least the shard read lock.
+func (sh *shard) countMatches(q *Query, tags, must []string) int {
+	if len(tags) == 0 && len(must) == 0 && q.Region == "" {
+		lo, hi := timeBounds(sh.byTime, q.Since, q.Until)
+		return hi - lo
+	}
+	it := sh.matchIter(q, tags, must, nil)
+	n := 0
+	for it.next() != nil {
+		n++
+	}
+	return n
+}

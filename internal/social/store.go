@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -184,37 +185,91 @@ type Searcher interface {
 	Search(ctx context.Context, q Query) (*Page, error)
 }
 
-// Store is an in-memory post store with hashtag, term and time indices.
-// It is safe for concurrent use.
+// Store is an in-memory post store with hashtag, term and time indices,
+// striped across lock shards keyed by CreatedAt time bucket (see
+// shard.go for the stripe layout). It is safe for concurrent use.
+// Striping buys two things: writers to different time buckets commit
+// concurrently instead of serializing store-wide, and every critical
+// section shrinks — a write merges 1/N of the index, a read holds its
+// locks for O(page + seek) streaming instead of an O(matches)
+// materialization. Search still holds every stripe's read lock while
+// it streams a page (readers never block readers, but an in-flight
+// page delays writers for its — now short — duration; see ROADMAP for
+// the copy-on-write follow-up).
+//
+// Lock order (nested acquisitions always follow it): shard locks in
+// ascending stripe index, then the changefeed sequencer wmu, then a
+// subscriber's own lock. idmu nests inside nothing.
 type Store struct {
-	mu    sync.RWMutex
-	posts map[string]*Post
-	// byTime, byTag and byTerm all keep their posting lists in
-	// (CreatedAt, ID) order, so tag unions k-way merge and term
-	// intersections walk postings without any query-time sort.
-	byTime []*Post
-	byTag  map[string][]*Post
-	byTerm map[string][]*Post
-	terms  map[string]map[string]bool // post ID → term set (precomputed)
+	shards []*shard
 
-	// subs are the live Watch subscribers; inserted batches are handed
-	// to every subscriber inside the insert critical section, so the
-	// changefeed neither misses nor duplicates posts relative to a
-	// registration-time snapshot.
+	// idmu guards the global ID → post registry: duplicate detection,
+	// Post and Len. Index maintenance happens under the shard locks.
+	idmu  sync.RWMutex
+	posts map[string]*Post
+
+	// wmu is the store-level changefeed sequencer: batch publication
+	// and subscriber registration serialize through it. Add publishes
+	// while still holding its shard write locks, so every subscriber
+	// observes batches in one global order, gap- and overlap-free
+	// against its registration-time snapshot.
+	wmu    sync.Mutex
 	subs   map[uint64]*subscriber
 	subSeq uint64
 }
 
 var _ Searcher = (*Store)(nil)
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
+// DefaultShards is the stripe count NewStore uses. Search results are
+// independent of the shard count; it only sets how many writers can
+// make progress concurrently.
+const DefaultShards = 8
+
+// NewStore returns an empty store striped across DefaultShards shards.
+func NewStore() *Store { return NewStoreShards(0) }
+
+// NewStoreShards returns an empty store striped across n lock shards
+// keyed by CreatedAt time bucket; n ≤ 0 selects DefaultShards. Any n
+// yields byte-identical search results — the shard count trades write
+// concurrency against per-query fan-out width.
+func NewStoreShards(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Store{
+		shards: make([]*shard, n),
 		posts:  make(map[string]*Post),
-		byTag:  make(map[string][]*Post),
-		byTerm: make(map[string][]*Post),
-		terms:  make(map[string]map[string]bool),
 		subs:   make(map[uint64]*subscriber),
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	return s
+}
+
+// Shards returns the store's stripe count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor maps a timestamp to its stripe index.
+func (s *Store) shardFor(t time.Time) int {
+	i := int(bucketOf(t) % int64(len(s.shards)))
+	if i < 0 {
+		i += len(s.shards)
+	}
+	return i
+}
+
+// rlockAll acquires every shard read lock in ascending stripe order —
+// the store's lock order, shared with Add's write-side acquisition.
+func (s *Store) rlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
 	}
 }
 
@@ -239,11 +294,20 @@ func (s *Store) Add(posts ...*Post) error {
 // AddCount is Add reporting how many posts of this batch were inserted
 // — the count is exact under concurrent writers, unlike diffing Len
 // around the call.
+//
+// Visibility: IDs commit to the global registry (duplicate detection,
+// Post, Len) before the shard indices commit, so under a concurrent
+// writer a post can briefly be visible to Post/Len — and reject a
+// duplicate — while Search does not return it yet. Searchability of an
+// accepted post is guaranteed once its Add (or, for a rejected
+// duplicate, the winning Add of a post with the same timestamp)
+// returns; the pre-shard store's stricter registered-implies-
+// searchable atomicity would require one store-wide write lock, which
+// the stripes exist to avoid.
 func (s *Store) AddCount(posts ...*Post) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var err error
 	batch := make([]*Post, 0, len(posts))
+	s.idmu.Lock()
 	for _, p := range posts {
 		if p == nil {
 			// Guard remote ingest: a JSON array element of null decodes
@@ -259,50 +323,53 @@ func (s *Store) AddCount(posts ...*Post) (int, error) {
 			break
 		}
 		s.posts[p.ID] = p
-		s.terms[p.ID] = p.Terms()
 		batch = append(batch, p)
 	}
-	s.insertBatchLocked(batch)
+	s.idmu.Unlock()
+	s.insertBatch(batch)
 	return len(batch), err
 }
 
-// insertBatchLocked merges a validated batch into the time, tag and
-// term indices with one sort per touched index, then publishes the batch
-// to every Watch subscriber.
-func (s *Store) insertBatchLocked(batch []*Post) {
+// insertBatch distributes a validated batch across its time-bucket
+// shards and publishes it to the changefeed. The whole batch commits
+// under all of its shard write locks (acquired in ascending stripe
+// order), with the publication sequenced under wmu inside that window,
+// so searches and changefeed registrations observe the batch
+// atomically — never a torn prefix.
+func (s *Store) insertBatch(batch []*Post) {
 	if len(batch) == 0 {
 		return
 	}
 	sort.Slice(batch, func(i, j int) bool { return postLess(batch[i], batch[j]) })
-	s.byTime = mergeSorted(s.byTime, batch)
 
-	touchedTags := make(map[string]bool)
-	touchedTerms := make(map[string]bool)
+	// Tokenize outside the locks: term-set construction is the
+	// expensive part of ingest and needs no store state. Sub-batches
+	// inherit the batch's (CreatedAt, ID) order.
+	n := len(s.shards)
+	subPosts := make([][]*Post, n)
+	subTerms := make([][]map[string]bool, n)
 	for _, p := range batch {
-		// Dedupe per post: a repeated hashtag must contribute one
-		// posting, or the post would surface twice in tag queries.
-		postTags := make(map[string]bool)
-		for _, tag := range p.Hashtags() {
-			tag = nlp.Normalize(tag)
-			if postTags[tag] {
-				continue
-			}
-			postTags[tag] = true
-			s.byTag[tag] = append(s.byTag[tag], p)
-			touchedTags[tag] = true
-		}
-		for term := range s.terms[p.ID] {
-			s.byTerm[term] = append(s.byTerm[term], p)
-			touchedTerms[term] = true
+		i := s.shardFor(p.CreatedAt)
+		subPosts[i] = append(subPosts[i], p)
+		subTerms[i] = append(subTerms[i], p.Terms())
+	}
+
+	for i := 0; i < n; i++ {
+		if subPosts[i] != nil {
+			s.shards[i].mu.Lock()
 		}
 	}
-	for tag := range touchedTags {
-		restoreOrder(s.byTag[tag])
+	for i := 0; i < n; i++ {
+		if subPosts[i] != nil {
+			s.shards[i].insertLocked(subPosts[i], subTerms[i])
+		}
 	}
-	for term := range touchedTerms {
-		restoreOrder(s.byTerm[term])
+	s.publishSequenced(batch)
+	for i := n - 1; i >= 0; i-- {
+		if subPosts[i] != nil {
+			s.shards[i].mu.Unlock()
+		}
 	}
-	s.publishLocked(batch)
 }
 
 // restoreOrder re-sorts a posting list only when appends broke its
@@ -394,15 +461,15 @@ func mergeSorted(a, b []*Post) []*Post {
 
 // Len returns the number of stored posts.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.idmu.RLock()
+	defer s.idmu.RUnlock()
 	return len(s.posts)
 }
 
 // Post returns the post with the given ID, or nil.
 func (s *Store) Post(id string) *Post {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.idmu.RLock()
+	defer s.idmu.RUnlock()
 	return s.posts[id]
 }
 
@@ -418,102 +485,159 @@ const MaxPageSize = 500
 // keyset tokens — see EncodeCursor — so a listing drained page by page
 // while writers Add posts concurrently never skips or repeats a post
 // that was present when the drain started.
+//
+// Pages stream: every shard seeks its sorted indices to the cursor by
+// binary search and yields matches lazily, the per-shard streams k-way
+// merge in (CreatedAt, ID) order, and the merge stops after
+// MaxResults+1 posts — so producing a page costs O(page + seek), not
+// O(matches). TotalMatches is counted index-side without materializing
+// (O(log corpus) for unfiltered time-window queries, a walk of the
+// narrowed candidate postings otherwise).
 func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
-	matches, err := s.matchLocked(q)
-	if err != nil {
-		return nil, err
+	var cur *Cursor
+	if q.PageToken != "" {
+		c, err := ParseCursor(q.PageToken)
+		if err != nil {
+			return nil, err
+		}
+		cur = &c
 	}
-	return PagePosts(matches, q.MaxResults, q.PageToken)
-}
-
-// matchLocked evaluates the query filters and returns all matches in
-// (CreatedAt, ID) order. Caller holds at least the read lock.
-func (s *Store) matchLocked(q Query) ([]*Post, error) {
+	size := resolvePageSize(q.MaxResults)
 	tags := q.normalizedTags()
 	must := q.normalizedMustTerms()
 
-	// Candidate set: union of tag postings, intersection of term
-	// postings, or the full time index, in that preference order. The
-	// term-index path already guarantees every candidate carries all
-	// must-terms, so the per-post term check below is skipped.
-	var candidates []*Post
-	termIndexed := false
-	switch {
-	case len(tags) > 0:
-		lists := make([][]*Post, 0, len(tags))
-		for _, tag := range tags {
-			if plist := s.byTag[tag]; len(plist) > 0 {
-				lists = append(lists, plist)
-			}
+	s.rlockAll()
+	defer s.runlockAll()
+
+	// Per-shard seek + count fan out across a bounded worker set; the
+	// page merge below then pulls the pre-seeked streams serially. An
+	// unfiltered time-window query does a few binary searches per shard
+	// (count by bound subtraction) — there the goroutine handoff would
+	// dwarf the work, so it runs inline.
+	iters := make([]*shardIter, len(s.shards))
+	counts := make([]int, len(s.shards))
+	perShard := func(i int) {
+		iters[i] = s.shards[i].matchIter(&q, tags, must, cur)
+		counts[i] = s.shards[i].countMatches(&q, tags, must)
+	}
+	if len(tags) == 0 && len(must) == 0 && q.Region == "" {
+		for i := range s.shards {
+			perShard(i)
 		}
-		candidates = mergeKSorted(lists)
-	case len(must) > 0:
-		candidates = s.intersectTermsLocked(must)
-		termIndexed = true
-	default:
-		candidates = s.byTime
+	} else {
+		s.forEachShard(perShard)
 	}
 
-	var out []*Post
-	for _, p := range candidates {
-		if q.Region != "" && p.Region != q.Region {
-			continue
-		}
-		if !q.Since.IsZero() && p.CreatedAt.Before(q.Since) {
-			continue
-		}
-		if !q.Until.IsZero() && !p.CreatedAt.Before(q.Until) {
-			continue
-		}
-		if len(must) > 0 && !termIndexed && !s.hasAllTermsLocked(p.ID, must) {
-			continue
-		}
-		out = append(out, p)
+	page := &Page{}
+	for _, c := range counts {
+		page.TotalMatches += c
 	}
-	return out, nil
+	posts := mergeShardStreams(iters, size+1)
+	if len(posts) > size {
+		posts = posts[:size]
+		page.NextToken = EncodeCursor(CursorOf(posts[len(posts)-1]))
+	}
+	if len(posts) > 0 {
+		page.Posts = posts
+	}
+	return page, nil
 }
 
-// intersectTermsLocked intersects the posting lists of all terms by
-// walking the shortest list and membership-testing the rest, so the
-// cost is proportional to the rarest term's postings rather than the
-// corpus size. The result keeps (CreatedAt, ID) order because posting
-// lists are maintained sorted.
-func (s *Store) intersectTermsLocked(must []string) []*Post {
-	shortest := -1
-	for i, m := range must {
-		plist, ok := s.byTerm[m]
-		if !ok || len(plist) == 0 {
-			return nil
+// forEachShard runs fn for every stripe index on a bounded worker set
+// (the internal/core pool idiom): at most GOMAXPROCS shards in flight.
+// With one shard or no parallelism to exploit it stays inline, so
+// single-stripe stores pay no goroutine overhead.
+func (s *Store) forEachShard(fn func(i int)) {
+	n := len(s.shards)
+	limit := runtime.GOMAXPROCS(0)
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		if shortest < 0 || len(plist) < len(s.byTerm[must[shortest]]) {
-			shortest = i
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, limit)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// streamHead is one shard stream's buffered front post.
+type streamHead struct {
+	p  *Post
+	it *shardIter
+}
+
+// streamHeap orders live shard streams by their head post.
+type streamHeap []streamHead
+
+func (h streamHeap) Len() int           { return len(h) }
+func (h streamHeap) Less(i, j int) bool { return postLess(h[i].p, h[j].p) }
+func (h streamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x any)        { *h = append(*h, x.(streamHead)) }
+func (h *streamHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// mergeShardStreams k-way merges the per-shard match streams in
+// (CreatedAt, ID) order, pulling at most limit posts. Shards partition
+// the corpus, so no cross-stream dedup is needed, and a single live
+// stream drains directly without the heap.
+func mergeShardStreams(iters []*shardIter, limit int) []*Post {
+	if limit <= 0 {
+		return nil
+	}
+	h := make(streamHeap, 0, len(iters))
+	for _, it := range iters {
+		if p := it.next(); p != nil {
+			h = append(h, streamHead{p: p, it: it})
 		}
 	}
-	base := s.byTerm[must[shortest]]
-	out := make([]*Post, 0, len(base))
-	for _, p := range base {
-		if s.hasAllTermsLocked(p.ID, must) {
+	if len(h) == 0 {
+		return nil
+	}
+	if len(h) == 1 {
+		out := make([]*Post, 0, limit)
+		out = append(out, h[0].p)
+		for len(out) < limit {
+			p := h[0].it.next()
+			if p == nil {
+				break
+			}
 			out = append(out, p)
+		}
+		return out
+	}
+	heap.Init(&h)
+	out := make([]*Post, 0, limit)
+	for len(out) < limit && len(h) > 0 {
+		out = append(out, h[0].p)
+		if p := h[0].it.next(); p != nil {
+			h[0].p = p
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
 		}
 	}
 	return out
-}
-
-// hasAllTermsLocked reports whether the post carries every term.
-func (s *Store) hasAllTermsLocked(id string, must []string) bool {
-	terms := s.terms[id]
-	for _, m := range must {
-		if !terms[m] {
-			return false
-		}
-	}
-	return true
 }
 
 // maxSearchPages bounds SearchAll drains (2000 pages × the 500-post

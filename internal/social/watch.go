@@ -38,14 +38,33 @@ func (sub *subscriber) enqueue(posts []*Post) {
 	}
 }
 
-// publishLocked hands an inserted batch (already (CreatedAt, ID)-sorted)
-// to every subscriber. Caller holds the store write lock, so delivery
-// order equals insertion order and registration snapshots stay
-// gap-free.
-func (s *Store) publishLocked(batch []*Post) {
+// publishSequenced hands an inserted batch (already (CreatedAt, ID)-
+// sorted) to every subscriber under the store-level sequencer. The
+// caller still holds the batch's shard write locks, so relative to any
+// Watch registration — which holds every shard read lock while it
+// snapshots and registers — the insert and its publication are one
+// atomic event: delivery order equals commit order across all shards,
+// and registration snapshots stay gap- and overlap-free.
+func (s *Store) publishSequenced(batch []*Post) {
+	s.wmu.Lock()
 	for _, sub := range s.subs {
 		sub.enqueue(batch)
 	}
+	s.wmu.Unlock()
+}
+
+// mergeOwned k-way merges sorted, disjoint shard suffixes into one
+// slice the caller owns. (mergeKSorted's single-list fast path returns
+// an alias into shard memory, which a subscriber queue must not hold —
+// hence the explicit copy.)
+func mergeOwned(lists [][]*Post) []*Post {
+	if len(lists) == 0 {
+		return nil
+	}
+	if len(lists) == 1 {
+		return append([]*Post(nil), lists[0]...)
+	}
+	return mergeKSorted(lists)
 }
 
 // Watch subscribes to the store's changefeed: every batch of posts
@@ -67,18 +86,31 @@ func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
 	out := make(chan []*Post, buffer)
 	sub := &subscriber{notify: make(chan struct{}, 1)}
 
-	s.mu.Lock()
+	// Atomic snapshot + registration across all stripes: hold every
+	// shard read lock (ascending, the store's lock order) plus the
+	// changefeed sequencer. Because Add publishes while still holding
+	// its shard write locks, any batch either committed before this
+	// window (it is in the replay snapshot and was published only to
+	// earlier subscribers) or starts after it (it reaches this
+	// subscriber live) — never both, at any shard count.
+	s.rlockAll()
+	s.wmu.Lock()
 	if opts.After != nil {
 		c := *opts.After
-		i := sort.Search(len(s.byTime), func(i int) bool { return c.Before(s.byTime[i]) })
-		if i < len(s.byTime) {
-			sub.pending = append(sub.pending, s.byTime[i:]...)
+		suffixes := make([][]*Post, 0, len(s.shards))
+		for _, sh := range s.shards {
+			i := sort.Search(len(sh.byTime), func(i int) bool { return c.Before(sh.byTime[i]) })
+			if i < len(sh.byTime) {
+				suffixes = append(suffixes, sh.byTime[i:])
+			}
 		}
+		sub.pending = mergeOwned(suffixes)
 	}
 	id := s.subSeq
 	s.subSeq++
 	s.subs[id] = sub
-	s.mu.Unlock()
+	s.wmu.Unlock()
+	s.runlockAll()
 
 	// Unconditional non-blocking kick: concurrent Adds may already have
 	// filled the capacity-1 notify channel (and appended to pending), so
@@ -96,9 +128,9 @@ func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
 // subscription context ends.
 func (s *Store) deliver(ctx context.Context, id uint64, sub *subscriber, out chan<- []*Post) {
 	defer func() {
-		s.mu.Lock()
+		s.wmu.Lock()
 		delete(s.subs, id)
-		s.mu.Unlock()
+		s.wmu.Unlock()
 		close(out)
 	}()
 	for {

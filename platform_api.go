@@ -68,12 +68,30 @@ const (
 	RegionOther        = social.RegionOther
 )
 
+// SocialDefaultShards is the lock-stripe count a store created without
+// an explicit shard count uses. Stores stripe their corpus across
+// shards keyed by CreatedAt time bucket; search results are identical
+// at any stripe count — sharding only sets how many writers and
+// readers can make progress concurrently.
+const SocialDefaultShards = social.DefaultShards
+
 // NewSocialStore returns an empty post store.
 func NewSocialStore() *SocialStore { return social.NewStore() }
+
+// NewSocialStoreShards returns an empty post store striped across n
+// lock shards (n ≤ 0 selects SocialDefaultShards); the daemons' -shards
+// flag maps onto this.
+func NewSocialStoreShards(n int) *SocialStore { return social.NewStoreShards(n) }
 
 // DefaultSocialStore generates the reference corpus (calibrated to the
 // paper's case studies) into a fresh store.
 func DefaultSocialStore(seed int64) (*SocialStore, error) { return social.DefaultStore(seed) }
+
+// DefaultSocialStoreShards is DefaultSocialStore with an explicit
+// lock-shard count.
+func DefaultSocialStoreShards(seed int64, shards int) (*SocialStore, error) {
+	return social.DefaultStoreShards(seed, shards)
+}
 
 // DefaultCorpusSpec returns the reference corpus specification.
 func DefaultCorpusSpec(seed int64) CorpusSpec { return social.DefaultCorpusSpec(seed) }
@@ -130,6 +148,12 @@ func ReadSocialPosts(r io.Reader) ([]*Post, error) { return social.ReadPosts(r) 
 
 // LoadSocialStore reads a JSON Lines snapshot into a fresh store.
 func LoadSocialStore(r io.Reader) (*SocialStore, error) { return social.LoadStore(r) }
+
+// LoadSocialStoreShards is LoadSocialStore with an explicit lock-shard
+// count.
+func LoadSocialStoreShards(r io.Reader, shards int) (*SocialStore, error) {
+	return social.LoadStoreShards(r, shards)
+}
 
 // SAI types, re-exported from the sai engine.
 type (
