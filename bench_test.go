@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -484,6 +485,125 @@ func BenchmarkStoreConcurrentMixed(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkStoreReadUnderWrite measures search latency while a
+// concurrent writer commits bursts non-stop — the read-dominated
+// monitoring shape with ingest trickling in. The copy-on-write store
+// serves every search from an immutable snapshot, so read latency must
+// stay flat no matter how long the writer holds its stripe mutexes;
+// the PR 3 locked store stalled each search behind the in-flight
+// commit (compare BENCH_4.json's locked-baseline records). Beyond the
+// mean, the p50-ns/p99-ns metrics expose the tail, where lock
+// convoying shows first.
+func BenchmarkStoreReadUnderWrite(b *testing.B) {
+	store := paddedStoreShards(b, 56000, 8)
+	corpus := store.Len()
+	b.Run(fmt.Sprintf("corpus=%d/shards=%d", corpus, 8), func(b *testing.B) {
+		ctx := context.Background()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var stopOnce sync.Once
+		// Deferred so a b.Fatalf below cannot leak the writer into the
+		// rest of the bench binary.
+		stopWriter := func() { stopOnce.Do(func() { close(stop); wg.Wait() }) }
+		defer stopWriter()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// 256-post bursts walking consecutive day buckets: every
+				// commit spans several stripes, like fleet ingest.
+				burst := make([]*social.Post, 256)
+				for j := range burst {
+					burst[j] = mixedWritePost(mixedPostSeq.Add(1))
+				}
+				if err := store.Add(burst...); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		q := social.Query{AnyTags: []string{"dpfdelete"}, MaxResults: 50}
+		lats := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			page, err := store.Search(ctx, q)
+			lats = append(lats, time.Since(t0))
+			if err != nil || page.TotalMatches == 0 {
+				b.Fatalf("search: %v (total %d)", err, page.TotalMatches)
+			}
+		}
+		b.StopTimer()
+		stopWriter()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50-ns")
+		b.ReportMetric(float64(lats[len(lats)*99/100].Nanoseconds()), "p99-ns")
+	})
+}
+
+// windowStore builds a uniform 90-day corpus (720 posts/day ≈ 64k) on a
+// 16-stripe store for the pruning benchmark.
+func windowStore(b *testing.B) *social.Store {
+	b.Helper()
+	store := social.NewStoreShards(16)
+	batch := make([]*social.Post, 0, 90*720)
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	for day := 0; day < 90; day++ {
+		for k := 0; k < 720; k++ {
+			batch = append(batch, &social.Post{
+				ID:        fmt.Sprintf("win-%02d-%04d", day, k),
+				Author:    "fleet",
+				Text:      "telemetry #fleetwatch chatter",
+				CreatedAt: base.AddDate(0, 0, day).Add(time.Duration(k) * 2 * time.Minute),
+				Region:    social.RegionEurope,
+				Metrics:   social.Metrics{Views: k},
+			})
+		}
+	}
+	if err := store.Add(batch...); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// BenchmarkStoreSearchWindow pins window→stripe pruning: on a 90-day
+// corpus at 16 stripes, a 1-day window maps to at most 2 time buckets
+// and therefore visits at most 2 stripes — the visited-stripe counter
+// is reported per op — while the unbounded listing fans out to all 16.
+// The monitor's delta queries are exactly the 1-day shape.
+func BenchmarkStoreSearchWindow(b *testing.B) {
+	store := windowStore(b)
+	day := time.Date(2024, 4, 15, 0, 0, 0, 0, time.UTC)
+	for _, win := range []struct {
+		name         string
+		since, until time.Time
+	}{
+		{"1d", day, day.AddDate(0, 0, 1)},
+		{"7d", day, day.AddDate(0, 0, 7)},
+		{"all", time.Time{}, time.Time{}},
+	} {
+		b.Run(fmt.Sprintf("shards=%d/window=%s", 16, win.name), func(b *testing.B) {
+			ctx := context.Background()
+			q := social.Query{Since: win.since, Until: win.until, MaxResults: 100}
+			visits0 := store.SearchShardVisits()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page, err := store.Search(ctx, q)
+				if err != nil || len(page.Posts) != 100 {
+					b.Fatalf("windowed page: %v (%d posts)", err, len(page.Posts))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.SearchShardVisits()-visits0)/float64(b.N), "stripe-visits/op")
 		})
 	}
 }

@@ -1,13 +1,15 @@
 // Command benchreport converts `go test -bench` output on stdin into a
 // JSON benchmark record on stdout. CI pipes the shard-scaling suite
-// (BenchmarkStoreConcurrentMixed, BenchmarkStoreSearchPage) through it
-// to emit BENCH_3.json, so the perf trajectory of the sharded store is
-// tracked as data rather than prose.
+// (BenchmarkStoreConcurrentMixed, BenchmarkStoreSearchPage → BENCH_3.json)
+// and the lock-free read suite (BenchmarkStoreReadUnderWrite,
+// BenchmarkStoreSearchWindow → BENCH_4.json) through it, so the perf
+// trajectory of the store is tracked as data rather than prose.
 //
 // Sub-benchmark name components of the form key=value (corpus=64215,
 // shards=8, page=mid) become typed fields; the trailing "-N" the
 // testing package appends under -cpu is parsed into the cpu field
-// (absent suffix means GOMAXPROCS=1).
+// (absent suffix means GOMAXPROCS=1). Custom b.ReportMetric units
+// (p50-ns, stripe-visits/op, ...) land in the metrics map.
 //
 // Usage:
 //
@@ -20,27 +22,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"regexp"
 	"strconv"
 	"strings"
 )
 
 // Record is one benchmark line. Corpus, Shards and Page are zero/empty
-// when the benchmark name carries no such component.
+// when the benchmark name carries no such component; Metrics is nil
+// when the benchmark reports no custom metrics.
 type Record struct {
-	Name        string  `json:"name"`
-	Corpus      int     `json:"corpus,omitempty"`
-	Shards      int     `json:"shards,omitempty"`
-	Page        string  `json:"page,omitempty"`
-	CPU         int     `json:"cpu"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Corpus      int                `json:"corpus,omitempty"`
+	Shards      int                `json:"shards,omitempty"`
+	Page        string             `json:"page,omitempty"`
+	CPU         int                `json:"cpu"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
-
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	records, err := parse(bufio.NewScanner(os.Stdin))
@@ -60,26 +60,43 @@ func main() {
 	}
 }
 
+// parse extracts benchmark lines: a name, an iteration count, then
+// (value, unit) measurement pairs. Known units fill the typed fields;
+// anything else — the custom b.ReportMetric units — lands in Metrics.
 func parse(sc *bufio.Scanner) ([]Record, error) {
 	var records []Record
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") ||
+			// A measurement tail is (value, unit) pairs including ns/op.
+			len(fields)%2 != 0 || fields[3] != "ns/op" {
 			continue
 		}
-		rec, err := parseName(m[1])
+		rec, err := parseName(fields[0])
 		if err != nil {
 			return nil, err
 		}
-		if rec.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+		if rec.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
 			return nil, fmt.Errorf("iterations of %q: %w", sc.Text(), err)
 		}
-		if rec.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
-			return nil, fmt.Errorf("ns/op of %q: %w", sc.Text(), err)
-		}
-		if m[4] != "" {
-			rec.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			rec.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("measurement %q of %q: %w", fields[i], sc.Text(), err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = val
+			case "B/op":
+				rec.BytesPerOp = int64(val)
+			case "allocs/op":
+				rec.AllocsPerOp = int64(val)
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = make(map[string]float64)
+				}
+				rec.Metrics[unit] = val
+			}
 		}
 		records = append(records, rec)
 	}

@@ -15,14 +15,16 @@ BenchmarkStoreConcurrentMixed/corpus=64215/shards=1         	     200	   1207216
 BenchmarkStoreConcurrentMixed/corpus=64215/shards=8-4       	     200	    169188 ns/op	   36258 B/op	      60 allocs/op
 BenchmarkStoreSearchPage/corpus=8215/page=first             	      50	      6860 ns/op
 BenchmarkStoreSearchPage/corpus=64215/page=mid-4            	      50	      7748.5 ns/op
+BenchmarkStoreReadUnderWrite/corpus=64215/shards=8-4        	     200	     12345 ns/op	      9871 p50-ns	     31415 p99-ns
+BenchmarkStoreSearchWindow/shards=16/window=1d              	     200	      3040 ns/op	         1.000 stripe-visits/op
 PASS
 ok  	github.com/psp-framework/psp	11.685s`
 	records, err := parse(bufio.NewScanner(strings.NewReader(out)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(records) != 4 {
-		t.Fatalf("parsed %d records, want 4", len(records))
+	if len(records) != 6 {
+		t.Fatalf("parsed %d records, want 6", len(records))
 	}
 	first := records[0]
 	if first.Name != "StoreConcurrentMixed" || first.Corpus != 64215 || first.Shards != 1 ||
@@ -40,6 +42,20 @@ ok  	github.com/psp-framework/psp	11.685s`
 	}
 	if records[3].Page != "mid" || records[3].CPU != 4 || records[3].NsPerOp != 7748.5 {
 		t.Errorf("record 3 = %+v", records[3])
+	}
+	// Custom b.ReportMetric units land in the metrics map.
+	ruw := records[4]
+	if ruw.Name != "StoreReadUnderWrite" || ruw.Shards != 8 || ruw.CPU != 4 ||
+		ruw.Metrics["p50-ns"] != 9871 || ruw.Metrics["p99-ns"] != 31415 {
+		t.Errorf("record 4 = %+v", ruw)
+	}
+	win := records[5]
+	if win.Name != "StoreSearchWindow/window=1d" || win.Shards != 16 ||
+		win.Metrics["stripe-visits/op"] != 1 || win.NsPerOp != 3040 {
+		t.Errorf("record 5 = %+v", win)
+	}
+	if records[2].Metrics != nil {
+		t.Errorf("record without custom metrics got %v", records[2].Metrics)
 	}
 }
 

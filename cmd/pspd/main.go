@@ -19,7 +19,7 @@
 // -corpus seeds the store from a JSON Lines snapshot instead of the
 // generated reference corpus; -application and -region scope the
 // monitored workflow like the psp CLI's sai command. -shards sets the
-// store's lock-stripe count (0 = library default): more shards let
+// store's shard count (0 = library default): more shards let
 // concurrent ingest batches commit in parallel and shrink every lock
 // hold to one stripe's share of the index, without changing any
 // result.
@@ -48,7 +48,7 @@ func main() {
 	debounce := flag.Duration("debounce", 200*time.Millisecond, "quiet period before re-assessment")
 	drain := flag.Duration("drain", 5*time.Second, "shutdown drain timeout")
 	concurrency := flag.Int("concurrency", 0, "workflow query fan-out (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "store lock-stripe count (0 = library default)")
+	shards := flag.Int("shards", 0, "store shard count (0 = library default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

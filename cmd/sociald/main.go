@@ -10,7 +10,7 @@
 //
 // -corpus loads a JSON Lines snapshot instead of generating the
 // reference corpus; -dump writes the served corpus to a snapshot and
-// exits. -shards sets the store's lock-stripe count (0 = library
+// exits. -shards sets the store's shard count (0 = library
 // default) so concurrent search traffic and ingest spread across
 // locks; results are identical at any setting.
 package main
@@ -36,7 +36,7 @@ func main() {
 	burst := flag.Int("burst", 100, "rate limiter burst capacity")
 	corpus := flag.String("corpus", "", "load corpus from a JSON Lines snapshot instead of generating")
 	dump := flag.String("dump", "", "write the corpus to a JSON Lines snapshot and exit")
-	shards := flag.Int("shards", 0, "store lock-stripe count (0 = library default)")
+	shards := flag.Int("shards", 0, "store shard count (0 = library default)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -35,20 +35,28 @@
 // worker pool — set Config.Concurrency (default GOMAXPROCS, 1 for
 // strictly sequential) to overlap round trips to a remote platform.
 // Results are deterministic at any setting. The in-process store
-// stripes its corpus across lock shards keyed by CreatedAt time bucket
-// (NewSocialStoreShards; the daemons expose -shards), so concurrent
-// writers commit to different stripes in parallel and every critical
-// section shrinks to one stripe's share of the work, and it serves
-// term-filtered queries from an inverted term index and tag unions via
-// a k-way merge of sorted postings. Federated searches
+// stripes its corpus across shards keyed by CreatedAt time bucket
+// (NewSocialStoreShards; the daemons expose -shards) and serves reads
+// entirely lock-free: each shard publishes an immutable copy-on-write
+// snapshot of its time, tag and term indices behind an atomic pointer,
+// writers build successors aside and commit with one pointer swap, so
+// a search never blocks a writer and a committing writer never stalls
+// a search. Duplicate detection runs on a hash-striped ID registry —
+// no store-global lock on the ingest path. Queries whose Since/Until
+// window spans fewer time buckets than there are stripes visit only
+// the stripes those buckets occupy (window→stripe pruning), and
+// term-filtered queries walk an inverted term index with tag unions
+// via a k-way merge of sorted postings. Federated searches
 // (NewMultiPlatform) query every backend concurrently. Listings page
 // with keyset cursors (resume after a (CreatedAt, ID) key) and stream:
 // every shard seeks its sorted indices to the cursor by binary search
 // and the page merge stops at MaxResults+1 posts, so a page costs
-// O(page + seek) rather than O(matches), and pagination stays stable
-// while posts are ingested concurrently; the offset tokens of earlier
-// releases are retired. Shard count never changes results — listings
-// are byte-identical at any setting.
+// O(page + seek) rather than O(matches) — and queries that do not need
+// Page.TotalMatches set Query.SkipTotal to skip the count walk
+// entirely. Pagination stays stable while posts are ingested
+// concurrently; the offset tokens of earlier releases are retired.
+// Shard count never changes results — listings are byte-identical at
+// any setting.
 //
 // # Continuous monitoring
 //

@@ -113,6 +113,9 @@ func (c *Client) searchURL(q Query) (string, error) {
 	if q.PageToken != "" {
 		v.Set("next_token", q.PageToken)
 	}
+	if q.SkipTotal {
+		v.Set("skip_total", "1")
+	}
 	return c.baseURL + "/v2/search?" + v.Encode(), nil
 }
 

@@ -214,7 +214,7 @@ func DefaultStore(seed int64) (*Store, error) {
 	return DefaultStoreShards(seed, 0)
 }
 
-// DefaultStoreShards is DefaultStore with an explicit lock-shard count
+// DefaultStoreShards is DefaultStore with an explicit shard count
 // (see NewStoreShards); the daemons' -shards flag feeds through here.
 // The shard count does not affect search results, only concurrency.
 func DefaultStoreShards(seed int64, shards int) (*Store, error) {

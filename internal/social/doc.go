@@ -10,20 +10,36 @@
 // framework exercises the same remote-service code path as the prototype
 // (pagination, rate limiting, transport errors).
 //
-// Sharding: the Store stripes its corpus across N lock shards keyed by
-// CreatedAt time bucket — bucket b = floor(CreatedAt / one UTC day)
-// lives on shard b mod N (NewStoreShards; NewStore picks
-// DefaultShards). Each shard owns its slice of the time, hashtag and
-// term indices under its own RWMutex, so writers contend only for the
-// stripes their batch's timestamps fall in while search fans out
-// across stripes on a bounded worker set and k-way merges the
-// per-shard streams back into one (CreatedAt, ID) order. Search holds
-// every stripe's read lock while it streams a page, so an in-flight
-// page still delays writers — but only for its O(page + seek)
-// duration, not the O(matches) materialization the monolithic store
-// paid. The shard count never changes a result — listings are
-// byte-identical at any N — it only sets how much of the store a
-// single lock covers.
+// Sharding and snapshots: the Store stripes its corpus across N shards
+// keyed by CreatedAt time bucket — bucket b = floor(CreatedAt / one UTC
+// day) lives on shard b mod N (NewStoreShards; NewStore picks
+// DefaultShards). Each shard publishes an immutable snapshot of its
+// time, hashtag and term indices behind an atomic pointer: two
+// generations, a large compacted base plus a small delta absorbing
+// recent commits (folded into a fresh base once the delta outgrows its
+// bound), every posting list sorted in (CreatedAt, ID) order within its
+// generation. Reads are lock-free — Search loads one coherent snapshot
+// per visited stripe and streams it, so an in-flight page never delays
+// a writer and a committing writer never stalls a reader. Writers hold
+// their stripe's mutex only against other writers: Add builds the
+// successor snapshot aside (small commits copy O(delta) index entries,
+// not O(shard)) and commits it with a single pointer swap. A batch
+// spanning several stripes becomes searchable stripe by stripe, exactly
+// as if split into per-stripe Adds — keyset listings stay skip- and
+// duplicate-free regardless, and the changefeed still delivers the
+// batch as one unit. Duplicate detection, Post and Len run on a global
+// ID registry striped across 64 hash-keyed mutexes, so the ingest path
+// takes no store-global lock at all. The shard count never changes a
+// result — listings are byte-identical at any N — it only sets how many
+// writers commit concurrently.
+//
+// Window→stripe pruning: a query window [Since, Until) covers a
+// contiguous run of time buckets, and every bucket lives on stripe
+// (bucket mod N). When the run is shorter than one round of stripes,
+// Search maps the window to its bucket set and visits only the stripes
+// that set occupies — a narrow delta query (the monitor's dominant
+// shape) touches O(window) stripes instead of all N, and stripes that
+// cannot hold matches are skipped without even loading their snapshot.
 //
 // Indexing: Store.Add ingests posts in batches (one index merge per
 // touched shard rather than a per-post insertion sort) and maintains
@@ -42,21 +58,29 @@
 // seeks its sorted postings to the cursor and the Since/Until window by
 // binary search and yields matches lazily, and the merge stops at
 // MaxResults+1 posts — per-page cost is O(page + seek), never a
-// materialized match set. TotalMatches is counted index-side (O(log n)
-// for unfiltered time-window queries). The offset tokens ("o<offset>")
-// of earlier releases are retired; they addressed a position in a live
-// listing and went stale whenever a write landed before the position.
-// Parsing one now returns a deprecation error.
+// materialized match set. TotalMatches is counted index-side by bound
+// subtraction (O(log n)) for unfiltered, single-tag and single-term
+// windowed queries — the per-shard per-tag counts are the sorted
+// posting lists themselves — and callers that do not need the total set
+// Query.SkipTotal (HTTP: skip_total=1) to skip the count walk entirely,
+// making every filtered page fully O(page + seek); SearchAll does so
+// automatically. The offset tokens ("o<offset>") of earlier releases
+// are retired; they addressed a position in a live listing and went
+// stale whenever a write landed before the position. Parsing one now
+// returns a deprecation error.
 //
 // Changefeed: Store.Watch delivers every batch accepted by Add to each
 // subscriber exactly once, in insertion order, optionally replaying the
 // stored listing after a keyset cursor first. A store-level sequencer
 // orders batches across shards: Add publishes while still holding its
-// shard write locks, and Watch snapshots every stripe under all shard
-// read locks plus the sequencer, so the feed has no gap or overlap even
-// with writers landing on different shards concurrently. The continuous
-// monitoring subsystem (internal/monitor) tails this feed to re-assess
-// only the affected keyword topics as new posts arrive.
+// shard writer locks — after its snapshot swaps, so the sequencer
+// observes post-commit state — and Watch registration briefly takes
+// every shard writer lock plus the sequencer to read the published
+// snapshots and register atomically. The feed therefore has no gap or
+// overlap even with writers landing on different shards concurrently,
+// while lock-free readers are never involved. The continuous monitoring
+// subsystem (internal/monitor) tails this feed to re-assess only the
+// affected keyword topics as new posts arrive.
 //
 // Federation: Multi fans a query out to every platform backend
 // concurrently. Each federated page fetches one bounded slice per

@@ -29,6 +29,8 @@ type PlatformSource struct {
 // pages carry the same keyset tokens the Store emits, so a listing
 // stays stable under concurrent ingest on any backend. Callers wanting
 // the whole listing must follow NextToken (or use SearchAll).
+// Query.SkipTotal passes through to every backend, so a federated page
+// that does not need the summed total skips the count on all of them.
 type Multi struct {
 	sources []PlatformSource
 }

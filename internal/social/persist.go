@@ -45,12 +45,36 @@ func ReadPosts(r io.Reader) ([]*Post, error) {
 	}
 }
 
+// SnapshotPosts returns every stored post in (CreatedAt, ID) order from
+// the stripes' published snapshots. Like Search it is lock-free and
+// never blocks writers, so a periodic persistence pass can dump a live
+// store without stalling ingest — and like Search it is per-stripe
+// consistent, not store-wide: a concurrent multi-stripe Add may appear
+// with only its earlier stripes' posts included, exactly as if the
+// batch had been split into per-stripe Adds. The returned slice is
+// owned by the caller; the posts it points at are shared and must not
+// be mutated.
+func (s *Store) SnapshotPosts() []*Post {
+	var lists [][]*Post
+	for _, sh := range s.shards {
+		lists = sh.view().genLists(lists, func(g *shardGen) []*Post { return g.byTime })
+	}
+	return mergeOwned(lists)
+}
+
+// WriteStore streams the store's current contents to w as JSON Lines —
+// the snapshot counterpart of LoadStore. The dump is taken lock-free
+// via SnapshotPosts, so writers keep committing while it runs.
+func WriteStore(w io.Writer, s *Store) error {
+	return WritePosts(w, s.SnapshotPosts())
+}
+
 // LoadStore reads a JSON Lines snapshot into a fresh store.
 func LoadStore(r io.Reader) (*Store, error) {
 	return LoadStoreShards(r, 0)
 }
 
-// LoadStoreShards is LoadStore with an explicit lock-shard count (see
+// LoadStoreShards is LoadStore with an explicit shard count (see
 // NewStoreShards).
 func LoadStoreShards(r io.Reader, shards int) (*Store, error) {
 	posts, err := ReadPosts(r)

@@ -12,13 +12,15 @@ import (
 // Server exposes a store over an HTTP JSON API shaped like the public
 // search APIs the paper's prototype consumed:
 //
-//	GET /v2/search?tags=a,b&must=x,y&region=EU&since=RFC3339&until=RFC3339&max_results=100&next_token=...
+//	GET /v2/search?tags=a,b&must=x,y&region=EU&since=RFC3339&until=RFC3339&max_results=100&next_token=...&skip_total=1
 //	GET /v2/healthz
 //
 // Responses carry {"data": [...], "meta": {"result_count", "total_matches",
 // "next_token"}}. max_results defaults to DefaultPageSize (100) and is
 // clamped to MaxPageSize (500); next_token carries an opaque keyset
 // cursor that stays valid while posts are ingested concurrently.
+// skip_total=1 declares the caller does not need meta.total_matches
+// (reported as 0), making filtered pages fully O(page) server-side.
 // Rate-limited requests receive 429 with a Retry-After header.
 type Server struct {
 	store   *Store
@@ -99,6 +101,13 @@ func parseQuery(r *http.Request) (Query, error) {
 		MustTerms: splitList(v.Get("must")),
 		Region:    Region(v.Get("region")),
 		PageToken: v.Get("next_token"),
+	}
+	if raw := v.Get("skip_total"); raw != "" {
+		skip, err := strconv.ParseBool(raw)
+		if err != nil {
+			return Query{}, fmt.Errorf("invalid skip_total %q", raw)
+		}
+		q.SkipTotal = skip
 	}
 	if raw := v.Get("since"); raw != "" {
 		t, err := time.Parse(time.RFC3339, raw)

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/psp-framework/psp/internal/nlp"
@@ -11,10 +12,12 @@ import (
 
 // The store stripes its corpus across N shards keyed by CreatedAt time
 // bucket: bucket b = floor(CreatedAt / shardBucketNanos) lives on shard
-// b mod N. Each shard carries its own lock and its own time, tag and
-// term indices, so writers contend only for the stripe their batch's
-// timestamps fall in, and search fans out across stripes and k-way
-// merges the per-shard streams back into one (CreatedAt, ID) order.
+// b mod N. Each shard publishes an immutable snapshot of its time, tag
+// and term indices behind an atomic pointer, so readers run entirely
+// lock-free — they load one coherent snapshot per shard and stream it —
+// while writers serialize only against other writers of the same
+// stripe: a successor snapshot is built aside and committed with a
+// single pointer swap (RCU-style copy-on-write).
 
 // shardBucketNanos is the width of one CreatedAt time bucket (one UTC
 // day). Posts of the same day always share a shard; consecutive days
@@ -33,36 +36,119 @@ func bucketOf(t time.Time) int64 {
 	return b
 }
 
-// shard is one lock stripe of a Store: the posts of every time bucket
-// assigned to it, indexed exactly like the pre-shard store. byTime,
-// byTag and byTerm keep their posting lists in (CreatedAt, ID) order,
-// so per-shard streams merge across shards without any query-time
-// sort. mu guards every field.
-type shard struct {
-	mu     sync.RWMutex
+// shardCompactThreshold bounds the delta generation of a snapshot: once
+// a commit would push the delta past this many posts, the commit folds
+// base and delta into a fresh base instead. Copy-on-write makes every
+// commit pay for the structures it replaces, so the threshold is the
+// knob between write cost and read fan-in: small commits copy O(delta)
+// map entries instead of O(shard), readers merge at most two sorted
+// sources per posting list, and the O(shard) fold is amortized over the
+// threshold's worth of commits. A var only so tests can lower it to
+// exercise compaction on small corpora.
+var shardCompactThreshold = 1024
+
+// shardGen is one immutable index generation: a (CreatedAt, ID)-sorted
+// time index plus tag and term posting maps over a disjoint set of
+// posts. Generations are never mutated after publication — writers
+// build successors aside — so any goroutine may read one without
+// holding a lock.
+type shardGen struct {
 	byTime []*Post
 	byTag  map[string][]*Post
 	byTerm map[string][]*Post
 	terms  map[string]map[string]bool // post ID → term set (precomputed)
 }
 
-func newShard() *shard {
-	return &shard{
-		byTag:  make(map[string][]*Post),
-		byTerm: make(map[string][]*Post),
-		terms:  make(map[string]map[string]bool),
-	}
+// emptyGen is the shared zero generation. Lookups on its nil maps are
+// well-defined (a nil map reads as empty), so fresh shards and
+// just-compacted snapshots alias it instead of allocating.
+var emptyGen = &shardGen{}
+
+// shardSnapshot is one published version of a shard: a large compacted
+// base generation plus a small delta generation holding the most recent
+// commits. The two generations partition the shard's posts, every
+// posting list is sorted within its generation, and both are immutable
+// — a reader that loaded the snapshot owns a coherent view of the whole
+// stripe for as long as it keeps the pointer, regardless of how many
+// commits land meanwhile.
+type shardSnapshot struct {
+	base, delta *shardGen
 }
 
-// insertLocked merges a validated, (CreatedAt, ID)-sorted sub-batch
-// into the shard's indices with one merge per touched index. terms[i]
-// is posts[i]'s term set, tokenized by the caller outside any lock.
-// Caller holds the shard write lock.
-func (sh *shard) insertLocked(posts []*Post, terms []map[string]bool) {
-	sh.byTime = mergeSorted(sh.byTime, posts)
+// emptySnapshot backs freshly constructed shards.
+var emptySnapshot = &shardSnapshot{base: emptyGen, delta: emptyGen}
 
-	touchedTags := make(map[string]bool)
-	touchedTerms := make(map[string]bool)
+// shard is one stripe of the Store. mu is a writer–writer lock only: it
+// serializes successor construction and the commit swap against other
+// writers of the same stripe. Readers never take it — they load snap.
+type shard struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[shardSnapshot]
+}
+
+func newShard() *shard {
+	sh := &shard{}
+	sh.snap.Store(emptySnapshot)
+	return sh
+}
+
+// view returns the shard's current published snapshot. Safe to call
+// from any goroutine; the result never changes under the caller.
+func (sh *shard) view() *shardSnapshot { return sh.snap.Load() }
+
+// commit merges a validated, (CreatedAt, ID)-sorted sub-batch into the
+// shard by publishing a successor snapshot: small commits extend the
+// delta generation (copying O(delta) index entries), and once the delta
+// would outgrow shardCompactThreshold the commit folds base, delta and
+// batch into a fresh base. Readers holding the previous snapshot are
+// unaffected either way. terms[i] is posts[i]'s term set, tokenized by
+// the caller outside the lock. Caller holds sh.mu.
+func (sh *shard) commit(posts []*Post, terms []map[string]bool) {
+	cur := sh.snap.Load()
+	var next *shardSnapshot
+	if len(cur.delta.byTime)+len(posts) >= shardCompactThreshold {
+		next = &shardSnapshot{base: foldGens(cur.base, cur.delta, posts, terms), delta: emptyGen}
+	} else {
+		next = &shardSnapshot{base: cur.base, delta: foldGens(cur.delta, emptyGen, posts, terms)}
+	}
+	sh.snap.Store(next)
+}
+
+// foldGens builds the immutable generation a ⊎ b ⊎ posts. b may be
+// emptyGen (the common extend-the-delta case). Existing posting lists
+// are shared untouched where possible and copied where the fold extends
+// them — never mutated — and the new posts' lists merge in sorted, so
+// no query-time sort is ever needed.
+func foldGens(a, b *shardGen, posts []*Post, terms []map[string]bool) *shardGen {
+	g := &shardGen{
+		byTime: mergeSorted(mergeSorted(a.byTime, b.byTime), posts),
+		byTag:  make(map[string][]*Post, len(a.byTag)+len(b.byTag)),
+		byTerm: make(map[string][]*Post, len(a.byTerm)+len(b.byTerm)),
+		terms:  make(map[string]map[string]bool, len(a.terms)+len(b.terms)+len(posts)),
+	}
+	for k, v := range a.byTag {
+		g.byTag[k] = v
+	}
+	for k, v := range b.byTag {
+		g.byTag[k] = mergeSorted(g.byTag[k], v)
+	}
+	for k, v := range a.byTerm {
+		g.byTerm[k] = v
+	}
+	for k, v := range b.byTerm {
+		g.byTerm[k] = mergeSorted(g.byTerm[k], v)
+	}
+	for id, set := range a.terms {
+		g.terms[id] = set
+	}
+	for id, set := range b.terms {
+		g.terms[id] = set
+	}
+
+	// Per-key additions inherit the batch's (CreatedAt, ID) order, so
+	// each touched posting list needs one sorted merge, not a re-sort.
+	tagAdds := make(map[string][]*Post)
+	termAdds := make(map[string][]*Post)
 	for i, p := range posts {
 		// Dedupe per post: a repeated hashtag must contribute one
 		// posting, or the post would surface twice in tag queries.
@@ -73,27 +159,30 @@ func (sh *shard) insertLocked(posts []*Post, terms []map[string]bool) {
 				continue
 			}
 			postTags[tag] = true
-			sh.byTag[tag] = append(sh.byTag[tag], p)
-			touchedTags[tag] = true
+			tagAdds[tag] = append(tagAdds[tag], p)
 		}
-		sh.terms[p.ID] = terms[i]
+		g.terms[p.ID] = terms[i]
 		for term := range terms[i] {
-			sh.byTerm[term] = append(sh.byTerm[term], p)
-			touchedTerms[term] = true
+			termAdds[term] = append(termAdds[term], p)
 		}
 	}
-	for tag := range touchedTags {
-		restoreOrder(sh.byTag[tag])
+	for tag, adds := range tagAdds {
+		g.byTag[tag] = mergeSorted(g.byTag[tag], adds)
 	}
-	for term := range touchedTerms {
-		restoreOrder(sh.byTerm[term])
+	for term, adds := range termAdds {
+		g.byTerm[term] = mergeSorted(g.byTerm[term], adds)
 	}
+	return g
 }
 
-// hasAllTerms reports whether the post carries every term. Caller holds
-// at least the shard read lock.
-func (sh *shard) hasAllTerms(id string, must []string) bool {
-	terms := sh.terms[id]
+// hasAllTerms reports whether the post carries every term. A post lives
+// in exactly one generation, so the first generation that knows the ID
+// answers.
+func (sn *shardSnapshot) hasAllTerms(id string, must []string) bool {
+	terms, ok := sn.delta.terms[id]
+	if !ok {
+		terms = sn.base.terms[id]
+	}
 	for _, m := range must {
 		if !terms[m] {
 			return false
@@ -120,14 +209,15 @@ func timeBounds(plist []*Post, since, until time.Time) (lo, hi int) {
 	return lo, hi
 }
 
-// shardIter lazily yields one shard's query matches in (CreatedAt, ID)
-// order, strictly after the seek cursor. It is the streaming half of
-// the sharded search: the store pulls MaxResults+1 posts off the
+// shardIter lazily yields one snapshot's query matches in (CreatedAt,
+// ID) order, strictly after the seek cursor. It is the streaming half
+// of the sharded search: the store pulls MaxResults+1 posts off the
 // merged shard streams and stops, so producing a page costs
 // O(page + seek) rather than O(matches). Sources reuse store.go's
 // mergeSource/mergeHeap posting-list heap, with each source's plist
-// pre-narrowed to the query window. The shard read lock must be held
-// for the iterator's whole lifetime.
+// pre-narrowed to the query window. The iterator reads only the
+// immutable snapshot it was built from — no lock is held or needed
+// during its lifetime.
 type shardIter struct {
 	single  mergeSource // fast path: zero or one source, no heap
 	h       mergeHeap   // ≥2 sources: lazy k-way union
@@ -173,43 +263,54 @@ func (it *shardIter) next() *Post {
 	}
 }
 
-// matchIter builds the shard's lazy match stream for a query. The
-// candidate-set preference mirrors the pre-shard matchLocked — union
-// of tag postings, else the rarest must-term's postings, else the time
-// index — but every candidate list is narrowed to the query window AND
-// the keyset cursor by binary search before any post is touched.
-// cur == nil starts at the top of the window. Caller holds at least
-// the shard read lock and must keep holding it while iterating.
-func (sh *shard) matchIter(q *Query, tags, must []string, cur *Cursor) *shardIter {
+// genLists appends the non-empty posting lists of one key from both
+// generations. A post lives in exactly one generation, so the two lists
+// are disjoint and each is sorted — ready for the k-way merge.
+func (sn *shardSnapshot) genLists(lists [][]*Post, pick func(*shardGen) []*Post) [][]*Post {
+	if p := pick(sn.base); len(p) > 0 {
+		lists = append(lists, p)
+	}
+	if p := pick(sn.delta); len(p) > 0 {
+		lists = append(lists, p)
+	}
+	return lists
+}
+
+// matchIter builds the snapshot's lazy match stream for a query. The
+// candidate-set preference mirrors the pre-shard matcher — union of tag
+// postings, else the rarest must-term's postings, else the time index —
+// but every candidate list is narrowed to the query window AND the
+// keyset cursor by binary search before any post is touched. Each key
+// contributes up to two sorted sources (base and delta generation).
+// cur == nil starts at the top of the window.
+func (sn *shardSnapshot) matchIter(q *Query, tags, must []string, cur *Cursor) *shardIter {
 	it := &shardIter{}
 
 	var lists [][]*Post
 	switch {
 	case len(tags) > 0:
 		for _, tag := range tags {
-			if plist := sh.byTag[tag]; len(plist) > 0 {
-				lists = append(lists, plist)
-			}
+			tag := tag
+			lists = sn.genLists(lists, func(g *shardGen) []*Post { return g.byTag[tag] })
 		}
 	case len(must) > 0:
 		// Walk the rarest term's postings; the residual filter proves
 		// the remaining terms, so cost tracks the rarest term, not the
 		// corpus.
-		shortest := -1
+		shortest, shortestLen := -1, 0
 		for i, m := range must {
-			plist, ok := sh.byTerm[m]
-			if !ok || len(plist) == 0 {
+			n := len(sn.base.byTerm[m]) + len(sn.delta.byTerm[m])
+			if n == 0 {
 				return it // a missing term matches nothing in this shard
 			}
-			if shortest < 0 || len(plist) < len(sh.byTerm[must[shortest]]) {
-				shortest = i
+			if shortest < 0 || n < shortestLen {
+				shortest, shortestLen = i, n
 			}
 		}
-		lists = append(lists, sh.byTerm[must[shortest]])
+		m := must[shortest]
+		lists = sn.genLists(lists, func(g *shardGen) []*Post { return g.byTerm[m] })
 	default:
-		if len(sh.byTime) > 0 {
-			lists = append(lists, sh.byTime)
-		}
+		lists = sn.genLists(lists, func(g *shardGen) []*Post { return g.byTime })
 	}
 
 	srcs := make([]mergeSource, 0, len(lists))
@@ -244,26 +345,46 @@ func (sh *shard) matchIter(q *Query, tags, must []string, cur *Cursor) *shardIte
 			if region != "" && p.Region != region {
 				return false
 			}
-			return !needTerms || sh.hasAllTerms(p.ID, must)
+			return !needTerms || sn.hasAllTerms(p.ID, must)
 		}
 	}
 	return it
 }
 
-// countMatches returns the shard's total query matches. TotalMatches
-// is cursor-independent, so the count walks the full window: O(log n)
-// by bound subtraction on the unfiltered time index, a walk of the
-// narrowed candidate postings otherwise — never a materialized slice.
-// Caller holds at least the shard read lock.
-func (sh *shard) countMatches(q *Query, tags, must []string) int {
-	if len(tags) == 0 && len(must) == 0 && q.Region == "" {
-		lo, hi := timeBounds(sh.byTime, q.Since, q.Until)
-		return hi - lo
+// countMatches returns the snapshot's total query matches. TotalMatches
+// is cursor-independent, so the count walks the full window — except
+// where sorted postings make it O(log n) by bound subtraction: the
+// unfiltered time index, and single-key tag or term queries without a
+// residual filter (the per-shard per-tag counts are the posting-list
+// lengths themselves, maintained sorted at insert). Everything else
+// walks the narrowed candidate postings — never a materialized slice.
+func (sn *shardSnapshot) countMatches(q *Query, tags, must []string) int {
+	if q.Region == "" {
+		switch {
+		case len(tags) == 0 && len(must) == 0:
+			return sn.countByBounds(q, func(g *shardGen) []*Post { return g.byTime })
+		case len(tags) == 1 && len(must) == 0:
+			return sn.countByBounds(q, func(g *shardGen) []*Post { return g.byTag[tags[0]] })
+		case len(tags) == 0 && len(must) == 1:
+			return sn.countByBounds(q, func(g *shardGen) []*Post { return g.byTerm[must[0]] })
+		}
 	}
-	it := sh.matchIter(q, tags, must, nil)
+	it := sn.matchIter(q, tags, must, nil)
 	n := 0
 	for it.next() != nil {
 		n++
+	}
+	return n
+}
+
+// countByBounds subtracts window bounds on one key's posting lists in
+// both generations. Posting lists hold each post once per key (repeated
+// hashtags dedupe at insert), so the subtraction is exact.
+func (sn *shardSnapshot) countByBounds(q *Query, pick func(*shardGen) []*Post) int {
+	n := 0
+	for _, g := range []*shardGen{sn.base, sn.delta} {
+		lo, hi := timeBounds(pick(g), q.Since, q.Until)
+		n += hi - lo
 	}
 	return n
 }

@@ -4,10 +4,12 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/psp-framework/psp/internal/nlp"
@@ -31,6 +33,13 @@ type Query struct {
 	MaxResults int
 	// PageToken resumes a paginated listing; empty starts at the top.
 	PageToken string
+	// SkipTotal declares that the caller does not need
+	// Page.TotalMatches, letting filtered pages skip the count walk and
+	// stay fully O(page + seek). With it set, TotalMatches is
+	// unspecified (implementations may leave it zero or still fill it).
+	// Like the pagination fields it is a per-call cost hint, not a
+	// filter: it never changes which posts match.
+	SkipTotal bool
 }
 
 // normalizedTags returns the query's tags normalized for index lookup.
@@ -61,7 +70,8 @@ func (q Query) normalizedMustTerms() []string {
 // Canonical returns the query with tags and must-terms normalized and
 // sorted and pagination fields cleared — two queries with equal
 // canonical forms select the same posts. The canonical form is the cache
-// key of the workflow result cache.
+// key of the workflow result cache. SkipTotal, a per-call cost hint, is
+// cleared like the pagination fields.
 func (q Query) Canonical() Query {
 	c := Query{
 		AnyTags:   q.normalizedTags(),
@@ -170,7 +180,7 @@ type Page struct {
 	// NextToken resumes the listing; empty when the listing is complete.
 	NextToken string
 	// TotalMatches is the total number of posts matching the query
-	// across all pages.
+	// across all pages. Unspecified when the query set SkipTotal.
 	TotalMatches int
 }
 
@@ -185,32 +195,68 @@ type Searcher interface {
 	Search(ctx context.Context, q Query) (*Page, error)
 }
 
+// idStripes is the stripe count of the global ID → post registry.
+// Duplicate detection, Post and Len take one hash-keyed stripe lock
+// instead of a store-global mutex, so the Add path holds no
+// store-global lock at all.
+const idStripes = 64
+
+// idStripe is one lock stripe of the ID registry.
+type idStripe struct {
+	mu    sync.RWMutex
+	posts map[string]*Post
+}
+
+// idStripeOf hashes a post ID to its registry stripe (FNV-1a).
+func idStripeOf(id string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return int(h % idStripes)
+}
+
+// minPrunableTime and maxPrunableTime bound the timestamps whose
+// bucket arithmetic is exact in int64 nanoseconds (one bucket of
+// margin for Until's exclusive-bound adjustment).
+var (
+	minPrunableTime = time.Unix(0, math.MinInt64+shardBucketNanos)
+	maxPrunableTime = time.Unix(0, math.MaxInt64-shardBucketNanos)
+)
+
 // Store is an in-memory post store with hashtag, term and time indices,
-// striped across lock shards keyed by CreatedAt time bucket (see
-// shard.go for the stripe layout). It is safe for concurrent use.
-// Striping buys two things: writers to different time buckets commit
-// concurrently instead of serializing store-wide, and every critical
-// section shrinks — a write merges 1/N of the index, a read holds its
-// locks for O(page + seek) streaming instead of an O(matches)
-// materialization. Search still holds every stripe's read lock while
-// it streams a page (readers never block readers, but an in-flight
-// page delays writers for its — now short — duration; see ROADMAP for
-// the copy-on-write follow-up).
+// striped across shards keyed by CreatedAt time bucket (see shard.go
+// for the stripe layout). It is safe for concurrent use. Reads are
+// lock-free: each shard publishes an immutable snapshot of its indices
+// behind an atomic pointer, Search loads one snapshot per stripe and
+// streams it, so an in-flight page never delays a writer and a
+// committing writer never stalls a reader. Writers contend only with
+// writers of the same stripe (the shard mutex is writer–writer only)
+// plus, batch-wide, the changefeed sequencer.
 //
-// Lock order (nested acquisitions always follow it): shard locks in
-// ascending stripe index, then the changefeed sequencer wmu, then a
-// subscriber's own lock. idmu nests inside nothing.
+// Lock order (nested acquisitions always follow it): shard writer locks
+// in ascending stripe index, then the changefeed sequencer wmu, then a
+// subscriber's own lock. ID-registry stripe locks nest inside nothing.
 type Store struct {
 	shards []*shard
 
-	// idmu guards the global ID → post registry: duplicate detection,
-	// Post and Len. Index maintenance happens under the shard locks.
-	idmu  sync.RWMutex
-	posts map[string]*Post
+	// ids is the global ID → post registry (duplicate detection, Post,
+	// Len), striped by ID hash. Index maintenance happens in the shard
+	// snapshots.
+	ids [idStripes]idStripe
+
+	// visits counts shard snapshots examined by Search — the
+	// observable effect of window→stripe pruning, read by tests and
+	// benchmarks. countVisits gates it: the increment would be the only
+	// cross-core shared write on the otherwise share-nothing read path,
+	// so it stays off until someone reads the counter (Search then only
+	// pays a read-shared bool load).
+	visits      atomic.Int64
+	countVisits atomic.Bool
 
 	// wmu is the store-level changefeed sequencer: batch publication
 	// and subscriber registration serialize through it. Add publishes
-	// while still holding its shard write locks, so every subscriber
+	// while still holding its shard writer locks, so every subscriber
 	// observes batches in one global order, gap- and overlap-free
 	// against its registration-time snapshot.
 	wmu    sync.Mutex
@@ -228,9 +274,9 @@ const DefaultShards = 8
 // NewStore returns an empty store striped across DefaultShards shards.
 func NewStore() *Store { return NewStoreShards(0) }
 
-// NewStoreShards returns an empty store striped across n lock shards
-// keyed by CreatedAt time bucket; n ≤ 0 selects DefaultShards. Any n
-// yields byte-identical search results — the shard count trades write
+// NewStoreShards returns an empty store striped across n shards keyed
+// by CreatedAt time bucket; n ≤ 0 selects DefaultShards. Any n yields
+// byte-identical search results — the shard count trades write
 // concurrency against per-query fan-out width.
 func NewStoreShards(n int) *Store {
 	if n <= 0 {
@@ -238,11 +284,13 @@ func NewStoreShards(n int) *Store {
 	}
 	s := &Store{
 		shards: make([]*shard, n),
-		posts:  make(map[string]*Post),
 		subs:   make(map[uint64]*subscriber),
 	}
 	for i := range s.shards {
 		s.shards[i] = newShard()
+	}
+	for i := range s.ids {
+		s.ids[i].posts = make(map[string]*Post)
 	}
 	return s
 }
@@ -259,17 +307,60 @@ func (s *Store) shardFor(t time.Time) int {
 	return i
 }
 
-// rlockAll acquires every shard read lock in ascending stripe order —
-// the store's lock order, shared with Add's write-side acquisition.
-func (s *Store) rlockAll() {
+// stripesFor maps a query window to the stripe indices that can hold
+// matches: the window [since, until) covers a contiguous run of time
+// buckets, every bucket lives on stripe (bucket mod N), so a window
+// narrower than N buckets reaches fewer than N stripes and the rest are
+// skipped without loading a snapshot. nil means "every stripe" (an
+// unbounded or wide window); an empty non-nil slice means the window is
+// empty.
+func (s *Store) stripesFor(since, until time.Time) []int {
+	n := int64(len(s.shards))
+	if since.IsZero() || until.IsZero() {
+		return nil
+	}
+	// Bucket math runs on UnixNano, which only represents ~1678–2262;
+	// a far-past Since or far-future Until (the usual open-end
+	// sentinels) would compute a garbage bucket run, so such windows
+	// fall back to the unpruned fan-out instead.
+	if since.Before(minPrunableTime) || until.After(maxPrunableTime) {
+		return nil
+	}
+	if !since.Before(until) {
+		return []int{}
+	}
+	first := bucketOf(since)
+	last := bucketOf(until.Add(-time.Nanosecond)) // until is exclusive
+	if last-first+1 >= n {
+		return nil
+	}
+	stripes := make([]int, 0, last-first+1)
+	for b := first; b <= last; b++ {
+		i := int(b % n)
+		if i < 0 {
+			i += int(n)
+		}
+		stripes = append(stripes, i)
+	}
+	// Consecutive buckets hit distinct stripes until wrapping, so the
+	// run contains no duplicates by construction (its length is < n).
+	return stripes
+}
+
+// lockWriters acquires every shard writer lock in ascending stripe
+// order — the store's lock order, shared with Add's write-side
+// acquisition. Only Watch registration takes the full set: it freezes
+// commits store-wide for the duration of its snapshot. Readers never
+// lock.
+func (s *Store) lockWriters() {
 	for _, sh := range s.shards {
-		sh.mu.RLock()
+		sh.mu.Lock()
 	}
 }
 
-func (s *Store) runlockAll() {
-	for _, sh := range s.shards {
-		sh.mu.RUnlock()
+func (s *Store) unlockWriters() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
 	}
 }
 
@@ -282,10 +373,10 @@ func postLess(a, b *Post) bool {
 }
 
 // Add inserts posts as one batch: validation happens per post, index
-// maintenance once per batch (single re-sort instead of a per-post
-// insertion sort). Duplicate IDs and invalid posts are rejected; on
-// error the store is left unchanged for the offending post but earlier
-// posts of the batch stay inserted.
+// maintenance once per batch (single sorted merge per touched index).
+// Duplicate IDs and invalid posts are rejected; on error the store is
+// left unchanged for the offending post but earlier posts of the batch
+// stay inserted.
 func (s *Store) Add(posts ...*Post) error {
 	_, err := s.AddCount(posts...)
 	return err
@@ -296,18 +387,20 @@ func (s *Store) Add(posts ...*Post) error {
 // around the call.
 //
 // Visibility: IDs commit to the global registry (duplicate detection,
-// Post, Len) before the shard indices commit, so under a concurrent
+// Post, Len) before the shard snapshots commit, so under a concurrent
 // writer a post can briefly be visible to Post/Len — and reject a
 // duplicate — while Search does not return it yet. Searchability of an
 // accepted post is guaranteed once its Add (or, for a rejected
 // duplicate, the winning Add of a post with the same timestamp)
-// returns; the pre-shard store's stricter registered-implies-
-// searchable atomicity would require one store-wide write lock, which
-// the stripes exist to avoid.
+// returns. Likewise, a batch spanning several stripes becomes
+// searchable stripe by stripe in ascending order: a concurrent reader
+// may observe a prefix of the batch's stripes, exactly as if the batch
+// had been split into per-stripe Adds — keyset listings stay skip- and
+// duplicate-free regardless. The changefeed is stricter: it always
+// delivers the whole batch as one unit (see Watch).
 func (s *Store) AddCount(posts ...*Post) (int, error) {
 	var err error
 	batch := make([]*Post, 0, len(posts))
-	s.idmu.Lock()
 	for _, p := range posts {
 		if p == nil {
 			// Guard remote ingest: a JSON array element of null decodes
@@ -318,24 +411,28 @@ func (s *Store) AddCount(posts ...*Post) (int, error) {
 		if err = p.Validate(); err != nil {
 			break
 		}
-		if _, dup := s.posts[p.ID]; dup {
+		st := &s.ids[idStripeOf(p.ID)]
+		st.mu.Lock()
+		if _, dup := st.posts[p.ID]; dup {
+			st.mu.Unlock()
 			err = fmt.Errorf("social: duplicate post ID %s", p.ID)
 			break
 		}
-		s.posts[p.ID] = p
+		st.posts[p.ID] = p
+		st.mu.Unlock()
 		batch = append(batch, p)
 	}
-	s.idmu.Unlock()
 	s.insertBatch(batch)
 	return len(batch), err
 }
 
 // insertBatch distributes a validated batch across its time-bucket
-// shards and publishes it to the changefeed. The whole batch commits
-// under all of its shard write locks (acquired in ascending stripe
-// order), with the publication sequenced under wmu inside that window,
-// so searches and changefeed registrations observe the batch
-// atomically — never a torn prefix.
+// shards and publishes it to the changefeed. The batch commits one
+// snapshot swap per touched shard under the shards' writer locks
+// (acquired in ascending stripe order), with the publication sequenced
+// under wmu inside that window, so changefeed registrations observe the
+// batch atomically — never a torn prefix — while readers are never
+// involved in the critical section at all.
 func (s *Store) insertBatch(batch []*Post) {
 	if len(batch) == 0 {
 		return
@@ -361,7 +458,7 @@ func (s *Store) insertBatch(batch []*Post) {
 	}
 	for i := 0; i < n; i++ {
 		if subPosts[i] != nil {
-			s.shards[i].insertLocked(subPosts[i], subTerms[i])
+			s.shards[i].commit(subPosts[i], subTerms[i])
 		}
 	}
 	s.publishSequenced(batch)
@@ -369,15 +466,6 @@ func (s *Store) insertBatch(batch []*Post) {
 		if subPosts[i] != nil {
 			s.shards[i].mu.Unlock()
 		}
-	}
-}
-
-// restoreOrder re-sorts a posting list only when appends broke its
-// (CreatedAt, ID) order — the common case of chronological ingest stays
-// O(n) verification with no sort.
-func restoreOrder(plist []*Post) {
-	if !sort.SliceIsSorted(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) }) {
-		sort.Slice(plist, func(i, j int) bool { return postLess(plist[i], plist[j]) })
 	}
 }
 
@@ -435,7 +523,9 @@ func mergeKSorted(lists [][]*Post) []*Post {
 	return out
 }
 
-// mergeSorted merges two (CreatedAt, ID)-sorted slices into one.
+// mergeSorted merges two (CreatedAt, ID)-sorted slices into one. Inputs
+// are never mutated; when one side is empty the other is returned as
+// is, which is safe because published posting lists are immutable.
 func mergeSorted(a, b []*Post) []*Post {
 	if len(a) == 0 {
 		return b
@@ -461,16 +551,21 @@ func mergeSorted(a, b []*Post) []*Post {
 
 // Len returns the number of stored posts.
 func (s *Store) Len() int {
-	s.idmu.RLock()
-	defer s.idmu.RUnlock()
-	return len(s.posts)
+	n := 0
+	for i := range s.ids {
+		s.ids[i].mu.RLock()
+		n += len(s.ids[i].posts)
+		s.ids[i].mu.RUnlock()
+	}
+	return n
 }
 
 // Post returns the post with the given ID, or nil.
 func (s *Store) Post(id string) *Post {
-	s.idmu.RLock()
-	defer s.idmu.RUnlock()
-	return s.posts[id]
+	st := &s.ids[idStripeOf(id)]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.posts[id]
 }
 
 // DefaultPageSize caps pages when the query does not specify MaxResults.
@@ -486,13 +581,19 @@ const MaxPageSize = 500
 // while writers Add posts concurrently never skips or repeats a post
 // that was present when the drain started.
 //
-// Pages stream: every shard seeks its sorted indices to the cursor by
-// binary search and yields matches lazily, the per-shard streams k-way
-// merge in (CreatedAt, ID) order, and the merge stops after
-// MaxResults+1 posts — so producing a page costs O(page + seek), not
-// O(matches). TotalMatches is counted index-side without materializing
-// (O(log corpus) for unfiltered time-window queries, a walk of the
-// narrowed candidate postings otherwise).
+// Search is lock-free: it loads one immutable snapshot per stripe and
+// never blocks a writer (or is blocked by one). Window→stripe pruning
+// runs first — a Since/Until window narrower than one round of time
+// buckets maps to the stripe set those buckets occupy, and only that
+// set is visited. Pages stream: every visited snapshot seeks its sorted
+// indices to the cursor by binary search and yields matches lazily, the
+// per-shard streams k-way merge in (CreatedAt, ID) order, and the merge
+// stops after MaxResults+1 posts — so producing a page costs
+// O(page + seek), not O(matches). TotalMatches is counted index-side
+// without materializing (O(log corpus) for unfiltered, single-tag and
+// single-term windowed queries; a walk of the narrowed candidate
+// postings otherwise) and skipped entirely when the query sets
+// SkipTotal.
 func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -509,26 +610,45 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	tags := q.normalizedTags()
 	must := q.normalizedMustTerms()
 
-	s.rlockAll()
-	defer s.runlockAll()
+	// Window→stripe pruning, then one coherent snapshot load per
+	// surviving stripe. Each snapshot stays valid for the whole call no
+	// matter how many commits land meanwhile.
+	stripes := s.stripesFor(q.Since, q.Until)
+	if stripes == nil {
+		stripes = make([]int, len(s.shards))
+		for i := range stripes {
+			stripes[i] = i
+		}
+	}
+	if s.countVisits.Load() {
+		s.visits.Add(int64(len(stripes)))
+	}
+	snaps := make([]*shardSnapshot, len(stripes))
+	for k, i := range stripes {
+		snaps[k] = s.shards[i].view()
+	}
 
 	// Per-shard seek + count fan out across a bounded worker set; the
 	// page merge below then pulls the pre-seeked streams serially. An
-	// unfiltered time-window query does a few binary searches per shard
-	// (count by bound subtraction) — there the goroutine handoff would
-	// dwarf the work, so it runs inline.
-	iters := make([]*shardIter, len(s.shards))
-	counts := make([]int, len(s.shards))
-	perShard := func(i int) {
-		iters[i] = s.shards[i].matchIter(&q, tags, must, cur)
-		counts[i] = s.shards[i].countMatches(&q, tags, must)
+	// unfiltered time-window query does a few binary searches per
+	// snapshot (count by bound subtraction) — there the goroutine
+	// handoff would dwarf the work, so it runs inline.
+	iters := make([]*shardIter, len(snaps))
+	counts := make([]int, len(snaps))
+	perSnap := func(k int) {
+		iters[k] = snaps[k].matchIter(&q, tags, must, cur)
+		if !q.SkipTotal {
+			counts[k] = snaps[k].countMatches(&q, tags, must)
+		}
 	}
-	if len(tags) == 0 && len(must) == 0 && q.Region == "" {
-		for i := range s.shards {
-			perShard(i)
+	// With SkipTotal the filtered case reduces to iterator construction
+	// — a few binary searches — so it runs inline too.
+	if q.SkipTotal || (len(tags) == 0 && len(must) == 0 && q.Region == "") {
+		for k := range snaps {
+			perSnap(k)
 		}
 	} else {
-		s.forEachShard(perShard)
+		forEachBounded(len(snaps), perSnap)
 	}
 
 	page := &Page{}
@@ -546,12 +666,25 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	return page, nil
 }
 
-// forEachShard runs fn for every stripe index on a bounded worker set
-// (the internal/core pool idiom): at most GOMAXPROCS shards in flight.
-// With one shard or no parallelism to exploit it stays inline, so
+// SearchShardVisits reads the cumulative count of shard snapshots
+// Search has examined. It is an observability counter: the difference
+// across a workload divided by its query count is the per-query stripe
+// fan-out, which window→stripe pruning keeps at O(window buckets)
+// instead of the stripe count. Counting is observer-activated — it
+// starts at the first call, so read a baseline before the measured
+// workload; stores nobody observes never pay the shared write on the
+// read path. The pruning tests and benchmarks verify the stripe-set
+// contract through it.
+func (s *Store) SearchShardVisits() int64 {
+	s.countVisits.Store(true)
+	return s.visits.Load()
+}
+
+// forEachBounded runs fn for every index on a bounded worker set (the
+// internal/core pool idiom): at most GOMAXPROCS calls in flight. With
+// one item or no parallelism to exploit it stays inline, so
 // single-stripe stores pay no goroutine overhead.
-func (s *Store) forEachShard(fn func(i int)) {
-	n := len(s.shards)
+func forEachBounded(n int, fn func(i int)) {
 	limit := runtime.GOMAXPROCS(0)
 	if limit > n {
 		limit = n
@@ -647,10 +780,13 @@ const maxSearchPages = 2000
 
 // SearchAll drains every page of a query through any Searcher,
 // accumulating all matching posts. It guards against runaway listings
-// with a hard cap of maxSearchPages pages.
+// with a hard cap of maxSearchPages pages. The drain never reads
+// TotalMatches, so it sets SkipTotal and filtered drains skip the
+// per-page count walk.
 func SearchAll(ctx context.Context, s Searcher, q Query) ([]*Post, error) {
 	var out []*Post
 	q.PageToken = ""
+	q.SkipTotal = true
 	for pages := 0; ; pages++ {
 		if pages >= maxSearchPages {
 			return nil, fmt.Errorf("social: pagination exceeded %d pages", maxSearchPages)

@@ -40,11 +40,13 @@ func (sub *subscriber) enqueue(posts []*Post) {
 
 // publishSequenced hands an inserted batch (already (CreatedAt, ID)-
 // sorted) to every subscriber under the store-level sequencer. The
-// caller still holds the batch's shard write locks, so relative to any
-// Watch registration — which holds every shard read lock while it
-// snapshots and registers — the insert and its publication are one
-// atomic event: delivery order equals commit order across all shards,
-// and registration snapshots stay gap- and overlap-free.
+// caller still holds the batch's shard writer locks — its snapshot
+// swaps are already visible to lock-free readers, i.e. the batch is
+// post-commit — so relative to any Watch registration, which holds
+// every shard writer lock while it snapshots and registers, the commit
+// and its publication are one atomic event: delivery order equals
+// commit order across all shards, and registration snapshots stay gap-
+// and overlap-free.
 func (s *Store) publishSequenced(batch []*Post) {
 	s.wmu.Lock()
 	for _, sub := range s.subs {
@@ -53,10 +55,11 @@ func (s *Store) publishSequenced(batch []*Post) {
 	s.wmu.Unlock()
 }
 
-// mergeOwned k-way merges sorted, disjoint shard suffixes into one
-// slice the caller owns. (mergeKSorted's single-list fast path returns
-// an alias into shard memory, which a subscriber queue must not hold —
-// hence the explicit copy.)
+// mergeOwned k-way merges sorted, disjoint posting-list suffixes into
+// one slice the caller owns. (mergeKSorted's single-list fast path
+// returns an alias into snapshot memory; snapshots are immutable, so
+// aliasing is safe, but the subscriber queue appends to its pending
+// slice and must own the backing array — hence the explicit copy.)
 func mergeOwned(lists [][]*Post) []*Post {
 	if len(lists) == 0 {
 		return nil
@@ -87,21 +90,25 @@ func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
 	sub := &subscriber{notify: make(chan struct{}, 1)}
 
 	// Atomic snapshot + registration across all stripes: hold every
-	// shard read lock (ascending, the store's lock order) plus the
-	// changefeed sequencer. Because Add publishes while still holding
-	// its shard write locks, any batch either committed before this
-	// window (it is in the replay snapshot and was published only to
-	// earlier subscribers) or starts after it (it reaches this
-	// subscriber live) — never both, at any shard count.
-	s.rlockAll()
+	// shard writer lock (ascending, the store's lock order) plus the
+	// changefeed sequencer. Lock-free readers are untouched, but no
+	// commit can land inside this window. Because Add publishes while
+	// still holding its shard writer locks — after its snapshot swaps —
+	// any batch either committed before this window (its posts are in
+	// the replayed snapshots and it was published only to earlier
+	// subscribers) or starts after it (it reaches this subscriber live)
+	// — never both, at any shard count.
+	s.lockWriters()
 	s.wmu.Lock()
 	if opts.After != nil {
 		c := *opts.After
-		suffixes := make([][]*Post, 0, len(s.shards))
+		var suffixes [][]*Post
 		for _, sh := range s.shards {
-			i := sort.Search(len(sh.byTime), func(i int) bool { return c.Before(sh.byTime[i]) })
-			if i < len(sh.byTime) {
-				suffixes = append(suffixes, sh.byTime[i:])
+			for _, plist := range sh.view().genLists(nil, func(g *shardGen) []*Post { return g.byTime }) {
+				i := sort.Search(len(plist), func(i int) bool { return c.Before(plist[i]) })
+				if i < len(plist) {
+					suffixes = append(suffixes, plist[i:])
+				}
 			}
 		}
 		sub.pending = mergeOwned(suffixes)
@@ -110,7 +117,7 @@ func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
 	s.subSeq++
 	s.subs[id] = sub
 	s.wmu.Unlock()
-	s.runlockAll()
+	s.unlockWriters()
 
 	// Unconditional non-blocking kick: concurrent Adds may already have
 	// filled the capacity-1 notify channel (and appended to pending), so
