@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -827,5 +829,189 @@ func BenchmarkAblationPriceClusterK(b *testing.B) {
 			}
 			b.ReportMetric(ppia, "ppia-eur")
 		})
+	}
+}
+
+// walPostSeq hands out globally unique suffixes for posts written by
+// the WAL benchmark (the durable fixture persists across b.N
+// calibration runs and -cpu settings).
+var walPostSeq atomic.Int64
+
+// BenchmarkWALAppendGroupCommit measures the durable-ingest overhead:
+// the same concurrent Add stream against an in-memory store
+// (mode=memory) and a write-ahead-logged store (mode=wal, group
+// commit + fsync before acknowledgement). The load is the daemon's live
+// shape — many concurrent clients whose posts land on the current
+// day's time bucket — so one stripe's log takes the whole stream and
+// every fsync acknowledges all appends waiting on it; the batch
+// dimension is the ingest-API batch size (ns/op is per batch, ÷ batch
+// for per-post). The mode ratio at equal batch is the cost of crash
+// safety; BENCH_5.json records the sweep.
+func BenchmarkWALAppendGroupCommit(b *testing.B) {
+	for _, batch := range []int{1, 16} {
+		for _, mode := range []string{"memory", "wal"} {
+			b.Run(fmt.Sprintf("batch=%d/mode=%s", batch, mode), func(b *testing.B) {
+				b.SetParallelism(16)
+				var store *social.Store
+				if mode == "wal" {
+					var err error
+					store, err = social.OpenStoreDir(b.TempDir(), social.DurableOptions{
+						Shards:       social.DefaultShards,
+						CompactEvery: -1, // measure the log, not the compactor
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					store = social.NewStoreShards(social.DefaultShards)
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					posts := make([]*social.Post, batch)
+					for pb.Next() {
+						for i := range posts {
+							posts[i] = walBenchPost(walPostSeq.Add(1))
+						}
+						if err := store.Add(posts...); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				// Close's final snapshot is shutdown work, not append
+				// cost: keep it off the timer.
+				b.StopTimer()
+				if err := store.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(batch), "posts/op")
+			})
+		}
+	}
+}
+
+// copyTreeHardlink clones a durable data directory by hardlinking its
+// files — recovery benchmarks open a fresh clone per iteration without
+// paying a byte copy (the source store never truncates in place, so
+// the links are safe).
+func copyTreeHardlink(b *testing.B, src, dst string) {
+	b.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		return os.Link(path, target)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// durableFixture builds (once) a 64k-post durable data directory whose
+// state mirrors a daemon mid-life: the bulk compacted into a snapshot,
+// a ~16k-post WAL tail on top.
+var (
+	durableFixtureOnce sync.Once
+	durableFixtureDir  string
+	durableFixtureLen  int
+	durableFixtureErr  error
+)
+
+func durableFixture(b *testing.B) (string, int) {
+	b.Helper()
+	durableFixtureOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "psp-bench-durable-*")
+		if err != nil {
+			durableFixtureErr = err
+			return
+		}
+		durableFixtureDir = dir
+		store, err := social.OpenStoreDir(dir, social.DurableOptions{
+			Shards:       social.DefaultShards,
+			CompactEvery: -1,
+		})
+		if err != nil {
+			durableFixtureErr = err
+			return
+		}
+		base := paddedStore(b, 56000).SnapshotPosts()
+		split := len(base) - 16000
+		if err := store.Add(base[:split]...); err == nil {
+			err = store.Flush() // snapshot the bulk
+		}
+		if err != nil {
+			durableFixtureErr = err
+			return
+		}
+		// The WAL tail: realistic record sizes (256-post batches).
+		for lo := split; lo < len(base); lo += 256 {
+			hi := lo + 256
+			if hi > len(base) {
+				hi = len(base)
+			}
+			if err := store.Add(base[lo:hi]...); err != nil {
+				durableFixtureErr = err
+				return
+			}
+		}
+		durableFixtureLen = store.Len()
+		// Deliberately no Close: a clean close would compact the tail
+		// away, and the fixture models a crash. The handles live until
+		// the test binary exits.
+	})
+	if durableFixtureErr != nil {
+		b.Fatal(durableFixtureErr)
+	}
+	return durableFixtureDir, durableFixtureLen
+}
+
+// BenchmarkRecovery64k measures crash recovery: opening a 64k-post data
+// directory (snapshot bulk + 16k-post WAL tail, as a kill -9 would
+// leave it) until the store is fully queryable. BENCH_5.json commits
+// the figure.
+func BenchmarkRecovery64k(b *testing.B) {
+	src, corpus := durableFixture(b)
+	b.Run(fmt.Sprintf("corpus=%d", corpus), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst := filepath.Join(b.TempDir(), fmt.Sprintf("clone-%d", i))
+			copyTreeHardlink(b, src, dst)
+			b.StartTimer()
+			store, err := social.OpenStoreDir(dst, social.DurableOptions{CompactEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if store.Len() != corpus {
+				b.Fatalf("recovered %d posts, want %d", store.Len(), corpus)
+			}
+			b.StopTimer()
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(corpus), "posts")
+	})
+}
+
+// walBenchPost builds the n-th ingest post of the WAL benchmark: all
+// posts share one "live" day — concurrent ingest lands on one hot
+// stripe, the daemon's steady-state shape (and the one group commit
+// exists for).
+func walBenchPost(n int64) *social.Post {
+	return &social.Post{
+		ID:        fmt.Sprintf("wal-%09d", n),
+		Author:    "walbench",
+		Text:      "durable #walbench chatter from the fleet",
+		CreatedAt: time.Date(2024, 1, 1, 12, 0, 0, int(n%1_000_000_000), time.UTC),
+		Region:    social.RegionEurope,
+		Metrics:   social.Metrics{Views: int(n % 1000)},
 	}
 }

@@ -5,14 +5,16 @@
 //
 //	POST /v1/posts      ingest a JSON post or array of posts
 //	GET  /v1/assessment current cached SAI/TARA result + freshness metadata
+//	                    (supports ETag / If-None-Match conditional polling)
 //	GET  /v1/healthz    liveness, corpus size, assessment generation
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests.
+// in-flight requests (and, with -data-dir, flushing a final snapshot).
 //
 // Usage:
 //
 //	pspd [-addr :8484] [-seed 42] [-corpus snapshot.jsonl]
+//	     [-data-dir /var/lib/pspd]
 //	     [-application excavator] [-region EU]
 //	     [-debounce 200ms] [-drain 5s] [-concurrency 0] [-shards 0]
 //
@@ -23,6 +25,17 @@
 // concurrent ingest batches commit in parallel and shrink every lock
 // hold to one stripe's share of the index, without changing any
 // result.
+//
+// -data-dir makes the daemon durable: the store runs on a per-stripe
+// write-ahead log with background snapshot compaction (ingest
+// acknowledges only after its batch is fsync'd), and the monitor
+// persists its assessment, listing cache and changefeed cursor after
+// every publication. A restarted pspd recovers the corpus from
+// snapshot + WAL tail, serves its previous assessment immediately
+// (same generation, same ETag) and catches up with one incremental
+// delta run instead of a cold full workflow. -seed/-corpus seed only
+// an empty data directory; afterwards the directory is authoritative
+// (including its shard count — -shards must agree or stay 0).
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -43,6 +57,7 @@ func main() {
 	addr := flag.String("addr", ":8484", "listen address")
 	seed := flag.Int64("seed", 42, "corpus seed (ignored with -corpus)")
 	corpus := flag.String("corpus", "", "seed the store from a JSON Lines snapshot")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots + monitor state); empty runs in-memory")
 	application := flag.String("application", "", "target application filter (e.g. excavator)")
 	region := flag.String("region", "", "region filter (EU, NA, APAC, OTHER)")
 	debounce := flag.Duration("debounce", 200*time.Millisecond, "quiet period before re-assessment")
@@ -53,18 +68,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *corpus, *application, *region, *debounce, *drain, *concurrency, *shards); err != nil {
+	if err := run(ctx, *addr, *seed, *corpus, *dataDir, *application, *region, *debounce, *drain, *concurrency, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "pspd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, corpus, application, region string, debounce, drain time.Duration, concurrency, shards int) error {
-	store, err := loadCorpus(seed, corpus, shards)
+func run(ctx context.Context, addr string, seed int64, corpus, dataDir, application, region string, debounce, drain time.Duration, concurrency, shards int) error {
+	store, recovered, err := loadCorpus(seed, corpus, dataDir, shards)
 	if err != nil {
 		return err
 	}
-	m, err := newMonitor(store, application, region, debounce, concurrency)
+	// The final flush pairs with the graceful HTTP drain: once the
+	// server and monitor stopped, the WAL tail compacts into a snapshot
+	// so the next start recovers without replay.
+	defer func() {
+		if err := store.Close(); err != nil {
+			log.Printf("pspd: final flush: %v", err)
+		}
+	}()
+	var state psp.MonitorStateStore
+	if dataDir != "" {
+		state = psp.NewMonitorFileState(filepath.Join(dataDir, "monitor.json"))
+	}
+	m, err := newMonitor(store, state, application, region, debounce, concurrency)
 	if err != nil {
 		return err
 	}
@@ -73,14 +100,14 @@ func run(ctx context.Context, addr string, seed int64, corpus, application, regi
 	// the initial assessment erroring against a remote backend) tears
 	// the server down instead of leaving a daemon that serves 503s
 	// forever, and SIGINT/SIGTERM stops both.
-	runCtx, stop := context.WithCancel(ctx)
-	defer stop()
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
 	monErr := make(chan error, 1)
 	go func() {
 		err := m.Run(runCtx)
 		monErr <- err
 		if err != nil {
-			stop()
+			stopRun()
 		}
 	}()
 
@@ -89,8 +116,12 @@ func run(ctx context.Context, addr string, seed int64, corpus, application, regi
 		Handler:           psp.NewMonitorAPI(m).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("pspd: monitoring %d posts on %s (seed %d, debounce %s, %d store shards)",
-		store.Len(), addr, seed, debounce, store.Shards())
+	persistence := "in-memory"
+	if dataDir != "" {
+		persistence = fmt.Sprintf("durable at %s (recovered=%v)", dataDir, recovered)
+	}
+	log.Printf("pspd: monitoring %d posts on %s (seed %d, debounce %s, %d store shards, %s)",
+		store.Len(), addr, seed, debounce, store.Shards(), persistence)
 	if err := psp.ListenAndServeGraceful(runCtx, srv, drain); err != nil {
 		return err
 	}
@@ -104,7 +135,7 @@ func run(ctx context.Context, addr string, seed int64, corpus, application, regi
 }
 
 // newMonitor wires the framework and monitor over the store.
-func newMonitor(store *psp.SocialStore, application, region string, debounce time.Duration, concurrency int) (*psp.Monitor, error) {
+func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, application, region string, debounce time.Duration, concurrency int) (*psp.Monitor, error) {
 	// Validate the region eagerly: a typo would otherwise make a
 	// healthy-looking daemon monitor an empty corpus forever.
 	switch psp.Region(region) {
@@ -126,6 +157,7 @@ func newMonitor(store *psp.SocialStore, application, region string, debounce tim
 			Threats:     defaultThreats(),
 		},
 		Debounce: debounce,
+		State:    state,
 	})
 }
 
@@ -158,9 +190,35 @@ func defaultThreats() []*psp.ThreatScenario {
 	}
 }
 
-// loadCorpus builds the store — striped across the requested shard
-// count — from a snapshot file or the generator.
-func loadCorpus(seed int64, path string, shards int) (*psp.SocialStore, error) {
+// loadCorpus builds the store — durable when dataDir is set, striped
+// across the requested shard count — from the data directory, a
+// snapshot file, or the generator. recovered reports whether an
+// existing data directory supplied the corpus (seeding is then
+// skipped).
+func loadCorpus(seed int64, path, dataDir string, shards int) (store *psp.SocialStore, recovered bool, err error) {
+	if dataDir == "" {
+		store, err = loadEphemeral(seed, path, shards)
+		return store, false, err
+	}
+	// recovered = the directory held a store before this boot. Seeding
+	// is handled by the store itself (Seed hook): it runs only until
+	// the directory's seed marker commits, resumes a crashed seed
+	// idempotently, and every seed post is WAL-durable before the
+	// daemon serves.
+	_, statErr := os.Stat(filepath.Join(dataDir, "MANIFEST.json"))
+	recovered = statErr == nil
+	store, err = psp.OpenSocialStore(dataDir, psp.SocialDurableOptions{
+		Shards: shards,
+		Seed:   func() ([]*psp.Post, error) { return seedPosts(seed, path) },
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return store, recovered, nil
+}
+
+// loadEphemeral is the in-memory path: generator or snapshot file.
+func loadEphemeral(seed int64, path string, shards int) (*psp.SocialStore, error) {
 	if path == "" {
 		return psp.DefaultSocialStoreShards(seed, shards)
 	}
@@ -174,4 +232,21 @@ func loadCorpus(seed int64, path string, shards int) (*psp.SocialStore, error) {
 		return nil, fmt.Errorf("load corpus %s: %w", path, err)
 	}
 	return store, nil
+}
+
+// seedPosts produces the posts seeding a fresh data directory.
+func seedPosts(seed int64, path string) ([]*psp.Post, error) {
+	if path == "" {
+		return psp.GenerateCorpus(psp.DefaultCorpusSpec(seed))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open corpus: %w", err)
+	}
+	defer f.Close()
+	posts, err := psp.ReadSocialPosts(f)
+	if err != nil {
+		return nil, fmt.Errorf("load corpus %s: %w", path, err)
+	}
+	return posts, nil
 }

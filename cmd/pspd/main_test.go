@@ -26,7 +26,7 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, addr, 42, "", "", "", 20*time.Millisecond, time.Second, 0, 4)
+		done <- run(ctx, addr, 42, "", "", "", "", 20*time.Millisecond, time.Second, 0, 4)
 	}()
 
 	base := "http://" + addr
@@ -90,8 +90,72 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	}
 }
 
+// TestDaemonWarmRestart boots the daemon with a data directory, stops
+// it, and boots a second life over the same directory: the corpus must
+// recover (not re-seed), and the first served assessment must come from
+// the persisted state — same generation, restored flag set — rather
+// than a cold run.
+func TestDaemonWarmRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	boot := func() (string, context.CancelFunc, chan error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, addr, 42, "", dataDir, "", "", 20*time.Millisecond, time.Second, 0, 4)
+		}()
+		return "http://" + addr, cancel, done
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	var first struct {
+		Generation int  `json:"generation"`
+		CorpusSize int  `json:"corpus_size"`
+		Restored   bool `json:"restored"`
+	}
+	base, cancel, done := boot()
+	waitHealthy(t, base)
+	waitAssessment(t, base, 1, &first)
+	if first.Restored {
+		t.Fatalf("first life served a restored assessment: %+v", first)
+	}
+	stop(cancel, done)
+
+	var second struct {
+		Generation int  `json:"generation"`
+		CorpusSize int  `json:"corpus_size"`
+		Restored   bool `json:"restored"`
+	}
+	base, cancel, done = boot()
+	waitHealthy(t, base)
+	waitAssessment(t, base, first.Generation, &second)
+	if !second.Restored {
+		t.Fatalf("second life did not serve the persisted assessment: %+v", second)
+	}
+	if second.Generation != first.Generation || second.CorpusSize != first.CorpusSize {
+		t.Fatalf("restored metadata diverged: %+v vs %+v", second, first)
+	}
+	stop(cancel, done)
+}
+
 func TestRunRejectsMissingCorpus(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", time.Millisecond, time.Second, 0, 0)
+	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", "", time.Millisecond, time.Second, 0, 0)
 	if err == nil {
 		t.Fatal("missing corpus accepted")
 	}
@@ -152,7 +216,7 @@ func waitAssessment(t *testing.T, base string, minGeneration int, out any) {
 }
 
 func TestRunRejectsUnknownRegion(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "Europe", time.Millisecond, time.Second, 0, 0)
+	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "", "Europe", time.Millisecond, time.Second, 0, 0)
 	if err == nil {
 		t.Fatal("unknown region accepted")
 	}

@@ -6,13 +6,20 @@
 // Usage:
 //
 //	sociald [-addr :8384] [-seed 42] [-rate 50] [-burst 100]
-//	        [-corpus snapshot.jsonl] [-dump snapshot.jsonl] [-shards 0]
+//	        [-corpus snapshot.jsonl] [-dump snapshot.jsonl]
+//	        [-data-dir /var/lib/sociald] [-shards 0]
 //
 // -corpus loads a JSON Lines snapshot instead of generating the
-// reference corpus; -dump writes the served corpus to a snapshot and
-// exits. -shards sets the store's shard count (0 = library
-// default) so concurrent search traffic and ingest spread across
-// locks; results are identical at any setting.
+// reference corpus; -dump writes the served corpus to a snapshot
+// (atomically: temp file, fsync, rename) and exits. -shards sets the
+// store's shard count (0 = library default) so concurrent search
+// traffic and ingest spread across locks; results are identical at any
+// setting.
+//
+// -data-dir runs the store on a per-stripe write-ahead log with
+// snapshot compaction: restarts recover the corpus instead of
+// regenerating it, and SIGTERM flushes a final snapshot. -seed/-corpus
+// seed only an empty data directory.
 package main
 
 import (
@@ -36,21 +43,29 @@ func main() {
 	burst := flag.Int("burst", 100, "rate limiter burst capacity")
 	corpus := flag.String("corpus", "", "load corpus from a JSON Lines snapshot instead of generating")
 	dump := flag.String("dump", "", "write the corpus to a JSON Lines snapshot and exit")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty runs in-memory")
 	shards := flag.Int("shards", 0, "store shard count (0 = library default)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *rate, *burst, *corpus, *dump, *shards); err != nil {
+	if err := run(ctx, *addr, *seed, *rate, *burst, *corpus, *dump, *dataDir, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "sociald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, rate float64, burst int, corpus, dump string, shards int) error {
-	store, err := loadCorpus(seed, corpus, shards)
+func run(ctx context.Context, addr string, seed int64, rate float64, burst int, corpus, dump, dataDir string, shards int) error {
+	store, err := loadCorpus(seed, corpus, dataDir, shards)
 	if err != nil {
 		return err
 	}
+	// With -data-dir this compacts the WAL tail into a final snapshot
+	// on the way out (SIGTERM included); in-memory it is a no-op.
+	defer func() {
+		if err := store.Close(); err != nil {
+			log.Printf("sociald: final flush: %v", err)
+		}
+	}()
 	if dump != "" {
 		return dumpCorpus(store, seed, dump)
 	}
@@ -78,9 +93,19 @@ func newLimiter(burst int, rate float64) *psp.RateLimiter {
 	return psp.NewRateLimiter(burst, rate)
 }
 
-// loadCorpus builds the store — striped across the requested shard
-// count — from a snapshot file or the generator.
-func loadCorpus(seed int64, path string, shards int) (*psp.SocialStore, error) {
+// loadCorpus builds the store — durable when dataDir is set, striped
+// across the requested shard count — from the data directory, a
+// snapshot file, or the generator.
+func loadCorpus(seed int64, path, dataDir string, shards int) (*psp.SocialStore, error) {
+	if dataDir != "" {
+		// The Seed hook runs only until the directory's seed marker
+		// commits and resumes a crashed seed idempotently — a kill -9
+		// mid-seed can never leave a silently partial corpus.
+		return psp.OpenSocialStore(dataDir, psp.SocialDurableOptions{
+			Shards: shards,
+			Seed:   func() ([]*psp.Post, error) { return seedPosts(seed, path) },
+		})
+	}
 	if path == "" {
 		return psp.DefaultSocialStoreShards(seed, shards)
 	}
@@ -96,21 +121,28 @@ func loadCorpus(seed int64, path string, shards int) (*psp.SocialStore, error) {
 	return store, nil
 }
 
-// dumpCorpus regenerates the reference corpus posts and writes them as a
-// snapshot.
-func dumpCorpus(store *psp.SocialStore, seed int64, path string) error {
-	posts, err := psp.GenerateCorpus(psp.DefaultCorpusSpec(seed))
-	if err != nil {
-		return err
+// seedPosts produces the posts seeding a fresh data directory.
+func seedPosts(seed int64, path string) ([]*psp.Post, error) {
+	if path == "" {
+		return psp.GenerateCorpus(psp.DefaultCorpusSpec(seed))
 	}
-	f, err := os.Create(path)
+	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("create snapshot: %w", err)
+		return nil, fmt.Errorf("open corpus: %w", err)
 	}
 	defer f.Close()
-	if err := psp.WriteSocialPosts(f, posts); err != nil {
+	return psp.ReadSocialPosts(f)
+}
+
+// dumpCorpus writes the served store's contents as a snapshot —
+// atomically, so a crash mid-dump can never leave a truncated file
+// that a later -corpus load would half-parse. It dumps the store, not
+// a regenerated seed corpus, so posts recovered from a data directory
+// are never silently missing from the dump.
+func dumpCorpus(store *psp.SocialStore, seed int64, path string) error {
+	if err := psp.WriteSocialStoreFile(path, store); err != nil {
 		return err
 	}
-	log.Printf("sociald: wrote %d posts (of %d stored) to %s", len(posts), store.Len(), path)
-	return f.Close()
+	log.Printf("sociald: wrote %d posts (seed %d) to %s", store.Len(), seed, path)
+	return nil
 }

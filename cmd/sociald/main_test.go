@@ -11,7 +11,7 @@ import (
 )
 
 func TestLoadCorpusGeneratesByDefault(t *testing.T) {
-	store, err := loadCorpus(42, "", 0)
+	store, err := loadCorpus(42, "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestDumpAndLoadSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "corpus.jsonl")
 
-	store, err := loadCorpus(7, "", 0)
+	store, err := loadCorpus(7, "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestDumpAndLoadSnapshot(t *testing.T) {
 		t.Fatalf("snapshot missing or empty: %v", err)
 	}
 
-	back, err := loadCorpus(0, path, 2)
+	back, err := loadCorpus(0, path, "", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestDumpAndLoadSnapshot(t *testing.T) {
 }
 
 func TestLoadCorpusMissingFile(t *testing.T) {
-	if _, err := loadCorpus(0, "/nonexistent/corpus.jsonl", 0); err == nil {
+	if _, err := loadCorpus(0, "/nonexistent/corpus.jsonl", "", 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -63,7 +63,7 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, addr, 7, 0, 0, "", "", 4) }()
+	go func() { done <- run(ctx, addr, 7, 0, 0, "", "", "", 4) }()
 
 	url := "http://" + addr + "/v2/healthz"
 	deadline := time.Now().Add(10 * time.Second)

@@ -72,5 +72,30 @@
 // corpus, at a fraction of the work (see Framework.RunSocialDelta).
 // The pspd daemon serves the resulting Assessment over HTTP — ingest,
 // cached SAI/TARA results with freshness metadata, health — with
-// graceful shutdown via ListenAndServeGraceful.
+// graceful shutdown via ListenAndServeGraceful. GET /v1/assessment
+// answers conditional requests (ETag keyed on the assessment
+// generation / If-None-Match → 304), so fleet dashboards poll for free
+// between rating changes.
+//
+// # Durability
+//
+// Clause 8 monitoring only counts if it survives restarts, so the
+// store and the monitor both persist. OpenSocialStore runs a store on
+// a crash-safe engine (internal/durable): every Add appends to its
+// time-bucket stripe's segmented write-ahead log — CRC-framed records,
+// group commit, one fsync acknowledging every append waiting on that
+// stripe — before it touches an index, a background pass compacts the
+// live store into atomic JSON Lines snapshots and truncates old WAL
+// segments, and reopening the directory recovers snapshot + WAL tail
+// (torn tails truncated, never fatal) into listings byte-identical to
+// the acknowledged pre-crash state. The monitor persists its own state
+// alongside (MonitorConfig.State, NewMonitorFileState): the serialized
+// assessment, the listing cache's fill identities, and the store
+// cursor. A restarted pspd therefore serves its previous assessment
+// immediately — same generation, same ETag — and catches up with one
+// incremental delta run over the posts ingested past the cursor
+// instead of a cold full workflow. The daemons expose all of this as
+// -data-dir; snapshot/corpus dumps (WriteSocialPostsFile,
+// sociald -dump) are atomic — temp file, fsync, rename — so no crash
+// can leave a half-written corpus.
 package psp

@@ -22,6 +22,7 @@ import (
 // indices — fill identity stays a pure function of invalidation, not of
 // store internals.
 type cacheFill struct {
+	query   social.Query        // canonical form; the export/import key
 	matcher social.QueryMatcher // compiled predicate for invalidation
 	posts   []*social.Post
 }
@@ -77,7 +78,7 @@ func (c *QueryCache) Search(ctx context.Context, q social.Query) (*social.Page, 
 		if err != nil {
 			return nil, err
 		}
-		fill = &cacheFill{matcher: canon.Matcher(), posts: posts}
+		fill = &cacheFill{query: canon, matcher: canon.Matcher(), posts: posts}
 		c.mu.Lock()
 		if cur := c.fills[key]; cur != nil {
 			fill = cur // a concurrent drain won; keep one fill identity

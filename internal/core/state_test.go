@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+func stateThreat() *tara.ThreatScenario {
+	return &tara.ThreatScenario{
+		ID: "TS-ECM-01", Name: "ECM reprogramming",
+		DamageIDs: []string{"DS-01"},
+		Property:  tara.PropertyIntegrity,
+		STRIDE:    tara.Tampering,
+		Profiles:  []tara.AttackerProfile{tara.ProfileInsider},
+		Vector:    tara.VectorPhysical,
+		Keywords:  []string{"chiptuning", "ecutune", "remap", "stage1"},
+	}
+}
+
+// TestResultStateRoundtrip: a real workflow result survives the
+// export → JSON → restore cycle with every consumer-visible field
+// intact (threat scenarios resolving back to the live pointers).
+func TestResultStateRoundtrip(t *testing.T) {
+	store, err := social.DefaultStore(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threats := []*tara.ThreatScenario{stateThreat()}
+	in := SocialInput{Threats: threats}
+	orig, err := fw.RunSocial(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := ExportResult(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ResultState
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreResult(&decoded, threats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Index, orig.Index) {
+		t.Errorf("index diverged:\n got %+v\nwant %+v", got.Index.Entries, orig.Index.Entries)
+	}
+	if !reflect.DeepEqual(got.OutsiderTable, orig.OutsiderTable) {
+		t.Error("outsider table diverged")
+	}
+	if len(orig.Learned) > 0 && !reflect.DeepEqual(got.Learned, orig.Learned) {
+		t.Errorf("learned diverged: %v vs %v", got.Learned, orig.Learned)
+	}
+	if !reflect.DeepEqual(got.Keywords.Groups(), orig.Keywords.Groups()) {
+		t.Error("keyword groups diverged")
+	}
+	if got.InauthenticFiltered != orig.InauthenticFiltered ||
+		!got.Since.Equal(orig.Since) || !got.Until.Equal(orig.Until) {
+		t.Error("scalar fields diverged")
+	}
+	if len(got.Tunings) != len(orig.Tunings) {
+		t.Fatalf("%d tunings, want %d", len(got.Tunings), len(orig.Tunings))
+	}
+	for i, tuning := range got.Tunings {
+		want := orig.Tunings[i]
+		if tuning.Threat != want.Threat {
+			t.Errorf("tuning %d: threat not resolved to the live scenario", i)
+		}
+		if tuning.Insider != want.Insider || tuning.Posts != want.Posts ||
+			!reflect.DeepEqual(tuning.VectorShares, want.VectorShares) ||
+			!reflect.DeepEqual(tuning.Factors, want.Factors) ||
+			!reflect.DeepEqual(tuning.Table, want.Table) {
+			t.Errorf("tuning %d diverged", i)
+		}
+	}
+
+	// A state referencing a scenario the input no longer carries is
+	// stale, not silently restorable.
+	if _, err := RestoreResult(&decoded, nil); err == nil {
+		t.Error("restore against missing threats must fail")
+	}
+}
+
+// TestFillStateRoundtrip: exported fills rehydrated into a fresh cache
+// serve a whole delta run without a single backend query, producing an
+// identical result.
+func TestFillStateRoundtrip(t *testing.T) {
+	store, err := social.DefaultStore(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := SocialInput{Threats: []*tara.ThreatScenario{stateThreat()}}
+	ctx := context.Background()
+
+	rc := NewResultCache(store)
+	want, err := fw.RunSocialDelta(ctx, in, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fills := rc.ExportFills()
+	if len(fills) == 0 {
+		t.Fatal("run produced no fills to export")
+	}
+	wire, err := json.Marshal(fills)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []FillState
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	counting := &countingSearcher{inner: store}
+	rc2 := NewResultCache(counting)
+	if restored := rc2.ImportFills(decoded, store.Post); restored != len(fills) {
+		t.Fatalf("restored %d fills, want %d", restored, len(fills))
+	}
+	got, err := fw.RunSocialDelta(ctx, in, rc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := counting.calls.Load(); n != 0 {
+		t.Errorf("restored cache still queried the backend %d times", n)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("run over restored fills diverged from the original")
+	}
+
+	// A fill pointing at a post the store lost is dropped, not half
+	// restored.
+	broken := append([]FillState(nil), decoded...)
+	broken[0].PostIDs = append([]string{"no-such-post"}, broken[0].PostIDs...)
+	rc3 := NewResultCache(store)
+	if restored := rc3.ImportFills(broken, store.Post); restored != len(broken)-1 {
+		t.Fatalf("restored %d fills from a broken export, want %d", restored, len(broken)-1)
+	}
+}

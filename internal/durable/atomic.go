@@ -1,0 +1,68 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFileAtomic replaces path with the bytes produced by write,
+// crash-safely: the content goes to a temporary file in the same
+// directory, is fsync'd, and is renamed over path, so a reader (or a
+// crash) can only ever observe the complete old file or the complete
+// new file — never a truncated dump. The directory is fsync'd after the
+// rename so the replacement itself survives a crash.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: create temp for %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("durable: sync %s: %w", path, err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: close %s: %w", path, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		tmp = nil
+		return fmt.Errorf("durable: rename %s: %w", path, err)
+	}
+	tmp = nil // renamed away; nothing to clean up
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry is
+// durable. Filesystems that reject directory fsync (it is optional on
+// some) are tolerated: the rename itself is still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// EINVAL/ENOTSUP from filesystems without directory fsync is
+		// not a durability bug the caller can act on; everything else
+		// is.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || os.IsPermission(err) {
+			return nil
+		}
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

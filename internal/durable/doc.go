@@ -1,0 +1,77 @@
+// Package durable is the crash-safe storage engine under the social
+// store and the monitoring daemon: a segmented, append-only write-ahead
+// log with group commit, a snapshot manifest, and atomic file
+// replacement. It knows nothing about posts or assessments — payloads
+// are opaque byte slices — so the social package layers its own batch
+// encoding on top (see internal/social's durability notes).
+//
+// # Write-ahead log
+//
+// A Log is one directory of numbered segment files. Every record is
+// framed as
+//
+//	offset 0  uint32 little-endian  payload length in bytes
+//	offset 4  uint32 little-endian  CRC-32C (Castagnoli) of the payload
+//	offset 8  payload
+//
+// Records carry no explicit sequence number: a record's sequence is the
+// segment's first sequence plus the record's index within the segment.
+// Sequences start at 1 and are dense — every accepted Append gets the
+// next sequence, assigned by the single writer goroutine.
+//
+// # Segments
+//
+// Segment files are named "<first-sequence>.seg" with the sequence
+// zero-padded to 20 digits ("00000000000000000001.seg"), so the
+// lexical order of file names is the sequence order. A segment rolls
+// once it exceeds LogOptions.SegmentBytes; rolling creates the next
+// segment named after the next unassigned sequence and fsyncs the
+// directory so the new name survives a crash. Only whole segments are
+// ever deleted (TruncateBefore), which is what makes WAL truncation
+// after a snapshot a pair of unlink calls rather than a rewrite.
+//
+// # Group commit
+//
+// Append hands the payload to the log's writer goroutine and blocks.
+// The writer drains every append waiting at that moment (up to
+// LogOptions.MaxGroup), frames them into one buffer, issues one write
+// and one fsync, and only then acknowledges each caller — so N
+// concurrent appenders share a single fsync instead of paying one
+// each. The OnDurable hook runs on the writer goroutine, in sequence
+// order, after the fsync and before the acknowledgement; the social
+// store uses it to register every durable-but-unapplied sequence so
+// snapshot floors never claim a record the in-memory indices have not
+// absorbed yet.
+//
+// # Recovery rules
+//
+// Opening a log validates it back to front-of-corruption:
+//
+//   - Segments are scanned in name order. A record with an impossible
+//     length, a CRC mismatch, or a short read (the torn tail of a
+//     crashed write) ends the scan: the file is truncated to the last
+//     valid record and every later segment is deleted. Torn or corrupt
+//     tails are truncated, never fatal.
+//   - A gap in the segment chain (a missing file) ends the log at the
+//     gap: later segments are deleted, because their sequences could
+//     not be trusted.
+//   - An empty segment file (created by a roll that crashed before the
+//     first record) is valid and simply contributes zero records.
+//
+// Acknowledged appends are fsync'd by definition, so none of this can
+// drop an acknowledged record — only unacknowledged tail writes are at
+// risk, and those are exactly what the rules discard.
+//
+// # Snapshot manifest
+//
+// A Manifest (MANIFEST.json in the store's data directory) names the
+// current snapshot file and records, per stripe, the replay floor: the
+// highest sequence known to be fully reflected in that snapshot.
+// Recovery loads the snapshot, then replays every WAL record with a
+// sequence above its stripe's floor; records at or below a floor that
+// still exist on disk (truncation is whole-segment) are skipped, and
+// replayed posts that the snapshot already contains are deduplicated by
+// ID. The manifest is replaced atomically (WriteFileAtomic), so a crash
+// mid-compaction leaves either the old manifest (and an orphaned new
+// snapshot, removed at next open) or the new one — never a torn file.
+package durable

@@ -1,0 +1,65 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest's file name within a data directory.
+const ManifestName = "MANIFEST.json"
+
+// Manifest tracks a data directory's current snapshot and, per stripe,
+// the WAL replay floor: every record with sequence ≤ the floor is fully
+// reflected in the snapshot, so recovery replays only records above it.
+// Manifests are replaced atomically; see the package documentation.
+type Manifest struct {
+	// Shards is the stripe count the directory's WAL layout and
+	// snapshot floors were built for. Reopening with a different count
+	// is an error: the bucket→stripe mapping, and with it the per-stripe
+	// logs, would no longer line up.
+	Shards int `json:"shards"`
+	// Gen increments with every snapshot, naming snapshot files
+	// uniquely so a crashed compaction never half-overwrites the
+	// snapshot the manifest still points at.
+	Gen uint64 `json:"generation"`
+	// Snapshot is the current snapshot's file name (within the snapshot
+	// directory); empty when no snapshot has been taken yet.
+	Snapshot string `json:"snapshot,omitempty"`
+	// Floors holds one replay floor per stripe.
+	Floors []uint64 `json:"floors"`
+}
+
+// LoadManifest reads a data directory's manifest, returning (nil, nil)
+// when none exists yet.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: parse manifest: %w", err)
+	}
+	if m.Shards <= 0 {
+		return nil, fmt.Errorf("durable: manifest with invalid shard count %d", m.Shards)
+	}
+	if len(m.Floors) != m.Shards {
+		return nil, fmt.Errorf("durable: manifest floors length %d != %d shards", len(m.Floors), m.Shards)
+	}
+	return &m, nil
+}
+
+// Write atomically replaces the directory's manifest.
+func (m *Manifest) Write(dir string) error {
+	return WriteFileAtomic(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}

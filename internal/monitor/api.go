@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"github.com/psp-framework/psp/internal/core"
@@ -21,6 +22,13 @@ import (
 // Ingested posts land in the monitored store; the resulting assessment
 // refresh is asynchronous (debounced), so readers use the generation
 // and updated_at metadata to judge freshness.
+//
+// GET /v1/assessment supports conditional requests: every response
+// carries an ETag keyed on the assessment generation, and a request
+// whose If-None-Match matches it is answered 304 Not Modified without
+// a body — fleet dashboards poll for free between rating changes. A
+// warm-restarted daemon resumes the persisted generation, so cached
+// ETags stay valid across the restart.
 type API struct {
 	m *Monitor
 }
@@ -85,6 +93,7 @@ type assessmentResponse struct {
 	UpdatedAt           time.Time           `json:"updated_at"`
 	FullRun             bool                `json:"full_run"`
 	Recomputed          bool                `json:"recomputed"`
+	Restored            bool                `json:"restored,omitempty"`
 	CorpusSize          int                 `json:"corpus_size"`
 	Ingested            int                 `json:"ingested"`
 	Dirty               core.DirtySet       `json:"dirty"`
@@ -123,6 +132,7 @@ func renderAssessment(cur *Assessment) assessmentResponse {
 		UpdatedAt:           cur.UpdatedAt,
 		FullRun:             cur.FullRun,
 		Recomputed:          cur.Recomputed,
+		Restored:            cur.Restored,
 		CorpusSize:          cur.CorpusSize,
 		Ingested:            cur.Ingested,
 		Dirty:               cur.Dirty,
@@ -182,7 +192,36 @@ func (a *API) handleAssessment(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "assessment not ready; initial run in progress"})
 		return
 	}
+	// The tag pairs the generation with its publication instant:
+	// generations alone restart from 1 after a cold restart (no
+	// persisted state), and a stale cached copy must not survive that.
+	etag := fmt.Sprintf(`"g%d.%d"`, cur.Generation, cur.UpdatedAt.UnixNano())
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	writeJSON(w, http.StatusOK, renderAssessment(cur))
+}
+
+// etagMatches implements the If-None-Match comparison for a single
+// current tag: a comma-separated candidate list, "*", and weak
+// validators (the weak comparison is allowed for GET).
+func etagMatches(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 type healthResponse struct {
@@ -190,6 +229,9 @@ type healthResponse struct {
 	Posts      int    `json:"posts"`
 	Generation uint64 `json:"generation"`
 	LastError  string `json:"last_error,omitempty"`
+	// StoreError reports a failing background snapshot compaction on a
+	// durable store (the WAL keeps growing until it clears).
+	StoreError string `json:"store_error,omitempty"`
 }
 
 func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -199,6 +241,9 @@ func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := a.m.LastError(); err != nil {
 		h.LastError = err.Error()
+	}
+	if err := a.m.Store().CompactionError(); err != nil {
+		h.StoreError = err.Error()
 	}
 	writeJSON(w, http.StatusOK, h)
 }

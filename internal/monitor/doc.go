@@ -27,8 +27,25 @@
 // metadata-only generation without touching the workflow at all.
 //
 // The API type serves the assessment over HTTP — POST /v1/posts for
-// ingest, GET /v1/assessment for the current cached result, and
-// GET /v1/healthz — and ListenAndServe hosts any http.Server with
-// graceful shutdown on context cancellation, shared by the pspd and
-// sociald daemons.
+// ingest, GET /v1/assessment for the current cached result (with an
+// ETag keyed on the assessment generation; If-None-Match polling costs
+// a 304 and no body between rating changes), and GET /v1/healthz — and
+// ListenAndServe hosts any http.Server with graceful shutdown on
+// context cancellation, shared by the pspd and sociald daemons.
+//
+// # Warm restart
+//
+// With Config.State set (FileStateStore behind pspd's -data-dir), the
+// monitor persists a State after every publication: the assessment
+// serialized through core's export surface, the listing cache's fill
+// identities as post IDs, and the watched durable store's WAL cursor,
+// all replaced atomically. The next Run restores it — provided the
+// input signature still matches and the cursor is still within the
+// WAL's truncation horizon — publishes the restored Assessment
+// immediately (Restored=true, the persisted generation, zero platform
+// queries), and asks the store for PostsSince(cursor): the posts the
+// persisted state never saw. A non-empty catch-up delta runs through
+// the normal incremental flush; an empty one keeps the restored
+// generation alive, so pollers' cached ETags stay valid across the
+// restart. Any mismatch falls back to a cold initial run.
 package monitor

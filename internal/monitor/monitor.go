@@ -33,6 +33,15 @@ type Config struct {
 	MaxLag time.Duration
 	// Now stamps assessments; nil uses time.Now. Injectable for tests.
 	Now func() time.Time
+	// State, when set, persists the monitor's warm-restart image (the
+	// assessment, the listing-cache fill identities and the watched
+	// store's durable cursor) after every publication, and restores it
+	// at the next Run: a restarted monitor serves its last assessment
+	// immediately and catches up with one incremental delta run instead
+	// of a cold full workflow. Warm restore requires Store to be
+	// durable (social.OpenStoreDir) — without a durable cursor the
+	// state is saved with a nil cursor and ignored at restore time.
+	State StateStore
 }
 
 // Assessment is one immutable snapshot of the monitored risk picture:
@@ -56,6 +65,11 @@ type Assessment struct {
 	// false means the delta touched no cached query and the previous
 	// result was re-published with fresh metadata.
 	Recomputed bool
+	// Restored marks an assessment served from persisted state after a
+	// restart, before any workflow ran in this process. Its Generation
+	// and UpdatedAt are the persisted ones, so pollers (and their
+	// ETags) see continuity across the restart.
+	Restored bool
 	// Dirty summarizes which topics and threats the triggering delta
 	// could affect (empty on the initial run).
 	Dirty core.DirtySet
@@ -67,11 +81,12 @@ type Monitor struct {
 	cfg Config
 	rc  *core.ResultCache
 
-	mu       sync.Mutex
-	cur      *Assessment
-	notify   chan struct{} // closed and replaced on every publish
-	ingested int
-	lastErr  error
+	mu         sync.Mutex
+	cur        *Assessment
+	notify     chan struct{} // closed and replaced on every publish
+	ingested   int
+	lastErr    error // most recent re-assessment failure
+	persistErr error // most recent state-save failure (never retried by re-running the workflow)
 }
 
 // New validates the configuration and builds a Monitor.
@@ -101,19 +116,38 @@ func New(cfg Config) (*Monitor, error) {
 	}, nil
 }
 
-// Run performs the initial cold assessment, then tails the store's
-// changefeed and re-assesses incrementally until ctx is cancelled.
-// Transient workflow failures are recorded (see LastError) and retried
-// on the next delta; Run only returns on context cancellation or if
-// the initial assessment fails.
+// Run performs the initial assessment — warm from persisted state when
+// Config.State holds a usable image (the restored snapshot publishes
+// immediately and the catch-up is one incremental delta run over the
+// posts the durable cursor has not seen), cold otherwise — then tails
+// the store's changefeed and re-assesses incrementally until ctx is
+// cancelled. Transient workflow failures are recorded (see LastError)
+// and retried on the next delta; Run only returns on context
+// cancellation or if the initial assessment fails.
 func (m *Monitor) Run(ctx context.Context) error {
+	// Subscribe before computing the restart delta: a post committed
+	// after the subscription arrives live, one committed before it is
+	// in the durable log the delta scan reads — either way it is seen
+	// (possibly twice; invalidation is idempotent).
 	feed := m.cfg.Store.Watch(ctx, social.WatchOptions{})
 
-	res, err := m.cfg.Framework.RunSocialDelta(ctx, m.cfg.Input, m.rc)
-	if err != nil {
-		return fmt.Errorf("monitor: initial assessment: %w", err)
+	if delta, ok := m.tryRestore(); ok {
+		// Served warm. Catch up on whatever the persisted state had not
+		// seen; an empty delta means the restored assessment is already
+		// exact — keeping its generation (and its pollers' ETags) alive
+		// across the restart.
+		if len(delta) > 0 {
+			m.flush(ctx, delta)
+		}
+	} else {
+		cursor := m.cfg.Store.DurableCursor()
+		res, err := m.cfg.Framework.RunSocialDelta(ctx, m.cfg.Input, m.rc)
+		if err != nil {
+			return fmt.Errorf("monitor: initial assessment: %w", err)
+		}
+		m.publish(res, core.DirtySet{}, true, true)
+		m.persistState(cursor)
 	}
-	m.publish(res, core.DirtySet{}, true, true)
 
 	// Debounce: a quiet period of cfg.Debounce after the last batch
 	// triggers the flush, while cfg.MaxLag bounds deferral under a
@@ -124,6 +158,13 @@ func (m *Monitor) Run(ctx context.Context) error {
 		lagC       <-chan time.Time
 		failStreak uint
 	)
+	// A failed warm-restart catch-up must retry like any failed flush:
+	// without this arm the loop would wait for the next ingested batch
+	// while serving the stale restored assessment.
+	if m.workflowError() != nil {
+		debounceC = time.After(retryDelay(m.cfg.Debounce, 0))
+		failStreak = 1
+	}
 	for {
 		fired := false
 		select {
@@ -149,11 +190,14 @@ func (m *Monitor) Run(ctx context.Context) error {
 			m.flush(ctx, pending)
 			pending = nil
 			debounceC, lagC = nil, nil
-			if m.LastError() != nil && ctx.Err() == nil {
+			if m.workflowError() != nil && ctx.Err() == nil {
 				// The workflow failed after its invalidations landed;
 				// retry without waiting for the next delta, backing off
 				// exponentially so a persistent platform outage is not
-				// hammered on the bare debounce cadence.
+				// hammered on the bare debounce cadence. (Persist-only
+				// failures do NOT arm this: re-running the workflow
+				// cannot fix a disk error, and the generation churn
+				// would invalidate every poller's ETag for nothing.)
 				debounceC = time.After(retryDelay(m.cfg.Debounce, failStreak))
 				failStreak++
 			} else {
@@ -179,6 +223,12 @@ func retryDelay(debounce time.Duration, failStreak uint) time.Duration {
 
 // flush runs one incremental re-assessment over the pending delta.
 func (m *Monitor) flush(ctx context.Context, pending []*social.Post) {
+	// The persisted cursor is captured before any cache work: the
+	// cached fills about to be (re)built reflect the store at or after
+	// this point, so a restart replays at most a little extra — and
+	// invalidation is idempotent — never too little.
+	cursor := m.cfg.Store.DurableCursor()
+
 	// Tokenize the delta once for both the invalidation and the
 	// dirty-set pass.
 	profiles := social.ProfilePosts(pending)
@@ -196,7 +246,11 @@ func (m *Monitor) flush(ctx context.Context, pending []*social.Post) {
 		// result is still exact. Publish fresh metadata without work.
 		// After a failed flush this shortcut is unsound — that flush's
 		// invalidations already landed, so prev may be stale even when
-		// this delta drops nothing — hence the retry guard.
+		// this delta drops nothing — hence the retry guard. The state
+		// file is NOT rewritten here: result and fills are unchanged,
+		// and a restart restoring the slightly older cursor just
+		// replays a delta that invalidates nothing — cheaper than an
+		// fsync per no-work tick.
 		m.publish(prev.Result, dirty, false, false)
 		return
 	}
@@ -208,6 +262,93 @@ func (m *Monitor) flush(ctx context.Context, pending []*social.Post) {
 		return
 	}
 	m.publish(res, dirty, false, true)
+	m.persistState(cursor)
+}
+
+// tryRestore loads persisted state and, when it is usable for the
+// configured input and store, publishes the restored assessment and
+// returns the catch-up delta (posts the persisted cursor has not
+// seen). Any mismatch — no state, different input, non-durable store,
+// cursor older than the WAL horizon, undecodable result — falls back
+// to (nil, false): the cold path.
+func (m *Monitor) tryRestore() ([]*social.Post, bool) {
+	if m.cfg.State == nil {
+		return nil, false
+	}
+	st, err := m.cfg.State.Load()
+	if err != nil || st == nil || st.Result == nil || st.Cursor == nil {
+		return nil, false
+	}
+	if st.InputSig != inputSignature(m.cfg.Input) {
+		return nil, false
+	}
+	delta, err := m.cfg.Store.PostsSince(st.Cursor)
+	if err != nil {
+		return nil, false
+	}
+	res, err := core.RestoreResult(st.Result, m.cfg.Input.Threats)
+	if err != nil {
+		return nil, false
+	}
+	if m.rc.ImportFills(st.Fills, m.cfg.Store.Post) != len(st.Fills) {
+		// A partially restored cache would make the "delta invalidated
+		// nothing" shortcut unsound: a post matching a missing fill
+		// would drop nothing yet change the true result. (Fills hold
+		// store post IDs, so this fires when the fills came from a
+		// different backend — e.g. a federated Multi — or the store
+		// lost posts.) Start over with an empty cache, cold.
+		m.rc = core.NewResultCache(m.cfg.Searcher)
+		return nil, false
+	}
+
+	m.mu.Lock()
+	m.cur = &Assessment{
+		Result:     res,
+		Generation: st.Generation,
+		UpdatedAt:  st.UpdatedAt,
+		CorpusSize: st.CorpusSize,
+		FullRun:    false,
+		Recomputed: false,
+		Restored:   true,
+	}
+	close(m.notify)
+	m.notify = make(chan struct{})
+	m.mu.Unlock()
+	return delta, true
+}
+
+// persistState saves the current assessment, fills and cursor through
+// the configured state store. Persistence failures are recorded like
+// re-assessment failures (LastError / healthz) — the monitor keeps
+// serving, it just will not restart warm.
+func (m *Monitor) persistState(cursor social.DurableCursor) {
+	if m.cfg.State == nil || cursor == nil {
+		return
+	}
+	cur := m.Assessment()
+	if cur == nil {
+		return
+	}
+	rs, err := core.ExportResult(cur.Result)
+	if err == nil {
+		err = m.cfg.State.Save(&State{
+			SavedAt:    m.cfg.Now(),
+			InputSig:   inputSignature(m.cfg.Input),
+			Generation: cur.Generation,
+			UpdatedAt:  cur.UpdatedAt,
+			CorpusSize: cur.CorpusSize,
+			Cursor:     cursor,
+			Result:     rs,
+			Fills:      m.rc.ExportFills(),
+		})
+	}
+	m.mu.Lock()
+	if err != nil {
+		m.persistErr = fmt.Errorf("monitor: persist state: %w", err)
+	} else {
+		m.persistErr = nil
+	}
+	m.mu.Unlock()
 }
 
 // publish installs a new assessment snapshot and wakes waiters.
@@ -241,9 +382,23 @@ func (m *Monitor) Assessment() *Assessment {
 	return m.cur
 }
 
-// LastError returns the most recent re-assessment failure, cleared by
-// the next successful publication.
+// LastError returns the most recent re-assessment failure (cleared by
+// the next successful publication) or, absent one, the most recent
+// state-persistence failure (cleared by the next successful save) — a
+// monitor that serves fine but cannot restart warm still reports
+// unhealthy.
 func (m *Monitor) LastError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastErr != nil {
+		return m.lastErr
+	}
+	return m.persistErr
+}
+
+// workflowError returns only re-assessment failures — the class a
+// retry flush can actually fix.
+func (m *Monitor) workflowError() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.lastErr

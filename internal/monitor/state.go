@@ -1,0 +1,101 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/durable"
+	"github.com/psp-framework/psp/internal/social"
+)
+
+// State is a monitor's persisted warm-restart image: the published
+// assessment (serialized through the core export surface), the listing
+// cache's fill identities, and the durable store cursor the state was
+// taken at. A restarted daemon that loads a State serves its assessment
+// immediately and catches up with PostsSince(Cursor) — an incremental
+// delta run — instead of a cold full workflow.
+type State struct {
+	// SavedAt is the persistence instant.
+	SavedAt time.Time `json:"saved_at"`
+	// InputSig fingerprints the monitored input (application, region,
+	// window, threat scenarios, flags). A state whose signature does not
+	// match the configured input is discarded: it describes a different
+	// monitoring question.
+	InputSig string `json:"input_sig"`
+	// Generation, UpdatedAt and CorpusSize mirror the persisted
+	// assessment's metadata, so the restored snapshot reports the same
+	// freshness (and the same ETag) it did before the restart.
+	Generation uint64    `json:"generation"`
+	UpdatedAt  time.Time `json:"updated_at"`
+	CorpusSize int       `json:"corpus_size"`
+	// Cursor is the watched store's durable WAL position at (or
+	// conservatively before) the state capture; posts above it form the
+	// restart delta.
+	Cursor social.DurableCursor `json:"cursor"`
+	// Result is the serialized assessment payload.
+	Result *core.ResultState `json:"result"`
+	// Fills are the listing cache's entries, by post ID.
+	Fills []core.FillState `json:"fills,omitempty"`
+}
+
+// StateStore persists monitor state. Load returns (nil, nil) when no
+// state exists yet; a Load error is treated as "no usable state" (the
+// monitor runs cold), a Save error is surfaced through
+// Monitor.LastError.
+type StateStore interface {
+	Load() (*State, error)
+	Save(*State) error
+}
+
+// FileStateStore keeps the state in one JSON file, replaced atomically
+// on every save so a crash mid-save can never leave a torn state for
+// the next start to trip over.
+type FileStateStore struct {
+	Path string
+}
+
+// NewFileStateStore persists monitor state at path.
+func NewFileStateStore(path string) *FileStateStore { return &FileStateStore{Path: path} }
+
+// Load reads the state file; a missing file is (nil, nil).
+func (f *FileStateStore) Load() (*State, error) {
+	data, err := os.ReadFile(f.Path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("monitor: read state: %w", err)
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("monitor: parse state %s: %w", f.Path, err)
+	}
+	return &st, nil
+}
+
+// Save atomically replaces the state file.
+func (f *FileStateStore) Save(st *State) error {
+	return durable.WriteFileAtomic(f.Path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	})
+}
+
+// inputSignature fingerprints the monitored input. JSON over a
+// normalized struct: threat scenarios serialize whole, so editing a
+// scenario's keywords (which changes its platform queries) invalidates
+// persisted state just like changing the application filter does.
+func inputSignature(in core.SocialInput) string {
+	data, err := json.Marshal(in)
+	if err != nil {
+		// SocialInput is plain data; an unmarshalable value still yields
+		// a stable non-matching signature.
+		return fmt.Sprintf("unmarshalable: %v", err)
+	}
+	return string(data)
+}

@@ -1,0 +1,342 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// tapSearcher counts platform queries so warm-restart tests can prove
+// an assessment was served without running the workflow.
+type tapSearcher struct {
+	inner social.Searcher
+	calls atomic.Int64
+}
+
+func (c *tapSearcher) Search(ctx context.Context, q social.Query) (*social.Page, error) {
+	c.calls.Add(1)
+	return c.inner.Search(ctx, q)
+}
+
+// openSeededDurableStore builds a durable store in dir seeded with the
+// reference corpus (only on first open — a reopened dir recovers
+// instead).
+func openSeededDurableStore(t *testing.T, dir string) *social.Store {
+	t.Helper()
+	store, err := social.OpenStoreDir(dir, social.DurableOptions{Shards: 4, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		posts, err := social.Generate(social.DefaultCorpusSpec(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Add(posts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+// runMonitor starts a monitor and returns it with an idempotent stop.
+func runMonitor(t *testing.T, cfg Config) (*Monitor, func()) {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Run(ctx) }()
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("monitor did not stop after cancellation")
+		}
+	}
+	t.Cleanup(stop)
+	return m, stop
+}
+
+// waitGen waits for an assessment generation with a test timeout.
+func waitGen(t *testing.T, m *Monitor, gen uint64) *Assessment {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cur, err := m.WaitFor(ctx, gen)
+	if err != nil {
+		t.Fatalf("waiting for generation %d: %v", gen, err)
+	}
+	return cur
+}
+
+// TestMonitorWarmRestart is the subsystem acceptance test: a monitor
+// over a durable store persists its state; a restarted monitor serves
+// its first assessment from that state without a single platform
+// query, resumes the generation sequence, then catches up with an
+// incremental delta run whose output is byte-identical to a cold run
+// over the merged corpus.
+func TestMonitorWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "monitor.json")
+	in := core.SocialInput{Threats: []*tara.ThreatScenario{ecmThreat()}}
+
+	// First life: cold run, one incremental delta, state persisted.
+	store1 := openSeededDurableStore(t, filepath.Join(dir, "store"))
+	fw1, err := core.New(core.Config{Searcher: store1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, stop1 := runMonitor(t, Config{
+		Framework: fw1,
+		Store:     store1,
+		Input:     in,
+		Debounce:  20 * time.Millisecond,
+		State:     NewFileStateStore(statePath),
+	})
+	first := waitGen(t, m1, 1)
+	if !first.FullRun || first.Restored {
+		t.Fatalf("first life should start cold: %+v", first)
+	}
+	for i := 0; i < 10; i++ {
+		if err := store1.Add(deltaPost(i, "hot new #chiptuning stage1 file")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	persisted := waitGen(t, m1, first.Generation+1)
+	stop1()
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: the store recovers, posts arrive before the monitor
+	// is back (the crash-gap delta), and the monitor restarts warm.
+	store2 := openSeededDurableStore(t, filepath.Join(dir, "store"))
+	if store2.Len() != store1.Len() {
+		t.Fatalf("store recovered %d posts, want %d", store2.Len(), store1.Len())
+	}
+	var gap []*social.Post
+	for i := 100; i < 110; i++ {
+		gap = append(gap, deltaPost(i, "another #chiptuning remap drop"))
+	}
+	if err := store2.Add(gap...); err != nil {
+		t.Fatal(err)
+	}
+	tap := &tapSearcher{inner: store2}
+	fw2, err := core.New(core.Config{Searcher: tap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := Config{
+		Framework: fw2,
+		Store:     store2,
+		Searcher:  tap,
+		Input:     in,
+		Debounce:  20 * time.Millisecond,
+		State:     NewFileStateStore(statePath),
+	}
+
+	// Probe the restore step synchronously first: the assessment must be
+	// up before a single platform query runs.
+	probe, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, ok := probe.tryRestore()
+	if !ok {
+		t.Fatal("persisted state not restored")
+	}
+	if len(delta) != len(gap) {
+		t.Fatalf("restart delta has %d posts, want the %d-post crash gap", len(delta), len(gap))
+	}
+	restored := probe.Assessment()
+	if restored == nil || !restored.Restored {
+		t.Fatalf("first post-restart assessment not served from persisted state: %+v", restored)
+	}
+	if restored.Generation != persisted.Generation || !restored.UpdatedAt.Equal(persisted.UpdatedAt) {
+		t.Fatalf("restored metadata diverged: gen %d at %v, want gen %d at %v",
+			restored.Generation, restored.UpdatedAt, persisted.Generation, persisted.UpdatedAt)
+	}
+	if got := tap.calls.Load(); got != 0 {
+		t.Fatalf("restored assessment cost %d platform queries, want 0", got)
+	}
+	// The persisted payload rendered identically to what the first life
+	// served.
+	a, _ := json.Marshal(renderAssessment(persisted).Index)
+	b, _ := json.Marshal(renderAssessment(restored).Index)
+	if !bytes.Equal(a, b) {
+		t.Fatal("restored index rendering differs from the persisted one")
+	}
+
+	// Now the full Run path: a fresh monitor restores, catches up on the
+	// crash-gap delta as one incremental run (the restored fills keep
+	// untouched queries off the platform), and converges to a cold run.
+	tap.calls.Store(0)
+	m2, stop2 := runMonitor(t, cfg2)
+	caught := waitGen(t, m2, persisted.Generation+1)
+	if caught.FullRun || caught.Restored {
+		t.Fatalf("catch-up ran cold: %+v", caught)
+	}
+	warmQueries := tap.calls.Load()
+
+	// Cold reference over the merged corpus: byte-identical rendering,
+	// and strictly more platform queries than the warm catch-up.
+	coldTap := &tapSearcher{inner: store2}
+	coldFW, err := core.New(core.Config{Searcher: coldTap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldFW.RunSocial(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(caught.Result, cold) {
+		t.Fatal("warm catch-up diverged from a cold run over the merged corpus")
+	}
+	coldView := *caught
+	coldView.Result = cold
+	ar, _ := json.Marshal(renderAssessment(caught))
+	br, _ := json.Marshal(renderAssessment(&coldView))
+	if !bytes.Equal(ar, br) {
+		t.Fatalf("wire renderings differ:\n%s\n%s", ar, br)
+	}
+	if coldQueries := coldTap.calls.Load(); warmQueries >= coldQueries {
+		t.Errorf("warm catch-up used %d queries, cold run %d — the restored cache saved nothing", warmQueries, coldQueries)
+	}
+	stop2()
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonitorStateInputMismatch: persisted state for a different
+// monitored input is discarded — the restarted monitor runs cold
+// rather than serving an answer to the wrong question.
+func TestMonitorStateInputMismatch(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "monitor.json")
+	store := openSeededDurableStore(t, filepath.Join(dir, "store"))
+	defer store.Close()
+	fw, err := core.New(core.Config{Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, stop1 := runMonitor(t, Config{
+		Framework: fw,
+		Store:     store,
+		Input:     core.SocialInput{Threats: []*tara.ThreatScenario{ecmThreat()}},
+		Debounce:  20 * time.Millisecond,
+		State:     NewFileStateStore(statePath),
+	})
+	waitGen(t, m1, 1)
+	stop1()
+	if st, err := NewFileStateStore(statePath).Load(); err != nil || st == nil {
+		t.Fatalf("no persisted state to mismatch against (err %v)", err)
+	}
+
+	m2, _ := runMonitor(t, Config{
+		Framework: fw,
+		Store:     store,
+		Input:     core.SocialInput{Application: "excavator", Threats: []*tara.ThreatScenario{ecmThreat()}},
+		Debounce:  20 * time.Millisecond,
+		State:     NewFileStateStore(statePath),
+	})
+	first := waitGen(t, m2, 1)
+	if first.Restored || !first.FullRun {
+		t.Fatalf("mismatched input restored stale state: %+v", first)
+	}
+}
+
+// TestAssessmentETag: GET /v1/assessment carries an ETag keyed on the
+// assessment generation, and If-None-Match answers 304 without a body
+// until the generation moves.
+func TestAssessmentETag(t *testing.T) {
+	store, err := social.DefaultStore(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.SocialInput{Threats: []*tara.ThreatScenario{ecmThreat()}}
+	m := startMonitor(t, store, in)
+	srv := httptest.NewServer(NewAPI(m).Handler())
+	defer srv.Close()
+
+	get := func(inm string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/assessment", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := get("")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("GET: %d with %d bytes", resp.StatusCode, len(body))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on assessment response")
+	}
+	if resp, body := get(etag); resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("matching If-None-Match: %d with %d bytes, want 304 empty", resp.StatusCode, len(body))
+	}
+	// Weak validators and lists match too; a stale tag does not.
+	if resp, _ := get("W/" + etag + `, "other"`); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak/list If-None-Match: %d, want 304", resp.StatusCode)
+	}
+	if resp, _ := get(`"g0.0"`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match: %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := get("*"); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("wildcard If-None-Match: %d, want 304", resp.StatusCode)
+	}
+
+	// A new generation invalidates the cached copy.
+	gen := m.Assessment().Generation
+	if err := store.Add(deltaPost(900, "fresh #chiptuning chatter")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := m.WaitFor(ctx, gen+1); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(etag)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("after generation change: %d with %d bytes, want fresh 200", resp.StatusCode, len(body))
+	}
+	if newTag := resp.Header.Get("ETag"); newTag == etag {
+		t.Fatal("ETag did not change with the generation")
+	}
+}

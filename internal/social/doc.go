@@ -88,6 +88,23 @@
 // never re-drained — and merges the heads into one (CreatedAt, ID)
 // ordered page with platform-namespaced post IDs.
 //
+// Durability: OpenStoreDir runs a store on the crash-safe engine of
+// internal/durable. Each stripe owns a segmented write-ahead log; Add
+// appends its per-stripe sub-batches (CRC-framed JSON, group-committed
+// and fsync'd, off the commit critical section) before the snapshot
+// swap makes them searchable, so an acknowledged Add survives kill -9
+// and an unacknowledged one never half-surfaces. A background pass
+// dumps the live store via the lock-free SnapshotPosts into an atomic
+// JSON Lines snapshot, records per-stripe replay floors in the
+// manifest, and truncates WAL segments wholly below them; recovery
+// loads the snapshot and replays each stripe's tail, deduplicating the
+// (deliberately conservative) overlap by post ID. DurableCursor and
+// PostsSince expose the WAL position to consumers that checkpoint
+// their own progress — the monitor persists the cursor with its
+// assessment and catches up incrementally after a restart.
+// WritePostsFile/WriteStoreFile are the atomic (temp + fsync + rename)
+// snapshot dumps; a reader can never observe a truncated file.
+//
 // Determinism: the generator derives everything from an explicit seed;
 // two runs with the same seed and spec produce identical corpora, and
 // search results are (CreatedAt, ID)-ordered at any concurrency.

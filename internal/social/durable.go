@@ -1,0 +1,602 @@
+package social
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/psp-framework/psp/internal/durable"
+)
+
+// Durable store layout under a data directory:
+//
+//	<dir>/MANIFEST.json            snapshot manifest (durable.Manifest)
+//	<dir>/snap/snap-<gen>.jsonl    post snapshots (JSON Lines, atomic)
+//	<dir>/wal/stripe-<i>/*.seg     one segmented WAL per lock stripe
+//
+// Every stripe owns its own log with its own group-commit fsync queue,
+// so concurrent ingest across stripes never serializes on one disk
+// queue — the per-stripe share-nothing property of the in-memory Add
+// path extends to durability. A batch is acknowledged once every
+// touched stripe's sub-batch is fsync'd; only then does it commit to
+// the in-memory indices, so an acknowledged Add can never be lost. An
+// Add interrupted mid-batch (a crash, or a log failing with some
+// stripes already fsync'd) resolves to the disk truth: exactly the
+// sub-batches whose records are durable surface — by recovery replay,
+// or immediately via the partial-insert error path — and never a post
+// that reached no log.
+
+// DurableOptions tunes OpenStoreDir.
+type DurableOptions struct {
+	// Shards is the stripe count for a fresh data directory (≤ 0 uses
+	// DefaultShards). An existing directory's manifest is authoritative:
+	// a non-zero Shards that disagrees with it is an error, because the
+	// bucket→stripe mapping decides which log holds which post.
+	Shards int
+	// SegmentBytes is the WAL segment roll threshold
+	// (durable.DefaultSegmentBytes when 0).
+	SegmentBytes int64
+	// CompactEvery is the background snapshot-compaction period
+	// (default 30s; negative disables the background pass — Flush and
+	// Close still compact).
+	CompactEvery time.Duration
+	// CompactRecords triggers an early compaction once this many WAL
+	// records accumulated since the last snapshot (default 8192;
+	// negative disables the record trigger).
+	CompactRecords int
+	// Seed supplies the initial corpus for a directory that has never
+	// completed seeding. It runs after recovery, writes through the WAL,
+	// compacts into the first snapshot, and is recorded with a marker
+	// file — so a crash mid-seed resumes (already-durable posts are
+	// skipped by ID) instead of silently serving a partial corpus, and
+	// a completed directory never re-seeds.
+	Seed func() ([]*Post, error)
+}
+
+const (
+	walDirName          = "wal"
+	snapDirName         = "snap"
+	seededMarker        = "SEEDED"
+	defaultCompactEvery = 30 * time.Second
+	defaultCompactRecs  = 8192
+)
+
+// DurableCursor is a position in a durable store's write-ahead logs:
+// one replay floor per stripe. The monitor persists it alongside its
+// assessment so a restarted daemon can ask for exactly the posts that
+// arrived after the persisted state (PostsSince) instead of re-running
+// cold.
+type DurableCursor []uint64
+
+// durStripe tracks one stripe's durable-but-unapplied WAL sequences.
+// The log's OnDurable hook registers sequences in order (on the log's
+// writer goroutine), Add removes them after the in-memory commit, and
+// the floor — the highest sequence below which everything is applied —
+// is what snapshots record: a post the indices have not absorbed yet
+// can never be truncated out of the WAL.
+type durStripe struct {
+	mu         sync.Mutex
+	maxDurable uint64
+	pending    map[uint64]struct{}
+}
+
+// storeDurability is a Store's persistence engine: per-stripe logs, the
+// manifest, and the background compactor.
+type storeDurability struct {
+	dir  string
+	logs []*durable.Log
+
+	stripes []durStripe
+
+	// records counts WAL appends since the last snapshot; the kick
+	// channel wakes the compactor early once CompactRecords accumulate.
+	records    atomic.Int64
+	compactRec int64
+	kick       chan struct{}
+
+	// cmu serializes compaction, manifest replacement, WAL truncation
+	// and PostsSince scans. compactErr remembers the most recent
+	// compaction failure (cleared by the next success) so background
+	// failures — which are retried every tick while the records
+	// counter stays non-zero — are observable, not silent.
+	cmu        sync.Mutex
+	man        *durable.Manifest
+	compactErr error
+
+	stop      chan struct{}
+	done      chan struct{}
+	loop      bool // background compactor running
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenStoreDir opens (or initializes) a durable store in dir and
+// recovers its contents: the newest valid snapshot is loaded, then each
+// stripe's WAL tail above the manifest's floor is replayed — torn or
+// corrupt tail records are truncated, never fatal — rebuilding the
+// indices shard by shard. The returned store behaves exactly like an
+// in-memory one, plus: Add acknowledges only after its batch is
+// fsync'd (group commit), a background pass compacts the WAL into
+// snapshots, and Close flushes. Search results are byte-identical to an
+// in-memory store holding the same posts.
+func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, snapDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("social: create data dir: %w", err)
+	}
+	man, err := durable.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if man != nil {
+		if opts.Shards > 0 && opts.Shards != man.Shards {
+			return nil, fmt.Errorf("social: data dir %s was created with %d shards, not %d (the stripe mapping decides which log holds which post)", dir, man.Shards, opts.Shards)
+		}
+		shards = man.Shards
+	} else {
+		man = &durable.Manifest{Shards: shards, Floors: make([]uint64, shards)}
+		if err := man.Write(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	s := NewStoreShards(shards)
+	d := &storeDurability{
+		dir:        dir,
+		logs:       make([]*durable.Log, shards),
+		stripes:    make([]durStripe, shards),
+		compactRec: int64(opts.CompactRecords),
+		kick:       make(chan struct{}, 1),
+		man:        man,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if d.compactRec == 0 {
+		d.compactRec = defaultCompactRecs
+	}
+	for i := range d.stripes {
+		d.stripes[i].pending = make(map[uint64]struct{})
+	}
+
+	// Snapshot first: it holds everything at or below the floors.
+	if man.Snapshot != "" {
+		if err := loadSnapshot(s, filepath.Join(dir, snapDirName, man.Snapshot)); err != nil {
+			return nil, err
+		}
+	}
+	removeOrphanSnapshots(filepath.Join(dir, snapDirName), man.Snapshot)
+
+	// Then each stripe's WAL tail. Replay overlaps the snapshot by up
+	// to one segment (truncation is whole-segment) and may overlap it
+	// further when the floor was taken conservatively mid-ingest, so
+	// records are deduplicated by post ID.
+	fail := func(err error) (*Store, error) {
+		for _, log := range d.logs {
+			if log != nil {
+				log.Close()
+			}
+		}
+		return nil, err
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		log, err := durable.OpenLog(d.stripeDir(i), durable.LogOptions{
+			SegmentBytes: opts.SegmentBytes,
+			OnDurable:    func(seq uint64) { d.onDurable(i, seq) },
+		})
+		if err != nil {
+			return fail(err)
+		}
+		d.logs[i] = log
+		err = log.Replay(man.Floors[i], func(_ uint64, payload []byte) error {
+			return replayBatch(s, payload)
+		})
+		if err != nil {
+			return fail(fmt.Errorf("social: replay stripe %d: %w", i, err))
+		}
+		d.stripes[i].maxDurable = log.LastSeq()
+	}
+
+	s.dur = d
+	if opts.Seed != nil {
+		if err := d.seed(s, opts.Seed); err != nil {
+			for _, log := range d.logs {
+				log.Close()
+			}
+			return nil, err
+		}
+	}
+	every := opts.CompactEvery
+	if every == 0 {
+		every = defaultCompactEvery
+	}
+	if every > 0 {
+		d.loop = true
+		go d.compactLoop(s, every)
+	}
+	return s, nil
+}
+
+// seed runs the one-time corpus seed: skipped once the marker exists;
+// otherwise the seed posts stream through the WAL (minus any already
+// durable from a crashed earlier attempt), compact into the first
+// snapshot, and only then does the marker commit — a kill -9 at any
+// point either resumes or finds the seed complete, never a silently
+// partial corpus.
+func (d *storeDurability) seed(s *Store, seed func() ([]*Post, error)) error {
+	marker := filepath.Join(d.dir, seededMarker)
+	if _, err := os.Stat(marker); err == nil {
+		return nil
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("social: stat seed marker: %w", err)
+	}
+	posts, err := seed()
+	if err != nil {
+		return fmt.Errorf("social: seed corpus: %w", err)
+	}
+	fresh := posts[:0]
+	for _, p := range posts {
+		if p != nil && s.Post(p.ID) == nil {
+			fresh = append(fresh, p)
+		}
+	}
+	if err := s.Add(fresh...); err != nil {
+		return fmt.Errorf("social: seed corpus: %w", err)
+	}
+	if err := d.compact(s); err != nil {
+		return err
+	}
+	return durable.WriteFileAtomic(marker, func(w io.Writer) error {
+		_, err := io.WriteString(w, "seed complete\n")
+		return err
+	})
+}
+
+// stripeDir is stripe i's WAL directory.
+func (d *storeDurability) stripeDir(i int) string {
+	return filepath.Join(d.dir, walDirName, fmt.Sprintf("stripe-%04d", i))
+}
+
+// loadSnapshot reads a snapshot file into the store (no WAL attached
+// yet, so nothing is re-logged).
+func loadSnapshot(s *Store, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("social: open snapshot: %w", err)
+	}
+	defer f.Close()
+	posts, err := ReadPosts(f)
+	if err != nil {
+		return fmt.Errorf("social: snapshot %s: %w", path, err)
+	}
+	if err := s.Add(posts...); err != nil {
+		return fmt.Errorf("social: load snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// replayBatch applies one WAL record — a JSON batch of posts — to the
+// store, skipping posts the snapshot (or an earlier record) already
+// delivered.
+func replayBatch(s *Store, payload []byte) error {
+	var posts []*Post
+	if err := json.Unmarshal(payload, &posts); err != nil {
+		// Payloads were validated before they were logged and are
+		// CRC-protected on disk; an undecodable one is a logic error
+		// worth surfacing, not silently dropping.
+		return fmt.Errorf("decode wal batch: %w", err)
+	}
+	fresh := posts[:0]
+	for _, p := range posts {
+		if p == nil || s.Post(p.ID) != nil {
+			continue
+		}
+		fresh = append(fresh, p)
+	}
+	return s.Add(fresh...)
+}
+
+// removeOrphanSnapshots deletes snapshot files the manifest no longer
+// references — the leftovers of a compaction that crashed between
+// writing its snapshot and committing its manifest.
+func removeOrphanSnapshots(snapDir, keep string) {
+	entries, err := os.ReadDir(snapDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if name := e.Name(); name != keep && filepath.Ext(name) == ".jsonl" {
+			os.Remove(filepath.Join(snapDir, name))
+		}
+	}
+}
+
+// onDurable registers a fsync'd-but-unapplied sequence. It runs on the
+// stripe log's writer goroutine, in sequence order — the order matters:
+// a floor read between two registrations must always see every durable
+// sequence that is not yet applied.
+func (d *storeDurability) onDurable(stripe int, seq uint64) {
+	st := &d.stripes[stripe]
+	st.mu.Lock()
+	st.maxDurable = seq
+	st.pending[seq] = struct{}{}
+	st.mu.Unlock()
+}
+
+// walChunkPosts caps the posts per WAL record: a stripe sub-batch
+// larger than this splits into several records, so even a whole-corpus
+// seed Add stays far below durable.MaxRecordBytes (recovery replays
+// multiple records exactly like one).
+const walChunkPosts = 4096
+
+// logParts appends each stripe's sub-batch to its log, blocking until
+// every one is fsync'd (each append group-commits with whatever other
+// batches are in flight on that stripe). It returns the parts whose
+// records are durable: on a mid-batch failure that is a strict prefix,
+// and the caller must still commit that prefix — it is on disk and
+// would resurface at the next recovery regardless.
+func (d *storeDurability) logParts(parts []*stripePart) (logged []*stripePart, err error) {
+	records := 0
+	for i, part := range parts {
+		for lo := 0; lo < len(part.posts); lo += walChunkPosts {
+			hi := lo + walChunkPosts
+			if hi > len(part.posts) {
+				hi = len(part.posts)
+			}
+			payload, err := json.Marshal(part.posts[lo:hi])
+			if err == nil {
+				var seq uint64
+				seq, err = d.logs[part.stripe].Append(payload)
+				if err == nil {
+					part.seqs = append(part.seqs, seq)
+					records++
+					continue
+				}
+			}
+			// A partially logged part counts as logged: some of its
+			// chunks are durable. Truncate it to the durable posts so
+			// the commit matches the disk exactly. The durable chunks
+			// still count toward the compaction trigger.
+			d.records.Add(int64(records))
+			if len(part.seqs) > 0 {
+				part.posts = part.posts[:lo]
+				part.terms = part.terms[:lo]
+				return parts[:i+1], err
+			}
+			return parts[:i], err
+		}
+	}
+	if d.records.Add(int64(records)) >= d.compactRec && d.compactRec > 0 {
+		select {
+		case d.kick <- struct{}{}:
+		default:
+		}
+	}
+	return parts, nil
+}
+
+// markApplied clears a batch's sequences from the pending sets once the
+// in-memory commit made them searchable.
+func (d *storeDurability) markApplied(parts []*stripePart) {
+	for _, part := range parts {
+		st := &d.stripes[part.stripe]
+		st.mu.Lock()
+		for _, seq := range part.seqs {
+			delete(st.pending, seq)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// floors returns, per stripe, the highest sequence with everything at
+// or below it applied to the in-memory indices. Conservative by
+// construction: an in-flight batch (durable, not yet committed) holds
+// the floor below its sequence, so a snapshot taken now is a superset
+// of every floor — replay after recovery deduplicates the overlap.
+func (d *storeDurability) floors() DurableCursor {
+	out := make(DurableCursor, len(d.stripes))
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.Lock()
+		f := st.maxDurable
+		for seq := range st.pending {
+			if seq-1 < f {
+				f = seq - 1
+			}
+		}
+		st.mu.Unlock()
+		out[i] = f
+	}
+	return out
+}
+
+// compactLoop is the background snapshot pass: every period (or early,
+// once CompactRecords WAL appends accumulate) it dumps the live store
+// and truncates the logs.
+func (d *storeDurability) compactLoop(s *Store, every time.Duration) {
+	defer close(d.done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+		case <-d.kick:
+		}
+		if d.records.Load() == 0 {
+			continue // nothing new since the last snapshot
+		}
+		// Errors are retried next tick (the records counter only drains
+		// on success) and reported through Store.CompactionError.
+		_ = d.compact(s)
+	}
+}
+
+// compact takes one snapshot generation: capture the floors, dump the
+// live store lock-free (SnapshotPosts — ingest keeps committing
+// throughout), atomically publish snapshot + manifest, then drop WAL
+// segments wholly below the floors. A crash at any point leaves either
+// the old manifest (plus an orphan snapshot cleaned at next open) or
+// the new one — never a state that loses an acknowledged batch.
+func (d *storeDurability) compact(s *Store) (err error) {
+	d.cmu.Lock()
+	defer d.cmu.Unlock()
+	defer func() { d.compactErr = err }()
+	// Floors before the dump: everything at or below a floor is applied,
+	// hence included in any snapshot taken afterwards.
+	floors := d.floors()
+	// The records counter is drained only after the manifest commits: a
+	// failed compaction leaves it non-zero, so the next tick retries
+	// instead of concluding there is nothing to snapshot.
+	drained := d.records.Load()
+	posts := s.SnapshotPosts()
+	gen := d.man.Gen + 1
+	name := fmt.Sprintf("snap-%08d.jsonl", gen)
+	if err := WritePostsFile(filepath.Join(d.dir, snapDirName, name), posts); err != nil {
+		return err
+	}
+	next := &durable.Manifest{Shards: len(d.logs), Gen: gen, Snapshot: name, Floors: floors}
+	if err := next.Write(d.dir); err != nil {
+		os.Remove(filepath.Join(d.dir, snapDirName, name))
+		return err
+	}
+	if old := d.man.Snapshot; old != "" && old != name {
+		os.Remove(filepath.Join(d.dir, snapDirName, old))
+	}
+	d.man = next
+	d.records.Add(-drained)
+	for i, log := range d.logs {
+		if err := log.TruncateBefore(floors[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces a snapshot compaction now (and with it WAL truncation).
+// On an in-memory store it is a no-op.
+func (s *Store) Flush() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.compact(s)
+}
+
+// Close stops the background compactor, takes a final snapshot, and
+// closes the write-ahead logs; a store reopened after a clean Close
+// recovers from the snapshot alone. Concurrent Adds racing a Close may
+// fail with a closed-log error (and are then not inserted). On an
+// in-memory store Close is a no-op. Idempotent.
+func (s *Store) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	d := s.dur
+	d.closeOnce.Do(func() {
+		close(d.stop)
+		if d.loop {
+			<-d.done
+		}
+		d.closeErr = d.compact(s)
+		for _, log := range d.logs {
+			if err := log.Close(); err != nil && d.closeErr == nil {
+				d.closeErr = err
+			}
+		}
+	})
+	return d.closeErr
+}
+
+// closeAbrupt is the crash-test hook: it releases the file handles
+// without the final snapshot, leaving the directory exactly as a
+// kill -9 would — snapshot from the last compaction plus a WAL tail.
+func (s *Store) closeAbrupt() {
+	d := s.dur
+	d.closeOnce.Do(func() {
+		close(d.stop)
+		if d.loop {
+			<-d.done
+		}
+		for _, log := range d.logs {
+			log.Close()
+		}
+	})
+}
+
+// CompactionError returns the most recent snapshot-compaction failure,
+// cleared by the next successful compaction — the health signal for a
+// daemon whose WAL keeps growing because snapshots cannot be written.
+// Nil on an in-memory store.
+func (s *Store) CompactionError() error {
+	if s.dur == nil {
+		return nil
+	}
+	s.dur.cmu.Lock()
+	defer s.dur.cmu.Unlock()
+	return s.dur.compactErr
+}
+
+// DurableCursor returns the store's current WAL position (per-stripe
+// floors): every post applied so far sits at or below it, and every
+// post ingested later sits above it. Nil on an in-memory store.
+func (s *Store) DurableCursor() DurableCursor {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.floors()
+}
+
+// PostsSince returns the stored posts whose WAL records sit above the
+// cursor, in (CreatedAt, ID) order — the delta a consumer that
+// persisted the cursor has not seen. It fails when the cursor predates
+// the WAL's truncation horizon (the consumer's state is too old to
+// catch up incrementally) or when the store is not durable.
+func (s *Store) PostsSince(c DurableCursor) ([]*Post, error) {
+	if s.dur == nil {
+		return nil, fmt.Errorf("social: store has no write-ahead log")
+	}
+	d := s.dur
+	if len(c) != len(d.logs) {
+		return nil, fmt.Errorf("social: cursor has %d stripes, store has %d", len(c), len(d.logs))
+	}
+	d.cmu.Lock() // exclude concurrent truncation
+	defer d.cmu.Unlock()
+	seen := make(map[string]bool)
+	var out []*Post
+	for i, log := range d.logs {
+		if first := log.FirstSeq(); c[i]+1 < first {
+			return nil, fmt.Errorf("social: cursor stripe %d at %d predates wal horizon %d", i, c[i], first)
+		}
+		err := log.Replay(c[i], func(_ uint64, payload []byte) error {
+			var posts []*Post
+			if err := json.Unmarshal(payload, &posts); err != nil {
+				return fmt.Errorf("decode wal batch: %w", err)
+			}
+			for _, p := range posts {
+				if p == nil || seen[p.ID] {
+					continue
+				}
+				seen[p.ID] = true
+				if live := s.Post(p.ID); live != nil {
+					out = append(out, live)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("social: replay stripe %d: %w", i, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return postLess(out[i], out[j]) })
+	return out, nil
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"github.com/psp-framework/psp/internal/durable"
 )
 
 // Corpus snapshots persist as JSON Lines: one post per line. The format
@@ -67,6 +69,27 @@ func (s *Store) SnapshotPosts() []*Post {
 // via SnapshotPosts, so writers keep committing while it runs.
 func WriteStore(w io.Writer, s *Store) error {
 	return WritePosts(w, s.SnapshotPosts())
+}
+
+// WritePostsFile dumps posts to path as JSON Lines, atomically: the
+// dump goes to a temporary file in the same directory, is fsync'd, and
+// renamed into place. A crash mid-dump can therefore never leave a
+// truncated file for LoadStoreShards to half-parse — path either still
+// holds its previous content or the complete new snapshot. The durable
+// store's snapshot compaction and the daemons' -dump/-corpus outputs
+// write through this.
+func WritePostsFile(path string, posts []*Post) error {
+	return durable.WriteFileAtomic(path, func(w io.Writer) error {
+		return WritePosts(w, posts)
+	})
+}
+
+// WriteStoreFile atomically dumps the store's current contents to path
+// as JSON Lines — WriteStore with the crash-safety of WritePostsFile.
+// The dump is taken lock-free via SnapshotPosts, so writers keep
+// committing while it runs.
+func WriteStoreFile(path string, s *Store) error {
+	return WritePostsFile(path, s.SnapshotPosts())
 }
 
 // LoadStore reads a JSON Lines snapshot into a fresh store.

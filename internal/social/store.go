@@ -262,6 +262,12 @@ type Store struct {
 	wmu    sync.Mutex
 	subs   map[uint64]*subscriber
 	subSeq uint64
+
+	// dur is the store's write-ahead persistence (OpenStoreDir); nil
+	// for a purely in-memory store. When set, Add appends each batch to
+	// its stripes' logs — group-committed, fsync'd, before any index
+	// commit — so an acknowledged Add survives a crash (see durable.go).
+	dur *storeDurability
 }
 
 var _ Searcher = (*Store)(nil)
@@ -376,7 +382,10 @@ func postLess(a, b *Post) bool {
 // maintenance once per batch (single sorted merge per touched index).
 // Duplicate IDs and invalid posts are rejected; on error the store is
 // left unchanged for the offending post but earlier posts of the batch
-// stay inserted.
+// stay inserted. On a durable store (OpenStoreDir) a write-ahead-log
+// failure likewise keeps exactly the posts whose log records were
+// already fsync'd — the disk truth a recovery would replay — and rolls
+// back the rest, reporting the partial insert in the error.
 func (s *Store) Add(posts ...*Post) error {
 	_, err := s.AddCount(posts...)
 	return err
@@ -422,50 +431,127 @@ func (s *Store) AddCount(posts ...*Post) (int, error) {
 		st.mu.Unlock()
 		batch = append(batch, p)
 	}
-	s.insertBatch(batch)
-	return len(batch), err
+	inserted, walErr := s.insertBatch(batch)
+	if walErr != nil {
+		return inserted, walErr
+	}
+	return inserted, err
 }
 
-// insertBatch distributes a validated batch across its time-bucket
+// stripePart is one stripe's share of a validated batch: its posts and
+// their precomputed term sets in (CreatedAt, ID) order, plus — on a
+// durable store — the stripe-WAL sequences the sub-batch's records
+// were logged under (several when the sub-batch exceeds the per-record
+// chunk size).
+type stripePart struct {
+	stripe int
+	posts  []*Post
+	terms  []map[string]bool
+	seqs   []uint64
+}
+
+// partitionBatch splits a (CreatedAt, ID)-sorted batch into its
+// time-bucket stripes, tokenizing outside any lock: term-set
+// construction is the expensive part of ingest and needs no store
+// state. Parts come out in ascending stripe order — the store's lock
+// order.
+func (s *Store) partitionBatch(batch []*Post) []*stripePart {
+	n := len(s.shards)
+	byStripe := make([]*stripePart, n)
+	for _, p := range batch {
+		i := s.shardFor(p.CreatedAt)
+		if byStripe[i] == nil {
+			byStripe[i] = &stripePart{stripe: i}
+		}
+		byStripe[i].posts = append(byStripe[i].posts, p)
+		byStripe[i].terms = append(byStripe[i].terms, p.Terms())
+	}
+	parts := make([]*stripePart, 0, 1)
+	for _, part := range byStripe {
+		if part != nil {
+			parts = append(parts, part)
+		}
+	}
+	return parts
+}
+
+// insertBatch makes a validated, registered batch durable (when the
+// store has a write-ahead log) and commits it to the in-memory indices,
+// returning how many of the batch's posts were inserted. The in-memory
+// commit itself cannot fail; on a WAL failure the disk truth wins —
+// sub-batches whose records were already fsync'd are committed (a
+// recovery would resurface them regardless), the unlogged remainder is
+// unregistered, and the error reports the partial insert.
+func (s *Store) insertBatch(batch []*Post) (int, error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	sort.Slice(batch, func(i, j int) bool { return postLess(batch[i], batch[j]) })
+	parts := s.partitionBatch(batch)
+	if s.dur == nil {
+		s.commitParts(parts, batch)
+		return len(batch), nil
+	}
+	// Write-ahead: the batch hits its stripes' logs (group-committed
+	// and fsync'd) before any index sees it, off the commit critical
+	// section below — a slow fsync never extends a lock hold.
+	logged, err := s.dur.logParts(parts)
+	if err == nil {
+		s.commitParts(parts, batch)
+		s.dur.markApplied(parts)
+		return len(batch), nil
+	}
+	committed := make([]*Post, 0, len(batch))
+	for _, part := range logged {
+		committed = append(committed, part.posts...)
+	}
+	sort.Slice(committed, func(i, j int) bool { return postLess(committed[i], committed[j]) })
+	if len(committed) > 0 {
+		s.commitParts(logged, committed)
+		s.dur.markApplied(logged)
+	}
+	durable := make(map[*Post]bool, len(committed))
+	for _, p := range committed {
+		durable[p] = true
+	}
+	rollback := make([]*Post, 0, len(batch)-len(committed))
+	for _, p := range batch {
+		if !durable[p] {
+			rollback = append(rollback, p)
+		}
+	}
+	s.unregister(rollback)
+	return len(committed), fmt.Errorf("social: wal append (%d of %d posts inserted): %w", len(committed), len(batch), err)
+}
+
+// commitParts distributes a partitioned batch across its time-bucket
 // shards and publishes it to the changefeed. The batch commits one
 // snapshot swap per touched shard under the shards' writer locks
 // (acquired in ascending stripe order), with the publication sequenced
 // under wmu inside that window, so changefeed registrations observe the
 // batch atomically — never a torn prefix — while readers are never
 // involved in the critical section at all.
-func (s *Store) insertBatch(batch []*Post) {
-	if len(batch) == 0 {
-		return
+func (s *Store) commitParts(parts []*stripePart, batch []*Post) {
+	for _, part := range parts {
+		s.shards[part.stripe].mu.Lock()
 	}
-	sort.Slice(batch, func(i, j int) bool { return postLess(batch[i], batch[j]) })
-
-	// Tokenize outside the locks: term-set construction is the
-	// expensive part of ingest and needs no store state. Sub-batches
-	// inherit the batch's (CreatedAt, ID) order.
-	n := len(s.shards)
-	subPosts := make([][]*Post, n)
-	subTerms := make([][]map[string]bool, n)
-	for _, p := range batch {
-		i := s.shardFor(p.CreatedAt)
-		subPosts[i] = append(subPosts[i], p)
-		subTerms[i] = append(subTerms[i], p.Terms())
-	}
-
-	for i := 0; i < n; i++ {
-		if subPosts[i] != nil {
-			s.shards[i].mu.Lock()
-		}
-	}
-	for i := 0; i < n; i++ {
-		if subPosts[i] != nil {
-			s.shards[i].commit(subPosts[i], subTerms[i])
-		}
+	for _, part := range parts {
+		s.shards[part.stripe].commit(part.posts, part.terms)
 	}
 	s.publishSequenced(batch)
-	for i := n - 1; i >= 0; i-- {
-		if subPosts[i] != nil {
-			s.shards[i].mu.Unlock()
-		}
+	for i := len(parts) - 1; i >= 0; i-- {
+		s.shards[parts[i].stripe].mu.Unlock()
+	}
+}
+
+// unregister rolls a batch's IDs back out of the global registry (the
+// WAL-failure path: the batch never reached an index).
+func (s *Store) unregister(batch []*Post) {
+	for _, p := range batch {
+		st := &s.ids[idStripeOf(p.ID)]
+		st.mu.Lock()
+		delete(st.posts, p.ID)
+		st.mu.Unlock()
 	}
 }
 

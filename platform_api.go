@@ -42,6 +42,13 @@ type (
 	// WatchOptions configures a store changefeed subscription
 	// (SocialStore.Watch).
 	WatchOptions = social.WatchOptions
+	// SocialDurableOptions tunes a durable store's write-ahead log and
+	// snapshot compaction (OpenSocialStore).
+	SocialDurableOptions = social.DurableOptions
+	// SocialDurableCursor is a durable store's write-ahead-log position
+	// (one replay floor per stripe); PostsSince turns it into the delta
+	// ingested after the cursor was taken.
+	SocialDurableCursor = social.DurableCursor
 )
 
 // Page-size limits of the social search APIs.
@@ -140,8 +147,33 @@ type PoisonCampaign = social.PoisonCampaign
 // InjectPoison generates a poisoning campaign's bot posts.
 func InjectPoison(c PoisonCampaign) ([]*Post, error) { return social.InjectPoison(c) }
 
+// OpenSocialStore opens (or initializes) a crash-safe store in a data
+// directory: every Add is acknowledged only after its batch is in a
+// group-committed fsync'd write-ahead-log record, a background pass
+// compacts the WAL into snapshots, and reopening the directory
+// recovers the corpus (snapshot + WAL tail, torn tails truncated) with
+// search results byte-identical to the acknowledged pre-crash state.
+// Close flushes a final snapshot; Flush forces one. The daemons'
+// -data-dir flag maps onto this.
+func OpenSocialStore(dir string, opts SocialDurableOptions) (*SocialStore, error) {
+	return social.OpenStoreDir(dir, opts)
+}
+
 // WriteSocialPosts streams posts to w as a JSON Lines snapshot.
 func WriteSocialPosts(w io.Writer, posts []*Post) error { return social.WritePosts(w, posts) }
+
+// WriteSocialPostsFile dumps posts to path as a JSON Lines snapshot,
+// atomically: temp file, fsync, rename — a crash mid-dump can never
+// leave a truncated file for LoadSocialStore to half-parse.
+func WriteSocialPostsFile(path string, posts []*Post) error {
+	return social.WritePostsFile(path, posts)
+}
+
+// WriteSocialStoreFile atomically dumps a store's current contents to
+// path as a JSON Lines snapshot (lock-free; writers keep committing).
+func WriteSocialStoreFile(path string, s *SocialStore) error {
+	return social.WriteStoreFile(path, s)
+}
 
 // ReadSocialPosts parses a JSON Lines snapshot.
 func ReadSocialPosts(r io.Reader) ([]*Post, error) { return social.ReadPosts(r) }

@@ -93,6 +93,17 @@ type (
 	// MonitorAPI serves a Monitor over HTTP (ingest + assessment +
 	// health).
 	MonitorAPI = monitor.API
+	// MonitorState is a monitor's persisted warm-restart image: the
+	// serialized assessment, the listing cache's fill identities, and
+	// the durable store cursor the image was taken at.
+	MonitorState = monitor.State
+	// MonitorStateStore persists and restores MonitorState
+	// (MonitorConfig.State).
+	MonitorStateStore = monitor.StateStore
+	// SocialResultState is the JSON-serializable form of a workflow
+	// result (core.ExportResult / core.RestoreResult wired through the
+	// monitor's state).
+	SocialResultState = core.ResultState
 )
 
 // NewResultCache builds a result cache over a platform backend.
@@ -107,6 +118,13 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
 
 // NewMonitorAPI wraps a monitor in its HTTP API.
 func NewMonitorAPI(m *Monitor) *MonitorAPI { return monitor.NewAPI(m) }
+
+// NewMonitorFileState persists monitor state in one JSON file, replaced
+// atomically on every save. Give it to MonitorConfig.State (over a
+// store opened with OpenSocialStore) and a restarted monitor serves its
+// previous assessment immediately, then catches up with an incremental
+// delta run instead of a cold full workflow.
+func NewMonitorFileState(path string) MonitorStateStore { return monitor.NewFileStateStore(path) }
 
 // ListenAndServeGraceful runs an HTTP server until ctx is cancelled,
 // then drains in-flight requests (bounded by drainTimeout; ≤ 0 means
