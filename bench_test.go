@@ -1015,3 +1015,133 @@ func walBenchPost(n int64) *social.Post {
 		Metrics:   social.Metrics{Views: int(n % 1000)},
 	}
 }
+
+// taraFleet builds (once) the assessment-as-a-service fixture: ~50
+// tenant analyses of ~100 threats each, the fleet shape a pspd hosting
+// one tenant per vehicle variant carries.
+var (
+	taraFleetOnce     sync.Once
+	taraFleetAnalyses []*tara.Analysis
+	taraFleetErr      error
+	taraDeltaSeq      atomic.Int64
+)
+
+func taraFleet(b *testing.B) []*tara.Analysis {
+	b.Helper()
+	taraFleetOnce.Do(func() {
+		for i := 0; i < 50; i++ {
+			a, err := tara.GenerateAnalysis(tara.GenSpec{
+				Name:           fmt.Sprintf("tenant-%02d", i),
+				Assets:         20,
+				Damages:        25,
+				Threats:        100,
+				PathsPerThreat: 2,
+				Seed:           9000 + int64(i),
+			})
+			if err != nil {
+				taraFleetErr = err
+				return
+			}
+			taraFleetAnalyses = append(taraFleetAnalyses, a)
+		}
+	})
+	if taraFleetErr != nil {
+		b.Fatal(taraFleetErr)
+	}
+	return taraFleetAnalyses
+}
+
+// taraBenchTables returns two distinct feasibility-table overrides; the
+// delta benchmark alternates between them so every mutation genuinely
+// changes the effective table (an override equal to the installed one
+// dirties nothing by design).
+func taraBenchTables(b *testing.B) [2]*tara.VectorTable {
+	b.Helper()
+	mk := func(name string, phys tara.FeasibilityRating) *tara.VectorTable {
+		t, err := tara.NewVectorTable(name, map[tara.AttackVector]tara.FeasibilityRating{
+			tara.VectorPhysical: phys,
+			tara.VectorLocal:    tara.FeasibilityMedium,
+			tara.VectorAdjacent: tara.FeasibilityLow,
+			tara.VectorNetwork:  tara.FeasibilityVeryLow,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	return [2]*tara.VectorTable{
+		mk("bench-field-a", tara.FeasibilityHigh),
+		mk("bench-field-b", tara.FeasibilityMedium),
+	}
+}
+
+// BenchmarkAnalysisRunCold is the batch-script baseline the refactor
+// replaces: every iteration rates the full 50-tenant × 100-threat fleet
+// from scratch (clones run cold), on the framework worker pool.
+// rating-calls/op records the work: 5000 threat ratings per pass.
+func BenchmarkAnalysisRunCold(b *testing.B) {
+	fleet := taraFleet(b)
+	fw := benchFramework(b, core.Config{})
+	ctx := context.Background()
+	var calls uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calls = 0
+		for _, a := range fleet {
+			cold := a.Clone()
+			if _, err := fw.RateAnalysis(ctx, cold); err != nil {
+				b.Fatal(err)
+			}
+			calls += cold.RatingCalls()
+		}
+	}
+	b.ReportMetric(float64(calls), "rating-calls/op")
+}
+
+// BenchmarkAnalysisRerateDelta is the incremental engine on the same
+// fleet: one tenant takes a single-threat feasibility override, then
+// the whole fleet is re-rated. Dirty tracking re-rates exactly one
+// threat — the other 4999 are served as memoized pointer-identical
+// results and the 49 clean tenants plan zero work — so ns/op must land
+// well over 5× below the cold baseline (the acceptance bar; in
+// practice it is orders of magnitude). rating-calls/op pins the work
+// at 1.
+func BenchmarkAnalysisRerateDelta(b *testing.B) {
+	fleet := taraFleet(b)
+	tables := taraBenchTables(b)
+	fw := benchFramework(b, core.Config{})
+	ctx := context.Background()
+	// Warm every tenant outside the timer: the service steady state.
+	for _, a := range fleet {
+		if _, err := fw.RateAnalysis(ctx, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var calls uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The sequence survives the harness's calibration runs, so each
+		// tenant's consecutive overrides alternate tables — every
+		// mutation changes the effective table, none is a no-op.
+		idx := taraDeltaSeq.Add(1)
+		a := fleet[idx%int64(len(fleet))]
+		before := a.RatingCalls()
+		changed, err := a.SetThreatTable(a.Threats[0].ID, tables[(idx/int64(len(fleet)))%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !changed {
+			b.Fatal("override did not change the effective table")
+		}
+		for _, t := range fleet {
+			if _, err := fw.RateAnalysis(ctx, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		calls = a.RatingCalls() - before
+		if calls != 1 {
+			b.Fatalf("delta pass made %d rating calls, want 1", calls)
+		}
+	}
+	b.ReportMetric(float64(calls), "rating-calls/op")
+}

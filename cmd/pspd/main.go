@@ -8,6 +8,21 @@
 //	                    (supports ETag / If-None-Match conditional polling)
 //	GET  /v1/healthz    liveness, corpus size, assessment generation
 //
+// With -tara (default on) the daemon also serves assessment-as-a-service
+// for a multi-tenant TARA fleet — one tenant per ECU of the reference
+// architecture, with topology-derived attack paths:
+//
+//	GET    /v1/tara           tenant directory
+//	GET    /v1/tara/{tenant}  current assessment (ETag / If-None-Match)
+//	PUT    /v1/tara/{tenant}  create a tenant from an analysis document
+//	POST   /v1/tara/{tenant}  apply mutation ops (optimistic concurrency)
+//	DELETE /v1/tara/{tenant}  remove the tenant
+//
+// Tenant mutations re-rate only the dirty threats of the mutated tenant,
+// and the social monitor's threat tunings flow into the tenants holding
+// the monitored threat scenarios (TS-ECM-01 on the ECM tenant,
+// TS-IMMO-01 on the BCM tenant).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests (and, with -data-dir, flushing a final snapshot).
 //
@@ -64,17 +79,18 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "shutdown drain timeout")
 	concurrency := flag.Int("concurrency", 0, "workflow query fan-out (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "store shard count (0 = library default)")
+	taraFleet := flag.Bool("tara", true, "serve the multi-tenant TARA fleet on /v1/tara")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *corpus, *dataDir, *application, *region, *debounce, *drain, *concurrency, *shards); err != nil {
+	if err := run(ctx, *addr, *seed, *corpus, *dataDir, *application, *region, *debounce, *drain, *concurrency, *shards, *taraFleet); err != nil {
 		fmt.Fprintln(os.Stderr, "pspd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, corpus, dataDir, application, region string, debounce, drain time.Duration, concurrency, shards int) error {
+func run(ctx context.Context, addr string, seed int64, corpus, dataDir, application, region string, debounce, drain time.Duration, concurrency, shards int, taraFleet bool) error {
 	store, recovered, err := loadCorpus(seed, corpus, dataDir, shards)
 	if err != nil {
 		return err
@@ -91,9 +107,16 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 	if dataDir != "" {
 		state = psp.NewMonitorFileState(filepath.Join(dataDir, "monitor.json"))
 	}
-	m, err := newMonitor(store, state, application, region, debounce, concurrency)
+	m, fw, err := newMonitor(store, state, application, region, debounce, concurrency)
 	if err != nil {
 		return err
+	}
+	var tm *psp.TARAMonitor
+	if taraFleet {
+		tm, err = newTARAFleet(fw, m, debounce)
+		if err != nil {
+			return err
+		}
 	}
 
 	// The monitor and server share a context: a monitor failure (e.g.
@@ -110,10 +133,18 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 			stopRun()
 		}
 	}()
+	api := psp.NewMonitorAPI(m)
+	if tm != nil {
+		// The TARA loop only stops on cancellation; rating failures are
+		// retried with backoff and surfaced per-tenant, so its exit needs
+		// no teardown of its own.
+		go func() { _ = tm.Run(runCtx) }()
+		api.WithTARA(tm)
+	}
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           psp.NewMonitorAPI(m).Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	persistence := "in-memory"
@@ -122,6 +153,9 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 	}
 	log.Printf("pspd: monitoring %d posts on %s (seed %d, debounce %s, %d store shards, %s)",
 		store.Len(), addr, seed, debounce, store.Shards(), persistence)
+	if tm != nil {
+		log.Printf("pspd: serving %d TARA tenants on /v1/tara", tm.Registry().Len())
+	}
 	if err := psp.ListenAndServeGraceful(runCtx, srv, drain); err != nil {
 		return err
 	}
@@ -134,21 +168,23 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 	return nil
 }
 
-// newMonitor wires the framework and monitor over the store.
-func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, application, region string, debounce time.Duration, concurrency int) (*psp.Monitor, error) {
+// newMonitor wires the framework and monitor over the store; the
+// framework is returned too, so the TARA fleet can share its worker
+// pool.
+func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, application, region string, debounce time.Duration, concurrency int) (*psp.Monitor, *psp.Framework, error) {
 	// Validate the region eagerly: a typo would otherwise make a
 	// healthy-looking daemon monitor an empty corpus forever.
 	switch psp.Region(region) {
 	case "", psp.RegionEurope, psp.RegionNorthAmerica, psp.RegionAsiaPacific, psp.RegionOther:
 	default:
-		return nil, fmt.Errorf("unknown region %q (valid: %s, %s, %s, %s)",
+		return nil, nil, fmt.Errorf("unknown region %q (valid: %s, %s, %s, %s)",
 			region, psp.RegionEurope, psp.RegionNorthAmerica, psp.RegionAsiaPacific, psp.RegionOther)
 	}
 	fw, err := psp.New(psp.Config{Searcher: store, Concurrency: concurrency})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return psp.NewMonitor(psp.MonitorConfig{
+	m, err := psp.NewMonitor(psp.MonitorConfig{
 		Framework: fw,
 		Store:     store,
 		Input: psp.SocialInput{
@@ -158,6 +194,59 @@ func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, application
 		},
 		Debounce: debounce,
 		State:    state,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, fw, nil
+}
+
+// newTARAFleet derives one TARA tenant per reference-architecture ECU,
+// attaches the socially monitored threat scenarios to the tenants owning
+// the affected units, and wires the fleet's rating loop to the social
+// monitor's tuning stream.
+func newTARAFleet(fw *psp.Framework, m *psp.Monitor, debounce time.Duration) (*psp.TARAMonitor, error) {
+	top, err := psp.ReferenceArchitecture()
+	if err != nil {
+		return nil, err
+	}
+	reg, err := psp.DeriveTARARegistry(top)
+	if err != nil {
+		return nil, err
+	}
+	attach := []struct {
+		tenant string
+		threat *psp.ThreatScenario
+	}{
+		{"ECM", defaultThreats()[0]}, // TS-ECM-01
+		{"BCM", defaultThreats()[1]}, // TS-IMMO-01
+	}
+	for _, at := range attach {
+		ten, ok := reg.Get(at.tenant)
+		if !ok {
+			return nil, fmt.Errorf("tara fleet: reference architecture has no %s tenant", at.tenant)
+		}
+		th := *at.threat
+		// Re-anchor the scenario on the tenant's derived tampering
+		// damage; its monitored keywords stay as declared.
+		th.DamageIDs = []string{"DS-TAMPER"}
+		if _, err := ten.Mutate(func(a *psp.Analysis) (bool, error) {
+			if err := a.UpsertThreat(&th); err != nil {
+				return false, err
+			}
+			if _, err := psp.SyncTARAPaths(top, a, at.tenant); err != nil {
+				return false, err
+			}
+			return true, nil
+		}); err != nil {
+			return nil, fmt.Errorf("tara fleet: attach %s to %s: %w", th.ID, at.tenant, err)
+		}
+	}
+	return psp.NewTARAMonitor(psp.TARAMonitorConfig{
+		Framework: fw,
+		Registry:  reg,
+		Social:    m,
+		Debounce:  debounce,
 	})
 }
 

@@ -26,7 +26,7 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, addr, 42, "", "", "", "", 20*time.Millisecond, time.Second, 0, 4)
+		done <- run(ctx, addr, 42, "", "", "", "", 20*time.Millisecond, time.Second, 0, 4, true)
 	}()
 
 	base := "http://" + addr
@@ -75,6 +75,65 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	}
 	waitAssessment(t, base, 2, &assessment)
 
+	// The TARA fleet is up: one tenant per reference-architecture ECU.
+	var dir struct {
+		Tenants []struct {
+			Tenant string `json:"tenant"`
+		} `json:"tenants"`
+	}
+	resp, err = http.Get(base + "/v1/tara")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(dir.Tenants) < 10 {
+		t.Fatalf("fleet has %d tenants, want ≥ 10", len(dir.Tenants))
+	}
+
+	// The ECM tenant carries the socially monitored TS-ECM-01: the
+	// first assessment's tunings land as a version-2 mutation there.
+	ecm := waitTenant(t, base, "ECM", 2)
+	calls, total := ecm.RatingCalls, ecm.TotalThreats
+	if total < 3 {
+		t.Fatalf("ECM tenant has %d threats, want ≥ 3 (derived + social)", total)
+	}
+
+	// A single-threat mutation over the wire re-rates exactly one
+	// threat — the incrementality acceptance check, measured through the
+	// tenant's rating-call counter.
+	ops, _ := json.Marshal(map[string]any{
+		"expect_version": ecm.Version,
+		"ops": []map[string]any{{
+			"op": "set_threat_table", "id": "TS-TAMPER",
+			"table": map[string]any{
+				"name":    "field-report",
+				"ratings": map[string]string{"physical": "high", "local": "high", "adjacent": "low", "network": "very_low"},
+			},
+		}},
+	})
+	resp, err = http.Post(base+"/v1/tara/ECM", "application/json", bytes.NewReader(ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant mutation status %d", resp.StatusCode)
+	}
+	after := waitTenant(t, base, "ECM", ecm.Version+1)
+	if after.RatedThreats != 1 {
+		t.Fatalf("mutation re-rated %d threats, want 1", after.RatedThreats)
+	}
+	if got := after.RatingCalls - calls; got != 1 {
+		t.Fatalf("rating calls advanced by %d, want 1", got)
+	}
+	if after.TotalThreats != total {
+		t.Fatalf("threat count changed: %d → %d", total, after.TotalThreats)
+	}
+
 	// SIGTERM path: cancelling the signal context drains and exits nil.
 	cancel()
 	select {
@@ -107,7 +166,7 @@ func TestDaemonWarmRestart(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
 		go func() {
-			done <- run(ctx, addr, 42, "", dataDir, "", "", 20*time.Millisecond, time.Second, 0, 4)
+			done <- run(ctx, addr, 42, "", dataDir, "", "", 20*time.Millisecond, time.Second, 0, 4, false)
 		}()
 		return "http://" + addr, cancel, done
 	}
@@ -155,7 +214,7 @@ func TestDaemonWarmRestart(t *testing.T) {
 }
 
 func TestRunRejectsMissingCorpus(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", "", time.Millisecond, time.Second, 0, 0)
+	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", "", time.Millisecond, time.Second, 0, 0, false)
 	if err == nil {
 		t.Fatal("missing corpus accepted")
 	}
@@ -176,6 +235,44 @@ func waitHealthy(t *testing.T, base string) {
 			t.Fatalf("daemon never became healthy: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+type tenantProbe struct {
+	Tenant       string `json:"tenant"`
+	Version      uint64 `json:"version"`
+	Generation   uint64 `json:"generation"`
+	RatedThreats int    `json:"rated_threats"`
+	TotalThreats int    `json:"total_threats"`
+	RatingCalls  uint64 `json:"rating_calls"`
+}
+
+// waitTenant polls /v1/tara/{name} until the served assessment covers at
+// least the given model version.
+func waitTenant(t *testing.T, base, name string, minVersion uint64) tenantProbe {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/tara/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var probe tenantProbe
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if probe.Version >= minVersion {
+				return probe
+			}
+		} else {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %s never reached version %d (last: %+v)", name, minVersion, probe)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -216,7 +313,7 @@ func waitAssessment(t *testing.T, base string, minGeneration int, out any) {
 }
 
 func TestRunRejectsUnknownRegion(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "", "Europe", time.Millisecond, time.Second, 0, 0)
+	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "", "Europe", time.Millisecond, time.Second, 0, 0, false)
 	if err == nil {
 		t.Fatal("unknown region accepted")
 	}

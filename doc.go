@@ -77,6 +77,29 @@
 // generation / If-None-Match → 304), so fleet dashboards poll for free
 // between rating changes.
 //
+// # Multi-tenant TARA
+//
+// The rating engine itself is incremental and multi-tenant. An
+// Analysis validates once, tracks dirty threats through its typed
+// mutation surface, and re-rates only those on the next Run — with
+// unchanged threats served as pointer-identical memoized results, so
+// an incremental re-run is byte-identical to a cold run at a fraction
+// of the cost. A TARARegistry (NewTARARegistry) hosts one versioned
+// Tenant per item or ECU: mutations are atomic closures with optional
+// compare-and-set on the model version (ErrTenantVersionMismatch), and
+// each rating pass publishes an immutable TenantAssessment snapshot
+// lock-free. A TARAMonitor (NewTARAMonitor) keeps the whole fleet
+// fresh: it debounces tenant mutations and social assessment
+// generations, re-rates only dirty tenants on the shared worker pool,
+// and applies social threat tunings tenant-selectively. pspd serves it
+// under /v1/tara — tenant directory, per-tenant assessments with
+// ETag/304 polling, JSON op mutations with expect_version → 409, PUT/
+// DELETE tenant lifecycle — and boots a reference fleet derived from
+// the paper's Fig. 4 vehicle architecture (ReferenceArchitecture,
+// DeriveTARARegistry): one tenant per ECU with topology-derived attack
+// paths whose content-addressed identities keep memoized ratings
+// stable across topology edits (SyncTARAPaths).
+//
 // # Durability
 //
 // Clause 8 monitoring only counts if it survives restarts, so the

@@ -1,0 +1,92 @@
+package itemgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"github.com/psp-framework/psp/internal/tara"
+	"github.com/psp-framework/psp/internal/vehicle"
+)
+
+// derivedPathPrefix namespaces the attack paths SyncPaths manages: IDs
+// are "APT-<ecu>-<threat>-<signature hash>", so a path's identity is its
+// route — unchanged routes keep their ID (and their memoized rating)
+// across re-derivations, and analyst-added paths (any other ID) are
+// never touched.
+func derivedPathPrefix(ecuID, threatID string) string {
+	return fmt.Sprintf("APT-%s-%s-", ecuID, threatID)
+}
+
+func stepSignatureID(steps []tara.AttackStep) string {
+	sum := sha256.Sum256([]byte(signature(steps)))
+	return hex.EncodeToString(sum[:6])
+}
+
+// SyncPaths reconciles the analysis's topology-derived attack paths with
+// the current topology, for every threat of the analysis: routes that
+// appeared are added, routes that vanished are removed, unchanged routes
+// are left alone so their threat stays clean in the incremental engine.
+// Reports whether anything changed.
+func SyncPaths(top *vehicle.Topology, a *tara.Analysis, ecuID string) (bool, error) {
+	changed := false
+	for _, th := range a.Threats {
+		want, err := DerivePaths(top, ecuID, th.ID)
+		if err != nil {
+			return changed, fmt.Errorf("itemgen: sync paths for %s: %w", th.ID, err)
+		}
+		prefix := derivedPathPrefix(ecuID, th.ID)
+		wantIDs := make(map[string]bool, len(want))
+		for _, p := range want {
+			p.ID = prefix + stepSignatureID(p.Steps)
+			wantIDs[p.ID] = true
+		}
+		have := make(map[string]bool)
+		for _, p := range a.PathsFor(th.ID) {
+			if !strings.HasPrefix(p.ID, prefix) {
+				continue
+			}
+			if !wantIDs[p.ID] {
+				if err := a.RemovePath(p.ID); err != nil {
+					return changed, err
+				}
+				changed = true
+				continue
+			}
+			have[p.ID] = true
+		}
+		for _, p := range want {
+			if have[p.ID] {
+				continue
+			}
+			if err := a.UpsertPath(p); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// DeriveRegistry bootstraps a multi-tenant TARA registry from a vehicle
+// architecture: one tenant per ECU, named by the ECU ID, holding the
+// derived starter analysis with its topology-derived attack paths. The
+// derivation is deterministic — the same topology yields byte-identical
+// tenant documents.
+func DeriveRegistry(top *vehicle.Topology) (*tara.Registry, error) {
+	reg := tara.NewRegistry()
+	for _, ecu := range top.ECUs() {
+		a, err := DeriveAnalysis(top, ecu.ID)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := SyncPaths(top, a, ecu.ID); err != nil {
+			return nil, err
+		}
+		if _, err := reg.Create(ecu.ID, a); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}

@@ -1,0 +1,150 @@
+package itemgen
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/psp-framework/psp/internal/tara"
+	"github.com/psp-framework/psp/internal/vehicle"
+)
+
+// TestDeriveRegistryDeterministic: deriving the fleet twice from the
+// reference architecture yields the same tenants with byte-identical
+// analysis documents — the item-derivation determinism the multi-tenant
+// service relies on for stable ETags after a warm restart.
+func TestDeriveRegistryDeterministic(t *testing.T) {
+	docs := make([]map[string][]byte, 2)
+	for i := range docs {
+		top, err := vehicle.ReferenceArchitecture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := DeriveRegistry(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Len() < 10 {
+			t.Fatalf("fleet has %d tenants, want ≥ 10", reg.Len())
+		}
+		docs[i] = make(map[string][]byte, reg.Len())
+		for _, name := range reg.Names() {
+			ten, _ := reg.Get(name)
+			var buf bytes.Buffer
+			var werr error
+			if _, err := ten.Mutate(func(a *tara.Analysis) (bool, error) {
+				werr = a.WriteJSON(&buf)
+				return false, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			docs[i][name] = buf.Bytes()
+		}
+	}
+	if len(docs[0]) != len(docs[1]) {
+		t.Fatalf("tenant counts differ: %d vs %d", len(docs[0]), len(docs[1]))
+	}
+	for name, doc := range docs[0] {
+		if !bytes.Equal(doc, docs[1][name]) {
+			t.Fatalf("tenant %s derivation not deterministic", name)
+		}
+	}
+}
+
+// TestSyncPathsIncremental: re-syncing against an unchanged topology is
+// a no-op (no re-rating), while a topology edit re-rates only the
+// threats whose derived routes changed — and the incremental result
+// still matches a cold run.
+func TestSyncPathsIncremental(t *testing.T) {
+	top, err := vehicle.ReferenceArchitecture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DeriveAnalysis(top, "ECM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed, err := SyncPaths(top, a, "ECM"); err != nil || !changed {
+		t.Fatalf("initial sync: changed=%v err=%v", changed, err)
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := a.RatingCalls()
+
+	changed, err := SyncPaths(top, a, "ECM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("sync against unchanged topology reported a change")
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RatingCalls(); got != base {
+		t.Fatalf("no-op sync re-rated %d threats", got-base)
+	}
+
+	// A new wireless segment reaching the ECM changes its attack routes.
+	if err := top.AddBus(&vehicle.Bus{
+		ID: "WIFI-AUX", Kind: vehicle.BusWireless, ECUIDs: []string{"ECM", "TCU"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	changed, err = SyncPaths(top, a, "ECM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("sync after topology edit reported no change")
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := a.RatingCalls() - base
+	if delta == 0 || delta > uint64(len(a.Threats)) {
+		t.Fatalf("topology edit re-rated %d threats, want 1..%d", delta, len(a.Threats))
+	}
+	cold, err := a.Clone().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(cold) {
+		t.Fatalf("result sizes diverge: %d vs %d", len(res), len(cold))
+	}
+	for i := range res {
+		if res[i].Threat.ID != cold[i].Threat.ID || res[i].Risk != cold[i].Risk ||
+			res[i].Feasibility != cold[i].Feasibility || res[i].DominantVector != cold[i].DominantVector {
+			t.Fatalf("result %d diverges from cold run: %+v vs %+v", i, res[i], cold[i])
+		}
+	}
+}
+
+// TestTopologyFingerprint: stable across derivations, sensitive to
+// structural edits.
+func TestTopologyFingerprint(t *testing.T) {
+	a, err := vehicle.ReferenceArchitecture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vehicle.ReferenceArchitecture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint not stable across derivations")
+	}
+	if err := b.AddECU(&vehicle.ECU{
+		ID: "AUX", Name: "Auxiliary unit", Domain: vehicle.DomainBody,
+		Surfaces: []vehicle.SurfaceClass{vehicle.SurfacePhysical},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint unchanged after topology edit")
+	}
+}

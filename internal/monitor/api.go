@@ -31,6 +31,8 @@ import (
 // ETags stay valid across the restart.
 type API struct {
 	m *Monitor
+	// tara, when set via WithTARA, enables the /v1/tara tenant routes.
+	tara *TARAMonitor
 }
 
 // NewAPI wraps a monitor.
@@ -42,6 +44,10 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/v1/posts", a.handleIngest)
 	mux.HandleFunc("/v1/assessment", a.handleAssessment)
 	mux.HandleFunc("/v1/healthz", a.handleHealth)
+	if a.tara != nil {
+		mux.HandleFunc("/v1/tara", a.handleTARAList)
+		mux.HandleFunc("/v1/tara/", a.handleTARATenant)
+	}
 	return mux
 }
 

@@ -48,4 +48,21 @@
 // the normal incremental flush; an empty one keeps the restored
 // generation alive, so pollers' cached ETags stay valid across the
 // restart. Any mismatch falls back to a cold initial run.
+//
+// # Multi-tenant TARA
+//
+// TARAMonitor runs assessment-as-a-service over a tara.Registry: it
+// tails tenant change notifications plus the social Monitor's
+// assessment stream, debounces, and re-rates only the dirty tenants —
+// and within each tenant, only the dirty threats — on the shared worker
+// pool. Social threat tunings are bridged tenant-selectively: a new
+// assessment generation mutates exactly the tenants whose analyses
+// carry a tuned threat, so an unrelated tenant's published snapshot
+// stays pointer-identical. The API serves the fleet under /v1/tara:
+// GET /v1/tara lists tenants with versions; GET /v1/tara/{tenant}
+// returns the current assessment with an ETag covering model version,
+// rating generation and publication time (If-None-Match → 304);
+// POST /v1/tara/{tenant} applies a JSON op batch with optional
+// expect_version optimistic concurrency (mismatch → 409); PUT creates
+// a tenant from an uploaded analysis document and DELETE retires it.
 package monitor

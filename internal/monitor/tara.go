@@ -1,0 +1,197 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// TARAConfig configures a TARAMonitor.
+type TARAConfig struct {
+	// Framework supplies the worker pool (and, transitively, the shared
+	// keyword DB and SAI the tenants' social tunings come from).
+	Framework *core.Framework
+	// Registry holds the tenants. Required; usually pre-populated, but
+	// tenants created later are picked up through the dirty signal.
+	Registry *tara.Registry
+	// Social optionally bridges a social monitor: every published social
+	// generation's ThreatTuning deltas are applied to all tenants,
+	// marking exactly the affected threat IDs dirty.
+	Social *Monitor
+	// Debounce batches dirty-tenant signals before a rating pass.
+	// Defaults to 100ms.
+	Debounce time.Duration
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+// TARAMonitor continuously re-rates the dirty tenants of a registry: it
+// tails the registry's dirty signal (debounced) and, when bridged, the
+// social monitor's assessment stream, so a product line of vehicle
+// variants is re-assessed within one debounce interval of a model
+// mutation or threat-feed change — re-rating only the dirty threats of
+// the dirty tenants.
+type TARAMonitor struct {
+	cfg TARAConfig
+
+	mu      sync.Mutex
+	lastErr error
+	// notify is closed and replaced on every publication, broadcasting
+	// to WaitForTenant pollers.
+	notify chan struct{}
+}
+
+// NewTARAMonitor validates the configuration.
+func NewTARAMonitor(cfg TARAConfig) (*TARAMonitor, error) {
+	if cfg.Framework == nil {
+		return nil, fmt.Errorf("monitor: tara: nil framework")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("monitor: tara: nil registry")
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = 100 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &TARAMonitor{cfg: cfg, notify: make(chan struct{})}, nil
+}
+
+// Registry returns the tenant registry.
+func (tm *TARAMonitor) Registry() *tara.Registry { return tm.cfg.Registry }
+
+// LastError returns the most recent rating failure, cleared by the next
+// successful pass.
+func (tm *TARAMonitor) LastError() error {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.lastErr
+}
+
+// Run drives the rating loop until the context is cancelled: an initial
+// pass over every tenant, then debounced incremental passes over dirty
+// tenants. Failed tenants are re-marked dirty and retried with the
+// monitor's exponential backoff.
+func (tm *TARAMonitor) Run(ctx context.Context) error {
+	if tm.cfg.Social != nil {
+		go tm.tailSocial(ctx)
+	}
+	// Initial pass: every tenant present at startup. Dirty marks are
+	// deliberately not drained here — re-rating a clean tenant is a
+	// no-op (its published assessment is kept), so a concurrent mark is
+	// never lost and a duplicate one costs nothing.
+	tm.ratePass(ctx, tm.cfg.Registry.Names())
+
+	var debounceC <-chan time.Time
+	var failStreak uint
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tm.cfg.Registry.Notify():
+			if debounceC == nil {
+				debounceC = time.After(retryDelay(tm.cfg.Debounce, failStreak))
+			}
+		case <-debounceC:
+			debounceC = nil
+			if ok := tm.ratePass(ctx, tm.cfg.Registry.TakeDirty()); ok {
+				failStreak = 0
+			} else if failStreak < 16 {
+				failStreak++
+			}
+		}
+	}
+}
+
+// ratePass rates the named tenants, re-marking failed ones dirty.
+// Reports whether every tenant succeeded.
+func (tm *TARAMonitor) ratePass(ctx context.Context, names []string) bool {
+	ok := true
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return false
+		}
+		ten, found := tm.cfg.Registry.Get(name)
+		if !found {
+			continue
+		}
+		_, err := ten.Rate(tm.cfg.Now(), func(p *tara.Plan) ([]*tara.ThreatResult, error) {
+			return tm.cfg.Framework.RatePlan(ctx, p)
+		})
+		tm.mu.Lock()
+		tm.lastErr = err
+		tm.mu.Unlock()
+		if err != nil {
+			ok = false
+			tm.cfg.Registry.MarkDirty(name)
+			continue
+		}
+		tm.broadcast()
+	}
+	return ok
+}
+
+func (tm *TARAMonitor) broadcast() {
+	tm.mu.Lock()
+	close(tm.notify)
+	tm.notify = make(chan struct{})
+	tm.mu.Unlock()
+}
+
+// tailSocial follows the social monitor's published assessments and
+// applies each generation's threat tunings to every tenant. Tenants
+// whose effective tables do not change stay clean — repeated identical
+// learning outcomes cause no re-rating.
+func (tm *TARAMonitor) tailSocial(ctx context.Context) {
+	var gen uint64
+	for {
+		cur, err := tm.cfg.Social.WaitFor(ctx, gen+1)
+		if err != nil {
+			return
+		}
+		gen = cur.Generation
+		if cur.Result == nil || len(cur.Result.Tunings) == 0 {
+			continue
+		}
+		for _, name := range tm.cfg.Registry.Names() {
+			ten, found := tm.cfg.Registry.Get(name)
+			if !found {
+				continue
+			}
+			_, err := ten.Mutate(func(a *tara.Analysis) (bool, error) {
+				changed, err := core.ApplyTunings(a, cur.Result.Tunings)
+				return len(changed) > 0, err
+			})
+			if err != nil {
+				tm.mu.Lock()
+				tm.lastErr = fmt.Errorf("monitor: tara: apply tunings to tenant %s: %w", name, err)
+				tm.mu.Unlock()
+			}
+		}
+	}
+}
+
+// WaitForTenant blocks until the named tenant has published an
+// assessment with at least the given generation, or the context ends.
+func (tm *TARAMonitor) WaitForTenant(ctx context.Context, name string, minGeneration uint64) (*tara.TenantAssessment, error) {
+	for {
+		tm.mu.Lock()
+		ch := tm.notify
+		tm.mu.Unlock()
+		if ten, ok := tm.cfg.Registry.Get(name); ok {
+			if cur := ten.Assessment(); cur != nil && cur.Generation >= minGeneration {
+				return cur, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}

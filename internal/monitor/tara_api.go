@@ -1,0 +1,270 @@
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+// WithTARA attaches a TARA monitor to the API, enabling the tenant
+// routes:
+//
+//	GET    /v1/tara           — tenant directory
+//	GET    /v1/tara/{tenant}  — current assessment (ETag/304, same
+//	                            conditional contract as /v1/assessment)
+//	PUT    /v1/tara/{tenant}  — create a tenant from an analysis document
+//	POST   /v1/tara/{tenant}  — apply mutation ops (optimistic
+//	                            concurrency via expect_version)
+//	DELETE /v1/tara/{tenant}  — remove the tenant
+//
+// Mutations are versioned: every successful batch bumps the tenant
+// version, and a POST carrying expect_version is rejected with 409 when
+// the version moved. Re-rating is asynchronous (debounced); readers use
+// version/generation metadata and the ETag to judge freshness.
+func (a *API) WithTARA(tm *TARAMonitor) *API {
+	a.tara = tm
+	return a
+}
+
+func (a *API) handleTARAList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	reg := a.tara.Registry()
+	type entry struct {
+		Tenant     string     `json:"tenant"`
+		Version    uint64     `json:"version"`
+		Generation uint64     `json:"generation,omitempty"`
+		UpdatedAt  *time.Time `json:"updated_at,omitempty"`
+		Threats    int        `json:"threats"`
+	}
+	out := struct {
+		Tenants []entry `json:"tenants"`
+	}{Tenants: make([]entry, 0, reg.Len())}
+	for _, name := range reg.Names() {
+		ten, ok := reg.Get(name)
+		if !ok {
+			continue
+		}
+		e := entry{Tenant: name, Version: ten.Version()}
+		if cur := ten.Assessment(); cur != nil {
+			e.Generation = cur.Generation
+			e.UpdatedAt = &cur.UpdatedAt
+			e.Threats = cur.TotalThreats
+		}
+		out.Tenants = append(out.Tenants, e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) handleTARATenant(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/tara/")
+	if name == "" || strings.Contains(name, "/") {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "tenant name required"})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		a.handleTARAGet(w, r, name)
+	case http.MethodPut:
+		a.handleTARACreate(w, r, name)
+	case http.MethodPost:
+		a.handleTARAMutate(w, r, name)
+	case http.MethodDelete:
+		if !a.tara.Registry().Remove(name) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant " + name})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET, PUT, POST or DELETE"})
+	}
+}
+
+// taraAssessmentResponse is the wire form of GET /v1/tara/{tenant}.
+type taraAssessmentResponse struct {
+	Tenant       string          `json:"tenant"`
+	Version      uint64          `json:"version"`
+	Generation   uint64          `json:"generation"`
+	UpdatedAt    time.Time       `json:"updated_at"`
+	RatedThreats int             `json:"rated_threats"`
+	TotalThreats int             `json:"total_threats"`
+	RatingCalls  uint64          `json:"rating_calls"`
+	Results      []taraResultDoc `json:"results"`
+	Goals        []taraGoalDoc   `json:"goals,omitempty"`
+	Claims       []taraClaimDoc  `json:"claims,omitempty"`
+}
+
+type taraResultDoc struct {
+	ThreatID       string `json:"threat_id"`
+	ThreatName     string `json:"threat_name"`
+	Impact         string `json:"impact"`
+	Feasibility    string `json:"feasibility"`
+	Risk           int    `json:"risk"`
+	Treatment      string `json:"treatment"`
+	CAL            string `json:"cal"`
+	DominantVector string `json:"dominant_vector"`
+}
+
+type taraGoalDoc struct {
+	ID        string `json:"id"`
+	ThreatID  string `json:"threat_id"`
+	Statement string `json:"statement"`
+	CAL       string `json:"cal"`
+	Risk      int    `json:"risk"`
+}
+
+type taraClaimDoc struct {
+	ID        string `json:"id"`
+	ThreatID  string `json:"threat_id"`
+	Rationale string `json:"rationale"`
+}
+
+func renderTenantAssessment(cur *tara.TenantAssessment) taraAssessmentResponse {
+	out := taraAssessmentResponse{
+		Tenant:       cur.Tenant,
+		Version:      cur.Version,
+		Generation:   cur.Generation,
+		UpdatedAt:    cur.UpdatedAt,
+		RatedThreats: cur.RatedThreats,
+		TotalThreats: cur.TotalThreats,
+		RatingCalls:  cur.RatingCalls,
+		Results:      make([]taraResultDoc, 0, len(cur.Results)),
+	}
+	for _, r := range cur.Results {
+		out.Results = append(out.Results, taraResultDoc{
+			ThreatID:       r.Threat.ID,
+			ThreatName:     r.Threat.Name,
+			Impact:         r.Impact.String(),
+			Feasibility:    r.Feasibility.String(),
+			Risk:           int(r.Risk),
+			Treatment:      r.Treatment.String(),
+			CAL:            r.CAL.String(),
+			DominantVector: r.DominantVector.String(),
+		})
+	}
+	if cur.Concept != nil {
+		for _, g := range cur.Concept.Goals {
+			out.Goals = append(out.Goals, taraGoalDoc{
+				ID: g.ID, ThreatID: g.ThreatID, Statement: g.Statement,
+				CAL: g.CAL.String(), Risk: int(g.Risk),
+			})
+		}
+		for _, c := range cur.Concept.Claims {
+			out.Claims = append(out.Claims, taraClaimDoc{
+				ID: c.ID, ThreatID: c.ThreatID, Rationale: c.Rationale,
+			})
+		}
+	}
+	return out
+}
+
+func (a *API) handleTARAGet(w http.ResponseWriter, r *http.Request, name string) {
+	ten, ok := a.tara.Registry().Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant " + name})
+		return
+	}
+	cur := ten.Assessment()
+	if cur == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "assessment not ready; initial rating in progress"})
+		return
+	}
+	// Like /v1/assessment's tag, the pair of rated version and
+	// publication instant survives restarts: a fresh process re-rates
+	// with a new timestamp, invalidating cached copies.
+	etag := fmt.Sprintf(`"t%d.%d.%d"`, cur.Version, cur.Generation, cur.UpdatedAt.UnixNano())
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, renderTenantAssessment(cur))
+}
+
+func (a *API) handleTARACreate(w http.ResponseWriter, r *http.Request, name string) {
+	analysis, err := tara.ReadJSON(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ten, err := a.tara.Registry().Create(name, analysis)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		Tenant  string `json:"tenant"`
+		Version uint64 `json:"version"`
+	}{name, ten.Version()})
+}
+
+// taraMutateRequest is the wire form of POST /v1/tara/{tenant}.
+type taraMutateRequest struct {
+	// ExpectVersion, when non-zero, must match the tenant's current
+	// version (optimistic concurrency).
+	ExpectVersion uint64 `json:"expect_version,omitempty"`
+	// Ops are applied in order; on failure the applied prefix stays.
+	Ops []tara.Op `json:"ops"`
+}
+
+type taraMutateResponse struct {
+	Tenant  string `json:"tenant"`
+	Version uint64 `json:"version"`
+	Applied int    `json:"applied"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (a *API) handleTARAMutate(w http.ResponseWriter, r *http.Request, name string) {
+	ten, ok := a.tara.Registry().Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant " + name})
+		return
+	}
+	var req taraMutateRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no ops"})
+		return
+	}
+	applied := 0
+	var opErr error
+	version, err := ten.MutateAt(req.ExpectVersion, func(an *tara.Analysis) (bool, error) {
+		applied, opErr = tara.ApplyOps(an, req.Ops)
+		return applied > 0, opErr
+	})
+	if errors.Is(err, tara.ErrVersionMismatch) {
+		writeJSON(w, http.StatusConflict, taraMutateResponse{Tenant: name, Version: version, Error: err.Error()})
+		return
+	}
+	resp := taraMutateResponse{Tenant: name, Version: version, Applied: applied}
+	if err != nil {
+		// Partial batch semantics, like POST /v1/posts: the applied
+		// prefix is in effect (and will be re-rated), so report both.
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func decodeJSONBody(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		return fmt.Errorf("read body: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	return nil
+}

@@ -235,8 +235,11 @@ var (
 // plus, batch-wide, the changefeed sequencer.
 //
 // Lock order (nested acquisitions always follow it): shard writer locks
-// in ascending stripe index, then the changefeed sequencer wmu, then a
-// subscriber's own lock. ID-registry stripe locks nest inside nothing.
+// in ascending stripe index, then the subscriber-registry mutex submu,
+// then a subscriber's own lock. ID-registry stripe locks nest inside
+// nothing. Changefeed publication takes no store-level lock at all — it
+// atomically loads the subscriber set and enqueues under each
+// subscriber's own lock.
 type Store struct {
 	shards []*shard
 
@@ -254,14 +257,14 @@ type Store struct {
 	visits      atomic.Int64
 	countVisits atomic.Bool
 
-	// wmu is the store-level changefeed sequencer: batch publication
-	// and subscriber registration serialize through it. Add publishes
-	// while still holding its shard writer locks, so every subscriber
-	// observes batches in one global order, gap- and overlap-free
-	// against its registration-time snapshot.
-	wmu    sync.Mutex
-	subs   map[uint64]*subscriber
-	subSeq uint64
+	// subs is the changefeed subscriber registry behind an atomic
+	// pointer to an immutable set: publication is a lock-free load plus
+	// per-subscriber enqueue, so commits on disjoint stripe sets no
+	// longer serialize store-wide through a sequencer mutex. submu
+	// serializes only registry mutations (Watch registration, delivery
+	// teardown), which copy-on-write a replacement set.
+	submu sync.Mutex
+	subs  atomic.Pointer[subscriberSet]
 
 	// dur is the store's write-ahead persistence (OpenStoreDir); nil
 	// for a purely in-memory store. When set, Add appends each batch to
@@ -290,8 +293,8 @@ func NewStoreShards(n int) *Store {
 	}
 	s := &Store{
 		shards: make([]*shard, n),
-		subs:   make(map[uint64]*subscriber),
 	}
+	s.subs.Store(&subscriberSet{})
 	for i := range s.shards {
 		s.shards[i] = newShard()
 	}
@@ -527,10 +530,14 @@ func (s *Store) insertBatch(batch []*Post) (int, error) {
 // commitParts distributes a partitioned batch across its time-bucket
 // shards and publishes it to the changefeed. The batch commits one
 // snapshot swap per touched shard under the shards' writer locks
-// (acquired in ascending stripe order), with the publication sequenced
-// under wmu inside that window, so changefeed registrations observe the
-// batch atomically — never a torn prefix — while readers are never
-// involved in the critical section at all.
+// (acquired in ascending stripe order), with the publication inside
+// that window, so changefeed registrations — which hold every writer
+// lock while they snapshot and register — observe the batch atomically,
+// never a torn prefix, while readers are never involved in the critical
+// section at all. Publication itself is lock-free against other
+// commits: batches whose stripe sets overlap still serialize on the
+// shared shard locks, but commits on disjoint stripes publish
+// concurrently (see Watch for the resulting ordering contract).
 func (s *Store) commitParts(parts []*stripePart, batch []*Post) {
 	for _, part := range parts {
 		s.shards[part.stripe].mu.Lock()

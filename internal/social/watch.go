@@ -28,6 +28,37 @@ type subscriber struct {
 	notify  chan struct{} // capacity 1: at-least-once wake-up signal
 }
 
+// subscriberSet is the immutable subscriber registry: publication loads
+// it atomically and never mutates it; Watch and delivery teardown
+// replace it copy-on-write under the store's submu. seq is the ID the
+// next registration takes.
+type subscriberSet struct {
+	subs map[uint64]*subscriber
+	seq  uint64
+}
+
+// withSub returns a copy of the set with one subscriber added, plus the
+// ID it was registered under.
+func (set *subscriberSet) withSub(sub *subscriber) (*subscriberSet, uint64) {
+	next := &subscriberSet{subs: make(map[uint64]*subscriber, len(set.subs)+1), seq: set.seq + 1}
+	for id, s := range set.subs {
+		next.subs[id] = s
+	}
+	next.subs[set.seq] = sub
+	return next, set.seq
+}
+
+// withoutSub returns a copy of the set with one subscriber removed.
+func (set *subscriberSet) withoutSub(id uint64) *subscriberSet {
+	next := &subscriberSet{subs: make(map[uint64]*subscriber, len(set.subs)), seq: set.seq}
+	for sid, s := range set.subs {
+		if sid != id {
+			next.subs[sid] = s
+		}
+	}
+	return next
+}
+
 func (sub *subscriber) enqueue(posts []*Post) {
 	sub.mu.Lock()
 	sub.pending = append(sub.pending, posts...)
@@ -39,20 +70,26 @@ func (sub *subscriber) enqueue(posts []*Post) {
 }
 
 // publishSequenced hands an inserted batch (already (CreatedAt, ID)-
-// sorted) to every subscriber under the store-level sequencer. The
-// caller still holds the batch's shard writer locks — its snapshot
-// swaps are already visible to lock-free readers, i.e. the batch is
-// post-commit — so relative to any Watch registration, which holds
-// every shard writer lock while it snapshots and registers, the commit
-// and its publication are one atomic event: delivery order equals
-// commit order across all shards, and registration snapshots stay gap-
-// and overlap-free.
+// sorted) to every subscriber. The caller still holds the batch's shard
+// writer locks — its snapshot swaps are already visible to lock-free
+// readers, i.e. the batch is post-commit — so relative to any Watch
+// registration, which holds every shard writer lock while it snapshots
+// and registers, the commit and its publication are one atomic event:
+// registration snapshots stay gap- and overlap-free.
+//
+// The subscriber set is read with one atomic load, no store-level lock:
+// a batch acquiring its shard locks after a registration released them
+// observes the new set (the lock hand-off orders the pointer load), and
+// a batch that published before the registration window is fully inside
+// the registration's replay snapshot. Between batches the only ordering
+// left is the shard locks themselves — batches with overlapping stripe
+// sets deliver in commit order, batches on disjoint stripe sets may
+// interleave differently per subscriber (they carry disjoint time
+// buckets, so any (CreatedAt, ID)-merging consumer is unaffected).
 func (s *Store) publishSequenced(batch []*Post) {
-	s.wmu.Lock()
-	for _, sub := range s.subs {
+	for _, sub := range s.subs.Load().subs {
 		sub.enqueue(batch)
 	}
-	s.wmu.Unlock()
 }
 
 // mergeOwned k-way merges sorted, disjoint posting-list suffixes into
@@ -71,12 +108,14 @@ func mergeOwned(lists [][]*Post) []*Post {
 }
 
 // Watch subscribes to the store's changefeed: every batch of posts
-// accepted by Add after the subscription is delivered exactly once, in
-// insertion order, with posts inside a batch in (CreatedAt, ID) order.
-// With Options.After set, stored posts after the cursor are replayed
-// ahead of live traffic; the replay snapshot and the live subscription
-// are taken atomically, so no post is missed or duplicated even under
-// concurrent Add.
+// accepted by Add after the subscription is delivered exactly once,
+// with posts inside a batch in (CreatedAt, ID) order. Batches whose
+// stripe sets overlap are delivered in commit order; concurrent batches
+// on disjoint stripe sets carry disjoint time buckets and may
+// interleave differently per subscriber. With Options.After set, stored
+// posts after the cursor are replayed ahead of live traffic; the replay
+// snapshot and the live subscription are taken atomically, so no post
+// is missed or duplicated even under concurrent Add.
 //
 // The returned channel is closed when ctx is cancelled. Pending batches
 // queue in memory without bound while the consumer lags; consume
@@ -90,16 +129,16 @@ func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
 	sub := &subscriber{notify: make(chan struct{}, 1)}
 
 	// Atomic snapshot + registration across all stripes: hold every
-	// shard writer lock (ascending, the store's lock order) plus the
-	// changefeed sequencer. Lock-free readers are untouched, but no
-	// commit can land inside this window. Because Add publishes while
-	// still holding its shard writer locks — after its snapshot swaps —
-	// any batch either committed before this window (its posts are in
-	// the replayed snapshots and it was published only to earlier
-	// subscribers) or starts after it (it reaches this subscriber live)
-	// — never both, at any shard count.
+	// shard writer lock (ascending, the store's lock order) while
+	// snapshotting and publishing the enlarged subscriber set. Lock-free
+	// readers are untouched, but no commit can land inside this window.
+	// Because Add publishes while still holding its shard writer locks —
+	// after its snapshot swaps — any batch either committed before this
+	// window (its posts are in the replayed snapshots and it loaded a
+	// subscriber set without this subscriber) or starts after it (it
+	// observes the new set and reaches this subscriber live) — never
+	// both, at any shard count.
 	s.lockWriters()
-	s.wmu.Lock()
 	if opts.After != nil {
 		c := *opts.After
 		var suffixes [][]*Post
@@ -113,10 +152,10 @@ func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
 		}
 		sub.pending = mergeOwned(suffixes)
 	}
-	id := s.subSeq
-	s.subSeq++
-	s.subs[id] = sub
-	s.wmu.Unlock()
+	s.submu.Lock()
+	next, id := s.subs.Load().withSub(sub)
+	s.subs.Store(next)
+	s.submu.Unlock()
 	s.unlockWriters()
 
 	// Unconditional non-blocking kick: concurrent Adds may already have
@@ -135,9 +174,9 @@ func (s *Store) Watch(ctx context.Context, opts WatchOptions) <-chan []*Post {
 // subscription context ends.
 func (s *Store) deliver(ctx context.Context, id uint64, sub *subscriber, out chan<- []*Post) {
 	defer func() {
-		s.wmu.Lock()
-		delete(s.subs, id)
-		s.wmu.Unlock()
+		s.submu.Lock()
+		s.subs.Store(s.subs.Load().withoutSub(id))
+		s.submu.Unlock()
 		close(out)
 	}()
 	for {

@@ -266,3 +266,59 @@ func collectFeed(t *testing.T, feed <-chan []*Post, n int) []string {
 	}
 	return out
 }
+
+// TestWatchSubscribeDuringConcurrentAdd registers subscribers while
+// writers commit to disjoint stripes. Registration copy-on-writes the
+// subscriber set inside the all-writers lock window, so every
+// subscriber must see each post exactly once — either in its replay
+// snapshot or live, never both, never neither — even though publication
+// itself takes no store-level lock.
+func TestWatchSubscribeDuringConcurrentAdd(t *testing.T) {
+	s := NewStoreShards(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const writers, perWriter, watchers = 4, 80, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				p := &Post{
+					ID:        fmt.Sprintf("mid-w%d-%03d", w, i),
+					Author:    fmt.Sprintf("writer%d", w),
+					Text:      "flood #chiptuning",
+					CreatedAt: time.Date(2022, 6, 1+w, 0, i/60, i%60, 0, time.UTC),
+					Metrics:   Metrics{Views: 1},
+				}
+				if err := s.Add(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	feeds := make([]<-chan []*Post, watchers)
+	for i := range feeds {
+		zero := Cursor{}
+		feeds[i] = s.Watch(ctx, WatchOptions{After: &zero, Buffer: 4})
+	}
+	wg.Wait()
+
+	want := writers * perWriter
+	for i, feed := range feeds {
+		got := collectFeed(t, feed, want)
+		seen := make(map[string]bool, len(got))
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("watcher %d: post %s delivered twice", i, id)
+			}
+			seen[id] = true
+		}
+		if len(seen) != want {
+			t.Errorf("watcher %d: %d distinct posts, want %d", i, len(seen), want)
+		}
+	}
+}

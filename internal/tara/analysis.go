@@ -1,10 +1,5 @@
 package tara
 
-import (
-	"fmt"
-	"sort"
-)
-
 // Analysis is a complete TARA work product: an item with its assets,
 // damage scenarios, threat scenarios and attack paths, plus the models
 // used to rate them. It corresponds to the Clause 15 deliverable that the
@@ -31,6 +26,15 @@ type Analysis struct {
 	// CALModel is the CAL determination table. Defaults to the standard
 	// Annex E table.
 	CALModel *CALTable
+	// ThreatTables optionally overrides VectorModel per threat scenario.
+	// This is how PSP-tuned vector tables from the social loop feed the
+	// rating of exactly the threats they were learned for. Nil entries
+	// are ignored; use SetThreatTable to maintain the map.
+	ThreatTables map[string]*VectorTable
+
+	// track is the incremental engine state (index, dirty set, result
+	// memos). Nil until the first Plan/Validate/mutation; see engine.go.
+	track *tracker
 }
 
 // NewAnalysis builds an Analysis around an item with the standard's
@@ -46,90 +50,65 @@ func NewAnalysis(item *Item) *Analysis {
 	}
 }
 
-// AddDamage registers a damage scenario.
+// AddDamage registers a damage scenario. The builder methods perform no
+// validation; they drop any engine state so the next run revalidates.
+// Incremental model maintenance should use UpsertDamage instead.
 func (a *Analysis) AddDamage(d *DamageScenario) *Analysis {
 	a.Damages = append(a.Damages, d)
+	a.track = nil
 	return a
 }
 
-// AddThreat registers a threat scenario.
+// AddThreat registers a threat scenario. See AddDamage for the builder
+// contract; the incremental counterpart is UpsertThreat.
 func (a *Analysis) AddThreat(t *ThreatScenario) *Analysis {
 	a.Threats = append(a.Threats, t)
+	a.track = nil
 	return a
 }
 
-// AddPath registers an attack path.
+// AddPath registers an attack path. See AddDamage for the builder
+// contract; the incremental counterpart is UpsertPath.
 func (a *Analysis) AddPath(p *AttackPath) *Analysis {
 	a.Paths = append(a.Paths, p)
+	a.track = nil
 	return a
 }
 
 // Validate cross-checks the whole analysis: item and element validity,
 // unique IDs, and referential integrity between threats, damages, assets
-// and paths.
+// and paths. The check is a single map-backed pass (the old
+// implementation was quadratic in the element counts); when it passes,
+// the resulting index is kept to serve Plan and the ID lookups, without
+// discarding dirty-tracking state the analysis already carries.
 func (a *Analysis) Validate() error {
-	if a.Item == nil {
-		return fmt.Errorf("tara: analysis without item definition")
-	}
-	if err := a.Item.Validate(); err != nil {
+	idx, err := buildIndex(a)
+	if err != nil {
+		a.track = nil
 		return err
 	}
-	if a.VectorModel == nil || a.PotentialModel == nil || a.Matrix == nil || a.CALModel == nil {
-		return fmt.Errorf("tara: analysis %s: missing rating model", a.Item.Name)
+	if tr := a.track; tr != nil && tr.structureMatches(a) {
+		tr.idx = idx
+		return nil
 	}
-	damages := make(map[string]*DamageScenario, len(a.Damages))
-	for _, d := range a.Damages {
-		if err := d.Validate(); err != nil {
-			return err
-		}
-		if _, dup := damages[d.ID]; dup {
-			return fmt.Errorf("tara: duplicate damage scenario ID %s", d.ID)
-		}
-		damages[d.ID] = d
-		for _, assetID := range d.AssetIDs {
-			if a.Item.Asset(assetID) == nil {
-				return fmt.Errorf("tara: damage scenario %s references unknown asset %s", d.ID, assetID)
-			}
-		}
-	}
-	threats := make(map[string]*ThreatScenario, len(a.Threats))
-	for _, t := range a.Threats {
-		if err := t.Validate(); err != nil {
-			return err
-		}
-		if _, dup := threats[t.ID]; dup {
-			return fmt.Errorf("tara: duplicate threat scenario ID %s", t.ID)
-		}
-		threats[t.ID] = t
-		for _, dmgID := range t.DamageIDs {
-			if _, ok := damages[dmgID]; !ok {
-				return fmt.Errorf("tara: threat scenario %s references unknown damage scenario %s", t.ID, dmgID)
-			}
-		}
-		for _, assetID := range t.AssetIDs {
-			if a.Item.Asset(assetID) == nil {
-				return fmt.Errorf("tara: threat scenario %s references unknown asset %s", t.ID, assetID)
-			}
-		}
-	}
-	pathIDs := make(map[string]bool, len(a.Paths))
-	for _, p := range a.Paths {
-		if err := p.Validate(); err != nil {
-			return err
-		}
-		if pathIDs[p.ID] {
-			return fmt.Errorf("tara: duplicate attack path ID %s", p.ID)
-		}
-		pathIDs[p.ID] = true
-		if _, ok := threats[p.ThreatID]; !ok {
-			return fmt.Errorf("tara: attack path %s references unknown threat scenario %s", p.ID, p.ThreatID)
-		}
+	a.track = newTracker(a, idx, a.track)
+	return nil
+}
+
+// lookupIndex returns the engine index when it plausibly reflects the
+// analysis' current structure, for O(1) ID lookups.
+func (a *Analysis) lookupIndex() *analysisIndex {
+	if tr := a.track; tr != nil && tr.quickMatch(a) {
+		return tr.idx
 	}
 	return nil
 }
 
 // Damage returns the damage scenario with the given ID, or nil.
 func (a *Analysis) Damage(id string) *DamageScenario {
+	if idx := a.lookupIndex(); idx != nil {
+		return idx.damages[id]
+	}
 	for _, d := range a.Damages {
 		if d.ID == id {
 			return d
@@ -140,6 +119,9 @@ func (a *Analysis) Damage(id string) *DamageScenario {
 
 // Threat returns the threat scenario with the given ID, or nil.
 func (a *Analysis) Threat(id string) *ThreatScenario {
+	if idx := a.lookupIndex(); idx != nil {
+		return idx.threats[id]
+	}
 	for _, t := range a.Threats {
 		if t.ID == id {
 			return t
@@ -149,8 +131,11 @@ func (a *Analysis) Threat(id string) *ThreatScenario {
 }
 
 // PathsFor returns the attack paths linked to a threat scenario, in
-// registration order.
+// registration order. The returned slice must not be modified.
 func (a *Analysis) PathsFor(threatID string) []*AttackPath {
+	if idx := a.lookupIndex(); idx != nil {
+		return idx.pathsByThreat[threatID]
+	}
 	var out []*AttackPath
 	for _, p := range a.Paths {
 		if p.ThreatID == threatID {
@@ -183,98 +168,26 @@ type ThreatResult struct {
 // Run validates the analysis and determines impact, feasibility, risk,
 // treatment and CAL for every threat scenario. Results are sorted by
 // descending risk value, then by threat ID for determinism.
+//
+// Run is incremental: only threats marked dirty since the previous run
+// (by the Upsert*/Remove*/Set* mutation API, or by a detected model
+// swap) are re-rated; clean threats reuse their memoized results
+// byte-identically. A failed run keeps the dirty set intact so the next
+// run retries the same threats.
 func (a *Analysis) Run() ([]*ThreatResult, error) {
-	if err := a.Validate(); err != nil {
+	p, err := a.Plan()
+	if err != nil {
 		return nil, err
 	}
-	results := make([]*ThreatResult, 0, len(a.Threats))
-	for _, t := range a.Threats {
-		impact, err := a.threatImpact(t)
+	rated := make([]*ThreatResult, len(p.Dirty))
+	for i, id := range p.Dirty {
+		r, err := p.Rate(id)
 		if err != nil {
 			return nil, err
 		}
-		feas, dom, err := a.threatFeasibility(t)
-		if err != nil {
-			return nil, err
-		}
-		risk, err := a.Matrix.Risk(impact, feas)
-		if err != nil {
-			return nil, err
-		}
-		treatment, err := SuggestTreatment(risk)
-		if err != nil {
-			return nil, err
-		}
-		cal, err := a.CALModel.Determine(impact, dom)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, &ThreatResult{
-			Threat:         t,
-			Impact:         impact,
-			Feasibility:    feas,
-			Risk:           risk,
-			Treatment:      treatment,
-			CAL:            cal,
-			DominantVector: dom,
-		})
+		rated[i] = r
 	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Risk != results[j].Risk {
-			return results[i].Risk > results[j].Risk
-		}
-		return results[i].Threat.ID < results[j].Threat.ID
-	})
-	return results, nil
-}
-
-// threatImpact aggregates the overall impact of the threat's linked
-// damage scenarios (maximum rule).
-func (a *Analysis) threatImpact(t *ThreatScenario) (ImpactRating, error) {
-	var maxImpact ImpactRating
-	for _, dmgID := range t.DamageIDs {
-		d := a.Damage(dmgID)
-		if d == nil {
-			return 0, fmt.Errorf("tara: threat scenario %s references unknown damage scenario %s", t.ID, dmgID)
-		}
-		if imp := d.OverallImpact(); imp > maxImpact {
-			maxImpact = imp
-		}
-	}
-	if !maxImpact.Valid() {
-		return 0, fmt.Errorf("tara: threat scenario %s: no rated damage scenarios", t.ID)
-	}
-	return maxImpact, nil
-}
-
-// threatFeasibility combines the feasibility of the threat's attack
-// paths. Paths carrying potential profiles use the attack potential-based
-// approach; others use the vector-based table. Threats without analyzed
-// paths fall back to their declared vector. Also returns the vector of
-// the path that produced the combined rating.
-func (a *Analysis) threatFeasibility(t *ThreatScenario) (FeasibilityRating, AttackVector, error) {
-	paths := a.PathsFor(t.ID)
-	if len(paths) == 0 {
-		r, err := a.VectorModel.Rating(t.Vector)
-		return r, t.Vector, err
-	}
-	best, bestVector := FeasibilityRating(0), t.Vector
-	for _, p := range paths {
-		var r FeasibilityRating
-		var err error
-		if pathHasPotential(p) {
-			r, err = p.RateByPotential(a.PotentialModel, a.PotentialBands)
-		} else {
-			r, err = p.RateByVector(a.VectorModel)
-		}
-		if err != nil {
-			return 0, 0, err
-		}
-		if r > best {
-			best, bestVector = r, p.DominantVector()
-		}
-	}
-	return best, bestVector, nil
+	return p.Commit(rated)
 }
 
 func pathHasPotential(p *AttackPath) bool {

@@ -1,0 +1,129 @@
+package tara
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenSpec sizes a synthetic analysis for benchmarks and property tests.
+type GenSpec struct {
+	// Name labels the generated item.
+	Name string
+	// Assets, Damages and Threats are the entity counts (all ≥ 1).
+	Assets  int
+	Damages int
+	Threats int
+	// PathsPerThreat is the attack-subgraph size per threat (may be 0:
+	// such threats rate by their declared vector).
+	PathsPerThreat int
+	// Seed drives the deterministic pseudo-random construction.
+	Seed int64
+}
+
+// GenerateAnalysis deterministically builds a valid analysis of the
+// given shape: every damage references at least one asset, every threat
+// links at least one damage, and roughly a third of the attack steps
+// carry attack potential profiles. Same spec, same model.
+func GenerateAnalysis(spec GenSpec) (*Analysis, error) {
+	if spec.Assets < 1 || spec.Damages < 1 || spec.Threats < 1 || spec.PathsPerThreat < 0 {
+		return nil, fmt.Errorf("tara: generate: invalid spec %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	name := spec.Name
+	if name == "" {
+		name = "synthetic item"
+	}
+	item := &Item{Name: name, Description: "generated for benchmarks and property tests"}
+	for i := 0; i < spec.Assets; i++ {
+		item.Assets = append(item.Assets, GenAsset(fmt.Sprintf("A-%03d", i), rng))
+	}
+	a := NewAnalysis(item)
+	for i := 0; i < spec.Damages; i++ {
+		a.AddDamage(GenDamage(fmt.Sprintf("DS-%03d", i), item.Assets, rng))
+	}
+	for i := 0; i < spec.Threats; i++ {
+		t := GenThreat(fmt.Sprintf("TS-%03d", i), a.Damages, item.Assets, rng)
+		a.AddThreat(t)
+		for j := 0; j < spec.PathsPerThreat; j++ {
+			a.AddPath(GenPath(fmt.Sprintf("AP-%03d-%02d", i, j), t.ID, rng))
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("tara: generate: %w", err)
+	}
+	return a, nil
+}
+
+// GenAsset builds one pseudo-random valid asset.
+func GenAsset(id string, rng *rand.Rand) *Asset {
+	props := []SecurityProperty{
+		PropertyConfidentiality + SecurityProperty(rng.Intn(int(PropertyNonRepudiation))),
+	}
+	return &Asset{
+		ID:         id,
+		Name:       "asset " + id,
+		Properties: props,
+		ECU:        fmt.Sprintf("ECU-%d", rng.Intn(8)),
+	}
+}
+
+// GenDamage builds one pseudo-random valid damage scenario referencing
+// one to three of the given assets.
+func GenDamage(id string, assets []*Asset, rng *rand.Rand) *DamageScenario {
+	n := 1 + rng.Intn(3)
+	ids := make([]string, 0, n)
+	for k := 0; k < n; k++ {
+		ids = append(ids, assets[rng.Intn(len(assets))].ID)
+	}
+	impacts := map[ImpactCategory]ImpactRating{
+		CategorySafety + ImpactCategory(rng.Intn(4)): ImpactNegligible + ImpactRating(rng.Intn(4)),
+	}
+	return &DamageScenario{ID: id, Description: "damage " + id, AssetIDs: ids, Impacts: impacts}
+}
+
+// GenThreat builds one pseudo-random valid threat scenario linking one
+// or two damages and up to two assets.
+func GenThreat(id string, damages []*DamageScenario, assets []*Asset, rng *rand.Rand) *ThreatScenario {
+	dmg := []string{damages[rng.Intn(len(damages))].ID}
+	if rng.Intn(2) == 1 && len(damages) > 1 {
+		dmg = append(dmg, damages[rng.Intn(len(damages))].ID)
+	}
+	var assetIDs []string
+	for k := rng.Intn(3); k > 0; k-- {
+		assetIDs = append(assetIDs, assets[rng.Intn(len(assets))].ID)
+	}
+	return &ThreatScenario{
+		ID:        id,
+		Name:      "threat " + id,
+		DamageIDs: dmg,
+		AssetIDs:  assetIDs,
+		Property:  PropertyConfidentiality + SecurityProperty(rng.Intn(int(PropertyNonRepudiation))),
+		STRIDE:    Spoofing + STRIDECategory(rng.Intn(int(ElevationOfPrivilege))),
+		Profiles:  []AttackerProfile{ProfileInsider + AttackerProfile(rng.Intn(int(ProfileRemote)))},
+		Vector:    VectorPhysical + AttackVector(rng.Intn(4)),
+	}
+}
+
+// GenPath builds one pseudo-random valid attack path of one to three
+// steps; roughly a third of the steps carry potential profiles.
+func GenPath(id, threatID string, rng *rand.Rand) *AttackPath {
+	n := 1 + rng.Intn(3)
+	steps := make([]AttackStep, 0, n)
+	for k := 0; k < n; k++ {
+		s := AttackStep{
+			Description: fmt.Sprintf("step %d of %s", k, id),
+			Vector:      VectorPhysical + AttackVector(rng.Intn(4)),
+		}
+		if rng.Intn(3) == 0 {
+			s.Potential = &AttackPotentialInput{
+				Time:      TimeOneDay + ElapsedTime(rng.Intn(5)),
+				Expertise: ExpertiseLayman + SpecialistExpertise(rng.Intn(4)),
+				Knowledge: KnowledgePublic + ItemKnowledge(rng.Intn(4)),
+				Window:    WindowUnlimited + WindowOfOpportunity(rng.Intn(4)),
+				Equipment: EquipmentStandard + Equipment(rng.Intn(4)),
+			}
+		}
+		steps = append(steps, s)
+	}
+	return &AttackPath{ID: id, ThreatID: threatID, Steps: steps}
+}

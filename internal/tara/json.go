@@ -22,6 +22,9 @@ type analysisDoc struct {
 	// part); potential weights, risk matrix and CAL table deserialize to
 	// the standard defaults and can be overridden programmatically.
 	VectorModel *vectorTableDoc `json:"vector_model,omitempty"`
+	// ThreatTables carries the per-threat vector table overrides learned
+	// by the social loop.
+	ThreatTables map[string]*vectorTableDoc `json:"threat_tables,omitempty"`
 }
 
 type itemDoc struct {
@@ -102,6 +105,15 @@ func (a *Analysis) WriteJSON(w io.Writer) error {
 	if a.VectorModel != nil && !a.VectorModel.Equal(StandardVectorTable()) {
 		doc.VectorModel = encodeVectorTable(a.VectorModel)
 	}
+	for id, tbl := range a.ThreatTables {
+		if tbl == nil {
+			continue
+		}
+		if doc.ThreatTables == nil {
+			doc.ThreatTables = make(map[string]*vectorTableDoc)
+		}
+		doc.ThreatTables[id] = encodeVectorTable(tbl)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
@@ -150,6 +162,16 @@ func ReadJSON(r io.Reader) (*Analysis, error) {
 		}
 		a.VectorModel = tbl
 	}
+	for id, td := range doc.ThreatTables {
+		tbl, err := decodeVectorTable(td)
+		if err != nil {
+			return nil, fmt.Errorf("threat table %s: %w", id, err)
+		}
+		if a.ThreatTables == nil {
+			a.ThreatTables = make(map[string]*VectorTable)
+		}
+		a.ThreatTables[id] = tbl
+	}
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("tara: decoded analysis invalid: %w", err)
 	}
@@ -159,14 +181,7 @@ func ReadJSON(r io.Reader) (*Analysis, error) {
 func encodeItem(it *Item) *itemDoc {
 	doc := &itemDoc{Name: it.Name, Description: it.Description}
 	for _, a := range it.Assets {
-		props := make([]string, len(a.Properties))
-		for i, p := range a.Properties {
-			props[i] = p.String()
-		}
-		doc.Assets = append(doc.Assets, &assetDoc{
-			ID: a.ID, Name: a.Name, Description: a.Description,
-			Properties: props, ECU: a.ECU,
-		})
+		doc.Assets = append(doc.Assets, encodeAsset(a))
 	}
 	return doc
 }
@@ -174,20 +189,39 @@ func encodeItem(it *Item) *itemDoc {
 func decodeItem(doc *itemDoc) (*Item, error) {
 	it := &Item{Name: doc.Name, Description: doc.Description}
 	for _, a := range doc.Assets {
-		props := make([]SecurityProperty, 0, len(a.Properties))
-		for _, s := range a.Properties {
-			p, err := parseProperty(s)
-			if err != nil {
-				return nil, fmt.Errorf("asset %s: %w", a.ID, err)
-			}
-			props = append(props, p)
+		as, err := decodeAsset(a)
+		if err != nil {
+			return nil, err
 		}
-		it.Assets = append(it.Assets, &Asset{
-			ID: a.ID, Name: a.Name, Description: a.Description,
-			Properties: props, ECU: a.ECU,
-		})
+		it.Assets = append(it.Assets, as)
 	}
 	return it, nil
+}
+
+func encodeAsset(a *Asset) *assetDoc {
+	props := make([]string, len(a.Properties))
+	for i, p := range a.Properties {
+		props[i] = p.String()
+	}
+	return &assetDoc{
+		ID: a.ID, Name: a.Name, Description: a.Description,
+		Properties: props, ECU: a.ECU,
+	}
+}
+
+func decodeAsset(doc *assetDoc) (*Asset, error) {
+	props := make([]SecurityProperty, 0, len(doc.Properties))
+	for _, s := range doc.Properties {
+		p, err := parseProperty(s)
+		if err != nil {
+			return nil, fmt.Errorf("asset %s: %w", doc.ID, err)
+		}
+		props = append(props, p)
+	}
+	return &Asset{
+		ID: doc.ID, Name: doc.Name, Description: doc.Description,
+		Properties: props, ECU: doc.ECU,
+	}, nil
 }
 
 func encodeDamage(d *DamageScenario) *damageDoc {

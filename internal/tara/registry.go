@@ -1,0 +1,282 @@
+package tara
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a multi-tenant collection of named TARA analyses — the
+// vehicle variants of a product line, each a full Analysis, typically
+// sharing one framework (keyword DB, SAI) for social tuning. Mutations
+// go through Tenant.Mutate, which bumps the tenant's version and marks
+// it dirty; a rating loop drains TakeDirty and publishes immutable
+// TenantAssessment snapshots readable without locks.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	dirty   map[string]bool
+	// notify signals "some tenant is dirty" with a coalescing capacity-1
+	// channel, like the store changefeed's subscriber notification.
+	notify chan struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		tenants: make(map[string]*Tenant),
+		dirty:   make(map[string]bool),
+		notify:  make(chan struct{}, 1),
+	}
+}
+
+// Create registers a new tenant around the analysis, validates it, and
+// marks it dirty so the rating loop picks it up. The name must be
+// non-empty and unused.
+func (r *Registry) Create(name string, a *Analysis) (*Tenant, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("tara: tenant with empty name")
+	}
+	if a == nil {
+		return nil, fmt.Errorf("tara: tenant %s without analysis", name)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("tara: tenant %s: %w", name, err)
+	}
+	t := &Tenant{name: name, reg: r, a: a, version: 1}
+	r.mu.Lock()
+	if _, dup := r.tenants[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("tara: duplicate tenant %s", name)
+	}
+	r.tenants[name] = t
+	r.dirty[name] = true
+	r.mu.Unlock()
+	r.wake()
+	return t, nil
+}
+
+// Get returns the named tenant.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	t, ok := r.tenants[name]
+	r.mu.RUnlock()
+	return t, ok
+}
+
+// Names returns all tenant names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of tenants.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
+
+// Remove deletes a tenant, reporting whether it existed.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	_, ok := r.tenants[name]
+	delete(r.tenants, name)
+	delete(r.dirty, name)
+	r.mu.Unlock()
+	return ok
+}
+
+// Notify returns the dirty-tenant signal channel: it receives (with
+// coalescing) whenever at least one tenant becomes dirty.
+func (r *Registry) Notify() <-chan struct{} { return r.notify }
+
+// TakeDirty drains and returns the dirty tenant names, sorted.
+func (r *Registry) TakeDirty() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.dirty))
+	for name := range r.dirty {
+		out = append(out, name)
+	}
+	r.dirty = make(map[string]bool)
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// MarkDirty flags a tenant for re-rating (used by rating loops to
+// requeue a tenant after a failed pass).
+func (r *Registry) MarkDirty(name string) {
+	r.mu.Lock()
+	if _, ok := r.tenants[name]; ok {
+		r.dirty[name] = true
+	}
+	r.mu.Unlock()
+	r.wake()
+}
+
+func (r *Registry) wake() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Tenant is one named analysis of the registry. The analysis must only
+// be touched through Mutate and Rate, which serialize access under the
+// tenant lock; published assessments are read lock-free.
+type Tenant struct {
+	name string
+	reg  *Registry
+
+	mu sync.Mutex
+	a  *Analysis
+	// version counts successful mutation batches; it is the optimistic
+	// concurrency token of the mutation API.
+	version uint64
+
+	cur atomic.Pointer[TenantAssessment]
+}
+
+// Name returns the tenant name.
+func (t *Tenant) Name() string { return t.name }
+
+// Version returns the current model version.
+func (t *Tenant) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Assessment returns the last published assessment, or nil before the
+// first rating pass.
+func (t *Tenant) Assessment() *TenantAssessment { return t.cur.Load() }
+
+// Mutate runs fn against the tenant's analysis under the tenant lock.
+// fn reports whether it changed the model; when it did — or when it
+// failed partway, since applied prefixes stay in effect — the version is
+// bumped and the tenant is marked dirty for re-rating. Returns the
+// resulting version.
+func (t *Tenant) Mutate(fn func(a *Analysis) (changed bool, err error)) (uint64, error) {
+	t.mu.Lock()
+	changed, err := fn(t.a)
+	if changed || err != nil {
+		t.version++
+	}
+	v := t.version
+	t.mu.Unlock()
+	if changed || err != nil {
+		t.reg.MarkDirty(t.name)
+	}
+	return v, err
+}
+
+// MutateAt is Mutate guarded by an expected version: when expect is
+// non-zero and does not match the current version, ErrVersionMismatch is
+// returned and fn does not run.
+func (t *Tenant) MutateAt(expect uint64, fn func(a *Analysis) (bool, error)) (uint64, error) {
+	t.mu.Lock()
+	if expect != 0 && expect != t.version {
+		v := t.version
+		t.mu.Unlock()
+		return v, fmt.Errorf("%w: tenant %s at version %d, expected %d", ErrVersionMismatch, t.name, v, expect)
+	}
+	changed, err := fn(t.a)
+	if changed || err != nil {
+		t.version++
+	}
+	v := t.version
+	t.mu.Unlock()
+	if changed || err != nil {
+		t.reg.MarkDirty(t.name)
+	}
+	return v, err
+}
+
+// ErrVersionMismatch reports an optimistic-concurrency conflict in
+// MutateAt.
+var ErrVersionMismatch = fmt.Errorf("tara: tenant version mismatch")
+
+// Rate plans a rating pass over the tenant's analysis, delegates the
+// dirty threats to the rate callback (which may fan out, but must
+// return Commit's result), and publishes the new assessment snapshot.
+// The concept derivation rides along when there are results to derive
+// from.
+func (t *Tenant) Rate(now time.Time, rate func(p *Plan) ([]*ThreatResult, error)) (*TenantAssessment, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	version := t.version
+	p, err := t.a.Plan()
+	if err != nil {
+		return nil, err
+	}
+	dirty := len(p.Dirty)
+	// Nothing dirty at an already-published version: the previous
+	// assessment is still exact, so keep it (stable generation, stable
+	// ETag) instead of churning out an identical snapshot.
+	if prev := t.cur.Load(); prev != nil && dirty == 0 && prev.Version == version {
+		return prev, nil
+	}
+	results, err := rate(p)
+	if err != nil {
+		return nil, err
+	}
+	var concept *ConceptOutcome
+	if len(results) > 0 {
+		concept, err = DeriveConcept(results)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var gen uint64 = 1
+	if prev := t.cur.Load(); prev != nil {
+		gen = prev.Generation + 1
+	}
+	cur := &TenantAssessment{
+		Tenant:       t.name,
+		Version:      version,
+		Generation:   gen,
+		UpdatedAt:    now,
+		Results:      results,
+		Concept:      concept,
+		RatedThreats: dirty,
+		TotalThreats: len(results),
+		RatingCalls:  t.a.RatingCalls(),
+	}
+	t.cur.Store(cur)
+	return cur, nil
+}
+
+// TenantAssessment is an immutable published rating of one tenant.
+type TenantAssessment struct {
+	// Tenant is the tenant name.
+	Tenant string
+	// Version is the model version this assessment rates.
+	Version uint64
+	// Generation counts publications for this tenant.
+	Generation uint64
+	// UpdatedAt is the publication time.
+	UpdatedAt time.Time
+	// Results is the full, sorted risk determination.
+	Results []*ThreatResult
+	// Concept is the §9.4 derivation (nil when there are no results).
+	Concept *ConceptOutcome
+	// RatedThreats is how many threats were actually re-rated in the
+	// pass that produced this assessment; TotalThreats is the model
+	// size. RatedThreats < TotalThreats demonstrates incrementality.
+	RatedThreats int
+	TotalThreats int
+	// RatingCalls is the tenant's cumulative rating-call counter at
+	// publication time — the observability hook of the acceptance
+	// criterion that only dirty threats are re-rated.
+	RatingCalls uint64
+}

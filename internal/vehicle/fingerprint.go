@@ -1,0 +1,37 @@
+package vehicle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a stable content hash of the topology: same ECUs,
+// buses and attachments (in any insertion order) yield the same
+// fingerprint, and any structural edit changes it. Derivation layers use
+// it to decide whether topology-derived artifacts (items, attack paths)
+// are stale without diffing the graphs.
+func (t *Topology) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("topology|")
+	b.WriteString(t.name)
+	for _, e := range t.ECUs() {
+		fmt.Fprintf(&b, "\necu|%s|%s|%s|%v|", e.ID, e.Name, e.Domain, e.SafetyCritical)
+		surfaces := make([]string, 0, len(e.Surfaces))
+		for _, s := range e.Surfaces {
+			surfaces = append(surfaces, s.String())
+		}
+		sort.Strings(surfaces)
+		b.WriteString(strings.Join(surfaces, ","))
+	}
+	for _, bus := range t.Buses() {
+		fmt.Fprintf(&b, "\nbus|%s|%s|", bus.ID, bus.Kind)
+		ids := append([]string(nil), bus.ECUIDs...)
+		sort.Strings(ids)
+		b.WriteString(strings.Join(ids, ","))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}

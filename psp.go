@@ -104,6 +104,11 @@ type (
 	// result (core.ExportResult / core.RestoreResult wired through the
 	// monitor's state).
 	SocialResultState = core.ResultState
+	// TARAMonitor continuously re-rates the dirty tenants of a TARA
+	// registry, optionally bridged to a social Monitor's threat tunings.
+	TARAMonitor = monitor.TARAMonitor
+	// TARAMonitorConfig wires a TARAMonitor.
+	TARAMonitorConfig = monitor.TARAConfig
 )
 
 // NewResultCache builds a result cache over a platform backend.
@@ -116,8 +121,13 @@ func NewSocialQueryCache(backend Searcher) *SocialQueryCache { return core.NewQu
 // with Run and read it with Assessment/WaitFor.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
 
-// NewMonitorAPI wraps a monitor in its HTTP API.
+// NewMonitorAPI wraps a monitor in its HTTP API. Chain WithTARA to add
+// the /v1/tara multi-tenant routes.
 func NewMonitorAPI(m *Monitor) *MonitorAPI { return monitor.NewAPI(m) }
+
+// NewTARAMonitor validates the configuration and builds a TARAMonitor;
+// drive it with Run and read tenants through the registry.
+func NewTARAMonitor(cfg TARAMonitorConfig) (*TARAMonitor, error) { return monitor.NewTARAMonitor(cfg) }
 
 // NewMonitorFileState persists monitor state in one JSON file, replaced
 // atomically on every save. Give it to MonitorConfig.State (over a

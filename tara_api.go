@@ -174,6 +174,60 @@ func NewDamageScenario(id, description string, assetIDs []string, p ImpactParams
 // ReadAnalysisJSON deserializes a TARA work-product document.
 func ReadAnalysisJSON(r io.Reader) (*Analysis, error) { return tara.ReadJSON(r) }
 
+// Assessment-as-a-service: the incremental engine's planning API, the
+// versioned mutation ops, and the multi-tenant registry behind the
+// /v1/tara routes.
+type (
+	// TARAPlan is one planned incremental rating pass: the dirty threat
+	// IDs to rate, then commit.
+	TARAPlan = tara.Plan
+	// TARAOp is one mutation of an analysis in the versioned tenant
+	// mutation API.
+	TARAOp = tara.Op
+	// TARAOpKind enumerates the mutation kinds.
+	TARAOpKind = tara.OpKind
+	// TARARegistry is a multi-tenant collection of named analyses.
+	TARARegistry = tara.Registry
+	// TARATenant is one named analysis of a registry.
+	TARATenant = tara.Tenant
+	// TenantAssessment is an immutable published rating of one tenant.
+	TenantAssessment = tara.TenantAssessment
+	// TARAGenSpec parameterizes GenerateTARAAnalysis.
+	TARAGenSpec = tara.GenSpec
+)
+
+// Mutation op kinds.
+const (
+	OpUpsertAsset    = tara.OpUpsertAsset
+	OpRemoveAsset    = tara.OpRemoveAsset
+	OpUpsertDamage   = tara.OpUpsertDamage
+	OpRemoveDamage   = tara.OpRemoveDamage
+	OpUpsertThreat   = tara.OpUpsertThreat
+	OpRemoveThreat   = tara.OpRemoveThreat
+	OpUpsertPath     = tara.OpUpsertPath
+	OpRemovePath     = tara.OpRemovePath
+	OpSetVectorModel = tara.OpSetVectorModel
+	OpSetThreatTable = tara.OpSetThreatTable
+)
+
+// ErrTenantVersionMismatch reports an optimistic-concurrency conflict in
+// TARATenant.MutateAt.
+var ErrTenantVersionMismatch = tara.ErrVersionMismatch
+
+// NewTARARegistry returns an empty tenant registry.
+func NewTARARegistry() *TARARegistry { return tara.NewRegistry() }
+
+// ApplyTARAOps applies mutation ops in order, returning how many were
+// applied; on error the applied prefix stays in effect.
+func ApplyTARAOps(a *Analysis, ops []TARAOp) (int, error) { return tara.ApplyOps(a, ops) }
+
+// DecodeTARAOps parses a JSON array of mutation ops.
+func DecodeTARAOps(r io.Reader) ([]TARAOp, error) { return tara.DecodeOps(r) }
+
+// GenerateTARAAnalysis deterministically generates a synthetic analysis
+// of the given shape — fixture fleets for tests and load experiments.
+func GenerateTARAAnalysis(spec TARAGenSpec) (*Analysis, error) { return tara.GenerateAnalysis(spec) }
+
 // NewAnalysis builds a TARA analysis with the standard's default models.
 func NewAnalysis(item *Item) *Analysis { return tara.NewAnalysis(item) }
 

@@ -1,0 +1,57 @@
+package psp
+
+import (
+	"github.com/psp-framework/psp/internal/itemgen"
+	"github.com/psp-framework/psp/internal/vehicle"
+)
+
+// Vehicle E/E architecture model (Fig. 4) and the derivation bridge that
+// bootstraps TARA work products from it.
+type (
+	// VehicleTopology is the vehicle network: ECUs connected by buses.
+	VehicleTopology = vehicle.Topology
+	// ECU is an electronic control unit of the architecture.
+	ECU = vehicle.ECU
+	// VehicleBus is a communication segment connecting ECUs.
+	VehicleBus = vehicle.Bus
+	// VehicleDomain is a functional domain (powertrain, body, ...).
+	VehicleDomain = vehicle.Domain
+	// BusKind is a bus technology (CAN, LIN, Ethernet, wireless, ...).
+	BusKind = vehicle.BusKind
+	// SurfaceClass classifies attack surfaces by reach (physical,
+	// short-range, long-range).
+	SurfaceClass = vehicle.SurfaceClass
+)
+
+// NewVehicleTopology returns an empty topology with the given name.
+func NewVehicleTopology(name string) *VehicleTopology { return vehicle.NewTopology(name) }
+
+// ReferenceArchitecture returns the paper's Fig. 4 vehicle network.
+func ReferenceArchitecture() (*VehicleTopology, error) { return vehicle.ReferenceArchitecture() }
+
+// DeriveTARAAnalysis builds a starter TARA for one ECU of the topology.
+func DeriveTARAAnalysis(top *VehicleTopology, ecuID string) (*Analysis, error) {
+	return itemgen.DeriveAnalysis(top, ecuID)
+}
+
+// DeriveTARAPaths enumerates attack paths for a threat on a target ECU
+// from the topology.
+func DeriveTARAPaths(top *VehicleTopology, targetID, threatID string) ([]*AttackPath, error) {
+	return itemgen.DerivePaths(top, targetID, threatID)
+}
+
+// SyncTARAPaths reconciles an analysis's topology-derived attack paths
+// with the current topology, leaving analyst-added paths and unchanged
+// routes (and their memoized ratings) alone. Reports whether anything
+// changed.
+func SyncTARAPaths(top *VehicleTopology, a *Analysis, ecuID string) (bool, error) {
+	return itemgen.SyncPaths(top, a, ecuID)
+}
+
+// DeriveTARARegistry bootstraps a multi-tenant TARA registry from a
+// vehicle architecture: one tenant per ECU, named by the ECU ID, with
+// topology-derived attack paths. Deterministic — the same topology
+// yields byte-identical tenant documents.
+func DeriveTARARegistry(top *VehicleTopology) (*TARARegistry, error) {
+	return itemgen.DeriveRegistry(top)
+}
