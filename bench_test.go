@@ -23,6 +23,7 @@ import (
 	"github.com/psp-framework/psp/internal/finance"
 	"github.com/psp-framework/psp/internal/lifecycle"
 	"github.com/psp-framework/psp/internal/market"
+	"github.com/psp-framework/psp/internal/obs"
 	"github.com/psp-framework/psp/internal/sai"
 	"github.com/psp-framework/psp/internal/social"
 	"github.com/psp-framework/psp/internal/standards"
@@ -462,12 +463,26 @@ func mixedWritePost(n int64) *social.Post {
 // whole store and pays an O(corpus) index merge; at 8 stripes writers
 // touch 1/8th of the index under 1/8th of the lock footprint, so mixed
 // throughput scales with the shard count (compare ns/op across the
-// shards= sub-benchmarks; BENCH_3.json records the sweep).
+// shards= sub-benchmarks; BENCH_3.json records the sweep). The obs=on
+// variant re-runs the widest shape with a full psp_store_* recording
+// surface attached — its ns/op against the obs=off twin is the
+// metrics-overhead acceptance check (BENCH_7.json; the atomic
+// recorders must stay within a few percent).
 func BenchmarkStoreConcurrentMixed(b *testing.B) {
-	for _, shards := range []int{1, 2, 4, 8} {
-		store := paddedStoreShards(b, 56000, shards)
+	for _, cfg := range []struct {
+		shards int
+		obs    bool
+	}{{1, false}, {2, false}, {4, false}, {8, false}, {8, true}} {
+		store := paddedStoreShards(b, 56000, cfg.shards)
+		if cfg.obs {
+			store.SetMetrics(social.NewStoreMetrics(obs.NewRegistry()))
+		}
 		corpus := store.Len()
-		b.Run(fmt.Sprintf("corpus=%d/shards=%d", corpus, shards), func(b *testing.B) {
+		name := fmt.Sprintf("corpus=%d/shards=%d", corpus, cfg.shards)
+		if cfg.obs {
+			name += "/obs=on"
+		}
+		b.Run(name, func(b *testing.B) {
 			ctx := context.Background()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {

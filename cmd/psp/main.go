@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -172,8 +173,13 @@ func runSAI(w io.Writer, args []string) error {
 	fmt.Fprint(w, chart)
 	if len(res.Learned) > 0 {
 		fmt.Fprintln(w, "auto-learned keywords:")
-		for topic, tags := range res.Learned {
-			fmt.Fprintf(w, "  %s: %v\n", topic, tags)
+		topics := make([]string, 0, len(res.Learned))
+		for topic := range res.Learned {
+			topics = append(topics, topic)
+		}
+		sort.Strings(topics)
+		for _, topic := range topics {
+			fmt.Fprintf(w, "  %s: %v\n", topic, res.Learned[topic])
 		}
 	}
 	return nil

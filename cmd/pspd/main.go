@@ -6,7 +6,11 @@
 //	POST /v1/posts      ingest a JSON post or array of posts
 //	GET  /v1/assessment current cached SAI/TARA result + freshness metadata
 //	                    (supports ETag / If-None-Match conditional polling)
-//	GET  /v1/healthz    liveness, corpus size, assessment generation
+//	GET  /v1/healthz    liveness (always 200): corpus size, generation,
+//	                    readiness detail, WAL floors, changefeed backlog
+//	GET  /v1/readyz     readiness: 503 until the initial assessment and
+//	                    the initial TARA rating pass have landed
+//	GET  /v1/metrics    Prometheus text exposition
 //
 // With -tara (default on) the daemon also serves assessment-as-a-service
 // for a multi-tenant TARA fleet — one tenant per ECU of the reference
@@ -32,6 +36,7 @@
 //	     [-data-dir /var/lib/pspd]
 //	     [-application excavator] [-region EU]
 //	     [-debounce 200ms] [-drain 5s] [-concurrency 0] [-shards 0]
+//	     [-log-level info] [-log-format text] [-pprof]
 //
 // -corpus seeds the store from a JSON Lines snapshot instead of the
 // generated reference corpus; -application and -region scope the
@@ -51,13 +56,45 @@
 // delta run instead of a cold full workflow. -seed/-corpus seed only
 // an empty data directory; afterwards the directory is authoritative
 // (including its shard count — -shards must agree or stay 0).
+//
+// # Operating pspd
+//
+// Logs are structured (log/slog): -log-level picks the floor
+// (debug/info/warn/error) and -log-format selects human-readable text
+// or one-JSON-object-per-line for log shippers. Every HTTP response
+// carries an X-Request-ID header (inbound IDs are honored, absent ones
+// minted) and every request-scoped log line carries the same
+// request_id attribute, so a failed ingest or tenant mutation can be
+// correlated across client and daemon.
+//
+// GET /v1/metrics exposes Prometheus families for every stage of the
+// pipeline:
+//
+//	psp_store_*    ingest/search counts and latency, shard visits,
+//	               changefeed backlog, compactions, recovery
+//	psp_wal_*      append/fsync latency, group-commit coalescing
+//	               (records per fsync), segment rolls
+//	psp_monitor_*  assessment generation, publish latency (debounce to
+//	               publication), delta sizes, failure count and age
+//	psp_tara_*     fleet size, dirty backlog, per-tenant re-rate
+//	               latency, cumulative engine rating calls
+//	psp_http_*     per-route request counts by status class and latency
+//
+// Readiness and liveness are distinct: /v1/healthz always answers 200
+// while the process is up (point liveness probes here), and
+// /v1/readyz answers 503 with the pending reasons until the daemon can
+// actually serve assessments (point readiness gates here — on a warm
+// restart the persisted assessment restores readiness immediately).
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for
+// live profiling; it is off by default because profiles are expensive
+// and the endpoint has no auth.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -68,30 +105,86 @@ import (
 	psp "github.com/psp-framework/psp"
 )
 
+// options carries the daemon configuration from flags to run.
+type options struct {
+	addr        string
+	seed        int64
+	corpus      string
+	dataDir     string
+	application string
+	region      string
+	debounce    time.Duration
+	drain       time.Duration
+	concurrency int
+	shards      int
+	taraFleet   bool
+	logLevel    string
+	logFormat   string
+	pprof       bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8484", "listen address")
-	seed := flag.Int64("seed", 42, "corpus seed (ignored with -corpus)")
-	corpus := flag.String("corpus", "", "seed the store from a JSON Lines snapshot")
-	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots + monitor state); empty runs in-memory")
-	application := flag.String("application", "", "target application filter (e.g. excavator)")
-	region := flag.String("region", "", "region filter (EU, NA, APAC, OTHER)")
-	debounce := flag.Duration("debounce", 200*time.Millisecond, "quiet period before re-assessment")
-	drain := flag.Duration("drain", 5*time.Second, "shutdown drain timeout")
-	concurrency := flag.Int("concurrency", 0, "workflow query fan-out (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "store shard count (0 = library default)")
-	taraFleet := flag.Bool("tara", true, "serve the multi-tenant TARA fleet on /v1/tara")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8484", "listen address")
+	flag.Int64Var(&opts.seed, "seed", 42, "corpus seed (ignored with -corpus)")
+	flag.StringVar(&opts.corpus, "corpus", "", "seed the store from a JSON Lines snapshot")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "durable data directory (WAL + snapshots + monitor state); empty runs in-memory")
+	flag.StringVar(&opts.application, "application", "", "target application filter (e.g. excavator)")
+	flag.StringVar(&opts.region, "region", "", "region filter (EU, NA, APAC, OTHER)")
+	flag.DurationVar(&opts.debounce, "debounce", 200*time.Millisecond, "quiet period before re-assessment")
+	flag.DurationVar(&opts.drain, "drain", 5*time.Second, "shutdown drain timeout")
+	flag.IntVar(&opts.concurrency, "concurrency", 0, "workflow query fan-out (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.shards, "shards", 0, "store shard count (0 = library default)")
+	flag.BoolVar(&opts.taraFleet, "tara", true, "serve the multi-tenant TARA fleet on /v1/tara")
+	flag.StringVar(&opts.logLevel, "log-level", "info", "log floor: debug, info, warn or error")
+	flag.StringVar(&opts.logFormat, "log-format", "text", "log encoding: text or json")
+	flag.BoolVar(&opts.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *corpus, *dataDir, *application, *region, *debounce, *drain, *concurrency, *shards, *taraFleet); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pspd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, corpus, dataDir, application, region string, debounce, drain time.Duration, concurrency, shards int, taraFleet bool) error {
-	store, recovered, err := loadCorpus(seed, corpus, dataDir, shards)
+// newLogger builds the daemon logger from the -log-level/-log-format
+// flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (valid: debug, info, warn, error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (valid: text, json)", format)
+	}
+}
+
+func run(ctx context.Context, opts options) error {
+	logger, err := newLogger(opts.logLevel, opts.logFormat)
+	if err != nil {
+		return err
+	}
+	obsReg := psp.NewMetricsRegistry()
+	storeMet := psp.NewSocialStoreMetrics(obsReg)
+
+	store, recovered, err := loadCorpus(opts.seed, opts.corpus, opts.dataDir, opts.shards, storeMet)
 	if err != nil {
 		return err
 	}
@@ -100,20 +193,20 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 	// so the next start recovers without replay.
 	defer func() {
 		if err := store.Close(); err != nil {
-			log.Printf("pspd: final flush: %v", err)
+			logger.Error("final flush failed", "error", err)
 		}
 	}()
 	var state psp.MonitorStateStore
-	if dataDir != "" {
-		state = psp.NewMonitorFileState(filepath.Join(dataDir, "monitor.json"))
+	if opts.dataDir != "" {
+		state = psp.NewMonitorFileState(filepath.Join(opts.dataDir, "monitor.json"))
 	}
-	m, fw, err := newMonitor(store, state, application, region, debounce, concurrency)
+	m, fw, err := newMonitor(store, state, opts, psp.NewMonitorMetrics(obsReg), logger)
 	if err != nil {
 		return err
 	}
 	var tm *psp.TARAMonitor
-	if taraFleet {
-		tm, err = newTARAFleet(fw, m, debounce)
+	if opts.taraFleet {
+		tm, err = newTARAFleet(fw, m, opts.debounce, psp.NewTARAMonitorMetrics(obsReg), logger)
 		if err != nil {
 			return err
 		}
@@ -133,7 +226,10 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 			stopRun()
 		}
 	}()
-	api := psp.NewMonitorAPI(m)
+	api := psp.NewMonitorAPI(m).WithObservability(obsReg, logger)
+	if opts.pprof {
+		api.WithPprof()
+	}
 	if tm != nil {
 		// The TARA loop only stops on cancellation; rating failures are
 		// retried with backoff and surfaced per-tenant, so its exit needs
@@ -143,20 +239,21 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 	}
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              opts.addr,
 		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	persistence := "in-memory"
-	if dataDir != "" {
-		persistence = fmt.Sprintf("durable at %s (recovered=%v)", dataDir, recovered)
+	if opts.dataDir != "" {
+		persistence = fmt.Sprintf("durable at %s (recovered=%v)", opts.dataDir, recovered)
 	}
-	log.Printf("pspd: monitoring %d posts on %s (seed %d, debounce %s, %d store shards, %s)",
-		store.Len(), addr, seed, debounce, store.Shards(), persistence)
+	logger.Info("monitoring",
+		"posts", store.Len(), "addr", opts.addr, "seed", opts.seed,
+		"debounce", opts.debounce, "shards", store.Shards(), "persistence", persistence)
 	if tm != nil {
-		log.Printf("pspd: serving %d TARA tenants on /v1/tara", tm.Registry().Len())
+		logger.Info("serving TARA fleet", "tenants", tm.Registry().Len())
 	}
-	if err := psp.ListenAndServeGraceful(runCtx, srv, drain); err != nil {
+	if err := psp.ListenAndServeGraceful(runCtx, srv, opts.drain); err != nil {
 		return err
 	}
 	// Surface the monitor's exit reason: a cancellation-driven stop is
@@ -164,23 +261,23 @@ func run(ctx context.Context, addr string, seed int64, corpus, dataDir, applicat
 	if err := <-monErr; err != nil && ctx.Err() == nil {
 		return err
 	}
-	log.Printf("pspd: shut down cleanly")
+	logger.Info("shut down cleanly")
 	return nil
 }
 
 // newMonitor wires the framework and monitor over the store; the
 // framework is returned too, so the TARA fleet can share its worker
 // pool.
-func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, application, region string, debounce time.Duration, concurrency int) (*psp.Monitor, *psp.Framework, error) {
+func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, opts options, met *psp.MonitorMetrics, logger *slog.Logger) (*psp.Monitor, *psp.Framework, error) {
 	// Validate the region eagerly: a typo would otherwise make a
 	// healthy-looking daemon monitor an empty corpus forever.
-	switch psp.Region(region) {
+	switch psp.Region(opts.region) {
 	case "", psp.RegionEurope, psp.RegionNorthAmerica, psp.RegionAsiaPacific, psp.RegionOther:
 	default:
 		return nil, nil, fmt.Errorf("unknown region %q (valid: %s, %s, %s, %s)",
-			region, psp.RegionEurope, psp.RegionNorthAmerica, psp.RegionAsiaPacific, psp.RegionOther)
+			opts.region, psp.RegionEurope, psp.RegionNorthAmerica, psp.RegionAsiaPacific, psp.RegionOther)
 	}
-	fw, err := psp.New(psp.Config{Searcher: store, Concurrency: concurrency})
+	fw, err := psp.New(psp.Config{Searcher: store, Concurrency: opts.concurrency})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -188,12 +285,14 @@ func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, application
 		Framework: fw,
 		Store:     store,
 		Input: psp.SocialInput{
-			Application: application,
-			Region:      psp.Region(region),
+			Application: opts.application,
+			Region:      psp.Region(opts.region),
 			Threats:     defaultThreats(),
 		},
-		Debounce: debounce,
+		Debounce: opts.debounce,
 		State:    state,
+		Metrics:  met,
+		Logger:   logger,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -205,7 +304,7 @@ func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, application
 // attaches the socially monitored threat scenarios to the tenants owning
 // the affected units, and wires the fleet's rating loop to the social
 // monitor's tuning stream.
-func newTARAFleet(fw *psp.Framework, m *psp.Monitor, debounce time.Duration) (*psp.TARAMonitor, error) {
+func newTARAFleet(fw *psp.Framework, m *psp.Monitor, debounce time.Duration, met *psp.TARAMonitorMetrics, logger *slog.Logger) (*psp.TARAMonitor, error) {
 	top, err := psp.ReferenceArchitecture()
 	if err != nil {
 		return nil, err
@@ -247,6 +346,8 @@ func newTARAFleet(fw *psp.Framework, m *psp.Monitor, debounce time.Duration) (*p
 		Registry:  reg,
 		Social:    m,
 		Debounce:  debounce,
+		Metrics:   met,
+		Logger:    logger,
 	})
 }
 
@@ -283,10 +384,14 @@ func defaultThreats() []*psp.ThreatScenario {
 // across the requested shard count — from the data directory, a
 // snapshot file, or the generator. recovered reports whether an
 // existing data directory supplied the corpus (seeding is then
-// skipped).
-func loadCorpus(seed int64, path, dataDir string, shards int) (store *psp.SocialStore, recovered bool, err error) {
+// skipped). met attaches the store's recording surface (WAL metrics
+// included) from the first recovery replay on.
+func loadCorpus(seed int64, path, dataDir string, shards int, met *psp.SocialStoreMetrics) (store *psp.SocialStore, recovered bool, err error) {
 	if dataDir == "" {
 		store, err = loadEphemeral(seed, path, shards)
+		if err == nil {
+			store.SetMetrics(met)
+		}
 		return store, false, err
 	}
 	// recovered = the directory held a store before this boot. Seeding
@@ -297,8 +402,9 @@ func loadCorpus(seed int64, path, dataDir string, shards int) (store *psp.Social
 	_, statErr := os.Stat(filepath.Join(dataDir, "MANIFEST.json"))
 	recovered = statErr == nil
 	store, err = psp.OpenSocialStore(dataDir, psp.SocialDurableOptions{
-		Shards: shards,
-		Seed:   func() ([]*psp.Post, error) { return seedPosts(seed, path) },
+		Shards:  shards,
+		Seed:    func() ([]*psp.Post, error) { return seedPosts(seed, path) },
+		Metrics: met,
 	})
 	if err != nil {
 		return nil, false, err

@@ -7,9 +7,24 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
+
+// testOpts is the base daemon configuration of the e2e tests: fast
+// debounce, 4 store shards, quiet logs.
+func testOpts(addr string) options {
+	return options{
+		addr:      addr,
+		seed:      42,
+		debounce:  20 * time.Millisecond,
+		drain:     time.Second,
+		shards:    4,
+		logLevel:  "warn",
+		logFormat: "text",
+	}
+}
 
 // TestDaemonServesAndShutsDownGracefully boots the full daemon (store →
 // monitor → HTTP), drives ingest and assessment over the wire, then
@@ -26,7 +41,9 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, addr, 42, "", "", "", "", 20*time.Millisecond, time.Second, 0, 4, true)
+		opts := testOpts(addr)
+		opts.taraFleet = true
+		done <- run(ctx, opts)
 	}()
 
 	base := "http://" + addr
@@ -166,7 +183,9 @@ func TestDaemonWarmRestart(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
 		go func() {
-			done <- run(ctx, addr, 42, "", dataDir, "", "", 20*time.Millisecond, time.Second, 0, 4, false)
+			opts := testOpts(addr)
+			opts.dataDir = dataDir
+			done <- run(ctx, opts)
 		}()
 		return "http://" + addr, cancel, done
 	}
@@ -214,8 +233,11 @@ func TestDaemonWarmRestart(t *testing.T) {
 }
 
 func TestRunRejectsMissingCorpus(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 0, "/nonexistent/corpus.jsonl", "", "", "", time.Millisecond, time.Second, 0, 0, false)
-	if err == nil {
+	opts := testOpts("127.0.0.1:0")
+	opts.seed = 0
+	opts.corpus = "/nonexistent/corpus.jsonl"
+	opts.debounce = time.Millisecond
+	if err := run(context.Background(), opts); err == nil {
 		t.Fatal("missing corpus accepted")
 	}
 }
@@ -313,8 +335,151 @@ func waitAssessment(t *testing.T, base string, minGeneration int, out any) {
 }
 
 func TestRunRejectsUnknownRegion(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", 42, "", "", "", "Europe", time.Millisecond, time.Second, 0, 0, false)
-	if err == nil {
+	opts := testOpts("127.0.0.1:0")
+	opts.region = "Europe"
+	opts.debounce = time.Millisecond
+	if err := run(context.Background(), opts); err == nil {
 		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestRunRejectsBadLogFlags(t *testing.T) {
+	opts := testOpts("127.0.0.1:0")
+	opts.logLevel = "verbose"
+	if err := run(context.Background(), opts); err == nil {
+		t.Fatal("unknown log level accepted")
+	}
+	opts = testOpts("127.0.0.1:0")
+	opts.logFormat = "logfmt"
+	if err := run(context.Background(), opts); err == nil {
+		t.Fatal("unknown log format accepted")
+	}
+}
+
+// TestDaemonObservabilityEndpoints boots a durable daemon with the TARA
+// fleet and asserts the observability surface over the wire: the
+// readiness gate opens only after the initial assessment and rating
+// pass, responses carry request IDs, and /v1/metrics serves a
+// Prometheus exposition covering every stage family — store, WAL,
+// monitor, TARA and HTTP.
+func TestDaemonObservabilityEndpoints(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		opts := testOpts(addr)
+		opts.dataDir = t.TempDir()
+		opts.taraFleet = true
+		opts.pprof = true
+		done <- run(ctx, opts)
+	}()
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	// Readiness gate: eventually 200 (the daemon just booted, so allow
+	// the initial assessment and rating pass to land).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Healthz mirrors readiness and carries the store detail.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got == "" {
+		t.Fatal("no request ID on response")
+	}
+	var health struct {
+		Ready     bool     `json:"ready"`
+		Durable   bool     `json:"durable"`
+		WALFloors []uint64 `json:"wal_floors"`
+		Shards    int      `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.Ready || !health.Durable || health.Shards != 4 || len(health.WALFloors) != 4 {
+		t.Fatalf("healthz detail = %+v", health)
+	}
+
+	// The exposition covers every stage family with live values.
+	resp, err = http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body := string(exposition)
+	for _, want := range []string{
+		"# TYPE psp_store_adds_total counter",
+		"psp_store_posts ",
+		"psp_wal_appends_total",
+		"psp_wal_fsync_seconds_count",
+		"psp_monitor_generations_total",
+		"psp_monitor_publish_seconds_bucket",
+		"psp_tara_tenants",
+		"psp_tara_tenant_rates_total",
+		`psp_http_requests_total{code="2xx",route="/v1/healthz"}`,
+		`psp_http_request_seconds_bucket{route="/v1/readyz",le="+Inf"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Durable boot: the seed corpus went through the WAL, so appends and
+	// fsyncs carry real values (not just registered families).
+	if strings.Contains(body, "psp_wal_appends_total 0\n") {
+		t.Fatal("WAL appends stayed zero on a durable boot")
+	}
+
+	// pprof is mounted when opted in.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }

@@ -8,6 +8,7 @@
 //	sociald [-addr :8384] [-seed 42] [-rate 50] [-burst 100]
 //	        [-corpus snapshot.jsonl] [-dump snapshot.jsonl]
 //	        [-data-dir /var/lib/sociald] [-shards 0]
+//	        [-log-level info] [-log-format text] [-pprof]
 //
 // -corpus loads a JSON Lines snapshot instead of generating the
 // reference corpus; -dump writes the served corpus to a snapshot
@@ -20,13 +21,19 @@
 // snapshot compaction: restarts recover the corpus instead of
 // regenerating it, and SIGTERM flushes a final snapshot. -seed/-corpus
 // seed only an empty data directory.
+//
+// Logs are structured (log/slog; -log-level, -log-format json for log
+// shippers). GET /v1/metrics serves a Prometheus exposition of the
+// store (psp_store_*, and psp_wal_* when durable) and the search API
+// (psp_http_*); every response carries an X-Request-ID header. -pprof
+// mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,26 +43,77 @@ import (
 	psp "github.com/psp-framework/psp"
 )
 
+// options carries the daemon configuration from flags to run.
+type options struct {
+	addr      string
+	seed      int64
+	rate      float64
+	burst     int
+	corpus    string
+	dump      string
+	dataDir   string
+	shards    int
+	logLevel  string
+	logFormat string
+	pprof     bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8384", "listen address")
-	seed := flag.Int64("seed", 42, "corpus seed")
-	rate := flag.Float64("rate", 50, "requests per second refill rate (0 disables limiting)")
-	burst := flag.Int("burst", 100, "rate limiter burst capacity")
-	corpus := flag.String("corpus", "", "load corpus from a JSON Lines snapshot instead of generating")
-	dump := flag.String("dump", "", "write the corpus to a JSON Lines snapshot and exit")
-	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty runs in-memory")
-	shards := flag.Int("shards", 0, "store shard count (0 = library default)")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8384", "listen address")
+	flag.Int64Var(&opts.seed, "seed", 42, "corpus seed")
+	flag.Float64Var(&opts.rate, "rate", 50, "requests per second refill rate (0 disables limiting)")
+	flag.IntVar(&opts.burst, "burst", 100, "rate limiter burst capacity")
+	flag.StringVar(&opts.corpus, "corpus", "", "load corpus from a JSON Lines snapshot instead of generating")
+	flag.StringVar(&opts.dump, "dump", "", "write the corpus to a JSON Lines snapshot and exit")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "durable data directory (WAL + snapshots); empty runs in-memory")
+	flag.IntVar(&opts.shards, "shards", 0, "store shard count (0 = library default)")
+	flag.StringVar(&opts.logLevel, "log-level", "info", "log floor: debug, info, warn or error")
+	flag.StringVar(&opts.logFormat, "log-format", "text", "log encoding: text or json")
+	flag.BoolVar(&opts.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seed, *rate, *burst, *corpus, *dump, *dataDir, *shards); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sociald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, seed int64, rate float64, burst int, corpus, dump, dataDir string, shards int) error {
-	store, err := loadCorpus(seed, corpus, dataDir, shards)
+// newLogger builds the daemon logger from the -log-level/-log-format
+// flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (valid: debug, info, warn, error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (valid: text, json)", format)
+	}
+}
+
+func run(ctx context.Context, opts options) error {
+	logger, err := newLogger(opts.logLevel, opts.logFormat)
+	if err != nil {
+		return err
+	}
+	obsReg := psp.NewMetricsRegistry()
+	store, err := loadCorpus(opts.seed, opts.corpus, opts.dataDir, opts.shards, psp.NewSocialStoreMetrics(obsReg))
 	if err != nil {
 		return err
 	}
@@ -63,29 +121,42 @@ func run(ctx context.Context, addr string, seed int64, rate float64, burst int, 
 	// on the way out (SIGTERM included); in-memory it is a no-op.
 	defer func() {
 		if err := store.Close(); err != nil {
-			log.Printf("sociald: final flush: %v", err)
+			logger.Error("final flush failed", "error", err)
 		}
 	}()
-	if dump != "" {
-		return dumpCorpus(store, seed, dump)
+	if opts.dump != "" {
+		return dumpCorpus(store, opts.seed, opts.dump, logger)
 	}
 	var limiter *psp.RateLimiter
-	if rate > 0 {
-		limiter = newLimiter(burst, rate)
+	if opts.rate > 0 {
+		limiter = newLimiter(opts.burst, opts.rate)
 	}
+
+	// The search API's two routes are a bounded label set, so the path
+	// itself can serve as the route label.
+	httpMet := psp.NewHTTPMetrics(obsReg, logger)
+	mux := http.NewServeMux()
+	mux.Handle("/v2/", httpMet.Instrument(
+		func(r *http.Request) string { return r.URL.Path },
+		psp.NewSocialServer(store, limiter).Handler()))
+	mux.Handle("/v1/metrics", psp.MetricsHandler(obsReg))
+	if opts.pprof {
+		mux.Handle("/debug/pprof/", psp.PprofHandler())
+	}
+
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           psp.NewSocialServer(store, limiter).Handler(),
+		Addr:              opts.addr,
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("sociald: serving %d posts on %s (seed %d, %d store shards)",
-		store.Len(), addr, seed, store.Shards())
+	logger.Info("serving",
+		"posts", store.Len(), "addr", opts.addr, "seed", opts.seed, "shards", store.Shards())
 	// Drain in-flight searches on SIGINT/SIGTERM instead of dropping
 	// them mid-response; the helper is shared with pspd.
 	if err := psp.ListenAndServeGraceful(ctx, srv, 5*time.Second); err != nil {
 		return err
 	}
-	log.Printf("sociald: shut down cleanly")
+	logger.Info("shut down cleanly")
 	return nil
 }
 
@@ -95,29 +166,39 @@ func newLimiter(burst int, rate float64) *psp.RateLimiter {
 
 // loadCorpus builds the store — durable when dataDir is set, striped
 // across the requested shard count — from the data directory, a
-// snapshot file, or the generator.
-func loadCorpus(seed int64, path, dataDir string, shards int) (*psp.SocialStore, error) {
+// snapshot file, or the generator. met attaches the store's recording
+// surface from the first recovery replay on.
+func loadCorpus(seed int64, path, dataDir string, shards int, met *psp.SocialStoreMetrics) (*psp.SocialStore, error) {
 	if dataDir != "" {
 		// The Seed hook runs only until the directory's seed marker
 		// commits and resumes a crashed seed idempotently — a kill -9
 		// mid-seed can never leave a silently partial corpus.
 		return psp.OpenSocialStore(dataDir, psp.SocialDurableOptions{
-			Shards: shards,
-			Seed:   func() ([]*psp.Post, error) { return seedPosts(seed, path) },
+			Shards:  shards,
+			Seed:    func() ([]*psp.Post, error) { return seedPosts(seed, path) },
+			Metrics: met,
 		})
 	}
+	var store *psp.SocialStore
+	var err error
 	if path == "" {
-		return psp.DefaultSocialStoreShards(seed, shards)
+		store, err = psp.DefaultSocialStoreShards(seed, shards)
+	} else {
+		var f *os.File
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open corpus: %w", err)
+		}
+		defer f.Close()
+		store, err = psp.LoadSocialStoreShards(f, shards)
+		if err != nil {
+			return nil, fmt.Errorf("load corpus %s: %w", path, err)
+		}
 	}
-	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("open corpus: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	store, err := psp.LoadSocialStoreShards(f, shards)
-	if err != nil {
-		return nil, fmt.Errorf("load corpus %s: %w", path, err)
-	}
+	store.SetMetrics(met)
 	return store, nil
 }
 
@@ -139,10 +220,10 @@ func seedPosts(seed int64, path string) ([]*psp.Post, error) {
 // that a later -corpus load would half-parse. It dumps the store, not
 // a regenerated seed corpus, so posts recovered from a data directory
 // are never silently missing from the dump.
-func dumpCorpus(store *psp.SocialStore, seed int64, path string) error {
+func dumpCorpus(store *psp.SocialStore, seed int64, path string, logger *slog.Logger) error {
 	if err := psp.WriteSocialStoreFile(path, store); err != nil {
 		return err
 	}
-	log.Printf("sociald: wrote %d posts (seed %d) to %s", store.Len(), seed, path)
+	logger.Info("wrote snapshot", "posts", store.Len(), "seed", seed, "path", path)
 	return nil
 }

@@ -2,16 +2,20 @@ package main
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	psp "github.com/psp-framework/psp"
 )
 
 func TestLoadCorpusGeneratesByDefault(t *testing.T) {
-	store, err := loadCorpus(42, "", "", 0)
+	store, err := loadCorpus(42, "", "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,11 +28,11 @@ func TestDumpAndLoadSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "corpus.jsonl")
 
-	store, err := loadCorpus(7, "", "", 0)
+	store, err := loadCorpus(7, "", "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dumpCorpus(store, 7, path); err != nil {
+	if err := dumpCorpus(store, 7, path, psp.NopLogger()); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(path)
@@ -36,7 +40,7 @@ func TestDumpAndLoadSnapshot(t *testing.T) {
 		t.Fatalf("snapshot missing or empty: %v", err)
 	}
 
-	back, err := loadCorpus(0, path, "", 2)
+	back, err := loadCorpus(0, path, "", 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +50,7 @@ func TestDumpAndLoadSnapshot(t *testing.T) {
 }
 
 func TestLoadCorpusMissingFile(t *testing.T) {
-	if _, err := loadCorpus(0, "/nonexistent/corpus.jsonl", "", 0); err == nil {
+	if _, err := loadCorpus(0, "/nonexistent/corpus.jsonl", "", 0, nil); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -63,7 +67,12 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, addr, 7, 0, 0, "", "", "", 4) }()
+	go func() {
+		done <- run(ctx, options{
+			addr: addr, seed: 7, shards: 4,
+			logLevel: "warn", logFormat: "text",
+		})
+	}()
 
 	url := "http://" + addr + "/v2/healthz"
 	deadline := time.Now().Add(10 * time.Second)
@@ -77,6 +86,32 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 			t.Fatalf("server never came up: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The search API is instrumented: a search records under the store
+	// and HTTP families, and /v1/metrics serves the exposition.
+	resp, err := http.Get("http://" + addr + "/v2/search?q=chiptuning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no request ID on search response")
+	}
+	resp, err = http.Get("http://" + addr + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"psp_store_searches_total 1",
+		`psp_http_requests_total{code="2xx",route="/v2/search"} 1`,
+	} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 
 	cancel()

@@ -121,4 +121,26 @@
 // -data-dir; snapshot/corpus dumps (WriteSocialPostsFile,
 // sociald -dump) are atomic — temp file, fsync, rename — so no crash
 // can leave a half-written corpus.
+//
+// # Observability
+//
+// Every stage of the pipeline is instrumented through a
+// zero-dependency metrics core (internal/obs, re-exported as
+// MetricsRegistry and friends) that matches the store's lock-free
+// ethos: counters and gauges are single atomics, histograms are
+// fixed-bucket atomic arrays with exposition-time p50/p99 estimation,
+// and the registry publishes immutable copy-on-write snapshots so a
+// scrape never blocks recording. Attach a surface to a store
+// (SocialStore.SetMetrics, SocialDurableOptions.Metrics — psp_store_*
+// and psp_wal_*), a monitor (MonitorConfig.Metrics — psp_monitor_*),
+// or a TARA fleet (TARAMonitorConfig.Metrics — psp_tara_*), and serve
+// it all as a Prometheus text exposition (MetricsHandler; pspd and
+// sociald mount GET /v1/metrics). HTTP routes wrap in NewHTTPMetrics
+// middleware — per-route status-class counters, latency histograms,
+// X-Request-ID correlation flowing into structured log/slog lines —
+// and the same state is available programmatically as typed snapshots
+// (SocialStore.Stats, TARARegistry.Stats). pspd separates liveness
+// (/v1/healthz, always 200) from readiness (/v1/readyz, 503 until the
+// initial assessment and TARA rating pass land). The instrumented hot
+// paths stay within a few percent of bare (BENCH_7.json).
 package psp

@@ -1,0 +1,47 @@
+package durable
+
+import (
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// LogMetrics is the write-ahead log's recording surface. One instance
+// is typically shared by every per-stripe log of a store, so the
+// counters aggregate across stripes. All fields are obs recorders
+// (atomic, nil-safe); a nil *LogMetrics disables recording entirely.
+type LogMetrics struct {
+	// Appends / AppendErrors count acknowledged and failed Append calls.
+	Appends      *obs.Counter
+	AppendErrors *obs.Counter
+	// AppendLatency is the full submit→durable-acknowledge latency seen
+	// by one appender, including group-commit queueing.
+	AppendLatency *obs.Histogram
+	// Fsyncs counts group commits; FsyncLatency times the fsync alone.
+	Fsyncs       *obs.Counter
+	FsyncLatency *obs.Histogram
+	// GroupRecords is the records-per-fsync distribution — the group
+	// commit coalescing ratio (mean = appends/fsyncs).
+	GroupRecords *obs.Histogram
+	// SegmentRolls counts active-segment rolls; TruncatedSegments counts
+	// whole segments deleted by compaction's TruncateBefore.
+	SegmentRolls      *obs.Counter
+	TruncatedSegments *obs.Counter
+}
+
+// NewLogMetrics registers the psp_wal_* family in reg and returns the
+// recording surface. A nil registry yields a usable all-no-op surface.
+func NewLogMetrics(reg *obs.Registry) *LogMetrics {
+	return &LogMetrics{
+		Appends:      reg.Counter("psp_wal_appends_total", "WAL records acknowledged durable."),
+		AppendErrors: reg.Counter("psp_wal_append_errors_total", "WAL appends failed."),
+		AppendLatency: reg.Histogram("psp_wal_append_seconds",
+			"WAL append latency, submit to durable acknowledgement.",
+			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		Fsyncs: reg.Counter("psp_wal_fsyncs_total", "WAL group commits (one fsync each)."),
+		FsyncLatency: reg.Histogram("psp_wal_fsync_seconds", "WAL fsync latency.",
+			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		GroupRecords: reg.Histogram("psp_wal_group_records",
+			"Records coalesced per group commit.", obs.DefaultSizeBuckets, 1),
+		SegmentRolls:      reg.Counter("psp_wal_segment_rolls_total", "WAL segment rolls."),
+		TruncatedSegments: reg.Counter("psp_wal_truncated_segments_total", "WAL segments deleted by compaction."),
+	}
+}

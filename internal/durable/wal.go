@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Record framing constants (see the package documentation for the
@@ -61,6 +62,10 @@ type LogOptions struct {
 	// before the append is acknowledged. It must not call back into the
 	// log.
 	OnDurable func(seq uint64)
+	// Metrics, when set, records append/fsync latency, group sizes and
+	// segment churn. Share one instance across a store's stripe logs to
+	// aggregate.
+	Metrics *LogMetrics
 }
 
 // segment is one on-disk segment file.
@@ -287,6 +292,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("durable: payload of %d bytes exceeds MaxRecordBytes", len(payload))
 	}
+	var t0 time.Time
+	if l.opts.Metrics != nil {
+		t0 = time.Now()
+	}
 	req := &appendReq{payload: payload, done: make(chan appendRes, 1)}
 	l.sendMu.RLock()
 	if l.closed {
@@ -298,6 +307,14 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	// Every submitted request is answered: the writer drains the
 	// channel before exiting, and Close flips closed before stopping it.
 	res := <-req.done
+	if m := l.opts.Metrics; m != nil {
+		if res.err != nil {
+			m.AppendErrors.Inc()
+		} else {
+			m.Appends.Inc()
+		}
+		m.AppendLatency.ObserveSince(t0)
+	}
 	return res.seq, res.err
 }
 
@@ -383,9 +400,17 @@ func (l *Log) commitGroup(group []*appendReq) {
 		buf = append(buf, r.payload...)
 	}
 	if _, err := l.f.Write(buf); err == nil {
+		var t0 time.Time
+		if l.opts.Metrics != nil {
+			t0 = time.Now()
+		}
 		err = l.f.Sync()
 		if err != nil {
 			l.werr = fmt.Errorf("durable: fsync: %w", err)
+		} else if m := l.opts.Metrics; m != nil {
+			m.Fsyncs.Inc()
+			m.FsyncLatency.ObserveSince(t0)
+			m.GroupRecords.Observe(int64(len(group)))
 		}
 	} else {
 		l.werr = fmt.Errorf("durable: write: %w", err)
@@ -435,6 +460,9 @@ func (l *Log) roll() error {
 	l.mu.Lock()
 	l.segs = append(l.segs, segment{first: l.nextSeq, path: path})
 	l.mu.Unlock()
+	if m := l.opts.Metrics; m != nil {
+		m.SegmentRolls.Inc()
+	}
 	return nil
 }
 
@@ -502,6 +530,9 @@ func (l *Log) TruncateBefore(seq uint64) error {
 		}
 	}
 	l.segs = append([]segment(nil), l.segs[keep:]...)
+	if m := l.opts.Metrics; m != nil {
+		m.TruncatedSegments.Add(uint64(keep))
+	}
 	return nil
 }
 

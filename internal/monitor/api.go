@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/obs"
 	"github.com/psp-framework/psp/internal/social"
 	"github.com/psp-framework/psp/internal/tara"
 )
@@ -17,7 +19,10 @@ import (
 //
 //	POST /v1/posts      — ingest a JSON post or array of posts
 //	GET  /v1/assessment — current cached assessment with freshness metadata
-//	GET  /v1/healthz    — liveness, corpus size, generation
+//	GET  /v1/healthz    — liveness (always 200) with readiness and store detail
+//	GET  /v1/readyz     — readiness: 503 until the initial assessment (and,
+//	                      with TARA attached, the initial rating pass) lands
+//	GET  /v1/metrics    — Prometheus exposition (with WithObservability)
 //
 // Ingested posts land in the monitored store; the resulting assessment
 // refresh is asynchronous (debounced), so readers use the generation
@@ -33,22 +38,60 @@ type API struct {
 	m *Monitor
 	// tara, when set via WithTARA, enables the /v1/tara tenant routes.
 	tara *TARAMonitor
+	// obsReg/httpMet, when set via WithObservability, enable /v1/metrics
+	// and per-route instrumentation; pprof mounts /debug/pprof.
+	obsReg  *obs.Registry
+	httpMet *obs.HTTPMetrics
+	pprof   bool
 }
 
 // NewAPI wraps a monitor.
 func NewAPI(m *Monitor) *API { return &API{m: m} }
 
+// WithObservability attaches a metrics registry to the API: every route
+// is wrapped with request-ID/status/latency middleware (recorded under
+// psp_http_*), handlers log through the request-scoped logger, and
+// GET /v1/metrics serves the registry's Prometheus exposition.
+func (a *API) WithObservability(reg *obs.Registry, logger *slog.Logger) *API {
+	a.obsReg = reg
+	a.httpMet = obs.NewHTTPMetrics(reg, logger)
+	return a
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — opt-in, for
+// profiling a live daemon.
+func (a *API) WithPprof() *API {
+	a.pprof = true
+	return a
+}
+
 // Handler returns the HTTP handler implementing the API.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/posts", a.handleIngest)
-	mux.HandleFunc("/v1/assessment", a.handleAssessment)
-	mux.HandleFunc("/v1/healthz", a.handleHealth)
+	mux.Handle("/v1/posts", a.route("/v1/posts", http.HandlerFunc(a.handleIngest)))
+	mux.Handle("/v1/assessment", a.route("/v1/assessment", http.HandlerFunc(a.handleAssessment)))
+	mux.Handle("/v1/healthz", a.route("/v1/healthz", http.HandlerFunc(a.handleHealth)))
+	mux.Handle("/v1/readyz", a.route("/v1/readyz", http.HandlerFunc(a.handleReady)))
 	if a.tara != nil {
-		mux.HandleFunc("/v1/tara", a.handleTARAList)
-		mux.HandleFunc("/v1/tara/", a.handleTARATenant)
+		mux.Handle("/v1/tara", a.route("/v1/tara", http.HandlerFunc(a.handleTARAList)))
+		mux.Handle("/v1/tara/", a.route("/v1/tara/{tenant}", http.HandlerFunc(a.handleTARATenant)))
+	}
+	if a.obsReg != nil {
+		mux.Handle("/v1/metrics", a.route("/v1/metrics", a.obsReg.Handler()))
+	}
+	if a.pprof {
+		mux.Handle("/debug/pprof/", obs.PprofHandler())
 	}
 	return mux
+}
+
+// route wraps a handler with the HTTP middleware when observability is
+// attached, and passes it through untouched otherwise.
+func (a *API) route(name string, h http.Handler) http.Handler {
+	if a.httpMet == nil {
+		return h
+	}
+	return a.httpMet.Wrap(name, h)
 }
 
 type errorResponse struct {
@@ -84,12 +127,15 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if addErr != nil {
 		// Batch semantics: posts ahead of the offender are stored (and
 		// already published to the changefeed), so report both.
+		obs.LoggerFrom(r.Context()).Warn("ingest rejected",
+			"added", added, "submitted", len(posts), "error", addErr)
 		writeJSON(w, http.StatusBadRequest, struct {
 			ingestResponse
 			errorResponse
 		}{ingestResponse{Added: added, CorpusSize: store.Len()}, errorResponse{Error: addErr.Error()}})
 		return
 	}
+	obs.LoggerFrom(r.Context()).Debug("posts ingested", "added", added, "corpus", store.Len())
 	writeJSON(w, http.StatusAccepted, ingestResponse{Added: added, CorpusSize: store.Len()})
 }
 
@@ -238,10 +284,30 @@ type healthResponse struct {
 	// StoreError reports a failing background snapshot compaction on a
 	// durable store (the WAL keeps growing until it clears).
 	StoreError string `json:"store_error,omitempty"`
+	// Ready mirrors /v1/readyz (healthz itself stays 200 — it is the
+	// liveness probe); Reasons lists what readiness is waiting on.
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+	// Store detail: shard count, durability, WAL floors per stripe and
+	// the changefeed's unsent backlog across subscribers.
+	Shards                int                  `json:"shards"`
+	Durable               bool                 `json:"durable"`
+	WALFloors             social.DurableCursor `json:"wal_floors,omitempty"`
+	ChangefeedSubscribers int                  `json:"changefeed_subscribers"`
+	ChangefeedBacklog     int                  `json:"changefeed_backlog"`
 }
 
 func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
-	h := healthResponse{Status: "ok", Posts: a.m.Store().Len()}
+	st := a.m.Store().Stats()
+	h := healthResponse{
+		Status:                "ok",
+		Posts:                 st.Posts,
+		Shards:                st.Shards,
+		Durable:               st.Durable,
+		WALFloors:             st.WALFloors,
+		ChangefeedSubscribers: st.ChangefeedSubscribers,
+		ChangefeedBacklog:     st.ChangefeedBacklog,
+	}
 	if cur := a.m.Assessment(); cur != nil {
 		h.Generation = cur.Generation
 	}
@@ -251,7 +317,37 @@ func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if err := a.m.Store().CompactionError(); err != nil {
 		h.StoreError = err.Error()
 	}
+	h.Ready, h.Reasons = a.readiness()
 	writeJSON(w, http.StatusOK, h)
+}
+
+// readiness evaluates the readiness gate: the initial assessment must
+// have published (on a warm restart, restoring persisted state counts)
+// and, when a TARA fleet is attached, its initial rating pass must have
+// completed.
+func (a *API) readiness() (bool, []string) {
+	var reasons []string
+	if a.m.Assessment() == nil {
+		reasons = append(reasons, "initial assessment pending")
+	}
+	if a.tara != nil && !a.tara.Ready() {
+		reasons = append(reasons, "initial TARA rating pass pending")
+	}
+	return len(reasons) == 0, reasons
+}
+
+func (a *API) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready, reasons := a.readiness()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status  string   `json:"status"`
+			Reasons []string `json:"reasons"`
+		}{"unready", reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ready"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

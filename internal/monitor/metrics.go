@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"time"
+
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// Metrics is the social monitor's recording surface. All fields are
+// obs recorders (atomic, nil-safe); nil *Metrics disables recording.
+type Metrics struct {
+	// Generations counts published assessments; Recomputes the subset
+	// that actually re-ran the workflow (the rest re-published the
+	// previous result because the delta invalidated nothing).
+	Generations *obs.Counter
+	Recomputes  *obs.Counter
+	// PublishLatency is the debounce-to-publish latency: first pending
+	// batch of a flush window → assessment published.
+	PublishLatency *obs.Histogram
+	// DeltaPosts is the per-flush delta size distribution.
+	DeltaPosts *obs.Histogram
+	// Failures counts failed re-assessment flushes (retried with
+	// backoff).
+	Failures *obs.Counter
+
+	reg *obs.Registry
+}
+
+// NewMetrics registers the psp_monitor_* family in reg and returns the
+// recording surface for one Monitor. Gauge-valued readings
+// (generation, assessment age, last-error age) register as
+// exposition-time callbacks when the monitor is constructed.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Generations: reg.Counter("psp_monitor_generations_total", "Assessments published."),
+		Recomputes: reg.Counter("psp_monitor_recomputes_total",
+			"Published assessments that re-ran the workflow."),
+		PublishLatency: reg.Histogram("psp_monitor_publish_seconds",
+			"Debounce-to-publish latency: first batch of a flush window to assessment publication.",
+			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		DeltaPosts: reg.Histogram("psp_monitor_delta_posts", "Posts per re-assessment delta.",
+			obs.DefaultSizeBuckets, 1),
+		Failures: reg.Counter("psp_monitor_failures_total", "Failed re-assessment flushes."),
+		reg:      reg,
+	}
+}
+
+// registerGauges binds the monitor-state callbacks into the registry.
+func (m *Monitor) registerGauges() {
+	met := m.cfg.Metrics
+	if met == nil || met.reg == nil {
+		return
+	}
+	met.reg.GaugeFunc("psp_monitor_generation", "Current assessment generation (0 before the initial run).",
+		func() float64 {
+			if cur := m.Assessment(); cur != nil {
+				return float64(cur.Generation)
+			}
+			return 0
+		})
+	met.reg.GaugeFunc("psp_monitor_assessment_age_seconds",
+		"Seconds since the current assessment was published (-1 before the initial run).",
+		func() float64 {
+			if cur := m.Assessment(); cur != nil {
+				return time.Since(cur.UpdatedAt).Seconds()
+			}
+			return -1
+		})
+	met.reg.GaugeFunc("psp_monitor_last_error_age_seconds",
+		"Seconds since the monitor entered its current error state (0 = healthy).",
+		func() float64 {
+			m.mu.Lock()
+			at := m.lastErrAt
+			m.mu.Unlock()
+			if at.IsZero() {
+				return 0
+			}
+			return time.Since(at).Seconds()
+		})
+}
+
+// TARAMetrics is the TARA fleet monitor's recording surface.
+type TARAMetrics struct {
+	// TenantRates counts successful per-tenant rating passes;
+	// RateLatency times them.
+	TenantRates *obs.Counter
+	RateLatency *obs.Histogram
+	// RatingCalls accumulates engine rating calls made by monitor
+	// passes — the delta of TenantAssessment.RatingCalls across
+	// publications, so it grows with dirty threats, not model size.
+	RatingCalls *obs.Counter
+	// DirtyThreats is the threats-re-rated-per-pass distribution.
+	DirtyThreats *obs.Histogram
+	// Failures counts failed per-tenant passes (re-marked dirty and
+	// retried with backoff).
+	Failures *obs.Counter
+
+	reg *obs.Registry
+}
+
+// NewTARAMetrics registers the psp_tara_* family in reg.
+func NewTARAMetrics(reg *obs.Registry) *TARAMetrics {
+	return &TARAMetrics{
+		TenantRates: reg.Counter("psp_tara_tenant_rates_total", "Successful per-tenant rating passes."),
+		RateLatency: reg.Histogram("psp_tara_rate_seconds", "Per-tenant re-rate latency.",
+			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		RatingCalls: reg.Counter("psp_tara_rating_calls_total",
+			"Engine rating calls made by monitor passes (grows with dirty threats, not model size)."),
+		DirtyThreats: reg.Histogram("psp_tara_rated_threats", "Threats re-rated per tenant pass.",
+			obs.DefaultSizeBuckets, 1),
+		Failures: reg.Counter("psp_tara_failures_total", "Failed per-tenant rating passes."),
+		reg:      reg,
+	}
+}
+
+// registerGauges binds registry-state callbacks: fleet size and dirty
+// backlog.
+func (tm *TARAMonitor) registerGauges() {
+	met := tm.cfg.Metrics
+	if met == nil || met.reg == nil {
+		return
+	}
+	reg := tm.cfg.Registry
+	met.reg.GaugeFunc("psp_tara_tenants", "Tenants in the TARA registry.",
+		func() float64 { return float64(reg.Len()) })
+	met.reg.GaugeFunc("psp_tara_dirty_tenants", "Tenants awaiting re-rating.",
+		func() float64 { return float64(reg.Stats().DirtyTenants) })
+}

@@ -3,10 +3,12 @@ package monitor
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/obs"
 	"github.com/psp-framework/psp/internal/social"
 )
 
@@ -42,6 +44,13 @@ type Config struct {
 	// durable (social.OpenStoreDir) — without a durable cursor the
 	// state is saved with a nil cursor and ignored at restore time.
 	State StateStore
+	// Metrics, when set, records publication counts, debounce-to-publish
+	// latency, delta sizes and failures (see NewMetrics); gauge-valued
+	// readings (generation, assessment age, error age) register at
+	// construction.
+	Metrics *Metrics
+	// Logger receives the monitor's structured log lines; nil discards.
+	Logger *slog.Logger
 }
 
 // Assessment is one immutable snapshot of the monitored risk picture:
@@ -87,6 +96,10 @@ type Monitor struct {
 	ingested   int
 	lastErr    error // most recent re-assessment failure
 	persistErr error // most recent state-save failure (never retried by re-running the workflow)
+	// lastErrAt marks when the monitor entered its current error state
+	// (workflow or persistence); zero while healthy. Feeds the
+	// last-error-age gauge and the health surface.
+	lastErrAt time.Time
 }
 
 // New validates the configuration and builds a Monitor.
@@ -109,11 +122,16 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Monitor{
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	m := &Monitor{
 		cfg:    cfg,
 		rc:     core.NewResultCache(cfg.Searcher),
 		notify: make(chan struct{}),
-	}, nil
+	}
+	m.registerGauges()
+	return m, nil
 }
 
 // Run performs the initial assessment — warm from persisted state when
@@ -137,7 +155,7 @@ func (m *Monitor) Run(ctx context.Context) error {
 		// exact — keeping its generation (and its pollers' ETags) alive
 		// across the restart.
 		if len(delta) > 0 {
-			m.flush(ctx, delta)
+			m.flush(ctx, delta, time.Time{})
 		}
 	} else {
 		cursor := m.cfg.Store.DurableCursor()
@@ -153,10 +171,14 @@ func (m *Monitor) Run(ctx context.Context) error {
 	// triggers the flush, while cfg.MaxLag bounds deferral under a
 	// continuous stream. Nil timer channels block their select cases.
 	var (
-		pending    []*social.Post
-		debounceC  <-chan time.Time
-		lagC       <-chan time.Time
-		failStreak uint
+		pending []*social.Post
+		// pendingSince marks when the current flush window opened (first
+		// batch after a flush) — the start point of the published
+		// debounce-to-publish latency. Zero on retry wake-ups.
+		pendingSince time.Time
+		debounceC    <-chan time.Time
+		lagC         <-chan time.Time
+		failStreak   uint
 	)
 	// A failed warm-restart catch-up must retry like any failed flush:
 	// without this arm the loop would wait for the next ingested batch
@@ -176,6 +198,7 @@ func (m *Monitor) Run(ctx context.Context) error {
 			}
 			if len(pending) == 0 {
 				lagC = time.After(m.cfg.MaxLag)
+				pendingSince = time.Now()
 			}
 			pending = append(pending, batch...)
 			debounceC = time.After(m.cfg.Debounce)
@@ -187,8 +210,9 @@ func (m *Monitor) Run(ctx context.Context) error {
 		if fired {
 			// A timer firing with empty pending is a retry wake-up:
 			// flush re-runs the workflow even with no new posts.
-			m.flush(ctx, pending)
+			m.flush(ctx, pending, pendingSince)
 			pending = nil
+			pendingSince = time.Time{}
 			debounceC, lagC = nil, nil
 			if m.workflowError() != nil && ctx.Err() == nil {
 				// The workflow failed after its invalidations landed;
@@ -222,12 +246,24 @@ func retryDelay(debounce time.Duration, failStreak uint) time.Duration {
 }
 
 // flush runs one incremental re-assessment over the pending delta.
-func (m *Monitor) flush(ctx context.Context, pending []*social.Post) {
+// pendingSince, when non-zero, is the instant the flush window opened;
+// the publication records the window-to-publish latency from it.
+func (m *Monitor) flush(ctx context.Context, pending []*social.Post, pendingSince time.Time) {
 	// The persisted cursor is captured before any cache work: the
 	// cached fills about to be (re)built reflect the store at or after
 	// this point, so a restart replays at most a little extra — and
 	// invalidation is idempotent — never too little.
 	cursor := m.cfg.Store.DurableCursor()
+
+	met := m.cfg.Metrics
+	if met != nil && len(pending) > 0 {
+		met.DeltaPosts.Observe(int64(len(pending)))
+	}
+	observePublish := func() {
+		if met != nil && !pendingSince.IsZero() {
+			met.PublishLatency.ObserveSince(pendingSince)
+		}
+	}
 
 	// Tokenize the delta once for both the invalidation and the
 	// dirty-set pass.
@@ -252,16 +288,25 @@ func (m *Monitor) flush(ctx context.Context, pending []*social.Post) {
 		// replays a delta that invalidates nothing — cheaper than an
 		// fsync per no-work tick.
 		m.publish(prev.Result, dirty, false, false)
+		observePublish()
 		return
 	}
 	res, err := m.cfg.Framework.RunSocialDelta(ctx, m.cfg.Input, m.rc)
 	if err != nil {
 		m.mu.Lock()
 		m.lastErr = err
+		if m.lastErrAt.IsZero() {
+			m.lastErrAt = m.cfg.Now()
+		}
 		m.mu.Unlock()
+		if met != nil {
+			met.Failures.Inc()
+		}
+		m.cfg.Logger.Warn("re-assessment failed", slog.Int("delta_posts", len(pending)), slog.Any("error", err))
 		return
 	}
 	m.publish(res, dirty, false, true)
+	observePublish()
 	m.persistState(cursor)
 }
 
@@ -314,6 +359,13 @@ func (m *Monitor) tryRestore() ([]*social.Post, bool) {
 	close(m.notify)
 	m.notify = make(chan struct{})
 	m.mu.Unlock()
+	if met := m.cfg.Metrics; met != nil {
+		met.Generations.Inc()
+	}
+	m.cfg.Logger.Info("assessment restored from persisted state",
+		slog.Uint64("generation", st.Generation),
+		slog.Int("corpus", st.CorpusSize),
+		slog.Int("catchup_posts", len(delta)))
 	return delta, true
 }
 
@@ -345,21 +397,29 @@ func (m *Monitor) persistState(cursor social.DurableCursor) {
 	m.mu.Lock()
 	if err != nil {
 		m.persistErr = fmt.Errorf("monitor: persist state: %w", err)
+		if m.lastErrAt.IsZero() {
+			m.lastErrAt = m.cfg.Now()
+		}
 	} else {
 		m.persistErr = nil
+		if m.lastErr == nil {
+			m.lastErrAt = time.Time{}
+		}
 	}
 	m.mu.Unlock()
+	if err != nil {
+		m.cfg.Logger.Warn("persist state failed", slog.Any("error", err))
+	}
 }
 
 // publish installs a new assessment snapshot and wakes waiters.
 func (m *Monitor) publish(res *core.SocialResult, dirty core.DirtySet, full, recomputed bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	gen := uint64(1)
 	if m.cur != nil {
 		gen = m.cur.Generation + 1
 	}
-	m.cur = &Assessment{
+	cur := &Assessment{
 		Result:     res,
 		Generation: gen,
 		UpdatedAt:  m.cfg.Now(),
@@ -369,9 +429,29 @@ func (m *Monitor) publish(res *core.SocialResult, dirty core.DirtySet, full, rec
 		Recomputed: recomputed,
 		Dirty:      dirty,
 	}
+	m.cur = cur
 	m.lastErr = nil
+	if m.persistErr == nil {
+		m.lastErrAt = time.Time{}
+	}
 	close(m.notify)
 	m.notify = make(chan struct{})
+	m.mu.Unlock()
+	if met := m.cfg.Metrics; met != nil {
+		met.Generations.Inc()
+		if recomputed {
+			met.Recomputes.Inc()
+		}
+	}
+	level := slog.LevelDebug
+	if full {
+		level = slog.LevelInfo
+	}
+	m.cfg.Logger.Log(context.Background(), level, "assessment published",
+		slog.Uint64("generation", cur.Generation),
+		slog.Int("corpus", cur.CorpusSize),
+		slog.Bool("full", full),
+		slog.Bool("recomputed", recomputed))
 }
 
 // Assessment returns the current snapshot, or nil before the initial

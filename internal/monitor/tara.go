@@ -3,10 +3,13 @@ package monitor
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/obs"
 	"github.com/psp-framework/psp/internal/tara"
 )
 
@@ -27,6 +30,12 @@ type TARAConfig struct {
 	Debounce time.Duration
 	// Now overrides the clock for tests.
 	Now func() time.Time
+	// Metrics, when set, records per-tenant rate latency, rating-call
+	// deltas and dirty-threat counts (see NewTARAMetrics).
+	Metrics *TARAMetrics
+	// Logger receives the fleet monitor's structured log lines; nil
+	// discards.
+	Logger *slog.Logger
 }
 
 // TARAMonitor continuously re-rates the dirty tenants of a registry: it
@@ -37,6 +46,10 @@ type TARAConfig struct {
 // the dirty tenants.
 type TARAMonitor struct {
 	cfg TARAConfig
+
+	// initialDone flips after the startup pass over every tenant — the
+	// fleet's readiness signal (see Ready).
+	initialDone atomic.Bool
 
 	mu      sync.Mutex
 	lastErr error
@@ -59,7 +72,12 @@ func NewTARAMonitor(cfg TARAConfig) (*TARAMonitor, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &TARAMonitor{cfg: cfg, notify: make(chan struct{})}, nil
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	tm := &TARAMonitor{cfg: cfg, notify: make(chan struct{})}
+	tm.registerGauges()
+	return tm, nil
 }
 
 // Registry returns the tenant registry.
@@ -86,6 +104,7 @@ func (tm *TARAMonitor) Run(ctx context.Context) error {
 	// no-op (its published assessment is kept), so a concurrent mark is
 	// never lost and a duplicate one costs nothing.
 	tm.ratePass(ctx, tm.cfg.Registry.Names())
+	tm.initialDone.Store(true)
 
 	var debounceC <-chan time.Time
 	var failStreak uint
@@ -111,6 +130,7 @@ func (tm *TARAMonitor) Run(ctx context.Context) error {
 // ratePass rates the named tenants, re-marking failed ones dirty.
 // Reports whether every tenant succeeded.
 func (tm *TARAMonitor) ratePass(ctx context.Context, names []string) bool {
+	met := tm.cfg.Metrics
 	ok := true
 	for _, name := range names {
 		if ctx.Err() != nil {
@@ -120,7 +140,13 @@ func (tm *TARAMonitor) ratePass(ctx context.Context, names []string) bool {
 		if !found {
 			continue
 		}
-		_, err := ten.Rate(tm.cfg.Now(), func(p *tara.Plan) ([]*tara.ThreatResult, error) {
+		prev := ten.Assessment()
+		var prevCalls uint64
+		if met != nil {
+			prevCalls = ten.RatingCalls()
+		}
+		t0 := time.Now()
+		cur, err := ten.Rate(tm.cfg.Now(), func(p *tara.Plan) ([]*tara.ThreatResult, error) {
 			return tm.cfg.Framework.RatePlan(ctx, p)
 		})
 		tm.mu.Lock()
@@ -128,13 +154,36 @@ func (tm *TARAMonitor) ratePass(ctx context.Context, names []string) bool {
 		tm.mu.Unlock()
 		if err != nil {
 			ok = false
+			if met != nil {
+				met.Failures.Inc()
+			}
+			tm.cfg.Logger.Warn("tenant rating failed", "tenant", name, "error", err)
 			tm.cfg.Registry.MarkDirty(name)
 			continue
+		}
+		if met != nil {
+			met.TenantRates.Inc()
+			met.RateLatency.ObserveSince(t0)
+			// Rate keeps the previous assessment when nothing is dirty —
+			// only an actual re-rate advances the call and threat counters.
+			if cur != prev {
+				met.RatingCalls.Add(ten.RatingCalls() - prevCalls)
+				met.DirtyThreats.Observe(int64(cur.RatedThreats))
+			}
+		}
+		if cur != prev {
+			tm.cfg.Logger.Debug("tenant rated",
+				"tenant", name, "generation", cur.Generation,
+				"rated_threats", cur.RatedThreats, "total_threats", cur.TotalThreats)
 		}
 		tm.broadcast()
 	}
 	return ok
 }
+
+// Ready reports whether the initial pass over every startup tenant has
+// completed — the fleet half of the daemon's readiness gate.
+func (tm *TARAMonitor) Ready() bool { return tm.initialDone.Load() }
 
 func (tm *TARAMonitor) broadcast() {
 	tm.mu.Lock()

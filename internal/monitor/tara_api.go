@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/psp-framework/psp/internal/obs"
 	"github.com/psp-framework/psp/internal/tara"
 )
 
@@ -82,6 +83,7 @@ func (a *API) handleTARATenant(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant " + name})
 			return
 		}
+		obs.LoggerFrom(r.Context()).Info("tenant removed", "tenant", name)
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET, PUT, POST or DELETE"})
@@ -200,6 +202,7 @@ func (a *API) handleTARACreate(w http.ResponseWriter, r *http.Request, name stri
 		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 		return
 	}
+	obs.LoggerFrom(r.Context()).Info("tenant created", "tenant", name, "version", ten.Version())
 	writeJSON(w, http.StatusCreated, struct {
 		Tenant  string `json:"tenant"`
 		Version uint64 `json:"version"`
@@ -251,10 +254,14 @@ func (a *API) handleTARAMutate(w http.ResponseWriter, r *http.Request, name stri
 	if err != nil {
 		// Partial batch semantics, like POST /v1/posts: the applied
 		// prefix is in effect (and will be re-rated), so report both.
+		obs.LoggerFrom(r.Context()).Warn("tenant mutation failed partway",
+			"tenant", name, "applied", applied, "version", version, "error", err)
 		resp.Error = err.Error()
 		writeJSON(w, http.StatusBadRequest, resp)
 		return
 	}
+	obs.LoggerFrom(r.Context()).Debug("tenant mutated",
+		"tenant", name, "applied", applied, "version", version)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,35 @@
+// Package obs is the framework's zero-dependency observability core:
+// atomic counters, gauges and fixed-bucket latency histograms collected
+// in a registry and exposed in Prometheus text format.
+//
+// The package follows the same lock-free ethos as the social store's
+// read path. Every metric is a handful of machine words updated with
+// atomic operations — no mutex, no allocation, no time formatting on
+// the hot path — and the registry publishes an immutable, sorted
+// snapshot of its metric families behind an atomic pointer
+// (copy-on-write): registration takes a lock, but scraping and every
+// Inc/Add/Observe never do. A nil metric is a valid no-op recorder, so
+// instrumented code paths need no "is observability on?" branches
+// beyond a single nil check, and packages can accept optional metrics
+// structs without conditional wiring.
+//
+// Histograms use fixed int64 bucket upper bounds (typically
+// nanoseconds) with a presentation-time scale divisor, so observing a
+// latency is one bucket scan plus two atomic adds; quantiles (p50/p99)
+// are extracted by linear interpolation inside the winning bucket.
+// Concurrent scrapes see per-bucket counts and the sum/count pair
+// without mutual consistency — standard for lock-free collectors and
+// harmless at scrape granularity.
+//
+// HTTP handlers are instrumented with Middleware: per-route request
+// counters split by status class, a per-route latency histogram, and
+// X-Request-ID propagation — the middleware reads or generates a
+// request ID, echoes it on the response, and stores both the ID and a
+// request-scoped *slog.Logger (carrying the request_id attribute) in
+// the request context for handlers to log through.
+//
+// Registry.WritePrometheus renders the text exposition format
+// (version 0.0.4); Registry.Handler serves it, typically mounted at
+// GET /v1/metrics. PprofHandler returns the standard net/http/pprof
+// mux for opt-in mounting behind a flag.
+package obs

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe on a nil receiver (no-ops), so a
+// nil *Counter is the no-op recorder.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that can go up and down, stored as atomic
+// bits. The zero value is ready; methods are nil-safe no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (CAS loop; gauges are not hot-path
+// metrics in this codebase, counters and histograms are).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultLatencyBuckets are nanosecond upper bounds spanning 10µs–10s,
+// for use with LatencyScale so expositions read in seconds.
+var DefaultLatencyBuckets = []int64{
+	int64(10 * time.Microsecond),
+	int64(25 * time.Microsecond),
+	int64(50 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2500 * time.Millisecond),
+	int64(10 * time.Second),
+}
+
+// LatencyScale divides nanosecond observations into seconds at
+// exposition time.
+const LatencyScale = 1e9
+
+// DefaultSizeBuckets are upper bounds for count-shaped distributions
+// (batch sizes, delta sizes), used with scale 1.
+var DefaultSizeBuckets = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram is a fixed-bucket histogram over int64 observations
+// (typically nanoseconds). Buckets are cumulative at exposition time;
+// scale divides observed values for presentation (e.g. LatencyScale
+// renders nanoseconds as seconds). Observe is one linear bucket scan
+// plus two atomic adds — no locks, no allocation. Methods are nil-safe
+// no-ops so a nil *Histogram is the no-op recorder.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds; implicit +Inf bucket after
+	scale  float64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram (the registry
+// constructor is the usual entry point). Bounds must be ascending;
+// scale <= 0 defaults to 1.
+func NewHistogram(bounds []int64, scale float64) *Histogram {
+	if scale <= 0 {
+		scale = 1
+	}
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, scale: scale, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed time since t0 in nanoseconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the scaled sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sum.Load()) / h.scale
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1, e.g. 0.5, 0.99) in
+// scaled units by linear interpolation inside the winning bucket. The
+// overflow bucket reports the highest finite bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	var cum uint64
+	var counts = make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, n := range counts {
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				return float64(h.bounds[len(h.bounds)-1]) / h.scale
+			}
+			lower := int64(0)
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return (float64(lower) + frac*float64(h.bounds[i]-lower)) / h.scale
+		}
+		cum += n
+	}
+	return float64(h.bounds[len(h.bounds)-1]) / h.scale
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram in
+// scaled units.
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   float64
+	Mean  float64
+	P50   float64
+	P99   float64
+}
+
+// Snapshot summarizes the histogram for stats surfaces.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), P50: h.Quantile(0.5), P99: h.Quantile(0.99)}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge and one
+// histogram from many goroutines and checks the totals are exact —
+// run under -race in CI.
+func TestConcurrentCounters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops")
+	g := reg.Gauge("test_level", "level")
+	h := reg.Histogram("test_latency_seconds", "latency", []int64{10, 100, 1000}, 1)
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 2000))
+			}
+		}(w)
+	}
+	// Concurrent registration of the same series must return the same
+	// cells (exercises the COW get-or-create path under race).
+	var rg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			if got := reg.Counter("test_ops_total", "ops"); got != c {
+				t.Error("get-or-create returned a different counter cell")
+			}
+			reg.Counter("test_other_total", "other").Inc()
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var wantSum int64
+	for i := 0; i < perWorker; i++ {
+		wantSum += int64(i % 2000)
+	}
+	wantSum *= workers
+	if got := h.Sum(); got != float64(wantSum) {
+		t.Fatalf("histogram sum = %v, want %d", got, wantSum)
+	}
+	if got := reg.Counter("test_other_total", "other").Value(); got != 4 {
+		t.Fatalf("concurrent-registered counter = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 40}, 1)
+	// 10 observations in (0,10], 10 in (10,20], none above.
+	for i := 1; i <= 10; i++ {
+		h.Observe(int64(i))
+		h.Observe(int64(10 + i))
+	}
+	if got := h.Count(); got != 20 {
+		t.Fatalf("count = %d, want 20", got)
+	}
+	// p50 lands at the boundary of the first bucket, p99 inside the second.
+	if p50 := h.Quantile(0.5); p50 != 10 {
+		t.Fatalf("p50 = %v, want 10", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 10 || p99 > 20 {
+		t.Fatalf("p99 = %v, want in (10, 20]", p99)
+	}
+	// Overflow observations report the top finite bound.
+	h.Observe(1000)
+	for i := 0; i < 100; i++ {
+		h.Observe(999)
+	}
+	if q := h.Quantile(0.99); q != 40 {
+		t.Fatalf("overflow p99 = %v, want 40 (top bound)", q)
+	}
+}
+
+func TestHistogramScale(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets, LatencyScale)
+	h.Observe(int64(50 * time.Millisecond))
+	if got := h.Sum(); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("scaled sum = %v, want 0.05", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 1 || s.Mean != s.Sum {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 <= 0.025 || s.P50 > 0.05 {
+		t.Fatalf("snapshot p50 = %v, want in (0.025, 0.05]", s.P50)
+	}
+}
+
+// TestNilSafety: every recorder must be a no-op on nil receivers so a
+// disabled metrics struct needs no call-site branches.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil recorders must read zero")
+	}
+	if got := r.Counter("x_total", "x"); got != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.GaugeFunc("y", "y", func() float64 { return 1 })
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry exposition: %v", err)
+	}
+	var hm *HTTPMetrics
+	if got := hm.Wrap("/x", nil); got != nil {
+		t.Fatal("nil middleware must return next unchanged")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("clash_total", "clash")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering clash_total as a gauge should panic")
+		}
+	}()
+	reg.Gauge("clash_total", "clash")
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("replace_me", "v", func() float64 { return 1 })
+	reg.GaugeFunc("replace_me", "v", func() float64 { return 2 })
+	var b safeBuilder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); !containsLine(got, "replace_me 2") {
+		t.Fatalf("exposition after replace:\n%s", got)
+	}
+}

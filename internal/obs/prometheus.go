@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families sorted by name and
+// series by label set. It reads the registry's immutable snapshot with
+// one atomic load — scraping never blocks registration or recording.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.set.Load().families {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch f.kind {
+	case kindCounter:
+		writeSample(bw, f.name, "", s.labels, "", strconv.FormatUint(s.c.Value(), 10))
+	case kindGauge:
+		writeSample(bw, f.name, "", s.labels, "", formatFloat(s.g.Value()))
+	case kindGaugeFunc:
+		writeSample(bw, f.name, "", s.labels, "", formatFloat(s.fn()))
+	case kindHistogram:
+		writeHistogram(bw, f.name, s)
+	}
+}
+
+// writeHistogram renders cumulative buckets, sum and count. The _count
+// line equals the +Inf cumulative bucket by construction (both derive
+// from one pass over the bucket cells), so the series stays internally
+// consistent even while observations land concurrently.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.h
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(float64(h.bounds[i]) / h.scale)
+		}
+		writeSample(bw, name, "_bucket", s.labels, `le="`+le+`"`, strconv.FormatUint(cum, 10))
+	}
+	writeSample(bw, name, "_sum", s.labels, "", formatFloat(float64(h.sum.Load())/h.scale))
+	writeSample(bw, name, "_count", s.labels, "", strconv.FormatUint(cum, 10))
+}
+
+// writeSample emits one `name[_suffix]{labels[,extra]} value` line.
+func writeSample(bw *bufio.Writer, name, suffix, labels, extra, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the exposition over HTTP (mount at GET /v1/metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WritePrometheus(w)
+	})
+}

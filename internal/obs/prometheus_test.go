@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// safeBuilder is a minimal io.Writer accumulating into a string.
+type safeBuilder struct{ b strings.Builder }
+
+func (s *safeBuilder) Write(p []byte) (int, error) { return s.b.Write(p) }
+func (s *safeBuilder) String() string              { return s.b.String() }
+
+func containsLine(text, line string) bool {
+	for _, l := range strings.Split(text, "\n") {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExpositionGolden pins the full exposition output for a small
+// registry: family ordering, HELP/TYPE lines, label rendering,
+// cumulative histogram buckets, sum/count.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zeta_total", "Last family by name.").Add(7)
+	reg.Gauge("alpha_depth", "A gauge.").Set(2.5)
+	reg.GaugeFunc("alpha_func", "A computed gauge.", func() float64 { return 3 })
+	h := reg.Histogram("beta_seconds", "A histogram.", []int64{1000, 10000}, 1000)
+	h.Observe(500)   // first bucket (0.5 scaled)
+	h.Observe(5000)  // second bucket
+	h.Observe(50000) // overflow
+	c := reg.Counter("gamma_requests_total", "Labeled counter.",
+		Label{"route", "/v1/posts"}, Label{"code", "2xx"})
+	c.Add(3)
+	reg.Counter("gamma_requests_total", "Labeled counter.",
+		Label{"route", "/v1/posts"}, Label{"code", "5xx"}).Inc()
+
+	var b safeBuilder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_depth A gauge.
+# TYPE alpha_depth gauge
+alpha_depth 2.5
+# HELP alpha_func A computed gauge.
+# TYPE alpha_func gauge
+alpha_func 3
+# HELP beta_seconds A histogram.
+# TYPE beta_seconds histogram
+beta_seconds_bucket{le="1"} 1
+beta_seconds_bucket{le="10"} 2
+beta_seconds_bucket{le="+Inf"} 3
+beta_seconds_sum 55.5
+beta_seconds_count 3
+# HELP gamma_requests_total Labeled counter.
+# TYPE gamma_requests_total counter
+gamma_requests_total{code="2xx",route="/v1/posts"} 3
+gamma_requests_total{code="5xx",route="/v1/posts"} 1
+# HELP zeta_total Last family by name.
+# TYPE zeta_total counter
+zeta_total 7
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "escapes", Label{"v", "a\"b\\c\nd"}).Inc()
+	var b safeBuilder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !containsLine(b.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaped exposition:\n%s", b.String())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("handler_hits_total", "hits").Inc()
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !containsLine(rec.Body.String(), "handler_hits_total 1") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+}

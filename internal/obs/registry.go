@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance of a metric family. Immutable after
+// registration (the value cells inside c/g/h are atomic).
+type series struct {
+	labels string // rendered, key-sorted: `k1="v1",k2="v2"`; "" if none
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name. Immutable;
+// replaced copy-on-write by registration.
+type family struct {
+	name, help string
+	kind       kind
+	series     []*series // sorted by labels
+}
+
+func (f *family) find(labels string) *series {
+	i := sort.Search(len(f.series), func(i int) bool { return f.series[i].labels >= labels })
+	if i < len(f.series) && f.series[i].labels == labels {
+		return f.series[i]
+	}
+	return nil
+}
+
+// withSeries returns a copy of the family with one series added or
+// (same labels) replaced.
+func (f *family) withSeries(s *series) *family {
+	next := &family{name: f.name, help: f.help, kind: f.kind}
+	next.series = make([]*series, 0, len(f.series)+1)
+	for _, old := range f.series {
+		if old.labels != s.labels {
+			next.series = append(next.series, old)
+		}
+	}
+	next.series = append(next.series, s)
+	sort.Slice(next.series, func(i, j int) bool { return next.series[i].labels < next.series[j].labels })
+	return next
+}
+
+// registrySet is the immutable registry snapshot: exposition and
+// lock-free lookups read it with one atomic load.
+type registrySet struct {
+	families []*family // sorted by name
+	index    map[string]*family
+}
+
+func (set *registrySet) withFamily(f *family) *registrySet {
+	next := &registrySet{index: make(map[string]*family, len(set.index)+1)}
+	for name, old := range set.index {
+		next.index[name] = old
+	}
+	next.index[f.name] = f
+	next.families = make([]*family, 0, len(next.index))
+	for _, fam := range next.index {
+		next.families = append(next.families, fam)
+	}
+	sort.Slice(next.families, func(i, j int) bool { return next.families[i].name < next.families[j].name })
+	return next
+}
+
+// Registry collects metric families and renders them for scraping.
+// Registration (the get-or-create constructors) takes a mutex and
+// rebuilds an immutable snapshot copy-on-write; lookups of already
+// registered series and WritePrometheus never lock. All methods are
+// nil-safe: a nil *Registry hands out nil metrics, which are no-op
+// recorders, so "observability off" needs no branches at call sites.
+type Registry struct {
+	mu  sync.Mutex
+	set atomic.Pointer[registrySet]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.set.Store(&registrySet{index: map[string]*family{}})
+	return r
+}
+
+// renderLabels normalizes labels into the canonical key-sorted series
+// identity used both for lookup and exposition.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// lookup returns the registered series for (name, labels) if present,
+// without locking.
+func (r *Registry) lookup(name, labels string, k kind) *series {
+	set := r.set.Load()
+	f := set.index[name]
+	if f == nil {
+		return nil
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	return f.find(labels)
+}
+
+// register get-or-creates a series under the registry lock. build
+// constructs the new series when absent (or, for replace, always).
+func (r *Registry) register(name, help string, k kind, labels string, replace bool, build func() *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.set.Load()
+	f := set.index[name]
+	if f != nil {
+		if f.kind != k {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+		}
+		if s := f.find(labels); s != nil && !replace {
+			return s
+		}
+	} else {
+		f = &family{name: name, help: help, kind: k}
+	}
+	s := build()
+	r.set.Store(set.withFamily(f.withSeries(s)))
+	return s
+}
+
+// Counter get-or-creates a counter series. Counter names should end in
+// "_total" by Prometheus convention.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := renderLabels(labels)
+	if s := r.lookup(name, ls, kindCounter); s != nil {
+		return s.c
+	}
+	return r.register(name, help, kindCounter, ls, false, func() *series {
+		return &series{labels: ls, c: &Counter{}}
+	}).c
+}
+
+// Gauge get-or-creates a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := renderLabels(labels)
+	if s := r.lookup(name, ls, kindGauge); s != nil {
+		return s.g
+	}
+	return r.register(name, help, kindGauge, ls, false, func() *series {
+		return &series{labels: ls, g: &Gauge{}}
+	}).g
+}
+
+// GaugeFunc registers (or, when the series exists, replaces) a gauge
+// whose value is computed by fn at exposition time. Replacement keeps
+// re-wiring simple when a component is rebuilt against the same
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	ls := renderLabels(labels)
+	r.register(name, help, kindGaugeFunc, ls, true, func() *series {
+		return &series{labels: ls, fn: fn}
+	})
+}
+
+// Histogram get-or-creates a histogram series with the given ascending
+// int64 upper bounds and exposition scale divisor (see
+// DefaultLatencyBuckets / LatencyScale).
+func (r *Registry) Histogram(name, help string, bounds []int64, scale float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := renderLabels(labels)
+	if s := r.lookup(name, ls, kindHistogram); s != nil {
+		return s.h
+	}
+	return r.register(name, help, kindHistogram, ls, false, func() *series {
+		return &series{labels: ls, h: NewHistogram(bounds, scale)}
+	}).h
+}

@@ -57,6 +57,11 @@ type DurableOptions struct {
 	// skipped by ID) instead of silently serving a partial corpus, and
 	// a completed directory never re-seeds.
 	Seed func() ([]*Post, error)
+	// Metrics, when set, is attached to the store before recovery: the
+	// stripe logs record into its WAL surface, recovery duration and
+	// recovered post count land in its gauges, and the opened store
+	// behaves as if SetMetrics had been called.
+	Metrics *StoreMetrics
 }
 
 const (
@@ -149,7 +154,9 @@ func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 		}
 	}
 
+	recoverStart := time.Now()
 	s := NewStoreShards(shards)
+	s.SetMetrics(opts.Metrics)
 	d := &storeDurability{
 		dir:        dir,
 		logs:       make([]*durable.Log, shards),
@@ -187,11 +194,16 @@ func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 		}
 		return nil, err
 	}
+	var walMetrics *durable.LogMetrics
+	if opts.Metrics != nil {
+		walMetrics = opts.Metrics.WAL
+	}
 	for i := 0; i < shards; i++ {
 		i := i
 		log, err := durable.OpenLog(d.stripeDir(i), durable.LogOptions{
 			SegmentBytes: opts.SegmentBytes,
 			OnDurable:    func(seq uint64) { d.onDurable(i, seq) },
+			Metrics:      walMetrics,
 		})
 		if err != nil {
 			return fail(err)
@@ -207,6 +219,10 @@ func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 	}
 
 	s.dur = d
+	if m := opts.Metrics; m != nil {
+		m.RecoverySeconds.Set(time.Since(recoverStart).Seconds())
+		m.RecoveredPosts.Set(float64(s.Len()))
+	}
 	if opts.Seed != nil {
 		if err := d.seed(s, opts.Seed); err != nil {
 			for _, log := range d.logs {
@@ -452,6 +468,17 @@ func (d *storeDurability) compact(s *Store) (err error) {
 	d.cmu.Lock()
 	defer d.cmu.Unlock()
 	defer func() { d.compactErr = err }()
+	if m := s.met.Load(); m != nil {
+		t0 := time.Now()
+		defer func() {
+			if err != nil {
+				m.CompactionErrors.Inc()
+				return
+			}
+			m.Compactions.Inc()
+			m.CompactionLatency.ObserveSince(t0)
+		}()
+	}
 	// Floors before the dump: everything at or below a floor is applied,
 	// hence included in any snapshot taken afterwards.
 	floors := d.floors()

@@ -1,0 +1,147 @@
+package social
+
+import (
+	"time"
+
+	"github.com/psp-framework/psp/internal/durable"
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// StoreMetrics is the store's recording surface: ingest, search,
+// changefeed and durability telemetry. Every field is an obs recorder
+// (atomic, nil-safe); the store holds the struct behind an atomic
+// pointer, so an uninstrumented store pays one pointer load and a nil
+// check per operation and nothing else.
+type StoreMetrics struct {
+	// Ingest: batches, posts, failures, and end-to-end Add latency
+	// (validation through WAL fsync through index commit).
+	Adds       *obs.Counter
+	AddedPosts *obs.Counter
+	AddErrors  *obs.Counter
+	AddLatency *obs.Histogram
+	// Search: calls, latency, and shard snapshots visited (the
+	// window→stripe pruning fan-out; always counted when instrumented).
+	Searches      *obs.Counter
+	SearchLatency *obs.Histogram
+	ShardVisits   *obs.Counter
+	// Changefeed publication volume.
+	FeedBatches *obs.Counter
+	FeedPosts   *obs.Counter
+	// Durability: snapshot compactions and recovery (set by OpenStoreDir).
+	Compactions       *obs.Counter
+	CompactionErrors  *obs.Counter
+	CompactionLatency *obs.Histogram
+	RecoverySeconds   *obs.Gauge
+	RecoveredPosts    *obs.Gauge
+	// WAL is the per-stripe logs' shared surface (psp_wal_*).
+	WAL *durable.LogMetrics
+
+	reg *obs.Registry
+}
+
+// NewStoreMetrics registers the psp_store_* and psp_wal_* families in
+// reg and returns the recording surface for one store. A nil registry
+// yields an all-no-op surface.
+func NewStoreMetrics(reg *obs.Registry) *StoreMetrics {
+	return &StoreMetrics{
+		Adds:       reg.Counter("psp_store_adds_total", "Ingest batches accepted by Store.Add."),
+		AddedPosts: reg.Counter("psp_store_added_posts_total", "Posts inserted by Store.Add."),
+		AddErrors:  reg.Counter("psp_store_add_errors_total", "Store.Add calls that returned an error."),
+		AddLatency: reg.Histogram("psp_store_add_seconds",
+			"Store.Add latency, validation through durability and index commit.",
+			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		Searches: reg.Counter("psp_store_searches_total", "Store.Search calls."),
+		SearchLatency: reg.Histogram("psp_store_search_seconds", "Store.Search latency.",
+			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		ShardVisits: reg.Counter("psp_store_search_shard_visits_total",
+			"Shard snapshots examined by Search (window-to-stripe pruning fan-out)."),
+		FeedBatches: reg.Counter("psp_store_changefeed_batches_total", "Batches published to the changefeed."),
+		FeedPosts:   reg.Counter("psp_store_changefeed_posts_total", "Posts published to the changefeed."),
+		Compactions: reg.Counter("psp_store_compactions_total", "Snapshot compactions completed."),
+		CompactionErrors: reg.Counter("psp_store_compaction_errors_total",
+			"Snapshot compactions failed (retried next tick)."),
+		CompactionLatency: reg.Histogram("psp_store_compaction_seconds", "Snapshot compaction latency.",
+			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		RecoverySeconds: reg.Gauge("psp_store_recovery_seconds",
+			"Duration of the last OpenStoreDir recovery (snapshot load + WAL replay)."),
+		RecoveredPosts: reg.Gauge("psp_store_recovered_posts",
+			"Posts recovered by the last OpenStoreDir."),
+		WAL: durable.NewLogMetrics(reg),
+		reg: reg,
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) a recording surface.
+// Gauge-valued readings that need store state — live post count,
+// changefeed backlog — register as exposition-time callbacks here, so
+// the hot paths never maintain them. One StoreMetrics instance should
+// observe one store (the callbacks bind to the last store attached).
+func (s *Store) SetMetrics(m *StoreMetrics) {
+	s.met.Store(m)
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.GaugeFunc("psp_store_posts", "Posts currently stored.",
+		func() float64 { return float64(s.Len()) })
+	m.reg.GaugeFunc("psp_store_changefeed_backlog_posts",
+		"Posts queued for changefeed subscribers, summed across subscribers.",
+		func() float64 { return float64(s.ChangefeedBacklog()) })
+	m.reg.GaugeFunc("psp_store_changefeed_subscribers", "Live changefeed subscriptions.",
+		func() float64 { return float64(len(s.subs.Load().subs)) })
+}
+
+// Metrics returns the attached recording surface (nil when
+// uninstrumented).
+func (s *Store) Metrics() *StoreMetrics { return s.met.Load() }
+
+// StoreStats is a typed point-in-time snapshot of the store's own
+// counters — the programmatic companion to the Prometheus exposition,
+// and the public replacement for one-off test hooks like
+// SearchShardVisits.
+type StoreStats struct {
+	// Posts and Shards describe the corpus layout.
+	Posts  int
+	Shards int
+	// SearchShardVisits is the cumulative count of shard snapshots
+	// examined by Search. Reading stats activates the observer-gated
+	// counter (see SearchShardVisits), so take a baseline snapshot
+	// before a measured workload.
+	SearchShardVisits int64
+	// ChangefeedSubscribers / ChangefeedBacklog describe the changefeed:
+	// live subscriptions and posts queued but not yet delivered.
+	ChangefeedSubscribers int
+	ChangefeedBacklog     int
+	// Durable reports whether the store runs on a write-ahead log;
+	// WALRecords counts appends since the last snapshot compaction and
+	// WALFloors is the current DurableCursor (nil when not durable).
+	Durable    bool
+	WALRecords int64
+	WALFloors  DurableCursor
+}
+
+// Stats snapshots the store's observability counters.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{
+		Posts:                 s.Len(),
+		Shards:                len(s.shards),
+		SearchShardVisits:     s.SearchShardVisits(),
+		ChangefeedSubscribers: len(s.subs.Load().subs),
+		ChangefeedBacklog:     s.ChangefeedBacklog(),
+	}
+	if s.dur != nil {
+		st.Durable = true
+		st.WALRecords = s.dur.records.Load()
+		st.WALFloors = s.dur.floors()
+	}
+	return st
+}
+
+// metricsNow returns the attached surface and, when one is attached, a
+// start timestamp — the single branch instrumented hot paths pay.
+func (s *Store) metricsNow() (*StoreMetrics, time.Time) {
+	m := s.met.Load()
+	if m == nil {
+		return nil, time.Time{}
+	}
+	return m, time.Now()
+}

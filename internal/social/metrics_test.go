@@ -1,0 +1,177 @@
+package social
+
+import (
+	"context"
+	"testing"
+
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// TestStoreMetricsRecording: adds, searches, shard visits and
+// changefeed publication land in the attached surface; Stats mirrors
+// them as a typed snapshot.
+func TestStoreMetricsRecording(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewStoreMetrics(reg)
+	s := NewStoreShards(4)
+	s.SetMetrics(m)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	feed := s.Watch(ctx, WatchOptions{})
+
+	for i := 0; i < 10; i++ {
+		if err := s.Add(durPost(i, i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add(durPost(0, 0)); err == nil {
+		t.Fatal("duplicate add must fail")
+	}
+	if got := m.Adds.Value(); got != 11 {
+		t.Fatalf("adds = %d, want 11", got)
+	}
+	if got := m.AddedPosts.Value(); got != 10 {
+		t.Fatalf("added posts = %d, want 10", got)
+	}
+	if got := m.AddErrors.Value(); got != 1 {
+		t.Fatalf("add errors = %d, want 1", got)
+	}
+	if got := m.AddLatency.Count(); got != 11 {
+		t.Fatalf("add latency count = %d, want 11", got)
+	}
+
+	if _, err := s.Search(ctx, Query{MaxResults: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Searches.Value(); got != 1 {
+		t.Fatalf("searches = %d, want 1", got)
+	}
+	if got := m.SearchLatency.Count(); got != 1 {
+		t.Fatalf("search latency count = %d, want 1", got)
+	}
+	// An unwindowed query visits every stripe.
+	if got := m.ShardVisits.Value(); got != 4 {
+		t.Fatalf("shard visits = %d, want 4", got)
+	}
+
+	if got := m.FeedPosts.Value(); got != 10 {
+		t.Fatalf("feed posts = %d, want 10", got)
+	}
+	if m.FeedBatches.Value() == 0 {
+		t.Fatal("no feed batches recorded")
+	}
+
+	st := s.Stats()
+	if st.Posts != 10 || st.Shards != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ChangefeedSubscribers != 1 {
+		t.Fatalf("subscribers = %d, want 1", st.ChangefeedSubscribers)
+	}
+	if st.Durable {
+		t.Fatal("in-memory store reported durable")
+	}
+	// Stats activates the observer-gated visit counter; a second search
+	// then shows up in the next snapshot.
+	if _, err := s.Search(ctx, Query{MaxResults: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().SearchShardVisits - st.SearchShardVisits; got != 4 {
+		t.Fatalf("visit delta = %d, want 4", got)
+	}
+
+	// The gauge callbacks registered by SetMetrics read live state.
+	var b safeWriter
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"psp_store_posts 10",
+		"psp_store_changefeed_subscribers 1",
+	} {
+		if !containsSample(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+	_ = feed
+}
+
+// TestDurableStoreMetrics: recovery gauges, WAL counters and
+// compaction counters flow through DurableOptions.Metrics.
+func TestDurableStoreMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	m := NewStoreMetrics(reg)
+	opts := noCompact(2)
+	opts.Metrics = m
+	s, err := OpenStoreDir(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Add(durPost(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.WAL.Appends.Value(); got == 0 {
+		t.Fatal("no WAL appends recorded")
+	}
+	if m.WAL.Fsyncs.Value() == 0 {
+		t.Fatal("no WAL fsyncs recorded")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Compactions.Value(); got != 1 {
+		t.Fatalf("compactions = %d, want 1", got)
+	}
+	st := s.Stats()
+	if !st.Durable || len(st.WALFloors) != 2 {
+		t.Fatalf("durable stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a fresh surface: recovery duration and post count land
+	// in the gauges.
+	reg2 := obs.NewRegistry()
+	m2 := NewStoreMetrics(reg2)
+	opts2 := noCompact(0)
+	opts2.Metrics = m2
+	re, err := OpenStoreDir(dir, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := m2.RecoveredPosts.Value(); got != 6 {
+		t.Fatalf("recovered posts gauge = %v, want 6", got)
+	}
+	if m2.RecoverySeconds.Value() <= 0 {
+		t.Fatal("recovery duration gauge not set")
+	}
+}
+
+// safeWriter mirrors the obs test helper locally.
+type safeWriter struct{ buf []byte }
+
+func (w *safeWriter) Write(p []byte) (int, error) { w.buf = append(w.buf, p...); return len(p), nil }
+func (w *safeWriter) String() string              { return string(w.buf) }
+
+func containsSample(text, line string) bool {
+	for len(text) > 0 {
+		i := 0
+		for i < len(text) && text[i] != '\n' {
+			i++
+		}
+		if text[:i] == line {
+			return true
+		}
+		if i == len(text) {
+			break
+		}
+		text = text[i+1:]
+	}
+	return false
+}

@@ -271,6 +271,11 @@ type Store struct {
 	// its stripes' logs — group-committed, fsync'd, before any index
 	// commit — so an acknowledged Add survives a crash (see durable.go).
 	dur *storeDurability
+
+	// met is the optional recording surface (SetMetrics). Hot paths pay
+	// one atomic pointer load and a nil check when detached; every
+	// recorder behind it is itself lock-free (see internal/obs).
+	met atomic.Pointer[StoreMetrics]
 }
 
 var _ Searcher = (*Store)(nil)
@@ -411,6 +416,7 @@ func (s *Store) Add(posts ...*Post) error {
 // duplicate-free regardless. The changefeed is stricter: it always
 // delivers the whole batch as one unit (see Watch).
 func (s *Store) AddCount(posts ...*Post) (int, error) {
+	m, t0 := s.metricsNow()
 	var err error
 	batch := make([]*Post, 0, len(posts))
 	for _, p := range posts {
@@ -436,7 +442,15 @@ func (s *Store) AddCount(posts ...*Post) (int, error) {
 	}
 	inserted, walErr := s.insertBatch(batch)
 	if walErr != nil {
-		return inserted, walErr
+		err = walErr
+	}
+	if m != nil {
+		m.Adds.Inc()
+		m.AddedPosts.Add(uint64(inserted))
+		if err != nil {
+			m.AddErrors.Inc()
+		}
+		m.AddLatency.ObserveSince(t0)
 	}
 	return inserted, err
 }
@@ -691,6 +705,7 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	m, t0 := s.metricsNow()
 	var cur *Cursor
 	if q.PageToken != "" {
 		c, err := ParseCursor(q.PageToken)
@@ -715,6 +730,9 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	}
 	if s.countVisits.Load() {
 		s.visits.Add(int64(len(stripes)))
+	}
+	if m != nil {
+		m.ShardVisits.Add(uint64(len(stripes)))
 	}
 	snaps := make([]*shardSnapshot, len(stripes))
 	for k, i := range stripes {
@@ -755,6 +773,10 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	}
 	if len(posts) > 0 {
 		page.Posts = posts
+	}
+	if m != nil {
+		m.Searches.Inc()
+		m.SearchLatency.ObserveSince(t0)
 	}
 	return page, nil
 }

@@ -90,6 +90,23 @@ func (s *Store) publishSequenced(batch []*Post) {
 	for _, sub := range s.subs.Load().subs {
 		sub.enqueue(batch)
 	}
+	if m := s.met.Load(); m != nil {
+		m.FeedBatches.Inc()
+		m.FeedPosts.Add(uint64(len(batch)))
+	}
+}
+
+// ChangefeedBacklog sums the posts queued for delivery across all live
+// subscribers — the publish-to-consume lag signal. A batch delivered
+// to N subscribers counts once per subscriber still holding it.
+func (s *Store) ChangefeedBacklog() int {
+	total := 0
+	for _, sub := range s.subs.Load().subs {
+		sub.mu.Lock()
+		total += len(sub.pending)
+		sub.mu.Unlock()
+	}
+	return total
 }
 
 // mergeOwned k-way merges sorted, disjoint posting-list suffixes into

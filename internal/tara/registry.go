@@ -131,6 +131,48 @@ func (r *Registry) wake() {
 	}
 }
 
+// RegistryStats is a typed snapshot of the registry's observability
+// counters — the programmatic stats surface backing /v1/metrics and the
+// facade, replacing one-off test hooks.
+type RegistryStats struct {
+	// Tenants is the tenant count; DirtyTenants how many await re-rating.
+	Tenants      int
+	DirtyTenants int
+	// RatingCalls sums every tenant's cumulative engine rating-call
+	// counter (Analysis.RatingCalls) — the incrementality measure: it
+	// grows by the dirty threats of each pass, not the model size.
+	RatingCalls uint64
+	// Generations sums published assessment generations; RatedThreats
+	// and TotalThreats sum the latest assessments' per-pass re-rate
+	// count and model size (RatedThreats < TotalThreats demonstrates
+	// incremental rating fleet-wide).
+	Generations  uint64
+	RatedThreats int
+	TotalThreats int
+}
+
+// Stats snapshots the registry. It takes each tenant's lock briefly to
+// read the engine counter; assessments are read lock-free.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.RLock()
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	dirty := len(r.dirty)
+	r.mu.RUnlock()
+	st := RegistryStats{Tenants: len(tenants), DirtyTenants: dirty}
+	for _, t := range tenants {
+		st.RatingCalls += t.RatingCalls()
+		if cur := t.Assessment(); cur != nil {
+			st.Generations += cur.Generation
+			st.RatedThreats += cur.RatedThreats
+			st.TotalThreats += cur.TotalThreats
+		}
+	}
+	return st
+}
+
 // Tenant is one named analysis of the registry. The analysis must only
 // be touched through Mutate and Rate, which serialize access under the
 // tenant lock; published assessments are read lock-free.
@@ -160,6 +202,15 @@ func (t *Tenant) Version() uint64 {
 // Assessment returns the last published assessment, or nil before the
 // first rating pass.
 func (t *Tenant) Assessment() *TenantAssessment { return t.cur.Load() }
+
+// RatingCalls returns the tenant's live cumulative engine rating-call
+// count (the published assessment carries the value frozen at its
+// rating pass).
+func (t *Tenant) RatingCalls() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.a.RatingCalls()
+}
 
 // Mutate runs fn against the tenant's analysis under the tenant lock.
 // fn reports whether it changed the model; when it did — or when it
