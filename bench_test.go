@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/fault"
 	"github.com/psp-framework/psp/internal/finance"
 	"github.com/psp-framework/psp/internal/lifecycle"
 	"github.com/psp-framework/psp/internal/market"
@@ -1159,4 +1160,90 @@ func BenchmarkAnalysisRerateDelta(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(calls), "rating-calls/op")
+}
+
+// BenchmarkResilienceSeams prices the fault-injection and graceful-
+// degradation seams on their hot paths, healthy-case (the seams armed
+// but no fault firing — what production pays). Two pairs:
+//
+//   - multi=bare vs multi=resilient: a federated page over two healthy
+//     backends, bare all-or-nothing vs per-backend timeout + circuit
+//     breaker + partial-results mode armed;
+//   - ingest=osfs vs ingest=faultfs: group-committed WAL ingest on the
+//     raw filesystem vs through the fault.FS seam with no injectors
+//     bound (nil-injector consults on every write and fsync).
+//
+// The acceptance bar: each instrumented twin within 5% of its bare
+// one. BENCH_8.json commits the figures.
+func BenchmarkResilienceSeams(b *testing.B) {
+	for _, mode := range []string{"bare", "resilient"} {
+		b.Run("multi="+mode, func(b *testing.B) {
+			store := paddedStore(b, 8000)
+			sources := []social.PlatformSource{
+				{Name: "alpha", Searcher: store},
+				{Name: "beta", Searcher: store},
+			}
+			var (
+				s   social.Searcher
+				err error
+			)
+			if mode == "resilient" {
+				s, err = social.NewMultiOptions(social.MultiOptions{
+					BackendTimeout:   5 * time.Second,
+					Partial:          true,
+					BreakerThreshold: 3,
+				}, sources...)
+			} else {
+				s, err = social.NewMulti(sources...)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			q := social.Query{AnyTags: []string{"fillerchatter"}, MaxResults: 50, SkipTotal: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page, err := s.Search(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(page.Posts) == 0 || page.Degraded {
+					b.Fatalf("healthy federated page: %d posts, degraded=%v", len(page.Posts), page.Degraded)
+				}
+			}
+		})
+	}
+	for _, mode := range []string{"osfs", "faultfs"} {
+		b.Run("ingest="+mode, func(b *testing.B) {
+			opts := social.DurableOptions{
+				Shards:       social.DefaultShards,
+				CompactEvery: -1, // measure the log, not the compactor
+			}
+			if mode == "faultfs" {
+				// The seam armed, nothing bound: every segment write and
+				// fsync consults nil injectors.
+				opts.FS = &fault.FS{}
+			}
+			store, err := social.OpenStoreDir(b.TempDir(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const batch = 16
+			posts := make([]*social.Post, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range posts {
+					posts[j] = walBenchPost(walPostSeq.Add(1))
+				}
+				if err := store.Add(posts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(batch), "posts/op")
+		})
+	}
 }

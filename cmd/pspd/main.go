@@ -242,6 +242,13 @@ func run(ctx context.Context, opts options) error {
 		Addr:              opts.addr,
 		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		// Slowloris/stuck-client bounds: a request (headers + body)
+		// must arrive within ReadTimeout and a response flush within
+		// WriteTimeout (generous enough for 30s pprof profiles);
+		// idle keep-alive connections are reaped after IdleTimeout.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  120 * time.Second,
 	}
 	persistence := "in-memory"
 	if opts.dataDir != "" {

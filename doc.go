@@ -143,4 +143,46 @@
 // (/v1/healthz, always 200) from readiness (/v1/readyz, 503 until the
 // initial assessment and TARA rating pass land). The instrumented hot
 // paths stay within a few percent of bare (BENCH_7.json).
+//
+// # Resilience and graceful degradation
+//
+// Every dependency failure has a declared contract, and a chaos suite
+// (deterministic, seedable fault injection via internal/fault: disk
+// faults through the WAL's filesystem seam, transport faults under the
+// HTTP client, flaky platform backends) proves each one under -race.
+// The contracts, innermost out:
+//
+//   - Disk: a persistent WAL write or fsync failure is sticky — the
+//     log refuses later appends rather than risk forging a record on a
+//     torn tail — and the durable store above it degrades to read-only
+//     instead of crashing. Ingest returns ErrSocialDegraded
+//     (errors.Is-matchable, carrying cause and onset), while every
+//     previously acknowledged post keeps serving: search, pagination,
+//     the changefeed and the monitor's cached assessments stay live.
+//     pspd answers ingest with 503 + Retry-After, reports the cause on
+//     /v1/healthz and fails /v1/readyz. A restart recovers the
+//     acknowledged state byte-identically (torn tails truncated) and
+//     resumes writes if the disk healed. Acknowledged-means-durable is
+//     never weakened: no fault schedule, torn write or crash loses an
+//     acknowledged batch.
+//   - Remote platform: the social HTTP client retries transient
+//     failures (transport errors, 502/503/504) with capped, jittered
+//     exponential backoff, honors 429 Retry-After, and aborts any wait
+//     promptly on context cancellation.
+//   - Federation: MultiOptions (NewMultiPlatformOptions) bounds each
+//     federated page with a shared deadline, opts into partial mode —
+//     pages with at least one healthy backend serve the healthy merge,
+//     marked Degraded with per-backend health annotations, and keep
+//     paginating so recovered backends rejoin on later pages — and
+//     arms a per-backend circuit breaker that fails fast after
+//     consecutive failures and re-closes through a half-open probe.
+//   - Monitor: a failed re-assessment never poisons the served
+//     picture — the last good assessment keeps serving with the
+//     failure exposed via LastError and psp_monitor_* metrics, and the
+//     monitor's own backoff retry converges after the platform heals
+//     without requiring new ingest.
+//
+// All resilience seams are pay-for-use: with no injector bound and no
+// fault firing, the federated and ingest hot paths stay within a few
+// percent of their bare twins (BENCH_8.json).
 package psp

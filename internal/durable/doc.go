@@ -62,6 +62,26 @@
 // drop an acknowledged record — only unacknowledged tail writes are at
 // risk, and those are exactly what the rules discard.
 //
+// # Disk-fault policy
+//
+// A failed segment write or fsync is sticky: the writer goroutine
+// records the first error and fails that append and every later one
+// with it, permanently, until the process reopens the log. The log
+// never retries past a write error, because after a short or failed
+// write the on-disk tail position is unknown — appending again could
+// interleave a new frame with the torn remains of the old one and
+// forge a record that recovery would trust. Refusing is safe by
+// construction: the failed batch was never acknowledged, the tail the
+// failure left behind is exactly the damage the recovery scan
+// truncates, and reopening re-derives the true end of the log from
+// disk. Callers see the policy as one persistent error class; the
+// social store maps it to read-only degraded mode rather than crashing
+// (see internal/social). The write path reaches disk only through the
+// FS seam (LogOptions.FS, default OSFS) — internal/fault.FS implements
+// it to inject write errors, fsync failures and torn tails through the
+// real commit path, which is how the chaos suite proves all of the
+// above.
+//
 // # Snapshot manifest
 //
 // A Manifest (MANIFEST.json in the store's data directory) names the

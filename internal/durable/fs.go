@@ -1,0 +1,45 @@
+package durable
+
+import (
+	"io"
+	"os"
+)
+
+// File is the write-side capability the log needs from an open segment
+// file. *os.File satisfies it; fault-injecting wrappers
+// (internal/fault.FS) satisfy it too, which is how the chaos tests
+// drive torn-write and fsync-failure scenarios through the real commit
+// path instead of mocking the log.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam beneath a Log's segment writes. Only the
+// write path goes through it — recovery reads use the OS directly,
+// because the failure modes worth injecting (a write error, a failed
+// fsync, a torn tail) all happen on the way to disk. The zero-value
+// default is the real filesystem (OSFS).
+type FS interface {
+	// OpenAppend opens path for appending, creating it when absent.
+	OpenAppend(path string) (File, error)
+	// Create creates path exclusively (it must not exist) for writing.
+	Create(path string) (File, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+var _ FS = OSFS{}
+
+// OpenAppend implements FS with os.OpenFile(O_CREATE|O_WRONLY|O_APPEND).
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Create implements FS with os.OpenFile(O_CREATE|O_EXCL|O_WRONLY).
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+}

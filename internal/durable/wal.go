@@ -66,6 +66,11 @@ type LogOptions struct {
 	// segment churn. Share one instance across a store's stripe logs to
 	// aggregate.
 	Metrics *LogMetrics
+	// FS, when set, replaces the real filesystem beneath segment writes
+	// (default OSFS). The seam exists for fault injection: tests wrap it
+	// to force write/fsync failures and torn tails through the real
+	// commit path.
+	FS FS
 }
 
 // segment is one on-disk segment file.
@@ -99,7 +104,7 @@ type Log struct {
 
 	// Writer-goroutine-owned state (initialized before the goroutine
 	// starts, touched only by it afterwards).
-	f       *os.File
+	f       File
 	size    int64
 	nextSeq uint64
 	werr    error // sticky write failure; fails all later appends
@@ -128,6 +133,9 @@ func OpenLog(dir string, opts LogOptions) (*Log, error) {
 	}
 	if opts.groupYields == 0 {
 		opts.groupYields = groupCollectYields
+	}
+	if opts.FS == nil {
+		opts.FS = OSFS{}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: create log dir: %w", err)
@@ -172,7 +180,8 @@ func (l *Log) recover() error {
 	}
 	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
 
-	var expect uint64 // required first of the next segment; 0 = any
+	var expect uint64    // required first of the next segment; 0 = any
+	var activeSize int64 // valid byte size of the last kept segment
 	for i, first := range firsts {
 		if expect != 0 && first != expect {
 			// A gap (missing segment) or overlap: sequences past it are
@@ -191,6 +200,7 @@ func (l *Log) recover() error {
 			}
 		}
 		l.segs = append(l.segs, segment{first: first, count: count, path: path})
+		activeSize = validSize
 		expect = first + uint64(count)
 		if damaged {
 			l.dropFiles(firsts[i+1:])
@@ -200,20 +210,19 @@ func (l *Log) recover() error {
 	if len(l.segs) == 0 {
 		l.segs = []segment{{first: 1, path: l.segPath(1)}}
 		expect = 1
+		activeSize = 0
 	}
 	l.nextSeq = expect
 
+	// The scan already established the active segment's valid size (the
+	// torn tail, if any, was truncated above), so the append handle needs
+	// no Stat — which keeps the File seam down to write/sync/close.
 	active := l.segs[len(l.segs)-1]
-	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.opts.FS.OpenAppend(active.path)
 	if err != nil {
 		return fmt.Errorf("durable: open active segment: %w", err)
 	}
-	info, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return fmt.Errorf("durable: stat active segment: %w", err)
-	}
-	l.f, l.size = f, info.Size()
+	l.f, l.size = f, activeSize
 	return syncDir(l.dir)
 }
 
@@ -448,7 +457,7 @@ func (l *Log) roll() error {
 		return fmt.Errorf("durable: close before roll: %w", err)
 	}
 	path := l.segPath(l.nextSeq)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.opts.FS.Create(path)
 	if err != nil {
 		return fmt.Errorf("durable: create segment: %w", err)
 	}

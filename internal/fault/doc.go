@@ -1,0 +1,33 @@
+// Package fault provides deterministic, seedable fault injection for
+// chaos testing the pipeline's resilience seams.
+//
+// The unit is the Injector: a decision point that, consulted once per
+// operation via Do, either passes (nil) or injects a configured fault —
+// an error, added latency, or both. Faults fire by seeded random rate
+// (Config.ErrorRate), by exact 1-based operation index
+// (Config.FailOps), or persistently from an index on
+// (Config.FailFrom); the same seed always yields the same fault
+// schedule, so chaos tests are reproducible and -race clean runs are
+// repeatable. An Injector can be flapped at runtime with
+// Disable/Enable to model a backend that goes away and comes back.
+//
+// Three adapters plug injectors into the seams the rest of the system
+// already exposes:
+//
+//   - FS wraps a durable.FS so WAL segment writes and fsyncs fail on
+//     command, optionally tearing the tail (Torn writes half the buffer
+//     before failing) — exactly the damage the log's recovery scan is
+//     contracted to survive.
+//   - RoundTripper wraps an http.RoundTripper so the social Client sees
+//     transport errors and latency without a misbehaving server.
+//   - social.WithFault (in internal/social, which imports this package)
+//     wraps a Searcher so Multi federation and the monitor loop see a
+//     flaky backend.
+//
+// Bind attaches psp_fault_* counters (ops, injected errors, injected
+// delays, labeled by injection point) to an obs.Registry so injected
+// faults are visible in /v1/metrics next to the symptoms they cause.
+//
+// A nil *Injector is a no-op: every seam can keep its fault hook wired
+// unconditionally and pay only a nil check in production.
+package fault

@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// ErrInjected is the default error an Injector returns when a fault
+// fires and Config.Err is unset. Callers distinguish injected faults
+// from real ones with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// Config describes one injection point's fault schedule. The zero
+// value injects nothing.
+type Config struct {
+	// Seed seeds the deterministic random source behind ErrorRate.
+	Seed int64
+	// ErrorRate is the probability (0..1) that any given operation
+	// fails.
+	ErrorRate float64
+	// FailOps lists exact 1-based operation indices that fail: the
+	// injector counts calls to Do, and fails the Nth call for each N
+	// listed. Deterministic regardless of Seed.
+	FailOps []int
+	// FailFrom, when > 0, fails every operation with index >= FailFrom
+	// — a persistent fault (e.g. a disk that dies and stays dead).
+	FailFrom int
+	// Latency is added to every operation before the error decision,
+	// cancellable through the operation's context.
+	Latency time.Duration
+	// Err is the error injected when a fault fires (default
+	// ErrInjected).
+	Err error
+}
+
+// Metrics is the psp_fault_* recording surface of one injection point.
+// A nil *Metrics (or nil fields) records nothing.
+type Metrics struct {
+	// Ops counts operations that consulted the injector.
+	Ops *obs.Counter
+	// Errors counts operations that received an injected error.
+	Errors *obs.Counter
+	// Delays counts operations that received injected latency.
+	Delays *obs.Counter
+}
+
+// incOps/incErrors/incDelays record nil-safely: a nil *Metrics (and
+// the nil counters inside one built without a registry) is a no-op.
+func (m *Metrics) incOps() {
+	if m != nil {
+		m.Ops.Inc()
+	}
+}
+
+func (m *Metrics) incErrors() {
+	if m != nil {
+		m.Errors.Inc()
+	}
+}
+
+func (m *Metrics) incDelays() {
+	if m != nil {
+		m.Delays.Inc()
+	}
+}
+
+// NewMetrics registers the psp_fault_* family labeled with the
+// injection point name (e.g. "wal.sync", "http.transport") on reg.
+// Nil-safe: a nil registry yields no-op metrics.
+func NewMetrics(reg *obs.Registry, point string) *Metrics {
+	l := obs.Label{Key: "point", Value: point}
+	return &Metrics{
+		Ops:    reg.Counter("psp_fault_ops_total", "Operations that consulted a fault injector.", l),
+		Errors: reg.Counter("psp_fault_errors_total", "Operations that received an injected error.", l),
+		Delays: reg.Counter("psp_fault_delays_total", "Operations that received injected latency.", l),
+	}
+}
+
+// Injector is one deterministic fault-injection point. All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops), so
+// production code wires injectors unconditionally and passes nil.
+type Injector struct {
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	op       int
+	disabled bool
+	failOps  map[int]bool
+	met      *Metrics
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	inj := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if len(cfg.FailOps) > 0 {
+		inj.failOps = make(map[int]bool, len(cfg.FailOps))
+		for _, n := range cfg.FailOps {
+			inj.failOps[n] = true
+		}
+	}
+	return inj
+}
+
+// Bind attaches metrics (see NewMetrics) and returns the injector for
+// chaining.
+func (inj *Injector) Bind(m *Metrics) *Injector {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	inj.met = m
+	inj.mu.Unlock()
+	return inj
+}
+
+// Disable suspends fault injection: operations still count (the op
+// index keeps advancing, so FailOps schedules stay aligned with call
+// counts) but no latency or errors are injected.
+func (inj *Injector) Disable() {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	inj.disabled = true
+	inj.mu.Unlock()
+}
+
+// Enable resumes fault injection after Disable.
+func (inj *Injector) Enable() {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	inj.disabled = false
+	inj.mu.Unlock()
+}
+
+// Ops returns how many operations have consulted the injector.
+func (inj *Injector) Ops() int {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.op
+}
+
+// Do consults the injector for one operation: it applies configured
+// latency (cancellable via ctx; a nil ctx never cancels), then returns
+// the injected error if this operation is scheduled to fail, else nil.
+func (inj *Injector) Do(ctx context.Context) error {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	inj.op++
+	met := inj.met
+	met.incOps()
+	if inj.disabled {
+		inj.mu.Unlock()
+		return nil
+	}
+	delay := inj.cfg.Latency
+	fail := inj.failOps[inj.op] ||
+		(inj.cfg.FailFrom > 0 && inj.op >= inj.cfg.FailFrom) ||
+		(inj.cfg.ErrorRate > 0 && inj.rng.Float64() < inj.cfg.ErrorRate)
+	errv := inj.cfg.Err
+	inj.mu.Unlock()
+
+	if delay > 0 {
+		met.incDelays()
+		t := time.NewTimer(delay)
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-t.C:
+		case <-done:
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if !fail {
+		return nil
+	}
+	met.incErrors()
+	if errv == nil {
+		return ErrInjected
+	}
+	return errv
+}

@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/durable"
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// schedule runs n ops against a fresh injector built from cfg and
+// returns which ops failed.
+func schedule(cfg Config, n int) []bool {
+	inj := New(cfg)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = inj.Do(nil) != nil
+	}
+	return out
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorRate: 0.3}
+	a := schedule(cfg, 500)
+	b := schedule(cfg, 500)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs between two injectors with the same seed", i+1)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("ErrorRate 0.3 produced %d/%d failures; want a mix", fails, len(a))
+	}
+	c := schedule(Config{Seed: 43, ErrorRate: 0.3}, 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestInjectorFailOps(t *testing.T) {
+	got := schedule(Config{FailOps: []int{2, 5}}, 7)
+	want := []bool{false, true, false, false, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: fail=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestInjectorFailFrom(t *testing.T) {
+	got := schedule(Config{FailFrom: 4}, 8)
+	for i, fail := range got {
+		want := i+1 >= 4
+		if fail != want {
+			t.Fatalf("op %d: fail=%v, want %v (FailFrom=4)", i+1, fail, want)
+		}
+	}
+}
+
+func TestInjectorCustomError(t *testing.T) {
+	if err := New(Config{FailFrom: 1}).Do(nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default error = %v, want ErrInjected", err)
+	}
+	custom := errors.New("device on fire")
+	if err := New(Config{FailFrom: 1, Err: custom}).Do(nil); !errors.Is(err, custom) {
+		t.Fatalf("custom error = %v, want %v", err, custom)
+	}
+}
+
+func TestInjectorLatencyCancellable(t *testing.T) {
+	inj := New(Config{Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.Do(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("latency injection ignored context cancellation")
+	}
+
+	// A short latency completes and still applies the fault decision.
+	quick := New(Config{Latency: time.Millisecond, FailFrom: 1})
+	if err := quick.Do(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Do after latency = %v, want ErrInjected", err)
+	}
+}
+
+func TestInjectorDisableEnable(t *testing.T) {
+	inj := New(Config{FailFrom: 1})
+	if err := inj.Do(nil); err == nil {
+		t.Fatal("enabled injector did not fail")
+	}
+	inj.Disable()
+	for i := 0; i < 3; i++ {
+		if err := inj.Do(nil); err != nil {
+			t.Fatalf("disabled injector failed: %v", err)
+		}
+	}
+	if got := inj.Ops(); got != 4 {
+		t.Fatalf("Ops = %d, want 4 (disabled ops still count)", got)
+	}
+	inj.Enable()
+	if err := inj.Do(nil); err == nil {
+		t.Fatal("re-enabled injector did not fail")
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var inj *Injector
+	inj.Disable()
+	inj.Enable()
+	if inj.Bind(nil) != nil {
+		t.Fatal("nil Bind should return nil")
+	}
+	if got := inj.Ops(); got != 0 {
+		t.Fatalf("nil Ops = %d", got)
+	}
+	if err := inj.Do(context.Background()); err != nil {
+		t.Fatalf("nil Do = %v", err)
+	}
+}
+
+func TestInjectorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := New(Config{FailOps: []int{2}, Latency: time.Microsecond}).Bind(NewMetrics(reg, "test.point"))
+	for i := 0; i < 3; i++ {
+		inj.Do(nil)
+	}
+	m := NewMetrics(reg, "test.point") // same labeled series
+	if got := m.Ops.Value(); got != 3 {
+		t.Fatalf("psp_fault_ops_total = %d, want 3", got)
+	}
+	if got := m.Errors.Value(); got != 1 {
+		t.Fatalf("psp_fault_errors_total = %d, want 1", got)
+	}
+	if got := m.Delays.Value(); got != 3 {
+		t.Fatalf("psp_fault_delays_total = %d, want 3", got)
+	}
+}
+
+func TestRoundTripperInjectsTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Transport: &RoundTripper{Inj: New(Config{FailOps: []int{1}})}}
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first request error = %v, want ErrInjected", err)
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := &FS{Write: New(Config{FailOps: []int{2}}), Torn: true}
+	f, err := fs.OpenAppend(filepath.Join(dir, "seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("efgh")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil { // Sync injector unset: passes through
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failed write tore: its front half landed after the good write.
+	if got, want := string(data), "abcdef"; got != want {
+		t.Fatalf("on-disk bytes = %q, want %q (torn half-write)", got, want)
+	}
+}
+
+func TestFSImplementsDurableFS(t *testing.T) {
+	var _ durable.FS = &FS{}
+	// Open faults apply to both OpenAppend and Create.
+	fs := &FS{Open: New(Config{FailFrom: 1})}
+	if _, err := fs.OpenAppend(filepath.Join(t.TempDir(), "x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("OpenAppend = %v, want ErrInjected", err)
+	}
+	if _, err := fs.Create(filepath.Join(t.TempDir(), "y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Create = %v, want ErrInjected", err)
+	}
+}

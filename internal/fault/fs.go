@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"github.com/psp-framework/psp/internal/durable"
+)
+
+// FS is a fault-injecting durable.FS: it delegates to Base and
+// consults the per-call injectors on the way through. Assign it to
+// durable.LogOptions.FS (or social.DurableOptions.FS) to drive disk
+// faults through the WAL's real commit path.
+type FS struct {
+	// Base is the wrapped filesystem (nil uses durable.OSFS).
+	Base durable.FS
+	// Open faults OpenAppend and Create calls.
+	Open *Injector
+	// Write faults File.Write calls.
+	Write *Injector
+	// Sync faults File.Sync calls.
+	Sync *Injector
+	// Torn makes an injected Write failure first write the front half
+	// of the buffer to the underlying file — a genuine torn tail for
+	// recovery scans to truncate, not just a clean error.
+	Torn bool
+}
+
+var _ durable.FS = (*FS)(nil)
+
+func (fs *FS) base() durable.FS {
+	if fs.Base == nil {
+		return durable.OSFS{}
+	}
+	return fs.Base
+}
+
+// OpenAppend implements durable.FS.
+func (fs *FS) OpenAppend(path string) (durable.File, error) {
+	if err := fs.Open.Do(nil); err != nil {
+		return nil, err
+	}
+	f, err := fs.base().OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{base: f, fs: fs}, nil
+}
+
+// Create implements durable.FS.
+func (fs *FS) Create(path string) (durable.File, error) {
+	if err := fs.Open.Do(nil); err != nil {
+		return nil, err
+	}
+	f, err := fs.base().Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{base: f, fs: fs}, nil
+}
+
+// file is one fault-wrapped segment file.
+type file struct {
+	base durable.File
+	fs   *FS
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	if err := f.fs.Write.Do(nil); err != nil {
+		if f.fs.Torn && len(p) > 1 {
+			// Half the buffer lands before the "device" fails — the torn
+			// tail the WAL's recovery contract exists for.
+			f.base.Write(p[:len(p)/2])
+		}
+		return 0, err
+	}
+	return f.base.Write(p)
+}
+
+func (f *file) Sync() error {
+	if err := f.fs.Sync.Do(nil); err != nil {
+		return err
+	}
+	return f.base.Sync()
+}
+
+func (f *file) Close() error {
+	return f.base.Close()
+}

@@ -1,0 +1,31 @@
+package fault
+
+import "net/http"
+
+// RoundTripper is a fault-injecting http.RoundTripper: each request
+// consults Inj before reaching Base, so an injected error surfaces to
+// the caller exactly like a transport failure (connection refused,
+// reset) and injected latency like a slow network. Install it as the
+// http.Client Transport behind a social Client to chaos-test its
+// retry/backoff policy without a misbehaving server.
+type RoundTripper struct {
+	// Base is the wrapped transport (nil uses http.DefaultTransport).
+	Base http.RoundTripper
+	// Inj decides each request's fate; latency cancellation follows the
+	// request context.
+	Inj *Injector
+}
+
+var _ http.RoundTripper = (*RoundTripper)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := rt.Inj.Do(req.Context()); err != nil {
+		return nil, err
+	}
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -98,6 +99,16 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// bodyErrorStatus maps a request-body read failure to its status: 413
+// when MaxBytesReader tripped the size cap, 400 otherwise.
+func bodyErrorStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 type ingestResponse struct {
 	Added      int `json:"added"`
 	CorpusSize int `json:"corpus_size"`
@@ -108,9 +119,9 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
+		writeJSON(w, bodyErrorStatus(err), errorResponse{Error: fmt.Sprintf("read body: %v", err)})
 		return
 	}
 	var posts []*social.Post
@@ -125,6 +136,15 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	store := a.m.Store()
 	added, addErr := store.AddCount(posts...)
 	if addErr != nil {
+		if errors.Is(addErr, social.ErrDegraded) {
+			// Read-only degraded mode (persistent WAL failure): the
+			// refusal is not the client's fault and not permanent —
+			// a restarted or repaired daemon accepts again.
+			obs.LoggerFrom(r.Context()).Warn("ingest refused, store degraded", "error", addErr)
+			w.Header().Set("Retry-After", "30")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: addErr.Error()})
+			return
+		}
 		// Batch semantics: posts ahead of the offender are stored (and
 		// already published to the changefeed), so report both.
 		obs.LoggerFrom(r.Context()).Warn("ingest rejected",
@@ -284,6 +304,11 @@ type healthResponse struct {
 	// StoreError reports a failing background snapshot compaction on a
 	// durable store (the WAL keeps growing until it clears).
 	StoreError string `json:"store_error,omitempty"`
+	// Degraded reports the store's read-only degraded mode (persistent
+	// WAL failure: ingest refused with 503, reads keep serving);
+	// DegradedCause is the triggering failure.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 	// Ready mirrors /v1/readyz (healthz itself stays 200 — it is the
 	// liveness probe); Reasons lists what readiness is waiting on.
 	Ready   bool     `json:"ready"`
@@ -317,6 +342,10 @@ func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if err := a.m.Store().CompactionError(); err != nil {
 		h.StoreError = err.Error()
 	}
+	if st.Degraded {
+		h.Degraded = true
+		h.DegradedCause = st.DegradedCause
+	}
 	h.Ready, h.Reasons = a.readiness()
 	writeJSON(w, http.StatusOK, h)
 }
@@ -332,6 +361,9 @@ func (a *API) readiness() (bool, []string) {
 	}
 	if a.tara != nil && !a.tara.Ready() {
 		reasons = append(reasons, "initial TARA rating pass pending")
+	}
+	if err := a.m.Store().Degraded(); err != nil {
+		reasons = append(reasons, fmt.Sprintf("store degraded (read-only): %v", err))
 	}
 	return len(reasons) == 0, reasons
 }

@@ -192,9 +192,9 @@ func (a *API) handleTARAGet(w http.ResponseWriter, r *http.Request, name string)
 }
 
 func (a *API) handleTARACreate(w http.ResponseWriter, r *http.Request, name string) {
-	analysis, err := tara.ReadJSON(io.LimitReader(r.Body, 32<<20))
+	analysis, err := tara.ReadJSON(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeJSON(w, bodyErrorStatus(err), errorResponse{Error: err.Error()})
 		return
 	}
 	ten, err := a.tara.Registry().Create(name, analysis)
@@ -232,8 +232,8 @@ func (a *API) handleTARAMutate(w http.ResponseWriter, r *http.Request, name stri
 		return
 	}
 	var req taraMutateRequest
-	if err := decodeJSONBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	if err := decodeJSONBody(w, r, &req); err != nil {
+		writeJSON(w, bodyErrorStatus(err), errorResponse{Error: err.Error()})
 		return
 	}
 	if len(req.Ops) == 0 {
@@ -265,8 +265,8 @@ func (a *API) handleTARAMutate(w http.ResponseWriter, r *http.Request, name stri
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func decodeJSONBody(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
 		return fmt.Errorf("read body: %w", err)
 	}

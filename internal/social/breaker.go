@@ -1,0 +1,133 @@
+package social
+
+import (
+	"sync"
+	"time"
+
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// BreakerState is one circuit-breaker state. The zero value is Closed.
+type BreakerState int
+
+const (
+	// BreakerClosed passes calls through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: calls are skipped until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe call; its outcome decides
+	// between re-closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one backend's circuit breaker: it opens after `threshold`
+// consecutive failures, fails fast for `cooldown`, then admits a single
+// half-open probe whose outcome re-closes or re-opens it. All methods
+// are safe for concurrent use; the state changes under one small mutex
+// (the breaker guards a network call, so the lock is never the
+// bottleneck).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	// gauge, when set, exports the state (0 closed, 1 open, 2 half-open).
+	gauge *obs.Gauge
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, gauge *obs.Gauge) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, gauge: gauge}
+}
+
+// setState transitions state and exports it (callers hold mu).
+func (b *breaker) setState(s BreakerState) {
+	b.state = s
+	b.gauge.Set(float64(s))
+}
+
+// Allow reports whether a call may proceed now. An open breaker past
+// its cooldown moves to half-open and admits the caller as the probe;
+// while a probe is in flight everyone else is skipped.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful call: the breaker re-closes and the
+// failure run resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.setState(BreakerClosed)
+	}
+}
+
+// Failure records a failed call: a failed half-open probe re-opens
+// immediately; the threshold'th consecutive failure while closed opens.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.openedAt = b.now()
+		b.setState(BreakerOpen)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.fails = 0
+			b.openedAt = b.now()
+			b.setState(BreakerOpen)
+		}
+	}
+}
+
+// State returns the current state (open breakers past their cooldown
+// still report open until a call moves them to half-open).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,15 +15,37 @@ import (
 
 // Client talks to a Server over HTTP and implements Searcher, giving the
 // framework the same remote code path the paper's Twitter-based prototype
-// had: URL building, pagination tokens, 429 back-off and transport error
-// handling.
+// had: URL building, pagination tokens, and a retry policy. Two classes
+// of failure retry, both bounded by MaxRetries and cancellable through
+// the call context:
+//
+//   - 429 rate limiting waits the server's Retry-After suggestion;
+//   - transient failures — transport errors (connection refused/reset,
+//     an injected fault.RoundTripper error) and 502/503/504 responses —
+//     back off exponentially from RetryBase, capped at RetryMax, with
+//     half-to-full jitter so a fleet of clients recovering together
+//     does not re-stampede the backend in lockstep.
+//
+// Everything else (4xx, decode failures) fails immediately.
 type Client struct {
 	baseURL string
 	httpc   *http.Client
-	// MaxRetries bounds 429 retries per call (default 3).
+	// MaxRetries bounds retries per call — rate-limit waits and
+	// transient-failure backoffs combined (default 3).
 	MaxRetries int
-	// sleep is injectable for tests; defaults to time.Sleep.
-	sleep func(time.Duration)
+	// RetryBase is the first transient-failure backoff before jitter
+	// (default 100ms); each further attempt doubles it.
+	RetryBase time.Duration
+	// RetryMax caps the transient-failure backoff before jitter
+	// (default 2s).
+	RetryMax time.Duration
+	// sleep waits out one retry delay; injectable for tests. It must
+	// honor ctx — a cancelled monitor run returns promptly instead of
+	// serving out a Retry-After wait.
+	sleep func(ctx context.Context, d time.Duration) error
+	// jitter maps a backoff to the waited duration; injectable for
+	// deterministic tests (defaults to half-to-full jitter).
+	jitter func(d time.Duration) time.Duration
 }
 
 var _ Searcher = (*Client)(nil)
@@ -38,11 +61,59 @@ func NewClient(baseURL string, httpc *http.Client) *Client {
 		baseURL:    strings.TrimRight(baseURL, "/"),
 		httpc:      httpc,
 		MaxRetries: 3,
-		sleep:      time.Sleep,
+		RetryBase:  100 * time.Millisecond,
+		RetryMax:   2 * time.Second,
+		sleep:      ctxSleep,
+		jitter:     defaultJitter,
 	}
 }
 
-// Search runs one paginated search call against the remote API.
+// ctxSleep waits d or until ctx cancels, whichever is first.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// defaultJitter spreads a backoff across [d/2, d].
+func defaultJitter(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// backoff is the pre-jitter transient-failure delay of the given
+// attempt: RetryBase doubled per attempt, capped at RetryMax.
+func (c *Client) backoff(attempt int) time.Duration {
+	base, maxd := c.RetryBase, c.RetryMax
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if c.jitter != nil {
+		d = c.jitter(d)
+	}
+	return d
+}
+
+// Search runs one paginated search call against the remote API,
+// retrying rate limits and transient failures per the policy above.
 func (c *Client) Search(ctx context.Context, q Query) (*Page, error) {
 	u, err := c.searchURL(q)
 	if err != nil {
@@ -53,23 +124,34 @@ func (c *Client) Search(ctx context.Context, q Query) (*Page, error) {
 		if err != nil {
 			return nil, fmt.Errorf("social: build request: %w", err)
 		}
+		var retryAfter time.Duration
+		var transient bool
 		resp, err := c.httpc.Do(req)
 		if err != nil {
-			return nil, fmt.Errorf("social: search request: %w", err)
+			if ctx.Err() != nil {
+				// The "transport failure" is our own cancelled context —
+				// not worth a retry, and the caller wants the ctx error.
+				return nil, ctx.Err()
+			}
+			err = fmt.Errorf("social: search request: %w", err)
+			transient = true
+		} else {
+			var page *Page
+			page, retryAfter, transient, err = decodeSearchResponse(resp)
+			if err == nil {
+				return page, nil
+			}
 		}
-		page, retryAfter, err := decodeSearchResponse(resp)
-		if err == nil {
-			return page, nil
-		}
-		if retryAfter <= 0 || attempt >= c.MaxRetries {
+		if attempt >= c.MaxRetries || (!transient && retryAfter <= 0) {
 			return nil, err
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		default:
+		wait := retryAfter
+		if wait <= 0 {
+			wait = c.backoff(attempt)
 		}
-		c.sleep(retryAfter)
+		if serr := c.sleep(ctx, wait); serr != nil {
+			return nil, serr
+		}
 	}
 }
 
@@ -120,24 +202,25 @@ func (c *Client) searchURL(q Query) (string, error) {
 }
 
 // decodeSearchResponse parses a search response. On 429 it returns the
-// suggested retry delay with a non-nil error.
-func decodeSearchResponse(resp *http.Response) (*Page, time.Duration, error) {
+// suggested retry delay with a non-nil error; transient reports whether
+// the failure is worth a backoff-and-retry (gateway-shaped 5xx).
+func decodeSearchResponse(resp *http.Response) (page *Page, retryAfter time.Duration, transient bool, err error) {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return nil, 0, fmt.Errorf("social: read response: %w", err)
+		return nil, 0, true, fmt.Errorf("social: read response: %w", err)
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var sr searchResponse
 		if err := json.Unmarshal(body, &sr); err != nil {
-			return nil, 0, fmt.Errorf("social: decode response: %w", err)
+			return nil, 0, false, fmt.Errorf("social: decode response: %w", err)
 		}
 		return &Page{
 			Posts:        sr.Data,
 			NextToken:    sr.Meta.NextToken,
 			TotalMatches: sr.Meta.TotalMatches,
-		}, 0, nil
+		}, 0, false, nil
 	case http.StatusTooManyRequests:
 		retry := time.Second
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
@@ -145,13 +228,20 @@ func decodeSearchResponse(resp *http.Response) (*Page, time.Duration, error) {
 				retry = time.Duration(secs) * time.Second
 			}
 		}
-		return nil, retry, fmt.Errorf("social: rate limited (retry after %s)", retry)
+		return nil, retry, true, fmt.Errorf("social: rate limited (retry after %s)", retry)
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		var er errorResponse
+		_ = json.Unmarshal(body, &er)
+		if er.Error == "" {
+			er.Error = http.StatusText(resp.StatusCode)
+		}
+		return nil, 0, true, fmt.Errorf("social: API status %d: %s", resp.StatusCode, er.Error)
 	default:
 		var er errorResponse
 		_ = json.Unmarshal(body, &er)
 		if er.Error == "" {
 			er.Error = http.StatusText(resp.StatusCode)
 		}
-		return nil, 0, fmt.Errorf("social: API status %d: %s", resp.StatusCode, er.Error)
+		return nil, 0, false, fmt.Errorf("social: API status %d: %s", resp.StatusCode, er.Error)
 	}
 }

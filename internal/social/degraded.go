@@ -1,0 +1,54 @@
+package social
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDegraded is the sentinel matched (errors.Is) by the typed error
+// ingest returns while the store is in read-only degraded mode: the
+// write-ahead log failed persistently (a write or fsync error — the
+// log's sticky failure state), so accepting new posts would break the
+// acknowledged-means-durable contract. Reads — Search, Post, Len, the
+// changefeed — keep serving the committed snapshots untouched.
+// Degraded mode is sticky for the process lifetime, like the WAL error
+// beneath it: recovery is a restart, which replays the durable truth.
+var ErrDegraded = errors.New("social: store degraded (read-only)")
+
+// DegradedError is the typed error carrying when and why the store
+// went read-only. errors.Is(err, ErrDegraded) matches it.
+type DegradedError struct {
+	// Cause is the WAL failure that triggered degradation.
+	Cause error
+	// Since is when the store entered degraded mode.
+	Since time.Time
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("social: store degraded (read-only) since %s: %v",
+		e.Since.Format(time.RFC3339), e.Cause)
+}
+
+// Unwrap exposes the WAL failure for errors.Is/As chains.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrDegraded sentinel.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// Degraded returns the store's degradation state: nil when healthy, the
+// *DegradedError when the WAL has failed and ingest is refused. The
+// readiness gate, health detail and the psp_store_degraded gauge all
+// read it.
+func (s *Store) Degraded() error {
+	if de := s.degraded.Load(); de != nil {
+		return de
+	}
+	return nil
+}
+
+// markDegraded flips the store read-only (first caller wins; the cause
+// of the first WAL failure is the one reported).
+func (s *Store) markDegraded(cause error) {
+	s.degraded.CompareAndSwap(nil, &DegradedError{Cause: cause, Since: time.Now()})
+}

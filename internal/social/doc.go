@@ -88,6 +88,49 @@
 // never re-drained — and merges the heads into one (CreatedAt, ID)
 // ordered page with platform-namespaced post IDs.
 //
+// Partial failure: by default a federated page is all-or-nothing — one
+// failing backend fails the page. NewMultiOptions changes the
+// contract. MultiOptions.BackendTimeout bounds every backend's share
+// of a page with one shared deadline. MultiOptions.Partial opts into
+// partial-results mode: a page with at least one healthy backend
+// serves the healthy merge, marked Page.Degraded with per-backend
+// health in Page.Backends (populated only on degraded pages; a healthy
+// federated page carries no annotations and costs the same as the bare
+// path). A degraded page that contains posts always carries a
+// NextToken, so a listing keeps paging through an outage and backends
+// that recover rejoin on later pages — keyset cursors never move
+// backwards, so posts the failed backend held during the outage window
+// are not replayed. TotalMatches sums healthy backends only, and a
+// page on which every backend fails is still an error.
+// MultiOptions.BreakerThreshold arms a per-backend circuit breaker:
+// after that many consecutive failures the backend is skipped
+// (fail-fast, reported as ErrBackendSkipped in its annotation) until
+// BreakerCooldown elapses, then one half-open probe either closes the
+// breaker or re-opens it for another cooldown. Context cancellation by
+// the caller never counts as a backend failure; a deadline expiry
+// does.
+//
+// Remote resilience: the HTTP Client retries transient failures —
+// transport errors and 502/503/504 — with exponential backoff
+// (Client.RetryBase doubling up to Client.RetryMax, jittered), honors
+// 429 Retry-After waits, and bounds both by Client.MaxRetries; every
+// wait aborts promptly on context cancellation. WithFault wraps any
+// Searcher with a fault.Injector, and fault.RoundTripper sits under
+// the Client's transport, so the chaos suite drives flaky backends and
+// dying connections through the same code paths production traffic
+// takes.
+//
+// Degraded mode: a durable store whose WAL reports a persistent write
+// or fsync failure flips read-only instead of crashing — the first
+// cause wins and sticks. Add (and ingest endpoints above it) refuse
+// with a *DegradedError matching errors.Is(err, ErrDegraded), while
+// every acknowledged post keeps serving: Search, Post, Len, Watch and
+// the monitor's cached assessments all remain live, and Stats reports
+// Degraded plus its cause for health surfaces (pspd answers ingest
+// with 503 + Retry-After and fails readiness). Restarting the process
+// recovers the acknowledged state through the normal WAL recovery path
+// and, if the disk has healed, resumes writes.
+//
 // Durability: OpenStoreDir runs a store on the crash-safe engine of
 // internal/durable. Each stripe owns a segmented write-ahead log; Add
 // appends its per-stripe sub-batches (CRC-framed JSON, group-committed

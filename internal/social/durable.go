@@ -2,6 +2,7 @@ package social
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -62,6 +63,10 @@ type DurableOptions struct {
 	// recovered post count land in its gauges, and the opened store
 	// behaves as if SetMetrics had been called.
 	Metrics *StoreMetrics
+	// FS, when set, replaces the filesystem beneath the stripe WALs'
+	// segment writes (durable.LogOptions.FS) — the disk-fault injection
+	// seam the chaos tests drive (internal/fault.FS).
+	FS durable.FS
 }
 
 const (
@@ -204,6 +209,7 @@ func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 			SegmentBytes: opts.SegmentBytes,
 			OnDurable:    func(seq uint64) { d.onDurable(i, seq) },
 			Metrics:      walMetrics,
+			FS:           opts.FS,
 		})
 		if err != nil {
 			return fail(err)
@@ -354,6 +360,11 @@ func (d *storeDurability) onDurable(stripe int, seq uint64) {
 // multiple records exactly like one).
 const walChunkPosts = 4096
 
+// errEncode marks a logParts failure that happened while encoding the
+// batch, before it reached a log — a per-batch problem, not disk
+// damage, so it must not flip the store into degraded mode.
+var errEncode = errors.New("social: encode wal batch")
+
 // logParts appends each stripe's sub-batch to its log, blocking until
 // every one is fsync'd (each append group-commits with whatever other
 // batches are in flight on that stripe). It returns the parts whose
@@ -369,7 +380,9 @@ func (d *storeDurability) logParts(parts []*stripePart) (logged []*stripePart, e
 				hi = len(part.posts)
 			}
 			payload, err := json.Marshal(part.posts[lo:hi])
-			if err == nil {
+			if err != nil {
+				err = fmt.Errorf("%w: %v", errEncode, err)
+			} else {
 				var seq uint64
 				seq, err = d.logs[part.stripe].Append(payload)
 				if err == nil {

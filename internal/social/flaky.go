@@ -1,0 +1,32 @@
+package social
+
+import (
+	"context"
+
+	"github.com/psp-framework/psp/internal/fault"
+)
+
+// WithFault wraps a Searcher so every Search consults the injector
+// first: injected latency delays the call (cancellable through ctx) and
+// an injected error replaces it — the backend looks exactly like a
+// flaky platform to Multi federation, the monitor loop, or anything
+// else holding the Searcher. A nil injector returns the searcher
+// unwrapped.
+func WithFault(s Searcher, inj *fault.Injector) Searcher {
+	if inj == nil {
+		return s
+	}
+	return &faultSearcher{base: s, inj: inj}
+}
+
+type faultSearcher struct {
+	base Searcher
+	inj  *fault.Injector
+}
+
+func (f *faultSearcher) Search(ctx context.Context, q Query) (*Page, error) {
+	if err := f.inj.Do(ctx); err != nil {
+		return nil, err
+	}
+	return f.base.Search(ctx, q)
+}

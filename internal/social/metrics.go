@@ -88,6 +88,14 @@ func (s *Store) SetMetrics(m *StoreMetrics) {
 		func() float64 { return float64(s.ChangefeedBacklog()) })
 	m.reg.GaugeFunc("psp_store_changefeed_subscribers", "Live changefeed subscriptions.",
 		func() float64 { return float64(len(s.subs.Load().subs)) })
+	m.reg.GaugeFunc("psp_store_degraded",
+		"1 while the store is in read-only degraded mode after a WAL failure, else 0.",
+		func() float64 {
+			if s.degraded.Load() != nil {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Metrics returns the attached recording surface (nil when
@@ -117,6 +125,10 @@ type StoreStats struct {
 	Durable    bool
 	WALRecords int64
 	WALFloors  DurableCursor
+	// Degraded reports read-only degraded mode (see Store.Degraded);
+	// DegradedCause is the triggering WAL failure, empty when healthy.
+	Degraded      bool
+	DegradedCause string
 }
 
 // Stats snapshots the store's observability counters.
@@ -132,6 +144,10 @@ func (s *Store) Stats() StoreStats {
 		st.Durable = true
 		st.WALRecords = s.dur.records.Load()
 		st.WALFloors = s.dur.floors()
+	}
+	if de := s.degraded.Load(); de != nil {
+		st.Degraded = true
+		st.DegradedCause = de.Cause.Error()
 	}
 	return st
 }

@@ -2,8 +2,12 @@ package social
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"github.com/psp-framework/psp/internal/obs"
 )
 
 // PlatformSource is one named platform backend of a federated search —
@@ -19,6 +23,91 @@ type PlatformSource struct {
 	Searcher Searcher
 }
 
+// ErrBackendSkipped marks a backend that was not queried because its
+// circuit breaker is open (fail-fast). It appears wrapped in strict-mode
+// errors and in BackendStatus.Err.
+var ErrBackendSkipped = errors.New("social: backend skipped (circuit open)")
+
+// MultiOptions tunes a federated searcher's resilience seams. The zero
+// value reproduces the bare all-or-nothing federation: no timeouts, no
+// breaker, one failing backend fails the page.
+type MultiOptions struct {
+	// BackendTimeout bounds each backend's share of a federated page
+	// (the whole fetchAfter drain, not one HTTP call). 0 means no
+	// per-backend bound beyond the caller's context.
+	BackendTimeout time.Duration
+	// Partial opts into partial-results mode: a page failing on some
+	// backends still returns the healthy backends' posts, annotated
+	// with Degraded and per-backend health (Page.Backends — populated
+	// only on degraded pages), instead of failing outright. Only when
+	// every backend fails does Search return an error. TotalMatches
+	// then sums healthy backends only, a degraded page with posts
+	// always carries a NextToken (so a recovered backend can rejoin
+	// the listing), and the rejoin happens from the current cursor on
+	// — posts the backend would have contributed to earlier pages are
+	// not replayed (keyset cursors never go backwards).
+	Partial bool
+	// BreakerThreshold, when > 0, arms a per-backend circuit breaker:
+	// after this many consecutive failures the backend is skipped
+	// (fail-fast) until BreakerCooldown elapses, then a single half-open
+	// probe decides between re-closing and re-opening.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open delay (default 30s).
+	BreakerCooldown time.Duration
+	// Metrics, when set, records federated pages, degraded pages, and
+	// per-backend failures/skips/breaker state (psp_multi_*).
+	Metrics *MultiMetrics
+
+	// now is the breaker clock, injectable for deterministic tests.
+	now func() time.Time
+}
+
+// MultiMetrics is the federated searcher's recording surface
+// (psp_multi_*). Per-backend series are registered at construction.
+type MultiMetrics struct {
+	// Pages counts federated Search calls that returned a page.
+	Pages *obs.Counter
+	// DegradedPages counts pages served degraded (partial mode, at
+	// least one backend failed or was skipped).
+	DegradedPages *obs.Counter
+
+	reg *obs.Registry
+}
+
+// NewMultiMetrics registers the psp_multi_* families in reg. A nil
+// registry yields an all-no-op surface.
+func NewMultiMetrics(reg *obs.Registry) *MultiMetrics {
+	return &MultiMetrics{
+		Pages: reg.Counter("psp_multi_pages_total", "Federated search pages served."),
+		DegradedPages: reg.Counter("psp_multi_degraded_pages_total",
+			"Federated pages served degraded (some backends failed or were skipped)."),
+		reg: reg,
+	}
+}
+
+// BackendStatus is one backend's health on a federated page.
+type BackendStatus struct {
+	// Name is the platform name.
+	Name string `json:"name"`
+	// Healthy reports whether the backend contributed to the page.
+	Healthy bool `json:"healthy"`
+	// Err is the failure (or skip) reason when unhealthy.
+	Err string `json:"error,omitempty"`
+	// Breaker is the backend's breaker state after the page ("closed",
+	// "open", "half-open"); empty when no breaker is armed.
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// multiBackend is one federated backend plus its resilience state.
+type multiBackend struct {
+	src PlatformSource
+	brk *breaker // nil when no breaker is armed
+
+	// failures/skips are per-backend psp_multi_* counters (nil-safe).
+	failures *obs.Counter
+	skips    *obs.Counter
+}
+
 // Multi federates several platforms behind the Searcher interface. Each
 // page queries every backend concurrently for just one page of posts
 // past the shared keyset cursor — the pre-cursor listing is never
@@ -31,19 +120,35 @@ type PlatformSource struct {
 // the whole listing must follow NextToken (or use SearchAll).
 // Query.SkipTotal passes through to every backend, so a federated page
 // that does not need the summed total skips the count on all of them.
+//
+// Failure policy is set by MultiOptions: by default a page is
+// all-or-nothing (one failing backend fails it); with Partial set the
+// page degrades gracefully instead, and with BreakerThreshold set a
+// persistently failing backend is skipped outright until it recovers
+// (see MultiOptions).
 type Multi struct {
-	sources []PlatformSource
+	backends []*multiBackend
+	opts     MultiOptions
 }
 
 var _ Searcher = (*Multi)(nil)
 
-// NewMulti builds a federated searcher; at least one source is required
-// and names must be unique and non-empty.
+// NewMulti builds a bare federated searcher (zero MultiOptions); at
+// least one source is required and names must be unique and non-empty.
 func NewMulti(sources ...PlatformSource) (*Multi, error) {
+	return NewMultiOptions(MultiOptions{}, sources...)
+}
+
+// NewMultiOptions builds a federated searcher with resilience options.
+func NewMultiOptions(opts MultiOptions, sources ...PlatformSource) (*Multi, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("social: federated search needs at least one source")
 	}
+	if opts.BreakerThreshold > 0 && opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 30 * time.Second
+	}
 	seen := make(map[string]bool, len(sources))
+	m := &Multi{opts: opts, backends: make([]*multiBackend, 0, len(sources))}
 	for _, s := range sources {
 		if s.Name == "" || s.Searcher == nil {
 			return nil, fmt.Errorf("social: federated source with empty name or nil searcher")
@@ -52,13 +157,50 @@ func NewMulti(sources ...PlatformSource) (*Multi, error) {
 			return nil, fmt.Errorf("social: duplicate federated source %q", s.Name)
 		}
 		seen[s.Name] = true
+		b := &multiBackend{src: s}
+		if met := opts.Metrics; met != nil && met.reg != nil {
+			l := obs.Label{Key: "backend", Value: s.Name}
+			b.failures = met.reg.Counter("psp_multi_backend_failures_total",
+				"Backend failures on federated pages.", l)
+			b.skips = met.reg.Counter("psp_multi_backend_skips_total",
+				"Backends skipped fail-fast by an open circuit breaker.", l)
+		}
+		if opts.BreakerThreshold > 0 {
+			var gauge *obs.Gauge
+			if met := opts.Metrics; met != nil && met.reg != nil {
+				gauge = met.reg.Gauge("psp_multi_backend_state",
+					"Backend circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+					obs.Label{Key: "backend", Value: s.Name})
+			}
+			b.brk = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.now, gauge)
+		}
+		m.backends = append(m.backends, b)
 	}
-	return &Multi{sources: sources}, nil
+	return m, nil
+}
+
+// BackendState returns a backend's breaker state by platform name
+// (BreakerClosed when the backend is unknown or no breaker is armed).
+func (m *Multi) BackendState(name string) BreakerState {
+	for _, b := range m.backends {
+		if b.src.Name == name && b.brk != nil {
+			return b.brk.State()
+		}
+	}
+	return BreakerClosed
+}
+
+// backendOutcome is one backend's result on a federated page.
+type backendOutcome struct {
+	slice   backendSlice
+	err     error // nil on success; ErrBackendSkipped when the breaker said no
+	skipped bool
 }
 
 // Search implements Searcher: every backend contributes one page of
 // posts past the cursor, the heads merge, and the page carries the
-// keyset cursor of its last post.
+// keyset cursor of its last post. The failure policy is set by the
+// Multi's options (see MultiOptions).
 func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 	var after *Cursor
 	if q.PageToken != "" {
@@ -76,49 +218,175 @@ func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]backendSlice, len(m.sources))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for i, src := range m.sources {
+	// One deadline serves every backend: the fetches start together, so
+	// a page-level timer bounds each backend's share exactly like a
+	// per-backend one would — without paying one runtime timer per
+	// backend per page.
+	bctx := gctx
+	if m.opts.BackendTimeout > 0 {
+		var bcancel context.CancelFunc
+		bctx, bcancel = context.WithTimeout(gctx, m.opts.BackendTimeout)
+		defer bcancel()
+	}
+	outcomes := make([]backendOutcome, len(m.backends))
+	var wg sync.WaitGroup
+	for i, b := range m.backends {
 		wg.Add(1)
-		go func(i int, src PlatformSource) {
+		go func(i int, b *multiBackend) {
 			defer wg.Done()
-			slice, err := fetchAfter(gctx, src, base, after, size)
-			if err != nil {
-				// First failure wins; sibling errors caused by the
-				// cancellation below are not the root cause.
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("platform %s: %w", src.Name, err)
-				}
-				mu.Unlock()
-				cancel()
-				return
-			}
-			results[i] = slice
-		}(i, src)
+			outcomes[i] = m.fetchBackend(bctx, cancel, b, base, after, size)
+		}(i, b)
 	}
 	wg.Wait()
+
+	if m.opts.Partial {
+		return m.assemblePartial(outcomes, size)
+	}
+	// All-or-nothing: any failure fails the page. Prefer a root-cause
+	// error over the context.Canceled noise of siblings the group
+	// cancellation interrupted.
+	var firstErr error
+	for _, out := range outcomes {
+		if out.err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = out.err
+		}
+		if !errors.Is(out.err, context.Canceled) {
+			firstErr = out.err
+			break
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	page := mergeOutcomes(outcomes, size)
+	if met := m.opts.Metrics; met != nil {
+		met.Pages.Inc()
+	}
+	return page, nil
+}
 
+// fetchBackend runs one backend's share of a federated page: breaker
+// admission, the deadline-bounded fetch, and breaker/metrics
+// bookkeeping. In all-or-nothing mode a failure cancels the group
+// (strict semantics: the page fails anyway, stop the siblings).
+func (m *Multi) fetchBackend(bctx context.Context, cancel context.CancelFunc, b *multiBackend, base Query, after *Cursor, size int) backendOutcome {
+	if b.brk != nil && !b.brk.Allow() {
+		b.skips.Inc()
+		if !m.opts.Partial {
+			cancel()
+		}
+		return backendOutcome{
+			err:     fmt.Errorf("platform %s: %w", b.src.Name, ErrBackendSkipped),
+			skipped: true,
+		}
+	}
+	slice, err := fetchAfter(bctx, b.src, base, after, size)
+	if err == nil {
+		if b.brk != nil {
+			b.brk.Success()
+		}
+		return backendOutcome{slice: slice}
+	}
+	// A context.Canceled failure is someone else's doing — the caller
+	// gave up or (all-or-nothing mode) a sibling failed first and
+	// cancelled the group. Neither says anything about this backend's
+	// health, so neither the breaker nor the failure counter records
+	// it. A per-backend timeout surfaces as DeadlineExceeded and does
+	// count.
+	if !errors.Is(err, context.Canceled) {
+		if b.brk != nil {
+			b.brk.Failure()
+		}
+		b.failures.Inc()
+	}
+	if !m.opts.Partial {
+		cancel()
+	}
+	return backendOutcome{err: fmt.Errorf("platform %s: %w", b.src.Name, err)}
+}
+
+// assemblePartial builds a partial-mode page: healthy backends merge,
+// failures become annotations. Only a page with zero healthy backends
+// fails.
+func (m *Multi) assemblePartial(outcomes []backendOutcome, size int) (*Page, error) {
+	healthy := 0
+	for _, out := range outcomes {
+		if out.err == nil {
+			healthy++
+		}
+	}
+	if healthy == len(outcomes) {
+		// Fully healthy: no annotations to build — the hot path pays
+		// nothing for the degradation machinery it did not use.
+		page := mergeOutcomes(outcomes, size)
+		if met := m.opts.Metrics; met != nil {
+			met.Pages.Inc()
+		}
+		return page, nil
+	}
+	if healthy == 0 {
+		for _, out := range outcomes {
+			if out.err != nil && !out.skipped {
+				return nil, fmt.Errorf("social: all federated backends failed: %w", out.err)
+			}
+		}
+		return nil, fmt.Errorf("social: all federated backends failed: %w", outcomes[0].err)
+	}
+	statuses := make([]BackendStatus, len(outcomes))
+	for i, out := range outcomes {
+		st := BackendStatus{Name: m.backends[i].src.Name, Healthy: out.err == nil}
+		if out.err != nil {
+			st.Err = out.err.Error()
+		}
+		if brk := m.backends[i].brk; brk != nil {
+			st.Breaker = brk.State().String()
+		}
+		statuses[i] = st
+	}
+	page := mergeOutcomes(outcomes, size)
+	page.Degraded = true
+	page.Backends = statuses
+	if len(page.Posts) > 0 && page.NextToken == "" {
+		// A failed backend may hold posts past this page even when the
+		// healthy ones are drained. Keep the listing alive — the cursor
+		// anchors at the last served post, so a recovered backend can
+		// rejoin on the next page instead of the listing silently
+		// terminating short. (A degraded page with zero posts has no
+		// cursor to advance and must end the listing; it stays annotated
+		// Degraded so callers know it may be incomplete.)
+		page.NextToken = EncodeCursor(CursorOf(page.Posts[len(page.Posts)-1]))
+	}
+	if met := m.opts.Metrics; met != nil {
+		met.Pages.Inc()
+		if page.Degraded {
+			met.DegradedPages.Inc()
+		}
+	}
+	return page, nil
+}
+
+// mergeOutcomes merges the successful outcomes' slices into one page of
+// up to size posts (failed outcomes carry empty slices).
+func mergeOutcomes(outcomes []backendOutcome, size int) *Page {
 	var (
 		merged []*Post
 		total  int
 		more   bool
 	)
-	for _, slice := range results {
-		merged = mergeSorted(merged, slice.posts)
-		total += slice.total
-		more = more || slice.more
+	for _, out := range outcomes {
+		if out.err != nil {
+			continue
+		}
+		merged = mergeSorted(merged, out.slice.posts)
+		total += out.slice.total
+		more = more || out.slice.more
 	}
 	page := &Page{TotalMatches: total}
 	if len(merged) == 0 {
-		return page, nil
+		return page
 	}
 	if len(merged) > size {
 		merged, more = merged[:size], true
@@ -127,7 +395,7 @@ func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 	if more {
 		page.NextToken = EncodeCursor(CursorOf(merged[len(merged)-1]))
 	}
-	return page, nil
+	return page
 }
 
 // backendSlice is one backend's contribution to a federated page: up to

@@ -78,9 +78,10 @@ func TestClientRateLimitRetry(t *testing.T) {
 	srv, _ := newTestServer(t, limiter)
 	c := NewClient(srv.URL, srv.Client())
 	var slept []time.Duration
-	c.sleep = func(d time.Duration) {
+	c.sleep = func(_ context.Context, d time.Duration) error {
 		slept = append(slept, d)
 		time.Sleep(15 * time.Millisecond) // real refill at 100 tok/s
+		return nil
 	}
 	if _, err := c.Search(context.Background(), Query{}); err != nil {
 		t.Fatalf("first search: %v", err)
@@ -98,7 +99,7 @@ func TestClientRateLimitExhaustsRetries(t *testing.T) {
 	srv, _ := newTestServer(t, limiter)
 	c := NewClient(srv.URL, srv.Client())
 	c.MaxRetries = 1
-	c.sleep = func(time.Duration) {}
+	c.sleep = func(context.Context, time.Duration) error { return nil }
 	if _, err := c.Search(context.Background(), Query{}); err != nil {
 		t.Fatalf("first search: %v", err)
 	}

@@ -3,6 +3,7 @@ package social
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/psp-framework/psp/internal/durable"
 	"github.com/psp-framework/psp/internal/nlp"
 )
 
@@ -180,8 +182,17 @@ type Page struct {
 	// NextToken resumes the listing; empty when the listing is complete.
 	NextToken string
 	// TotalMatches is the total number of posts matching the query
-	// across all pages. Unspecified when the query set SkipTotal.
+	// across all pages. Unspecified when the query set SkipTotal. On a
+	// Degraded federated page it sums the healthy backends only.
 	TotalMatches int
+	// Degraded marks a partial federated page: some backends failed or
+	// were skipped and their posts are missing (see MultiOptions.Partial;
+	// always false on single-backend pages).
+	Degraded bool
+	// Backends carries per-backend health annotations on Degraded
+	// federated pages; nil on healthy (and single-backend) pages, so the
+	// hot path never pays for annotations it does not need.
+	Backends []BackendStatus
 }
 
 // Searcher is the capability the PSP framework needs from a social
@@ -276,6 +287,11 @@ type Store struct {
 	// one atomic pointer load and a nil check when detached; every
 	// recorder behind it is itself lock-free (see internal/obs).
 	met atomic.Pointer[StoreMetrics]
+
+	// degraded, when non-nil, marks the store read-only after a
+	// persistent WAL failure (see ErrDegraded): ingest is refused with
+	// the typed error, reads keep serving. Add pays one atomic load.
+	degraded atomic.Pointer[DegradedError]
 }
 
 var _ Searcher = (*Store)(nil)
@@ -417,6 +433,16 @@ func (s *Store) Add(posts ...*Post) error {
 // delivers the whole batch as one unit (see Watch).
 func (s *Store) AddCount(posts ...*Post) (int, error) {
 	m, t0 := s.metricsNow()
+	if de := s.degraded.Load(); de != nil {
+		// Read-only degraded mode: refuse before registering anything, so
+		// a rejected batch leaves no trace in the ID registry.
+		if m != nil {
+			m.Adds.Inc()
+			m.AddErrors.Inc()
+			m.AddLatency.ObserveSince(t0)
+		}
+		return 0, de
+	}
 	var err error
 	batch := make([]*Post, 0, len(posts))
 	for _, p := range posts {
@@ -527,17 +553,24 @@ func (s *Store) insertBatch(batch []*Post) (int, error) {
 		s.commitParts(logged, committed)
 		s.dur.markApplied(logged)
 	}
-	durable := make(map[*Post]bool, len(committed))
+	onDisk := make(map[*Post]bool, len(committed))
 	for _, p := range committed {
-		durable[p] = true
+		onDisk[p] = true
 	}
 	rollback := make([]*Post, 0, len(batch)-len(committed))
 	for _, p := range batch {
-		if !durable[p] {
+		if !onDisk[p] {
 			rollback = append(rollback, p)
 		}
 	}
 	s.unregister(rollback)
+	// A write or fsync failure is the log's sticky error state — every
+	// later append on that stripe would fail too — so the store flips to
+	// read-only degraded mode. A closed log (racing Close) and an encode
+	// failure (a per-batch problem) are not disk damage and do not.
+	if !errors.Is(err, durable.ErrClosed) && !errors.Is(err, errEncode) {
+		s.markDegraded(err)
+	}
 	return len(committed), fmt.Errorf("social: wal append (%d of %d posts inserted): %w", len(committed), len(batch), err)
 }
 

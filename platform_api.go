@@ -124,6 +124,27 @@ func NewRateLimiter(capacity int, refillPerSecond float64) *RateLimiter {
 // PlatformSource is one named backend of a federated search.
 type PlatformSource = social.PlatformSource
 
+// Federated-search resilience types (see NewMultiPlatformOptions).
+type (
+	// MultiOptions tunes a federated searcher's resilience seams:
+	// per-backend timeouts, the circuit breaker, partial-results mode,
+	// and metrics. The zero value is the bare all-or-nothing federation.
+	MultiOptions = social.MultiOptions
+	// MultiMetrics is the federated searcher's psp_multi_* recording
+	// surface.
+	MultiMetrics = social.MultiMetrics
+	// BackendStatus is one backend's health annotation on a degraded
+	// federated page.
+	BackendStatus = social.BackendStatus
+)
+
+// ErrSocialDegraded is the sentinel (errors.Is) a durable store's
+// ingest returns after a persistent write-ahead-log failure flipped it
+// into read-only degraded mode: reads keep serving the committed state,
+// Add is refused until restart, and pspd maps the error to
+// 503 + Retry-After.
+var ErrSocialDegraded = social.ErrDegraded
+
 // NewMultiPlatform federates several platforms (e.g. the Twitter-style
 // store plus an Instagram-style one, per the paper's roadmap) behind the
 // Searcher interface. Backends are queried concurrently; the merged
@@ -132,6 +153,21 @@ type PlatformSource = social.PlatformSource
 // than expecting one unbounded page from a single Search call.
 func NewMultiPlatform(sources ...PlatformSource) (Searcher, error) {
 	return social.NewMulti(sources...)
+}
+
+// NewMultiPlatformOptions is NewMultiPlatform with resilience options:
+// per-backend timeouts, a circuit breaker that fails persistently
+// broken backends fast, and opt-in partial-results mode where a page
+// with failing backends returns the healthy backends' posts annotated
+// as degraded instead of failing outright.
+func NewMultiPlatformOptions(opts MultiOptions, sources ...PlatformSource) (Searcher, error) {
+	return social.NewMultiOptions(opts, sources...)
+}
+
+// NewMultiMetrics registers the psp_multi_* families in reg for use via
+// MultiOptions.Metrics.
+func NewMultiMetrics(reg *MetricsRegistry) *MultiMetrics {
+	return social.NewMultiMetrics(reg)
 }
 
 // SearchAllPosts drains every page of a query through any Searcher,
