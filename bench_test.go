@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -905,10 +906,11 @@ func BenchmarkWALAppendGroupCommit(b *testing.B) {
 	}
 }
 
-// copyTreeHardlink clones a durable data directory by hardlinking its
-// files — recovery benchmarks open a fresh clone per iteration without
-// paying a byte copy (the source store never truncates in place, so
-// the links are safe).
+// copyTreeHardlink clones a durable data directory, hardlinking
+// snapshot files (never modified in place — compaction replaces them
+// atomically) but byte-copying WAL segments, which a clone's store
+// appends to through the shared inode and would otherwise corrupt the
+// source fixture for later iterations.
 func copyTreeHardlink(b *testing.B, src, dst string) {
 	b.Helper()
 	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
@@ -922,6 +924,13 @@ func copyTreeHardlink(b *testing.B, src, dst string) {
 		target := filepath.Join(dst, rel)
 		if info.IsDir() {
 			return os.MkdirAll(target, 0o755)
+		}
+		if filepath.Ext(path) == ".seg" {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(target, data, 0o644)
 		}
 		return os.Link(path, target)
 	})
@@ -988,17 +997,103 @@ func durableFixture(b *testing.B) (string, int) {
 	return durableFixtureDir, durableFixtureLen
 }
 
-// BenchmarkRecovery64k measures crash recovery: opening a 64k-post data
-// directory (snapshot bulk + 16k-post WAL tail, as a kill -9 would
-// leave it) until the store is fully queryable. BENCH_5.json commits
-// the figure.
+// durableWarmFixture builds (once) a fully compacted 64k-post data
+// directory — per-stripe snapshots with index sidecars, empty WAL
+// tail — the state a graceful shutdown leaves behind.
+var (
+	durableWarmOnce sync.Once
+	durableWarmDir  string
+	durableWarmLen  int
+	durableWarmErr  error
+)
+
+func durableWarmFixture(b *testing.B) (string, int) {
+	b.Helper()
+	durableWarmOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "psp-bench-warm-*")
+		if err != nil {
+			durableWarmErr = err
+			return
+		}
+		durableWarmDir = dir
+		// 16 stripes, not DefaultShards: compaction granularity is the
+		// stripe, so finer striping is what lets a one-day delta rewrite
+		// 1/16th of the corpus (sociald/pspd expose the same knob as
+		// -shards).
+		store, err := social.OpenStoreDir(dir, social.DurableOptions{
+			Shards:       16,
+			CompactEvery: -1,
+		})
+		if err != nil {
+			durableWarmErr = err
+			return
+		}
+		posts := paddedStore(b, 64000).SnapshotPosts()
+		for lo := 0; lo < len(posts); lo += 1024 {
+			hi := lo + 1024
+			if hi > len(posts) {
+				hi = len(posts)
+			}
+			if err := store.Add(posts[lo:hi]...); err != nil {
+				durableWarmErr = err
+				return
+			}
+		}
+		if err := store.Flush(); err != nil {
+			durableWarmErr = err
+			return
+		}
+		durableWarmLen = store.Len()
+		// No Close: the directory is already fully compacted and the
+		// handles live until the test binary exits.
+	})
+	if durableWarmErr != nil {
+		b.Fatal(durableWarmErr)
+	}
+	return durableWarmDir, durableWarmLen
+}
+
+// stripSidecars deletes every index sidecar from a cloned data
+// directory, forcing recovery down the re-tokenize fallback — the
+// pre-PR-9 open path, and the baseline the sidecar is measured against.
+func stripSidecars(b *testing.B, dir string) {
+	b.Helper()
+	idx, err := filepath.Glob(filepath.Join(dir, "snap", "*.idx"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(idx) == 0 {
+		b.Fatal("no sidecars to strip")
+	}
+	for _, p := range idx {
+		if err := os.Remove(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery64k measures opening a 64k-post data directory until
+// the store is fully queryable, in three shapes. warm=indexed loads the
+// per-stripe index sidecars (the PR-9 fast path); warm=rebuild is the
+// same directory with the sidecars deleted, so every stripe
+// re-tokenizes — the pre-sidecar baseline (BENCH_5.json measured
+// 2.33 s for the crash shape). crash reopens a kill -9 directory:
+// indexed snapshot bulk plus a 16k-post WAL tail to replay.
+// BENCH_9.json commits the figures.
 func BenchmarkRecovery64k(b *testing.B) {
-	src, corpus := durableFixture(b)
-	b.Run(fmt.Sprintf("corpus=%d", corpus), func(b *testing.B) {
+	openClone := func(b *testing.B, src string, corpus int, strip bool, wantRebuilt bool) {
+		b.Helper()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			dst := filepath.Join(b.TempDir(), fmt.Sprintf("clone-%d", i))
 			copyTreeHardlink(b, src, dst)
+			if strip {
+				stripSidecars(b, dst)
+			}
+			// A real recovery starts in a fresh process with an empty heap;
+			// collect the bench loop's accumulated garbage off-timer so the
+			// timed open does not pay for it.
+			runtime.GC()
 			b.StartTimer()
 			store, err := social.OpenStoreDir(dst, social.DurableOptions{CompactEvery: -1})
 			if err != nil {
@@ -1008,13 +1103,94 @@ func BenchmarkRecovery64k(b *testing.B) {
 				b.Fatalf("recovered %d posts, want %d", store.Len(), corpus)
 			}
 			b.StopTimer()
+			if st := store.Stats(); wantRebuilt != (st.RecoveredRebuilt > 0) {
+				b.Fatalf("recovery split %d indexed / %d rebuilt does not match the benchmark's shape",
+					st.RecoveredIndexed, st.RecoveredRebuilt)
+			}
 			if err := store.Close(); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
 		}
 		b.ReportMetric(float64(corpus), "posts")
+	}
+	warmSrc, warmCorpus := durableWarmFixture(b)
+	b.Run(fmt.Sprintf("warm=indexed/corpus=%d", warmCorpus), func(b *testing.B) {
+		openClone(b, warmSrc, warmCorpus, false, false)
 	})
+	b.Run(fmt.Sprintf("warm=rebuild/corpus=%d", warmCorpus), func(b *testing.B) {
+		openClone(b, warmSrc, warmCorpus, true, true)
+	})
+	crashSrc, crashCorpus := durableFixture(b)
+	b.Run(fmt.Sprintf("crash/corpus=%d", crashCorpus), func(b *testing.B) {
+		openClone(b, crashSrc, crashCorpus, false, false)
+	})
+}
+
+// BenchmarkCompactDelta measures one snapshot compaction of a 64k-post
+// store after a delta, reporting the bytes and stripes it rewrote.
+// stripes=one confines the delta to one UTC day (one stripe — live
+// ingest's shape), so incremental compaction writes a small fraction
+// of the corpus; stripes=all spreads the same record count across
+// every stripe, which is the full-rewrite worst case the <10%
+// acceptance ratio in BENCH_9.json is measured against.
+func BenchmarkCompactDelta(b *testing.B) {
+	deltaPost := func(n, days int) *social.Post {
+		return &social.Post{
+			ID:        fmt.Sprintf("delta-%09d", n),
+			Author:    "compactbench",
+			Text:      "fresh #compactbench chatter about tuning the fleet",
+			CreatedAt: time.Date(2024, 6, 1+n%days, 12, 0, 0, n, time.UTC),
+			Region:    social.RegionEurope,
+			Metrics:   social.Metrics{Views: n % 1000},
+		}
+	}
+	src, corpus := durableWarmFixture(b)
+	for _, shape := range []struct {
+		name  string
+		delta int
+		days  int
+	}{
+		{"delta=1k/stripes=one", 1000, 1},
+		{"delta=1k/stripes=all", 1000, 16},
+		{"delta=16k/stripes=all", 16000, 16},
+	} {
+		b.Run(fmt.Sprintf("%s/corpus=%d", shape.name, corpus), func(b *testing.B) {
+			var bytes, stripes int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dst := filepath.Join(b.TempDir(), fmt.Sprintf("clone-%d", i))
+				copyTreeHardlink(b, src, dst)
+				store, err := social.OpenStoreDir(dst, social.DurableOptions{CompactEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				batch := make([]*social.Post, shape.delta)
+				for n := range batch {
+					batch[n] = deltaPost(n, shape.days)
+				}
+				if err := store.Add(batch...); err != nil {
+					b.Fatal(err)
+				}
+				before := store.Stats()
+				runtime.GC()
+				b.StartTimer()
+				if err := store.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				after := store.Stats()
+				bytes += after.CompactionBytes - before.CompactionBytes
+				stripes += after.CompactedStripes - before.CompactedStripes
+				if err := store.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N), "bytes/op")
+			b.ReportMetric(float64(stripes)/float64(b.N), "stripes/op")
+		})
+	}
 }
 
 // walBenchPost builds the n-th ingest post of the WAL benchmark: all

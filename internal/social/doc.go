@@ -58,10 +58,15 @@
 // seeks its sorted postings to the cursor and the Since/Until window by
 // binary search and yields matches lazily, and the merge stops at
 // MaxResults+1 posts — per-page cost is O(page + seek), never a
-// materialized match set. TotalMatches is counted index-side by bound
-// subtraction (O(log n)) for unfiltered, single-tag and single-term
-// windowed queries — the per-shard per-tag counts are the sorted
-// posting lists themselves — and callers that do not need the total set
+// materialized match set. TotalMatches is counted index-side for
+// unfiltered, single-tag and single-term windowed queries by bound
+// subtraction (O(log n)) — the per-shard per-tag counts are the sorted
+// posting lists themselves — and sublinearly for multi-term and
+// two-tag queries: multiple must-terms intersect their posting lists
+// with galloping seeks pivoting on the rarest term, and a two-tag
+// union counts by inclusion–exclusion (|A| + |B| − |A∩B|), so both
+// track the rarest list instead of the candidate walk. Callers that do
+// not need the total set
 // Query.SkipTotal (HTTP: skip_total=1) to skip the count walk entirely,
 // making every filtered page fully O(page + seek); SearchAll does so
 // automatically. The offset tokens ("o<offset>") of earlier releases
@@ -136,15 +141,34 @@
 // appends its per-stripe sub-batches (CRC-framed JSON, group-committed
 // and fsync'd, off the commit critical section) before the snapshot
 // swap makes them searchable, so an acknowledged Add survives kill -9
-// and an unacknowledged one never half-surfaces. A background pass
-// dumps the live store via the lock-free SnapshotPosts into an atomic
-// JSON Lines snapshot, records per-stripe replay floors in the
-// manifest, and truncates WAL segments wholly below them; recovery
-// loads the snapshot and replays each stripe's tail, deduplicating the
-// (deliberately conservative) overlap by post ID. DurableCursor and
-// PostsSince expose the WAL position to consumers that checkpoint
-// their own progress — the monitor persists the cursor with its
-// assessment and catches up incrementally after a restart.
+// and an unacknowledged one never half-surfaces. Snapshots are per
+// stripe: each stripe persists a JSON Lines post snapshot plus an
+// index sidecar (see sidecar.go for the on-disk format) holding its
+// posting lists in a CRC-framed, position-encoded form bound to the
+// posts file by an ID checksum. A warm open loads each stripe's
+// indices as a file read — no re-tokenization — and stripes load in
+// parallel, so reopening a large corpus costs milliseconds instead of
+// a full index rebuild. Compaction is incremental and delta-bounded:
+// per-stripe dirty counters track which stripes absorbed records since
+// their last snapshot, a pass rewrites only those stripes (an idle
+// pass writes nothing at all, not even a manifest), clean stripes keep
+// their files and floors verbatim, and WAL segments wholly below the
+// new floors are truncated.
+//
+// The fallback contract makes the sidecar strictly an optimization: a
+// missing, torn, corrupt or version-skewed sidecar — or a posts file
+// whose order or routing disagrees with the opening store — degrades
+// that stripe to the re-tokenizing load and marks it dirty so the next
+// compaction rewrites it; it never fails the open. Pre-indexing
+// directories (manifest Version 0, one whole-corpus snapshot) open the
+// same way and upgrade to the per-stripe format at their first
+// compaction. Only real data loss is fatal: an unreadable or invalid
+// posts file, or two snapshot files claiming the same post ID.
+// Recovery replays each stripe's WAL tail above its floor,
+// deduplicating the (deliberately conservative) overlap by post ID.
+// DurableCursor and PostsSince expose the WAL position to consumers
+// that checkpoint their own progress — the monitor persists the cursor
+// with its assessment and catches up incrementally after a restart.
 // WritePostsFile/WriteStoreFile are the atomic (temp + fsync + rename)
 // snapshot dumps; a reader can never observe a truncated file.
 //

@@ -17,9 +17,14 @@ import (
 
 // Durable store layout under a data directory:
 //
-//	<dir>/MANIFEST.json            snapshot manifest (durable.Manifest)
-//	<dir>/snap/snap-<gen>.jsonl    post snapshots (JSON Lines, atomic)
-//	<dir>/wal/stripe-<i>/*.seg     one segmented WAL per lock stripe
+//	<dir>/MANIFEST.json                    snapshot manifest (durable.Manifest)
+//	<dir>/snap/stripe-<i>-<gen>.jsonl      per-stripe post snapshots (JSON Lines)
+//	<dir>/snap/stripe-<i>-<gen>.idx        per-stripe index sidecars (see sidecar.go)
+//	<dir>/wal/stripe-<i>/*.seg             one segmented WAL per lock stripe
+//
+// Directories written before snapshot indexing hold one whole-corpus
+// snap/snap-<gen>.jsonl instead (manifest version 0); they open via the
+// re-tokenize path and upgrade in place at their first compaction.
 //
 // Every stripe owns its own log with its own group-commit fsync queue,
 // so concurrent ingest across stripes never serializes on one disk
@@ -94,6 +99,14 @@ type durStripe struct {
 	mu         sync.Mutex
 	maxDurable uint64
 	pending    map[uint64]struct{}
+	// dirty counts WAL records applied to the in-memory indices since
+	// the stripe's last snapshot (plus force-dirty markers from fallback
+	// recovery); non-zero is what makes a compaction rewrite the stripe.
+	// markApplied adds after the index commit, compact subtracts exactly
+	// the count it captured — records landing mid-compaction keep the
+	// stripe dirty for the next pass instead of being lost to a blind
+	// reset.
+	dirty atomic.Int64
 }
 
 // storeDurability is a Store's persistence engine: per-stripe logs, the
@@ -119,6 +132,15 @@ type storeDurability struct {
 	man        *durable.Manifest
 	compactErr error
 
+	// Cumulative incremental-compaction volume (bytes written, stripes
+	// rewritten) and the last recovery's per-stripe outcome split —
+	// exposed through StoreStats so tests and benchmarks can assert the
+	// delta-bounded behavior without a metrics registry.
+	compactedBytes   atomic.Int64
+	compactedStripes atomic.Int64
+	recIndexed       int
+	recRebuilt       int
+
 	stop      chan struct{}
 	done      chan struct{}
 	loop      bool // background compactor running
@@ -127,14 +149,21 @@ type storeDurability struct {
 }
 
 // OpenStoreDir opens (or initializes) a durable store in dir and
-// recovers its contents: the newest valid snapshot is loaded, then each
-// stripe's WAL tail above the manifest's floor is replayed — torn or
-// corrupt tail records are truncated, never fatal — rebuilding the
-// indices shard by shard. The returned store behaves exactly like an
-// in-memory one, plus: Add acknowledges only after its batch is
-// fsync'd (group commit), a background pass compacts the WAL into
-// snapshots, and Close flushes. Search results are byte-identical to an
-// in-memory store holding the same posts.
+// recovers its contents: each stripe's post snapshot is read and its
+// search indices are loaded directly from the index sidecar — warm open
+// is a file read plus a varint scan, no re-tokenization — then each
+// stripe's WAL tail above the manifest's floor is replayed (torn or
+// corrupt tail records are truncated, never fatal). A stripe whose
+// sidecar is missing, corrupt or version-skewed falls back to
+// re-tokenizing its posts file, and a pre-indexing directory (one
+// whole-corpus snapshot, manifest version 0) loads entirely through
+// that fallback — degraded open speed, never a failed open; the next
+// compaction rewrites what the fallback had to rebuild. The returned
+// store behaves exactly like an in-memory one, plus: Add acknowledges
+// only after its batch is fsync'd (group commit), a background pass
+// compacts dirty stripes into snapshots, and Close flushes. Search
+// results are byte-identical to an in-memory store holding the same
+// posts.
 func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, snapDirName), 0o755); err != nil {
 		return nil, fmt.Errorf("social: create data dir: %w", err)
@@ -153,7 +182,12 @@ func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 		}
 		shards = man.Shards
 	} else {
-		man = &durable.Manifest{Shards: shards, Floors: make([]uint64, shards)}
+		man = &durable.Manifest{
+			Version: durable.ManifestVersion,
+			Shards:  shards,
+			Floors:  make([]uint64, shards),
+			Stripes: make([]durable.StripeSnapshot, shards),
+		}
 		if err := man.Write(dir); err != nil {
 			return nil, err
 		}
@@ -180,12 +214,38 @@ func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 	}
 
 	// Snapshot first: it holds everything at or below the floors.
-	if man.Snapshot != "" {
-		if err := loadSnapshot(s, filepath.Join(dir, snapDirName, man.Snapshot)); err != nil {
+	snapDir := filepath.Join(dir, snapDirName)
+	var phases recoveryPhases
+	switch {
+	case man.Version >= 2:
+		// Warm path: one parallel load per stripe, each installing its
+		// sidecar indices directly (or falling back to re-tokenization).
+		// Stripe loads are independent — distinct shards, and the ID
+		// registry is stripe-locked — so the bounded fan-out is safe.
+		errs := make([]error, shards)
+		forEachBounded(shards, func(i int) {
+			errs[i] = d.loadStripe(s, snapDir, man.Stripes[i], i, &phases)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	case man.Snapshot != "":
+		// Pre-indexing directory: one whole-corpus snapshot, re-tokenized
+		// through Add. Every stripe is dirty afterwards, so the first
+		// compaction upgrades the directory to the per-stripe format.
+		t0 := time.Now()
+		if err := loadSnapshot(s, filepath.Join(snapDir, man.Snapshot)); err != nil {
 			return nil, err
 		}
+		phases.rebuild.Add(int64(time.Since(t0)))
+		phases.rebuilt.Add(int64(shards))
+		for i := range d.stripes {
+			d.stripes[i].dirty.Add(1)
+		}
 	}
-	removeOrphanSnapshots(filepath.Join(dir, snapDirName), man.Snapshot)
+	removeOrphanSnapshots(snapDir, man)
 
 	// Then each stripe's WAL tail. Replay overlaps the snapshot by up
 	// to one segment (truncation is whole-segment) and may overlap it
@@ -215,19 +275,32 @@ func OpenStoreDir(dir string, opts DurableOptions) (*Store, error) {
 			return fail(err)
 		}
 		d.logs[i] = log
+		t0 := time.Now()
+		replayed := int64(0)
 		err = log.Replay(man.Floors[i], func(_ uint64, payload []byte) error {
+			replayed++
 			return replayBatch(s, payload)
 		})
+		phases.replay.Add(int64(time.Since(t0)))
 		if err != nil {
 			return fail(fmt.Errorf("social: replay stripe %d: %w", i, err))
 		}
 		d.stripes[i].maxDurable = log.LastSeq()
+		if replayed > 0 {
+			d.stripes[i].dirty.Add(replayed)
+		}
 	}
 
 	s.dur = d
+	d.recIndexed = int(phases.indexed.Load())
+	d.recRebuilt = int(phases.rebuilt.Load())
 	if m := opts.Metrics; m != nil {
 		m.RecoverySeconds.Set(time.Since(recoverStart).Seconds())
 		m.RecoveredPosts.Set(float64(s.Len()))
+		m.RecoverySnapshotSeconds.Set(phases.snapshot.seconds())
+		m.RecoveryIndexSeconds.Set(phases.load.seconds())
+		m.RecoveryRebuildSeconds.Set(phases.rebuild.seconds())
+		m.RecoveryReplaySeconds.Set(phases.replay.seconds())
 	}
 	if opts.Seed != nil {
 		if err := d.seed(s, opts.Seed); err != nil {
@@ -288,6 +361,163 @@ func (d *storeDurability) stripeDir(i int) string {
 	return filepath.Join(d.dir, walDirName, fmt.Sprintf("stripe-%04d", i))
 }
 
+// phaseNanos accumulates one recovery phase's duration in nanoseconds.
+type phaseNanos struct{ atomic.Int64 }
+
+func (p *phaseNanos) seconds() float64 { return float64(p.Load()) / 1e9 }
+
+// recoveryPhases breaks one recovery down by phase: posts files read,
+// sidecar indices decoded, fallback re-tokenization, WAL replay — plus
+// the per-stripe outcome split. Stripe loads run in parallel, so phase
+// times are summed across stripes (CPU seconds); the top-level recovery
+// gauge stays wall-clock.
+type recoveryPhases struct {
+	snapshot phaseNanos // post snapshots read + decoded
+	load     phaseNanos // index sidecars decoded
+	rebuild  phaseNanos // fallback re-tokenization
+	replay   phaseNanos // WAL tails replayed
+	indexed  atomic.Int64
+	rebuilt  atomic.Int64
+}
+
+// loadStripe recovers one stripe from its manifest entry. The warm
+// path never touches the JSON Lines posts file: the sidecar carries the
+// stripe's posts and posting lists in one checksummed binary read, and
+// installs after a routing-and-order check against this store's stripe
+// map. Everything about the sidecar degrades rather than fails — a
+// missing, torn, corrupt, version-skewed or mis-routed sidecar falls
+// back to reading and re-tokenizing the authoritative posts file (and
+// leaves the stripe dirty so the next compaction writes a fresh
+// sidecar). Only the posts file itself is load-bearing: unreadable or
+// invalid is a failed open, exactly like the whole-corpus loader. A
+// posts file whose order or routing disagrees with this store falls
+// back to the generic Add path with every stripe dirtied, because its
+// posts just landed wherever shardFor routes them now.
+func (d *storeDurability) loadStripe(s *Store, snapDir string, ent durable.StripeSnapshot, i int, ph *recoveryPhases) error {
+	if ent.Posts == "" {
+		return nil
+	}
+	if ent.Index != "" {
+		t0 := time.Now()
+		g, derr := readStripeIndex(filepath.Join(snapDir, ent.Index))
+		if derr == nil && !stripeOrdered(s, g.byTime, i) {
+			derr = sidecarErrf("stripe %d posts mis-routed for this store", i)
+		}
+		if derr == nil {
+			derr = s.installStripeBase(i, g)
+		}
+		ph.load.Add(int64(time.Since(t0)))
+		if derr == nil {
+			ph.indexed.Add(1)
+			return nil
+		}
+	}
+	t0 := time.Now()
+	posts, err := readPostsFile(filepath.Join(snapDir, ent.Posts))
+	ph.snapshot.Add(int64(time.Since(t0)))
+	if err != nil {
+		return err
+	}
+	ordered := stripeOrdered(s, posts, i)
+	t0 = time.Now()
+	err = s.Add(posts...)
+	ph.rebuild.Add(int64(time.Since(t0)))
+	if err != nil {
+		return fmt.Errorf("social: load snapshot stripe %d: %w", i, err)
+	}
+	ph.rebuilt.Add(1)
+	if ordered {
+		d.stripes[i].dirty.Add(1)
+	} else {
+		for j := range d.stripes {
+			d.stripes[j].dirty.Add(1)
+		}
+	}
+	return nil
+}
+
+// stripeOrdered reports whether posts all route to stripe i of this
+// store and ascend strictly in (CreatedAt, ID) — the precondition for
+// installing them as stripe i's base generation.
+func stripeOrdered(s *Store, posts []*Post, i int) bool {
+	for k, p := range posts {
+		if s.shardFor(p.CreatedAt) != i || (k > 0 && !postLess(posts[k-1], p)) {
+			return false
+		}
+	}
+	return true
+}
+
+// readStripeIndex reads and decodes one stripe's index sidecar.
+func readStripeIndex(path string) (*shardGen, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStripeIndex(data)
+}
+
+// installStripeBase publishes g as stripe i's base generation and
+// registers its posts in the ID registry — the warm-open path that
+// bypasses tokenization entirely. Posts are bucketed by ID stripe
+// first so each registry lock is taken once per bucket, not once per
+// post. A duplicate ID means the sidecar claims a post some other
+// snapshot already holds; the install rolls its own registrations back
+// (by pointer identity, so a concurrent stripe's entries are never
+// touched) and reports, leaving the registry as it found it so the
+// caller's fallback to the authoritative posts file starts clean.
+func (s *Store) installStripeBase(i int, g *shardGen) error {
+	var buckets [idStripes][]*Post
+	per := len(g.byTime)/idStripes + 1
+	for _, p := range g.byTime {
+		k := idStripeOf(p.ID)
+		if buckets[k] == nil {
+			buckets[k] = make([]*Post, 0, per)
+		}
+		buckets[k] = append(buckets[k], p)
+	}
+	var dup error
+	for k, ps := range buckets {
+		if len(ps) == 0 {
+			continue
+		}
+		st := &s.ids[k]
+		st.mu.Lock()
+		for _, p := range ps {
+			if _, seen := st.posts[p.ID]; seen {
+				dup = sidecarErrf("duplicate post ID %s", p.ID)
+				break
+			}
+			st.posts[p.ID] = p
+		}
+		st.mu.Unlock()
+		if dup != nil {
+			break
+		}
+	}
+	if dup != nil {
+		for k, ps := range buckets {
+			if len(ps) == 0 {
+				continue
+			}
+			st := &s.ids[k]
+			st.mu.Lock()
+			for _, p := range ps {
+				if st.posts[p.ID] == p {
+					delete(st.posts, p.ID)
+				}
+			}
+			st.mu.Unlock()
+		}
+		return dup
+	}
+	sh := s.shards[i]
+	sh.mu.Lock()
+	sh.snap.Store(&shardSnapshot{base: g, delta: emptyGen})
+	sh.mu.Unlock()
+	return nil
+}
+
 // loadSnapshot reads a snapshot file into the store (no WAL attached
 // yet, so nothing is re-logged).
 func loadSnapshot(s *Store, path string) error {
@@ -327,16 +557,32 @@ func replayBatch(s *Store, payload []byte) error {
 	return s.Add(fresh...)
 }
 
-// removeOrphanSnapshots deletes snapshot files the manifest no longer
-// references — the leftovers of a compaction that crashed between
-// writing its snapshot and committing its manifest.
-func removeOrphanSnapshots(snapDir, keep string) {
+// removeOrphanSnapshots deletes snapshot and sidecar files the manifest
+// no longer references — the leftovers of a compaction that crashed
+// between writing its files and committing its manifest.
+func removeOrphanSnapshots(snapDir string, man *durable.Manifest) {
+	keep := make(map[string]bool, 2*len(man.Stripes)+1)
+	if man.Snapshot != "" {
+		keep[man.Snapshot] = true
+	}
+	for _, ent := range man.Stripes {
+		if ent.Posts != "" {
+			keep[ent.Posts] = true
+		}
+		if ent.Index != "" {
+			keep[ent.Index] = true
+		}
+	}
 	entries, err := os.ReadDir(snapDir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
-		if name := e.Name(); name != keep && filepath.Ext(name) == ".jsonl" {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		if ext := filepath.Ext(name); ext == ".jsonl" || ext == ".idx" {
 			os.Remove(filepath.Join(snapDir, name))
 		}
 	}
@@ -414,7 +660,11 @@ func (d *storeDurability) logParts(parts []*stripePart) (logged []*stripePart, e
 }
 
 // markApplied clears a batch's sequences from the pending sets once the
-// in-memory commit made them searchable.
+// in-memory commit made them searchable, and counts them toward their
+// stripes' dirty totals — applied records are exactly what the next
+// compaction must fold into those stripes' snapshots. The dirty add
+// comes after the commit, so a compaction that observed the count has
+// also observed the committed data in the shard snapshot it dumps.
 func (d *storeDurability) markApplied(parts []*stripePart) {
 	for _, part := range parts {
 		st := &d.stripes[part.stripe]
@@ -423,7 +673,19 @@ func (d *storeDurability) markApplied(parts []*stripePart) {
 			delete(st.pending, seq)
 		}
 		st.mu.Unlock()
+		st.dirty.Add(int64(len(part.seqs)))
 	}
+}
+
+// anyDirty reports whether any stripe has records applied (or a
+// force-dirty marker set) since its last snapshot.
+func (d *storeDurability) anyDirty() bool {
+	for i := range d.stripes {
+		if d.stripes[i].dirty.Load() != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // floors returns, per stripe, the highest sequence with everything at
@@ -462,25 +724,48 @@ func (d *storeDurability) compactLoop(s *Store, every time.Duration) {
 		case <-ticker.C:
 		case <-d.kick:
 		}
-		if d.records.Load() == 0 {
-			continue // nothing new since the last snapshot
+		if !d.anyDirty() {
+			continue // nothing applied since the last snapshot
 		}
-		// Errors are retried next tick (the records counter only drains
+		// Errors are retried next tick (the dirty counters only drain
 		// on success) and reported through Store.CompactionError.
 		_ = d.compact(s)
 	}
 }
 
-// compact takes one snapshot generation: capture the floors, dump the
-// live store lock-free (SnapshotPosts — ingest keeps committing
-// throughout), atomically publish snapshot + manifest, then drop WAL
-// segments wholly below the floors. A crash at any point leaves either
-// the old manifest (plus an orphan snapshot cleaned at next open) or
-// the new one — never a state that loses an acknowledged batch.
+// compact takes one snapshot generation, rewriting only the dirty
+// stripes — those with WAL records applied since their last snapshot:
+// capture each stripe's dirty count and the floors, dump the dirty
+// stripes' live generations lock-free (ingest keeps committing
+// throughout), write their posts+index files, atomically publish the
+// new manifest, then drop WAL segments wholly below the floors. Clean
+// stripes carry their previous snapshot entry AND their previous floor
+// verbatim — a record applied between the dirty capture and the floor
+// read is missing from the carried-over snapshot, so advancing a clean
+// stripe's floor could truncate an applied record out of the WAL
+// before any snapshot holds it. With no dirty stripe at all, compact
+// returns without writing a byte (the idle early-exit). A crash at any
+// point leaves either the old manifest (plus orphan files cleaned at
+// next open) or the new one — never a state that loses an acknowledged
+// batch.
 func (d *storeDurability) compact(s *Store) (err error) {
 	d.cmu.Lock()
 	defer d.cmu.Unlock()
 	defer func() { d.compactErr = err }()
+	// Dirty counts first: a record applied after this capture stays
+	// counted, keeping its stripe dirty for the next pass even though
+	// this pass may already include its data.
+	dirty := make([]int64, len(d.stripes))
+	idle := true
+	for i := range d.stripes {
+		dirty[i] = d.stripes[i].dirty.Load()
+		if dirty[i] != 0 {
+			idle = false
+		}
+	}
+	if idle {
+		return nil
+	}
 	if m := s.met.Load(); m != nil {
 		t0 := time.Now()
 		defer func() {
@@ -496,35 +781,107 @@ func (d *storeDurability) compact(s *Store) (err error) {
 	// hence included in any snapshot taken afterwards.
 	floors := d.floors()
 	// The records counter is drained only after the manifest commits: a
-	// failed compaction leaves it non-zero, so the next tick retries
-	// instead of concluding there is nothing to snapshot.
+	// failed compaction leaves it non-zero, so the record-count trigger
+	// keeps retrying instead of concluding there is nothing to snapshot.
 	drained := d.records.Load()
-	posts := s.SnapshotPosts()
 	gen := d.man.Gen + 1
-	name := fmt.Sprintf("snap-%08d.jsonl", gen)
-	if err := WritePostsFile(filepath.Join(d.dir, snapDirName, name), posts); err != nil {
+	snapDir := filepath.Join(d.dir, snapDirName)
+	stripes := make([]durable.StripeSnapshot, len(d.stripes))
+	newFloors := make([]uint64, len(d.stripes))
+	var written int64
+	var compacted int64
+	var newFiles []string
+	fail := func(err error) error {
+		for _, f := range newFiles {
+			os.Remove(filepath.Join(snapDir, f))
+		}
 		return err
 	}
-	next := &durable.Manifest{Shards: len(d.logs), Gen: gen, Snapshot: name, Floors: floors}
+	for i := range d.stripes {
+		if dirty[i] == 0 {
+			if d.man.Version >= 2 {
+				stripes[i] = d.man.Stripes[i]
+			}
+			newFloors[i] = d.man.Floors[i]
+			continue
+		}
+		newFloors[i] = floors[i]
+		compacted++
+		sn := s.shards[i].view()
+		g := sn.base
+		if len(sn.delta.byTime) > 0 {
+			g = foldGens(sn.base, sn.delta, nil, nil)
+		}
+		if len(g.byTime) == 0 {
+			continue // an empty stripe needs no files; its entry stays empty
+		}
+		postsName := fmt.Sprintf("stripe-%04d-%08d.jsonl", i, gen)
+		indexName := fmt.Sprintf("stripe-%04d-%08d.idx", i, gen)
+		n, err := writePostsFileCount(filepath.Join(snapDir, postsName), g.byTime)
+		if err != nil {
+			return fail(err)
+		}
+		written += n
+		newFiles = append(newFiles, postsName)
+		// The sidecar is strictly an optimization, so failing to encode
+		// one (a timestamp outside the Unix-nano range, say) must not
+		// wedge compaction — the stripe degrades to a posts-only entry
+		// and the next open rebuilds it by re-tokenizing.
+		n, err = writeStripeIndexFile(filepath.Join(snapDir, indexName), g)
+		if err != nil {
+			stripes[i] = durable.StripeSnapshot{Posts: postsName}
+			continue
+		}
+		written += n
+		newFiles = append(newFiles, indexName)
+		stripes[i] = durable.StripeSnapshot{Posts: postsName, Index: indexName}
+	}
+	next := &durable.Manifest{
+		Version: durable.ManifestVersion,
+		Shards:  len(d.logs),
+		Gen:     gen,
+		Floors:  newFloors,
+		Stripes: stripes,
+	}
 	if err := next.Write(d.dir); err != nil {
-		os.Remove(filepath.Join(d.dir, snapDirName, name))
-		return err
+		return fail(err)
 	}
-	if old := d.man.Snapshot; old != "" && old != name {
-		os.Remove(filepath.Join(d.dir, snapDirName, old))
+	// Manifest committed: the files it replaced are garbage now.
+	if old := d.man.Snapshot; old != "" {
+		os.Remove(filepath.Join(snapDir, old))
+	}
+	for i, old := range d.man.Stripes {
+		for _, f := range []string{old.Posts, old.Index} {
+			if f != "" && f != stripes[i].Posts && f != stripes[i].Index {
+				os.Remove(filepath.Join(snapDir, f))
+			}
+		}
 	}
 	d.man = next
 	d.records.Add(-drained)
+	for i := range d.stripes {
+		if dirty[i] != 0 {
+			d.stripes[i].dirty.Add(-dirty[i])
+		}
+	}
+	d.compactedBytes.Add(written)
+	d.compactedStripes.Add(compacted)
+	if m := s.met.Load(); m != nil {
+		m.CompactionBytes.Add(uint64(written))
+		m.CompactedStripes.Add(uint64(compacted))
+	}
 	for i, log := range d.logs {
-		if err := log.TruncateBefore(floors[i]); err != nil {
+		if err := log.TruncateBefore(newFloors[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Flush forces a snapshot compaction now (and with it WAL truncation).
-// On an in-memory store it is a no-op.
+// Flush forces a snapshot compaction of the dirty stripes now (and
+// with it WAL truncation). When nothing was applied since the last
+// snapshot it returns without writing anything. On an in-memory store
+// it is a no-op.
 func (s *Store) Flush() error {
 	if s.dur == nil {
 		return nil

@@ -31,8 +31,20 @@ type StoreMetrics struct {
 	Compactions       *obs.Counter
 	CompactionErrors  *obs.Counter
 	CompactionLatency *obs.Histogram
-	RecoverySeconds   *obs.Gauge
-	RecoveredPosts    *obs.Gauge
+	// CompactionBytes / CompactedStripes measure incremental compaction
+	// volume: snapshot+sidecar bytes written and stripes rewritten. With
+	// per-stripe dirty tracking they grow with the delta, not the corpus.
+	CompactionBytes  *obs.Counter
+	CompactedStripes *obs.Counter
+	RecoverySeconds  *obs.Gauge
+	RecoveredPosts   *obs.Gauge
+	// Recovery phase breakdown: phase-labeled series of the same
+	// psp_store_recovery_seconds family as the wall-clock total. Phase
+	// times are summed across stripes (stripe loads run in parallel).
+	RecoverySnapshotSeconds *obs.Gauge // phase="snapshot_read"
+	RecoveryIndexSeconds    *obs.Gauge // phase="index_load"
+	RecoveryRebuildSeconds  *obs.Gauge // phase="index_rebuild"
+	RecoveryReplaySeconds   *obs.Gauge // phase="wal_replay"
 	// WAL is the per-stripe logs' shared surface (psp_wal_*).
 	WAL *durable.LogMetrics
 
@@ -62,10 +74,26 @@ func NewStoreMetrics(reg *obs.Registry) *StoreMetrics {
 			"Snapshot compactions failed (retried next tick)."),
 		CompactionLatency: reg.Histogram("psp_store_compaction_seconds", "Snapshot compaction latency.",
 			obs.DefaultLatencyBuckets, obs.LatencyScale),
+		CompactionBytes: reg.Counter("psp_store_compaction_bytes_total",
+			"Snapshot and index-sidecar bytes written by compactions (dirty stripes only)."),
+		CompactedStripes: reg.Counter("psp_store_compaction_stripes_total",
+			"Stripes rewritten by compactions (clean stripes are skipped)."),
 		RecoverySeconds: reg.Gauge("psp_store_recovery_seconds",
-			"Duration of the last OpenStoreDir recovery (snapshot load + WAL replay)."),
+			"Duration of the last OpenStoreDir recovery (snapshot load + WAL replay); phase-labeled series break it down, summed across parallel stripe loads."),
 		RecoveredPosts: reg.Gauge("psp_store_recovered_posts",
 			"Posts recovered by the last OpenStoreDir."),
+		RecoverySnapshotSeconds: reg.Gauge("psp_store_recovery_seconds",
+			"Duration of the last OpenStoreDir recovery (snapshot load + WAL replay); phase-labeled series break it down, summed across parallel stripe loads.",
+			obs.Label{Key: "phase", Value: "snapshot_read"}),
+		RecoveryIndexSeconds: reg.Gauge("psp_store_recovery_seconds",
+			"Duration of the last OpenStoreDir recovery (snapshot load + WAL replay); phase-labeled series break it down, summed across parallel stripe loads.",
+			obs.Label{Key: "phase", Value: "index_load"}),
+		RecoveryRebuildSeconds: reg.Gauge("psp_store_recovery_seconds",
+			"Duration of the last OpenStoreDir recovery (snapshot load + WAL replay); phase-labeled series break it down, summed across parallel stripe loads.",
+			obs.Label{Key: "phase", Value: "index_rebuild"}),
+		RecoveryReplaySeconds: reg.Gauge("psp_store_recovery_seconds",
+			"Duration of the last OpenStoreDir recovery (snapshot load + WAL replay); phase-labeled series break it down, summed across parallel stripe loads.",
+			obs.Label{Key: "phase", Value: "wal_replay"}),
 		WAL: durable.NewLogMetrics(reg),
 		reg: reg,
 	}
@@ -125,6 +153,17 @@ type StoreStats struct {
 	Durable    bool
 	WALRecords int64
 	WALFloors  DurableCursor
+	// DirtyStripes counts stripes with records applied since their last
+	// snapshot; CompactionBytes / CompactedStripes accumulate the
+	// incremental compactor's write volume since open.
+	DirtyStripes     int
+	CompactionBytes  int64
+	CompactedStripes int64
+	// RecoveredIndexed / RecoveredRebuilt split the last open's stripes
+	// by recovery path: loaded from the index sidecar vs re-tokenized
+	// through the fallback.
+	RecoveredIndexed int
+	RecoveredRebuilt int
 	// Degraded reports read-only degraded mode (see Store.Degraded);
 	// DegradedCause is the triggering WAL failure, empty when healthy.
 	Degraded      bool
@@ -144,6 +183,15 @@ func (s *Store) Stats() StoreStats {
 		st.Durable = true
 		st.WALRecords = s.dur.records.Load()
 		st.WALFloors = s.dur.floors()
+		for i := range s.dur.stripes {
+			if s.dur.stripes[i].dirty.Load() != 0 {
+				st.DirtyStripes++
+			}
+		}
+		st.CompactionBytes = s.dur.compactedBytes.Load()
+		st.CompactedStripes = s.dur.compactedStripes.Load()
+		st.RecoveredIndexed = s.dur.recIndexed
+		st.RecoveredRebuilt = s.dur.recRebuilt
 	}
 	if de := s.degraded.Load(); de != nil {
 		st.Degraded = true

@@ -51,12 +51,16 @@ var shardCompactThreshold = 1024
 // time index plus tag and term posting maps over a disjoint set of
 // posts. Generations are never mutated after publication — writers
 // build successors aside — so any goroutine may read one without
-// holding a lock.
+// holding a lock. The posting lists double as the generation's token
+// cache: a post carries term t iff it appears in byTerm[t], so
+// membership questions (the must-term residual filter) are answered by
+// sorted-list seeks instead of per-post term-set maps — one fewer
+// O(shard) map to copy on every fold, and the exact structure the
+// snapshot sidecar persists (see sidecar.go).
 type shardGen struct {
 	byTime []*Post
 	byTag  map[string][]*Post
 	byTerm map[string][]*Post
-	terms  map[string]map[string]bool // post ID → term set (precomputed)
 }
 
 // emptyGen is the shared zero generation. Lookups on its nil maps are
@@ -124,7 +128,6 @@ func foldGens(a, b *shardGen, posts []*Post, terms []map[string]bool) *shardGen 
 		byTime: mergeSorted(mergeSorted(a.byTime, b.byTime), posts),
 		byTag:  make(map[string][]*Post, len(a.byTag)+len(b.byTag)),
 		byTerm: make(map[string][]*Post, len(a.byTerm)+len(b.byTerm)),
-		terms:  make(map[string]map[string]bool, len(a.terms)+len(b.terms)+len(posts)),
 	}
 	for k, v := range a.byTag {
 		g.byTag[k] = v
@@ -137,12 +140,6 @@ func foldGens(a, b *shardGen, posts []*Post, terms []map[string]bool) *shardGen 
 	}
 	for k, v := range b.byTerm {
 		g.byTerm[k] = mergeSorted(g.byTerm[k], v)
-	}
-	for id, set := range a.terms {
-		g.terms[id] = set
-	}
-	for id, set := range b.terms {
-		g.terms[id] = set
 	}
 
 	// Per-key additions inherit the batch's (CreatedAt, ID) order, so
@@ -161,7 +158,6 @@ func foldGens(a, b *shardGen, posts []*Post, terms []map[string]bool) *shardGen 
 			postTags[tag] = true
 			tagAdds[tag] = append(tagAdds[tag], p)
 		}
-		g.terms[p.ID] = terms[i]
 		for term := range terms[i] {
 			termAdds[term] = append(termAdds[term], p)
 		}
@@ -175,16 +171,79 @@ func foldGens(a, b *shardGen, posts []*Post, terms []map[string]bool) *shardGen 
 	return g
 }
 
-// hasAllTerms reports whether the post carries every term. A post lives
-// in exactly one generation, so the first generation that knows the ID
-// answers.
-func (sn *shardSnapshot) hasAllTerms(id string, must []string) bool {
-	terms, ok := sn.delta.terms[id]
-	if !ok {
-		terms = sn.base.terms[id]
+// postingCursor is one sorted posting list with a monotone read
+// position, answering membership tests for an ascending stream of
+// candidate keys. seek gallops (exponential probe, then binary search)
+// from the last position, so a scan whose candidates are dense in the
+// list costs O(1) amortized per candidate and a sparse one costs
+// O(log gap) — never a restart from the top.
+type postingCursor struct {
+	plist []*Post
+	pos   int
+}
+
+// seek advances the cursor to the first posting ≥ p and reports whether
+// it is exactly p (pointer identity suffices: a (CreatedAt, ID) key
+// maps to one *Post object store-wide). Candidates must arrive in
+// ascending (CreatedAt, ID) order.
+func (c *postingCursor) seek(p *Post) bool {
+	plist := c.plist
+	n := len(plist)
+	i := c.pos
+	if i >= n {
+		return false
 	}
+	if postLess(plist[i], p) {
+		// Gallop: double the probe until it lands at or past p, then
+		// binary-search the last octave.
+		bound := 1
+		for i+bound < n && postLess(plist[i+bound], p) {
+			bound <<= 1
+		}
+		lo := i + bound>>1 + 1 // everything at or below i+bound/2 is < p
+		hi := i + bound
+		if hi > n {
+			hi = n
+		}
+		i = lo + sort.Search(hi-lo, func(k int) bool { return !postLess(plist[lo+k], p) })
+	}
+	c.pos = i
+	if i < n && plist[i] == p {
+		c.pos = i + 1
+		return true
+	}
+	return false
+}
+
+// exhausted reports that no further candidate can match.
+func (c *postingCursor) exhausted() bool { return c.pos >= len(c.plist) }
+
+// termResidual proves that candidates carry every must term by seeking
+// the terms' sorted posting lists instead of consulting per-post token
+// maps. A post lives in exactly one generation and each generation's
+// byTerm[t] holds exactly the posts carrying t, so p has t iff one of
+// the two generations' lists contains p. Cursors advance monotonically
+// with the candidate stream (matchIter yields ascending keys), making
+// the whole residual scan cost O(postings visited), not
+// O(candidates · terms) map lookups.
+type termResidual struct {
+	curs []postingCursor // two per term: base list, then delta list
+}
+
+func newTermResidual(sn *shardSnapshot, must []string) *termResidual {
+	tr := &termResidual{curs: make([]postingCursor, 0, 2*len(must))}
 	for _, m := range must {
-		if !terms[m] {
+		tr.curs = append(tr.curs,
+			postingCursor{plist: sn.base.byTerm[m]},
+			postingCursor{plist: sn.delta.byTerm[m]})
+	}
+	return tr
+}
+
+// hasAll reports whether p carries every must term.
+func (tr *termResidual) hasAll(p *Post) bool {
+	for i := 0; i < len(tr.curs); i += 2 {
+		if !tr.curs[i].seek(p) && !tr.curs[i+1].seek(p) {
 			return false
 		}
 	}
@@ -339,13 +398,23 @@ func (sn *shardSnapshot) matchIter(q *Query, tags, must []string, cur *Cursor) *
 	}
 
 	region := q.Region
-	needTerms := len(must) > 0
+	// The residual filter proves whatever the candidate lists do not:
+	// with tag candidates every must term needs proof; with term
+	// candidates only the non-walked terms do (a single-term query needs
+	// none — its candidates come from that term's own postings). Passing
+	// the walked term too is harmless: its candidates sit at the cursor,
+	// so the extra seek is O(1).
+	needTerms := len(must) > 0 && (len(tags) > 0 || len(must) > 1)
 	if region != "" || needTerms {
+		var tr *termResidual
+		if needTerms {
+			tr = newTermResidual(sn, must)
+		}
 		it.keep = func(p *Post) bool {
 			if region != "" && p.Region != region {
 				return false
 			}
-			return !needTerms || sn.hasAllTerms(p.ID, must)
+			return tr == nil || tr.hasAll(p)
 		}
 	}
 	return it
@@ -367,12 +436,94 @@ func (sn *shardSnapshot) countMatches(q *Query, tags, must []string) int {
 			return sn.countByBounds(q, func(g *shardGen) []*Post { return g.byTag[tags[0]] })
 		case len(tags) == 0 && len(must) == 1:
 			return sn.countByBounds(q, func(g *shardGen) []*Post { return g.byTerm[must[0]] })
+		case len(tags) == 0 && len(must) > 1:
+			return sn.countTermIntersection(q, must)
+		case len(tags) == 2 && len(must) == 0:
+			return sn.countTagUnion2(q, tags)
 		}
 	}
 	it := sn.matchIter(q, tags, must, nil)
 	n := 0
 	for it.next() != nil {
 		n++
+	}
+	return n
+}
+
+// countTermIntersection counts the posts carrying every must term by
+// intersecting the terms' posting lists per generation — a post's
+// postings live entirely in its own generation, so the shard total is
+// the sum of two independent intersections. Cost is the shortest list's
+// window times a galloping seek per other list, sublinear in the
+// candidate count the residual-filter walk would have paid.
+func (sn *shardSnapshot) countTermIntersection(q *Query, must []string) int {
+	n := 0
+	for _, g := range []*shardGen{sn.base, sn.delta} {
+		n += intersectCount(g, q, must)
+	}
+	return n
+}
+
+// intersectCount intersects one generation's must-term posting lists,
+// each pre-narrowed to the query window, pivoting on the shortest.
+func intersectCount(g *shardGen, q *Query, must []string) int {
+	lists := make([][]*Post, len(must))
+	for i, m := range must {
+		plist := g.byTerm[m]
+		lo, hi := timeBounds(plist, q.Since, q.Until)
+		if lo >= hi {
+			return 0
+		}
+		lists[i] = plist[lo:hi]
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	pivot := lists[0]
+	curs := make([]postingCursor, len(lists)-1)
+	for i, plist := range lists[1:] {
+		curs[i] = postingCursor{plist: plist}
+	}
+	n := 0
+outer:
+	for _, p := range pivot {
+		for i := range curs {
+			if !curs[i].seek(p) {
+				if curs[i].exhausted() {
+					// Nothing later in the pivot can match either.
+					break outer
+				}
+				continue outer
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// countTagUnion2 counts a two-tag union by inclusion–exclusion per
+// generation: |A ∪ B| = |A| + |B| − |A ∩ B|, with |A| and |B| read off
+// the window bounds and the intersection walked with a galloping cursor
+// over the longer list. Sublinear in the union size whenever the tags
+// barely overlap — the common case the heap-merge walk paid full price
+// for.
+func (sn *shardSnapshot) countTagUnion2(q *Query, tags []string) int {
+	n := 0
+	for _, g := range []*shardGen{sn.base, sn.delta} {
+		a, b := g.byTag[tags[0]], g.byTag[tags[1]]
+		alo, ahi := timeBounds(a, q.Since, q.Until)
+		blo, bhi := timeBounds(b, q.Since, q.Until)
+		n += (ahi - alo) + (bhi - blo)
+		aw, bw := a[alo:ahi], b[blo:bhi]
+		if len(aw) > len(bw) {
+			aw, bw = bw, aw
+		}
+		cur := postingCursor{plist: bw}
+		for _, p := range aw {
+			if cur.seek(p) {
+				n--
+			} else if cur.exhausted() {
+				break
+			}
+		}
 	}
 	return n
 }

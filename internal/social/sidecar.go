@@ -1,0 +1,429 @@
+package social
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/psp-framework/psp/internal/durable"
+)
+
+// The snapshot index sidecar persists one stripe — its posts and its
+// posting lists — beside the stripe's JSON Lines post snapshot, in a
+// compact binary form, so a warm open rebuilds the whole stripe with
+// one file read and a varint scan: no JSON parsing, no tokenization.
+// The JSON Lines file stays the authoritative, human-readable
+// interchange format; the sidecar is strictly a derived copy, bound to
+// it by generation-numbered file names in the manifest and by a
+// checksum over the post IDs. Decode failures of any kind are
+// recoverable by design: the caller falls back to reading and
+// re-tokenizing the JSON Lines posts file, so a torn, corrupt or
+// version-skewed sidecar degrades warm open to the old cold open,
+// never a failed open.
+//
+// On-disk layout (integers little-endian unless marked (u)varint):
+//
+//	offset 0   8-byte magic "PSPIDX1\n" (the version lives in the magic:
+//	           a future format bumps the digit and old readers fall back)
+//	offset 8   uint32  payload length
+//	offset 12  uint32  CRC-32C (Castagnoli) of the payload
+//	offset 16  payload
+//
+// Payload:
+//
+//	uvarint  post count
+//	uint32   id checksum — CRC-32C over each post ID + '\n' in order,
+//	         the cross-check an offline tool can run against the JSON
+//	         Lines file without decoding the rest of either
+//	per post, in the stripe's (CreatedAt, ID) order:
+//	  ID, Author, Text, Region as uvarint length + bytes
+//	  varint   CreatedAt as Unix nanoseconds
+//	  varint   CreatedAt zone offset in seconds (JSON timestamps only
+//	           ever carry UTC or a fixed numeric offset, so the pair
+//	           reproduces the timestamp's rendering exactly)
+//	  uvarint  Views, Likes, Reposts, Replies
+//	two sections, tags then terms, each:
+//	  uvarint  key count
+//	  per key, in ascending byte order:
+//	    uvarint  key length, then the key bytes
+//	    uvarint  posting count (≥ 1; empty lists are never written)
+//	    postings as uvarint positions into the post order above,
+//	    delta-encoded: first position absolute, every later one the
+//	    gap to its predecessor (> 0 — positions ascend strictly)
+var sidecarTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	sidecarMagic   = "PSPIDX1\n"
+	sidecarHdrLen  = len(sidecarMagic) + 8 // magic + length + CRC
+	maxSidecarLoad = 1 << 30               // refuse absurd payload lengths before allocating
+)
+
+// errSidecar marks any sidecar decode failure. Callers treat every
+// instance the same way — fall back to the JSON Lines posts file — so
+// one typed cause with a description is enough.
+type sidecarError struct{ msg string }
+
+func (e *sidecarError) Error() string { return "social: index sidecar: " + e.msg }
+
+func sidecarErrf(format string, args ...any) error {
+	return &sidecarError{msg: fmt.Sprintf(format, args...)}
+}
+
+// idChecksum is the CRC-32C over every post ID plus a newline, in
+// order — the binding between a sidecar and its posts file.
+func idChecksum(posts []*Post) uint32 {
+	crc := uint32(0)
+	for _, p := range posts {
+		crc = crc32.Update(crc, sidecarTable, []byte(p.ID))
+		crc = crc32.Update(crc, sidecarTable, []byte{'\n'})
+	}
+	return crc
+}
+
+// writeStripeIndex encodes g — posts and posting lists — to w in
+// sidecar format.
+func writeStripeIndex(w io.Writer, g *shardGen) error {
+	pos := make(map[*Post]int, len(g.byTime))
+	for i, p := range g.byTime {
+		pos[p] = i
+	}
+	var payload bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		payload.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	writeVarint := func(v int64) {
+		payload.Write(tmp[:binary.PutVarint(tmp[:], v)])
+	}
+	writeString := func(s string) {
+		writeUvarint(uint64(len(s)))
+		payload.WriteString(s)
+	}
+	writeUvarint(uint64(len(g.byTime)))
+	binary.LittleEndian.PutUint32(tmp[:4], idChecksum(g.byTime))
+	payload.Write(tmp[:4])
+	for _, p := range g.byTime {
+		nano := p.CreatedAt.UnixNano()
+		_, off := p.CreatedAt.Zone()
+		if !decodeTime(nano, off).Equal(p.CreatedAt) {
+			// A timestamp outside the Unix-nanosecond range (or otherwise
+			// not reproducible from the pair) cannot round-trip; refuse the
+			// sidecar rather than persist a lie.
+			return fmt.Errorf("social: write index sidecar: timestamp %v does not round-trip", p.CreatedAt)
+		}
+		writeString(p.ID)
+		writeString(p.Author)
+		writeString(p.Text)
+		writeString(string(p.Region))
+		writeVarint(nano)
+		writeVarint(int64(off))
+		writeUvarint(uint64(p.Metrics.Views))
+		writeUvarint(uint64(p.Metrics.Likes))
+		writeUvarint(uint64(p.Metrics.Reposts))
+		writeUvarint(uint64(p.Metrics.Replies))
+	}
+	for _, m := range []map[string][]*Post{g.byTag, g.byTerm} {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			if len(m[k]) > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		writeUvarint(uint64(len(keys)))
+		for _, k := range keys {
+			writeString(k)
+			plist := m[k]
+			writeUvarint(uint64(len(plist)))
+			prev := 0
+			for j, p := range plist {
+				i, ok := pos[p]
+				if !ok {
+					return fmt.Errorf("social: write index sidecar: posting for %q not in the generation's time index", k)
+				}
+				if j == 0 {
+					writeUvarint(uint64(i))
+				} else {
+					writeUvarint(uint64(i - prev))
+				}
+				prev = i
+			}
+		}
+	}
+	var hdr [sidecarHdrLen]byte
+	copy(hdr[:], sidecarMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(payload.Bytes(), sidecarTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// decodeTime reconstructs a timestamp from its encoded (Unix
+// nanoseconds, zone offset seconds) pair. A zero offset maps to UTC —
+// RFC 3339 renders both time.UTC and a zero FixedZone as "Z", so the
+// choice cannot change a marshaled listing.
+func decodeTime(nano int64, off int) time.Time {
+	t := time.Unix(0, nano)
+	if off == 0 {
+		return t.UTC()
+	}
+	return t.In(time.FixedZone("", off))
+}
+
+// writeStripeIndexFile atomically writes the sidecar for one stripe
+// generation, returning the bytes written.
+func writeStripeIndexFile(path string, g *shardGen) (int64, error) {
+	var n int64
+	err := durable.WriteFileAtomic(path, func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		if err := writeStripeIndex(cw, g); err != nil {
+			return err
+		}
+		n = cw.n
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// sliceReader is a bounds-checked cursor over the sidecar payload. All
+// reads after the first failure keep failing, so decode loops need no
+// per-read error checks — one err test at each structural boundary.
+// The s field is one string copy of the whole payload, made up front:
+// every decoded string is a substring of it, so a 72k-post stripe pays
+// one allocation for all its IDs, authors, texts and keys instead of
+// four per post — the difference between a warm open gated by GC and
+// one gated by the file read.
+type sliceReader struct {
+	b   []byte
+	s   string
+	off int
+	err error
+}
+
+func (r *sliceReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = sidecarErrf(format, args...)
+	}
+}
+
+func (r *sliceReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	// Single-byte values dominate (posting gaps, small lengths); the
+	// fast path skips binary.Uvarint's loop for them.
+	if r.off < len(r.b) {
+		if b := r.b[r.off]; b < 0x80 {
+			r.off++
+			return uint64(b)
+		}
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *sliceReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *sliceReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("%d bytes wanted at offset %d, %d remain", n, r.off, len(r.b)-r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
+func (r *sliceReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("%d string bytes wanted at offset %d, %d remain", n, r.off, len(r.b)-r.off)
+		return ""
+	}
+	out := r.s[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
+// postArena hands out posting-list slices from shared blocks, so a
+// section with tens of thousands of keys costs a handful of
+// allocations rather than one per key. Slices are full-capacity
+// subslices, so a later append can never bleed into a neighbour.
+type postArena struct{ buf []*Post }
+
+func (a *postArena) alloc(n int) []*Post {
+	const chunk = 1 << 13
+	if n > chunk {
+		return make([]*Post, n)
+	}
+	if n > len(a.buf) {
+		a.buf = make([]*Post, chunk)
+	}
+	out := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return out
+}
+
+// decodeStripeIndex rebuilds a full stripe generation — posts and
+// posting lists — from raw sidecar bytes. Any mismatch — framing,
+// checksum, an invalid post, a count or position that contradicts the
+// post section — returns an error; the caller falls back to the JSON
+// Lines posts file.
+func decodeStripeIndex(data []byte) (*shardGen, error) {
+	if len(data) < sidecarHdrLen {
+		return nil, sidecarErrf("%d bytes is shorter than the header", len(data))
+	}
+	if string(data[:len(sidecarMagic)]) != sidecarMagic {
+		return nil, sidecarErrf("bad magic %q", data[:len(sidecarMagic)])
+	}
+	plen := binary.LittleEndian.Uint32(data[8:12])
+	if plen > maxSidecarLoad || int(plen) != len(data)-sidecarHdrLen {
+		return nil, sidecarErrf("payload length %d does not match file size %d", plen, len(data))
+	}
+	payload := data[sidecarHdrLen:]
+	if got, want := crc32.Checksum(payload, sidecarTable), binary.LittleEndian.Uint32(data[12:16]); got != want {
+		return nil, sidecarErrf("payload checksum %08x, want %08x", got, want)
+	}
+	r := &sliceReader{b: payload, s: string(payload)}
+	n := r.uvarint()
+	// Every post costs well over one payload byte, so a count beyond the
+	// remaining payload is corruption — catch it before the allocation.
+	if r.err == nil && n > uint64(len(r.b)-r.off) {
+		return nil, sidecarErrf("post count %d exceeds remaining payload", n)
+	}
+	// The id checksum is for offline cross-checks against the JSON Lines
+	// file; the payload CRC already covers every ID byte here, so decode
+	// skips the recompute.
+	r.bytes(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	// One block for every Post struct: the stripe's posts live and die
+	// together, and 72k individual allocations are what they would
+	// otherwise cost the open (and every later GC scan).
+	block := make([]Post, n)
+	posts := make([]*Post, n)
+	for i := range posts {
+		p := &block[i]
+		p.ID = r.string()
+		p.Author = r.string()
+		p.Text = r.string()
+		p.Region = Region(r.string())
+		nano := r.varint()
+		off := r.varint()
+		p.Metrics.Views = int(r.uvarint())
+		p.Metrics.Likes = int(r.uvarint())
+		p.Metrics.Reposts = int(r.uvarint())
+		p.Metrics.Replies = int(r.uvarint())
+		if r.err != nil {
+			return nil, r.err
+		}
+		p.CreatedAt = decodeTime(nano, int(off))
+		if err := p.Validate(); err != nil {
+			return nil, sidecarErrf("post %d: %v", i, err)
+		}
+		posts[i] = p
+	}
+	g := &shardGen{byTime: posts}
+	arena := &postArena{}
+	g.byTag = decodeSection(r, posts, arena)
+	g.byTerm = decodeSection(r, posts, arena)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, sidecarErrf("%d trailing bytes after the term section", len(payload)-r.off)
+	}
+	return g, nil
+}
+
+// decodeSection decodes one sorted key→postings section against the
+// posts order, validating sortedness, strict position ascent and
+// bounds as it goes.
+func decodeSection(r *sliceReader, posts []*Post, arena *postArena) map[string][]*Post {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Every key costs at least three payload bytes (length, one key
+	// byte, posting count), so a count beyond that is corruption — catch
+	// it before the allocation, not by crawling to the truncation point.
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("section key count %d exceeds remaining payload", n)
+		return nil
+	}
+	m := make(map[string][]*Post, n)
+	prevKey := ""
+	for i := uint64(0); i < n; i++ {
+		key := r.string()
+		cnt := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if key == "" || (i > 0 && key <= prevKey) {
+			r.fail("section keys out of order at %q", key)
+			return nil
+		}
+		prevKey = key
+		if cnt == 0 || cnt > uint64(len(posts)) {
+			r.fail("key %q posting count %d with %d posts", key, cnt, len(posts))
+			return nil
+		}
+		plist := arena.alloc(int(cnt))
+		pos := 0
+		for j := range plist {
+			d := r.uvarint()
+			if r.err != nil {
+				return nil
+			}
+			if j == 0 {
+				pos = int(d)
+			} else {
+				if d == 0 {
+					r.fail("key %q postings not strictly ascending", key)
+					return nil
+				}
+				pos += int(d)
+			}
+			if pos < 0 || pos >= len(posts) {
+				r.fail("key %q posting position %d with %d posts", key, pos, len(posts))
+				return nil
+			}
+			plist[j] = posts[pos]
+		}
+		m[key] = plist
+	}
+	return m
+}

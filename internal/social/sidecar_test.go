@@ -1,0 +1,554 @@
+package social
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/durable"
+)
+
+// sidecarFixture ingests a deterministic corpus with a compaction in
+// the middle — so the directory holds per-stripe snapshots WITH index
+// sidecars plus a WAL tail — closes abruptly, and returns the data dir
+// and the acknowledged listing.
+func sidecarFixture(t *testing.T, shards, posts int) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenStoreDir(dir, noCompact(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []*Post
+	flushed := false
+	for n := 0; n < posts; n++ {
+		batch = append(batch, durPost(n, n%11))
+		if len(batch) == 5 {
+			if err := s.Add(batch...); err != nil {
+				t.Fatal(err)
+			}
+			batch = nil
+			if !flushed && n >= posts/2 {
+				flushed = true
+				if err := s.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := s.Add(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if !flushed {
+		t.Fatalf("fixture too small to flush: %d posts", posts)
+	}
+	want := listAll(t, s)
+	s.closeAbrupt()
+	return dir, want
+}
+
+// nonEmptyStripes counts manifest stripes holding a snapshot.
+func nonEmptyStripes(t *testing.T, dir string) int {
+	t.Helper()
+	man, err := durable.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ent := range man.Stripes {
+		if ent.Posts != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDurableWarmOpenIndexed: after a clean close, every stripe must
+// recover through its index sidecar — no re-tokenization — and the
+// listing must stay byte-identical to the acknowledged state, at
+// stripe counts 1, 4 and 16.
+func TestDurableWarmOpenIndexed(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenStoreDir(dir, noCompact(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < 10; b++ {
+				var batch []*Post
+				for i := 0; i < 8; i++ {
+					n := b*8 + i
+					batch = append(batch, durPost(n, n%17))
+				}
+				if err := s.Add(batch...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := listAll(t, s)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := OpenStoreDir(dir, noCompact(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			st := re.Stats()
+			if wantIdx := nonEmptyStripes(t, dir); st.RecoveredIndexed != wantIdx || st.RecoveredRebuilt != 0 {
+				t.Fatalf("recovery split = %d indexed / %d rebuilt, want %d / 0",
+					st.RecoveredIndexed, st.RecoveredRebuilt, wantIdx)
+			}
+			if got := listAll(t, re); !reflect.DeepEqual(got, want) {
+				t.Fatal("warm-open listing not byte-identical to acknowledged state")
+			}
+			if st.DirtyStripes != 0 {
+				t.Fatalf("clean warm open left %d dirty stripes", st.DirtyStripes)
+			}
+		})
+	}
+}
+
+// TestDurableSidecarCorruptionFallback is the crash-mid-compaction
+// property test for the sidecar: the index file torn at EVERY byte
+// offset — and bit-flipped, version-skewed and replaced with garbage —
+// must degrade the open to the re-tokenize fallback, never fail it,
+// with the recovered listing byte-identical to the acknowledged state.
+// Run with -race.
+func TestDurableSidecarCorruptionFallback(t *testing.T) {
+	dir, want := sidecarFixture(t, 4, 25)
+	man, err := durable.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idxPath string
+	for _, ent := range man.Stripes {
+		if ent.Index != "" {
+			idxPath = filepath.Join(dir, snapDirName, ent.Index)
+			break
+		}
+	}
+	if idxPath == "" {
+		t.Fatal("fixture produced no index sidecar")
+	}
+	full, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func(t *testing.T, wantFallback bool) {
+		t.Helper()
+		re, err := OpenStoreDir(dir, noCompact(0))
+		if err != nil {
+			t.Fatalf("a damaged sidecar must never fail the open: %v", err)
+		}
+		// closeAbrupt, not Close: a graceful close compacts the WAL tail,
+		// which would repair the sidecar under the loop's feet.
+		defer re.closeAbrupt()
+		if got := listAll(t, re); !reflect.DeepEqual(got, want) {
+			t.Fatal("fallback listing not byte-identical to acknowledged state")
+		}
+		if st := re.Stats(); wantFallback && st.RecoveredRebuilt == 0 {
+			t.Fatal("damaged sidecar did not trigger the rebuild fallback")
+		}
+	}
+
+	// Torn at every cut offset: a crashed write that left a prefix. The
+	// sidecar is written atomically, so a real crash leaves the old file
+	// or the new one — this proves even a non-atomic filesystem cannot
+	// corrupt recovery.
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(idxPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopen(t, cut < len(full))
+	}
+	// A flipped byte anywhere: framing, checksum or structural
+	// validation must catch it.
+	for off := 0; off < len(full); off += 7 {
+		bad := append([]byte(nil), full...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(idxPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopen(t, true)
+	}
+	// Version skew: a future format bumps the magic digit.
+	skew := append([]byte(nil), full...)
+	copy(skew, "PSPIDX2\n")
+	if err := os.WriteFile(idxPath, skew, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopen(t, true)
+	// A deleted sidecar and pure garbage.
+	if err := os.Remove(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	reopen(t, true)
+	if err := os.WriteFile(idxPath, []byte("not an index at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopen(t, true)
+
+	// The fallback leaves the stripe dirty: one compaction repairs the
+	// sidecar, and the next open is fully indexed again.
+	re, err := OpenStoreDir(dir, noCompact(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err = OpenStoreDir(dir, noCompact(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st := re.Stats(); st.RecoveredRebuilt != 0 || st.RecoveredIndexed == 0 {
+		t.Fatalf("post-repair open = %d indexed / %d rebuilt, want all indexed",
+			st.RecoveredIndexed, st.RecoveredRebuilt)
+	}
+	if got := listAll(t, re); !reflect.DeepEqual(got, want) {
+		t.Fatal("post-repair listing not byte-identical to acknowledged state")
+	}
+}
+
+// TestDurableBackwardCompatV1Dir synthesizes a pre-indexing (PR-5
+// format) data directory — one whole-corpus snapshot, a version-0
+// manifest, no sidecars — and requires it to open through the
+// re-tokenize fallback, upgrade to the per-stripe format at its first
+// compaction, and open warm ever after.
+func TestDurableBackwardCompatV1Dir(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, snapDirName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var posts []*Post
+	for n := 0; n < 30; n++ {
+		posts = append(posts, durPost(n, n%9))
+	}
+	mem := NewStoreShards(shards)
+	if err := mem.Add(clonePosts(posts)...); err != nil {
+		t.Fatal(err)
+	}
+	want := listAll(t, mem)
+	legacy := "snap-00000007.jsonl"
+	if err := WritePostsFile(filepath.Join(dir, snapDirName, legacy), mem.SnapshotPosts()); err != nil {
+		t.Fatal(err)
+	}
+	man := &durable.Manifest{Shards: shards, Gen: 7, Snapshot: legacy, Floors: make([]uint64, shards)}
+	if err := man.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenStoreDir(dir, noCompact(0))
+	if err != nil {
+		t.Fatalf("a PR-5-format dir must keep opening: %v", err)
+	}
+	if s.Shards() != shards {
+		t.Fatalf("opened with %d shards, want %d", s.Shards(), shards)
+	}
+	if st := s.Stats(); st.RecoveredIndexed != 0 || st.RecoveredRebuilt == 0 {
+		t.Fatalf("legacy open = %d indexed / %d rebuilt, want pure fallback",
+			st.RecoveredIndexed, st.RecoveredRebuilt)
+	}
+	if got := listAll(t, s); !reflect.DeepEqual(got, want) {
+		t.Fatal("legacy open listing differs from reference")
+	}
+	// First compaction upgrades the directory in place.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	up, err := durable.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Version != durable.ManifestVersion || len(up.Stripes) != shards || up.Snapshot != "" {
+		t.Fatalf("manifest not upgraded: version=%d stripes=%d snapshot=%q",
+			up.Version, len(up.Stripes), up.Snapshot)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapDirName, legacy)); !os.IsNotExist(err) {
+		t.Fatalf("legacy whole-corpus snapshot not removed after upgrade: %v", err)
+	}
+
+	re, err := OpenStoreDir(dir, noCompact(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st := re.Stats(); st.RecoveredRebuilt != 0 || st.RecoveredIndexed == 0 {
+		t.Fatalf("post-upgrade open = %d indexed / %d rebuilt, want all indexed",
+			st.RecoveredIndexed, st.RecoveredRebuilt)
+	}
+	if got := listAll(t, re); !reflect.DeepEqual(got, want) {
+		t.Fatal("post-upgrade listing differs from reference")
+	}
+}
+
+// TestDurableIncrementalCompaction pins the delta-bounded contract: a
+// compaction after a small delta rewrites only the delta's stripes (the
+// clean stripes keep their snapshot files and floors verbatim), and a
+// compaction with no delta at all writes nothing — not even a manifest.
+func TestDurableIncrementalCompaction(t *testing.T) {
+	const shards = 8
+	dir := t.TempDir()
+	s, err := OpenStoreDir(dir, noCompact(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for n := 0; n < 80; n++ {
+		if err := s.Add(durPost(n, n%16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Stats()
+	man0, err := durable.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A delta confined to one day lands on one stripe.
+	delta := []*Post{durPost(900, 3), durPost(901, 3), durPost(902, 3)}
+	if err := s.Add(delta...); err != nil {
+		t.Fatal(err)
+	}
+	target := s.shardFor(delta[0].CreatedAt)
+	if st := s.Stats(); st.DirtyStripes != 1 {
+		t.Fatalf("delta dirtied %d stripes, want 1", st.DirtyStripes)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if got := st.CompactedStripes - base.CompactedStripes; got != 1 {
+		t.Fatalf("delta compaction rewrote %d stripes, want 1", got)
+	}
+	if full, inc := base.CompactionBytes, st.CompactionBytes-base.CompactionBytes; inc*4 >= full {
+		t.Fatalf("delta compaction wrote %d bytes vs %d for the full corpus — not delta-bounded", inc, full)
+	}
+	man1, err := durable.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range man1.Stripes {
+		if i == target {
+			if man1.Stripes[i] == man0.Stripes[i] {
+				t.Fatalf("dirty stripe %d kept its old snapshot files", i)
+			}
+			continue
+		}
+		if man1.Stripes[i] != man0.Stripes[i] || man1.Floors[i] != man0.Floors[i] {
+			t.Fatalf("clean stripe %d was rewritten: %+v -> %+v (floor %d -> %d)",
+				i, man0.Stripes[i], man1.Stripes[i], man0.Floors[i], man1.Floors[i])
+		}
+	}
+
+	// Idle early-exit: no applied records, no writes, no new manifest.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	idle := s.Stats()
+	if idle.CompactionBytes != st.CompactionBytes || idle.CompactedStripes != st.CompactedStripes {
+		t.Fatal("idle compaction wrote bytes")
+	}
+	man2, err := durable.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Gen != man1.Gen {
+		t.Fatalf("idle compaction advanced the manifest generation %d -> %d", man1.Gen, man2.Gen)
+	}
+}
+
+// TestTotalMatchesMultiKeyEquivalence pins the sublinear multi-key
+// count paths (posting-list intersection for multiple must-terms,
+// inclusion–exclusion for two-tag unions) to the brute-force predicate,
+// across shard counts and query windows.
+func TestTotalMatchesMultiKeyEquivalence(t *testing.T) {
+	posts, err := Generate(DefaultCorpusSpec(21434))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{MustTerms: []string{"excavator", "limp"}},
+		{MustTerms: []string{"excavator", "limp", "mode"}},
+		{MustTerms: []string{"excavator", "limp"}, Since: ts(2021, 6, 1), Until: ts(2022, 6, 1)},
+		{MustTerms: []string{"excavator", "nosuchterm"}},
+		{AnyTags: []string{"dpfdelete", "chiptuning"}},
+		{AnyTags: []string{"dpfdelete", "chiptuning"}, Since: ts(2022, 1, 1), Until: ts(2023, 1, 1)},
+		{AnyTags: []string{"dpfdelete", "dpfdelete"}},
+		{AnyTags: []string{"dpfdelete", "nosuchtag"}},
+	}
+	for _, shards := range []int{1, 4, 16} {
+		s := NewStoreShards(shards)
+		if err := s.Add(clonePosts(posts)...); err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			want := 0
+			for _, p := range posts {
+				if q.MatchesPost(p) {
+					want++
+				}
+			}
+			q.MaxResults = 1
+			page, err := s.Search(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if page.TotalMatches != want {
+				t.Errorf("query %d at %d shards: TotalMatches = %d, brute force = %d",
+					qi, shards, page.TotalMatches, want)
+			}
+			if qi < 3 && want == 0 {
+				t.Errorf("query %d matches nothing; equivalence is vacuous", qi)
+			}
+		}
+	}
+}
+
+// TestDurableSidecarOddPostRoundTrip: the binary sidecar must carry
+// posts the JSONL path renders with non-trivial detail — fixed and
+// named non-UTC zones, sub-second precision, unicode and newlines in
+// the text, an empty author — through a warm indexed open with the
+// listing byte-identical to the acknowledged state.
+func TestDurableSidecarOddPostRoundTrip(t *testing.T) {
+	odd := []*Post{
+		{
+			ID:        "odd-utc",
+			Author:    "plain",
+			Text:      "baseline #turbo chatter about the excavator",
+			CreatedAt: time.Date(2024, 5, 1, 8, 0, 0, 123456789, time.UTC),
+			Region:    RegionEurope,
+			Metrics:   Metrics{Views: 10},
+		},
+		{
+			ID:        "odd-cest",
+			Author:    "", // Validate allows an empty author
+			Text:      "remap \"quotes\" and\nnewlines #turbo 🚜 χαίρετε",
+			CreatedAt: time.Date(2024, 5, 2, 9, 30, 0, 120000000, time.FixedZone("CEST", 2*3600)),
+			Region:    RegionEurope,
+			Metrics:   Metrics{Views: 1, Likes: 2, Reposts: 3, Replies: 4},
+		},
+		{
+			ID:        "odd-nst",
+			Author:    "newfoundland",
+			Text:      "negative half-hour offset #turbo",
+			CreatedAt: time.Date(2024, 5, 3, 6, 15, 45, 1, time.FixedZone("NST", -(3*3600+30*60))),
+			Region:    RegionNorthAmerica,
+			Metrics:   Metrics{},
+		},
+		{
+			ID:        "odd-npt",
+			Author:    "kathmandu",
+			Text:      "quarter-hour offset #turbo",
+			CreatedAt: time.Date(1999, 12, 31, 23, 59, 59, 999999999, time.FixedZone("NPT", 5*3600+45*60)),
+			Region:    RegionAsiaPacific,
+			Metrics:   Metrics{Views: 7},
+		},
+	}
+	dir := t.TempDir()
+	s, err := OpenStoreDir(dir, noCompact(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(clonePosts(odd)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := listAll(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStoreDir(dir, noCompact(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if got, idx := nonEmptyStripes(t, dir), int(st.RecoveredIndexed); idx != got || st.RecoveredRebuilt != 0 {
+		t.Fatalf("warm open: indexed %d of %d stripes, rebuilt %d; want all indexed",
+			idx, got, st.RecoveredRebuilt)
+	}
+	if got := listAll(t, re); !reflect.DeepEqual(want, got) {
+		t.Fatalf("odd-post listing diverged after indexed reopen:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestDurableSidecarEncodeFailurePostsOnly: a post whose timestamp
+// cannot round-trip through the sidecar's Unix-nanosecond encoding
+// (far outside the int64 range) must not wedge compaction — the
+// affected stripe degrades to a posts-only manifest entry, every other
+// stripe keeps its sidecar, and the reopen recovers the degraded
+// stripe through the re-tokenizing fallback with the listing intact.
+func TestDurableSidecarEncodeFailurePostsOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStoreDir(dir, noCompact(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []*Post
+	for n := 0; n < 40; n++ {
+		batch = append(batch, durPost(n, n%11))
+	}
+	far := &Post{
+		ID:        "odd-beyond-nano",
+		Author:    "deep-future",
+		Text:      "timestamp beyond the Unix-nano range #turbo",
+		CreatedAt: time.Date(2400, 1, 1, 0, 0, 0, 0, time.UTC),
+		Region:    RegionEurope,
+	}
+	if err := s.Add(append(batch, far)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := durable.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postsOnly := 0
+	for _, ent := range man.Stripes {
+		if ent.Posts != "" && ent.Index == "" {
+			postsOnly++
+		}
+	}
+	if postsOnly != 1 {
+		t.Fatalf("posts-only stripes after degraded compaction = %d, want exactly 1", postsOnly)
+	}
+	want := listAll(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStoreDir(dir, noCompact(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if st.RecoveredRebuilt != 1 {
+		t.Fatalf("RecoveredRebuilt = %d, want 1 (the posts-only stripe)", st.RecoveredRebuilt)
+	}
+	if got := listAll(t, re); !reflect.DeepEqual(want, got) {
+		t.Fatalf("listing diverged after degraded-stripe reopen:\nwant %s\ngot  %s", want, got)
+	}
+}
