@@ -1423,3 +1423,79 @@ func BenchmarkResilienceSeams(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTracingOverhead prices the distributed-tracing tentpole on
+// the two hottest shapes: the mixed ingest+search store workload
+// (BenchmarkStoreConcurrentMixed's shape) and the armed federated page
+// (BenchmarkResilienceSeams's resilient shape), each bare against
+// traced at the default 0.1 head-sampling rate and at full sampling.
+// The acceptance bar is trace=sampled within ~5% of trace=off: the
+// untraced paths cost one atomic pointer load, and an unsampled span
+// is one small allocation plus the sampling coin — no ring write, no
+// attr formatting (attrs are set but the span is dropped at End).
+func BenchmarkTracingOverhead(b *testing.B) {
+	tracerFor := func(mode string) *obs.Tracer {
+		switch mode {
+		case "sampled":
+			return obs.NewTracer(obs.TracerOptions{SampleRate: 0.1})
+		case "full":
+			return obs.NewTracer(obs.TracerOptions{SampleRate: 1})
+		default:
+			return nil
+		}
+	}
+	for _, mode := range []string{"off", "sampled", "full"} {
+		store := paddedStoreShards(b, 56000, 8)
+		store.SetTracer(tracerFor(mode))
+		b.Run(fmt.Sprintf("store=mixed/trace=%s", mode), func(b *testing.B) {
+			ctx := context.Background()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				q := social.Query{AnyTags: []string{"dpfdelete"}, MaxResults: 50}
+				for i := 0; pb.Next(); i++ {
+					if i%2 == 0 {
+						if err := store.Add(mixedWritePost(mixedPostSeq.Add(1))); err != nil {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					page, err := store.Search(ctx, q)
+					if err != nil || page.TotalMatches == 0 {
+						b.Errorf("search: %v (total %d)", err, page.TotalMatches)
+						return
+					}
+				}
+			})
+		})
+	}
+	for _, mode := range []string{"off", "sampled", "full"} {
+		b.Run(fmt.Sprintf("multi=armed/trace=%s", mode), func(b *testing.B) {
+			store := paddedStore(b, 8000)
+			s, err := social.NewMultiOptions(social.MultiOptions{
+				BackendTimeout:   5 * time.Second,
+				Partial:          true,
+				BreakerThreshold: 3,
+				Tracer:           tracerFor(mode),
+			},
+				social.PlatformSource{Name: "alpha", Searcher: store},
+				social.PlatformSource{Name: "beta", Searcher: store},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			q := social.Query{AnyTags: []string{"fillerchatter"}, MaxResults: 50, SkipTotal: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page, err := s.Search(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(page.Posts) == 0 || page.Degraded {
+					b.Fatalf("healthy federated page: %d posts, degraded=%v", len(page.Posts), page.Degraded)
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,7 @@
 //	     [-data-dir /var/lib/pspd]
 //	     [-application excavator] [-region EU]
 //	     [-debounce 200ms] [-drain 5s] [-concurrency 0] [-shards 0]
+//	     [-trace-sample 0.1] [-slow-ms 250]
 //	     [-log-level info] [-log-format text] [-pprof]
 //
 // -corpus seeds the store from a JSON Lines snapshot instead of the
@@ -85,6 +86,20 @@
 // /v1/readyz answers 503 with the pending reasons until the daemon can
 // actually serve assessments (point readiness gates here — on a warm
 // restart the persisted assessment restores readiness immediately).
+// Every request is traced end to end: the HTTP middleware continues an
+// inbound W3C traceparent header (or starts a fresh trace), and spans
+// from every stage the request touches — server handling, store search
+// and ingest, WAL group commits, monitor delta runs, per-tenant TARA
+// re-rates — share its trace ID, each carrying cost-attribution
+// attributes (postings scanned, fsync group sizes, dirty threats).
+// -trace-sample sets the probabilistic keep rate for healthy traces
+// (0 records only errors, slow spans and degraded pages; 1 records
+// everything); -slow-ms sets the latency above which a span is always
+// kept and logged. GET /v1/trace serves the recorded spans as JSON —
+// newest first, or one coherent trace via ?trace_id=. Span counts and
+// durations additionally surface per span name under psp_trace_* in
+// /v1/metrics, next to psp_build_info and process uptime.
+//
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for
 // live profiling; it is off by default because profiles are expensive
 // and the endpoint has no auth.
@@ -118,6 +133,8 @@ type options struct {
 	concurrency int
 	shards      int
 	taraFleet   bool
+	traceSample float64
+	slowMS      int
 	logLevel    string
 	logFormat   string
 	pprof       bool
@@ -136,6 +153,8 @@ func main() {
 	flag.IntVar(&opts.concurrency, "concurrency", 0, "workflow query fan-out (0 = GOMAXPROCS)")
 	flag.IntVar(&opts.shards, "shards", 0, "store shard count (0 = library default)")
 	flag.BoolVar(&opts.taraFleet, "tara", true, "serve the multi-tenant TARA fleet on /v1/tara")
+	flag.Float64Var(&opts.traceSample, "trace-sample", 0.1, "probabilistic trace sample rate in [0,1]; errors and slow spans are always kept")
+	flag.IntVar(&opts.slowMS, "slow-ms", 250, "spans at least this many milliseconds long are always traced and logged (<0 disables)")
 	flag.StringVar(&opts.logLevel, "log-level", "info", "log floor: debug, info, warn or error")
 	flag.StringVar(&opts.logFormat, "log-format", "text", "log encoding: text or json")
 	flag.BoolVar(&opts.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -182,12 +201,20 @@ func run(ctx context.Context, opts options) error {
 		return err
 	}
 	obsReg := psp.NewMetricsRegistry()
+	psp.RegisterBuildInfo(obsReg, psp.Version)
 	storeMet := psp.NewSocialStoreMetrics(obsReg)
+	tracer := psp.NewTracer(psp.TracerOptions{
+		SampleRate:    opts.traceSample,
+		SlowThreshold: time.Duration(opts.slowMS) * time.Millisecond,
+		Logger:        logger,
+		Registry:      obsReg,
+	})
 
 	store, recovered, err := loadCorpus(opts.seed, opts.corpus, opts.dataDir, opts.shards, storeMet)
 	if err != nil {
 		return err
 	}
+	store.SetTracer(tracer)
 	// The final flush pairs with the graceful HTTP drain: once the
 	// server and monitor stopped, the WAL tail compacts into a snapshot
 	// so the next start recovers without replay.
@@ -200,13 +227,13 @@ func run(ctx context.Context, opts options) error {
 	if opts.dataDir != "" {
 		state = psp.NewMonitorFileState(filepath.Join(opts.dataDir, "monitor.json"))
 	}
-	m, fw, err := newMonitor(store, state, opts, psp.NewMonitorMetrics(obsReg), logger)
+	m, fw, err := newMonitor(store, state, opts, psp.NewMonitorMetrics(obsReg), tracer, logger)
 	if err != nil {
 		return err
 	}
 	var tm *psp.TARAMonitor
 	if opts.taraFleet {
-		tm, err = newTARAFleet(fw, m, opts.debounce, psp.NewTARAMonitorMetrics(obsReg), logger)
+		tm, err = newTARAFleet(fw, m, opts.debounce, psp.NewTARAMonitorMetrics(obsReg), tracer, logger)
 		if err != nil {
 			return err
 		}
@@ -226,7 +253,7 @@ func run(ctx context.Context, opts options) error {
 			stopRun()
 		}
 	}()
-	api := psp.NewMonitorAPI(m).WithObservability(obsReg, logger)
+	api := psp.NewMonitorAPI(m).WithObservability(obsReg, logger).WithTracing(tracer)
 	if opts.pprof {
 		api.WithPprof()
 	}
@@ -275,7 +302,7 @@ func run(ctx context.Context, opts options) error {
 // newMonitor wires the framework and monitor over the store; the
 // framework is returned too, so the TARA fleet can share its worker
 // pool.
-func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, opts options, met *psp.MonitorMetrics, logger *slog.Logger) (*psp.Monitor, *psp.Framework, error) {
+func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, opts options, met *psp.MonitorMetrics, tracer *psp.Tracer, logger *slog.Logger) (*psp.Monitor, *psp.Framework, error) {
 	// Validate the region eagerly: a typo would otherwise make a
 	// healthy-looking daemon monitor an empty corpus forever.
 	switch psp.Region(opts.region) {
@@ -299,6 +326,7 @@ func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, opts option
 		Debounce: opts.debounce,
 		State:    state,
 		Metrics:  met,
+		Tracer:   tracer,
 		Logger:   logger,
 	})
 	if err != nil {
@@ -311,7 +339,7 @@ func newMonitor(store *psp.SocialStore, state psp.MonitorStateStore, opts option
 // attaches the socially monitored threat scenarios to the tenants owning
 // the affected units, and wires the fleet's rating loop to the social
 // monitor's tuning stream.
-func newTARAFleet(fw *psp.Framework, m *psp.Monitor, debounce time.Duration, met *psp.TARAMonitorMetrics, logger *slog.Logger) (*psp.TARAMonitor, error) {
+func newTARAFleet(fw *psp.Framework, m *psp.Monitor, debounce time.Duration, met *psp.TARAMonitorMetrics, tracer *psp.Tracer, logger *slog.Logger) (*psp.TARAMonitor, error) {
 	top, err := psp.ReferenceArchitecture()
 	if err != nil {
 		return nil, err
@@ -354,6 +382,7 @@ func newTARAFleet(fw *psp.Framework, m *psp.Monitor, debounce time.Duration, met
 		Social:    m,
 		Debounce:  debounce,
 		Metrics:   met,
+		Tracer:    tracer,
 		Logger:    logger,
 	})
 }

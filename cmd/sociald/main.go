@@ -8,6 +8,7 @@
 //	sociald [-addr :8384] [-seed 42] [-rate 50] [-burst 100]
 //	        [-corpus snapshot.jsonl] [-dump snapshot.jsonl]
 //	        [-data-dir /var/lib/sociald] [-shards 0]
+//	        [-trace-sample 0.1] [-slow-ms 250]
 //	        [-log-level info] [-log-format text] [-pprof]
 //
 // -corpus loads a JSON Lines snapshot instead of generating the
@@ -24,9 +25,15 @@
 //
 // Logs are structured (log/slog; -log-level, -log-format json for log
 // shippers). GET /v1/metrics serves a Prometheus exposition of the
-// store (psp_store_*, and psp_wal_* when durable) and the search API
-// (psp_http_*); every response carries an X-Request-ID header. -pprof
-// mounts net/http/pprof under /debug/pprof/.
+// store (psp_store_*, and psp_wal_* when durable), the search API
+// (psp_http_*), span counts (psp_trace_*) and psp_build_info; every
+// response carries an X-Request-ID header. Requests are traced: the
+// middleware continues an inbound W3C traceparent header (as sent by a
+// federated pspd), so sociald's server and store spans join the
+// caller's distributed trace; GET /v1/trace serves the recorded spans
+// (-trace-sample sets the keep rate for healthy traces, -slow-ms the
+// always-keep latency bar). -pprof mounts net/http/pprof under
+// /debug/pprof/.
 package main
 
 import (
@@ -45,17 +52,19 @@ import (
 
 // options carries the daemon configuration from flags to run.
 type options struct {
-	addr      string
-	seed      int64
-	rate      float64
-	burst     int
-	corpus    string
-	dump      string
-	dataDir   string
-	shards    int
-	logLevel  string
-	logFormat string
-	pprof     bool
+	addr        string
+	seed        int64
+	rate        float64
+	burst       int
+	corpus      string
+	dump        string
+	dataDir     string
+	shards      int
+	traceSample float64
+	slowMS      int
+	logLevel    string
+	logFormat   string
+	pprof       bool
 }
 
 func main() {
@@ -68,6 +77,8 @@ func main() {
 	flag.StringVar(&opts.dump, "dump", "", "write the corpus to a JSON Lines snapshot and exit")
 	flag.StringVar(&opts.dataDir, "data-dir", "", "durable data directory (WAL + snapshots); empty runs in-memory")
 	flag.IntVar(&opts.shards, "shards", 0, "store shard count (0 = library default)")
+	flag.Float64Var(&opts.traceSample, "trace-sample", 0.1, "probabilistic trace sample rate in [0,1]; errors and slow spans are always kept")
+	flag.IntVar(&opts.slowMS, "slow-ms", 250, "spans at least this many milliseconds long are always traced and logged (<0 disables)")
 	flag.StringVar(&opts.logLevel, "log-level", "info", "log floor: debug, info, warn or error")
 	flag.StringVar(&opts.logFormat, "log-format", "text", "log encoding: text or json")
 	flag.BoolVar(&opts.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -113,10 +124,18 @@ func run(ctx context.Context, opts options) error {
 		return err
 	}
 	obsReg := psp.NewMetricsRegistry()
+	psp.RegisterBuildInfo(obsReg, psp.Version)
+	tracer := psp.NewTracer(psp.TracerOptions{
+		SampleRate:    opts.traceSample,
+		SlowThreshold: time.Duration(opts.slowMS) * time.Millisecond,
+		Logger:        logger,
+		Registry:      obsReg,
+	})
 	store, err := loadCorpus(opts.seed, opts.corpus, opts.dataDir, opts.shards, psp.NewSocialStoreMetrics(obsReg))
 	if err != nil {
 		return err
 	}
+	store.SetTracer(tracer)
 	// With -data-dir this compacts the WAL tail into a final snapshot
 	// on the way out (SIGTERM included); in-memory it is a no-op.
 	defer func() {
@@ -134,12 +153,13 @@ func run(ctx context.Context, opts options) error {
 
 	// The search API's two routes are a bounded label set, so the path
 	// itself can serve as the route label.
-	httpMet := psp.NewHTTPMetrics(obsReg, logger)
+	httpMet := psp.NewHTTPMetrics(obsReg, logger).WithTracer(tracer)
 	mux := http.NewServeMux()
 	mux.Handle("/v2/", httpMet.Instrument(
 		func(r *http.Request) string { return r.URL.Path },
 		psp.NewSocialServer(store, limiter).Handler()))
 	mux.Handle("/v1/metrics", psp.MetricsHandler(obsReg))
+	mux.Handle("/v1/trace", psp.TraceHandler(tracer))
 	if opts.pprof {
 		mux.Handle("/debug/pprof/", psp.PprofHandler())
 	}

@@ -144,6 +144,37 @@
 // initial assessment and TARA rating pass land). The instrumented hot
 // paths stay within a few percent of bare (BENCH_7.json).
 //
+// # Distributed tracing
+//
+// On top of the metrics core sits a zero-dependency span tracer
+// (NewTracer) with per-query cost attribution across the whole
+// pipeline. Spans thread through context.Context, record into a
+// bounded lock-free ring, and sample at the head: the keep/drop coin
+// is flipped once per root (TracerOptions.SampleRate; the daemons
+// expose -trace-sample) and inherited by children, while failed
+// spans, spans over the slow threshold (-slow-ms) and force-sampled
+// spans are always kept — and every finished span, sampled or not,
+// feeds the psp_trace_* metrics. Traces cross the federation hop via
+// the W3C traceparent header: the HTTP middleware continues an
+// inbound header and the social client injects one per attempt, so a
+// federated page through pspd and the sociald backends it queries is
+// one trace, each backend's server span retrievable from its own
+// GET /v1/trace endpoint by the shared trace ID. Attribution covers
+// every stage — ingest (store.add posts/inserted, wal.append
+// stripes/records/group size), search (store.search stripes visited,
+// postings scanned, delta size), federation (multi.search and
+// per-backend multi.backend spans with retry, breaker-skip and
+// degraded-page decisions as events), and the asynchronous tail: the
+// monitor's debounced flush links into the ingest trace that
+// triggered it (delta size, invalidated fills, dirty topics/threats)
+// and each tenant re-rate records a tara.rate span (dirty threats,
+// rating calls). Wire it with SocialStore.SetTracer,
+// MonitorConfig.Tracer, TARAMonitorConfig.Tracer, MultiOptions.Tracer
+// and NewHTTPMetrics().WithTracer / MonitorAPI.WithTracing; spans
+// serve as JSON from GET /v1/trace (TraceHandler). Unsampled spans
+// cost one atomic coin flip, keeping the default configuration within
+// a few percent of bare (BENCH_10.json).
+//
 // # Resilience and graceful degradation
 //
 // Every dependency failure has a declared contract, and a chaos suite

@@ -116,8 +116,18 @@ type appendReq struct {
 }
 
 type appendRes struct {
-	seq uint64
-	err error
+	seq   uint64
+	group int // records in the commit group whose fsync covered this one
+	err   error
+}
+
+// AppendResult reports one durable append: the record's sequence and
+// the size of the commit group whose single fsync covered it — the
+// cost-attribution number that says how well group commit amortized
+// this record's durability wait.
+type AppendResult struct {
+	Seq   uint64
+	Group int
 }
 
 // OpenLog opens (or creates) the log in dir, validating existing
@@ -295,11 +305,18 @@ func scanSegment(path string, maxCount int, fn func(idx int, payload []byte) err
 // the record's sequence. The payload is copied into the log's write
 // buffer synchronously, so the caller may reuse it afterwards.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	res, err := l.AppendGroup(payload)
+	return res.Seq, err
+}
+
+// AppendGroup is Append also reporting the commit-group size the
+// record was fsync'd with (see AppendResult).
+func (l *Log) AppendGroup(payload []byte) (AppendResult, error) {
 	if len(payload) == 0 {
-		return 0, fmt.Errorf("durable: empty payload")
+		return AppendResult{}, fmt.Errorf("durable: empty payload")
 	}
 	if len(payload) > MaxRecordBytes {
-		return 0, fmt.Errorf("durable: payload of %d bytes exceeds MaxRecordBytes", len(payload))
+		return AppendResult{}, fmt.Errorf("durable: payload of %d bytes exceeds MaxRecordBytes", len(payload))
 	}
 	var t0 time.Time
 	if l.opts.Metrics != nil {
@@ -309,7 +326,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.sendMu.RLock()
 	if l.closed {
 		l.sendMu.RUnlock()
-		return 0, ErrClosed
+		return AppendResult{}, ErrClosed
 	}
 	l.reqs <- req
 	l.sendMu.RUnlock()
@@ -324,7 +341,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		}
 		m.AppendLatency.ObserveSince(t0)
 	}
-	return res.seq, res.err
+	return AppendResult{Seq: res.seq, Group: res.group}, res.err
 }
 
 // run is the writer goroutine: it groups waiting appends, commits each
@@ -443,7 +460,7 @@ func (l *Log) commitGroup(group []*appendReq) {
 		if l.opts.OnDurable != nil {
 			l.opts.OnDurable(seq)
 		}
-		r.done <- appendRes{seq: seq}
+		r.done <- appendRes{seq: seq, group: len(group)}
 	}
 }
 

@@ -43,7 +43,10 @@ type API struct {
 	// and per-route instrumentation; pprof mounts /debug/pprof.
 	obsReg  *obs.Registry
 	httpMet *obs.HTTPMetrics
-	pprof   bool
+	// tracer, when set via WithTracing, enables GET /v1/trace and makes
+	// the middleware open one server span per request.
+	tracer *obs.Tracer
+	pprof  bool
 }
 
 // NewAPI wraps a monitor.
@@ -56,6 +59,16 @@ func NewAPI(m *Monitor) *API { return &API{m: m} }
 func (a *API) WithObservability(reg *obs.Registry, logger *slog.Logger) *API {
 	a.obsReg = reg
 	a.httpMet = obs.NewHTTPMetrics(reg, logger)
+	return a
+}
+
+// WithTracing attaches a span tracer: the request middleware (from
+// WithObservability, which must be attached too for per-request server
+// spans) continues inbound traceparent headers or starts fresh traces,
+// and GET /v1/trace serves the recorded span ring (see obs.Tracer).
+func (a *API) WithTracing(t *obs.Tracer) *API {
+	a.tracer = t
+	a.httpMet.WithTracer(t)
 	return a
 }
 
@@ -79,6 +92,9 @@ func (a *API) Handler() http.Handler {
 	}
 	if a.obsReg != nil {
 		mux.Handle("/v1/metrics", a.route("/v1/metrics", a.obsReg.Handler()))
+	}
+	if a.tracer != nil {
+		mux.Handle("/v1/trace", a.route("/v1/trace", a.tracer.Handler()))
 	}
 	if a.pprof {
 		mux.Handle("/debug/pprof/", obs.PprofHandler())
@@ -134,7 +150,7 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 		posts = []*social.Post{&one}
 	}
 	store := a.m.Store()
-	added, addErr := store.AddCount(posts...)
+	added, addErr := store.AddCountContext(r.Context(), posts...)
 	if addErr != nil {
 		if errors.Is(addErr, social.ErrDegraded) {
 			// Read-only degraded mode (persistent WAL failure): the

@@ -49,6 +49,13 @@ type Config struct {
 	// readings (generation, assessment age, error age) register at
 	// construction.
 	Metrics *Metrics
+	// Tracer, when set, records one "monitor.flush" span per
+	// re-assessment with the delta's cost attribution (posts, cache
+	// fills invalidated, dirty topics/threats, whether the workflow
+	// re-ran). When the watched store is traced too (Store.SetTracer),
+	// the flush span links into the trace of the ingest that triggered
+	// it, so GET /v1/trace shows ingest → WAL → delta run end to end.
+	Tracer *obs.Tracer
 	// Logger receives the monitor's structured log lines; nil discards.
 	Logger *slog.Logger
 }
@@ -249,6 +256,20 @@ func retryDelay(debounce time.Duration, failStreak uint) time.Duration {
 // pendingSince, when non-zero, is the instant the flush window opened;
 // the publication records the window-to-publish latency from it.
 func (m *Monitor) flush(ctx context.Context, pending []*social.Post, pendingSince time.Time) {
+	var span *obs.Span
+	if m.cfg.Tracer != nil {
+		// Continue the triggering ingest's trace when there is one: the
+		// debounce coalesces batches, so the link names the last traced
+		// ingest of the flush window — the delta run still attributes to
+		// one concrete trace a /v1/trace lookup can follow end to end.
+		if traceID, spanID := m.cfg.Store.LastIngestTrace(); traceID != "" && len(pending) > 0 {
+			ctx, span = m.cfg.Tracer.StartLink(ctx, "monitor.flush", traceID, spanID)
+		} else {
+			ctx, span = m.cfg.Tracer.Start(ctx, "monitor.flush")
+		}
+		span.SetInt("delta_posts", int64(len(pending)))
+		defer span.End()
+	}
 	// The persisted cursor is captured before any cache work: the
 	// cached fills about to be (re)built reflect the store at or after
 	// this point, so a restart replays at most a little extra — and
@@ -270,6 +291,11 @@ func (m *Monitor) flush(ctx context.Context, pending []*social.Post, pendingSinc
 	profiles := social.ProfilePosts(pending)
 	dropped := m.rc.InvalidateProfiles(profiles)
 	dirty := m.cfg.Framework.DirtyForProfiles(m.cfg.Input, profiles)
+	if span != nil {
+		span.SetInt("invalidated_fills", int64(dropped))
+		span.SetInt("dirty_topics", int64(len(dirty.Topics)))
+		span.SetInt("dirty_threats", int64(len(dirty.Threats)))
+	}
 
 	m.mu.Lock()
 	m.ingested += len(pending)
@@ -289,10 +315,13 @@ func (m *Monitor) flush(ctx context.Context, pending []*social.Post, pendingSinc
 		// fsync per no-work tick.
 		m.publish(prev.Result, dirty, false, false)
 		observePublish()
+		span.SetBool("recomputed", false)
 		return
 	}
 	res, err := m.cfg.Framework.RunSocialDelta(ctx, m.cfg.Input, m.rc)
+	span.SetBool("recomputed", true)
 	if err != nil {
+		span.Fail(err)
 		m.mu.Lock()
 		m.lastErr = err
 		if m.lastErrAt.IsZero() {

@@ -33,6 +33,10 @@ type TARAConfig struct {
 	// Metrics, when set, records per-tenant rate latency, rating-call
 	// deltas and dirty-threat counts (see NewTARAMetrics).
 	Metrics *TARAMetrics
+	// Tracer, when set, records one "tara.rate" span per tenant
+	// re-rate, attributing the pass's cost (dirty threats re-rated,
+	// rating calls spent) to the tenant.
+	Tracer *obs.Tracer
 	// Logger receives the fleet monitor's structured log lines; nil
 	// discards.
 	Logger *slog.Logger
@@ -142,9 +146,11 @@ func (tm *TARAMonitor) ratePass(ctx context.Context, names []string) bool {
 		}
 		prev := ten.Assessment()
 		var prevCalls uint64
-		if met != nil {
+		if met != nil || tm.cfg.Tracer != nil {
 			prevCalls = ten.RatingCalls()
 		}
+		_, span := tm.cfg.Tracer.Start(ctx, "tara.rate")
+		span.SetAttr("tenant", name)
 		t0 := time.Now()
 		cur, err := ten.Rate(tm.cfg.Now(), func(p *tara.Plan) ([]*tara.ThreatResult, error) {
 			return tm.cfg.Framework.RatePlan(ctx, p)
@@ -157,6 +163,8 @@ func (tm *TARAMonitor) ratePass(ctx context.Context, names []string) bool {
 			if met != nil {
 				met.Failures.Inc()
 			}
+			span.Fail(err)
+			span.End()
 			tm.cfg.Logger.Warn("tenant rating failed", "tenant", name, "error", err)
 			tm.cfg.Registry.MarkDirty(name)
 			continue
@@ -170,6 +178,17 @@ func (tm *TARAMonitor) ratePass(ctx context.Context, names []string) bool {
 				met.RatingCalls.Add(ten.RatingCalls() - prevCalls)
 				met.DirtyThreats.Observe(int64(cur.RatedThreats))
 			}
+		}
+		if span != nil {
+			if cur != prev {
+				span.SetBool("rerated", true)
+				span.SetInt("dirty_threats", int64(cur.RatedThreats))
+				span.SetInt("rating_calls", int64(ten.RatingCalls()-prevCalls))
+				span.SetInt("generation", int64(cur.Generation))
+			} else {
+				span.SetBool("rerated", false)
+			}
+			span.End()
 		}
 		if cur != prev {
 			tm.cfg.Logger.Debug("tenant rated",

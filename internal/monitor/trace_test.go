@@ -1,0 +1,216 @@
+// Tracing integration: the monitor's delta flush must link into the
+// ingest trace that triggered it, and the TARA fleet must attribute
+// each tenant re-rate's cost in a "tara.rate" span.
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/psp-framework/psp/internal/core"
+	"github.com/psp-framework/psp/internal/obs"
+	"github.com/psp-framework/psp/internal/social"
+	"github.com/psp-framework/psp/internal/tara"
+)
+
+func attrMap(s *obs.Span) map[string]string {
+	m := make(map[string]string, len(s.Attrs))
+	for _, a := range s.Attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// TestMonitorFlushLinksIngestTrace: an ingest under a traced context
+// must yield store.add in the caller's trace, and the debounced
+// monitor flush — running on its own goroutine, after the ingest
+// returned — must join that same trace as a child of the ingest span,
+// carrying the delta-size and invalidation cost attrs.
+func TestMonitorFlushLinksIngestTrace(t *testing.T) {
+	store, err := social.DefaultStore(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(obs.TracerOptions{SampleRate: 1})
+	store.SetTracer(tr)
+
+	fw, err := core.New(core.Config{Searcher: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		Framework: fw,
+		Store:     store,
+		Input:     core.SocialInput{Threats: []*tara.ThreatScenario{ecmThreat()}},
+		Debounce:  20 * time.Millisecond,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Run(runCtx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("monitor did not stop after cancellation")
+		}
+	})
+	waitCtx, waitCancel := context.WithTimeout(runCtx, 30*time.Second)
+	defer waitCancel()
+	first, err := m.WaitFor(waitCtx, 1)
+	if err != nil {
+		t.Fatalf("initial assessment: %v", err)
+	}
+
+	var delta []*social.Post
+	for i := 0; i < 10; i++ {
+		delta = append(delta, deltaPost(i, "hot new #chiptuning stage1 file"))
+	}
+	ctx, root := tr.Start(context.Background(), "test.ingest")
+	if _, err := store.AddCountContext(ctx, delta...); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if _, err := m.WaitFor(waitCtx, first.Generation+1); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.TraceSpans(root.TraceID)
+	var add, flush *obs.Span
+	for _, s := range spans {
+		switch s.Name {
+		case "store.add":
+			add = s
+		case "monitor.flush":
+			flush = s
+		}
+	}
+	if add == nil {
+		t.Fatalf("no store.add span in the ingest trace (%d spans)", len(spans))
+	}
+	if flush == nil {
+		t.Fatalf("monitor.flush did not join the ingest trace %s (%d spans)", root.TraceID, len(spans))
+	}
+	if flush.ParentID != add.SpanID {
+		t.Fatalf("monitor.flush parent %s, want the ingest span %s", flush.ParentID, add.SpanID)
+	}
+	got := attrMap(flush)
+	if got["delta_posts"] != "10" {
+		t.Fatalf("flush delta_posts = %q, want 10 (attrs %v)", got["delta_posts"], got)
+	}
+	if got["recomputed"] != "true" {
+		t.Fatalf("flush recomputed = %q, want true", got["recomputed"])
+	}
+	for _, key := range []string{"invalidated_fills", "dirty_topics", "dirty_threats"} {
+		if got[key] == "" {
+			t.Fatalf("flush attrs = %v, missing %q", got, key)
+		}
+	}
+}
+
+// TestTARARateSpansAttributeCost: the fleet's initial pass records one
+// tara.rate span per tenant with the re-rate cost, and a mutation's
+// incremental pass records the dirty-threat and rating-call deltas.
+func TestTARARateSpansAttributeCost(t *testing.T) {
+	reg := tara.NewRegistry()
+	genTenantFleet(t, reg, 3)
+	tr := obs.NewTracer(obs.TracerOptions{SampleRate: 1})
+
+	fw, err := core.New(core.Config{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := NewTARAMonitor(TARAConfig{
+		Framework: fw,
+		Registry:  reg,
+		Debounce:  10 * time.Millisecond,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tm.Run(runCtx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("tara monitor did not stop after cancellation")
+		}
+	})
+	waitCtx, waitCancel := context.WithTimeout(runCtx, 30*time.Second)
+	defer waitCancel()
+	for _, name := range reg.Names() {
+		if _, err := tm.WaitForTenant(waitCtx, name, 1); err != nil {
+			t.Fatalf("initial assessment of tenant %s: %v", name, err)
+		}
+	}
+
+	perTenant := map[string]*obs.Span{}
+	for _, s := range tr.Spans(0) {
+		if s.Name == "tara.rate" {
+			perTenant[attrMap(s)["tenant"]] = s
+		}
+	}
+	for _, name := range reg.Names() {
+		s, ok := perTenant[name]
+		if !ok {
+			t.Fatalf("no tara.rate span for tenant %s (got %v)", name, perTenant)
+		}
+		got := attrMap(s)
+		if got["rerated"] != "true" {
+			t.Fatalf("initial pass for %s rerated=%q, want true", name, got["rerated"])
+		}
+		for _, key := range []string{"dirty_threats", "rating_calls", "generation"} {
+			if got[key] == "" {
+				t.Fatalf("tara.rate attrs for %s = %v, missing %q", name, got, key)
+			}
+		}
+	}
+
+	// One mutation: the incremental pass attributes exactly the dirty
+	// slice to the mutated tenant.
+	target, _ := reg.Get("t01")
+	genBefore := target.Assessment().Generation
+	hot, err := tara.NewVectorTable("hot", map[tara.AttackVector]tara.FeasibilityRating{
+		tara.VectorPhysical: tara.FeasibilityHigh, tara.VectorLocal: tara.FeasibilityHigh,
+		tara.VectorAdjacent: tara.FeasibilityHigh, tara.VectorNetwork: tara.FeasibilityHigh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Mutate(func(a *tara.Analysis) (bool, error) {
+		return a.SetThreatTable(a.Threats[0].ID, hot)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.WaitForTenant(waitCtx, "t01", genBefore+1); err != nil {
+		t.Fatal(err)
+	}
+
+	var incremental *obs.Span
+	for _, s := range tr.Spans(0) {
+		if s.Name != "tara.rate" {
+			continue
+		}
+		got := attrMap(s)
+		if got["tenant"] == "t01" && got["generation"] == fmt.Sprint(genBefore+1) {
+			incremental = s
+		}
+	}
+	if incremental == nil {
+		t.Fatal("no tara.rate span for the incremental re-rate")
+	}
+	got := attrMap(incremental)
+	if got["rerated"] != "true" || got["dirty_threats"] != "1" {
+		t.Fatalf("incremental tara.rate attrs = %v, want rerated with 1 dirty threat", got)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo registers the standard process-identity gauges:
+//
+//	psp_build_info{version,go,revision} 1
+//	psp_process_start_time_seconds      <unix start time>
+//	psp_process_uptime_seconds          <seconds since start>
+//
+// version is the daemon's own version string ("devel" when empty);
+// the VCS revision is taken from the embedded module build info when
+// available. Safe to call more than once (GaugeFunc replaces).
+func RegisterBuildInfo(reg *Registry, version string) {
+	if reg == nil {
+		return
+	}
+	if version == "" {
+		version = "devel"
+	}
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+				break
+			}
+		}
+	}
+	reg.GaugeFunc("psp_build_info",
+		"Build identity; value is always 1, the labels carry the info.",
+		func() float64 { return 1 },
+		Label{"version", version},
+		Label{"go", runtime.Version()},
+		Label{"revision", revision})
+	start := time.Now()
+	reg.GaugeFunc("psp_process_start_time_seconds",
+		"Unix time the process registered its observability surface.",
+		func() float64 { return float64(start.Unix()) })
+	reg.GaugeFunc("psp_process_uptime_seconds",
+		"Seconds since the process registered its observability surface.",
+		func() float64 { return time.Since(start).Seconds() })
+}

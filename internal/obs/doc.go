@@ -32,4 +32,63 @@
 // (version 0.0.4); Registry.Handler serves it, typically mounted at
 // GET /v1/metrics. PprofHandler returns the standard net/http/pprof
 // mux for opt-in mounting behind a flag.
+//
+// # Distributed tracing
+//
+// The package also carries a span tracer built on the same principles:
+// zero dependencies, lock-free recording, nil-safe no-ops. A Tracer
+// hands out Spans — trace ID, span ID, parent link, duration, string
+// attrs, timestamped events, an error verdict — threaded through
+// context.Context (Start creates a child of the context span or a new
+// root; SpanFrom reads it back). Finished spans that pass the keep
+// filter land in a bounded lock-free ring ([]atomic.Pointer[Span] with
+// a power-of-two mask and an atomic write index): recording is a
+// pointer store, readers snapshot without blocking writers, and the
+// ring overwrites oldest-first so memory is bounded regardless of
+// traffic. A nil *Tracer and a nil *Span no-op on every method, so
+// "tracing off" needs no branches at instrumentation sites.
+//
+// # Sampling policy
+//
+// Sampling is head-based: the keep/drop coin is flipped once when a
+// root span starts (TracerOptions.SampleRate, a probability in [0,1])
+// and inherited by every child, so a trace is recorded whole or not at
+// all. Three overrides force retention regardless of the coin: spans
+// that Fail (error verdict), spans at least SlowThreshold long (the
+// tail worth debugging), and spans explicitly ForceSample'd (e.g. a
+// degraded federated page). Slow and failed spans are additionally
+// logged through the tracer's slog.Logger. An unsampled span still
+// feeds the psp_trace_* metrics — per-name span counts, error counts
+// and latency histograms record every finished span — so aggregate
+// cost attribution stays complete even at low sample rates.
+//
+// # Trace propagation
+//
+// Traces cross process boundaries via the W3C traceparent header
+// (version 00: "00-<32 hex trace id>-<16 hex parent span id>-<2 hex
+// flags>", sampled = flags bit 0). Traceparent renders a span's header
+// value; ParseTraceparent validates strictly (length 55, lowercase
+// hex, non-zero IDs). Server middleware continues an inbound header
+// with StartRemote — the server span joins the caller's trace and
+// inherits its sampled flag, which is how a rate-0 backend still
+// records its slice of a frontend-sampled trace — and the HTTP client
+// injects the current span's header on every attempt. Work that
+// outlives the request that caused it links asynchronously: StartLink
+// starts a span in an explicitly named trace (e.g. the monitor's
+// debounced flush joining the ingest trace that triggered it), always
+// sampled because the link was only published for kept traces.
+//
+// # Trace export
+//
+// Tracer.Handler serves the ring over HTTP (mounted at GET /v1/trace):
+// "?limit=N" lists the newest N spans, "?trace_id=<32 hex>" returns
+// one trace sorted by start time. The JSON schema per span:
+// trace_id, span_id, parent_id, name, start (RFC 3339), duration_ms,
+// error, attrs ([{key, value}]) and events ([{name, offset_ms,
+// attrs}]). Known limitations, accepted by design: ForceSample on a
+// parent does not retroactively record already-ended healthy children
+// (head sampling decides at the root; forcing affects the span itself
+// and spans not yet finished), and the store publishes only its last
+// sampled ingest for async linking, so a debounce window covering
+// several ingests links the flush to the latest one.
 package obs

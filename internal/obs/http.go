@@ -72,6 +72,7 @@ type routeMetrics struct {
 type HTTPMetrics struct {
 	reg      *Registry
 	logger   *slog.Logger
+	tracer   *Tracer
 	mu       sync.Mutex
 	routes   atomic.Pointer[map[string]*routeMetrics]
 	idPrefix string
@@ -88,6 +89,17 @@ func NewHTTPMetrics(reg *Registry, logger *slog.Logger) *HTTPMetrics {
 	rand.Read(seed[:])
 	hm := &HTTPMetrics{reg: reg, logger: logger, idPrefix: hex.EncodeToString(seed[:])}
 	hm.routes.Store(&map[string]*routeMetrics{})
+	return hm
+}
+
+// WithTracer makes the middleware open one server span per request:
+// an inbound traceparent header is continued (so a federated call
+// stays one trace across the hop), otherwise a fresh trace starts.
+// Returns hm for chaining; nil-safe on both sides.
+func (hm *HTTPMetrics) WithTracer(t *Tracer) *HTTPMetrics {
+	if hm != nil {
+		hm.tracer = t
+	}
 	return hm
 }
 
@@ -157,9 +169,24 @@ func (hm *HTTPMetrics) instrument(routeOf func(*http.Request) string, metricsOf 
 		w.Header().Set(RequestIDHeader, id)
 		lg := hm.logger.With(slog.String("request_id", id))
 		ctx := ContextWithLogger(ContextWithRequestID(r.Context(), id), lg)
+		var span *Span
+		if hm.tracer != nil {
+			route := routeOf(r)
+			ctx, span = hm.tracer.StartRemote(ctx, "http.server "+route, r.Header.Get(TraceparentHeader))
+			span.SetAttr("method", r.Method)
+			span.SetAttr("route", route)
+			span.SetAttr("request_id", id)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(t0)
+		if span != nil {
+			span.SetInt("status", int64(sw.status))
+			if sw.status >= 500 {
+				span.Fail(errServerStatus(sw.status))
+			}
+			span.End()
+		}
 		rm := metricsOf(r)
 		rm.latency.Observe(int64(elapsed))
 		class := sw.status / 100
@@ -183,6 +210,12 @@ func (hm *HTTPMetrics) instrument(routeOf func(*http.Request) string, metricsOf 
 			slog.Duration("duration", elapsed))
 	})
 }
+
+// errServerStatus is the synthetic error recorded on server spans
+// whose handler answered 5xx.
+type errServerStatus int
+
+func (e errServerStatus) Error() string { return "http status " + strconv.Itoa(int(e)) }
 
 // statusWriter records the status code and body size of a response.
 type statusWriter struct {

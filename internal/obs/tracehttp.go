@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// TraceparentHeader is the W3C Trace Context header carrying the
+// trace ID, parent span ID and sampling flag across HTTP hops:
+// "00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>".
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the W3C traceparent value announcing s as the
+// parent of downstream work. Empty for a nil span.
+func Traceparent(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	flags := "-00"
+	if s.sampled || s.forced {
+		flags = "-01"
+	}
+	return "00-" + s.TraceID + "-" + s.SpanID + flags
+}
+
+// TraceparentFrom renders the traceparent value for the span carried
+// by ctx, or "" when no span is attached — the form clients use when
+// injecting outbound headers.
+func TraceparentFrom(ctx context.Context) string {
+	return Traceparent(SpanFrom(ctx))
+}
+
+// ParseTraceparent decodes a W3C traceparent header value. ok is
+// false for anything malformed (wrong version, lengths, non-hex or
+// all-zero IDs); callers fall back to starting a fresh trace.
+func ParseTraceparent(h string) (traceID, parentID string, sampled bool, ok bool) {
+	// 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-yyyyyyyyyyyyyyyy-zz
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false, false
+	}
+	traceID, parentID = h[3:35], h[36:52]
+	if !validHex(traceID, 32) || !validHex(parentID, 16) {
+		return "", "", false, false
+	}
+	f1, f2 := h[53], h[54]
+	if !isHexByte(f1) || !isHexByte(f2) {
+		return "", "", false, false
+	}
+	sampled = hexVal(f2)&1 == 1
+	return traceID, parentID, sampled, true
+}
+
+func isHexByte(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
+}
+
+func hexVal(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// wireSpan is the /v1/trace JSON shape of one span.
+type wireSpan struct {
+	TraceID    string      `json:"trace_id"`
+	SpanID     string      `json:"span_id"`
+	ParentID   string      `json:"parent_id,omitempty"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Error      string      `json:"error,omitempty"`
+	Attrs      []SpanAttr  `json:"attrs,omitempty"`
+	Events     []wireEvent `json:"events,omitempty"`
+}
+
+type wireEvent struct {
+	Name     string     `json:"name"`
+	OffsetMS float64    `json:"offset_ms"`
+	Attrs    []SpanAttr `json:"attrs,omitempty"`
+}
+
+func toWire(s *Span) wireSpan {
+	w := wireSpan{
+		TraceID:    s.TraceID,
+		SpanID:     s.SpanID,
+		ParentID:   s.ParentID,
+		Name:       s.Name,
+		Start:      s.Start,
+		DurationMS: float64(s.Duration) / float64(time.Millisecond),
+		Error:      s.Err,
+		Attrs:      s.Attrs,
+	}
+	for _, e := range s.Events {
+		w.Events = append(w.Events, wireEvent{
+			Name:     e.Name,
+			OffsetMS: float64(e.Offset) / float64(time.Millisecond),
+			Attrs:    e.Attrs,
+		})
+	}
+	return w
+}
+
+// Handler serves the trace ring as JSON:
+//
+//	GET /v1/trace                  -> {"spans":[...]} newest first
+//	GET /v1/trace?limit=N          -> at most N spans
+//	GET /v1/trace?trace_id=<32hex> -> one trace, spans ordered by start
+//
+// The ring is a bounded flight recorder: spans evicted by newer
+// traffic are gone, and only kept spans (sampled, errored, slow,
+// forced) appear at all.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var spans []*Span
+		if id := r.URL.Query().Get("trace_id"); id != "" {
+			if !validHex(id, 32) {
+				http.Error(w, "trace_id must be 32 lowercase hex chars", http.StatusBadRequest)
+				return
+			}
+			spans = t.TraceSpans(id)
+		} else {
+			limit := 100
+			if v := r.URL.Query().Get("limit"); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n <= 0 {
+					http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			spans = t.Spans(limit)
+		}
+		out := struct {
+			Spans []wireSpan `json:"spans"`
+			Count int        `json:"count"`
+		}{Spans: make([]wireSpan, 0, len(spans)), Count: len(spans)}
+		for _, s := range spans {
+			out.Spans = append(out.Spans, toWire(s))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}

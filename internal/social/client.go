@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/psp-framework/psp/internal/obs"
 )
 
 // Client talks to a Server over HTTP and implements Searcher, giving the
@@ -124,6 +126,15 @@ func (c *Client) Search(ctx context.Context, q Query) (*Page, error) {
 		if err != nil {
 			return nil, fmt.Errorf("social: build request: %w", err)
 		}
+		// Correlate the backend request with the frontend one on every
+		// attempt, retries included: the request ID ties access logs
+		// together, the traceparent keeps a federated page one trace.
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			req.Header.Set(obs.RequestIDHeader, id)
+		}
+		if tp := obs.TraceparentFrom(ctx); tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
+		}
 		var retryAfter time.Duration
 		var transient bool
 		resp, err := c.httpc.Do(req)
@@ -146,9 +157,15 @@ func (c *Client) Search(ctx context.Context, q Query) (*Page, error) {
 			return nil, err
 		}
 		wait := retryAfter
+		reason := "rate_limited"
 		if wait <= 0 {
 			wait = c.backoff(attempt)
+			reason = "transient"
 		}
+		obs.SpanFrom(ctx).Event("retry",
+			obs.SpanAttr{Key: "attempt", Value: strconv.Itoa(attempt + 1)},
+			obs.SpanAttr{Key: "reason", Value: reason},
+			obs.SpanAttr{Key: "wait", Value: wait.String()})
 		if serr := c.sleep(ctx, wait); serr != nil {
 			return nil, serr
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/psp-framework/psp/internal/durable"
+	"github.com/psp-framework/psp/internal/obs"
 )
 
 // Durable store layout under a data directory:
@@ -616,9 +617,15 @@ var errEncode = errors.New("social: encode wal batch")
 // batches are in flight on that stripe). It returns the parts whose
 // records are durable: on a mid-batch failure that is a strict prefix,
 // and the caller must still commit that prefix — it is on disk and
-// would resurface at the next recovery regardless.
-func (d *storeDurability) logParts(parts []*stripePart) (logged []*stripePart, err error) {
-	records := 0
+// would resurface at the next recovery regardless. span (nil-safe)
+// receives the cost attribution: records logged and the largest commit
+// group any of them rode — how well group commit amortized the wait.
+func (d *storeDurability) logParts(parts []*stripePart, span *obs.Span) (logged []*stripePart, err error) {
+	records, maxGroup := 0, 0
+	defer func() {
+		span.SetInt("records", int64(records))
+		span.SetInt("group_max", int64(maxGroup))
+	}()
 	for i, part := range parts {
 		for lo := 0; lo < len(part.posts); lo += walChunkPosts {
 			hi := lo + walChunkPosts
@@ -629,11 +636,14 @@ func (d *storeDurability) logParts(parts []*stripePart) (logged []*stripePart, e
 			if err != nil {
 				err = fmt.Errorf("%w: %v", errEncode, err)
 			} else {
-				var seq uint64
-				seq, err = d.logs[part.stripe].Append(payload)
+				var res durable.AppendResult
+				res, err = d.logs[part.stripe].AppendGroup(payload)
 				if err == nil {
-					part.seqs = append(part.seqs, seq)
+					part.seqs = append(part.seqs, res.Seq)
 					records++
+					if res.Group > maxGroup {
+						maxGroup = res.Group
+					}
 					continue
 				}
 			}

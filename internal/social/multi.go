@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -57,6 +58,13 @@ type MultiOptions struct {
 	// Metrics, when set, records federated pages, degraded pages, and
 	// per-backend failures/skips/breaker state (psp_multi_*).
 	Metrics *MultiMetrics
+	// Tracer, when set, opens one "multi.search" span per federated
+	// page with a "multi.backend" child span per backend (latency,
+	// posts contributed, breaker state), recording breaker skips,
+	// retries and the degraded verdict as span events. Degraded pages
+	// are force-sampled so partial failures stay diagnosable at any
+	// sampling rate.
+	Tracer *obs.Tracer
 
 	// now is the breaker clock, injectable for deterministic tests.
 	now func() time.Time
@@ -202,6 +210,19 @@ type backendOutcome struct {
 // keyset cursor of its last post. The failure policy is set by the
 // Multi's options (see MultiOptions).
 func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
+	ctx, span := m.opts.Tracer.Start(ctx, "multi.search")
+	span.SetInt("backends", int64(len(m.backends)))
+	page, err := m.search(ctx, q, span)
+	if err != nil {
+		span.Fail(err)
+	} else {
+		span.SetInt("posts", int64(len(page.Posts)))
+	}
+	span.End()
+	return page, err
+}
+
+func (m *Multi) search(ctx context.Context, q Query, span *obs.Span) (*Page, error) {
 	var after *Cursor
 	if q.PageToken != "" {
 		c, err := ParseCursor(q.PageToken)
@@ -240,7 +261,7 @@ func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 	wg.Wait()
 
 	if m.opts.Partial {
-		return m.assemblePartial(outcomes, size)
+		return m.assemblePartial(outcomes, size, span)
 	}
 	// All-or-nothing: any failure fails the page. Prefer a root-cause
 	// error over the context.Canceled noise of siblings the group
@@ -273,21 +294,27 @@ func (m *Multi) Search(ctx context.Context, q Query) (*Page, error) {
 // bookkeeping. In all-or-nothing mode a failure cancels the group
 // (strict semantics: the page fails anyway, stop the siblings).
 func (m *Multi) fetchBackend(bctx context.Context, cancel context.CancelFunc, b *multiBackend, base Query, after *Cursor, size int) backendOutcome {
+	bctx, bspan := m.opts.Tracer.Start(bctx, "multi.backend")
+	bspan.SetAttr("backend", b.src.Name)
+	defer bspan.End()
 	if b.brk != nil && !b.brk.Allow() {
 		b.skips.Inc()
 		if !m.opts.Partial {
 			cancel()
 		}
-		return backendOutcome{
-			err:     fmt.Errorf("platform %s: %w", b.src.Name, ErrBackendSkipped),
-			skipped: true,
-		}
+		err := fmt.Errorf("platform %s: %w", b.src.Name, ErrBackendSkipped)
+		bspan.Event("breaker_skip", obs.SpanAttr{Key: "state", Value: b.brk.State().String()})
+		bspan.Fail(err)
+		return backendOutcome{err: err, skipped: true}
 	}
 	slice, err := fetchAfter(bctx, b.src, base, after, size)
 	if err == nil {
 		if b.brk != nil {
 			b.brk.Success()
+			bspan.SetAttr("breaker", b.brk.State().String())
 		}
+		bspan.SetInt("posts", int64(len(slice.posts)))
+		bspan.SetInt("total", int64(slice.total))
 		return backendOutcome{slice: slice}
 	}
 	// A context.Canceled failure is someone else's doing — the caller
@@ -301,17 +328,28 @@ func (m *Multi) fetchBackend(bctx context.Context, cancel context.CancelFunc, b 
 			b.brk.Failure()
 		}
 		b.failures.Inc()
+		event := "backend_failure"
+		if errors.Is(err, context.DeadlineExceeded) {
+			event = "backend_timeout"
+		}
+		if b.brk != nil {
+			bspan.Event(event, obs.SpanAttr{Key: "breaker", Value: b.brk.State().String()})
+		} else {
+			bspan.Event(event)
+		}
 	}
 	if !m.opts.Partial {
 		cancel()
 	}
-	return backendOutcome{err: fmt.Errorf("platform %s: %w", b.src.Name, err)}
+	wrapped := fmt.Errorf("platform %s: %w", b.src.Name, err)
+	bspan.Fail(wrapped)
+	return backendOutcome{err: wrapped}
 }
 
 // assemblePartial builds a partial-mode page: healthy backends merge,
 // failures become annotations. Only a page with zero healthy backends
 // fails.
-func (m *Multi) assemblePartial(outcomes []backendOutcome, size int) (*Page, error) {
+func (m *Multi) assemblePartial(outcomes []backendOutcome, size int, span *obs.Span) (*Page, error) {
 	healthy := 0
 	for _, out := range outcomes {
 		if out.err == nil {
@@ -349,6 +387,13 @@ func (m *Multi) assemblePartial(outcomes []backendOutcome, size int) (*Page, err
 	page := mergeOutcomes(outcomes, size)
 	page.Degraded = true
 	page.Backends = statuses
+	// A degraded page is exactly what traces exist to explain: record
+	// it whatever the sampling coin said, and note the verdict.
+	span.ForceSample()
+	span.SetBool("degraded", true)
+	span.Event("degraded_page",
+		obs.SpanAttr{Key: "healthy", Value: strconv.Itoa(healthy)},
+		obs.SpanAttr{Key: "backends", Value: strconv.Itoa(len(outcomes))})
 	if len(page.Posts) > 0 && page.NextToken == "" {
 		// A failed backend may hold posts past this page even when the
 		// healthy ones are drained. Keep the listing alive — the cursor

@@ -283,6 +283,7 @@ type shardIter struct {
 	useHeap bool
 	keep    func(*Post) bool // residual filter; nil keeps everything
 	last    *Post            // dedup guard across overlapping tag lists
+	scanned int              // posting entries pulled, kept or not (cost attribution)
 }
 
 // next returns the iterator's next match, or nil when exhausted.
@@ -308,6 +309,7 @@ func (it *shardIter) next() *Post {
 			p = it.single.plist[it.single.pos]
 			it.single.pos++
 		}
+		it.scanned++
 		// A post carrying several queried tags appears in multiple
 		// source lists; equal heads surface back to back in the merge,
 		// so one-deep memory dedupes the union.

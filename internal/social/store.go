@@ -15,6 +15,7 @@ import (
 
 	"github.com/psp-framework/psp/internal/durable"
 	"github.com/psp-framework/psp/internal/nlp"
+	"github.com/psp-framework/psp/internal/obs"
 )
 
 // Query selects posts from a store. All filters combine conjunctively;
@@ -288,6 +289,14 @@ type Store struct {
 	// recorder behind it is itself lock-free (see internal/obs).
 	met atomic.Pointer[StoreMetrics]
 
+	// trc is the optional span tracer (SetTracer), same contract as
+	// met: one atomic load per operation, nil means fully off.
+	trc atomic.Pointer[obs.Tracer]
+
+	// lastIngest names the most recent recorded ingest span so the
+	// monitor can link its delta run into that trace (LastIngestTrace).
+	lastIngest atomic.Pointer[ingestRef]
+
 	// degraded, when non-nil, marks the store read-only after a
 	// persistent WAL failure (see ErrDegraded): ingest is refused with
 	// the typed error, reads keep serving. Add pays one atomic load.
@@ -432,7 +441,20 @@ func (s *Store) Add(posts ...*Post) error {
 // duplicate-free regardless. The changefeed is stricter: it always
 // delivers the whole batch as one unit (see Watch).
 func (s *Store) AddCount(posts ...*Post) (int, error) {
+	return s.AddCountContext(context.Background(), posts...)
+}
+
+// AddCountContext is AddCount under a caller context. The context does
+// not cancel the insert — an acknowledged batch is all-or-nothing per
+// the WAL contract — it carries the caller's trace: when a tracer is
+// attached (SetTracer), the ingest records a "store.add" span (with a
+// "wal.append" child on durable stores) linked under whatever span the
+// context holds, so an HTTP ingest and the delta run it triggers share
+// one trace.
+func (s *Store) AddCountContext(ctx context.Context, posts ...*Post) (int, error) {
 	m, t0 := s.metricsNow()
+	ctx, span := s.trc.Load().Start(ctx, "store.add")
+	span.SetInt("posts", int64(len(posts)))
 	if de := s.degraded.Load(); de != nil {
 		// Read-only degraded mode: refuse before registering anything, so
 		// a rejected batch leaves no trace in the ID registry.
@@ -441,6 +463,8 @@ func (s *Store) AddCount(posts ...*Post) (int, error) {
 			m.AddErrors.Inc()
 			m.AddLatency.ObserveSince(t0)
 		}
+		span.Fail(de)
+		span.End()
 		return 0, de
 	}
 	var err error
@@ -466,7 +490,7 @@ func (s *Store) AddCount(posts ...*Post) (int, error) {
 		st.mu.Unlock()
 		batch = append(batch, p)
 	}
-	inserted, walErr := s.insertBatch(batch)
+	inserted, walErr := s.insertBatch(ctx, batch)
 	if walErr != nil {
 		err = walErr
 	}
@@ -478,6 +502,10 @@ func (s *Store) AddCount(posts ...*Post) (int, error) {
 		}
 		m.AddLatency.ObserveSince(t0)
 	}
+	span.SetInt("inserted", int64(inserted))
+	span.Fail(err)
+	span.End()
+	s.noteIngest(span)
 	return inserted, err
 }
 
@@ -525,7 +553,7 @@ func (s *Store) partitionBatch(batch []*Post) []*stripePart {
 // sub-batches whose records were already fsync'd are committed (a
 // recovery would resurface them regardless), the unlogged remainder is
 // unregistered, and the error reports the partial insert.
-func (s *Store) insertBatch(batch []*Post) (int, error) {
+func (s *Store) insertBatch(ctx context.Context, batch []*Post) (int, error) {
 	if len(batch) == 0 {
 		return 0, nil
 	}
@@ -537,8 +565,14 @@ func (s *Store) insertBatch(batch []*Post) (int, error) {
 	}
 	// Write-ahead: the batch hits its stripes' logs (group-committed
 	// and fsync'd) before any index sees it, off the commit critical
-	// section below — a slow fsync never extends a lock hold.
-	logged, err := s.dur.logParts(parts)
+	// section below — a slow fsync never extends a lock hold. The span
+	// measures the durability wait end to end; logParts fills in the
+	// record/group-size attribution.
+	_, wspan := s.trc.Load().Start(ctx, "wal.append")
+	wspan.SetInt("stripes", int64(len(parts)))
+	logged, err := s.dur.logParts(parts, wspan)
+	wspan.Fail(err)
+	wspan.End()
 	if err == nil {
 		s.commitParts(parts, batch)
 		s.dur.markApplied(parts)
@@ -739,10 +773,13 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 		return nil, err
 	}
 	m, t0 := s.metricsNow()
+	_, span := s.trc.Load().Start(ctx, "store.search")
 	var cur *Cursor
 	if q.PageToken != "" {
 		c, err := ParseCursor(q.PageToken)
 		if err != nil {
+			span.Fail(err)
+			span.End()
 			return nil, err
 		}
 		cur = &c
@@ -770,6 +807,16 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	snaps := make([]*shardSnapshot, len(stripes))
 	for k, i := range stripes {
 		snaps[k] = s.shards[i].view()
+	}
+	if span != nil {
+		// Per-query cost attribution: the stripe fan-out after pruning
+		// and how much un-compacted delta the visited snapshots carry.
+		span.SetInt("stripes", int64(len(stripes)))
+		deltaPosts := 0
+		for _, sn := range snaps {
+			deltaPosts += len(sn.delta.byTime)
+		}
+		span.SetInt("delta_posts", int64(deltaPosts))
 	}
 
 	// Per-shard seek + count fan out across a bounded worker set; the
@@ -810,6 +857,18 @@ func (s *Store) Search(ctx context.Context, q Query) (*Page, error) {
 	if m != nil {
 		m.Searches.Inc()
 		m.SearchLatency.ObserveSince(t0)
+	}
+	if span != nil {
+		scanned := 0
+		for _, it := range iters {
+			scanned += it.scanned
+		}
+		span.SetInt("scanned", int64(scanned))
+		span.SetInt("posts", int64(len(posts)))
+		if !q.SkipTotal {
+			span.SetInt("total", int64(page.TotalMatches))
+		}
+		span.End()
 	}
 	return page, nil
 }

@@ -1,0 +1,49 @@
+package social
+
+import (
+	"github.com/psp-framework/psp/internal/obs"
+)
+
+// SetTracer attaches (or, with nil, detaches) a span tracer, following
+// the SetMetrics pattern: hot paths pay one atomic pointer load, and
+// the nil tracer/span are full no-ops. Once attached, Search opens
+// "store.search" spans carrying per-query cost attribution (stripes
+// visited, posting entries scanned, delta sizes) and AddCountContext
+// opens "store.add" spans with a "wal.append" child on durable stores.
+func (s *Store) SetTracer(t *obs.Tracer) {
+	s.trc.Store(t)
+}
+
+// Tracer returns the attached tracer (nil when untraced).
+func (s *Store) Tracer() *obs.Tracer { return s.trc.Load() }
+
+// ingestRef names the most recent recorded ingest span — the link the
+// monitor uses to attach its delta run to the trace of the ingest that
+// triggered it.
+type ingestRef struct {
+	traceID string
+	spanID  string
+}
+
+// noteIngest publishes the ingest span reference for later linking.
+// Only sampled (recorded) spans are worth linking to; the monitor's
+// debounce coalesces batches, so the reference names the *last*
+// recorded ingest before a flush — earlier batches of the same flush
+// window share the delta run but not the trace link.
+func (s *Store) noteIngest(span *obs.Span) {
+	if !span.Sampled() {
+		return
+	}
+	s.lastIngest.Store(&ingestRef{traceID: span.TraceID, spanID: span.SpanID})
+}
+
+// LastIngestTrace returns the (trace ID, span ID) of the most recent
+// recorded ingest span, or empty strings when no traced ingest has
+// happened. The monitor links its flush span to this reference so
+// GET /v1/trace shows server → store → WAL → monitor as one trace.
+func (s *Store) LastIngestTrace() (traceID, spanID string) {
+	if ref := s.lastIngest.Load(); ref != nil {
+		return ref.traceID, ref.spanID
+	}
+	return "", ""
+}

@@ -52,6 +52,17 @@ type (
 	// (TARARegistry.Stats): fleet size, dirty backlog and the cumulative
 	// engine rating-call counter demonstrating incremental re-rating.
 	TARARegistryStats = tara.RegistryStats
+
+	// Tracer records spans into a bounded lock-free ring with head-based
+	// sampling; export with Tracer.Handler (GET /v1/trace). See
+	// internal/obs for the tracing model.
+	Tracer = obs.Tracer
+	// TracerOptions configures a Tracer: ring capacity, probabilistic
+	// sample rate, slow-span threshold, logger and metrics registry.
+	TracerOptions = obs.TracerOptions
+	// Span is one timed operation in a trace, carrying cost-attribution
+	// attributes and point-in-time events. Nil spans are safe no-ops.
+	Span = obs.Span
 )
 
 // MetricsContentType is the Content-Type of the Prometheus text
@@ -61,6 +72,15 @@ const MetricsContentType = obs.ContentType
 // RequestIDHeader carries a request's correlation ID; inbound values
 // are honored, absent ones minted by the HTTP middleware.
 const RequestIDHeader = obs.RequestIDHeader
+
+// TraceparentHeader is the W3C trace-context header the HTTP middleware
+// extracts and SocialClient injects, stitching pspd's server spans and
+// sociald's backend spans into one distributed trace.
+const TraceparentHeader = obs.TraceparentHeader
+
+// Version identifies this build of the library in psp_build_info and
+// daemon startup logs.
+const Version = "0.10.0"
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -92,6 +112,23 @@ func MetricsHandler(reg *MetricsRegistry) http.Handler { return reg.Handler() }
 // PprofHandler serves net/http/pprof; mount it at /debug/pprof/. The
 // daemons gate it behind their -pprof flag — it has no auth.
 func PprofHandler() http.Handler { return obs.PprofHandler() }
+
+// NewTracer builds a span tracer. Wire it everywhere one request
+// travels: SocialStore.SetTracer, MonitorConfig.Tracer,
+// TARAMonitorConfig.Tracer, MultiOptions.Tracer,
+// HTTPMetrics.WithTracer (or MonitorAPI.WithTracing) — spans started
+// by any of them join the same trace through the context.
+func NewTracer(opts TracerOptions) *Tracer { return obs.NewTracer(opts) }
+
+// TraceHandler serves a tracer's recorded spans as JSON over GET:
+// ?trace_id= looks one trace up, ?limit= bounds the newest-first list.
+func TraceHandler(t *Tracer) http.Handler { return t.Handler() }
+
+// RegisterBuildInfo registers psp_build_info (version, go and VCS
+// revision labels) plus process start-time/uptime gauges in reg.
+func RegisterBuildInfo(reg *MetricsRegistry, version string) {
+	obs.RegisterBuildInfo(reg, version)
+}
 
 // WriteMetrics renders a registry's Prometheus text exposition to w.
 func WriteMetrics(w io.Writer, reg *MetricsRegistry) error { return reg.WritePrometheus(w) }
